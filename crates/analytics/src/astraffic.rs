@@ -1,0 +1,333 @@
+//! §6.1: do ISPs suffer from NetSession?
+//!
+//! Builds the (N, AS1, AS2) flow aggregation the paper describes, then
+//! derives Fig 9a (inter-AS upload CDF), Fig 9b (cumulative contribution),
+//! Fig 9c (IPs per AS, light vs heavy), Fig 10 (per-AS up/down scatter),
+//! Fig 11 (pairwise balance among directly connected heavy uploaders), and
+//! the headline intra-AS share.
+
+use crate::stats::Cdf;
+use netsession_core::id::AsNumber;
+use netsession_logs::TraceDataset;
+use std::collections::{HashMap, HashSet};
+
+/// Aggregated AS-level traffic view.
+pub struct AsTraffic {
+    /// Inter-AS bytes uploaded per AS.
+    pub uploaded: HashMap<u32, u64>,
+    /// Inter-AS bytes downloaded per AS.
+    pub downloaded: HashMap<u32, u64>,
+    /// Bytes per ordered AS pair (from, to), inter-AS only.
+    pub pair_bytes: HashMap<(u32, u32), u64>,
+    /// Total p2p bytes (intra + inter).
+    pub total_bytes: u64,
+    /// Intra-AS bytes.
+    pub intra_bytes: u64,
+    /// Distinct IPs observed per AS (from the geo DB).
+    pub ips_per_as: HashMap<u32, u64>,
+}
+
+/// Build the AS traffic view from transfer records and the geo DB.
+pub fn build(ds: &TraceDataset) -> AsTraffic {
+    let mut t = AsTraffic {
+        uploaded: HashMap::new(),
+        downloaded: HashMap::new(),
+        pair_bytes: HashMap::new(),
+        total_bytes: 0,
+        intra_bytes: 0,
+        ips_per_as: HashMap::new(),
+    };
+    for rec in &ds.transfers {
+        let b = rec.bytes.bytes();
+        t.total_bytes += b;
+        if rec.intra_as() {
+            t.intra_bytes += b;
+            continue;
+        }
+        *t.uploaded.entry(rec.from_as.0).or_insert(0) += b;
+        *t.downloaded.entry(rec.to_as.0).or_insert(0) += b;
+        *t.pair_bytes.entry((rec.from_as.0, rec.to_as.0)).or_insert(0) += b;
+    }
+    // Distinct IPs per AS: count from logins (observed IPs), the closest
+    // analogue of Fig 9c's "IP addresses observed in AS".
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    for l in &ds.logins {
+        if seen.insert((l.asn.0, l.ip)) {
+            *t.ips_per_as.entry(l.asn.0).or_insert(0) += 1;
+        }
+    }
+    t
+}
+
+impl AsTraffic {
+    /// Fraction of p2p bytes that stayed inside one AS (paper: 18 %).
+    pub fn intra_as_share(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.intra_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Fig 9a: CDF of inter-AS bytes uploaded per AS (ASes that uploaded
+    /// nothing are included as zero, as in the paper: "roughly half of the
+    /// ASes did not send any inter-AS bytes at all"). `all_ases` is the
+    /// universe of ASes with peers.
+    pub fn fig9a(&self, all_ases: impl IntoIterator<Item = AsNumber>) -> Cdf {
+        let values: Vec<f64> = all_ases
+            .into_iter()
+            .map(|a| self.uploaded.get(&a.0).copied().unwrap_or(0) as f64)
+            .collect();
+        Cdf::from_values(values)
+    }
+
+    /// Fig 9b: points (x = per-AS upload bytes, y = cumulative share of
+    /// total inter-AS bytes contributed by ASes uploading ≤ x).
+    pub fn fig9b(&self) -> Vec<(f64, f64)> {
+        let mut uploads: Vec<u64> = self.uploaded.values().copied().collect();
+        uploads.sort_unstable();
+        let total: u64 = uploads.iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut acc = 0u64;
+        uploads
+            .into_iter()
+            .map(|u| {
+                acc += u;
+                (u as f64, acc as f64 / total as f64 * 100.0)
+            })
+            .collect()
+    }
+
+    /// The heavy-uploader set: the top `frac` (e.g. 0.02) of ASes by
+    /// inter-AS upload bytes — the paper's "2 % of ASes contributed 90 % of
+    /// the bytes".
+    pub fn heavy_uploaders(&self, frac: f64) -> HashSet<u32> {
+        let mut v: Vec<(u32, u64)> = self.uploaded.iter().map(|(a, b)| (*a, *b)).collect();
+        v.sort_by_key(|(_, b)| std::cmp::Reverse(*b));
+        let n = ((v.len() as f64 * frac).ceil() as usize).max(1).min(v.len());
+        v.into_iter().take(n).map(|(a, _)| a).collect()
+    }
+
+    /// Share of inter-AS bytes contributed by the heavy set.
+    pub fn heavy_share(&self, heavy: &HashSet<u32>) -> f64 {
+        let total: u64 = self.uploaded.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let h: u64 = self
+            .uploaded
+            .iter()
+            .filter(|(a, _)| heavy.contains(a))
+            .map(|(_, b)| *b)
+            .sum();
+        h as f64 / total as f64
+    }
+
+    /// Fig 9c: distinct-IP counts for light vs heavy uploader ASes.
+    pub fn fig9c(&self, heavy: &HashSet<u32>) -> (Cdf, Cdf) {
+        let mut light = Vec::new();
+        let mut heavy_ips = Vec::new();
+        for (a, ips) in &self.ips_per_as {
+            if heavy.contains(a) {
+                heavy_ips.push(*ips as f64);
+            } else {
+                light.push(*ips as f64);
+            }
+        }
+        (Cdf::from_values(light), Cdf::from_values(heavy_ips))
+    }
+
+    /// Fig 10 scatter: (uploaded, downloaded, is_heavy) per AS that moved
+    /// any inter-AS bytes.
+    pub fn fig10(&self, heavy: &HashSet<u32>) -> Vec<(u64, u64, bool)> {
+        let mut ases: HashSet<u32> = self.uploaded.keys().copied().collect();
+        ases.extend(self.downloaded.keys().copied());
+        let mut out: Vec<(u64, u64, bool)> = ases
+            .into_iter()
+            .map(|a| {
+                (
+                    self.uploaded.get(&a).copied().unwrap_or(0),
+                    self.downloaded.get(&a).copied().unwrap_or(0),
+                    heavy.contains(&a),
+                )
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Balance ratio per heavy AS: uploaded / downloaded (only ASes with
+    /// both directions nonzero).
+    pub fn heavy_balance_ratios(&self, heavy: &HashSet<u32>) -> Vec<f64> {
+        heavy
+            .iter()
+            .filter_map(|a| {
+                let up = self.uploaded.get(a).copied().unwrap_or(0);
+                let down = self.downloaded.get(a).copied().unwrap_or(0);
+                (up > 0 && down > 0).then(|| up as f64 / down as f64)
+            })
+            .collect()
+    }
+
+    /// Fig 11: pairwise (A→B, B→A) byte pairs among heavy uploaders that
+    /// are directly connected per `direct`, each unordered pair once.
+    pub fn fig11(
+        &self,
+        heavy: &HashSet<u32>,
+        direct: impl Fn(AsNumber, AsNumber) -> bool,
+    ) -> Vec<(u64, u64)> {
+        let mut seen: HashSet<(u32, u32)> = HashSet::new();
+        let mut out = Vec::new();
+        for (a, b) in self.pair_bytes.keys() {
+            if !heavy.contains(a) || !heavy.contains(b) {
+                continue;
+            }
+            // Canonical orientation (lower AS number first) so the output
+            // is independent of hash-map iteration order.
+            let key = if a < b { (*a, *b) } else { (*b, *a) };
+            if !seen.insert(key) {
+                continue;
+            }
+            if !direct(AsNumber(key.0), AsNumber(key.1)) {
+                continue;
+            }
+            let ab = self.pair_bytes.get(&(key.0, key.1)).copied().unwrap_or(0);
+            let ba = self.pair_bytes.get(&(key.1, key.0)).copied().unwrap_or(0);
+            out.push((ab, ba));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// §6.1 estimate: fraction of heavy-pair inter-AS bytes exchanged
+    /// between directly connected ASes (paper: ~35 %).
+    pub fn direct_link_share(
+        &self,
+        heavy: &HashSet<u32>,
+        direct: impl Fn(AsNumber, AsNumber) -> bool,
+    ) -> f64 {
+        let mut total = 0u64;
+        let mut on_direct = 0u64;
+        for ((a, b), bytes) in &self.pair_bytes {
+            if !heavy.contains(a) || !heavy.contains(b) {
+                continue;
+            }
+            total += bytes;
+            if direct(AsNumber(*a), AsNumber(*b)) {
+                on_direct += bytes;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            on_direct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::{Guid, ObjectId};
+    use netsession_core::units::ByteCount;
+    use netsession_logs::records::TransferRecord;
+
+    fn xfer(from: u32, to: u32, bytes: u64) -> TransferRecord {
+        TransferRecord {
+            from_guid: Guid(1),
+            to_guid: Guid(2),
+            from_as: AsNumber(from),
+            to_as: AsNumber(to),
+            from_country: 0,
+            to_country: 0,
+            bytes: ByteCount(bytes),
+            object: ObjectId(1),
+        }
+    }
+
+    fn dataset() -> TraceDataset {
+        let mut ds = TraceDataset::default();
+        ds.transfers.push(xfer(1, 1, 100)); // intra
+        ds.transfers.push(xfer(1, 2, 400));
+        ds.transfers.push(xfer(2, 1, 380));
+        ds.transfers.push(xfer(3, 2, 20));
+        ds
+    }
+
+    #[test]
+    fn build_aggregates_and_intra_share() {
+        let t = build(&dataset());
+        assert_eq!(t.total_bytes, 900);
+        assert_eq!(t.intra_bytes, 100);
+        assert!((t.intra_as_share() - 100.0 / 900.0).abs() < 1e-9);
+        assert_eq!(t.uploaded[&1], 400);
+        assert_eq!(t.downloaded[&2], 420);
+        assert_eq!(t.pair_bytes[&(2, 1)], 380);
+    }
+
+    #[test]
+    fn fig9a_includes_silent_ases() {
+        let t = build(&dataset());
+        let cdf = t.fig9a([AsNumber(1), AsNumber(2), AsNumber(3), AsNumber(99)]);
+        assert_eq!(cdf.len(), 4);
+        // AS 99 uploaded nothing.
+        assert!(cdf.fraction_at(0.0) >= 0.25);
+    }
+
+    #[test]
+    fn fig9b_cumulative_reaches_100() {
+        let t = build(&dataset());
+        let curve = t.fig9b();
+        assert!((curve.last().unwrap().1 - 100.0).abs() < 1e-9);
+        // Monotone.
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn heavy_set_and_balance() {
+        let t = build(&dataset());
+        let heavy = t.heavy_uploaders(0.67); // top 2 of 3 uploaders
+        assert!(heavy.contains(&1) && heavy.contains(&2));
+        assert!(t.heavy_share(&heavy) > 0.95);
+        let ratios = t.heavy_balance_ratios(&heavy);
+        // AS1: 400 up / 380 down ≈ 1.05; AS2: 380/420 ≈ 0.9.
+        assert_eq!(ratios.len(), 2);
+        for r in ratios {
+            assert!(r > 0.5 && r < 2.0, "balanced heavy uploaders, got {r}");
+        }
+    }
+
+    #[test]
+    fn fig11_pairs_unordered_and_filtered_by_direct() {
+        let t = build(&dataset());
+        let heavy: HashSet<u32> = [1, 2].into_iter().collect();
+        let pairs = t.fig11(&heavy, |_, _| true);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0], (400, 380));
+        let none = t.fig11(&heavy, |_, _| false);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn direct_link_share_weights_bytes() {
+        let t = build(&dataset());
+        let heavy: HashSet<u32> = [1, 2, 3].into_iter().collect();
+        // Only the (3,2) pair counted as direct: 20 of 800 inter-heavy.
+        let share = t.direct_link_share(&heavy, |a, b| {
+            (a.0, b.0) == (3, 2) || (a.0, b.0) == (2, 3)
+        });
+        assert!((share - 20.0 / 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig10_includes_down_only_ases() {
+        let t = build(&dataset());
+        let heavy = HashSet::new();
+        let scatter = t.fig10(&heavy);
+        assert_eq!(scatter.len(), 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Fig 5 and Fig 6: what peer efficiency depends on.
+
+use crate::stats::Cdf;
+use netsession_logs::records::DownloadOutcome;
+use netsession_logs::TraceDataset;
+use std::collections::HashMap;
+
+/// One Fig 5 bucket: files grouped by registered-copy count (log-spaced),
+/// with mean / 20th / 80th percentile of per-file average efficiency.
+#[derive(Clone, Debug)]
+pub struct CopiesBucket {
+    /// Geometric center of the bucket (copies).
+    pub copies: f64,
+    /// Files in the bucket.
+    pub files: usize,
+    /// Mean of per-file average efficiency (%).
+    pub mean: f64,
+    /// 20th percentile (%).
+    pub p20: f64,
+    /// 80th percentile (%).
+    pub p80: f64,
+}
+
+/// Fig 5: per-file average peer efficiency vs. copies registered during
+/// the trace, bucketed by powers of two.
+pub fn fig5(ds: &TraceDataset) -> Vec<CopiesBucket> {
+    // Registrations per object.
+    let mut regs: HashMap<u64, u64> = HashMap::new();
+    for (v, n) in &ds.registrations {
+        *regs.entry(v.object.0).or_insert(0) += n;
+    }
+    // Per-file average efficiency over completed p2p downloads.
+    let mut eff: HashMap<u64, Vec<f64>> = HashMap::new();
+    for d in ds
+        .downloads
+        .iter()
+        .filter(|d| d.p2p_enabled && d.outcome == DownloadOutcome::Completed)
+    {
+        eff.entry(d.object.0).or_default().push(d.peer_efficiency());
+    }
+    // Bucket by log2 of registration count.
+    let mut buckets: HashMap<u32, Vec<f64>> = HashMap::new();
+    for (object, effs) in &eff {
+        let copies = regs.get(object).copied().unwrap_or(0);
+        if copies == 0 {
+            continue;
+        }
+        let bucket = 64 - (copies.max(1)).leading_zeros();
+        let file_avg = effs.iter().sum::<f64>() / effs.len() as f64;
+        buckets.entry(bucket).or_default().push(file_avg * 100.0);
+    }
+    let mut out: Vec<CopiesBucket> = buckets
+        .into_iter()
+        .map(|(b, vals)| {
+            let cdf = Cdf::from_values(vals.clone());
+            CopiesBucket {
+                copies: 2f64.powi(b as i32 - 1) * 1.5,
+                files: vals.len(),
+                mean: cdf.mean(),
+                p20: cdf.percentile(20.0),
+                p80: cdf.percentile(80.0),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.copies.partial_cmp(&b.copies).unwrap());
+    out
+}
+
+/// One Fig 6 bucket: downloads grouped by the number of peers the control
+/// plane initially returned.
+#[derive(Clone, Debug)]
+pub struct InitialPeersBucket {
+    /// Number of peers initially returned.
+    pub peers: u32,
+    /// Downloads in the bucket.
+    pub downloads: usize,
+    /// Mean peer efficiency (%).
+    pub mean: f64,
+}
+
+/// Fig 6: mean peer efficiency by initial peer-list size (0..=max).
+pub fn fig6(ds: &TraceDataset) -> Vec<InitialPeersBucket> {
+    let mut buckets: HashMap<u32, Vec<f64>> = HashMap::new();
+    for d in ds
+        .downloads
+        .iter()
+        .filter(|d| d.p2p_enabled && d.outcome == DownloadOutcome::Completed)
+    {
+        buckets
+            .entry(d.initial_peers)
+            .or_default()
+            .push(d.peer_efficiency() * 100.0);
+    }
+    let mut out: Vec<InitialPeersBucket> = buckets
+        .into_iter()
+        .map(|(peers, vals)| InitialPeersBucket {
+            peers,
+            downloads: vals.len(),
+            mean: vals.iter().sum::<f64>() / vals.len() as f64,
+        })
+        .collect();
+    out.sort_by_key(|b| b.peers);
+    out
+}
+
+/// The Fig 5/6 qualitative claims in one place: efficiency grows with
+/// copies and with initial peers. Returns (low-copy mean, high-copy mean,
+/// few-peer mean, many-peer mean) for tests and EXPERIMENTS.md.
+pub fn growth_summary(ds: &TraceDataset) -> (f64, f64, f64, f64) {
+    let f5 = fig5(ds);
+    let lo5 = f5.first().map(|b| b.mean).unwrap_or(0.0);
+    let hi5 = f5.last().map(|b| b.mean).unwrap_or(0.0);
+    let f6 = fig6(ds);
+    let few: Vec<f64> = f6
+        .iter()
+        .filter(|b| b.peers <= 5)
+        .map(|b| b.mean)
+        .collect();
+    let many: Vec<f64> = f6
+        .iter()
+        .filter(|b| b.peers >= 20)
+        .map(|b| b.mean)
+        .collect();
+    (
+        lo5,
+        hi5,
+        crate::stats::mean(few),
+        crate::stats::mean(many),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::{AsNumber, CpCode, Guid, ObjectId, VersionId};
+    use netsession_core::time::SimTime;
+    use netsession_core::units::ByteCount;
+    use netsession_logs::records::DownloadRecord;
+
+    fn dl(object: u64, peers_frac: f64, initial_peers: u32) -> DownloadRecord {
+        let total = 1000u64;
+        let peers = (total as f64 * peers_frac) as u64;
+        DownloadRecord {
+            guid: Guid(1),
+            object: ObjectId(object),
+            cp: CpCode(1),
+            size: ByteCount(total),
+            p2p_enabled: true,
+            started: SimTime(0),
+            ended: SimTime(1),
+            bytes_infra: ByteCount(total - peers),
+            bytes_peers: ByteCount(peers),
+            outcome: DownloadOutcome::Completed,
+            initial_peers,
+            asn: AsNumber(1),
+            country: 0,
+            region: 0,
+        }
+    }
+
+    fn ver(o: u64) -> VersionId {
+        VersionId {
+            object: ObjectId(o),
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn fig5_buckets_by_copies() {
+        let mut ds = TraceDataset::default();
+        ds.registrations.push((ver(1), 2)); // small swarm
+        ds.registrations.push((ver(2), 2000)); // big swarm
+        ds.downloads.push(dl(1, 0.1, 5));
+        ds.downloads.push(dl(2, 0.9, 30));
+        let buckets = fig5(&ds);
+        assert_eq!(buckets.len(), 2);
+        assert!(buckets[0].copies < buckets[1].copies);
+        assert!(buckets[0].mean < buckets[1].mean);
+        assert!(buckets[1].p20 <= buckets[1].p80);
+    }
+
+    #[test]
+    fn fig5_ignores_unregistered_objects() {
+        let mut ds = TraceDataset::default();
+        ds.downloads.push(dl(1, 0.5, 5));
+        assert!(fig5(&ds).is_empty());
+    }
+
+    #[test]
+    fn fig6_groups_by_initial_peers() {
+        let mut ds = TraceDataset::default();
+        ds.downloads.push(dl(1, 0.2, 5));
+        ds.downloads.push(dl(2, 0.8, 30));
+        ds.downloads.push(dl(3, 0.9, 30));
+        let buckets = fig6(&ds);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].peers, 5);
+        assert_eq!(buckets[1].downloads, 2);
+        assert!((buckets[1].mean - 85.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_summary_reflects_trends() {
+        let mut ds = TraceDataset::default();
+        ds.registrations.push((ver(1), 2));
+        ds.registrations.push((ver(2), 5000));
+        ds.downloads.push(dl(1, 0.05, 2));
+        ds.downloads.push(dl(2, 0.85, 30));
+        let (lo, hi, few, many) = growth_summary(&ds);
+        assert!(lo < hi);
+        assert!(few < many);
+    }
+}

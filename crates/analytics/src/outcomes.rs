@@ -1,0 +1,214 @@
+//! §5.2 reliability and Fig 7 pause rates.
+
+use netsession_logs::records::DownloadOutcome;
+use netsession_logs::TraceDataset;
+
+/// The §5.2 outcome split for one download class.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OutcomeRates {
+    /// Downloads in the class.
+    pub total: u64,
+    /// Fraction completed (paper: 94 % infra-only, 92 % peer-assisted).
+    pub completed: f64,
+    /// Fraction failed for system-related causes (0.1 % / 0.2 %).
+    pub failed_system: f64,
+    /// Fraction failed for other causes.
+    pub failed_other: f64,
+    /// Fraction paused/aborted and never resumed (3 % / 8 %).
+    pub abandoned: f64,
+}
+
+fn rates(downloads: impl Iterator<Item = DownloadOutcome>) -> OutcomeRates {
+    let mut r = OutcomeRates::default();
+    let mut completed = 0u64;
+    let mut fs = 0u64;
+    let mut fo = 0u64;
+    let mut ab = 0u64;
+    for o in downloads {
+        r.total += 1;
+        match o {
+            DownloadOutcome::Completed => completed += 1,
+            DownloadOutcome::Failed {
+                system_related: true,
+            } => fs += 1,
+            DownloadOutcome::Failed {
+                system_related: false,
+            } => fo += 1,
+            DownloadOutcome::Abandoned => ab += 1,
+        }
+    }
+    if r.total > 0 {
+        let t = r.total as f64;
+        r.completed = completed as f64 / t;
+        r.failed_system = fs as f64 / t;
+        r.failed_other = fo as f64 / t;
+        r.abandoned = ab as f64 / t;
+    }
+    r
+}
+
+/// §5.2: outcome rates for infrastructure-only vs peer-assisted downloads.
+pub fn outcome_split(ds: &TraceDataset) -> (OutcomeRates, OutcomeRates) {
+    let infra = rates(
+        ds.downloads
+            .iter()
+            .filter(|d| !d.p2p_enabled)
+            .map(|d| d.outcome),
+    );
+    let p2p = rates(
+        ds.downloads
+            .iter()
+            .filter(|d| d.p2p_enabled)
+            .map(|d| d.outcome),
+    );
+    (infra, p2p)
+}
+
+/// Fig 7's size buckets.
+pub const SIZE_BUCKETS: [(&str, u64, u64); 4] = [
+    ("<10MB", 0, 10_000_000),
+    ("10-100MB", 10_000_000, 100_000_000),
+    ("100MB-1GB", 100_000_000, 1_000_000_000),
+    (">1GB", 1_000_000_000, u64::MAX),
+];
+
+/// One Fig 7 bar group: pause (abandonment) rate per class in a size
+/// bucket.
+#[derive(Clone, Debug)]
+pub struct PauseRateBucket {
+    /// Bucket label.
+    pub label: &'static str,
+    /// Pause rate of infra-only downloads in the bucket (%).
+    pub infra_only: f64,
+    /// Pause rate of peer-assisted downloads (%).
+    pub peer_assisted: f64,
+    /// Pause rate of all downloads (%).
+    pub all: f64,
+    /// Downloads in the bucket.
+    pub total: u64,
+}
+
+/// Fig 7: pause rates by object size bucket.
+pub fn fig7(ds: &TraceDataset) -> Vec<PauseRateBucket> {
+    SIZE_BUCKETS
+        .iter()
+        .map(|(label, lo, hi)| {
+            let in_bucket = |d: &&netsession_logs::records::DownloadRecord| {
+                d.size.bytes() >= *lo && d.size.bytes() < *hi
+            };
+            let pause_rate = |p2p: Option<bool>| {
+                let mut total = 0u64;
+                let mut paused = 0u64;
+                for d in ds.downloads.iter().filter(in_bucket) {
+                    if let Some(want) = p2p {
+                        if d.p2p_enabled != want {
+                            continue;
+                        }
+                    }
+                    total += 1;
+                    if d.outcome == DownloadOutcome::Abandoned {
+                        paused += 1;
+                    }
+                }
+                if total == 0 {
+                    (0.0, 0)
+                } else {
+                    (paused as f64 / total as f64 * 100.0, total)
+                }
+            };
+            let (infra, _) = pause_rate(Some(false));
+            let (p2p, _) = pause_rate(Some(true));
+            let (all, total) = pause_rate(None);
+            PauseRateBucket {
+                label,
+                infra_only: infra,
+                peer_assisted: p2p,
+                all,
+                total,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::{AsNumber, CpCode, Guid, ObjectId};
+    use netsession_core::time::SimTime;
+    use netsession_core::units::ByteCount;
+    use netsession_logs::records::DownloadRecord;
+
+    fn dl(p2p: bool, size: u64, outcome: DownloadOutcome) -> DownloadRecord {
+        DownloadRecord {
+            guid: Guid(1),
+            object: ObjectId(1),
+            cp: CpCode(1),
+            size: ByteCount(size),
+            p2p_enabled: p2p,
+            started: SimTime(0),
+            ended: SimTime(1),
+            bytes_infra: ByteCount(size / 2),
+            bytes_peers: ByteCount(0),
+            outcome,
+            initial_peers: 0,
+            asn: AsNumber(1),
+            country: 0,
+            region: 0,
+        }
+    }
+
+    #[test]
+    fn outcome_split_computes_rates() {
+        let mut ds = TraceDataset::default();
+        for _ in 0..9 {
+            ds.downloads.push(dl(false, 10, DownloadOutcome::Completed));
+        }
+        ds.downloads.push(dl(false, 10, DownloadOutcome::Abandoned));
+        ds.downloads.push(dl(true, 10, DownloadOutcome::Completed));
+        ds.downloads.push(dl(
+            true,
+            10,
+            DownloadOutcome::Failed {
+                system_related: true,
+            },
+        ));
+        let (infra, p2p) = outcome_split(&ds);
+        assert_eq!(infra.total, 10);
+        assert!((infra.completed - 0.9).abs() < 1e-9);
+        assert!((infra.abandoned - 0.1).abs() < 1e-9);
+        assert_eq!(p2p.total, 2);
+        assert!((p2p.failed_system - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig7_pause_rates_by_size() {
+        let mut ds = TraceDataset::default();
+        // Small files: no pauses.
+        for _ in 0..10 {
+            ds.downloads.push(dl(false, 1_000_000, DownloadOutcome::Completed));
+        }
+        // Huge files: half paused.
+        for i in 0..10 {
+            let outcome = if i % 2 == 0 {
+                DownloadOutcome::Abandoned
+            } else {
+                DownloadOutcome::Completed
+            };
+            ds.downloads.push(dl(true, 2_000_000_000, outcome));
+        }
+        let buckets = fig7(&ds);
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0].all, 0.0);
+        assert!((buckets[3].all - 50.0).abs() < 1e-9);
+        assert!((buckets[3].peer_assisted - 50.0).abs() < 1e-9);
+        assert_eq!(buckets[3].total, 10);
+        assert!(buckets[3].all > buckets[0].all, "rate grows with size");
+    }
+
+    #[test]
+    fn empty_dataset_gives_zero_rates() {
+        let (infra, p2p) = outcome_split(&TraceDataset::default());
+        assert_eq!(infra.total, 0);
+        assert_eq!(p2p.completed, 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Table 1 and the §5.1 headline numbers.
+
+use crate::stats::mean;
+use netsession_logs::records::DownloadOutcome;
+use netsession_logs::TraceDataset;
+use std::collections::{HashMap, HashSet};
+
+/// The §5.1 headline aggregates.
+#[derive(Clone, Debug)]
+pub struct Headline {
+    /// Fraction of peers with uploads enabled at their last login (~31 %).
+    pub enabled_fraction: f64,
+    /// Fraction of distinct downloaded files with p2p enabled (1.7 %).
+    pub p2p_file_fraction: f64,
+    /// Fraction of all downloaded bytes on p2p-enabled files (57.4 %).
+    pub p2p_byte_share: f64,
+    /// Mean peer efficiency over peer-assisted downloads (71.4 %).
+    pub mean_peer_efficiency: f64,
+    /// Bytes-weighted peer efficiency over peer-assisted downloads —
+    /// the "70–80 % of the traffic offloaded" abstract claim.
+    pub offload_fraction: f64,
+}
+
+/// Compute the headline numbers.
+pub fn headline(ds: &TraceDataset) -> Headline {
+    // Last-login upload setting per GUID.
+    let mut last: HashMap<u128, (u64, bool)> = HashMap::new();
+    for l in &ds.logins {
+        let e = last.entry(l.guid.0).or_insert((0, l.uploads_enabled));
+        if l.at.as_micros() >= e.0 {
+            *e = (l.at.as_micros(), l.uploads_enabled);
+        }
+    }
+    let enabled_fraction = if last.is_empty() {
+        0.0
+    } else {
+        last.values().filter(|(_, e)| *e).count() as f64 / last.len() as f64
+    };
+
+    let mut p2p_files: HashSet<u64> = HashSet::new();
+    let mut all_files: HashSet<u64> = HashSet::new();
+    let mut p2p_bytes = 0u64;
+    let mut total_bytes = 0u64;
+    let mut efficiencies = Vec::new();
+    let mut peer_bytes_in_p2p = 0u64;
+    let mut total_bytes_in_p2p = 0u64;
+    for d in &ds.downloads {
+        all_files.insert(d.object.0);
+        let bytes = d.total_bytes().bytes();
+        total_bytes += bytes;
+        if d.p2p_enabled {
+            p2p_files.insert(d.object.0);
+            p2p_bytes += bytes;
+            if d.outcome == DownloadOutcome::Completed {
+                efficiencies.push(d.peer_efficiency());
+                peer_bytes_in_p2p += d.bytes_peers.bytes();
+                total_bytes_in_p2p += bytes;
+            }
+        }
+    }
+
+    Headline {
+        enabled_fraction,
+        p2p_file_fraction: if all_files.is_empty() {
+            0.0
+        } else {
+            p2p_files.len() as f64 / all_files.len() as f64
+        },
+        p2p_byte_share: if total_bytes == 0 {
+            0.0
+        } else {
+            p2p_bytes as f64 / total_bytes as f64
+        },
+        mean_peer_efficiency: mean(efficiencies),
+        offload_fraction: if total_bytes_in_p2p == 0 {
+            0.0
+        } else {
+            peer_bytes_in_p2p as f64 / total_bytes_in_p2p as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::{AsNumber, CpCode, Guid, ObjectId};
+    use netsession_core::time::SimTime;
+    use netsession_core::units::ByteCount;
+    use netsession_logs::records::{DownloadRecord, LoginRecord};
+
+    fn dl(object: u64, p2p: bool, infra: u64, peers: u64) -> DownloadRecord {
+        DownloadRecord {
+            guid: Guid(1),
+            object: ObjectId(object),
+            cp: CpCode(1),
+            size: ByteCount(infra + peers),
+            p2p_enabled: p2p,
+            started: SimTime(0),
+            ended: SimTime(10),
+            bytes_infra: ByteCount(infra),
+            bytes_peers: ByteCount(peers),
+            outcome: DownloadOutcome::Completed,
+            initial_peers: 0,
+            asn: AsNumber(1),
+            country: 0,
+            region: 0,
+        }
+    }
+
+    fn login(guid: u128, at: u64, enabled: bool) -> LoginRecord {
+        LoginRecord {
+            at: SimTime(at),
+            guid: Guid(guid),
+            ip: 1,
+            asn: AsNumber(1),
+            country: 0,
+            lat: 0.0,
+            lon: 0.0,
+            uploads_enabled: enabled,
+            software_version: 1,
+            secondary_guids: vec![],
+        }
+    }
+
+    #[test]
+    fn headline_computes_all_fields() {
+        let mut ds = TraceDataset::default();
+        ds.downloads.push(dl(1, true, 300, 700)); // p2p file, eff 0.7
+        ds.downloads.push(dl(2, false, 500, 0)); // infra-only
+        ds.logins.push(login(1, 0, false));
+        ds.logins.push(login(1, 5, true)); // last wins
+        ds.logins.push(login(2, 0, false));
+        let h = headline(&ds);
+        assert!((h.enabled_fraction - 0.5).abs() < 1e-9);
+        assert!((h.p2p_file_fraction - 0.5).abs() < 1e-9);
+        assert!((h.p2p_byte_share - 1000.0 / 1500.0).abs() < 1e-9);
+        assert!((h.mean_peer_efficiency - 0.7).abs() < 1e-9);
+        assert!((h.offload_fraction - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_is_all_zero() {
+        let h = headline(&TraceDataset::default());
+        assert_eq!(h.enabled_fraction, 0.0);
+        assert_eq!(h.p2p_byte_share, 0.0);
+        assert_eq!(h.mean_peer_efficiency, 0.0);
+    }
+}

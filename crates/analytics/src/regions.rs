@@ -1,0 +1,177 @@
+//! Table 2, Fig 2, and Fig 8: geography of downloads and peers.
+
+use netsession_core::id::CpCode;
+use netsession_logs::TraceDataset;
+use std::collections::HashMap;
+
+/// Number of Table-2 regions.
+pub const REGIONS: usize = 9;
+
+/// Table 2: per-customer download shares over the nine regions, plus the
+/// "All customers" row. Rows are normalized to sum to 1 (empty rows stay
+/// zero).
+pub fn table2(ds: &TraceDataset) -> (Vec<(CpCode, [f64; REGIONS])>, [f64; REGIONS]) {
+    let mut per_cp: HashMap<CpCode, [u64; REGIONS]> = HashMap::new();
+    let mut all = [0u64; REGIONS];
+    for d in &ds.downloads {
+        let r = (d.region as usize).min(REGIONS - 1);
+        per_cp.entry(d.cp).or_insert([0; REGIONS])[r] += 1;
+        all[r] += 1;
+    }
+    let normalize = |counts: &[u64; REGIONS]| {
+        let total: u64 = counts.iter().sum();
+        let mut out = [0.0; REGIONS];
+        if total > 0 {
+            for (o, c) in out.iter_mut().zip(counts) {
+                *o = *c as f64 / total as f64;
+            }
+        }
+        out
+    };
+    let mut rows: Vec<(CpCode, [f64; REGIONS])> = per_cp
+        .iter()
+        .map(|(cp, counts)| (*cp, normalize(counts)))
+        .collect();
+    rows.sort_by_key(|(cp, _)| *cp);
+    (rows, normalize(&all))
+}
+
+/// Fig 2 bubble data: per (country index), the number of peers whose
+/// *first* connection came from there.
+pub fn fig2_first_connections(ds: &TraceDataset) -> Vec<(u16, u64)> {
+    let mut first: HashMap<u128, (u64, u16)> = HashMap::new();
+    for l in &ds.logins {
+        let e = first.entry(l.guid.0).or_insert((u64::MAX, 0));
+        if l.at.as_micros() < e.0 {
+            *e = (l.at.as_micros(), l.country);
+        }
+    }
+    let mut counts: HashMap<u16, u64> = HashMap::new();
+    for (_, country) in first.values() {
+        *counts.entry(*country).or_insert(0) += 1;
+    }
+    let mut out: Vec<(u16, u64)> = counts.into_iter().collect();
+    out.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    out
+}
+
+/// Fig 8 classes: how much the peers contribute per country, for one
+/// provider.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoverageClass {
+    /// Infrastructure serves more bytes than the peers.
+    InfraDominant,
+    /// Peers serve 50–100 % as many bytes as the infrastructure.
+    PeersComparable,
+    /// Peers serve *more* than the infrastructure (infra < 50 % of peers).
+    PeersDominant,
+}
+
+/// Fig 8: per-country byte split for one provider's completed downloads.
+/// Returns (country, infra bytes, peer bytes, class).
+pub fn fig8_country_classes(
+    ds: &TraceDataset,
+    cp: CpCode,
+) -> Vec<(u16, u64, u64, CoverageClass)> {
+    let mut per_country: HashMap<u16, (u64, u64)> = HashMap::new();
+    for d in ds.downloads.iter().filter(|d| d.cp == cp) {
+        let e = per_country.entry(d.country).or_insert((0, 0));
+        e.0 += d.bytes_infra.bytes();
+        e.1 += d.bytes_peers.bytes();
+    }
+    let mut out: Vec<(u16, u64, u64, CoverageClass)> = per_country
+        .into_iter()
+        .map(|(country, (infra, peers))| {
+            let class = if infra > peers {
+                CoverageClass::InfraDominant
+            } else if infra * 2 >= peers {
+                CoverageClass::PeersComparable
+            } else {
+                CoverageClass::PeersDominant
+            };
+            (country, infra, peers, class)
+        })
+        .collect();
+    out.sort_by_key(|(c, _, _, _)| *c);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::{AsNumber, Guid, ObjectId};
+    use netsession_core::time::SimTime;
+    use netsession_core::units::ByteCount;
+    use netsession_logs::records::{DownloadOutcome, DownloadRecord, LoginRecord};
+
+    fn dl(cp: u32, region: u8, country: u16, infra: u64, peers: u64) -> DownloadRecord {
+        DownloadRecord {
+            guid: Guid(1),
+            object: ObjectId(1),
+            cp: CpCode(cp),
+            size: ByteCount(infra + peers),
+            p2p_enabled: true,
+            started: SimTime(0),
+            ended: SimTime(1),
+            bytes_infra: ByteCount(infra),
+            bytes_peers: ByteCount(peers),
+            outcome: DownloadOutcome::Completed,
+            initial_peers: 0,
+            asn: AsNumber(1),
+            country,
+            region,
+        }
+    }
+
+    #[test]
+    fn table2_normalizes_rows() {
+        let mut ds = TraceDataset::default();
+        ds.downloads.push(dl(1, 0, 0, 1, 0));
+        ds.downloads.push(dl(1, 6, 0, 1, 0));
+        ds.downloads.push(dl(1, 6, 0, 1, 0));
+        ds.downloads.push(dl(2, 8, 0, 1, 0));
+        let (rows, all) = table2(&ds);
+        assert_eq!(rows.len(), 2);
+        let row1 = rows.iter().find(|(cp, _)| *cp == CpCode(1)).unwrap().1;
+        assert!((row1[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((row1[6] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((all.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((all[8] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig2_uses_first_connection_only() {
+        let mut ds = TraceDataset::default();
+        let mk = |guid: u128, at: u64, country: u16| LoginRecord {
+            at: SimTime(at),
+            guid: Guid(guid),
+            ip: 1,
+            asn: AsNumber(1),
+            country,
+            lat: 0.0,
+            lon: 0.0,
+            uploads_enabled: true,
+            software_version: 1,
+            secondary_guids: vec![],
+        };
+        ds.logins.push(mk(1, 10, 5)); // later login elsewhere
+        ds.logins.push(mk(1, 0, 3)); // first connection: country 3
+        ds.logins.push(mk(2, 0, 3));
+        let bubbles = fig2_first_connections(&ds);
+        assert_eq!(bubbles, vec![(3, 2)]);
+    }
+
+    #[test]
+    fn fig8_classes() {
+        let mut ds = TraceDataset::default();
+        ds.downloads.push(dl(1, 0, 10, 100, 10)); // infra dominant
+        ds.downloads.push(dl(1, 0, 11, 60, 100)); // comparable (infra ≥ 50% of peers)
+        ds.downloads.push(dl(1, 0, 12, 10, 100)); // peers dominant
+        ds.downloads.push(dl(2, 0, 13, 0, 100)); // other provider: excluded
+        let classes = fig8_country_classes(&ds, CpCode(1));
+        assert_eq!(classes.len(), 3);
+        assert_eq!(classes[0].3, CoverageClass::InfraDominant);
+        assert_eq!(classes[1].3, CoverageClass::PeersComparable);
+        assert_eq!(classes[2].3, CoverageClass::PeersDominant);
+    }
+}

@@ -1,0 +1,133 @@
+//! Table 3: changes to the upload-enable setting.
+//!
+//! "We additionally check whether users changed this setting between
+//! logins, and if so, how often" (§5.1) — per GUID, order the logins and
+//! count transitions of the recorded setting.
+
+use netsession_logs::TraceDataset;
+use std::collections::HashMap;
+
+/// One Table-3 row: counts of GUIDs by number of observed changes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SettingRow {
+    /// GUIDs with this initial setting.
+    pub total: u64,
+    /// … that never changed it.
+    pub zero: u64,
+    /// … that changed it exactly once.
+    pub one: u64,
+    /// … that changed it two or more times.
+    pub two_plus: u64,
+}
+
+impl SettingRow {
+    /// Fractions (zero, one, two+) of the row.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        if self.total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = self.total as f64;
+        (
+            self.zero as f64 / t,
+            self.one as f64 / t,
+            self.two_plus as f64 / t,
+        )
+    }
+}
+
+/// Table 3: (initially-disabled row, initially-enabled row).
+pub fn table3(ds: &TraceDataset) -> (SettingRow, SettingRow) {
+    // Collect (time, setting) per GUID.
+    let mut per_guid: HashMap<u128, Vec<(u64, bool)>> = HashMap::new();
+    for l in &ds.logins {
+        per_guid
+            .entry(l.guid.0)
+            .or_default()
+            .push((l.at.as_micros(), l.uploads_enabled));
+    }
+    let mut disabled = SettingRow::default();
+    let mut enabled = SettingRow::default();
+    for (_, mut logins) in per_guid {
+        logins.sort_by_key(|(t, _)| *t);
+        let initial = logins[0].1;
+        let changes = logins
+            .windows(2)
+            .filter(|w| w[0].1 != w[1].1)
+            .count();
+        let row = if initial { &mut enabled } else { &mut disabled };
+        row.total += 1;
+        match changes {
+            0 => row.zero += 1,
+            1 => row.one += 1,
+            _ => row.two_plus += 1,
+        }
+    }
+    (disabled, enabled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::{AsNumber, Guid};
+    use netsession_core::time::SimTime;
+    use netsession_logs::records::LoginRecord;
+
+    fn login(guid: u128, at: u64, enabled: bool) -> LoginRecord {
+        LoginRecord {
+            at: SimTime(at),
+            guid: Guid(guid),
+            ip: 1,
+            asn: AsNumber(1),
+            country: 0,
+            lat: 0.0,
+            lon: 0.0,
+            uploads_enabled: enabled,
+            software_version: 1,
+            secondary_guids: vec![],
+        }
+    }
+
+    #[test]
+    fn counts_changes_per_initial_setting() {
+        let mut ds = TraceDataset::default();
+        // GUID 1: disabled, never changes.
+        ds.logins.push(login(1, 0, false));
+        ds.logins.push(login(1, 10, false));
+        // GUID 2: enabled, one change.
+        ds.logins.push(login(2, 0, true));
+        ds.logins.push(login(2, 10, false));
+        // GUID 3: enabled, two changes (out of order on purpose).
+        ds.logins.push(login(3, 20, true));
+        ds.logins.push(login(3, 0, true));
+        ds.logins.push(login(3, 10, false));
+        let (dis, en) = table3(&ds);
+        assert_eq!(
+            dis,
+            SettingRow {
+                total: 1,
+                zero: 1,
+                one: 0,
+                two_plus: 0
+            }
+        );
+        assert_eq!(
+            en,
+            SettingRow {
+                total: 2,
+                zero: 0,
+                one: 1,
+                two_plus: 1
+            }
+        );
+        let (z, o, t) = en.fractions();
+        assert!((z - 0.0).abs() < 1e-9 && (o - 0.5).abs() < 1e-9 && (t - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_login_guids_count_as_zero_changes() {
+        let mut ds = TraceDataset::default();
+        ds.logins.push(login(1, 0, true));
+        let (_, en) = table3(&ds);
+        assert_eq!(en.zero, 1);
+    }
+}

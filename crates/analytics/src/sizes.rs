@@ -1,0 +1,193 @@
+//! Fig 3: workload characteristics.
+//!
+//! (a) request distribution by object size, split into all /
+//! infrastructure-only / peer-assisted; (b) content popularity
+//! (rank-frequency); (c) bytes served per hour, GMT vs local time.
+
+use crate::stats::Cdf;
+use netsession_logs::TraceDataset;
+use std::collections::HashMap;
+
+/// Fig 3a: the three request-size CDFs (x in GB).
+pub struct SizeCdfs {
+    /// Every request.
+    pub all: Cdf,
+    /// Requests for objects without peer assist.
+    pub infra_only: Cdf,
+    /// Requests for p2p-enabled objects.
+    pub peer_assisted: Cdf,
+}
+
+/// Build Fig 3a from the download records.
+pub fn fig3a(ds: &TraceDataset) -> SizeCdfs {
+    let gb = |b: u64| b as f64 / 1e9;
+    let all = Cdf::from_values(ds.downloads.iter().map(|d| gb(d.size.bytes())).collect());
+    let infra_only = Cdf::from_values(
+        ds.downloads
+            .iter()
+            .filter(|d| !d.p2p_enabled)
+            .map(|d| gb(d.size.bytes()))
+            .collect(),
+    );
+    let peer_assisted = Cdf::from_values(
+        ds.downloads
+            .iter()
+            .filter(|d| d.p2p_enabled)
+            .map(|d| gb(d.size.bytes()))
+            .collect(),
+    );
+    SizeCdfs {
+        all,
+        infra_only,
+        peer_assisted,
+    }
+}
+
+/// Fig 3b: downloads per object, sorted descending (rank 1 first).
+pub fn fig3b(ds: &TraceDataset) -> Vec<u64> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for d in &ds.downloads {
+        *counts.entry(d.object.0).or_insert(0) += 1;
+    }
+    let mut v: Vec<u64> = counts.into_values().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v
+}
+
+/// Estimate a power-law exponent from a rank-frequency list by regressing
+/// log(count) on log(rank) over the upper ranks.
+pub fn powerlaw_exponent(ranked: &[u64]) -> f64 {
+    let n = ranked.len().clamp(2, 1000);
+    let points: Vec<(f64, f64)> = ranked[..n]
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c > 0)
+        .map(|(i, c)| (((i + 1) as f64).ln(), (*c as f64).ln()))
+        .collect();
+    let m = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = m * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return 0.0;
+    }
+    (m * sxy - sx * sy) / denom
+}
+
+/// Fig 3c: terabytes served per hour over the trace, indexed by hour since
+/// trace start, in GMT and shifted into each requester's local time.
+/// `tz_of_country` maps the gazetteer country index to a GMT offset.
+pub fn fig3c(
+    ds: &TraceDataset,
+    hours: usize,
+    tz_of_country: impl Fn(u16) -> i32,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut gmt = vec![0.0; hours];
+    let mut local = vec![0.0; hours];
+    for d in &ds.downloads {
+        let bytes_tb = d.total_bytes().bytes() as f64 / 1e12;
+        let h = d.ended.hour_index() as usize;
+        if h < hours {
+            gmt[h] += bytes_tb;
+        }
+        let tz = tz_of_country(d.country);
+        let lh = d.ended.as_micros() as i64 / 3_600_000_000 + tz as i64;
+        if lh >= 0 && (lh as usize) < hours {
+            local[lh as usize] += bytes_tb;
+        }
+    }
+    (gmt, local)
+}
+
+/// The Fig 3a claim check: fraction of peer-assisted requests for objects
+/// larger than 500 MB (the paper reports 82 %).
+pub fn p2p_large_request_fraction(ds: &TraceDataset) -> f64 {
+    let p2p: Vec<&netsession_logs::records::DownloadRecord> =
+        ds.downloads.iter().filter(|d| d.p2p_enabled).collect();
+    if p2p.is_empty() {
+        return 0.0;
+    }
+    p2p.iter()
+        .filter(|d| d.size.bytes() > 500 * 1024 * 1024)
+        .count() as f64
+        / p2p.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::{AsNumber, CpCode, Guid, ObjectId};
+    use netsession_core::time::{SimDuration, SimTime};
+    use netsession_core::units::ByteCount;
+    use netsession_logs::records::{DownloadOutcome, DownloadRecord};
+
+    fn dl(object: u64, p2p: bool, size: u64, ended_hour: u64, country: u16) -> DownloadRecord {
+        DownloadRecord {
+            guid: Guid(1),
+            object: ObjectId(object),
+            cp: CpCode(1),
+            size: ByteCount(size),
+            p2p_enabled: p2p,
+            started: SimTime(0),
+            ended: SimTime::ZERO + SimDuration::from_hours(ended_hour),
+            bytes_infra: ByteCount(size),
+            bytes_peers: ByteCount(0),
+            outcome: DownloadOutcome::Completed,
+            initial_peers: 0,
+            asn: AsNumber(1),
+            country,
+            region: 0,
+        }
+    }
+
+    #[test]
+    fn fig3a_splits_classes() {
+        let mut ds = TraceDataset::default();
+        ds.downloads.push(dl(1, true, 2_000_000_000, 0, 0));
+        ds.downloads.push(dl(2, false, 5_000_000, 0, 0));
+        let cdfs = fig3a(&ds);
+        assert_eq!(cdfs.all.len(), 2);
+        assert_eq!(cdfs.infra_only.len(), 1);
+        assert_eq!(cdfs.peer_assisted.len(), 1);
+        assert!(cdfs.peer_assisted.median() > cdfs.infra_only.median());
+    }
+
+    #[test]
+    fn fig3b_is_descending() {
+        let mut ds = TraceDataset::default();
+        for _ in 0..5 {
+            ds.downloads.push(dl(1, false, 10, 0, 0));
+        }
+        ds.downloads.push(dl(2, false, 10, 0, 0));
+        let ranked = fig3b(&ds);
+        assert_eq!(ranked, vec![5, 1]);
+    }
+
+    #[test]
+    fn powerlaw_exponent_recovers_slope() {
+        // counts ~ rank^-1 exactly.
+        let ranked: Vec<u64> = (1..=200u64).map(|r| (10_000 / r).max(1)).collect();
+        let alpha = powerlaw_exponent(&ranked);
+        assert!((alpha + 1.0).abs() < 0.1, "alpha {alpha}");
+    }
+
+    #[test]
+    fn fig3c_buckets_by_hour_and_timezone() {
+        let mut ds = TraceDataset::default();
+        ds.downloads.push(dl(1, false, 1_000_000_000_000, 5, 7));
+        let (gmt, local) = fig3c(&ds, 24, |c| if c == 7 { 3 } else { 0 });
+        assert!((gmt[5] - 1.0).abs() < 1e-9);
+        assert!((local[8] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_request_fraction() {
+        let mut ds = TraceDataset::default();
+        ds.downloads.push(dl(1, true, 600 * 1024 * 1024, 0, 0));
+        ds.downloads.push(dl(2, true, 10, 0, 0));
+        ds.downloads.push(dl(3, false, 10, 0, 0));
+        assert!((p2p_large_request_fraction(&ds) - 0.5).abs() < 1e-9);
+    }
+}

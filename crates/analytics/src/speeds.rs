@@ -1,0 +1,138 @@
+//! Fig 4: download-speed comparison.
+//!
+//! "Figure 4 makes this comparison for downloads from the two networks with
+//! the most downloads, AS X and AS Y. We identified all downloads from
+//! these networks where either a) all the bytes came from the edge servers,
+//! or b) at least 50 % of the bytes came from peers. We then averaged the
+//! speed of each download across its entire length."
+
+use crate::stats::Cdf;
+use netsession_core::id::AsNumber;
+use netsession_logs::records::DownloadOutcome;
+use netsession_logs::TraceDataset;
+use std::collections::HashMap;
+
+/// Speed CDFs for one AS.
+pub struct AsSpeeds {
+    /// The AS.
+    pub asn: AsNumber,
+    /// Downloads in the AS (for context).
+    pub downloads: usize,
+    /// Edge-only class, Mbps.
+    pub edge_only: Cdf,
+    /// ≥50 % p2p class, Mbps.
+    pub mostly_p2p: Cdf,
+}
+
+/// The two ASes with the most downloads ("AS X" and "AS Y").
+pub fn top_two_ases(ds: &TraceDataset) -> Vec<AsNumber> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for d in &ds.downloads {
+        *counts.entry(d.asn.0).or_insert(0) += 1;
+    }
+    let mut v: Vec<(u32, usize)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.into_iter().take(2).map(|(a, _)| AsNumber(a)).collect()
+}
+
+/// Fig 4 for one AS.
+pub fn fig4_for_as(ds: &TraceDataset, asn: AsNumber) -> AsSpeeds {
+    let mut edge = Vec::new();
+    let mut p2p = Vec::new();
+    let mut n = 0;
+    for d in ds
+        .downloads
+        .iter()
+        .filter(|d| d.asn == asn && d.outcome == DownloadOutcome::Completed)
+    {
+        n += 1;
+        let mbps = d.mean_speed().as_mbps();
+        if mbps <= 0.0 {
+            continue;
+        }
+        if d.is_edge_only() {
+            edge.push(mbps);
+        } else if d.is_mostly_p2p() {
+            p2p.push(mbps);
+        }
+    }
+    AsSpeeds {
+        asn,
+        downloads: n,
+        edge_only: Cdf::from_values(edge),
+        mostly_p2p: Cdf::from_values(p2p),
+    }
+}
+
+/// Fig 4 for the top two ASes.
+pub fn fig4(ds: &TraceDataset) -> Vec<AsSpeeds> {
+    top_two_ases(ds)
+        .into_iter()
+        .map(|a| fig4_for_as(ds, a))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::{CpCode, Guid, ObjectId};
+    use netsession_core::time::{SimDuration, SimTime};
+    use netsession_core::units::ByteCount;
+    use netsession_logs::records::DownloadRecord;
+
+    fn dl(asn: u32, infra: u64, peers: u64, secs: u64) -> DownloadRecord {
+        DownloadRecord {
+            guid: Guid(1),
+            object: ObjectId(1),
+            cp: CpCode(1),
+            size: ByteCount(infra + peers),
+            p2p_enabled: peers > 0,
+            started: SimTime(0),
+            ended: SimTime::ZERO + SimDuration::from_secs(secs),
+            bytes_infra: ByteCount(infra),
+            bytes_peers: ByteCount(peers),
+            outcome: DownloadOutcome::Completed,
+            initial_peers: 0,
+            asn: AsNumber(asn),
+            country: 0,
+            region: 0,
+        }
+    }
+
+    #[test]
+    fn top_ases_by_download_count() {
+        let mut ds = TraceDataset::default();
+        for _ in 0..5 {
+            ds.downloads.push(dl(100, 10, 0, 1));
+        }
+        for _ in 0..3 {
+            ds.downloads.push(dl(200, 10, 0, 1));
+        }
+        ds.downloads.push(dl(300, 10, 0, 1));
+        assert_eq!(top_two_ases(&ds), vec![AsNumber(100), AsNumber(200)]);
+    }
+
+    #[test]
+    fn classes_are_split_correctly() {
+        let mut ds = TraceDataset::default();
+        ds.downloads.push(dl(100, 1_000_000, 0, 1)); // edge only, 8 Mbps
+        ds.downloads.push(dl(100, 250_000, 750_000, 1)); // 75% p2p
+        ds.downloads.push(dl(100, 600_000, 400_000, 1)); // 40% p2p: excluded
+        let speeds = fig4_for_as(&ds, AsNumber(100));
+        assert_eq!(speeds.edge_only.len(), 1);
+        assert_eq!(speeds.mostly_p2p.len(), 1);
+        assert_eq!(speeds.downloads, 3);
+        assert!((speeds.edge_only.median() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_downloads_excluded() {
+        let mut ds = TraceDataset::default();
+        let mut d = dl(100, 1_000_000, 0, 1);
+        d.outcome = DownloadOutcome::Abandoned;
+        ds.downloads.push(d);
+        let speeds = fig4_for_as(&ds, AsNumber(100));
+        assert_eq!(speeds.downloads, 0);
+        assert!(speeds.edge_only.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Statistical primitives shared by every analysis.
+
+/// An empirical CDF over f64 samples.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (NaNs are dropped).
+    pub fn from_values(mut values: Vec<f64>) -> Self {
+        values.retain(|v| !v.is_nan());
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|v| *v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-th percentile (0 ≤ p ≤ 100), by nearest-rank.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "percentile of empty CDF");
+        let rank = ((p / 100.0 * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Evaluate at log-spaced x positions between the min and max sample —
+    /// the standard way the paper's log-x CDF plots are drawn.
+    pub fn log_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points < 2 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0].max(1e-12);
+        let hi = self.sorted[self.sorted.len() - 1].max(lo * 1.0001);
+        let l0 = lo.ln();
+        let l1 = hi.ln();
+        (0..points)
+            .map(|i| {
+                let x = (l0 + (l1 - l0) * i as f64 / (points - 1) as f64).exp();
+                (x, self.fraction_at(x))
+            })
+            .collect()
+    }
+}
+
+/// Mean of an iterator of f64 (0 for empty).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Group values into buckets keyed by `key`, then apply `agg` per bucket;
+/// returns buckets sorted by key.
+pub fn group_by<K: Ord + Copy, V, A>(
+    items: impl IntoIterator<Item = (K, V)>,
+    agg: impl Fn(&[V]) -> A,
+) -> Vec<(K, A)> {
+    let mut map: std::collections::BTreeMap<K, Vec<V>> = std::collections::BTreeMap::new();
+    for (k, v) in items {
+        map.entry(k).or_default().push(v);
+    }
+    map.into_iter().map(|(k, vs)| (k, agg(&vs))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_fractions_and_percentiles() {
+        let c = Cdf::from_values(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.fraction_at(0.5), 0.0);
+        assert_eq!(c.fraction_at(2.0), 0.5);
+        assert_eq!(c.fraction_at(10.0), 1.0);
+        assert_eq!(c.percentile(50.0), 2.0);
+        assert_eq!(c.percentile(100.0), 4.0);
+        assert_eq!(c.percentile(1.0), 1.0);
+        assert_eq!(c.median(), 2.0);
+        assert!((c.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_drops_nans() {
+        let c = Cdf::from_values(vec![f64::NAN, 1.0]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn log_curve_is_monotone() {
+        let c = Cdf::from_values((1..1000).map(|i| i as f64).collect());
+        let curve = c.log_curve(50);
+        assert_eq!(curve.len(), 50);
+        for w in curve.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_by_sorts_and_aggregates() {
+        let items = vec![(2, 10.0), (1, 1.0), (2, 20.0)];
+        let grouped = group_by(items, |vs: &[f64]| vs.iter().sum::<f64>());
+        assert_eq!(grouped, vec![(1, 1.0), (2, 30.0)]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(Vec::<f64>::new()), 0.0);
+        assert_eq!(mean(vec![2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_of_empty_panics() {
+        Cdf::from_values(vec![]).percentile(50.0);
+    }
+}

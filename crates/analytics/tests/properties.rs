@@ -1,0 +1,74 @@
+//! Property-based tests for the analytics toolbox.
+
+use netsession_analytics::guidgraph::{ChainGraph, ChainPattern};
+use netsession_analytics::stats::Cdf;
+use netsession_core::id::SecondaryGuid;
+use proptest::prelude::*;
+
+proptest! {
+    /// CDF axioms: fraction_at is monotone, 0 below the min, 1 at the max;
+    /// percentiles are actual samples and ordered.
+    #[test]
+    fn cdf_axioms(values in proptest::collection::vec(-1e9f64..1e9, 1..300)) {
+        let cdf = Cdf::from_values(values.clone());
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(cdf.fraction_at(min - 1.0), 0.0);
+        prop_assert!((cdf.fraction_at(max) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = min + (max - min) * i as f64 / 20.0;
+            let f = cdf.fraction_at(x);
+            prop_assert!(f >= prev - 1e-12, "monotone");
+            prev = f;
+        }
+        let p20 = cdf.percentile(20.0);
+        let p80 = cdf.percentile(80.0);
+        prop_assert!(p20 <= p80);
+        prop_assert!(values.contains(&p20) && values.contains(&p80));
+    }
+
+    /// A chain built from overlapping last-5 reports of a single linear
+    /// history is always classified Linear, for any history length.
+    #[test]
+    fn linear_histories_classify_linear(len in 3u32..40) {
+        let reports: Vec<Vec<SecondaryGuid>> = (1..=len)
+            .map(|i| {
+                let lo = i.saturating_sub(4).max(1);
+                (lo..=i).rev().map(|k| SecondaryGuid([k, 0, 0, 0, 0])).collect()
+            })
+            .collect();
+        let g = ChainGraph::from_reports(&reports);
+        prop_assert_eq!(g.vertices as u32, len);
+        prop_assert_eq!(g.classify(), ChainPattern::Linear);
+    }
+
+    /// A history with exactly one single-start rollback is always
+    /// LongPlusStub (when long enough), never Linear.
+    #[test]
+    fn rollback_histories_classify_stub(len in 6u32..30, fail_at in 2u32..5) {
+        // Build: 1..fail_at, then stub fail_at+1, then resume from fail_at
+        // with fresh ids.
+        let mut history: Vec<Vec<u32>> = Vec::new(); // chains, oldest→newest
+        let mut chain: Vec<u32> = (1..=fail_at).collect();
+        for c in 1..=fail_at {
+            history.push((1..=c).collect());
+        }
+        // The failed start.
+        let stub = 1000;
+        let mut with_stub = chain.clone();
+        with_stub.push(stub);
+        history.push(with_stub);
+        // Rolled back; continue on fresh ids.
+        for k in 0..(len - fail_at) {
+            chain.push(2000 + k);
+            history.push(chain.clone());
+        }
+        let reports: Vec<Vec<SecondaryGuid>> = history
+            .iter()
+            .map(|c| c.iter().rev().take(5).map(|k| SecondaryGuid([*k, 0, 0, 0, 0])).collect())
+            .collect();
+        let g = ChainGraph::from_reports(&reports);
+        prop_assert_eq!(g.classify(), ChainPattern::LongPlusStub);
+    }
+}

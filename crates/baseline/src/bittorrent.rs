@@ -1,0 +1,416 @@
+//! BitTorrent-style pure-p2p baseline.
+//!
+//! A round-based swarm simulator implementing the mechanisms the paper
+//! contrasts NetSession against (§2.1, §3.4, §7):
+//!
+//! * **tracker** bootstrap: each joiner learns a random subset of peers;
+//! * **rarest-first** piece selection;
+//! * **tit-for-tat choking**: each round a peer unchokes the neighbours
+//!   that uploaded most to it in the previous round, plus one optimistic
+//!   unchoke — so free-riders are mostly choked;
+//! * **seed-dependent availability**: when the initial seed leaves before
+//!   enough copies exist, the swarm stalls — there is no infrastructure
+//!   backstop.
+//!
+//! The simulator is intentionally round-based (one round ≈ one choke
+//! interval): it reproduces qualitative BitTorrent behaviour for the
+//! ablation benches without duplicating the fluid machinery of the hybrid
+//! simulator.
+
+use netsession_core::piece::PieceMap;
+use netsession_core::rng::DetRng;
+use std::collections::HashMap;
+
+/// Swarm parameters.
+#[derive(Clone, Debug)]
+pub struct SwarmConfig {
+    /// Number of leechers joining at round 0.
+    pub leechers: usize,
+    /// Number of initial seeds.
+    pub seeds: usize,
+    /// Pieces in the object.
+    pub pieces: u32,
+    /// Pieces a peer can upload per round (its upstream capacity).
+    pub upload_slots_capacity: u32,
+    /// Unchoke slots per peer (BitTorrent default 4 + 1 optimistic).
+    pub unchoke_slots: usize,
+    /// Neighbours learned from the tracker per peer.
+    pub tracker_peers: usize,
+    /// Fraction of leechers that free-ride (never upload).
+    pub freerider_fraction: f64,
+    /// Round at which the initial seeds leave (`None` = they stay).
+    pub seed_leaves_at: Option<u32>,
+    /// Maximum rounds to simulate.
+    pub max_rounds: u32,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            leechers: 40,
+            seeds: 2,
+            pieces: 64,
+            upload_slots_capacity: 4,
+            unchoke_slots: 5,
+            tracker_peers: 12,
+            freerider_fraction: 0.0,
+            seed_leaves_at: None,
+            max_rounds: 400,
+        }
+    }
+}
+
+/// Per-peer outcome.
+#[derive(Clone, Debug)]
+pub struct PeerOutcome {
+    /// Whether the peer finished.
+    pub completed: bool,
+    /// Round it finished (if it did).
+    pub finish_round: Option<u32>,
+    /// Whether it was a free-rider.
+    pub freerider: bool,
+}
+
+/// Swarm-level outcome.
+#[derive(Clone, Debug)]
+pub struct SwarmResult {
+    /// Per-leecher outcomes.
+    pub peers: Vec<PeerOutcome>,
+    /// Rounds simulated.
+    pub rounds: u32,
+}
+
+impl SwarmResult {
+    /// Completion fraction over leechers.
+    pub fn completion_rate(&self) -> f64 {
+        self.peers.iter().filter(|p| p.completed).count() as f64 / self.peers.len().max(1) as f64
+    }
+
+    /// Mean finish round of a class (contributors vs free-riders).
+    pub fn mean_finish_round(&self, freeriders: bool) -> Option<f64> {
+        let rounds: Vec<f64> = self
+            .peers
+            .iter()
+            .filter(|p| p.freerider == freeriders)
+            .filter_map(|p| p.finish_round.map(|r| r as f64))
+            .collect();
+        if rounds.is_empty() {
+            None
+        } else {
+            Some(rounds.iter().sum::<f64>() / rounds.len() as f64)
+        }
+    }
+}
+
+struct Peer {
+    have: PieceMap,
+    neighbours: Vec<usize>,
+    freerider: bool,
+    seed: bool,
+    alive: bool,
+    /// Bytes (pieces) received from each neighbour in the previous round —
+    /// the tit-for-tat ledger.
+    received_from: HashMap<usize, u32>,
+    finish_round: Option<u32>,
+}
+
+/// The swarm simulator.
+pub struct Swarm {
+    cfg: SwarmConfig,
+    peers: Vec<Peer>,
+}
+
+impl Swarm {
+    /// Build a swarm per the config.
+    pub fn new(cfg: SwarmConfig, rng: &mut DetRng) -> Swarm {
+        let n = cfg.leechers + cfg.seeds;
+        let mut peers: Vec<Peer> = (0..n)
+            .map(|i| {
+                let seed = i >= cfg.leechers;
+                Peer {
+                    have: if seed {
+                        PieceMap::full(cfg.pieces)
+                    } else {
+                        PieceMap::empty(cfg.pieces)
+                    },
+                    neighbours: Vec::new(),
+                    freerider: !seed && rng.chance(cfg.freerider_fraction),
+                    seed,
+                    alive: true,
+                    received_from: HashMap::new(),
+                    finish_round: None,
+                }
+            })
+            .collect();
+        // Tracker bootstrap: random neighbour sets (symmetric).
+        for i in 0..n {
+            while peers[i].neighbours.len() < cfg.tracker_peers.min(n - 1) {
+                let j = rng.index(n);
+                if j != i && !peers[i].neighbours.contains(&j) {
+                    peers[i].neighbours.push(j);
+                    if !peers[j].neighbours.contains(&i) {
+                        peers[j].neighbours.push(i);
+                    }
+                }
+            }
+        }
+        Swarm { cfg, peers }
+    }
+
+    /// Run to completion or `max_rounds`.
+    pub fn run(mut self, rng: &mut DetRng) -> SwarmResult {
+        let mut round = 0;
+        while round < self.cfg.max_rounds {
+            if let Some(leave) = self.cfg.seed_leaves_at {
+                if round == leave {
+                    for p in self.peers.iter_mut().filter(|p| p.seed) {
+                        p.alive = false;
+                    }
+                }
+            }
+            if self
+                .peers
+                .iter()
+                .all(|p| p.seed || !p.alive || p.have.is_complete())
+            {
+                break;
+            }
+            self.step(round, rng);
+            round += 1;
+        }
+        SwarmResult {
+            peers: self
+                .peers
+                .iter()
+                .take(self.cfg.leechers)
+                .map(|p| PeerOutcome {
+                    completed: p.have.is_complete(),
+                    finish_round: p.finish_round,
+                    freerider: p.freerider,
+                })
+                .collect(),
+            rounds: round,
+        }
+    }
+
+    /// One choke interval: every alive uploader picks its unchoke set by
+    /// tit-for-tat, then pushes pieces (rarest-first from the receiver's
+    /// perspective) into its unchoked neighbours.
+    #[allow(clippy::needless_range_loop)] // peers are cross-indexed by id
+    fn step(&mut self, round: u32, rng: &mut DetRng) {
+        let n = self.peers.len();
+        // Piece availability for rarest-first.
+        let mut avail = vec![0u32; self.cfg.pieces as usize];
+        for p in self.peers.iter().filter(|p| p.alive) {
+            for piece in p.have.held() {
+                avail[piece as usize] += 1;
+            }
+        }
+
+        // Decide unchoke sets.
+        let mut unchoked: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            if !self.peers[i].alive || (self.peers[i].freerider && !self.peers[i].seed) {
+                continue;
+            }
+            // Rank neighbours by what they gave us last round (seeds rank
+            // by need, i.e. everyone equal → random).
+            let mut ranked: Vec<usize> = self.peers[i]
+                .neighbours
+                .iter()
+                .copied()
+                .filter(|j| self.peers[*j].alive && !self.peers[*j].have.is_complete())
+                .collect();
+            let mut set: Vec<usize>;
+            if self.peers[i].seed {
+                rng.shuffle(&mut ranked);
+                set = ranked
+                    .iter()
+                    .copied()
+                    .take(self.cfg.unchoke_slots.saturating_sub(1))
+                    .collect();
+            } else {
+                // Regular slots go only to *reciprocating* neighbours —
+                // the essence of tit-for-tat; non-uploaders compete for
+                // the single optimistic slot.
+                rng.shuffle(&mut ranked);
+                let mut reciprocating: Vec<usize> = ranked
+                    .iter()
+                    .copied()
+                    .filter(|j| self.peers[i].received_from.get(j).copied().unwrap_or(0) > 0)
+                    .collect();
+                reciprocating.sort_by_key(|j| {
+                    std::cmp::Reverse(self.peers[i].received_from.get(j).copied().unwrap_or(0))
+                });
+                set = reciprocating
+                    .into_iter()
+                    .take(self.cfg.unchoke_slots.saturating_sub(1))
+                    .collect();
+            }
+            // Optimistic unchoke: one random interested neighbour.
+            let rest: Vec<usize> = ranked
+                .into_iter()
+                .filter(|j| !set.contains(j))
+                .collect();
+            if !rest.is_empty() && (self.peers[i].seed || round.is_multiple_of(3)) {
+                set.push(rest[rng.index(rest.len())]);
+            }
+            unchoked[i] = set;
+        }
+
+        // Transfers.
+        let mut received: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n]; // (from, piece)
+        for i in 0..n {
+            let mut budget = self.cfg.upload_slots_capacity;
+            for &j in &unchoked[i] {
+                if budget == 0 {
+                    break;
+                }
+                // Rarest piece i has and j lacks.
+                let mut best: Option<(u32, u32)> = None;
+                for piece in self.peers[i].have.held() {
+                    if self.peers[j].have.has(piece)
+                        || received[j].iter().any(|(_, p)| *p == piece)
+                    {
+                        continue;
+                    }
+                    let a = avail[piece as usize];
+                    if best.is_none() || a < best.unwrap().0 {
+                        best = Some((a, piece));
+                    }
+                }
+                if let Some((_, piece)) = best {
+                    received[j].push((i, piece));
+                    budget -= 1;
+                }
+            }
+        }
+
+        // Apply.
+        for j in 0..n {
+            for (from, piece) in received[j].drain(..) {
+                self.peers[j].have.set(piece);
+                *self.peers[j].received_from.entry(from).or_insert(0) += 1;
+                if self.peers[j].have.is_complete() && self.peers[j].finish_round.is_none() {
+                    self.peers[j].finish_round = Some(round);
+                }
+            }
+        }
+        // Age the tit-for-tat ledger slowly (3/4 decay every few rounds)
+        // so reciprocating pairs stay locked in, as BitTorrent's
+        // rate-based choker effectively does.
+        if round % 4 == 3 {
+            for p in &mut self.peers {
+                for v in p.received_from.values_mut() {
+                    *v = (*v * 3) / 4;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: SwarmConfig, seed: u64) -> SwarmResult {
+        let mut rng = DetRng::seeded(seed);
+        let swarm = Swarm::new(cfg, &mut rng);
+        swarm.run(&mut rng)
+    }
+
+    #[test]
+    fn healthy_swarm_completes() {
+        let r = run(SwarmConfig::default(), 1);
+        assert!(r.completion_rate() > 0.95, "rate {}", r.completion_rate());
+        assert!(r.rounds < 400);
+    }
+
+    #[test]
+    fn tit_for_tat_punishes_freeriders() {
+        // A scarce-seed swarm: free-riders depend on the lone seed and on
+        // optimistic unchokes, while contributors trade among themselves.
+        let r = run(
+            SwarmConfig {
+                freerider_fraction: 0.3,
+                leechers: 80,
+                seeds: 1,
+                pieces: 96,
+                max_rounds: 1500,
+                ..SwarmConfig::default()
+            },
+            2,
+        );
+        let contributors = r.mean_finish_round(false).expect("contributors finish");
+        match r.mean_finish_round(true) {
+            Some(freeriders) => assert!(
+                freeriders > contributors * 1.3,
+                "free-riders must be slower: {freeriders} vs {contributors}"
+            ),
+            // Starved entirely: even stronger punishment.
+            None => {}
+        }
+    }
+
+    #[test]
+    fn seed_departure_before_spread_stalls_swarm() {
+        let r = run(
+            SwarmConfig {
+                seed_leaves_at: Some(2),
+                leechers: 30,
+                pieces: 128,
+                ..SwarmConfig::default()
+            },
+            3,
+        );
+        assert!(
+            r.completion_rate() < 0.5,
+            "no backstop: early seed death should strand most peers (rate {})",
+            r.completion_rate()
+        );
+    }
+
+    #[test]
+    fn seed_departure_after_spread_is_survivable() {
+        let r = run(
+            SwarmConfig {
+                seed_leaves_at: Some(120),
+                ..SwarmConfig::default()
+            },
+            4,
+        );
+        assert!(r.completion_rate() > 0.8, "rate {}", r.completion_rate());
+    }
+
+    #[test]
+    fn more_seeds_finish_faster() {
+        let slow = run(
+            SwarmConfig {
+                seeds: 1,
+                ..SwarmConfig::default()
+            },
+            5,
+        );
+        let fast = run(
+            SwarmConfig {
+                seeds: 8,
+                ..SwarmConfig::default()
+            },
+            5,
+        );
+        let s = slow.mean_finish_round(false).unwrap();
+        let f = fast.mean_finish_round(false).unwrap();
+        assert!(f < s, "more seeds must speed completion ({f} vs {s})");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run(SwarmConfig::default(), 7);
+        let b = run(SwarmConfig::default(), 7);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(
+            a.peers.iter().map(|p| p.finish_round).collect::<Vec<_>>(),
+            b.peers.iter().map(|p| p.finish_round).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Pure infrastructure-CDN baseline.
+//!
+//! The paper's reference point for QoS: "infrastructure-based systems …
+//! can provide predictable QoS and reliable accounting" (§1). Every byte
+//! comes from an edge server, so a download's speed is simply the client's
+//! downlink (the edge is amply provisioned) and its reliability is limited
+//! only by the user and the client environment.
+
+use netsession_core::time::SimDuration;
+use netsession_core::units::{Bandwidth, ByteCount};
+
+/// The infrastructure-only delivery model.
+#[derive(Clone, Debug)]
+pub struct InfraCdn {
+    /// Efficiency factor of the edge path (protocol overhead, server
+    /// pacing); 1.0 = the client's full downlink.
+    pub edge_factor: f64,
+}
+
+impl Default for InfraCdn {
+    fn default() -> Self {
+        InfraCdn { edge_factor: 0.95 }
+    }
+}
+
+impl InfraCdn {
+    /// Effective download rate for a client with the given downlink.
+    pub fn rate(&self, downlink: Bandwidth) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(downlink.bytes_per_sec() * self.edge_factor)
+    }
+
+    /// Time to fetch `size` bytes.
+    pub fn download_time(&self, size: ByteCount, downlink: Bandwidth) -> Option<SimDuration> {
+        self.rate(downlink).time_for(size)
+    }
+
+    /// Origin (CDN-side) bytes needed per download — the cost the hybrid
+    /// design reduces: the infrastructure serves every byte.
+    pub fn infrastructure_bytes(&self, size: ByteCount) -> ByteCount {
+        size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn download_time_is_size_over_downlink() {
+        let cdn = InfraCdn { edge_factor: 1.0 };
+        let t = cdn
+            .download_time(ByteCount::from_mib(100), Bandwidth::from_mbps(80.0))
+            .unwrap();
+        // 100 MiB at 10 MiB/s-ish: ~10.5 s.
+        assert!((t.as_secs_f64() - 10.49).abs() < 0.1, "{t}");
+    }
+
+    #[test]
+    fn zero_downlink_never_finishes() {
+        let cdn = InfraCdn::default();
+        assert!(cdn
+            .download_time(ByteCount::from_mib(1), Bandwidth::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn serves_every_byte_from_origin() {
+        let cdn = InfraCdn::default();
+        assert_eq!(
+            cdn.infrastructure_bytes(ByteCount::from_gib(2)),
+            ByteCount::from_gib(2)
+        );
+    }
+}

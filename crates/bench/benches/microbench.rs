@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks for the hot paths: content hashing, wire
+//! codec, piece bookkeeping, max-min fair recomputation, the selection
+//! ladder, the event queue, and the analytics CDF machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsession_control::directory::{DirectoryNode, PeerRecord};
+use netsession_control::selection::{Querier, SelectionPolicy, Selector};
+use netsession_core::codec::Wire;
+use netsession_core::hash::Sha256;
+use netsession_core::id::{AsNumber, Guid, ObjectId, VersionId};
+use netsession_core::msg::{ControlMsg, NatType, PeerAddr};
+use netsession_core::piece::PieceMap;
+use netsession_core::rng::DetRng;
+use netsession_core::time::SimTime;
+use netsession_core::units::Bandwidth;
+use netsession_sim::engine::EventQueue;
+use netsession_sim::flownet::FlowNet;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [1024usize, 65536, 1 << 20] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| {
+                let mut h = Sha256::new();
+                h.update(data);
+                h.finalize()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = ControlMsg::Login {
+        guid: Guid(123456789),
+        secondary_guids: vec![netsession_core::id::SecondaryGuid([1, 2, 3, 4, 5]); 5],
+        uploads_enabled: true,
+        software_version: 40100,
+        nat: NatType::PortRestricted,
+        addr: PeerAddr {
+            ip: 0x7f000001,
+            port: 8443,
+        },
+    };
+    let payload = msg.to_payload();
+    c.bench_function("codec/encode_login", |b| b.iter(|| msg.to_payload()));
+    c.bench_function("codec/decode_login", |b| {
+        b.iter(|| ControlMsg::from_payload(&payload).unwrap())
+    });
+}
+
+fn bench_piecemap(c: &mut Criterion) {
+    c.bench_function("piecemap/set_clear_4096", |b| {
+        b.iter(|| {
+            let mut m = PieceMap::empty(4096);
+            for i in 0..4096 {
+                m.set(i);
+            }
+            m.is_complete()
+        })
+    });
+    let mut mine = PieceMap::empty(4096);
+    let theirs = PieceMap::full(4096);
+    for i in (0..4096).step_by(2) {
+        mine.set(i);
+    }
+    c.bench_function("piecemap/wanted_from_4096", |b| {
+        b.iter(|| mine.wanted_from(&theirs).len())
+    });
+}
+
+fn bench_flownet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flownet/recompute");
+    for flows in [100usize, 1000, 4000] {
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, &flows| {
+            let mut rng = DetRng::seeded(1);
+            let mut net = FlowNet::new();
+            let nodes: Vec<_> = (0..flows / 4 + 2)
+                .map(|_| {
+                    net.add_node(
+                        Bandwidth::from_mbps(rng.range_f64(0.5, 10.0)),
+                        Bandwidth::from_mbps(rng.range_f64(5.0, 100.0)),
+                    )
+                })
+                .collect();
+            for _ in 0..flows {
+                let s = nodes[rng.index(nodes.len())];
+                let mut d = nodes[rng.index(nodes.len())];
+                while d == s {
+                    d = nodes[rng.index(nodes.len())];
+                }
+                net.add_flow(s, d, None);
+            }
+            b.iter(|| net.recompute());
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut dn = DirectoryNode::new(0);
+    let ver = VersionId {
+        object: ObjectId(1),
+        version: 1,
+    };
+    for g in 0..5000u64 {
+        dn.register(
+            PeerRecord {
+                guid: Guid(g as u128),
+                addr: PeerAddr {
+                    ip: g as u32,
+                    port: 1,
+                },
+                asn: AsNumber(100 + (g % 50) as u32),
+                area: (g % 20) as u16,
+                zone: (g % 9) as u8,
+                nat: NatType::FullCone,
+            },
+            ver,
+        );
+    }
+    let selector = Selector::new(SelectionPolicy::default());
+    let querier = Querier {
+        guid: Guid(u128::MAX),
+        asn: AsNumber(100),
+        area: 1,
+        zone: 1,
+        nat: NatType::PortRestricted,
+    };
+    let mut rng = DetRng::seeded(2);
+    c.bench_function("selection/ladder_5000_holders", |b| {
+        b.iter(|| selector.select(&mut dn, ver, &querier, &mut rng).len())
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine/schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = DetRng::seeded(3);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime(rng.next_u64() % 1_000_000_000), i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        })
+    });
+}
+
+fn bench_cdf(c: &mut Criterion) {
+    let mut rng = DetRng::seeded(4);
+    let values: Vec<f64> = (0..100_000).map(|_| rng.lognormal(1.0, 1.5)).collect();
+    c.bench_function("analytics/cdf_build_100k", |b| {
+        b.iter(|| netsession_analytics::stats::Cdf::from_values(values.clone()).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_codec,
+    bench_piecemap,
+    bench_flownet,
+    bench_selection,
+    bench_event_queue,
+    bench_cdf
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E15 — Fig 10: p2p bytes uploaded vs downloaded per AS.
+//!
+//! Paper shape: light ASes scatter with large relative imbalances; the
+//! heavy uploaders cluster near the diagonal — "they usually receive as
+//! much as they send".
+
+use netsession_analytics::astraffic;
+use netsession_analytics::stats::Cdf;
+use netsession_bench::runner::{parse_args, run_default};
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# fig10: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+    let t = astraffic::build(&out.dataset);
+    let heavy = t.heavy_uploaders(0.02);
+    let scatter = t.fig10(&heavy);
+
+    println!("Fig 10: per-AS uploaded vs downloaded inter-AS bytes (sample)");
+    println!("{:>16}{:>16}{:>8}", "uploaded", "downloaded", "heavy");
+    for (up, down, is_heavy) in scatter.iter().rev().take(20) {
+        println!("{:>16}{:>16}{:>8}", up, down, is_heavy);
+    }
+    println!("… {} ASes total in the scatter", scatter.len());
+    println!();
+
+    let ratios = t.heavy_balance_ratios(&heavy);
+    if !ratios.is_empty() {
+        let cdf = Cdf::from_values(ratios.clone());
+        println!(
+            "heavy-uploader balance ratio up/down: median {:.2}, p10 {:.2}, p90 {:.2}",
+            cdf.median(),
+            cdf.percentile(10.0),
+            cdf.percentile(90.0)
+        );
+        let near = ratios.iter().filter(|r| **r > 0.5 && **r < 2.0).count() as f64
+            / ratios.len() as f64;
+        println!(
+            "heavy uploaders within 2x of balance: {:.0}% (paper: heavy traffic is well balanced)",
+            near * 100.0
+        );
+    }
+    // Light-AS imbalance for contrast.
+    let light_ratios: Vec<f64> = scatter
+        .iter()
+        .filter(|(up, down, h)| !h && *up > 0 && *down > 0)
+        .map(|(up, down, _)| *up as f64 / *down as f64)
+        .collect();
+    if !light_ratios.is_empty() {
+        let near = light_ratios.iter().filter(|r| **r > 0.5 && **r < 2.0).count() as f64
+            / light_ratios.len() as f64;
+        println!("light uploaders within 2x of balance: {:.0}%", near * 100.0);
+    }
+}

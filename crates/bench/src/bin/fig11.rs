@@ -1,0 +1,49 @@
+//! E16 — Fig 11: traffic balance on AS-to-AS links.
+//!
+//! Paper shape: among directly connected heavy uploaders, the pairwise
+//! A→B vs B→A byte counts hug the diagonal — no pairwise imbalance either.
+
+use netsession_analytics::astraffic;
+use netsession_analytics::stats::Cdf;
+use netsession_bench::runner::{parse_args, run_default};
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# fig11: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+    let t = astraffic::build(&out.dataset);
+    let as_model = &out.scenario.population.as_model;
+    let heavy = t.heavy_uploaders(0.02);
+
+    let pairs = t.fig11(&heavy, |a, b| {
+        match (as_model.index_of(a), as_model.index_of(b)) {
+            (Some(x), Some(y)) => as_model.direct_link(x, y),
+            _ => false,
+        }
+    });
+
+    println!(
+        "Fig 11: A→B vs B→A bytes for {} directly connected heavy pairs",
+        pairs.len()
+    );
+    println!("{:>16}{:>16}", "A→B bytes", "B→A bytes");
+    for (ab, ba) in pairs.iter().rev().take(20) {
+        println!("{:>16}{:>16}", ab, ba);
+    }
+    let ratios: Vec<f64> = pairs
+        .iter()
+        .filter(|(ab, ba)| *ab > 0 && *ba > 0)
+        .map(|(ab, ba)| *ab as f64 / *ba as f64)
+        .collect();
+    if !ratios.is_empty() {
+        let cdf = Cdf::from_values(ratios.clone());
+        let near = ratios.iter().filter(|r| **r > 0.5 && **r < 2.0).count() as f64
+            / ratios.len() as f64;
+        println!();
+        println!(
+            "pairwise balance: median ratio {:.2}; {:.0}% of pairs within 2x (paper: roughly even)",
+            cdf.median(),
+            near * 100.0
+        );
+    }
+}

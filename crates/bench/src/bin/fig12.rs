@@ -1,0 +1,54 @@
+//! E17 — Fig 12: secondary-GUID chain patterns.
+//!
+//! Paper: 17.7 M graphs with ≥3 vertices; 99.4 % linear chains, 0.6 %
+//! trees. Of the nonlinear ones: 46.2 % one long branch plus a one-vertex
+//! stub (failed update), 6.2 % two long branches (restored backup), 23.5 %
+//! several short/medium branches (re-imaging/cloning), rest irregular.
+
+use netsession_analytics::guidgraph::{self, ChainPattern};
+use netsession_bench::runner::{parse_args, run_default};
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# fig12: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+    let census = guidgraph::fig12(&out.dataset);
+
+    let total: u64 = census.values().sum();
+    let get = |p: ChainPattern| census.get(&p).copied().unwrap_or(0);
+    let linear = get(ChainPattern::Linear);
+    let nonlinear = total - linear;
+
+    println!("Fig 12: secondary-GUID graph census ({total} graphs with ≥3 vertices)");
+    println!(
+        "linear chains: {} ({:.2}%)   [paper: 99.4%]",
+        linear,
+        linear as f64 / total.max(1) as f64 * 100.0
+    );
+    println!(
+        "nonlinear (trees): {} ({:.2}%) [paper: 0.6%]",
+        nonlinear,
+        guidgraph::nonlinear_fraction(&census) * 100.0
+    );
+    println!();
+    if nonlinear > 0 {
+        println!("pattern mix among nonlinear graphs:");
+        let pct = |n: u64| n as f64 / nonlinear as f64 * 100.0;
+        println!(
+            "  long + one-vertex stub : {:>5.1}%  [paper: 46.2%]",
+            pct(get(ChainPattern::LongPlusStub))
+        );
+        println!(
+            "  two long branches      : {:>5.1}%  [paper:  6.2%]",
+            pct(get(ChainPattern::TwoLongBranches))
+        );
+        println!(
+            "  several branches       : {:>5.1}%  [paper: 23.5%]",
+            pct(get(ChainPattern::SeveralBranches))
+        );
+        println!(
+            "  irregular              : {:>5.1}%  [paper: 24.1%]",
+            pct(get(ChainPattern::Irregular))
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! E5 — Fig 2: global distribution of peers ("bubble plot" data).
+//!
+//! Prints, per country, the number of peers whose first control-plane
+//! connection came from there, plus continental shares to compare against
+//! §4.2 (North America 27 %, Europe 35 %).
+
+use netsession_analytics::regions;
+use netsession_bench::runner::{parse_args, run_default};
+use netsession_world::geo::{continent_of, Continent, WORLD_COUNTRIES};
+use std::collections::HashMap;
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# fig2: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+    let bubbles = regions::fig2_first_connections(&out.dataset);
+
+    println!("Fig 2: first-connection counts per country (bubble sizes)");
+    println!("{:<6}{:<24}{:>10}", "iso", "country", "peers");
+    for (country_idx, count) in bubbles.iter().take(25) {
+        let c = &WORLD_COUNTRIES[*country_idx as usize];
+        println!("{:<6}{:<24}{:>10}", c.iso, c.name, count);
+    }
+    if bubbles.len() > 25 {
+        println!("… and {} more countries", bubbles.len() - 25);
+    }
+
+    let total: u64 = bubbles.iter().map(|(_, n)| n).sum();
+    let mut shares: HashMap<Continent, u64> = HashMap::new();
+    for (country_idx, count) in &bubbles {
+        let iso = WORLD_COUNTRIES[*country_idx as usize].iso;
+        *shares.entry(continent_of(iso)).or_insert(0) += count;
+    }
+    println!();
+    println!("continental shares (paper: North America 27%, Europe 35%):");
+    for (cont, count) in &shares {
+        println!(
+            "  {:?}: {:.0}%",
+            cont,
+            *count as f64 / total.max(1) as f64 * 100.0
+        );
+    }
+    println!("countries with peers: {} (paper: 239 incl. territories)", bubbles.len());
+}

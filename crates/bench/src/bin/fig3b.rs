@@ -1,0 +1,31 @@
+//! E7 — Fig 3b: content popularity ("the nearly ubiquitous power law").
+//!
+//! Prints the downloads-vs-rank series and the fitted log-log slope.
+
+use netsession_analytics::sizes;
+use netsession_bench::runner::{parse_args, run_default};
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# fig3b: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+    let ranked = sizes::fig3b(&out.dataset);
+
+    println!("Fig 3b: content popularity (downloads per object by rank)");
+    println!("{:>10}{:>14}", "rank", "downloads");
+    let mut rank = 1usize;
+    while rank <= ranked.len() {
+        println!("{:>10}{:>14}", rank, ranked[rank - 1]);
+        rank *= 4;
+    }
+    println!();
+    let alpha = sizes::powerlaw_exponent(&ranked);
+    println!("objects downloaded: {}", ranked.len());
+    println!("fitted log-log slope: {alpha:.2} (a power law shows a clear negative slope)");
+    println!(
+        "top-1% share of downloads: {:.0}%",
+        ranked[..(ranked.len() / 100).max(1)].iter().sum::<u64>() as f64
+            / ranked.iter().sum::<u64>().max(1) as f64
+            * 100.0
+    );
+}

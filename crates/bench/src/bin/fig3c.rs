@@ -1,0 +1,52 @@
+//! E8 — Fig 3c: bytes served over time ("the usual diurnal patterns").
+//!
+//! Prints TB/hour aggregated by hour of day, in GMT and in requesters'
+//! local time. The paper's signature: the local-time curve shows a strong
+//! evening peak; the GMT curve is flattened by timezone spread.
+
+use netsession_analytics::sizes;
+use netsession_bench::runner::{parse_args, run_default};
+use netsession_core::time::TRACE_MONTH;
+use netsession_world::geo::WORLD_COUNTRIES;
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# fig3c: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+    let hours = TRACE_MONTH.as_hours_f64() as usize + 48;
+    let (gmt, local) = sizes::fig3c(&out.dataset, hours, |c| {
+        WORLD_COUNTRIES[c as usize].tz_offset
+    });
+
+    // Collapse to hour-of-day profiles.
+    let mut gmt_prof = [0.0f64; 24];
+    let mut local_prof = [0.0f64; 24];
+    for (h, v) in gmt.iter().enumerate() {
+        gmt_prof[h % 24] += v;
+    }
+    for (h, v) in local.iter().enumerate() {
+        local_prof[h % 24] += v;
+    }
+
+    println!("Fig 3c: bytes served by hour of day (TB, summed over the month)");
+    println!("{:>6}{:>12}{:>12}", "hour", "GMT", "local");
+    for h in 0..24 {
+        println!("{:>6}{:>12.3}{:>12.3}", h, gmt_prof[h], local_prof[h]);
+    }
+    let spread = |v: &[f64; 24]| {
+        let max = v.iter().cloned().fold(0.0, f64::max);
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        max / min.max(1e-9)
+    };
+    println!();
+    println!(
+        "peak/trough ratio: GMT {:.1}x, local {:.1}x (paper: local curve visibly more diurnal)",
+        spread(&gmt_prof),
+        spread(&local_prof)
+    );
+    println!(
+        "total served: {:.2} TB over {:.0} days",
+        gmt.iter().sum::<f64>(),
+        TRACE_MONTH.as_hours_f64() / 24.0
+    );
+}

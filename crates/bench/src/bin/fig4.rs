@@ -1,0 +1,42 @@
+//! E9 — Fig 4: edge-only vs peer-assisted download speed in the two
+//! largest ASes.
+//!
+//! Paper shape: peer-assisted downloads are somewhat slower but still
+//! multiple Mbps; the gap is biggest in high-bandwidth networks (upstream
+//! asymmetry).
+
+use netsession_analytics::speeds;
+use netsession_bench::runner::{parse_args, run_default};
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# fig4: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+
+    for (label, s) in ["AS X", "AS Y"].iter().zip(speeds::fig4(&out.dataset)) {
+        println!(
+            "Fig 4 — {} ({}, {} downloads): CDF of mean download speed (Mbps)",
+            label, s.asn, s.downloads
+        );
+        println!(
+            "{:>12}{:>12}{:>12}",
+            "speed", "edge-only", ">50% p2p"
+        );
+        for x in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
+            println!(
+                "{:>12}{:>11.0}%{:>11.0}%",
+                x,
+                s.edge_only.fraction_at(x) * 100.0,
+                s.mostly_p2p.fraction_at(x) * 100.0
+            );
+        }
+        if !s.edge_only.is_empty() && !s.mostly_p2p.is_empty() {
+            println!(
+                "medians: edge-only {:.1} Mbps, >50% p2p {:.1} Mbps (paper: p2p somewhat slower, both multi-Mbps)",
+                s.edge_only.median(),
+                s.mostly_p2p.median()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,83 @@
+//! E11/A4 — Fig 6: impact of the number of peers initially returned by the
+//! control plane on peer efficiency.
+//!
+//! Paper shape: ~80 % efficiency is generally reached with about 25–30
+//! peers, consistent with BitTorrent needing a few tens of peers.
+//!
+//! Pass `--sweep 1` to additionally re-run the simulation with the
+//! control-plane `max_peers` forced to 5/10/20/40 (ablation A4).
+
+use netsession_analytics::efficiency;
+use netsession_analytics::stats::mean;
+use netsession_bench::runner::{config_for, ExperimentArgs};
+use netsession_hybrid::HybridSim;
+use netsession_logs::records::DownloadOutcome;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().collect();
+    let sweep = if let Some(pos) = argv.iter().position(|a| a == "--sweep") {
+        let v = argv.get(pos + 1).map(|v| v == "1").unwrap_or(false);
+        argv.drain(pos..pos + 2);
+        v
+    } else {
+        false
+    };
+    let args = parse_args_from(&argv);
+    eprintln!("# fig6: peers={} downloads={}", args.peers, args.downloads);
+
+    let out = HybridSim::run_config(config_for(&args));
+    let buckets = efficiency::fig6(&out.dataset);
+    println!("Fig 6: peer efficiency vs peers initially returned");
+    println!("{:>8}{:>12}{:>10}", "peers", "downloads", "mean %");
+    // Group into fives for readability.
+    let mut grouped: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+    for b in &buckets {
+        grouped
+            .entry((b.peers / 5) * 5)
+            .or_default()
+            .extend(std::iter::repeat_n(b.mean, b.downloads));
+    }
+    for (lo, vals) in &grouped {
+        println!(
+            "{:>5}-{:<3}{:>11}{:>10.1}",
+            lo,
+            lo + 4,
+            vals.len(),
+            mean(vals.iter().copied())
+        );
+    }
+
+    if sweep {
+        println!();
+        println!("A4 sweep: forcing max peers returned (re-simulating)");
+        println!("{:>12}{:>12}", "max_peers", "mean eff %");
+        for max in [5usize, 10, 20, 40] {
+            let mut cfg = config_for(&args);
+            cfg.peers_returned = max;
+            let out = HybridSim::run_config(cfg);
+            let effs: Vec<f64> = out
+                .dataset
+                .downloads
+                .iter()
+                .filter(|d| d.p2p_enabled && d.outcome == DownloadOutcome::Completed)
+                .map(|d| d.peer_efficiency() * 100.0)
+                .collect();
+            println!("{:>12}{:>12.1}", max, mean(effs));
+        }
+    }
+}
+
+fn parse_args_from(argv: &[String]) -> ExperimentArgs {
+    let mut args = ExperimentArgs::default();
+    let mut i = 1;
+    while i + 1 < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => args.peers = argv[i + 1].parse().expect("--scale"),
+            "--downloads" => args.downloads = argv[i + 1].parse().expect("--downloads"),
+            "--seed" => args.seed = argv[i + 1].parse().expect("--seed"),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    args
+}

@@ -1,0 +1,59 @@
+//! E13 — Fig 8: peer contributions in different regions (one p2p-enabled
+//! provider).
+//!
+//! Paper shape: a mixed picture — peers contribute more in some regions
+//! (Africa, South America) but contributions "do not vary much overall"
+//! because the edge infrastructure already covers the globe.
+
+use netsession_analytics::regions::{self, CoverageClass};
+use netsession_bench::runner::{parse_args, run_default};
+use netsession_world::customers::customer_by_name;
+use netsession_world::geo::{continent_of, WORLD_COUNTRIES};
+use std::collections::HashMap;
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# fig8: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+    // Customer D: a typical p2p-enabled provider (94 % uploads enabled).
+    let cp = customer_by_name("D").expect("customer D").cp;
+    let classes = regions::fig8_country_classes(&out.dataset, cp);
+
+    println!("Fig 8: per-country byte split for customer D (p2p-enabled provider)");
+    println!(
+        "{:<6}{:<22}{:>12}{:>12}{:<20}",
+        "iso", "country", "infra GB", "peer GB", "  class"
+    );
+    let mut by_class: HashMap<CoverageClass, usize> = HashMap::new();
+    let mut by_continent: HashMap<&'static str, (u64, u64)> = HashMap::new();
+    for (country, infra, peers, class) in &classes {
+        let c = &WORLD_COUNTRIES[*country as usize];
+        *by_class.entry(*class).or_insert(0) += 1;
+        let cont = match continent_of(c.iso) {
+            netsession_world::geo::Continent::NorthAmerica => "NorthAmerica",
+            netsession_world::geo::Continent::SouthAmerica => "SouthAmerica",
+            netsession_world::geo::Continent::Europe => "Europe",
+            netsession_world::geo::Continent::Asia => "Asia",
+            netsession_world::geo::Continent::Africa => "Africa",
+            netsession_world::geo::Continent::Oceania => "Oceania",
+        };
+        let e = by_continent.entry(cont).or_insert((0, 0));
+        e.0 += infra;
+        e.1 += peers;
+        println!(
+            "{:<6}{:<22}{:>12.2}{:>12.2}  {:?}",
+            c.iso,
+            c.name,
+            *infra as f64 / 1e9,
+            *peers as f64 / 1e9,
+            class
+        );
+    }
+    println!();
+    println!("class counts: {by_class:?}");
+    println!("per-continent infra/peer byte split:");
+    for (cont, (infra, peers)) in &by_continent {
+        let share = *peers as f64 / (*infra + *peers).max(1) as f64 * 100.0;
+        println!("  {cont}: peers serve {share:.0}% of bytes");
+    }
+}

@@ -1,0 +1,89 @@
+//! E14/E21 — Fig 9: inter-AS traffic distribution.
+//!
+//! Paper shape: (a) roughly half the ASes send no inter-AS p2p bytes; a
+//! heavy tail sends terabytes. (b) 98 % of ASes contribute only ~10 % of
+//! the bytes; the remaining 2 % ("heavy uploaders") contribute ~90 %.
+//! (c) heavy uploaders simply contain far more peers (IPs). Also prints
+//! the §6.1 headline shares: 18 % intra-AS traffic, ~35 % of heavy-pair
+//! bytes on direct links.
+
+use netsession_analytics::astraffic;
+use netsession_bench::runner::{parse_args, run_default};
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# fig9: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+    let t = astraffic::build(&out.dataset);
+    let as_model = &out.scenario.population.as_model;
+
+    println!(
+        "intra-AS share of p2p bytes: {:.0}% (paper: 18%)",
+        t.intra_as_share() * 100.0
+    );
+    println!(
+        "total p2p content bytes: {:.2} TB across {} uploading ASes",
+        t.total_bytes as f64 / 1e12,
+        t.uploaded.len()
+    );
+    println!();
+
+    // Fig 9a.
+    let all_ases: Vec<netsession_core::id::AsNumber> =
+        as_model.specs().iter().map(|s| s.asn).collect();
+    let cdf = t.fig9a(all_ases.iter().copied());
+    println!("Fig 9a: CDF of inter-AS p2p bytes uploaded per AS");
+    println!("{:>14}{:>14}", "bytes", "frac of ASes");
+    for x in [0.0, 1e6, 1e8, 1e9, 1e10, 1e11, 1e12] {
+        println!("{:>14.0}{:>13.0}%", x, cdf.fraction_at(x) * 100.0);
+    }
+    println!();
+
+    // Fig 9b.
+    let curve = t.fig9b();
+    println!("Fig 9b: cumulative contribution (paper: 98% of ASes → 10% of bytes)");
+    if !curve.is_empty() {
+        let n = curve.len();
+        let idx98 = ((n as f64 * 0.98) as usize).min(n - 1);
+        println!(
+            "  98% of uploading ASes contribute {:.0}% of the bytes",
+            curve[idx98].1
+        );
+        let heavy = t.heavy_uploaders(0.02);
+        println!(
+            "  top 2% ({} ASes) contribute {:.0}% (paper: 90%)",
+            heavy.len(),
+            t.heavy_share(&heavy) * 100.0
+        );
+
+        // Fig 9c.
+        let (light, heavy_ips) = t.fig9c(&heavy);
+        println!();
+        println!("Fig 9c: distinct IPs per AS (light vs heavy uploaders)");
+        if !light.is_empty() && !heavy_ips.is_empty() {
+            println!(
+                "  median IPs: light {:.0}, heavy {:.0} (paper: heavy ASes hold far more peers)",
+                light.median(),
+                heavy_ips.median()
+            );
+            println!(
+                "  p90 IPs:    light {:.0}, heavy {:.0}",
+                light.percentile(90.0),
+                heavy_ips.percentile(90.0)
+            );
+        }
+
+        // §6.1 direct-link estimate.
+        let share = t.direct_link_share(&heavy, |a, b| {
+            match (as_model.index_of(a), as_model.index_of(b)) {
+                (Some(x), Some(y)) => as_model.direct_link(x, y),
+                _ => false,
+            }
+        });
+        println!();
+        println!(
+            "heavy-pair bytes on direct AS links: {:.0}% (paper estimate: ~35%)",
+            share * 100.0
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! E18 — the §5.1 headline numbers.
+//!
+//! Paper values: ~31 % of peers upload-enabled; p2p enabled on 1.7 % of
+//! files accounting for 57.4 % of bytes; mean peer efficiency for
+//! peer-assisted downloads 71.4 %; 70–80 % of peer-assisted traffic
+//! offloaded to peers.
+
+use netsession_analytics::overview;
+use netsession_bench::runner::{parse_args, pct, run_default};
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# headline: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+    let h = overview::headline(&out.dataset);
+
+    println!("metric                          paper      measured");
+    println!(
+        "uploads enabled (peers)         ~31%       {}",
+        pct(h.enabled_fraction)
+    );
+    println!(
+        "p2p-enabled files               1.7%       {}",
+        pct(h.p2p_file_fraction)
+    );
+    println!(
+        "bytes on p2p-enabled files      57.4%      {}",
+        pct(h.p2p_byte_share)
+    );
+    println!(
+        "mean peer efficiency (p2p dls)  71.4%      {}",
+        pct(h.mean_peer_efficiency)
+    );
+    println!(
+        "offload (bytes-weighted)        70-80%     {}",
+        pct(h.offload_fraction)
+    );
+    println!();
+    println!(
+        "downloads logged: {}  completed: {}  abandoned: {}  failed(sys/env): {}/{}",
+        out.dataset.downloads.len(),
+        out.stats.completed,
+        out.stats.abandoned,
+        out.stats.failed_system,
+        out.stats.failed_env
+    );
+    println!(
+        "p2p bytes: {:.2} TB  edge bytes: {:.2} TB  logins: {}  punch failures: {}",
+        out.stats.p2p_bytes as f64 / 1e12,
+        out.stats.edge_bytes as f64 / 1e12,
+        out.stats.logins,
+        out.stats.punch_failures
+    );
+}

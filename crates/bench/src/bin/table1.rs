@@ -1,0 +1,39 @@
+//! E1 — Table 1: overall statistics for the data set.
+//!
+//! The paper's trace (October 2012): 4,150,989,257 log entries; 25,941,122
+//! GUIDs; 4,038,894 distinct URLs; 133,690,372 distinct IPs; 12,508,764
+//! downloads; 34,383 locations; 31,190 ASes; 239 country codes. Our run is
+//! scaled down (`--scale`); the scale factor is printed so shares can be
+//! compared.
+
+use netsession_bench::runner::{parse_args, run_default};
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# table1: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+    let s = out.dataset.summary();
+
+    let scale = 25_941_122.0 / args.peers as f64;
+    println!("Table 1: overall statistics (scale factor ≈ {scale:.0}× below the paper)");
+    println!("{:<34}{:>16}{:>16}", "quantity", "paper", "measured");
+    let rows: [(&str, u64, u64); 8] = [
+        ("Log entries", 4_150_989_257, s.log_entries),
+        ("Number of GUIDs", 25_941_122, s.guids),
+        ("Distinct URLs", 4_038_894, s.urls),
+        ("Distinct IPs", 133_690_372, s.ips),
+        ("Downloads initiated", 12_508_764, s.downloads),
+        ("Distinct locations", 34_383, s.locations),
+        ("Distinct autonomous systems", 31_190, s.ases),
+        ("Distinct country codes", 239, s.countries),
+    ];
+    for (name, paper, measured) in rows {
+        println!("{name:<34}{paper:>16}{measured:>16}");
+    }
+    println!();
+    println!(
+        "per-GUID downloads: paper {:.2}, measured {:.2}",
+        12_508_764.0 / 25_941_122.0,
+        s.downloads as f64 / s.guids.max(1) as f64
+    );
+}

@@ -1,0 +1,56 @@
+//! E2 — Table 2: global distribution of downloads for the ten largest
+//! content providers.
+
+use netsession_analytics::regions;
+use netsession_bench::runner::{parse_args, run_default};
+use netsession_world::customers::{customer_by_cp, CUSTOMERS};
+use netsession_world::geo::Region;
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# table2: peers={} downloads={}", args.peers, args.downloads);
+    let out = run_default(&args);
+    let (rows, all) = regions::table2(&out.dataset);
+
+    print!("{:<14}", "customer");
+    for r in Region::ALL {
+        print!("{:>11}", r.label());
+    }
+    println!();
+
+    let print_row = |name: &str, mix: &[f64; 9]| {
+        print!("{name:<14}");
+        for v in mix {
+            if *v < 0.005 {
+                print!("{:>11}", "-");
+            } else {
+                print!("{:>10.0}%", v * 100.0);
+            }
+        }
+        println!();
+    };
+
+    for (cp, mix) in &rows {
+        let name = customer_by_cp(*cp).map(|c| c.name).unwrap_or("?");
+        print_row(&format!("Customer {name}"), mix);
+    }
+    print_row("All customers", &all);
+
+    println!();
+    println!("paper row for comparison (All customers): 7% 4% 11% 3% 2% 20% 46% 4% 2%");
+    println!("paper-specified per-customer rows are encoded in netsession_world::customers::CUSTOMERS:");
+    for c in CUSTOMERS {
+        let row: Vec<String> = c
+            .region_mix
+            .iter()
+            .map(|v| {
+                if *v < 0.005 {
+                    "-".to_string()
+                } else {
+                    format!("{:.0}%", v * 100.0)
+                }
+            })
+            .collect();
+        println!("  {} (target): {}", c.name, row.join(" "));
+    }
+}

@@ -1,0 +1,58 @@
+//! E4 — Table 4: fraction of peers with content uploads enabled, per
+//! customer.
+//!
+//! Paper row: A <1, B 20, C 2, D 94, E 2, F 45, G 47, H <1, I 91, J <1 (%).
+
+use netsession_bench::runner::{config_for, parse_args};
+use netsession_hybrid::Scenario;
+use netsession_world::customers::CUSTOMERS;
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# table4: peers={}", args.peers);
+    // Table 4 is a property of the installed base; no simulation needed.
+    let scenario = Scenario::build(config_for(&args));
+
+    let mut enabled = vec![0u64; CUSTOMERS.len()];
+    let mut total = vec![0u64; CUSTOMERS.len()];
+    for p in &scenario.population.peers {
+        total[p.customer] += 1;
+        if p.uploads_enabled {
+            enabled[p.customer] += 1;
+        }
+    }
+
+    println!("Table 4: fraction of peers with content uploads enabled");
+    print!("{:<10}", "customer");
+    for c in CUSTOMERS {
+        print!("{:>7}", c.name);
+    }
+    println!();
+    print!("{:<10}", "measured");
+    for i in 0..CUSTOMERS.len() {
+        let f = enabled[i] as f64 / total[i].max(1) as f64 * 100.0;
+        if f < 1.0 {
+            print!("{:>7}", "<1%");
+        } else {
+            print!("{:>6.0}%", f);
+        }
+    }
+    println!();
+    print!("{:<10}", "paper");
+    for c in CUSTOMERS {
+        let f = c.upload_enabled_fraction * 100.0;
+        if f < 1.0 {
+            print!("{:>7}", "<1%");
+        } else {
+            print!("{:>6.0}%", f);
+        }
+    }
+    println!();
+    let overall =
+        enabled.iter().sum::<u64>() as f64 / total.iter().sum::<u64>().max(1) as f64;
+    println!();
+    println!(
+        "overall enabled fraction: {:.1}% (paper: ~31%)",
+        overall * 100.0
+    );
+}

@@ -1,0 +1,13 @@
+//! # netsession-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! DESIGN.md's per-experiment index), ablation binaries, and Criterion
+//! micro-benchmarks in `benches/`.
+//!
+//! All experiment binaries accept `--scale <peers>` and `--downloads <n>`
+//! to trade fidelity for runtime, and print the same rows/series the paper
+//! reports.
+
+pub mod runner;
+
+pub use runner::{parse_args, run_default, ExperimentArgs};

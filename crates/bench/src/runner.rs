@@ -1,0 +1,102 @@
+//! Shared experiment plumbing: argument parsing and the standard run.
+
+use netsession_hybrid::{HybridSim, ScenarioConfig, SimOutput};
+use netsession_world::population::PopulationConfig;
+use netsession_world::workload::WorkloadConfig;
+
+/// Command-line knobs shared by every experiment binary.
+#[derive(Clone, Debug)]
+pub struct ExperimentArgs {
+    /// Peer population size.
+    pub peers: usize,
+    /// Downloads over the month.
+    pub downloads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            peers: 30_000,
+            downloads: 40_000,
+            seed: 20121001,
+        }
+    }
+}
+
+/// Parse `--scale <peers>`, `--downloads <n>`, `--seed <s>` from argv.
+pub fn parse_args() -> ExperimentArgs {
+    let mut args = ExperimentArgs::default();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => args.peers = argv[i + 1].parse().expect("--scale <peers>"),
+            "--downloads" => args.downloads = argv[i + 1].parse().expect("--downloads <n>"),
+            "--seed" => args.seed = argv[i + 1].parse().expect("--seed <s>"),
+            other => panic!("unknown flag {other} (expected --scale/--downloads/--seed)"),
+        }
+        i += 2;
+    }
+    args
+}
+
+/// Build the standard scenario config for experiment args.
+pub fn config_for(args: &ExperimentArgs) -> ScenarioConfig {
+    ScenarioConfig {
+        seed: args.seed,
+        population: PopulationConfig {
+            peers: args.peers,
+            ases: (args.peers / 50).clamp(120, 2_000),
+            ..PopulationConfig::default()
+        },
+        objects: (args.downloads / 12).clamp(250, 20_000),
+        workload: WorkloadConfig {
+            downloads: args.downloads,
+            ..WorkloadConfig::default()
+        },
+        ..ScenarioConfig::default()
+    }
+}
+
+/// Run the standard scenario.
+pub fn run_default(args: &ExperimentArgs) -> SimOutput {
+    HybridSim::run_config(config_for(args))
+}
+
+/// Render a fraction as a percent string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args_are_standard_scale() {
+        let a = ExperimentArgs::default();
+        assert_eq!(a.peers, 30_000);
+        assert_eq!(a.downloads, 40_000);
+    }
+
+    #[test]
+    fn config_scales_dependents() {
+        let a = ExperimentArgs {
+            peers: 5_000,
+            downloads: 2_000,
+            seed: 1,
+        };
+        let c = config_for(&a);
+        assert_eq!(c.population.peers, 5_000);
+        assert_eq!(c.workload.downloads, 2_000);
+        assert!(c.population.ases >= 100);
+        assert!(c.objects >= 250);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.714), "71.4%");
+    }
+}

@@ -1,0 +1,272 @@
+//! Connection nodes (CNs).
+//!
+//! "The CNs are the endpoints of the persistent TCP connections that the
+//! peers open to the control plane when they are active. The CNs receive
+//! and collect the usage statistics that are uploaded by the peers, and
+//! they handle queries for objects the peers wish to download. These
+//! persistent TCP connections are also used to tell peers to connect to
+//! each other" (§3.6). "Over 150,000 might be connected to one
+//! simultaneously" (§3.8) — the CN therefore keeps only per-connection
+//! routing state, all of it disposable: peers simply reconnect elsewhere if
+//! a CN dies.
+
+use netsession_core::id::{ConnectionId, Guid};
+use netsession_core::id::SecondaryGuid;
+use netsession_core::msg::{NatType, PeerAddr, UsageRecord};
+use netsession_core::time::SimTime;
+use std::collections::HashMap;
+
+/// One login's bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// The connection ID assigned at login.
+    pub conn: ConnectionId,
+    /// The peer's GUID.
+    pub guid: Guid,
+    /// Login time.
+    pub since: SimTime,
+    /// Address at login.
+    pub addr: PeerAddr,
+    /// Whether uploads were enabled at login.
+    pub uploads_enabled: bool,
+    /// NAT classification at login.
+    pub nat: NatType,
+}
+
+/// A login record as the control-plane logs keep it (§4.1: "when a peer
+/// opens a connection to the control plane, the CN records the peer's
+/// current IP address, its software version, and whether or not uploads are
+/// enabled"), extended with the §6.2 secondary-GUID report.
+#[derive(Clone, Debug)]
+pub struct LoginLogEntry {
+    /// Login time.
+    pub at: SimTime,
+    /// The peer.
+    pub guid: Guid,
+    /// Address it connected from.
+    pub addr: PeerAddr,
+    /// Software version.
+    pub software_version: u32,
+    /// Whether uploads are enabled.
+    pub uploads_enabled: bool,
+    /// Last five secondary GUIDs, newest first.
+    pub secondary_guids: Vec<SecondaryGuid>,
+}
+
+/// A connection node.
+pub struct ConnectionNode {
+    /// The region this CN serves.
+    pub region: u32,
+    sessions: HashMap<ConnectionId, Session>,
+    by_guid: HashMap<Guid, ConnectionId>,
+    next_conn: u64,
+    usage: Vec<UsageRecord>,
+    logins: Vec<LoginLogEntry>,
+}
+
+impl ConnectionNode {
+    /// Empty CN for a region.
+    pub fn new(region: u32) -> Self {
+        ConnectionNode {
+            region,
+            sessions: HashMap::new(),
+            by_guid: HashMap::new(),
+            next_conn: 1,
+            usage: Vec::new(),
+            logins: Vec::new(),
+        }
+    }
+
+    /// Accept a login; returns the assigned connection ID. A re-login of
+    /// the same GUID replaces the previous session (the old TCP connection
+    /// is dead or duplicated — last writer wins).
+    #[allow(clippy::too_many_arguments)]
+    pub fn login(
+        &mut self,
+        guid: Guid,
+        addr: PeerAddr,
+        nat: NatType,
+        uploads_enabled: bool,
+        software_version: u32,
+        secondary_guids: Vec<SecondaryGuid>,
+        now: SimTime,
+    ) -> ConnectionId {
+        if let Some(old) = self.by_guid.remove(&guid) {
+            self.sessions.remove(&old);
+        }
+        let conn = ConnectionId(self.next_conn);
+        self.next_conn += 1;
+        self.sessions.insert(
+            conn,
+            Session {
+                conn,
+                guid,
+                since: now,
+                addr,
+                uploads_enabled,
+                nat,
+            },
+        );
+        self.by_guid.insert(guid, conn);
+        self.logins.push(LoginLogEntry {
+            at: now,
+            guid,
+            addr,
+            software_version,
+            uploads_enabled,
+            secondary_guids,
+        });
+        conn
+    }
+
+    /// Close a session (logout, connection loss, CN-detected timeout).
+    pub fn logout(&mut self, guid: Guid) {
+        if let Some(conn) = self.by_guid.remove(&guid) {
+            self.sessions.remove(&conn);
+        }
+    }
+
+    /// Whether `guid` is currently connected here.
+    pub fn is_connected(&self, guid: Guid) -> bool {
+        self.by_guid.contains_key(&guid)
+    }
+
+    /// Current session of a peer.
+    pub fn session(&self, guid: Guid) -> Option<&Session> {
+        self.by_guid.get(&guid).and_then(|c| self.sessions.get(c))
+    }
+
+    /// All currently connected GUIDs (used for RE-ADD fan-out, §3.8).
+    pub fn connected_guids(&self) -> impl Iterator<Item = Guid> + '_ {
+        self.by_guid.keys().copied()
+    }
+
+    /// Number of live connections.
+    pub fn connection_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Accept a usage report (billing/monitoring pipeline).
+    pub fn accept_usage(&mut self, records: Vec<UsageRecord>) {
+        self.usage.extend(records);
+    }
+
+    /// Drain collected usage records (the billing pipeline pulls these).
+    pub fn drain_usage(&mut self) -> Vec<UsageRecord> {
+        std::mem::take(&mut self.usage)
+    }
+
+    /// The login log (analytics input).
+    pub fn login_log(&self) -> &[LoginLogEntry] {
+        &self.logins
+    }
+
+    /// Simulate a CN crash: all connections drop; the login log is on the
+    /// monitoring pipeline and survives. Peers reconnect to another CN.
+    pub fn fail(&mut self) -> Vec<Guid> {
+        let guids: Vec<Guid> = self.by_guid.keys().copied().collect();
+        self.sessions.clear();
+        self.by_guid.clear();
+        guids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(ip: u32) -> PeerAddr {
+        PeerAddr { ip, port: 8443 }
+    }
+
+    fn login(cn: &mut ConnectionNode, guid: u64, t: u64) -> ConnectionId {
+        cn.login(
+            Guid(guid as u128),
+            addr(guid as u32),
+            NatType::FullCone,
+            true,
+            40100,
+            vec![],
+            SimTime(t),
+        )
+    }
+
+    #[test]
+    fn login_assigns_unique_connections() {
+        let mut cn = ConnectionNode::new(0);
+        let a = login(&mut cn, 1, 10);
+        let b = login(&mut cn, 2, 11);
+        assert_ne!(a, b);
+        assert_eq!(cn.connection_count(), 2);
+        assert!(cn.is_connected(Guid(1)));
+        assert_eq!(cn.session(Guid(1)).unwrap().since, SimTime(10));
+    }
+
+    #[test]
+    fn relogin_replaces_previous_session() {
+        let mut cn = ConnectionNode::new(0);
+        let a = login(&mut cn, 1, 10);
+        let b = login(&mut cn, 1, 20);
+        assert_ne!(a, b);
+        assert_eq!(cn.connection_count(), 1);
+        assert_eq!(cn.session(Guid(1)).unwrap().since, SimTime(20));
+    }
+
+    #[test]
+    fn logout_removes_session() {
+        let mut cn = ConnectionNode::new(0);
+        login(&mut cn, 1, 10);
+        cn.logout(Guid(1));
+        assert!(!cn.is_connected(Guid(1)));
+        assert_eq!(cn.connection_count(), 0);
+        // Idempotent.
+        cn.logout(Guid(1));
+    }
+
+    #[test]
+    fn usage_reports_collect_and_drain() {
+        let mut cn = ConnectionNode::new(0);
+        let rec = UsageRecord {
+            guid: Guid(1),
+            version: netsession_core::id::VersionId {
+                object: netsession_core::id::ObjectId(1),
+                version: 1,
+            },
+            started: SimTime(0),
+            ended: SimTime(5),
+            bytes_from_infrastructure: netsession_core::units::ByteCount(10),
+            bytes_from_peers: netsession_core::units::ByteCount(20),
+        };
+        cn.accept_usage(vec![rec.clone(), rec.clone()]);
+        let drained = cn.drain_usage();
+        assert_eq!(drained.len(), 2);
+        assert!(cn.drain_usage().is_empty());
+    }
+
+    #[test]
+    fn failure_drops_connections_keeps_login_log() {
+        let mut cn = ConnectionNode::new(0);
+        login(&mut cn, 1, 10);
+        login(&mut cn, 2, 11);
+        let dropped = cn.fail();
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(cn.connection_count(), 0);
+        assert_eq!(cn.login_log().len(), 2, "log survives the crash");
+    }
+
+    #[test]
+    fn login_log_records_upload_setting() {
+        let mut cn = ConnectionNode::new(0);
+        cn.login(
+            Guid(1),
+            addr(1),
+            NatType::Open,
+            false,
+            40100,
+            vec![],
+            SimTime(5),
+        );
+        assert!(!cn.login_log()[0].uploads_enabled);
+        assert_eq!(cn.login_log()[0].software_version, 40100);
+    }
+}

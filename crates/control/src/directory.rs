@@ -1,0 +1,301 @@
+//! Database nodes (DNs).
+//!
+//! "The DNs maintain a database of which objects are currently available on
+//! which peers, as well as details about the connectivity of these peers.
+//! Peers appear in the database only when a) uploads are explicitly enabled
+//! on the peer, and b) the peer currently has objects to share" (§3.6).
+//!
+//! The DN's state is **soft** (§3.8): losing it is harmless because the
+//! peers hold the ground truth and repopulate the DN through RE-ADD.
+
+use netsession_core::id::{Guid, ObjectId, VersionId};
+use netsession_core::msg::{NatType, PeerAddr, PeerContact};
+use netsession_core::id::AsNumber;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// What the directory knows about one registered peer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeerRecord {
+    /// The peer's GUID.
+    pub guid: Guid,
+    /// Current transport address.
+    pub addr: PeerAddr,
+    /// Its autonomous system.
+    pub asn: AsNumber,
+    /// Country identifier (gazetteer index in the simulation).
+    pub area: u16,
+    /// Larger geographic zone (Table-2 region index in the simulation).
+    pub zone: u8,
+    /// STUN-determined NAT classification.
+    pub nat: NatType,
+}
+
+impl PeerRecord {
+    /// Contact info handed to other peers.
+    pub fn contact(&self) -> PeerContact {
+        PeerContact {
+            guid: self.guid,
+            addr: self.addr,
+            asn: self.asn,
+            nat: self.nat,
+        }
+    }
+}
+
+/// A regional database node.
+pub struct DirectoryNode {
+    /// Which network region this DN serves.
+    pub region: u32,
+    /// Peer connectivity records (peers with ≥1 registration).
+    peers: HashMap<Guid, PeerRecord>,
+    /// Per-version holder rotation: fairness queue, front = next to select
+    /// ("when a peer is selected, it is placed at the end of a peer
+    /// selection list", §3.7).
+    holders: HashMap<VersionId, VecDeque<Guid>>,
+    /// Reverse index: versions each peer registered (for deregistration).
+    by_peer: HashMap<Guid, HashSet<VersionId>>,
+    /// Uploads performed per (peer, object) — enforces the per-object
+    /// upload cap of §3.9/§6.1.
+    upload_counts: HashMap<(Guid, ObjectId), u32>,
+    /// Cumulative registration events (Fig 5's "file copies registered").
+    registrations: HashMap<VersionId, u64>,
+}
+
+impl DirectoryNode {
+    /// Empty DN for a region.
+    pub fn new(region: u32) -> Self {
+        DirectoryNode {
+            region,
+            peers: HashMap::new(),
+            holders: HashMap::new(),
+            by_peer: HashMap::new(),
+            upload_counts: HashMap::new(),
+            registrations: HashMap::new(),
+        }
+    }
+
+    /// Register a copy: the peer (with uploads enabled) announces it holds
+    /// `version` and can share it.
+    pub fn register(&mut self, record: PeerRecord, version: VersionId) {
+        let guid = record.guid;
+        self.peers.insert(guid, record);
+        let queue = self.holders.entry(version).or_default();
+        if !queue.contains(&guid) {
+            queue.push_back(guid);
+            *self.registrations.entry(version).or_insert(0) += 1;
+        }
+        self.by_peer.entry(guid).or_default().insert(version);
+    }
+
+    /// Withdraw one registration (cache eviction, upload cap reached,
+    /// uploads disabled).
+    pub fn unregister(&mut self, guid: Guid, version: VersionId) {
+        if let Some(queue) = self.holders.get_mut(&version) {
+            queue.retain(|g| *g != guid);
+            if queue.is_empty() {
+                self.holders.remove(&version);
+            }
+        }
+        if let Some(set) = self.by_peer.get_mut(&guid) {
+            set.remove(&version);
+            if set.is_empty() {
+                self.by_peer.remove(&guid);
+                self.peers.remove(&guid);
+            }
+        }
+    }
+
+    /// Withdraw everything a peer registered (it went offline).
+    pub fn unregister_all(&mut self, guid: Guid) {
+        if let Some(versions) = self.by_peer.remove(&guid) {
+            for v in versions {
+                if let Some(queue) = self.holders.get_mut(&v) {
+                    queue.retain(|g| *g != guid);
+                    if queue.is_empty() {
+                        self.holders.remove(&v);
+                    }
+                }
+            }
+        }
+        self.peers.remove(&guid);
+    }
+
+    /// The current holders of `version`, in rotation order.
+    pub fn holders(&self, version: VersionId) -> impl Iterator<Item = &PeerRecord> + '_ {
+        self.holders
+            .get(&version)
+            .into_iter()
+            .flatten()
+            .filter_map(move |g| self.peers.get(g))
+    }
+
+    /// Number of current holders.
+    pub fn holder_count(&self, version: VersionId) -> usize {
+        self.holders.get(&version).map_or(0, |q| q.len())
+    }
+
+    /// Move the selected peers to the back of the rotation (fairness).
+    pub fn rotate_to_back(&mut self, version: VersionId, selected: &[Guid]) {
+        if let Some(queue) = self.holders.get_mut(&version) {
+            for guid in selected {
+                if let Some(pos) = queue.iter().position(|g| g == guid) {
+                    queue.remove(pos);
+                    queue.push_back(*guid);
+                }
+            }
+        }
+    }
+
+    /// Count one upload of `object` by `guid`; returns the new count.
+    pub fn count_upload(&mut self, guid: Guid, object: ObjectId) -> u32 {
+        let c = self.upload_counts.entry((guid, object)).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Uploads of `object` performed by `guid` so far.
+    pub fn uploads_of(&self, guid: Guid, object: ObjectId) -> u32 {
+        self.upload_counts.get(&(guid, object)).copied().unwrap_or(0)
+    }
+
+    /// Total registration events seen for `version` (Fig 5's x-axis).
+    pub fn registrations_of(&self, version: VersionId) -> u64 {
+        self.registrations.get(&version).copied().unwrap_or(0)
+    }
+
+    /// All (version, registration-count) pairs — the DN log of Fig 5.
+    pub fn registration_log(&self) -> impl Iterator<Item = (VersionId, u64)> + '_ {
+        self.registrations.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Number of peers currently known.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// A peer's record, if registered.
+    pub fn peer(&self, guid: Guid) -> Option<&PeerRecord> {
+        self.peers.get(&guid)
+    }
+
+    /// Simulate a DN failure: all soft state vanishes (§3.8). Upload counts
+    /// are also soft state and are lost — the system tolerates the slight
+    /// over-uploading this allows.
+    pub fn fail(&mut self) {
+        self.peers.clear();
+        self.holders.clear();
+        self.by_peer.clear();
+        self.upload_counts.clear();
+        // `registrations` is the DN's append-only log; in production the
+        // log survives on the monitoring pipeline, so we keep it for the
+        // Fig 5 analysis while the queryable state is rebuilt via RE-ADD.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::ObjectId;
+
+    fn record(guid: u64, asn: u32) -> PeerRecord {
+        PeerRecord {
+            guid: Guid(guid as u128),
+            addr: PeerAddr {
+                ip: guid as u32,
+                port: 8443,
+            },
+            asn: AsNumber(asn),
+            area: 1,
+            zone: 0,
+            nat: NatType::FullCone,
+        }
+    }
+
+    fn ver(n: u64) -> VersionId {
+        VersionId {
+            object: ObjectId(n),
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn register_and_query_holders() {
+        let mut dn = DirectoryNode::new(0);
+        dn.register(record(1, 100), ver(5));
+        dn.register(record(2, 100), ver(5));
+        assert_eq!(dn.holder_count(ver(5)), 2);
+        let guids: Vec<Guid> = dn.holders(ver(5)).map(|r| r.guid).collect();
+        assert_eq!(guids, vec![Guid(1), Guid(2)]);
+        assert_eq!(dn.peer_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_registration_counts_once_in_rotation() {
+        let mut dn = DirectoryNode::new(0);
+        dn.register(record(1, 100), ver(5));
+        dn.register(record(1, 100), ver(5));
+        assert_eq!(dn.holder_count(ver(5)), 1);
+        assert_eq!(dn.registrations_of(ver(5)), 1);
+    }
+
+    #[test]
+    fn unregister_removes_and_cleans_up() {
+        let mut dn = DirectoryNode::new(0);
+        dn.register(record(1, 100), ver(5));
+        dn.register(record(1, 100), ver(6));
+        dn.unregister(Guid(1), ver(5));
+        assert_eq!(dn.holder_count(ver(5)), 0);
+        assert_eq!(dn.holder_count(ver(6)), 1);
+        assert!(dn.peer(Guid(1)).is_some(), "still holds ver 6");
+        dn.unregister(Guid(1), ver(6));
+        assert!(dn.peer(Guid(1)).is_none(), "fully degistered peers vanish");
+    }
+
+    #[test]
+    fn unregister_all_on_offline() {
+        let mut dn = DirectoryNode::new(0);
+        dn.register(record(1, 100), ver(5));
+        dn.register(record(1, 100), ver(6));
+        dn.unregister_all(Guid(1));
+        assert_eq!(dn.holder_count(ver(5)), 0);
+        assert_eq!(dn.holder_count(ver(6)), 0);
+        assert_eq!(dn.peer_count(), 0);
+    }
+
+    #[test]
+    fn rotation_moves_selected_to_back() {
+        let mut dn = DirectoryNode::new(0);
+        for g in 1..=4 {
+            dn.register(record(g, 100), ver(5));
+        }
+        dn.rotate_to_back(ver(5), &[Guid(1), Guid(2)]);
+        let guids: Vec<Guid> = dn.holders(ver(5)).map(|r| r.guid).collect();
+        assert_eq!(guids, vec![Guid(3), Guid(4), Guid(1), Guid(2)]);
+    }
+
+    #[test]
+    fn upload_counting() {
+        let mut dn = DirectoryNode::new(0);
+        assert_eq!(dn.uploads_of(Guid(1), ObjectId(5)), 0);
+        assert_eq!(dn.count_upload(Guid(1), ObjectId(5)), 1);
+        assert_eq!(dn.count_upload(Guid(1), ObjectId(5)), 2);
+        assert_eq!(dn.uploads_of(Guid(1), ObjectId(5)), 2);
+        assert_eq!(dn.uploads_of(Guid(1), ObjectId(6)), 0);
+    }
+
+    #[test]
+    fn failure_wipes_queryable_state_but_keeps_log() {
+        let mut dn = DirectoryNode::new(0);
+        dn.register(record(1, 100), ver(5));
+        dn.count_upload(Guid(1), ObjectId(5));
+        dn.fail();
+        assert_eq!(dn.holder_count(ver(5)), 0);
+        assert_eq!(dn.peer_count(), 0);
+        assert_eq!(dn.uploads_of(Guid(1), ObjectId(5)), 0);
+        assert_eq!(dn.registrations_of(ver(5)), 1, "append-only log survives");
+        // RE-ADD repopulates.
+        dn.register(record(1, 100), ver(5));
+        assert_eq!(dn.holder_count(ver(5)), 1);
+        assert_eq!(dn.registrations_of(ver(5)), 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Monitoring nodes.
+//!
+//! "Peers upload information about their operation and about problems, such
+//! as application crash reports, to these nodes. Processing their logs
+//! helps to monitor the network in real-time, to identify problems, and to
+//! troubleshoot specific user issues" (§3.6). "Download and upload
+//! performance is constantly monitored, and automated alerts are in place
+//! to notify network engineers in case of large-scale problems" (§3.8).
+
+use netsession_core::id::Guid;
+use netsession_core::time::SimTime;
+use netsession_core::units::Bandwidth;
+use std::collections::VecDeque;
+
+/// Kinds of problem reports peers upload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProblemKind {
+    /// The client application crashed.
+    Crash,
+    /// A download failed for a system-related cause.
+    DownloadFailure,
+    /// Repeated piece-verification failures (possible corruption source).
+    VerificationFailure,
+    /// NAT traversal failed against a selected peer.
+    TraversalFailure,
+}
+
+/// One problem report.
+#[derive(Clone, Debug)]
+pub struct ProblemReport {
+    /// When it happened.
+    pub at: SimTime,
+    /// The reporting peer.
+    pub guid: Guid,
+    /// What happened.
+    pub kind: ProblemKind,
+}
+
+/// A raised alert.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Alert {
+    /// When the alert fired.
+    pub at: SimTime,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Sliding-window monitoring with rate-based alerts.
+pub struct MonitoringNode {
+    /// Window size for rate alerts.
+    pub window: netsession_core::time::SimDuration,
+    /// Problem-count threshold within the window that triggers an alert.
+    pub problem_threshold: usize,
+    /// Mean download speed below which a sustained-speed alert fires.
+    pub speed_floor: Bandwidth,
+    reports: VecDeque<ProblemReport>,
+    speed_samples: VecDeque<(SimTime, Bandwidth)>,
+    alerts: Vec<Alert>,
+    total_reports: u64,
+}
+
+impl MonitoringNode {
+    /// Create with operational defaults: 10-minute window, 1000-problem
+    /// threshold, 0.5 Mbps fleet-speed floor.
+    pub fn new() -> Self {
+        MonitoringNode {
+            window: netsession_core::time::SimDuration::from_mins(10),
+            problem_threshold: 1000,
+            speed_floor: Bandwidth::from_mbps(0.5),
+            reports: VecDeque::new(),
+            speed_samples: VecDeque::new(),
+            alerts: Vec::new(),
+            total_reports: 0,
+        }
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let horizon = now.since(SimTime::ZERO).as_micros().saturating_sub(self.window.as_micros());
+        while self
+            .reports
+            .front()
+            .is_some_and(|r| r.at.as_micros() < horizon)
+        {
+            self.reports.pop_front();
+        }
+        while self
+            .speed_samples
+            .front()
+            .is_some_and(|(t, _)| t.as_micros() < horizon)
+        {
+            self.speed_samples.pop_front();
+        }
+    }
+
+    /// Ingest a problem report; may raise an alert.
+    pub fn report_problem(&mut self, report: ProblemReport) {
+        let now = report.at;
+        self.total_reports += 1;
+        self.reports.push_back(report);
+        self.evict(now);
+        if self.reports.len() >= self.problem_threshold {
+            self.alerts.push(Alert {
+                at: now,
+                message: format!(
+                    "{} problem reports within {}",
+                    self.reports.len(),
+                    self.window
+                ),
+            });
+            self.reports.clear();
+        }
+    }
+
+    /// Ingest a per-download mean-speed sample; may raise an alert when the
+    /// fleet-wide mean in the window dips below the floor.
+    pub fn report_speed(&mut self, at: SimTime, speed: Bandwidth) {
+        self.speed_samples.push_back((at, speed));
+        self.evict(at);
+        if self.speed_samples.len() >= 100 {
+            let mean: f64 = self
+                .speed_samples
+                .iter()
+                .map(|(_, s)| s.bytes_per_sec())
+                .sum::<f64>()
+                / self.speed_samples.len() as f64;
+            if mean < self.speed_floor.bytes_per_sec() {
+                self.alerts.push(Alert {
+                    at,
+                    message: format!(
+                        "fleet mean download speed {:.2} Mbps below floor",
+                        Bandwidth::from_bytes_per_sec(mean).as_mbps()
+                    ),
+                });
+                self.speed_samples.clear();
+            }
+        }
+    }
+
+    /// Alerts raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Total problem reports ever ingested.
+    pub fn total_reports(&self) -> u64 {
+        self.total_reports
+    }
+}
+
+impl Default for MonitoringNode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::time::SimDuration;
+
+    #[test]
+    fn problem_burst_raises_alert() {
+        let mut m = MonitoringNode::new();
+        m.problem_threshold = 10;
+        for i in 0..10 {
+            m.report_problem(ProblemReport {
+                at: SimTime(i),
+                guid: Guid(i as u128),
+                kind: ProblemKind::Crash,
+            });
+        }
+        assert_eq!(m.alerts().len(), 1);
+        assert!(m.alerts()[0].message.contains("problem reports"));
+    }
+
+    #[test]
+    fn slow_trickle_does_not_alert() {
+        let mut m = MonitoringNode::new();
+        m.problem_threshold = 10;
+        // One report every 5 minutes: never 10 within a 10-minute window.
+        for i in 0..50u64 {
+            m.report_problem(ProblemReport {
+                at: SimTime::ZERO + SimDuration::from_mins(5 * i),
+                guid: Guid(1),
+                kind: ProblemKind::DownloadFailure,
+            });
+        }
+        assert!(m.alerts().is_empty());
+        assert_eq!(m.total_reports(), 50);
+    }
+
+    #[test]
+    fn sustained_slow_speeds_alert() {
+        let mut m = MonitoringNode::new();
+        for i in 0..100u64 {
+            m.report_speed(SimTime(i), Bandwidth::from_mbps(0.1));
+        }
+        assert_eq!(m.alerts().len(), 1);
+        assert!(m.alerts()[0].message.contains("below floor"));
+    }
+
+    #[test]
+    fn healthy_speeds_do_not_alert() {
+        let mut m = MonitoringNode::new();
+        for i in 0..500u64 {
+            m.report_speed(SimTime(i), Bandwidth::from_mbps(8.0));
+        }
+        assert!(m.alerts().is_empty());
+    }
+}

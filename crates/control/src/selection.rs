@@ -1,0 +1,371 @@
+//! Locality-aware peer selection (§3.7).
+//!
+//! "DN selection begins with peers from the most specific set that the
+//! querying peer belongs to, and proceeds to less specific sets until
+//! enough suitable peers are found. An additional mechanism adds diversity:
+//! Occasionally, peers are selected from a less specific set, with
+//! probability proportional to the specificity of the set. Also, when a
+//! peer is selected, it is placed at the end of a peer selection list for
+//! fairness. The selection process can be modified with a set of
+//! configurable policies. In addition to locality and file availability,
+//! the DN also takes the connectivity of the peers into account."
+
+use crate::directory::{DirectoryNode, PeerRecord};
+use netsession_core::id::{Guid, VersionId};
+use netsession_core::msg::{NatType, PeerContact};
+use netsession_core::policy::DEFAULT_PEERS_RETURNED;
+use netsession_core::rng::DetRng;
+
+/// Specificity levels of the locality ladder, most specific first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LocalityTier {
+    /// Same autonomous system.
+    SameAs,
+    /// Same country ("smaller region").
+    SameArea,
+    /// Same large geographic zone.
+    SameZone,
+    /// The universal World set.
+    World,
+}
+
+impl LocalityTier {
+    /// Ladder order.
+    pub const LADDER: [LocalityTier; 4] = [
+        LocalityTier::SameAs,
+        LocalityTier::SameArea,
+        LocalityTier::SameZone,
+        LocalityTier::World,
+    ];
+}
+
+/// Configurable selection policy ("the selection process can be modified
+/// with a set of configurable policies").
+#[derive(Clone, Debug)]
+pub struct SelectionPolicy {
+    /// Maximum peers returned per query (§3.7 default: 40).
+    pub max_peers: usize,
+    /// Probability of *diversity injection* per slot: take the candidate
+    /// from one tier broader than the current one.
+    pub diversity: f64,
+    /// Whether to filter on NAT compatibility.
+    pub connectivity_filter: bool,
+    /// Whether locality tiers are used at all (ablation A1 turns this off).
+    pub locality_aware: bool,
+}
+
+impl Default for SelectionPolicy {
+    fn default() -> Self {
+        SelectionPolicy {
+            max_peers: DEFAULT_PEERS_RETURNED,
+            diversity: 0.08,
+            connectivity_filter: true,
+            locality_aware: true,
+        }
+    }
+}
+
+/// Who is asking: the attributes the ladder compares against.
+#[derive(Clone, Copy, Debug)]
+pub struct Querier {
+    /// The querying peer's GUID (never selected for itself).
+    pub guid: Guid,
+    /// Its AS number.
+    pub asn: netsession_core::id::AsNumber,
+    /// Its country identifier.
+    pub area: u16,
+    /// Its zone identifier.
+    pub zone: u8,
+    /// Its NAT classification.
+    pub nat: NatType,
+}
+
+/// The selection engine, operating over a DN's records.
+#[derive(Default)]
+pub struct Selector {
+    /// Active policy.
+    pub policy: SelectionPolicy,
+}
+
+
+impl Selector {
+    /// Build with a policy.
+    pub fn new(policy: SelectionPolicy) -> Self {
+        Selector { policy }
+    }
+
+    fn tier_of(querier: &Querier, candidate: &PeerRecord) -> LocalityTier {
+        if candidate.asn == querier.asn {
+            LocalityTier::SameAs
+        } else if candidate.area == querier.area {
+            LocalityTier::SameArea
+        } else if candidate.zone == querier.zone {
+            LocalityTier::SameZone
+        } else {
+            LocalityTier::World
+        }
+    }
+
+    /// Select up to `policy.max_peers` holders of `version` for `querier`,
+    /// applying the locality ladder, diversity, the connectivity filter,
+    /// and the fairness rotation (mutates the DN's rotation queues).
+    pub fn select(
+        &self,
+        dn: &mut DirectoryNode,
+        version: VersionId,
+        querier: &Querier,
+        rng: &mut DetRng,
+    ) -> Vec<PeerContact> {
+        // Partition candidates by tier, preserving rotation order.
+        let mut tiers: [Vec<PeerRecord>; 4] = [vec![], vec![], vec![], vec![]];
+        for rec in dn.holders(version) {
+            if rec.guid == querier.guid {
+                continue;
+            }
+            if self.policy.connectivity_filter
+                && !netsession_nat::connectivity(querier.nat, rec.nat).usable()
+            {
+                continue;
+            }
+            let tier = if self.policy.locality_aware {
+                Self::tier_of(querier, rec)
+            } else {
+                LocalityTier::World
+            };
+            let ti = LocalityTier::LADDER.iter().position(|t| *t == tier).unwrap();
+            tiers[ti].push(rec.clone());
+        }
+
+        if !self.policy.locality_aware {
+            // Random selection ablation: shuffle the world set.
+            rng.shuffle(&mut tiers[3]);
+        }
+
+        let mut selected: Vec<PeerContact> = Vec::with_capacity(self.policy.max_peers);
+        let mut selected_guids: Vec<Guid> = Vec::new();
+        let mut cursors = [0usize; 4];
+
+        // Walk the ladder, most specific first; each slot may be diverted
+        // one tier broader with probability `diversity` scaled by how
+        // specific the current tier is.
+        'outer: for (ti, _) in LocalityTier::LADDER.iter().enumerate() {
+            loop {
+                if selected.len() >= self.policy.max_peers {
+                    break 'outer;
+                }
+                // Diversity injection: specificity factor 3/3, 2/3, 1/3, 0.
+                let specificity = (3 - ti.min(3)) as f64 / 3.0;
+                let divert = self.policy.diversity * specificity;
+                let use_tier = if rng.chance(divert) {
+                    // One tier broader that still has candidates.
+                    ((ti + 1)..4).find(|t| cursors[*t] < tiers[*t].len())
+                } else {
+                    None
+                }
+                .unwrap_or(ti);
+
+                if cursors[use_tier] >= tiers[use_tier].len() {
+                    if use_tier == ti {
+                        break; // this tier exhausted, go broader
+                    } else {
+                        continue;
+                    }
+                }
+                let rec = &tiers[use_tier][cursors[use_tier]];
+                cursors[use_tier] += 1;
+                selected.push(rec.contact());
+                selected_guids.push(rec.guid);
+            }
+        }
+
+        dn.rotate_to_back(version, &selected_guids);
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::{AsNumber, ObjectId};
+    use netsession_core::msg::PeerAddr;
+
+    fn ver() -> VersionId {
+        VersionId {
+            object: ObjectId(1),
+            version: 1,
+        }
+    }
+
+    fn record(guid: u64, asn: u32, area: u16, zone: u8, nat: NatType) -> PeerRecord {
+        PeerRecord {
+            guid: Guid(guid as u128),
+            addr: PeerAddr {
+                ip: guid as u32,
+                port: 1,
+            },
+            asn: AsNumber(asn),
+            area,
+            zone,
+            nat,
+        }
+    }
+
+    fn querier() -> Querier {
+        Querier {
+            guid: Guid(1000),
+            asn: AsNumber(100),
+            area: 10,
+            zone: 1,
+            nat: NatType::PortRestricted,
+        }
+    }
+
+    #[test]
+    fn prefers_most_specific_tier() {
+        let mut dn = DirectoryNode::new(0);
+        // 2 same-AS, 2 same-area, 2 same-zone, 2 world.
+        dn.register(record(1, 100, 10, 1, NatType::Open), ver());
+        dn.register(record(2, 100, 10, 1, NatType::Open), ver());
+        dn.register(record(3, 200, 10, 1, NatType::Open), ver());
+        dn.register(record(4, 200, 10, 1, NatType::Open), ver());
+        dn.register(record(5, 300, 20, 1, NatType::Open), ver());
+        dn.register(record(6, 300, 20, 1, NatType::Open), ver());
+        dn.register(record(7, 400, 30, 2, NatType::Open), ver());
+        dn.register(record(8, 400, 30, 2, NatType::Open), ver());
+
+        let selector = Selector::new(SelectionPolicy {
+            max_peers: 4,
+            diversity: 0.0,
+            ..SelectionPolicy::default()
+        });
+        let mut rng = DetRng::seeded(1);
+        let picked = selector.select(&mut dn, ver(), &querier(), &mut rng);
+        let guids: Vec<u128> = picked.iter().map(|c| c.guid.0).collect();
+        assert_eq!(guids, vec![1, 2, 3, 4], "same-AS then same-area");
+    }
+
+    #[test]
+    fn connectivity_filter_excludes_unreachable() {
+        let mut dn = DirectoryNode::new(0);
+        // Querier is PortRestricted: symmetric and blocked peers unusable.
+        dn.register(record(1, 100, 10, 1, NatType::Symmetric), ver());
+        dn.register(record(2, 100, 10, 1, NatType::Blocked), ver());
+        dn.register(record(3, 100, 10, 1, NatType::FullCone), ver());
+        let selector = Selector::default();
+        let mut rng = DetRng::seeded(2);
+        let picked = selector.select(&mut dn, ver(), &querier(), &mut rng);
+        let guids: Vec<u128> = picked.iter().map(|c| c.guid.0).collect();
+        assert_eq!(guids, vec![3]);
+    }
+
+    #[test]
+    fn never_selects_the_querier_itself() {
+        let mut dn = DirectoryNode::new(0);
+        dn.register(record(1000, 100, 10, 1, NatType::Open), ver());
+        dn.register(record(2, 100, 10, 1, NatType::Open), ver());
+        let selector = Selector::default();
+        let mut rng = DetRng::seeded(3);
+        let picked = selector.select(&mut dn, ver(), &querier(), &mut rng);
+        assert!(picked.iter().all(|c| c.guid != Guid(1000)));
+        assert_eq!(picked.len(), 1);
+    }
+
+    #[test]
+    fn respects_max_peers() {
+        let mut dn = DirectoryNode::new(0);
+        for g in 0..100 {
+            dn.register(record(g, 100, 10, 1, NatType::Open), ver());
+        }
+        let selector = Selector::new(SelectionPolicy {
+            max_peers: 40,
+            ..SelectionPolicy::default()
+        });
+        let mut rng = DetRng::seeded(4);
+        let picked = selector.select(&mut dn, ver(), &querier(), &mut rng);
+        assert_eq!(picked.len(), 40);
+    }
+
+    #[test]
+    fn fairness_rotation_changes_subsequent_selections() {
+        let mut dn = DirectoryNode::new(0);
+        for g in 1..=6 {
+            dn.register(record(g, 100, 10, 1, NatType::Open), ver());
+        }
+        let selector = Selector::new(SelectionPolicy {
+            max_peers: 3,
+            diversity: 0.0,
+            ..SelectionPolicy::default()
+        });
+        let mut rng = DetRng::seeded(5);
+        let first: Vec<u128> = selector
+            .select(&mut dn, ver(), &querier(), &mut rng)
+            .iter()
+            .map(|c| c.guid.0)
+            .collect();
+        let second: Vec<u128> = selector
+            .select(&mut dn, ver(), &querier(), &mut rng)
+            .iter()
+            .map(|c| c.guid.0)
+            .collect();
+        assert_eq!(first, vec![1, 2, 3]);
+        assert_eq!(second, vec![4, 5, 6], "rotation must advance the queue");
+    }
+
+    #[test]
+    fn diversity_injection_reaches_broader_tiers() {
+        let mut dn = DirectoryNode::new(0);
+        // Plenty of same-AS candidates plus distinct world candidates.
+        for g in 1..=30 {
+            dn.register(record(g, 100, 10, 1, NatType::Open), ver());
+        }
+        for g in 31..=40 {
+            dn.register(record(g, 999, 99, 7, NatType::Open), ver());
+        }
+        let selector = Selector::new(SelectionPolicy {
+            max_peers: 10,
+            diversity: 0.5, // exaggerated for the test
+            ..SelectionPolicy::default()
+        });
+        let mut rng = DetRng::seeded(6);
+        let mut saw_world = false;
+        for _ in 0..20 {
+            let picked = selector.select(&mut dn, ver(), &querier(), &mut rng);
+            if picked.iter().any(|c| c.asn == AsNumber(999)) {
+                saw_world = true;
+                break;
+            }
+        }
+        assert!(saw_world, "diversity must occasionally pick broader tiers");
+    }
+
+    #[test]
+    fn locality_off_ablation_selects_randomly() {
+        let mut dn = DirectoryNode::new(0);
+        for g in 1..=20 {
+            dn.register(record(g, 100, 10, 1, NatType::Open), ver());
+        }
+        for g in 21..=40 {
+            dn.register(record(g, 999, 99, 7, NatType::Open), ver());
+        }
+        let selector = Selector::new(SelectionPolicy {
+            max_peers: 10,
+            locality_aware: false,
+            ..SelectionPolicy::default()
+        });
+        let mut rng = DetRng::seeded(7);
+        let picked = selector.select(&mut dn, ver(), &querier(), &mut rng);
+        let far = picked.iter().filter(|c| c.asn == AsNumber(999)).count();
+        assert!(
+            far >= 2,
+            "random selection should mix tiers (got {far} far peers)"
+        );
+    }
+
+    #[test]
+    fn empty_directory_returns_nothing() {
+        let mut dn = DirectoryNode::new(0);
+        let selector = Selector::default();
+        let mut rng = DetRng::seeded(8);
+        assert!(selector.select(&mut dn, ver(), &querier(), &mut rng).is_empty());
+    }
+}

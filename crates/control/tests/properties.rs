@@ -1,0 +1,153 @@
+//! Property-based tests for the control plane.
+
+use netsession_control::directory::{DirectoryNode, PeerRecord};
+use netsession_control::selection::{Querier, SelectionPolicy, Selector};
+use netsession_core::id::{AsNumber, Guid, ObjectId, VersionId};
+use netsession_core::msg::{NatType, PeerAddr};
+use netsession_core::rng::DetRng;
+use netsession_nat::matrix::connectivity;
+use proptest::prelude::*;
+
+fn nat_type() -> impl Strategy<Value = NatType> {
+    (0usize..6).prop_map(|i| NatType::ALL[i])
+}
+
+fn record(guid: u64, asn: u32, area: u16, zone: u8, nat: NatType) -> PeerRecord {
+    PeerRecord {
+        guid: Guid(guid as u128),
+        addr: PeerAddr {
+            ip: guid as u32,
+            port: 1,
+        },
+        asn: AsNumber(asn),
+        area,
+        zone,
+        nat,
+    }
+}
+
+fn ver() -> VersionId {
+    VersionId {
+        object: ObjectId(1),
+        version: 1,
+    }
+}
+
+proptest! {
+    /// Selection invariants under arbitrary directories: bounded size, no
+    /// self-selection, no duplicates, NAT-compatible only, and every
+    /// returned peer is a registered holder.
+    #[test]
+    fn selection_invariants(
+        peers in proptest::collection::vec((1u64..500, 1u32..40, 0u16..12, 0u8..5, 0usize..6), 0..120),
+        q_nat in nat_type(),
+        max_peers in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        let mut dn = DirectoryNode::new(0);
+        let mut registered = std::collections::HashSet::new();
+        for (g, asn, area, zone, nat_idx) in &peers {
+            dn.register(record(*g, *asn, *area, *zone, NatType::ALL[*nat_idx]), ver());
+            registered.insert(Guid(*g as u128));
+        }
+        let selector = Selector::new(SelectionPolicy {
+            max_peers,
+            ..SelectionPolicy::default()
+        });
+        let querier = Querier {
+            guid: Guid(1),
+            asn: AsNumber(5),
+            area: 3,
+            zone: 1,
+            nat: q_nat,
+        };
+        let mut rng = DetRng::seeded(seed);
+        let picked = selector.select(&mut dn, ver(), &querier, &mut rng);
+
+        prop_assert!(picked.len() <= max_peers);
+        let mut seen = std::collections::HashSet::new();
+        for c in &picked {
+            prop_assert!(c.guid != querier.guid, "self-selection");
+            prop_assert!(seen.insert(c.guid), "duplicate selection");
+            prop_assert!(registered.contains(&c.guid), "phantom peer");
+            prop_assert!(connectivity(q_nat, c.nat).usable(), "incompatible NAT pairing");
+        }
+    }
+
+    /// The fairness rotation preserves the holder set: selecting never
+    /// loses or invents holders.
+    #[test]
+    fn rotation_preserves_holders(
+        n in 1u64..60,
+        rounds in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut dn = DirectoryNode::new(0);
+        for g in 1..=n {
+            dn.register(record(g, 1, 1, 1, NatType::Open), ver());
+        }
+        let selector = Selector::new(SelectionPolicy {
+            max_peers: 7,
+            ..SelectionPolicy::default()
+        });
+        let querier = Querier {
+            guid: Guid(0),
+            asn: AsNumber(1),
+            area: 1,
+            zone: 1,
+            nat: NatType::Open,
+        };
+        let mut rng = DetRng::seeded(seed);
+        for _ in 0..rounds {
+            let _ = selector.select(&mut dn, ver(), &querier, &mut rng);
+            prop_assert_eq!(dn.holder_count(ver()), n as usize);
+        }
+    }
+
+    /// Over enough rounds, rotation serves every holder (no starvation).
+    #[test]
+    fn rotation_eventually_serves_everyone(n in 2u64..40, seed in any::<u64>()) {
+        let mut dn = DirectoryNode::new(0);
+        for g in 1..=n {
+            dn.register(record(g, 1, 1, 1, NatType::Open), ver());
+        }
+        let selector = Selector::new(SelectionPolicy {
+            max_peers: 3,
+            diversity: 0.0,
+            ..SelectionPolicy::default()
+        });
+        let querier = Querier {
+            guid: Guid(0),
+            asn: AsNumber(1),
+            area: 1,
+            zone: 1,
+            nat: NatType::Open,
+        };
+        let mut rng = DetRng::seeded(seed);
+        let mut served = std::collections::HashSet::new();
+        for _ in 0..(n as usize) {
+            for c in selector.select(&mut dn, ver(), &querier, &mut rng) {
+                served.insert(c.guid);
+            }
+        }
+        prop_assert_eq!(served.len(), n as usize, "someone was starved");
+    }
+
+    /// Register/unregister sequences keep the directory consistent with a
+    /// model set.
+    #[test]
+    fn directory_matches_model(ops in proptest::collection::vec((1u64..40, any::<bool>()), 0..200)) {
+        let mut dn = DirectoryNode::new(0);
+        let mut model = std::collections::HashSet::new();
+        for (g, add) in ops {
+            if add {
+                dn.register(record(g, 1, 1, 1, NatType::Open), ver());
+                model.insert(g);
+            } else {
+                dn.unregister(Guid(g as u128), ver());
+                model.remove(&g);
+            }
+            prop_assert_eq!(dn.holder_count(ver()), model.len());
+        }
+    }
+}

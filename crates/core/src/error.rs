@@ -1,0 +1,109 @@
+//! Workspace-wide error type.
+//!
+//! Every crate in the workspace funnels fallible operations through
+//! [`Error`]; the variants mirror the failure modes the paper's log format
+//! distinguishes (system-related causes such as "too many corrupted content
+//! blocks" vs. other causes such as "the user's disk is full", §5.2).
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Unified error type for the NetSession reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A wire frame or field failed to decode.
+    Codec(String),
+    /// A piece hash did not match the manifest entry (content corruption).
+    IntegrityViolation {
+        /// Object whose piece failed verification.
+        object: crate::id::ObjectId,
+        /// Index of the offending piece.
+        piece: u32,
+    },
+    /// An authorization token was missing, expired, or forged.
+    Unauthorized(String),
+    /// The provider policy forbids the requested operation.
+    PolicyDenied(String),
+    /// The referenced entity (peer, object, version, …) is unknown.
+    NotFound(String),
+    /// The peer or server is in the wrong state for the operation.
+    InvalidState(String),
+    /// Download aborted by the user and never resumed (paper §5.2 outcome).
+    Aborted,
+    /// The local disk filled up — the paper's canonical "other cause".
+    DiskFull,
+    /// Network-level failure (connection refused, reset, NAT punch failed).
+    Network(String),
+    /// A configurable limit (connection count, rate, upload cap) was hit.
+    LimitExceeded(String),
+    /// An accounting report failed cross-validation against edge logs (§3.5).
+    AccountingMismatch(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::IntegrityViolation { object, piece } => {
+                write!(f, "integrity violation: object {object} piece {piece}")
+            }
+            Error::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+            Error::PolicyDenied(m) => write!(f, "policy denied: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::Aborted => write!(f, "download aborted by user"),
+            Error::DiskFull => write!(f, "disk full"),
+            Error::Network(m) => write!(f, "network error: {m}"),
+            Error::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+            Error::AccountingMismatch(m) => write!(f, "accounting mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Whether the paper's log format would classify this failure as a
+    /// *system-related* cause (§5.2) rather than a user/environment cause.
+    pub fn is_system_related(&self) -> bool {
+        matches!(
+            self,
+            Error::Codec(_)
+                | Error::IntegrityViolation { .. }
+                | Error::Network(_)
+                | Error::AccountingMismatch(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ObjectId;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = Error::IntegrityViolation {
+            object: ObjectId::from_raw(7),
+            piece: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("integrity"), "{s}");
+        assert!(s.contains("piece 3"), "{s}");
+    }
+
+    #[test]
+    fn system_related_classification_matches_paper_split() {
+        assert!(Error::Network("reset".into()).is_system_related());
+        assert!(Error::IntegrityViolation {
+            object: ObjectId::from_raw(1),
+            piece: 0
+        }
+        .is_system_related());
+        assert!(!Error::DiskFull.is_system_related());
+        assert!(!Error::Aborted.is_system_related());
+        assert!(!Error::PolicyDenied("no p2p".into()).is_system_related());
+    }
+}

@@ -1,0 +1,218 @@
+//! Identifiers used throughout the NetSession reproduction.
+//!
+//! The paper's vocabulary (§3.4–§3.6, §4.1): every installation has a random
+//! primary **GUID** chosen at install time; the cloning study (§6.2) added a
+//! random 160-bit **secondary GUID** chosen at every start; files are
+//! identified by object IDs and versioned **secure content IDs**; content
+//! providers are identified by **CP codes**; peers are located in
+//! **autonomous systems**.
+
+use crate::rng::DetRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A peer installation's primary GUID — 128 random bits chosen when the
+/// NetSession Interface is first installed (§3.4). Two installations cloned
+/// from the same disk image share a GUID, which is exactly the anomaly the
+/// paper's §6.2 investigates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Guid(pub u128);
+
+impl Guid {
+    /// Draw a fresh random GUID, as the installer does.
+    pub fn random(rng: &mut DetRng) -> Self {
+        Guid(((rng.next_u64() as u128) << 64) | rng.next_u64() as u128)
+    }
+
+    /// Build from a raw value (tests, fixtures).
+    pub const fn from_raw(v: u128) -> Self {
+        Guid(v)
+    }
+}
+
+impl fmt::Debug for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Guid({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Guid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The 160-bit secondary GUID chosen freshly at every client start (§6.2).
+/// Clients report the last five secondary GUIDs at login; the control plane
+/// reconstructs chains from these reports to detect rollback/cloning.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SecondaryGuid(pub [u32; 5]);
+
+impl SecondaryGuid {
+    /// Draw a fresh random secondary GUID.
+    pub fn random(rng: &mut DetRng) -> Self {
+        SecondaryGuid([
+            rng.next_u32(),
+            rng.next_u32(),
+            rng.next_u32(),
+            rng.next_u32(),
+            rng.next_u32(),
+        ])
+    }
+}
+
+impl fmt::Debug for SecondaryGuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SGuid({:08x}{:08x}..)", self.0[0], self.0[1])
+    }
+}
+
+/// A distributable object (one URL in the paper's trace). The trace had
+/// 4,038,894 distinct URLs (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Build from a raw value.
+    pub const fn from_raw(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Obj({})", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A *versioned* secure content ID. "Content can change over time, so it is
+/// important that different versions are not mixed up in the same download.
+/// Edge servers generate and maintain secure IDs of content, which are unique
+/// to each version" (§3.5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VersionId {
+    /// The object this version belongs to.
+    pub object: ObjectId,
+    /// Monotonic version number assigned by the edge tier.
+    pub version: u32,
+}
+
+impl fmt::Debug for VersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Obj({})v{}", self.object.0, self.version)
+    }
+}
+
+/// A content-provider account ("CP code" in Akamai terms, §4.1): "a number
+/// identifying a specific account of a content provider that is offering the
+/// file".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CpCode(pub u32);
+
+impl fmt::Debug for CpCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cp({})", self.0)
+    }
+}
+
+impl fmt::Display for CpCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An autonomous-system number. The trace observed 31,190 distinct ASes
+/// (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsNumber(pub u32);
+
+impl fmt::Debug for AsNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Display for AsNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Dense index of a peer inside a simulation run. GUIDs are sparse 128-bit
+/// values; the simulator keeps peers in contiguous arrays and refers to them
+/// by this index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PeerIndex(pub u32);
+
+impl PeerIndex {
+    /// Array-index view.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PeerIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of one persistent control connection (peer ↔ CN), unique per
+/// CN. Used to route asynchronous "connect to each other" instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConnectionId(pub u64);
+
+impl fmt::Debug for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Conn({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guids_are_distinct_and_deterministic() {
+        let mut rng = DetRng::seeded(42);
+        let a = Guid::random(&mut rng);
+        let b = Guid::random(&mut rng);
+        assert_ne!(a, b);
+        let mut rng2 = DetRng::seeded(42);
+        assert_eq!(a, Guid::random(&mut rng2));
+    }
+
+    #[test]
+    fn secondary_guids_are_160_bits_of_entropy() {
+        let mut rng = DetRng::seeded(7);
+        let a = SecondaryGuid::random(&mut rng);
+        let b = SecondaryGuid::random(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn version_ids_order_by_object_then_version() {
+        let a = VersionId {
+            object: ObjectId(1),
+            version: 9,
+        };
+        let b = VersionId {
+            object: ObjectId(2),
+            version: 0,
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AsNumber(701).to_string(), "AS701");
+        assert_eq!(ObjectId(5).to_string(), "5");
+        assert_eq!(format!("{:?}", PeerIndex(3)), "P3");
+    }
+}

@@ -1,0 +1,1004 @@
+//! NetSession protocol messages.
+//!
+//! Three conversations exist in the system (§3.4–§3.6):
+//!
+//! 1. **peer ↔ control plane** over the persistent TCP control connection
+//!    ([`ControlMsg`]): login, peer queries, connect instructions, content
+//!    registration, RE-ADD recovery, usage reports, configuration updates.
+//! 2. **peer ↔ peer** over swarming connections ([`SwarmMsg`]): handshake,
+//!    have-maps, piece requests and data.
+//! 3. **peer ↔ edge server** over HTTP(S) ([`EdgeMsg`]): authorization,
+//!    manifests, piece downloads, accounting cross-checks.
+//!
+//! All messages implement [`Wire`] so the live tokio runtime can frame them
+//! directly; the simulator passes them as values.
+
+use crate::codec::{Reader, Wire, Writer};
+use crate::error::{Error, Result as CodecResult};
+use crate::hash::Digest;
+use crate::id::{AsNumber, ConnectionId, Guid, SecondaryGuid, VersionId};
+use crate::piece::{Manifest, PieceIndex, PieceMap};
+use crate::policy::{DownloadPolicy, TransferConfig};
+use crate::time::SimTime;
+use crate::units::ByteCount;
+use serde::{Deserialize, Serialize};
+
+/// NAT/firewall classification of an endpoint, as determined by the STUN
+/// components (§3.6). The taxonomy follows classic STUN (RFC 3489 vintage),
+/// which is what a custom traversal implementation must reason about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NatType {
+    /// Publicly reachable, no NAT.
+    Open,
+    /// Full-cone NAT: any external host may send once a mapping exists.
+    FullCone,
+    /// Address-restricted cone.
+    RestrictedCone,
+    /// Port-restricted cone.
+    PortRestricted,
+    /// Symmetric NAT: per-destination mappings; hardest to traverse.
+    Symmetric,
+    /// UDP blocked / strict firewall: only outbound TCP works.
+    Blocked,
+}
+
+impl NatType {
+    /// All variants, for iteration in tests and population generation.
+    pub const ALL: [NatType; 6] = [
+        NatType::Open,
+        NatType::FullCone,
+        NatType::RestrictedCone,
+        NatType::PortRestricted,
+        NatType::Symmetric,
+        NatType::Blocked,
+    ];
+
+    fn code(self) -> u8 {
+        match self {
+            NatType::Open => 0,
+            NatType::FullCone => 1,
+            NatType::RestrictedCone => 2,
+            NatType::PortRestricted => 3,
+            NatType::Symmetric => 4,
+            NatType::Blocked => 5,
+        }
+    }
+
+    fn from_code(c: u8) -> CodecResult<Self> {
+        Ok(match c {
+            0 => NatType::Open,
+            1 => NatType::FullCone,
+            2 => NatType::RestrictedCone,
+            3 => NatType::PortRestricted,
+            4 => NatType::Symmetric,
+            5 => NatType::Blocked,
+            x => return Err(Error::Codec(format!("invalid NAT type {x}"))),
+        })
+    }
+}
+
+impl Wire for NatType {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.code());
+    }
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        NatType::from_code(r.get_u8()?)
+    }
+}
+
+/// Transport address of a peer (synthetic IPv4 in the simulator, real
+/// localhost addresses in the live runtime).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PeerAddr {
+    /// IPv4 address as a big-endian integer.
+    pub ip: u32,
+    /// TCP/UDP port.
+    pub port: u16,
+}
+
+impl PeerAddr {
+    /// Dotted-quad rendering.
+    pub fn ip_string(&self) -> String {
+        let [a, b, c, d] = self.ip.to_be_bytes();
+        format!("{a}.{b}.{c}.{d}")
+    }
+}
+
+impl Wire for PeerAddr {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.ip as u64);
+        w.put_varint(self.port as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let ip = u32::decode(r)?;
+        let port = r.get_varint()?;
+        Ok(PeerAddr {
+            ip,
+            port: u16::try_from(port).map_err(|_| Error::Codec("port overflow".into()))?,
+        })
+    }
+}
+
+/// Everything a downloading peer needs to contact a selected peer: returned
+/// by the CN in response to a query (§3.7).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PeerContact {
+    /// The remote peer's GUID.
+    pub guid: Guid,
+    /// Its current transport address.
+    pub addr: PeerAddr,
+    /// Its AS, used for locality bookkeeping.
+    pub asn: AsNumber,
+    /// Its NAT classification, so the caller knows how to punch.
+    pub nat: NatType,
+}
+
+impl Wire for PeerContact {
+    fn encode(&self, w: &mut Writer) {
+        self.guid.encode(w);
+        self.addr.encode(w);
+        self.asn.encode(w);
+        self.nat.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(PeerContact {
+            guid: Guid::decode(r)?,
+            addr: PeerAddr::decode(r)?,
+            asn: AsNumber::decode(r)?,
+            nat: NatType::decode(r)?,
+        })
+    }
+}
+
+/// An encrypted authorization token issued by an edge server after a peer
+/// authenticates (§3.5): "this yields an encrypted token that can be used to
+/// search for peers." The token binds (guid, object version, expiry) under
+/// the edge tier's secret; the control plane verifies the binding before
+/// answering queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuthToken {
+    /// GUID the token was issued to.
+    pub guid: Guid,
+    /// Version the peer is authorized to obtain.
+    pub version: VersionId,
+    /// Expiry time.
+    pub expires: SimTime,
+    /// MAC over the fields above, keyed by the edge secret.
+    pub mac: Digest,
+}
+
+impl Wire for AuthToken {
+    fn encode(&self, w: &mut Writer) {
+        self.guid.encode(w);
+        self.version.encode(w);
+        self.expires.encode(w);
+        self.mac.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(AuthToken {
+            guid: Guid::decode(r)?,
+            version: VersionId::decode(r)?,
+            expires: SimTime::decode(r)?,
+            mac: Digest::decode(r)?,
+        })
+    }
+}
+
+/// One download record inside a usage report (§4.1): the CN logs the GUID,
+/// object, start/end, and the split of bytes between infrastructure and
+/// peers. This is the billing-relevant unit the accounting pipeline
+/// cross-checks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UsageRecord {
+    /// Downloading peer.
+    pub guid: Guid,
+    /// What was downloaded.
+    pub version: VersionId,
+    /// When the download started.
+    pub started: SimTime,
+    /// When it ended (completed, failed, or abandoned).
+    pub ended: SimTime,
+    /// Bytes received from edge servers.
+    pub bytes_from_infrastructure: ByteCount,
+    /// Bytes received from peers.
+    pub bytes_from_peers: ByteCount,
+}
+
+impl Wire for UsageRecord {
+    fn encode(&self, w: &mut Writer) {
+        self.guid.encode(w);
+        self.version.encode(w);
+        self.started.encode(w);
+        self.ended.encode(w);
+        self.bytes_from_infrastructure.encode(w);
+        self.bytes_from_peers.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(UsageRecord {
+            guid: Guid::decode(r)?,
+            version: VersionId::decode(r)?,
+            started: SimTime::decode(r)?,
+            ended: SimTime::decode(r)?,
+            bytes_from_infrastructure: ByteCount::decode(r)?,
+            bytes_from_peers: ByteCount::decode(r)?,
+        })
+    }
+}
+
+/// Messages on the persistent peer ↔ control-plane connection.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ControlMsg {
+    /// Peer logs in when it comes online.
+    Login {
+        /// Installation GUID.
+        guid: Guid,
+        /// Last five secondary GUIDs, newest first (§6.2).
+        secondary_guids: Vec<SecondaryGuid>,
+        /// Whether the user has uploads enabled.
+        uploads_enabled: bool,
+        /// Client software version.
+        software_version: u32,
+        /// STUN-determined NAT classification.
+        nat: NatType,
+        /// Current transport address.
+        addr: PeerAddr,
+    },
+    /// CN accepts the login and assigns a connection ID.
+    LoginAck {
+        /// Connection ID for subsequent routing.
+        conn: ConnectionId,
+        /// Current client configuration.
+        config: TransferConfig,
+    },
+    /// Peer asks for peers that hold a version (requires an edge token).
+    QueryPeers {
+        /// Authorization token from an edge server.
+        token: AuthToken,
+        /// How many peers the client wants at most.
+        max_peers: u32,
+    },
+    /// CN answers a query.
+    PeerList {
+        /// The version queried.
+        version: VersionId,
+        /// Selected peers (up to the default 40, §3.7).
+        peers: Vec<PeerContact>,
+    },
+    /// CN instructs a peer to open a connection to another peer — sent to
+    /// *both* endpoints to coordinate NAT hole punching (§3.4, §3.6).
+    ConnectTo {
+        /// Who to connect to.
+        contact: PeerContact,
+        /// For which object version.
+        version: VersionId,
+        /// Whether this endpoint should take the active (dialing) role.
+        active_role: bool,
+    },
+    /// Peer announces a locally cached, shareable copy (creates DN entries).
+    RegisterContent {
+        /// Announced version.
+        version: VersionId,
+        /// How complete the local copy is (seeders register 1.0).
+        fraction: f64,
+    },
+    /// Peer withdraws a copy (cache eviction, uploads disabled, shutdown).
+    UnregisterContent {
+        /// Withdrawn version.
+        version: VersionId,
+    },
+    /// CN asks the peer to re-list all cached content after a DN failure
+    /// ("the CNs connected to that DN send a RE-ADD message to their peers,
+    /// asking them to list the files that they are storing", §3.8).
+    ReAdd,
+    /// Peer's answer to [`ControlMsg::ReAdd`].
+    ReAddResponse {
+        /// All locally cached versions.
+        versions: Vec<VersionId>,
+    },
+    /// Peer uploads usage statistics for billing/monitoring (§3.4).
+    UsageReport {
+        /// The download records being reported.
+        records: Vec<UsageRecord>,
+    },
+    /// CN pushes a configuration update (§3.4).
+    ConfigUpdate {
+        /// The new configuration.
+        config: TransferConfig,
+    },
+    /// Peer asks to close the session gracefully.
+    Logout,
+}
+
+impl ControlMsg {
+    fn tag(&self) -> u8 {
+        match self {
+            ControlMsg::Login { .. } => 0,
+            ControlMsg::LoginAck { .. } => 1,
+            ControlMsg::QueryPeers { .. } => 2,
+            ControlMsg::PeerList { .. } => 3,
+            ControlMsg::ConnectTo { .. } => 4,
+            ControlMsg::RegisterContent { .. } => 5,
+            ControlMsg::UnregisterContent { .. } => 6,
+            ControlMsg::ReAdd => 7,
+            ControlMsg::ReAddResponse { .. } => 8,
+            ControlMsg::UsageReport { .. } => 9,
+            ControlMsg::ConfigUpdate { .. } => 10,
+            ControlMsg::Logout => 11,
+        }
+    }
+}
+
+impl Wire for TransferConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.max_upload_connections as u64);
+        w.put_varint(self.max_download_connections as u64);
+        w.put_f64(self.upload_rate_fraction);
+        w.put_f64(self.busy_upload_fraction);
+        w.put_varint(self.cache_ttl_hours as u64);
+        w.put_varint(self.max_requery_rounds as u64);
+        w.put_varint(self.sufficient_peer_connections as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(TransferConfig {
+            max_upload_connections: r.get_varint()? as usize,
+            max_download_connections: r.get_varint()? as usize,
+            upload_rate_fraction: r.get_f64()?,
+            busy_upload_fraction: r.get_f64()?,
+            cache_ttl_hours: u32::decode(r)?,
+            max_requery_rounds: u32::decode(r)?,
+            sufficient_peer_connections: r.get_varint()? as usize,
+        })
+    }
+}
+
+impl Wire for ControlMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.tag());
+        match self {
+            ControlMsg::Login {
+                guid,
+                secondary_guids,
+                uploads_enabled,
+                software_version,
+                nat,
+                addr,
+            } => {
+                guid.encode(w);
+                secondary_guids.encode(w);
+                uploads_enabled.encode(w);
+                software_version.encode(w);
+                nat.encode(w);
+                addr.encode(w);
+            }
+            ControlMsg::LoginAck { conn, config } => {
+                conn.encode(w);
+                config.encode(w);
+            }
+            ControlMsg::QueryPeers { token, max_peers } => {
+                token.encode(w);
+                max_peers.encode(w);
+            }
+            ControlMsg::PeerList { version, peers } => {
+                version.encode(w);
+                peers.encode(w);
+            }
+            ControlMsg::ConnectTo {
+                contact,
+                version,
+                active_role,
+            } => {
+                contact.encode(w);
+                version.encode(w);
+                active_role.encode(w);
+            }
+            ControlMsg::RegisterContent { version, fraction } => {
+                version.encode(w);
+                fraction.encode(w);
+            }
+            ControlMsg::UnregisterContent { version } => {
+                version.encode(w);
+            }
+            ControlMsg::ReAdd => {}
+            ControlMsg::ReAddResponse { versions } => {
+                versions.encode(w);
+            }
+            ControlMsg::UsageReport { records } => {
+                records.encode(w);
+            }
+            ControlMsg::ConfigUpdate { config } => {
+                config.encode(w);
+            }
+            ControlMsg::Logout => {}
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            0 => ControlMsg::Login {
+                guid: Guid::decode(r)?,
+                secondary_guids: Vec::decode(r)?,
+                uploads_enabled: bool::decode(r)?,
+                software_version: u32::decode(r)?,
+                nat: NatType::decode(r)?,
+                addr: PeerAddr::decode(r)?,
+            },
+            1 => ControlMsg::LoginAck {
+                conn: ConnectionId::decode(r)?,
+                config: TransferConfig::decode(r)?,
+            },
+            2 => ControlMsg::QueryPeers {
+                token: AuthToken::decode(r)?,
+                max_peers: u32::decode(r)?,
+            },
+            3 => ControlMsg::PeerList {
+                version: VersionId::decode(r)?,
+                peers: Vec::decode(r)?,
+            },
+            4 => ControlMsg::ConnectTo {
+                contact: PeerContact::decode(r)?,
+                version: VersionId::decode(r)?,
+                active_role: bool::decode(r)?,
+            },
+            5 => ControlMsg::RegisterContent {
+                version: VersionId::decode(r)?,
+                fraction: f64::decode(r)?,
+            },
+            6 => ControlMsg::UnregisterContent {
+                version: VersionId::decode(r)?,
+            },
+            7 => ControlMsg::ReAdd,
+            8 => ControlMsg::ReAddResponse {
+                versions: Vec::decode(r)?,
+            },
+            9 => ControlMsg::UsageReport {
+                records: Vec::decode(r)?,
+            },
+            10 => ControlMsg::ConfigUpdate {
+                config: TransferConfig::decode(r)?,
+            },
+            11 => ControlMsg::Logout,
+            x => return Err(Error::Codec(format!("invalid control tag {x}"))),
+        })
+    }
+}
+
+/// Messages on peer ↔ peer swarming connections (§3.4). Deliberately close
+/// to BitTorrent's wire protocol, minus choke/unchoke: NetSession has no
+/// tit-for-tat.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SwarmMsg {
+    /// First message on a connection; both sides send one.
+    Handshake {
+        /// Sender's GUID.
+        guid: Guid,
+        /// Authorization token proving the sender may receive this content.
+        token: AuthToken,
+        /// The version this connection is about.
+        version: VersionId,
+    },
+    /// Full have-bitmap, sent after handshake.
+    HaveMap {
+        /// Piece count (so the receiver can size the map).
+        pieces: u32,
+        /// Packed bitmap words.
+        words: Vec<u64>,
+    },
+    /// Incremental announcement of a newly verified piece.
+    Have {
+        /// The piece now available.
+        piece: PieceIndex,
+    },
+    /// Request one piece.
+    Request {
+        /// The wanted piece.
+        piece: PieceIndex,
+    },
+    /// Piece content. In the live runtime this carries real bytes; in the
+    /// simulator the digest stands in for the data.
+    Piece {
+        /// Which piece.
+        piece: PieceIndex,
+        /// Raw content bytes (empty in simulation).
+        data: Vec<u8>,
+        /// Digest of the content (used directly in simulation).
+        digest: Digest,
+    },
+    /// Withdraw an outstanding request.
+    Cancel {
+        /// The request being cancelled.
+        piece: PieceIndex,
+    },
+    /// Sender is at its upload-connection limit; try later (§3.4's global
+    /// connection limit — the polite replacement for BitTorrent's choke).
+    Busy,
+    /// Graceful close.
+    Goodbye,
+}
+
+impl SwarmMsg {
+    fn tag(&self) -> u8 {
+        match self {
+            SwarmMsg::Handshake { .. } => 0,
+            SwarmMsg::HaveMap { .. } => 1,
+            SwarmMsg::Have { .. } => 2,
+            SwarmMsg::Request { .. } => 3,
+            SwarmMsg::Piece { .. } => 4,
+            SwarmMsg::Cancel { .. } => 5,
+            SwarmMsg::Busy => 6,
+            SwarmMsg::Goodbye => 7,
+        }
+    }
+
+    /// Build a [`SwarmMsg::HaveMap`] from a piece map.
+    pub fn have_map(map: &PieceMap) -> SwarmMsg {
+        let words: Vec<u64> = map.held().fold(
+            vec![0u64; (map.len() as usize).div_ceil(64)],
+            |mut acc, i| {
+                acc[(i / 64) as usize] |= 1 << (i % 64);
+                acc
+            },
+        );
+        SwarmMsg::HaveMap {
+            pieces: map.len(),
+            words,
+        }
+    }
+
+    /// Reconstruct a [`PieceMap`] from a received [`SwarmMsg::HaveMap`].
+    pub fn decode_have_map(pieces: u32, words: &[u64]) -> CodecResult<PieceMap> {
+        if words.len() != (pieces as usize).div_ceil(64) {
+            return Err(Error::Codec("have-map word count mismatch".into()));
+        }
+        let mut map = PieceMap::empty(pieces);
+        for i in 0..pieces {
+            if words[(i / 64) as usize] & (1 << (i % 64)) != 0 {
+                map.set(i);
+            }
+        }
+        Ok(map)
+    }
+}
+
+impl Wire for SwarmMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.tag());
+        match self {
+            SwarmMsg::Handshake {
+                guid,
+                token,
+                version,
+            } => {
+                guid.encode(w);
+                token.encode(w);
+                version.encode(w);
+            }
+            SwarmMsg::HaveMap { pieces, words } => {
+                pieces.encode(w);
+                words.encode(w);
+            }
+            SwarmMsg::Have { piece } => piece.encode(w),
+            SwarmMsg::Request { piece } => piece.encode(w),
+            SwarmMsg::Piece {
+                piece,
+                data,
+                digest,
+            } => {
+                piece.encode(w);
+                w.put_bytes(data);
+                digest.encode(w);
+            }
+            SwarmMsg::Cancel { piece } => piece.encode(w),
+            SwarmMsg::Busy | SwarmMsg::Goodbye => {}
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            0 => SwarmMsg::Handshake {
+                guid: Guid::decode(r)?,
+                token: AuthToken::decode(r)?,
+                version: VersionId::decode(r)?,
+            },
+            1 => SwarmMsg::HaveMap {
+                pieces: u32::decode(r)?,
+                words: Vec::decode(r)?,
+            },
+            2 => SwarmMsg::Have {
+                piece: PieceIndex::decode(r)?,
+            },
+            3 => SwarmMsg::Request {
+                piece: PieceIndex::decode(r)?,
+            },
+            4 => SwarmMsg::Piece {
+                piece: PieceIndex::decode(r)?,
+                data: r.get_bytes()?,
+                digest: Digest::decode(r)?,
+            },
+            5 => SwarmMsg::Cancel {
+                piece: PieceIndex::decode(r)?,
+            },
+            6 => SwarmMsg::Busy,
+            7 => SwarmMsg::Goodbye,
+            x => return Err(Error::Codec(format!("invalid swarm tag {x}"))),
+        })
+    }
+}
+
+/// Messages on peer ↔ edge-server HTTP(S) connections (§3.5).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EdgeMsg {
+    /// Peer authenticates and asks for authorization to fetch a version.
+    Authorize {
+        /// Requesting peer.
+        guid: Guid,
+        /// Requested version.
+        version: VersionId,
+    },
+    /// Edge grants authorization: token + policy + manifest.
+    Authorized {
+        /// Token for control-plane queries and peer handshakes.
+        token: AuthToken,
+        /// Provider policy for this object.
+        policy: DownloadPolicy,
+        /// Content manifest with piece hashes.
+        manifest: Manifest,
+    },
+    /// Edge refuses (unknown object, policy denies download).
+    Denied {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Peer requests one piece from the edge.
+    GetPiece {
+        /// Proof of authorization.
+        token: AuthToken,
+        /// Wanted piece.
+        piece: PieceIndex,
+    },
+    /// Edge serves a piece.
+    PieceData {
+        /// Which piece.
+        piece: PieceIndex,
+        /// Raw bytes (empty in simulation).
+        data: Vec<u8>,
+        /// Digest (used in simulation).
+        digest: Digest,
+    },
+    /// Edge-side record that it served bytes to a GUID — the trusted side of
+    /// accounting cross-checks (§3.5, anti accounting-attack).
+    ServedReceipt {
+        /// Peer that was served.
+        guid: Guid,
+        /// Version served.
+        version: VersionId,
+        /// Bytes served.
+        bytes: ByteCount,
+    },
+}
+
+impl Wire for Manifest {
+    fn encode(&self, w: &mut Writer) {
+        self.version.encode(w);
+        self.size.encode(w);
+        w.put_varint(self.piece_size);
+        self.piece_hashes.encode(w);
+        self.content_id.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(Manifest {
+            version: VersionId::decode(r)?,
+            size: ByteCount::decode(r)?,
+            piece_size: r.get_varint()?,
+            piece_hashes: Vec::decode(r)?,
+            content_id: Digest::decode(r)?,
+        })
+    }
+}
+
+impl Wire for DownloadPolicy {
+    fn encode(&self, w: &mut Writer) {
+        self.download_allowed.encode(w);
+        self.p2p_enabled.encode(w);
+        self.upload_allowed.encode(w);
+        self.per_peer_upload_cap.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(DownloadPolicy {
+            download_allowed: bool::decode(r)?,
+            p2p_enabled: bool::decode(r)?,
+            upload_allowed: bool::decode(r)?,
+            per_peer_upload_cap: Option::decode(r)?,
+        })
+    }
+}
+
+impl EdgeMsg {
+    fn tag(&self) -> u8 {
+        match self {
+            EdgeMsg::Authorize { .. } => 0,
+            EdgeMsg::Authorized { .. } => 1,
+            EdgeMsg::Denied { .. } => 2,
+            EdgeMsg::GetPiece { .. } => 3,
+            EdgeMsg::PieceData { .. } => 4,
+            EdgeMsg::ServedReceipt { .. } => 5,
+        }
+    }
+}
+
+impl Wire for EdgeMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.tag());
+        match self {
+            EdgeMsg::Authorize { guid, version } => {
+                guid.encode(w);
+                version.encode(w);
+            }
+            EdgeMsg::Authorized {
+                token,
+                policy,
+                manifest,
+            } => {
+                token.encode(w);
+                policy.encode(w);
+                manifest.encode(w);
+            }
+            EdgeMsg::Denied { reason } => reason.encode(w),
+            EdgeMsg::GetPiece { token, piece } => {
+                token.encode(w);
+                piece.encode(w);
+            }
+            EdgeMsg::PieceData {
+                piece,
+                data,
+                digest,
+            } => {
+                piece.encode(w);
+                w.put_bytes(data);
+                digest.encode(w);
+            }
+            EdgeMsg::ServedReceipt {
+                guid,
+                version,
+                bytes,
+            } => {
+                guid.encode(w);
+                version.encode(w);
+                bytes.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            0 => EdgeMsg::Authorize {
+                guid: Guid::decode(r)?,
+                version: VersionId::decode(r)?,
+            },
+            1 => EdgeMsg::Authorized {
+                token: AuthToken::decode(r)?,
+                policy: DownloadPolicy::decode(r)?,
+                manifest: Manifest::decode(r)?,
+            },
+            2 => EdgeMsg::Denied {
+                reason: String::decode(r)?,
+            },
+            3 => EdgeMsg::GetPiece {
+                token: AuthToken::decode(r)?,
+                piece: PieceIndex::decode(r)?,
+            },
+            4 => EdgeMsg::PieceData {
+                piece: PieceIndex::decode(r)?,
+                data: r.get_bytes()?,
+                digest: Digest::decode(r)?,
+            },
+            5 => EdgeMsg::ServedReceipt {
+                guid: Guid::decode(r)?,
+                version: VersionId::decode(r)?,
+                bytes: ByteCount::decode(r)?,
+            },
+            x => return Err(Error::Codec(format!("invalid edge tag {x}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256;
+    use crate::id::ObjectId;
+
+    fn ver() -> VersionId {
+        VersionId {
+            object: ObjectId(5),
+            version: 2,
+        }
+    }
+
+    fn token() -> AuthToken {
+        AuthToken {
+            guid: Guid(99),
+            version: ver(),
+            expires: SimTime(1000),
+            mac: sha256(b"mac"),
+        }
+    }
+
+    fn contact() -> PeerContact {
+        PeerContact {
+            guid: Guid(7),
+            addr: PeerAddr {
+                ip: 0x0a000001,
+                port: 8443,
+            },
+            asn: AsNumber(7018),
+            nat: NatType::PortRestricted,
+        }
+    }
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let payload = v.to_payload();
+        assert_eq!(T::from_payload(&payload).unwrap(), v);
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        let msgs = vec![
+            ControlMsg::Login {
+                guid: Guid(1),
+                secondary_guids: vec![SecondaryGuid([1, 2, 3, 4, 5]); 5],
+                uploads_enabled: true,
+                software_version: 40100,
+                nat: NatType::Symmetric,
+                addr: PeerAddr { ip: 1, port: 2 },
+            },
+            ControlMsg::LoginAck {
+                conn: ConnectionId(8),
+                config: TransferConfig::default(),
+            },
+            ControlMsg::QueryPeers {
+                token: token(),
+                max_peers: 40,
+            },
+            ControlMsg::PeerList {
+                version: ver(),
+                peers: vec![contact(); 3],
+            },
+            ControlMsg::ConnectTo {
+                contact: contact(),
+                version: ver(),
+                active_role: true,
+            },
+            ControlMsg::RegisterContent {
+                version: ver(),
+                fraction: 1.0,
+            },
+            ControlMsg::UnregisterContent { version: ver() },
+            ControlMsg::ReAdd,
+            ControlMsg::ReAddResponse {
+                versions: vec![ver()],
+            },
+            ControlMsg::UsageReport {
+                records: vec![UsageRecord {
+                    guid: Guid(1),
+                    version: ver(),
+                    started: SimTime(10),
+                    ended: SimTime(20),
+                    bytes_from_infrastructure: ByteCount(100),
+                    bytes_from_peers: ByteCount(300),
+                }],
+            },
+            ControlMsg::ConfigUpdate {
+                config: TransferConfig::default(),
+            },
+            ControlMsg::Logout,
+        ];
+        for m in msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn swarm_messages_roundtrip() {
+        let msgs = vec![
+            SwarmMsg::Handshake {
+                guid: Guid(3),
+                token: token(),
+                version: ver(),
+            },
+            SwarmMsg::HaveMap {
+                pieces: 100,
+                words: vec![u64::MAX, 0b1111],
+            },
+            SwarmMsg::Have { piece: 7 },
+            SwarmMsg::Request { piece: 9 },
+            SwarmMsg::Piece {
+                piece: 9,
+                data: vec![1, 2, 3],
+                digest: sha256(&[1, 2, 3]),
+            },
+            SwarmMsg::Cancel { piece: 9 },
+            SwarmMsg::Busy,
+            SwarmMsg::Goodbye,
+        ];
+        for m in msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn edge_messages_roundtrip() {
+        let manifest = Manifest::synthetic(ver(), ByteCount::from_mib(3), 1 << 20);
+        let msgs = vec![
+            EdgeMsg::Authorize {
+                guid: Guid(3),
+                version: ver(),
+            },
+            EdgeMsg::Authorized {
+                token: token(),
+                policy: DownloadPolicy::peer_assisted(),
+                manifest,
+            },
+            EdgeMsg::Denied {
+                reason: "policy".into(),
+            },
+            EdgeMsg::GetPiece {
+                token: token(),
+                piece: 1,
+            },
+            EdgeMsg::PieceData {
+                piece: 1,
+                data: vec![],
+                digest: sha256(b"p"),
+            },
+            EdgeMsg::ServedReceipt {
+                guid: Guid(3),
+                version: ver(),
+                bytes: ByteCount(500),
+            },
+        ];
+        for m in msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn have_map_conversion_roundtrips() {
+        let mut map = PieceMap::empty(130);
+        for i in [0u32, 1, 63, 64, 65, 128, 129] {
+            map.set(i);
+        }
+        let msg = SwarmMsg::have_map(&map);
+        if let SwarmMsg::HaveMap { pieces, words } = &msg {
+            let back = SwarmMsg::decode_have_map(*pieces, words).unwrap();
+            assert_eq!(back, map);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn have_map_word_count_validated() {
+        assert!(SwarmMsg::decode_have_map(100, &[0u64; 1]).is_err());
+        assert!(SwarmMsg::decode_have_map(100, &[0u64; 2]).is_ok());
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        assert!(ControlMsg::from_payload(&[99]).is_err());
+        assert!(SwarmMsg::from_payload(&[99]).is_err());
+        assert!(EdgeMsg::from_payload(&[99]).is_err());
+        assert!(NatType::from_payload(&[7]).is_err());
+    }
+
+    #[test]
+    fn peer_addr_ip_string() {
+        let a = PeerAddr {
+            ip: 0xC0A80102,
+            port: 80,
+        };
+        assert_eq!(a.ip_string(), "192.168.1.2");
+    }
+}

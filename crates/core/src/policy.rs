@@ -1,0 +1,176 @@
+//! Provider policies and transfer configuration.
+//!
+//! "A policy defined by the content provider is used to decide whether a
+//! particular file may be downloaded and uploaded; in addition, various
+//! configurable options apply to each download and upload. These policies
+//! and options are securely communicated to the peers through the trusted
+//! edge-server infrastructure" (§3.5). Also captured here: the NetSession
+//! best practices of §3.9 (upload rate limits, per-object upload caps,
+//! idle-link backoff) and the global upload-connection limit of §3.4.
+
+use crate::units::Bandwidth;
+use serde::{Deserialize, Serialize};
+
+/// Per-object policy, set by the content provider.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DownloadPolicy {
+    /// Whether the object may be downloaded at all.
+    pub download_allowed: bool,
+    /// Whether peer-assisted (p2p) delivery is enabled for this object.
+    /// In the paper's trace only 1.7% of files had this on, but they
+    /// accounted for 57.4% of bytes (§5.1).
+    pub p2p_enabled: bool,
+    /// Whether peers may re-upload this object to other peers.
+    pub upload_allowed: bool,
+    /// Maximum number of times one peer uploads this object before the
+    /// control plane stops selecting it ("peers upload each object at most a
+    /// limited number of times", §3.9). `None` = unlimited.
+    pub per_peer_upload_cap: Option<u32>,
+}
+
+impl DownloadPolicy {
+    /// The common infrastructure-only policy.
+    pub fn infrastructure_only() -> Self {
+        DownloadPolicy {
+            download_allowed: true,
+            p2p_enabled: false,
+            upload_allowed: false,
+            per_peer_upload_cap: None,
+        }
+    }
+
+    /// The common peer-assisted policy with the default upload cap.
+    pub fn peer_assisted() -> Self {
+        DownloadPolicy {
+            download_allowed: true,
+            p2p_enabled: true,
+            upload_allowed: true,
+            per_peer_upload_cap: Some(DEFAULT_PER_OBJECT_UPLOAD_CAP),
+        }
+    }
+}
+
+/// Default per-object upload cap (uploads of one object by one peer).
+/// §6.1: "NetSession avoids such biases in part by limiting the number of
+/// times a peer will upload a file it has locally cached."
+pub const DEFAULT_PER_OBJECT_UPLOAD_CAP: u32 = 30;
+
+/// Default number of peers the control plane returns per query (§3.7:
+/// "By default, up to 40 peers are returned").
+pub const DEFAULT_PEERS_RETURNED: usize = 40;
+
+/// Client-side transfer configuration — the §3.9 best practices plus the
+/// §3.4 global connection limit. Communicated from the control plane via
+/// configuration updates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransferConfig {
+    /// Global limit on simultaneous upload connections a peer allows
+    /// ("only a globally configurable limit on the total number of upload
+    /// connections", §3.4).
+    pub max_upload_connections: usize,
+    /// Maximum simultaneous p2p download connections per transfer.
+    pub max_download_connections: usize,
+    /// Hard cap on aggregate upload rate, as a fraction of the peer's
+    /// upstream link (uploads are "intentionally limited", §3.9).
+    pub upload_rate_fraction: f64,
+    /// When the user's own applications are using the link, throttle uploads
+    /// to this fraction (idle-link backoff, §3.9). Zero pauses uploads.
+    pub busy_upload_fraction: f64,
+    /// How long a completed object stays in the local cache and is announced
+    /// to the control plane, in hours (§5.2: "keeps it in a local cache for a
+    /// certain amount of time").
+    pub cache_ttl_hours: u32,
+    /// How many additional peer-list queries to issue when connections fail
+    /// ("additional queries are issued until a sufficient number of peer
+    /// connections succeed", §3.7).
+    pub max_requery_rounds: u32,
+    /// Minimum number of established peer connections considered
+    /// "sufficient" before requerying stops.
+    pub sufficient_peer_connections: usize,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            max_upload_connections: 8,
+            max_download_connections: 40,
+            upload_rate_fraction: 0.8,
+            busy_upload_fraction: 0.1,
+            cache_ttl_hours: 14 * 24,
+            max_requery_rounds: 3,
+            sufficient_peer_connections: 10,
+        }
+    }
+}
+
+impl TransferConfig {
+    /// Effective upload-rate cap for a peer with the given upstream link,
+    /// considering whether the link is currently busy with user traffic.
+    pub fn upload_cap(&self, upstream: Bandwidth, link_busy: bool) -> Bandwidth {
+        let frac = if link_busy {
+            self.busy_upload_fraction
+        } else {
+            self.upload_rate_fraction
+        };
+        Bandwidth::from_bytes_per_sec(upstream.bytes_per_sec() * frac.clamp(0.0, 1.0))
+    }
+}
+
+/// Which binary variant a content provider bundles: uploads initially
+/// enabled or initially disabled (§5.1: "the NetSession binary is available
+/// in two versions").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UploadDefault {
+    /// Peer-assist on by default.
+    Enabled,
+    /// Download-manager-only by default.
+    Disabled,
+}
+
+impl UploadDefault {
+    /// Boolean view: `true` iff uploads start enabled.
+    pub fn as_bool(self) -> bool {
+        matches!(self, UploadDefault::Enabled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_policies() {
+        let infra = DownloadPolicy::infrastructure_only();
+        assert!(infra.download_allowed && !infra.p2p_enabled && !infra.upload_allowed);
+        let p2p = DownloadPolicy::peer_assisted();
+        assert!(p2p.p2p_enabled && p2p.upload_allowed);
+        assert_eq!(p2p.per_peer_upload_cap, Some(DEFAULT_PER_OBJECT_UPLOAD_CAP));
+    }
+
+    #[test]
+    fn upload_cap_respects_busy_link() {
+        let cfg = TransferConfig::default();
+        let up = Bandwidth::from_mbps(1.0);
+        let idle = cfg.upload_cap(up, false);
+        let busy = cfg.upload_cap(up, true);
+        assert!(idle.as_mbps() > busy.as_mbps());
+        assert!((idle.as_mbps() - 0.8).abs() < 1e-9);
+        assert!((busy.as_mbps() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upload_cap_clamps_fractions() {
+        let cfg = TransferConfig {
+            upload_rate_fraction: 2.0,
+            ..TransferConfig::default()
+        };
+        let up = Bandwidth::from_mbps(1.0);
+        assert!(cfg.upload_cap(up, false).as_mbps() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn upload_default_bool() {
+        assert!(UploadDefault::Enabled.as_bool());
+        assert!(!UploadDefault::Disabled.as_bool());
+    }
+}

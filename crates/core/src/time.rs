@@ -1,0 +1,225 @@
+//! Simulated time.
+//!
+//! The discrete-event simulator and all logs use [`SimTime`], microseconds
+//! since the start of the simulated trace month. The paper's trace covers
+//! October 2012; our synthetic month is likewise 31 days, and helpers convert
+//! to (day, hour) for the diurnal analyses (Fig 3c).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A span of simulated time, in microseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize, Debug,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+    /// From fractional seconds (saturating at zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1e6) as u64)
+    }
+    /// From whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000_000)
+    }
+    /// From whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000_000)
+    }
+    /// From whole days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * 86_400_000_000)
+    }
+
+    /// As microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// As fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3.6e9
+    }
+
+    /// Scale by a non-negative factor.
+    pub fn mul_f64(self, k: f64) -> Self {
+        SimDuration((self.0 as f64 * k.max(0.0)) as u64)
+    }
+}
+
+/// An instant of simulated time: microseconds since trace start.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The start of the trace.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From fractional seconds since trace start.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s.max(0.0) * 1e6) as u64)
+    }
+
+    /// Microseconds since trace start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+    /// Fractional seconds since trace start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Zero-based day index within the trace month.
+    pub fn day(self) -> u64 {
+        self.0 / 86_400_000_000
+    }
+
+    /// Hour of day in GMT, 0–23.
+    pub fn hour_of_day_gmt(self) -> u64 {
+        (self.0 / 3_600_000_000) % 24
+    }
+
+    /// Hour of day in a local timezone expressed as a GMT offset in hours
+    /// (may be negative, e.g. `-5` for US East).
+    pub fn hour_of_day_local(self, tz_offset_hours: i32) -> u64 {
+        let h = (self.0 / 3_600_000_000) as i64 + tz_offset_hours as i64;
+        h.rem_euclid(24) as u64
+    }
+
+    /// Whole hours since trace start (bucket index for Fig 3c).
+    pub fn hour_index(self) -> u64 {
+        self.0 / 3_600_000_000
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let day = self.day();
+        let hr = self.hour_of_day_gmt();
+        let min = (self.0 / 60_000_000) % 60;
+        let sec = (self.0 / 1_000_000) % 60;
+        write!(f, "d{day:02} {hr:02}:{min:02}:{sec:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// Length of the synthetic trace: 31 days, like the paper's October 2012.
+pub const TRACE_MONTH: SimDuration = SimDuration::from_days(31);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::ZERO + SimDuration::from_secs(90);
+        assert_eq!(t.as_secs_f64(), 90.0);
+        assert_eq!((t - SimTime::ZERO).as_micros(), 90_000_000);
+    }
+
+    #[test]
+    fn day_and_hour_extraction() {
+        let t = SimTime::ZERO + SimDuration::from_days(3) + SimDuration::from_hours(7);
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.hour_of_day_gmt(), 7);
+        assert_eq!(t.hour_index(), 3 * 24 + 7);
+    }
+
+    #[test]
+    fn local_time_wraps_correctly() {
+        let t = SimTime::ZERO + SimDuration::from_hours(2);
+        assert_eq!(t.hour_of_day_local(-5), 21);
+        assert_eq!(t.hour_of_day_local(3), 5);
+        assert_eq!(t.hour_of_day_local(0), 2);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_secs_f64(5.0);
+        let b = SimTime::from_secs_f64(9.0);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(b.since(a), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn trace_month_is_31_days() {
+        assert_eq!(TRACE_MONTH.as_hours_f64(), 744.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::ZERO + SimDuration::from_days(2) + SimDuration::from_secs(3661);
+        assert_eq!(t.to_string(), "d02 01:01:01");
+    }
+}

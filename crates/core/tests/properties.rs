@@ -1,0 +1,162 @@
+//! Property-based tests for the core vocabulary types.
+
+use netsession_core::codec::{FrameReader, Wire};
+use netsession_core::hash::{sha256, Sha256};
+use netsession_core::id::{Guid, ObjectId, SecondaryGuid, VersionId};
+use netsession_core::msg::{ControlMsg, NatType, PeerAddr, SwarmMsg};
+use netsession_core::piece::{Manifest, PieceMap};
+use netsession_core::time::{SimDuration, SimTime};
+use netsession_core::units::{Bandwidth, ByteCount};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(u64::from_payload(&v.to_payload()).unwrap(), v);
+    }
+
+    #[test]
+    fn guid_roundtrip(hi in any::<u64>(), lo in any::<u64>()) {
+        let g = Guid(((hi as u128) << 64) | lo as u128);
+        prop_assert_eq!(Guid::from_payload(&g.to_payload()).unwrap(), g);
+    }
+
+    #[test]
+    fn string_roundtrip(s in ".{0,200}") {
+        prop_assert_eq!(String::from_payload(&s.clone().to_payload()).unwrap(), s);
+    }
+
+    #[test]
+    fn truncated_payloads_never_panic(v in any::<u64>(), cut in 0usize..16) {
+        let payload = v.to_payload();
+        let cut = cut.min(payload.len());
+        // Must return an error or a value, never panic.
+        let _ = u64::from_payload(&payload[..cut]);
+    }
+
+    #[test]
+    fn garbage_never_panics_control(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ControlMsg::from_payload(&bytes);
+        let _ = SwarmMsg::from_payload(&bytes);
+    }
+
+    #[test]
+    fn frame_reader_reassembles_any_chunking(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+        chunk in 1usize..17,
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&netsession_core::codec::frame(p));
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for c in stream.chunks(chunk) {
+            reader.extend(c);
+            while let Some(frame) = reader.next_frame().unwrap() {
+                got.push(frame.to_vec());
+            }
+        }
+        prop_assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn piecemap_set_clear_is_involutive(len in 1u32..512, ops in proptest::collection::vec((any::<u32>(), any::<bool>()), 0..100)) {
+        let mut map = PieceMap::empty(len);
+        let mut model = std::collections::HashSet::new();
+        for (p, set) in ops {
+            let p = p % len;
+            if set {
+                map.set(p);
+                model.insert(p);
+            } else {
+                map.clear(p);
+                model.remove(&p);
+            }
+            prop_assert_eq!(map.have_count() as usize, model.len());
+            prop_assert_eq!(map.has(p), model.contains(&p));
+        }
+        prop_assert_eq!(map.is_complete(), model.len() == len as usize);
+    }
+
+    #[test]
+    fn have_map_wire_roundtrip(len in 1u32..300, held in proptest::collection::vec(any::<u32>(), 0..80)) {
+        let mut map = PieceMap::empty(len);
+        for p in held {
+            map.set(p % len);
+        }
+        if let SwarmMsg::HaveMap { pieces, words } = SwarmMsg::have_map(&map) {
+            let back = SwarmMsg::decode_have_map(pieces, &words).unwrap();
+            prop_assert_eq!(back, map);
+        } else {
+            prop_assert!(false, "wrong variant");
+        }
+    }
+
+    #[test]
+    fn manifest_piece_lens_sum_to_size(size in 0u64..10_000_000, piece_size in 1u64..2_000_000) {
+        let m = Manifest::synthetic(
+            VersionId { object: ObjectId(1), version: 1 },
+            ByteCount(size),
+            piece_size,
+        );
+        let total: u64 = (0..m.piece_count()).map(|p| m.piece_len(p)).sum();
+        prop_assert_eq!(total, size.max(0));
+        // Every piece except possibly the last is exactly piece_size.
+        for p in 0..m.piece_count().saturating_sub(1) {
+            prop_assert_eq!(m.piece_len(p), piece_size);
+        }
+    }
+
+    #[test]
+    fn bandwidth_time_for_inverts_bytes_in(bps in 1.0f64..1e9, secs in 0u64..100_000) {
+        let bw = Bandwidth::from_bytes_per_sec(bps);
+        let moved = bw.bytes_in(SimDuration::from_secs(secs));
+        if let Some(t) = bw.time_for(moved) {
+            // Round-trip within a second of quantization error.
+            prop_assert!((t.as_secs_f64() - secs as f64).abs() <= 1.0 + secs as f64 * 1e-9);
+        }
+    }
+
+    #[test]
+    fn simtime_ordering_consistent_with_micros(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(SimTime(a) < SimTime(b), a < b);
+        prop_assert_eq!(SimTime(a).since(SimTime(b)).as_micros(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn peer_contact_roundtrip(
+        guid in any::<u64>(),
+        ip in any::<u32>(),
+        port in any::<u16>(),
+        asn in any::<u32>(),
+        nat_idx in 0usize..6,
+    ) {
+        let contact = netsession_core::msg::PeerContact {
+            guid: Guid(guid as u128),
+            addr: PeerAddr { ip, port },
+            asn: netsession_core::id::AsNumber(asn),
+            nat: NatType::ALL[nat_idx],
+        };
+        let back = netsession_core::msg::PeerContact::from_payload(&contact.to_payload()).unwrap();
+        prop_assert_eq!(back, contact);
+    }
+
+    #[test]
+    fn secondary_guid_roundtrip(parts in any::<[u32; 5]>()) {
+        let s = SecondaryGuid(parts);
+        prop_assert_eq!(SecondaryGuid::from_payload(&s.to_payload()).unwrap(), s);
+    }
+}

@@ -1,0 +1,125 @@
+//! Authorization tokens.
+//!
+//! "Before a peer can receive content from other peers, it must
+//! authenticate to an edge server over the HTTP(S) connection; this yields
+//! an encrypted token that can be used to search for peers. This is done to
+//! prevent users from downloading files from peers that they are not
+//! authorized to obtain from the infrastructure" (§3.5).
+//!
+//! Tokens are MACed with the edge tier's secret: `mac = SHA-256(secret ‖
+//! guid ‖ version ‖ expiry)`. The control plane holds the same secret and
+//! verifies tokens before answering peer queries; peers verify each other's
+//! tokens during the swarm handshake.
+
+use netsession_core::hash::Sha256;
+use netsession_core::id::{Guid, VersionId};
+use netsession_core::msg::AuthToken;
+use netsession_core::time::{SimDuration, SimTime};
+
+/// Default token lifetime.
+pub const TOKEN_TTL: SimDuration = SimDuration::from_hours(12);
+
+/// Token mint/verifier, shared (by secret) between edge tier and control
+/// plane.
+#[derive(Clone, Debug)]
+pub struct EdgeAuth {
+    secret: [u8; 32],
+}
+
+impl EdgeAuth {
+    /// Create with a deployment secret.
+    pub fn new(secret: [u8; 32]) -> Self {
+        EdgeAuth { secret }
+    }
+
+    /// Convenience: derive the secret from a seed (tests, simulation).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"netsession-edge-secret");
+        h.update(&seed.to_be_bytes());
+        EdgeAuth {
+            secret: h.finalize().0,
+        }
+    }
+
+    fn mac(&self, guid: Guid, version: VersionId, expires: SimTime) -> netsession_core::Digest {
+        let mut h = Sha256::new();
+        h.update(&self.secret);
+        h.update(&guid.0.to_be_bytes());
+        h.update(&version.object.0.to_be_bytes());
+        h.update(&version.version.to_be_bytes());
+        h.update(&expires.0.to_be_bytes());
+        h.finalize()
+    }
+
+    /// Issue a token authorizing `guid` to obtain `version`, valid for
+    /// [`TOKEN_TTL`] from `now`.
+    pub fn issue(&self, guid: Guid, version: VersionId, now: SimTime) -> AuthToken {
+        let expires = now + TOKEN_TTL;
+        AuthToken {
+            guid,
+            version,
+            expires,
+            mac: self.mac(guid, version, expires),
+        }
+    }
+
+    /// Verify a token's MAC and expiry.
+    pub fn verify(&self, token: &AuthToken, now: SimTime) -> bool {
+        token.expires >= now && self.mac(token.guid, token.version, token.expires) == token.mac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::ObjectId;
+
+    fn ver(n: u64) -> VersionId {
+        VersionId {
+            object: ObjectId(n),
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn issued_tokens_verify() {
+        let auth = EdgeAuth::from_seed(1);
+        let t = auth.issue(Guid(7), ver(1), SimTime(100));
+        assert!(auth.verify(&t, SimTime(100)));
+        assert!(auth.verify(&t, SimTime(100) + SimDuration::from_hours(11)));
+    }
+
+    #[test]
+    fn expired_tokens_rejected() {
+        let auth = EdgeAuth::from_seed(1);
+        let t = auth.issue(Guid(7), ver(1), SimTime(0));
+        assert!(!auth.verify(&t, SimTime(0) + SimDuration::from_hours(13)));
+    }
+
+    #[test]
+    fn forged_fields_rejected() {
+        let auth = EdgeAuth::from_seed(1);
+        let t = auth.issue(Guid(7), ver(1), SimTime(0));
+        // Tampered GUID: a stolen token cannot be rebound to another peer.
+        let mut forged = t;
+        forged.guid = Guid(8);
+        assert!(!auth.verify(&forged, SimTime(0)));
+        // Tampered version: authorization is per-object-version.
+        let mut forged = t;
+        forged.version = ver(2);
+        assert!(!auth.verify(&forged, SimTime(0)));
+        // Extended expiry.
+        let mut forged = t;
+        forged.expires = forged.expires + SimDuration::from_days(30);
+        assert!(!auth.verify(&forged, SimTime(0)));
+    }
+
+    #[test]
+    fn different_deployments_have_incompatible_tokens() {
+        let a = EdgeAuth::from_seed(1);
+        let b = EdgeAuth::from_seed(2);
+        let t = a.issue(Guid(7), ver(1), SimTime(0));
+        assert!(!b.verify(&t, SimTime(0)));
+    }
+}

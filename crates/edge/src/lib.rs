@@ -1,0 +1,25 @@
+//! # netsession-edge
+//!
+//! The trusted edge-server tier of NetSession (§3.5). Edge servers are the
+//! only components users must trust: they
+//!
+//! * hold the content and its versioned **secure content IDs** and
+//!   per-piece hashes ([`store`]),
+//! * perform **authorization** — a peer must authenticate to an edge server
+//!   before it may even search for peers, receiving an encrypted token
+//!   ([`auth`]),
+//! * serve pieces over HTTP(S) and emit *trusted receipts* of everything
+//!   they served ([`server`]),
+//! * provide the trusted side of **accounting cross-checks** that detect
+//!   compromised peers misreporting their downloads ([`accounting`],
+//!   following Aditya et al., NSDI 2012 — reference \[1\] in the paper).
+
+pub mod accounting;
+pub mod auth;
+pub mod server;
+pub mod store;
+
+pub use accounting::{AccountingLedger, Discrepancy};
+pub use auth::EdgeAuth;
+pub use server::EdgeServer;
+pub use store::ContentStore;

@@ -1,0 +1,121 @@
+//! Scenario configuration.
+//!
+//! One [`ScenarioConfig`] fully determines a simulated month (given the
+//! seed): the population and catalog scale, the control-plane policy, and
+//! the ablation switches the DESIGN.md experiment index calls out.
+
+use netsession_core::policy::TransferConfig;
+use netsession_world::population::PopulationConfig;
+use netsession_world::workload::WorkloadConfig;
+
+/// Everything one simulation run needs.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Master seed; every random stream derives from it.
+    pub seed: u64,
+    /// Population parameters.
+    pub population: PopulationConfig,
+    /// Catalog size (objects).
+    pub objects: usize,
+    /// Workload parameters.
+    pub workload: WorkloadConfig,
+    /// Client transfer configuration.
+    pub transfer: TransferConfig,
+    /// Peers the control plane returns per query (paper default 40).
+    pub peers_returned: usize,
+    /// Locality-aware selection (ablation A1 sets this false).
+    pub locality_aware: bool,
+    /// Edge backstop available (ablation A2 sets this false: pure p2p).
+    pub edge_backstop: bool,
+    /// Per-object upload cap (ablation A3 sets this `None`).
+    pub per_object_upload_cap: Option<u32>,
+    /// Override the uploads-enabled fraction: `Some(f)` forces every peer
+    /// to enable uploads with probability `f` regardless of its provider
+    /// default (ablation A5). `None` keeps the Table-4 defaults.
+    pub enable_fraction_override: Option<f64>,
+    /// Probability a peer logs in on a day it is scheduled to be online
+    /// (§4.2: 8.75–10.9 M of ~26 M GUIDs connect on a typical day).
+    pub daily_login_prob: f64,
+    /// Fraction of each day a *session-mode* client is available compared
+    /// to the background-mode client (ablation A6 models launch-on-demand
+    /// clients by shrinking availability to this factor; 1.0 = §3.4's
+    /// persistent background behaviour).
+    pub session_mode_factor: f64,
+    /// If set, all control-plane DNs are restarted at this day of the
+    /// month (§3.8: "when a new CN/DN software version is released, all
+    /// CNs and DNs are restarted in a short timeframe, and this does not
+    /// negatively affect the service"); online peers repopulate the
+    /// directories via RE-ADD.
+    pub control_restart_day: Option<u64>,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 20121001,
+            population: PopulationConfig {
+                peers: 30_000,
+                ases: 600,
+                ..PopulationConfig::default()
+            },
+            objects: 4_000,
+            workload: WorkloadConfig {
+                downloads: 40_000,
+                ..WorkloadConfig::default()
+            },
+            transfer: TransferConfig::default(),
+            peers_returned: 40,
+            locality_aware: true,
+            edge_backstop: true,
+            per_object_upload_cap: Some(
+                netsession_core::policy::DEFAULT_PER_OBJECT_UPLOAD_CAP,
+            ),
+            enable_fraction_override: None,
+            daily_login_prob: 0.4,
+            session_mode_factor: 1.0,
+            control_restart_day: None,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A small configuration for fast tests.
+    pub fn tiny() -> Self {
+        ScenarioConfig {
+            population: PopulationConfig {
+                peers: 1_500,
+                ases: 120,
+                ..PopulationConfig::default()
+            },
+            objects: 300,
+            workload: WorkloadConfig {
+                downloads: 1_200,
+                ..WorkloadConfig::default()
+            },
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_shaped() {
+        let c = ScenarioConfig::default();
+        assert_eq!(c.peers_returned, 40);
+        assert!(c.locality_aware && c.edge_backstop);
+        assert!(c.per_object_upload_cap.is_some());
+        assert!(c.enable_fraction_override.is_none());
+        assert!((0.3..0.5).contains(&c.daily_login_prob));
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let t = ScenarioConfig::tiny();
+        let d = ScenarioConfig::default();
+        assert!(t.population.peers < d.population.peers);
+        assert!(t.workload.downloads < d.workload.downloads);
+    }
+}

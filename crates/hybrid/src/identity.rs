@@ -1,0 +1,176 @@
+//! Live secondary-GUID identity state.
+//!
+//! The world crate's [`netsession_world::cloning`] generates whole report
+//! sequences offline; the simulation instead evolves each installation's
+//! chain *login by login*, so the reports land in the login log at the
+//! right simulated times. Rollbacks, backup restores, and café re-imaging
+//! are applied at scheduled login ordinals.
+
+use netsession_core::id::SecondaryGuid;
+use netsession_core::rng::DetRng;
+use netsession_world::cloning::{AnomalyKind, InstallationState};
+
+/// Per-installation identity driver.
+#[derive(Clone, Debug)]
+pub struct IdentityState {
+    chain: InstallationState,
+    kind: AnomalyKind,
+    snapshot: Option<InstallationState>,
+    /// Login ordinal at which the anomaly strikes (rollback or restore).
+    trigger_login: u32,
+    logins: u32,
+}
+
+impl IdentityState {
+    /// A fresh normal installation.
+    pub fn normal() -> Self {
+        IdentityState {
+            chain: InstallationState::new(),
+            kind: AnomalyKind::None,
+            snapshot: None,
+            trigger_login: 0,
+            logins: 0,
+        }
+    }
+
+    /// An installation with a scheduled anomaly. `trigger_login` is the
+    /// login ordinal (≥1) at which the rollback/restore happens.
+    pub fn with_anomaly(kind: AnomalyKind, trigger_login: u32) -> Self {
+        IdentityState {
+            chain: InstallationState::new(),
+            kind,
+            snapshot: None,
+            trigger_login: trigger_login.max(1),
+            logins: 0,
+        }
+    }
+
+    /// A clone-group member: starts from the master image's chain state.
+    pub fn cloned_from(master: &InstallationState) -> Self {
+        IdentityState {
+            chain: master.snapshot(),
+            kind: AnomalyKind::None,
+            snapshot: None,
+            trigger_login: 0,
+            logins: 0,
+        }
+    }
+
+    /// Build a master image: an installation started `starts` times (the
+    /// IT department boots it before imaging).
+    pub fn master_image(starts: usize, rng: &mut DetRng) -> InstallationState {
+        let mut st = InstallationState::new();
+        for _ in 0..starts.max(1) {
+            st.start(rng);
+        }
+        st
+    }
+
+    /// The software starts for a login: apply any scheduled anomaly, draw
+    /// the new secondary GUID, and return the report (last five, newest
+    /// first).
+    pub fn on_login(&mut self, rng: &mut DetRng) -> Vec<SecondaryGuid> {
+        self.logins += 1;
+        match self.kind {
+            AnomalyKind::None => {}
+            AnomalyKind::RollbackOnce => {
+                if self.logins == self.trigger_login + 1 {
+                    // The previous start was the failed update; restore.
+                    self.chain.rollback(1);
+                }
+            }
+            AnomalyKind::BackupRestore => {
+                if self.logins == self.trigger_login {
+                    self.snapshot = Some(self.chain.snapshot());
+                } else if self.logins == self.trigger_login * 2 {
+                    if let Some(s) = &self.snapshot {
+                        self.chain.restore(s);
+                    }
+                }
+            }
+            AnomalyKind::ReImage => {
+                // Café machine: every login boots from the same image.
+                if let Some(s) = &self.snapshot {
+                    self.chain.restore(s);
+                }
+            }
+            AnomalyKind::Irregular => {
+                if rng.chance(0.3) {
+                    self.snapshot = Some(self.chain.snapshot());
+                }
+                if rng.chance(0.3) {
+                    if let Some(s) = &self.snapshot {
+                        self.chain.restore(s);
+                    }
+                }
+            }
+        }
+        let report = self.chain.start(rng);
+        // The café image is taken after the machine has run a few times;
+        // subsequent logins all boot from it.
+        if self.kind == AnomalyKind::ReImage && self.snapshot.is_none() && self.logins >= 3 {
+            self.snapshot = Some(self.chain.snapshot());
+        }
+        report
+    }
+
+    /// Number of logins so far.
+    pub fn login_count(&self) -> u32 {
+        self.logins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reports(id: &mut IdentityState, n: usize, rng: &mut DetRng) -> Vec<Vec<SecondaryGuid>> {
+        (0..n).map(|_| id.on_login(rng)).collect()
+    }
+
+    #[test]
+    fn normal_chain_is_linear() {
+        let mut rng = DetRng::seeded(1);
+        let mut id = IdentityState::normal();
+        let reps = reports(&mut id, 6, &mut rng);
+        for w in reps.windows(2) {
+            assert_eq!(w[1][1], w[0][0], "each report chains to the previous");
+        }
+    }
+
+    #[test]
+    fn rollback_creates_single_fork() {
+        let mut rng = DetRng::seeded(2);
+        let mut id = IdentityState::with_anomaly(AnomalyKind::RollbackOnce, 3);
+        let reps = reports(&mut id, 6, &mut rng);
+        // Login 4's parent should equal login 2's head (login 3 rolled
+        // back), producing a fork at login 2's head.
+        assert_eq!(reps[3][1], reps[1][0]);
+        assert_ne!(reps[3][0], reps[2][0]);
+    }
+
+    #[test]
+    fn reimage_replays_same_parent() {
+        let mut rng = DetRng::seeded(3);
+        let mut id = IdentityState::with_anomaly(AnomalyKind::ReImage, 1);
+        let reps = reports(&mut id, 8, &mut rng);
+        // After the image is taken (login 3), every login's parent is the
+        // image head: many branches from one vertex.
+        let image_head = reps[2][0];
+        for rep in &reps[3..] {
+            assert_eq!(rep[1], image_head);
+        }
+    }
+
+    #[test]
+    fn clones_share_a_prefix_then_diverge() {
+        let mut rng = DetRng::seeded(4);
+        let master = IdentityState::master_image(3, &mut rng);
+        let mut a = IdentityState::cloned_from(&master);
+        let mut b = IdentityState::cloned_from(&master);
+        let ra = a.on_login(&mut rng);
+        let rb = b.on_login(&mut rng);
+        assert_eq!(ra[1], rb[1], "same parent from the image");
+        assert_ne!(ra[0], rb[0], "fresh heads diverge");
+    }
+}

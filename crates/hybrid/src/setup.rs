@@ -1,0 +1,156 @@
+//! Scenario assembly: build the world, the edge tier, and the control
+//! plane from a [`ScenarioConfig`].
+
+use crate::config::ScenarioConfig;
+use netsession_control::plane::{ControlPlane, PlaneConfig};
+use netsession_control::selection::SelectionPolicy;
+use netsession_core::rng::DetRng;
+use netsession_edge::accounting::AccountingLedger;
+use netsession_edge::auth::EdgeAuth;
+use netsession_edge::server::EdgeServer;
+use netsession_edge::store::ContentStore;
+use netsession_world::catalog::Catalog;
+use netsession_world::geo::Region;
+use netsession_world::population::Population;
+use netsession_world::workload::Workload;
+use std::sync::Arc;
+
+/// The assembled static scenario (pre-simulation).
+pub struct Scenario {
+    /// The configuration it was built from.
+    pub config: ScenarioConfig,
+    /// The peer population and AS universe.
+    pub population: Population,
+    /// The object catalog.
+    pub catalog: Catalog,
+    /// The month's requests.
+    pub workload: Workload,
+    /// The shared content store (all objects published).
+    pub store: Arc<ContentStore>,
+    /// One edge server per network region.
+    pub edges: Vec<EdgeServer>,
+    /// The shared accounting ledger.
+    pub ledger: Arc<AccountingLedger>,
+    /// The edge auth secret holder.
+    pub auth: EdgeAuth,
+    /// The control plane (one CN/DN per Table-2 region).
+    pub plane: ControlPlane,
+}
+
+impl Scenario {
+    /// Build everything deterministically from the config.
+    pub fn build(config: ScenarioConfig) -> Scenario {
+        let mut rng = DetRng::seeded(config.seed);
+        let mut pop_rng = rng.split(0x706f70);
+        let mut cat_rng = rng.split(0x636174);
+        let mut wl_rng = rng.split(0x776f726b);
+
+        let mut population = Population::generate(&config.population, &mut pop_rng);
+        if let Some(frac) = config.enable_fraction_override {
+            let mut ov_rng = rng.split(0x6f766572);
+            for p in &mut population.peers {
+                p.uploads_enabled = ov_rng.chance(frac);
+            }
+        }
+        let catalog = Catalog::generate(config.objects, &mut cat_rng);
+        let workload = Workload::generate(&config.workload, &population, &catalog, &mut wl_rng);
+
+        // Publish every object on the shared store.
+        let store = Arc::new(ContentStore::new());
+        for obj in catalog.objects() {
+            let mut policy = obj.policy.clone();
+            if !config.edge_backstop {
+                // Pure-p2p ablation still authorizes via the edge (it is
+                // the trust root) but the simulation will not open edge
+                // flows; the policy is unchanged.
+                policy = obj.policy.clone();
+            }
+            if config.per_object_upload_cap.is_none() {
+                policy.per_peer_upload_cap = None;
+            } else if policy.p2p_enabled {
+                policy.per_peer_upload_cap = config.per_object_upload_cap;
+            }
+            store.publish_synthetic(obj.id, obj.cp, obj.size, policy);
+        }
+
+        let auth = EdgeAuth::from_seed(config.seed ^ 0x65646765);
+        let ledger = Arc::new(AccountingLedger::new());
+        let regions = Region::ALL.len() as u32;
+        let edges = (0..regions)
+            .map(|r| EdgeServer::new(r, store.clone(), auth.clone(), ledger.clone()))
+            .collect();
+
+        let plane = ControlPlane::new(
+            &PlaneConfig {
+                regions,
+                selection: SelectionPolicy {
+                    max_peers: config.peers_returned,
+                    locality_aware: config.locality_aware,
+                    ..SelectionPolicy::default()
+                },
+                ..PlaneConfig::default()
+            },
+            auth.clone(),
+        );
+
+        Scenario {
+            config,
+            population,
+            catalog,
+            workload,
+            store,
+            edges,
+            ledger,
+            auth,
+            plane,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_publishes_catalog_and_regions() {
+        let s = Scenario::build(ScenarioConfig::tiny());
+        assert_eq!(s.store.len(), s.catalog.len());
+        assert_eq!(s.edges.len(), Region::ALL.len());
+        assert_eq!(s.plane.regions(), Region::ALL.len() as u32);
+        assert_eq!(s.population.len(), s.config.population.peers);
+        assert_eq!(s.workload.len(), s.config.workload.downloads);
+    }
+
+    #[test]
+    fn enable_override_applies() {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.enable_fraction_override = Some(1.0);
+        let s = Scenario::build(cfg);
+        assert!(s.population.peers.iter().all(|p| p.uploads_enabled));
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.enable_fraction_override = Some(0.0);
+        let s = Scenario::build(cfg);
+        assert!(s.population.peers.iter().all(|p| !p.uploads_enabled));
+    }
+
+    #[test]
+    fn upload_cap_ablation_removes_caps() {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.per_object_upload_cap = None;
+        let s = Scenario::build(cfg);
+        for obj in s.catalog.objects().iter().take(200) {
+            let stored = s.store.get(obj.id).unwrap();
+            assert_eq!(stored.policy.per_peer_upload_cap, None);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Scenario::build(ScenarioConfig::tiny());
+        let b = Scenario::build(ScenarioConfig::tiny());
+        assert_eq!(a.workload.requests, b.workload.requests);
+        for (x, y) in a.population.peers.iter().zip(&b.population.peers) {
+            assert_eq!(x.guid, y.guid);
+        }
+    }
+}

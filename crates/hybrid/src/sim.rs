@@ -1,0 +1,1260 @@
+//! The hybrid-CDN month simulation.
+//!
+//! Drives the NetSession system over one synthetic month: peers come online
+//! on their diurnal schedules and log into the control plane; requests
+//! arrive per the workload; each download opens an always-on edge flow plus
+//! swarm flows from control-plane-selected peers; the fluid network model
+//! assigns max-min fair rates; users pause/abandon per the behaviour model;
+//! completed objects enter peer caches and are registered with the DNs,
+//! which is how swarms grow. The run emits a [`TraceDataset`] — the same
+//! log shapes the paper's measurement study consumed.
+//!
+//! Fluid-model mechanics: request arrivals, peer offline events, and a
+//! coarse tick (default 20 s) are the only points where the flow set
+//! changes; bytes advance linearly between those points, and completion
+//! times are interpolated exactly within the advance step, so per-download
+//! speeds (Fig 4) are not quantized by the tick.
+
+use crate::config::ScenarioConfig;
+use crate::identity::IdentityState;
+use crate::setup::Scenario;
+use netsession_control::directory::PeerRecord;
+use netsession_control::selection::Querier;
+use netsession_core::id::{Guid, ObjectId, VersionId};
+use netsession_core::msg::{AuthToken, PeerAddr};
+use netsession_core::rng::DetRng;
+use netsession_core::time::{SimDuration, SimTime, TRACE_MONTH};
+use netsession_core::units::{Bandwidth, ByteCount};
+use netsession_logs::geodb::GeoInfo;
+use netsession_logs::records::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
+use netsession_logs::TraceDataset;
+use netsession_nat::matrix::{connectivity, Connectivity};
+use netsession_sim::engine::EventQueue;
+use netsession_sim::flownet::{FlowId, FlowNet, NodeId};
+use netsession_world::behaviour::UserModel;
+use netsession_world::cloning::AnomalyPlan;
+use netsession_world::geo::{region_of, WORLD_COUNTRIES};
+use netsession_world::mobility::{MobilityConfig, MobilityPlan};
+use std::collections::HashMap;
+
+/// Tick granularity for the fluid model.
+const TICK: SimDuration = SimDuration::from_secs(20);
+/// Grace period after the month during which in-flight downloads may
+/// finish before being cut off.
+const TAIL: SimDuration = SimDuration::from_days(2);
+/// Connection-success probabilities by traversal kind.
+const P_DIRECT: f64 = 0.97;
+const P_PUNCH: f64 = 0.85;
+
+#[derive(Clone, Debug)]
+enum Event {
+    Online(u32),
+    Offline(u32),
+    Arrival(u32),
+    Tick,
+    /// §3.8: a fleet-wide CN/DN software-update restart.
+    ControlRestart,
+}
+
+struct SourceFlow {
+    peer: u32,
+    flow: FlowId,
+    bytes: f64,
+}
+
+struct Dl {
+    peer: u32,
+    object: ObjectId,
+    version: VersionId,
+    size: f64,
+    p2p: bool,
+    cap: Option<u32>,
+    started: SimTime,
+    token: AuthToken,
+    edge_flow: Option<FlowId>,
+    edge_bytes: f64,
+    sources: Vec<SourceFlow>,
+    /// Bytes from sources that already disconnected: (peer, bytes).
+    finished_sources: Vec<(u32, f64)>,
+    initial_peers: u32,
+    abort_at: Option<SimTime>,
+    env_fail_at_bytes: Option<f64>,
+    sys_fail_at_bytes: Option<f64>,
+    requeries: u32,
+    region: u32,
+    finished: Option<(SimTime, DownloadOutcome)>,
+}
+
+impl Dl {
+    fn done_bytes(&self) -> f64 {
+        self.edge_bytes
+            + self.sources.iter().map(|s| s.bytes).sum::<f64>()
+            + self.finished_sources.iter().map(|(_, b)| b).sum::<f64>()
+    }
+}
+
+struct PeerRt {
+    node: NodeId,
+    online: bool,
+    uploads_enabled: bool,
+    pending_pref_changes: Vec<(SimTime, bool)>,
+    /// Complete cached versions and their expiry.
+    cached: HashMap<ObjectId, (VersionId, SimTime)>,
+    identity: IdentityState,
+    mobility: MobilityPlan,
+    /// Current login site (index into mobility plan).
+    site: usize,
+    active_uploads: u32,
+    active_download: Option<usize>,
+    logged_region: u32,
+    first_login_done: bool,
+}
+
+/// Aggregate run statistics (sanity numbers next to the dataset).
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Downloads completed.
+    pub completed: u64,
+    /// Abandoned by the user.
+    pub abandoned: u64,
+    /// Failed, system-related.
+    pub failed_system: u64,
+    /// Failed, other causes.
+    pub failed_env: u64,
+    /// Never finished by the cutoff.
+    pub cut_off: u64,
+    /// Total p2p content bytes moved.
+    pub p2p_bytes: u64,
+    /// Total edge content bytes moved.
+    pub edge_bytes: u64,
+    /// Peer connection attempts that failed traversal.
+    pub punch_failures: u64,
+    /// Re-queries issued (§3.7's "additional queries").
+    pub requeries: u64,
+    /// Logins processed.
+    pub logins: u64,
+}
+
+/// Result of a run.
+pub struct SimOutput {
+    /// The production-style logs.
+    pub dataset: TraceDataset,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// The scenario in its end-of-month state (population, catalog, AS
+    /// universe, control plane) — several analyses join against it.
+    pub scenario: Scenario,
+}
+
+/// The simulation driver.
+pub struct HybridSim {
+    scenario: Scenario,
+    rng: DetRng,
+    user_model: UserModel,
+}
+
+impl HybridSim {
+    /// Create from a built scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        let rng = DetRng::seeded(scenario.config.seed ^ 0x73696d);
+        HybridSim {
+            scenario,
+            rng,
+            user_model: UserModel::default(),
+        }
+    }
+
+    /// Convenience: build and run a config.
+    pub fn run_config(config: ScenarioConfig) -> SimOutput {
+        HybridSim::new(Scenario::build(config)).run()
+    }
+
+    /// Run the month and produce the trace.
+    pub fn run(mut self) -> SimOutput {
+        let n_peers = self.scenario.population.len();
+        let mut net = FlowNet::new();
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut dataset = TraceDataset::default();
+        let mut stats = RunStats::default();
+
+        // --- Static per-peer runtime state.
+        let mob_cfg = MobilityConfig::default();
+        let anomaly_plan = AnomalyPlan::default();
+        let mut id_rng = self.rng.split(1);
+        let mut mob_rng = self.rng.split(2);
+        let mut sched_rng = self.rng.split(3);
+        let mut beh_rng = self.rng.split(4);
+        let mut run_rng = self.rng.split(5);
+
+        // Clone groups share a master image.
+        let mut masters: HashMap<u32, netsession_world::cloning::InstallationState> =
+            HashMap::new();
+        let mut peers: Vec<PeerRt> = Vec::with_capacity(n_peers);
+        for spec in &self.scenario.population.peers {
+            let up_frac = self.scenario.config.transfer.upload_rate_fraction;
+            let node = net.add_node(
+                Bandwidth::from_bytes_per_sec(spec.up.bytes_per_sec() * up_frac),
+                spec.down,
+            );
+            let identity = match spec.clone_group {
+                Some(g) => {
+                    let master = masters
+                        .entry(g)
+                        .or_insert_with(|| IdentityState::master_image(3, &mut id_rng))
+                        .clone();
+                    IdentityState::cloned_from(&master)
+                }
+                None => match anomaly_plan.sample(&mut id_rng) {
+                    netsession_world::cloning::AnomalyKind::None => IdentityState::normal(),
+                    kind => IdentityState::with_anomaly(kind, 2 + id_rng.index(6) as u32),
+                },
+            };
+            let mobility =
+                MobilityPlan::generate(spec, &self.scenario.population.as_model, &mob_cfg, &mut mob_rng);
+            // Table-3 setting changes, scheduled at random trace times.
+            let changes = self
+                .user_model
+                .sample_setting_changes(spec.uploads_enabled, &mut beh_rng);
+            let mut pending = Vec::new();
+            let mut setting = spec.uploads_enabled;
+            for _ in 0..changes {
+                setting = !setting;
+                pending.push((
+                    SimTime((beh_rng.f64() * TRACE_MONTH.as_micros() as f64) as u64),
+                    setting,
+                ));
+            }
+            pending.sort_by_key(|(t, _)| *t);
+            peers.push(PeerRt {
+                node,
+                online: false,
+                uploads_enabled: spec.uploads_enabled,
+                pending_pref_changes: pending,
+                cached: HashMap::new(),
+                identity,
+                mobility,
+                site: 0,
+                active_uploads: 0,
+                active_download: None,
+                logged_region: 0,
+                first_login_done: false,
+            });
+        }
+
+        // --- Pre-seed: history before the trace month left copies of
+        // popular p2p objects on upload-enabled peers.
+        {
+            let mut seed_rng = self.rng.split(6);
+            let total_pop: f64 = self
+                .scenario
+                .catalog
+                .objects()
+                .iter()
+                .map(|o| o.popularity)
+                .sum();
+            let downloads = self.scenario.config.workload.downloads as f64;
+            let enabled: Vec<u32> = self
+                .scenario
+                .population
+                .peers
+                .iter()
+                .filter(|p| p.uploads_enabled)
+                .map(|p| p.index.0)
+                .collect();
+            if !enabled.is_empty() {
+                for obj in self.scenario.catalog.objects() {
+                    if !obj.policy.p2p_enabled {
+                        continue;
+                    }
+                    let expected = obj.popularity / total_pop * downloads;
+                    let copies = ((expected * 1.2) as usize).clamp(30, 150);
+                    for _ in 0..copies {
+                        let p = enabled[seed_rng.index(enabled.len())];
+                        let expiry = SimTime::ZERO
+                            + SimDuration::from_hours(
+                                self.scenario.config.transfer.cache_ttl_hours as u64,
+                            );
+                        peers[p as usize]
+                            .cached
+                            .insert(obj.id, (obj.version(), expiry));
+                    }
+                }
+            }
+        }
+
+        // --- Schedule logins: per peer, per day, with daily_login_prob.
+        let days = TRACE_MONTH.as_micros() / 86_400_000_000;
+        for (i, spec) in self.scenario.population.peers.iter().enumerate() {
+            for day in 0..days {
+                if !sched_rng.chance(self.scenario.config.daily_login_prob) {
+                    continue;
+                }
+                let start_local = spec.online_start_hour + sched_rng.range_f64(-0.5, 0.5);
+                let len = spec.online_hours * self.scenario.config.session_mode_factor;
+                let start_gmt = (start_local - spec.tz_offset as f64).rem_euclid(24.0);
+                let online_at = SimTime::ZERO
+                    + SimDuration::from_days(day)
+                    + SimDuration::from_secs_f64(start_gmt * 3600.0);
+                let offline_at = online_at + SimDuration::from_secs_f64(len.max(0.25) * 3600.0);
+                queue.schedule(online_at, Event::Online(i as u32));
+                queue.schedule(offline_at, Event::Offline(i as u32));
+            }
+        }
+
+        // --- Schedule request arrivals.
+        for (i, req) in self.scenario.workload.requests.iter().enumerate() {
+            queue.schedule(req.at, Event::Arrival(i as u32));
+        }
+
+        // --- Optional §3.8 control-plane restart.
+        if let Some(day) = self.scenario.config.control_restart_day {
+            queue.schedule(
+                SimTime::ZERO + SimDuration::from_days(day) + SimDuration::from_hours(3),
+                Event::ControlRestart,
+            );
+        }
+
+        // --- Edge nodes per region.
+        let edge_nodes: Vec<NodeId> = (0..self.scenario.plane.regions())
+            .map(|_| net.add_infinite_node())
+            .collect();
+
+        // --- Main loop state.
+        let mut guid_owner: HashMap<Guid, u32> = HashMap::new();
+        let mut dls: Vec<Dl> = Vec::new();
+        let mut active: Vec<usize> = Vec::new();
+        let mut last_advance = SimTime::ZERO;
+        let mut tick_scheduled = false;
+        let cutoff = SimTime::ZERO + TRACE_MONTH + TAIL;
+
+        while let Some((t, event)) = queue.pop() {
+            if t > cutoff {
+                break;
+            }
+            match event {
+                Event::Online(p) => {
+                    self.login(
+                        p,
+                        t,
+                        &mut peers,
+                        &mut guid_owner,
+                        &mut dataset,
+                        &mut stats,
+                        &mut run_rng,
+                    );
+                }
+                Event::Offline(p) => {
+                    advance(&mut dls, &active, &net, last_advance, t);
+                    last_advance = t;
+                    self.peer_offline(p, t, &mut peers, &mut net, &mut dls, &active);
+                    process_finished(
+                        &mut dls,
+                        &mut active,
+                        &mut peers,
+                        &mut net,
+                        &mut self.scenario,
+                        &mut dataset,
+                        &mut stats,
+                        t,
+                    );
+                    net.recompute();
+                }
+                Event::Arrival(i) => {
+                    advance(&mut dls, &active, &net, last_advance, t);
+                    last_advance = t;
+                    self.start_download(
+                        i as usize,
+                        t,
+                        &mut peers,
+                        &mut guid_owner,
+                        &mut net,
+                        &edge_nodes,
+                        &mut dls,
+                        &mut active,
+                        &mut dataset,
+                        &mut stats,
+                        &mut run_rng,
+                    );
+                    process_finished(
+                        &mut dls,
+                        &mut active,
+                        &mut peers,
+                        &mut net,
+                        &mut self.scenario,
+                        &mut dataset,
+                        &mut stats,
+                        t,
+                    );
+                    net.recompute();
+                    if !tick_scheduled && !active.is_empty() {
+                        queue.schedule(t + TICK, Event::Tick);
+                        tick_scheduled = true;
+                    }
+                }
+                Event::ControlRestart => {
+                    // All DN soft state is wiped; every online, upload-
+                    // enabled peer answers the RE-ADD by re-registering its
+                    // cached content (§3.8). (The production system paces
+                    // this through the reconnect limiter; at simulation
+                    // granularity the re-registration lands within the same
+                    // tick, which is the paper's "short timeframe".)
+                    for region in 0..self.scenario.plane.regions() {
+                        let _ = self.scenario.plane.fail_dn(region);
+                    }
+                    for (i, rt) in peers.iter().enumerate() {
+                        if !rt.online || !rt.uploads_enabled {
+                            continue;
+                        }
+                        let versions: Vec<VersionId> = rt
+                            .cached
+                            .values()
+                            .filter(|(_, exp)| *exp > t)
+                            .map(|(v, _)| *v)
+                            .collect();
+                        if versions.is_empty() {
+                            continue;
+                        }
+                        let spec = &self.scenario.population.peers[i];
+                        let site = &rt.mobility.sites[rt.site];
+                        let record = PeerRecord {
+                            guid: spec.guid,
+                            addr: PeerAddr {
+                                ip: site.ip,
+                                port: 8443,
+                            },
+                            asn: site.asn,
+                            area: site.country as u16,
+                            zone: rt.logged_region as u8,
+                            nat: spec.nat,
+                        };
+                        self.scenario
+                            .plane
+                            .handle_readd(rt.logged_region, record, &versions);
+                    }
+                }
+                Event::Tick => {
+                    advance(&mut dls, &active, &net, last_advance, t);
+                    last_advance = t;
+                    let any_finished = dls.iter().any(|d| d.finished.is_some());
+                    process_finished(
+                        &mut dls,
+                        &mut active,
+                        &mut peers,
+                        &mut net,
+                        &mut self.scenario,
+                        &mut dataset,
+                        &mut stats,
+                        t,
+                    );
+                    self.requery(
+                        t,
+                        &mut peers,
+                        &guid_owner,
+                        &mut net,
+                        &mut dls,
+                        &active,
+                        &mut stats,
+                        &mut run_rng,
+                    );
+                    if any_finished {
+                        net.recompute();
+                    }
+                    if active.is_empty() {
+                        tick_scheduled = false;
+                    } else {
+                        queue.schedule(t + TICK, Event::Tick);
+                    }
+                }
+            }
+        }
+
+        // Cut off whatever is still in flight.
+        for id in active.clone() {
+            let dl = &mut dls[id];
+            dl.finished = Some((cutoff, DownloadOutcome::Abandoned));
+            stats.cut_off += 1;
+        }
+        process_finished(
+            &mut dls,
+            &mut active,
+            &mut peers,
+            &mut net,
+            &mut self.scenario,
+            &mut dataset,
+            &mut stats,
+            cutoff,
+        );
+
+        // DN registration log.
+        let mut reg: HashMap<VersionId, u64> = HashMap::new();
+        for obj in self.scenario.catalog.objects() {
+            let n = self.scenario.plane.registrations_of(obj.version());
+            if n > 0 {
+                reg.insert(obj.version(), n);
+            }
+        }
+        dataset.registrations = reg.into_iter().collect();
+        dataset.registrations.sort_by_key(|(v, _)| *v);
+
+        SimOutput {
+            dataset,
+            stats,
+            scenario: self.scenario,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn login(
+        &mut self,
+        p: u32,
+        t: SimTime,
+        peers: &mut [PeerRt],
+        guid_owner: &mut HashMap<Guid, u32>,
+        dataset: &mut TraceDataset,
+        stats: &mut RunStats,
+        rng: &mut DetRng,
+    ) {
+        let spec = &self.scenario.population.peers[p as usize];
+        let rt = &mut peers[p as usize];
+        if rt.online {
+            return;
+        }
+        // Apply due preference changes.
+        while let Some((when, setting)) = rt.pending_pref_changes.first().copied() {
+            if when <= t {
+                rt.uploads_enabled = setting;
+                rt.pending_pref_changes.remove(0);
+            } else {
+                break;
+            }
+        }
+        // Pick the login site.
+        let site_idx = {
+            let site = rt.mobility.sample_site(rng);
+            rt.mobility.sites.iter().position(|s| s == site).unwrap_or(0)
+        };
+        rt.site = site_idx;
+        let site = &rt.mobility.sites[site_idx];
+        let country = &WORLD_COUNTRIES[site.country];
+        let region = region_of(country, &country.cities[site.city]).index() as u32;
+        rt.logged_region = region;
+        rt.online = true;
+        rt.first_login_done = true;
+        guid_owner.insert(spec.guid, p);
+
+        let sguids = rt.identity.on_login(rng);
+        self.scenario.plane.login(
+            region,
+            spec.guid,
+            PeerAddr {
+                ip: site.ip,
+                port: 8443,
+            },
+            spec.nat,
+            rt.uploads_enabled,
+            40_100,
+            sguids.clone(),
+            t,
+        );
+        dataset.geodb.insert(
+            site.ip,
+            GeoInfo {
+                country_code: country.iso.to_string(),
+                city: country.cities[site.city].name.to_string(),
+                lat: site.lat,
+                lon: site.lon,
+                tz_offset: country.tz_offset,
+                asn: site.asn,
+                country_idx: site.country as u16,
+                region_idx: region as u8,
+            },
+        );
+        dataset.logins.push(LoginRecord {
+            at: t,
+            guid: spec.guid,
+            ip: site.ip,
+            asn: site.asn,
+            country: site.country as u16,
+            lat: site.lat,
+            lon: site.lon,
+            uploads_enabled: rt.uploads_enabled,
+            software_version: 40_100,
+            secondary_guids: sguids,
+        });
+        stats.logins += 1;
+
+        // Register shareable cache contents.
+        if rt.uploads_enabled {
+            let record = PeerRecord {
+                guid: spec.guid,
+                addr: PeerAddr {
+                    ip: site.ip,
+                    port: 8443,
+                },
+                asn: site.asn,
+                area: site.country as u16,
+                zone: region as u8,
+                nat: spec.nat,
+            };
+            let versions: Vec<VersionId> = rt
+                .cached
+                .iter()
+                .filter(|(_, (_, exp))| *exp > t)
+                .map(|(_, (v, _))| *v)
+                .collect();
+            for v in versions {
+                self.scenario.plane.register_content(region, record.clone(), v);
+            }
+        }
+    }
+
+    fn peer_offline(
+        &mut self,
+        p: u32,
+        t: SimTime,
+        peers: &mut [PeerRt],
+        net: &mut FlowNet,
+        dls: &mut [Dl],
+        active: &[usize],
+    ) {
+        // A peer with an active download stays connected until it ends
+        // (the user is waiting for it).
+        if peers[p as usize].active_download.is_some() || !peers[p as usize].online {
+            return;
+        }
+        let spec = &self.scenario.population.peers[p as usize];
+        // Drop upload flows sourced here.
+        if peers[p as usize].active_uploads > 0 {
+            for id in active {
+                let dl = &mut dls[*id];
+                let mut k = 0;
+                let mut changed = false;
+                while k < dl.sources.len() {
+                    if dl.sources[k].peer == p {
+                        let s = dl.sources.swap_remove(k);
+                        net.remove_flow(s.flow);
+                        dl.finished_sources.push((s.peer, s.bytes));
+                        peers[p as usize].active_uploads =
+                            peers[p as usize].active_uploads.saturating_sub(1);
+                        changed = true;
+                    } else {
+                        k += 1;
+                    }
+                }
+                if changed {
+                    let downlink = self.scenario.population.peers[dl.peer as usize].down;
+                    update_edge_ceil(dl, downlink, net);
+                }
+            }
+        }
+        let region = peers[p as usize].logged_region;
+        self.scenario.plane.logout(region, spec.guid);
+        peers[p as usize].online = false;
+        let _ = t;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_download(
+        &mut self,
+        req_idx: usize,
+        t: SimTime,
+        peers: &mut [PeerRt],
+        guid_owner: &mut HashMap<Guid, u32>,
+        net: &mut FlowNet,
+        edge_nodes: &[NodeId],
+        dls: &mut Vec<Dl>,
+        active: &mut Vec<usize>,
+        dataset: &mut TraceDataset,
+        stats: &mut RunStats,
+        rng: &mut DetRng,
+    ) {
+        let req = self.scenario.workload.requests[req_idx];
+        let p = req.peer.0;
+        // One concurrent download per peer: drop overlapping requests.
+        if peers[p as usize].active_download.is_some() {
+            return;
+        }
+        if !peers[p as usize].online {
+            // The user turned the machine on to download.
+            self.login(p, t, peers, guid_owner, dataset, stats, rng);
+        }
+        let spec = &self.scenario.population.peers[p as usize];
+        let rt = &peers[p as usize];
+        let region = rt.logged_region;
+
+        // Edge authorization (§3.5) — the trust root even for p2p.
+        let auth = match self.scenario.edges[region as usize].authorize(spec.guid, req.object, t) {
+            Ok(a) => a,
+            Err(_) => return,
+        };
+        self.scenario
+            .ledger
+            .record_authorization(spec.guid, auth.token.version);
+        let size = auth.manifest.size.bytes() as f64;
+        let p2p = auth.policy.p2p_enabled;
+        let cap = auth.policy.per_peer_upload_cap;
+        let version = auth.token.version;
+
+        let id = dls.len();
+        let mut dl = Dl {
+            peer: p,
+            object: req.object,
+            version,
+            size: size.max(1.0),
+            p2p,
+            cap,
+            started: t,
+            token: auth.token,
+            edge_flow: None,
+            edge_bytes: 0.0,
+            sources: Vec::new(),
+            finished_sources: Vec::new(),
+            initial_peers: 0,
+            abort_at: self.user_model.sample_abandon_after(rng).map(|d| t + d),
+            env_fail_at_bytes: self
+                .user_model
+                .sample_env_failure(rng)
+                .map(|f| f * size.max(1.0)),
+            sys_fail_at_bytes: {
+                let prob = if p2p { 0.002 } else { 0.001 };
+                rng.chance(prob).then(|| rng.f64() * size.max(1.0))
+            },
+            requeries: 0,
+            region,
+            finished: None,
+        };
+
+        // Peer selection and connection establishment.
+        if p2p {
+            let site = &rt.mobility.sites[rt.site];
+            let querier = Querier {
+                guid: spec.guid,
+                asn: site.asn,
+                area: site.country as u16,
+                zone: region as u8,
+                nat: spec.nat,
+            };
+            if let Ok(contacts) =
+                self.scenario
+                    .plane
+                    .query_peers(region, &querier, &dl.token, t, rng)
+            {
+                dl.initial_peers = contacts.len() as u32;
+                connect_sources(
+                    &contacts,
+                    spec.nat,
+                    p,
+                    &self.scenario,
+                    peers,
+                    guid_owner,
+                    net,
+                    &mut dl,
+                    stats,
+                    rng,
+                );
+            }
+        }
+
+        if self.scenario.config.edge_backstop {
+            dl.edge_flow = Some(net.add_flow(
+                edge_nodes[region as usize],
+                peers[p as usize].node,
+                None,
+            ));
+            update_edge_ceil(&dl, spec.down, net);
+        }
+
+        peers[p as usize].active_download = Some(id);
+        dls.push(dl);
+        active.push(id);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn requery(
+        &mut self,
+        t: SimTime,
+        peers: &mut [PeerRt],
+        guid_owner: &HashMap<Guid, u32>,
+        net: &mut FlowNet,
+        dls: &mut [Dl],
+        active: &[usize],
+        stats: &mut RunStats,
+        rng: &mut DetRng,
+    ) {
+        let sufficient = self.scenario.config.transfer.sufficient_peer_connections;
+        let max_rounds = self.scenario.config.transfer.max_requery_rounds;
+        for id in active {
+            // Collect what we need up front to appease the borrow checker.
+            let (needs, peer_idx, region) = {
+                let dl = &dls[*id];
+                (
+                    dl.p2p
+                        && dl.finished.is_none()
+                        && dl.sources.len() < sufficient / 2
+                        && dl.requeries < max_rounds,
+                    dl.peer,
+                    dl.region,
+                )
+            };
+            if !needs {
+                continue;
+            }
+            let spec = &self.scenario.population.peers[peer_idx as usize];
+            let site_idx = peers[peer_idx as usize].site;
+            let site = &peers[peer_idx as usize].mobility.sites[site_idx];
+            let querier = Querier {
+                guid: spec.guid,
+                asn: site.asn,
+                area: site.country as u16,
+                zone: region as u8,
+                nat: spec.nat,
+            };
+            let token = dls[*id].token;
+            if let Ok(contacts) = self
+                .scenario
+                .plane
+                .query_peers(region, &querier, &token, t, rng)
+            {
+                dls[*id].requeries += 1;
+                stats.requeries += 1;
+                let nat = spec.nat;
+                let downlink = self.scenario.population.peers[peer_idx as usize].down;
+                connect_sources(
+                    &contacts,
+                    nat,
+                    peer_idx,
+                    &self.scenario,
+                    peers,
+                    guid_owner,
+                    net,
+                    &mut dls[*id],
+                    stats,
+                    rng,
+                );
+                update_edge_ceil(&dls[*id], downlink, net);
+            }
+        }
+    }
+}
+
+/// The edge download runs over a single HTTP(S) connection; against `k`
+/// concurrent peer connections it behaves like one TCP flow among `k+1`
+/// sharing the downlink, not like an unbounded backstop that soaks up all
+/// slack. This sets the edge flow's rate ceiling accordingly (no ceiling
+/// when there are no peer sources).
+fn update_edge_ceil(dl: &Dl, downlink: Bandwidth, net: &mut FlowNet) {
+    if let Some(f) = dl.edge_flow {
+        let k = dl.sources.len();
+        let ceil = if k == 0 {
+            None
+        } else {
+            Some(Bandwidth::from_bytes_per_sec(
+                downlink.bytes_per_sec() / (k as f64 + 1.0),
+            ))
+        };
+        net.set_flow_ceil(f, ceil);
+    }
+}
+
+/// Try to connect the selected contacts as swarm sources.
+#[allow(clippy::too_many_arguments)]
+fn connect_sources(
+    contacts: &[netsession_core::msg::PeerContact],
+    my_nat: netsession_core::msg::NatType,
+    downloader: u32,
+    scenario: &Scenario,
+    peers: &mut [PeerRt],
+    guid_owner: &HashMap<Guid, u32>,
+    net: &mut FlowNet,
+    dl: &mut Dl,
+    stats: &mut RunStats,
+    rng: &mut DetRng,
+) {
+    let max_conns = scenario.config.transfer.max_download_connections;
+    let max_uploads = scenario.config.transfer.max_upload_connections;
+    for c in contacts {
+        if dl.sources.len() >= max_conns {
+            break;
+        }
+        let Some(&src) = guid_owner.get(&c.guid) else {
+            continue;
+        };
+        if src == downloader {
+            continue;
+        }
+        if dl.sources.iter().any(|s| s.peer == src) {
+            continue;
+        }
+        let src_rt = &peers[src as usize];
+        if !src_rt.online
+            || !src_rt.uploads_enabled
+            || src_rt.active_uploads as usize >= max_uploads
+        {
+            continue;
+        }
+        // Source must still cache the exact version.
+        match src_rt.cached.get(&dl.object) {
+            Some((v, _)) if *v == dl.version => {}
+            _ => continue,
+        }
+        // Traversal.
+        let p_ok = match connectivity(my_nat, c.nat) {
+            Connectivity::Direct => P_DIRECT,
+            Connectivity::HolePunch => P_PUNCH,
+            Connectivity::None => {
+                stats.punch_failures += 1;
+                continue;
+            }
+        };
+        if !rng.chance(p_ok) {
+            stats.punch_failures += 1;
+            continue;
+        }
+        let flow = net.add_flow(peers[src as usize].node, peers[downloader as usize].node, None);
+        peers[src as usize].active_uploads += 1;
+        dl.sources.push(SourceFlow {
+            peer: src,
+            flow,
+            bytes: 0.0,
+        });
+    }
+}
+
+/// Advance all active downloads from `from` to `to` at current rates,
+/// detecting completion / env-failure / abort crossings with exact
+/// interpolated times.
+fn advance(dls: &mut [Dl], active: &[usize], net: &FlowNet, from: SimTime, to: SimTime) {
+    if to <= from {
+        return;
+    }
+    let dt = (to - from).as_secs_f64();
+    for id in active {
+        let dl = &mut dls[*id];
+        if dl.finished.is_some() {
+            continue;
+        }
+        let edge_rate = dl
+            .edge_flow
+            .map(|f| net.rate(f).bytes_per_sec())
+            .unwrap_or(0.0);
+        let src_rates: Vec<f64> = dl
+            .sources
+            .iter()
+            .map(|s| net.rate(s.flow).bytes_per_sec())
+            .collect();
+        let total_rate = edge_rate + src_rates.iter().sum::<f64>();
+        let done = dl.done_bytes();
+
+        // Find the earliest milestone within (from, to].
+        let mut milestone_dt = dt;
+        let mut outcome: Option<DownloadOutcome> = None;
+        if total_rate > 0.0 {
+            let dt_complete = (dl.size - done) / total_rate;
+            if dt_complete <= milestone_dt {
+                milestone_dt = dt_complete.max(0.0);
+                outcome = Some(DownloadOutcome::Completed);
+            }
+            if let Some(fail_bytes) = dl.env_fail_at_bytes {
+                let dt_fail = (fail_bytes - done) / total_rate;
+                if dt_fail >= 0.0 && dt_fail < milestone_dt {
+                    milestone_dt = dt_fail;
+                    outcome = Some(DownloadOutcome::Failed {
+                        system_related: false,
+                    });
+                }
+            }
+            if let Some(fail_bytes) = dl.sys_fail_at_bytes {
+                let dt_fail = (fail_bytes - done) / total_rate;
+                if dt_fail >= 0.0 && dt_fail < milestone_dt {
+                    milestone_dt = dt_fail;
+                    outcome = Some(DownloadOutcome::Failed {
+                        system_related: true,
+                    });
+                }
+            }
+        }
+        if let Some(abort_at) = dl.abort_at {
+            if abort_at <= to {
+                let dt_abort = abort_at.since(from).as_secs_f64();
+                if (dt_abort < milestone_dt || outcome.is_none())
+                    && dt_abort <= milestone_dt {
+                        milestone_dt = dt_abort;
+                        outcome = Some(DownloadOutcome::Abandoned);
+                    }
+            }
+        }
+
+        // Accumulate bytes up to the milestone (or the full step).
+        let step = milestone_dt.clamp(0.0, dt);
+        dl.edge_bytes += edge_rate * step;
+        for (s, r) in dl.sources.iter_mut().zip(&src_rates) {
+            s.bytes += r * step;
+        }
+        if let Some(outcome) = outcome {
+            let at = from + SimDuration::from_secs_f64(step);
+            dl.finished = Some((at, outcome));
+        }
+    }
+}
+
+/// Emit records and release resources for downloads that reached a
+/// terminal state during the last advance.
+#[allow(clippy::too_many_arguments)]
+fn process_finished(
+    dls: &mut [Dl],
+    active: &mut Vec<usize>,
+    peers: &mut [PeerRt],
+    net: &mut FlowNet,
+    scenario: &mut Scenario,
+    dataset: &mut TraceDataset,
+    stats: &mut RunStats,
+    _now: SimTime,
+) {
+    let mut i = 0;
+    while i < active.len() {
+        let id = active[i];
+        let Some((ended, outcome)) = dls[id].finished else {
+            i += 1;
+            continue;
+        };
+        active.swap_remove(i);
+        let dl = &mut dls[id];
+        let spec = &scenario.population.peers[dl.peer as usize];
+
+        // Tear down flows.
+        if let Some(f) = dl.edge_flow.take() {
+            net.remove_flow(f);
+        }
+        let sources: Vec<(u32, f64)> = dl
+            .sources
+            .drain(..)
+            .map(|s| {
+                net.remove_flow(s.flow);
+                peers[s.peer as usize].active_uploads =
+                    peers[s.peer as usize].active_uploads.saturating_sub(1);
+                (s.peer, s.bytes)
+            })
+            .chain(dl.finished_sources.drain(..))
+            .collect();
+
+        // Transfer records + upload accounting.
+        let mut bytes_peers = 0.0;
+        for (src, bytes) in &sources {
+            if *bytes < 1.0 {
+                continue;
+            }
+            bytes_peers += bytes;
+            let src_spec = &scenario.population.peers[*src as usize];
+            dataset.transfers.push(TransferRecord {
+                from_guid: src_spec.guid,
+                to_guid: spec.guid,
+                from_as: src_spec.asn,
+                to_as: spec.asn,
+                from_country: src_spec.country as u16,
+                to_country: spec.country as u16,
+                bytes: ByteCount(*bytes as u64),
+                object: dl.object,
+            });
+            let src_region = peers[*src as usize].logged_region;
+            scenario
+                .plane
+                .count_upload(src_region, src_spec.guid, dl.object, dl.cap);
+        }
+        stats.p2p_bytes += bytes_peers as u64;
+        stats.edge_bytes += dl.edge_bytes as u64;
+
+        // Edge receipt.
+        if dl.edge_bytes >= 1.0 {
+            scenario.edges[dl.region as usize].record_served(
+                spec.guid,
+                dl.version,
+                ByteCount(dl.edge_bytes as u64),
+            );
+        }
+
+        // Outcome bookkeeping.
+        match outcome {
+            DownloadOutcome::Completed => stats.completed += 1,
+            DownloadOutcome::Abandoned => stats.abandoned += 1,
+            DownloadOutcome::Failed { system_related } => {
+                if system_related {
+                    stats.failed_system += 1;
+                } else {
+                    stats.failed_env += 1;
+                }
+            }
+        }
+
+        // Cache + registration on completion.
+        if outcome == DownloadOutcome::Completed {
+            let ttl = SimDuration::from_hours(scenario.config.transfer.cache_ttl_hours as u64);
+            peers[dl.peer as usize]
+                .cached
+                .insert(dl.object, (dl.version, ended + ttl));
+            if peers[dl.peer as usize].uploads_enabled && dl.p2p {
+                let rt = &peers[dl.peer as usize];
+                let site = &rt.mobility.sites[rt.site];
+                let record = PeerRecord {
+                    guid: spec.guid,
+                    addr: PeerAddr {
+                        ip: site.ip,
+                        port: 8443,
+                    },
+                    asn: site.asn,
+                    area: site.country as u16,
+                    zone: rt.logged_region as u8,
+                    nat: spec.nat,
+                };
+                scenario
+                    .plane
+                    .register_content(rt.logged_region, record, dl.version);
+            }
+        }
+
+        // Download record + usage report + monitoring sample.
+        let record = DownloadRecord {
+            guid: spec.guid,
+            object: dl.object,
+            cp: scenario.catalog.get(dl.object).cp,
+            size: ByteCount(dl.size as u64),
+            p2p_enabled: dl.p2p,
+            started: dl.started,
+            ended,
+            bytes_infra: ByteCount(dl.edge_bytes as u64),
+            bytes_peers: ByteCount(bytes_peers as u64),
+            outcome,
+            initial_peers: dl.initial_peers,
+            asn: spec.asn,
+            country: spec.country as u16,
+            region: spec.region().index() as u8,
+        };
+        scenario.plane.monitor.report_speed(ended, record.mean_speed());
+        scenario
+            .plane
+            .accept_usage(dl.region, vec![record_to_usage(&record)]);
+        dataset.downloads.push(record);
+
+        peers[dl.peer as usize].active_download = None;
+    }
+}
+
+fn record_to_usage(r: &DownloadRecord) -> netsession_core::msg::UsageRecord {
+    netsession_core::msg::UsageRecord {
+        guid: r.guid,
+        version: VersionId {
+            object: r.object,
+            version: 1,
+        },
+        started: r.started,
+        ended: r.ended,
+        bytes_from_infrastructure: r.bytes_infra,
+        bytes_from_peers: r.bytes_peers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_logs::records::DownloadOutcome;
+
+    fn run_tiny() -> SimOutput {
+        HybridSim::run_config(ScenarioConfig::tiny())
+    }
+
+    #[test]
+    fn month_produces_a_full_dataset() {
+        let out = run_tiny();
+        let cfg = ScenarioConfig::tiny();
+        assert!(
+            out.dataset.downloads.len() as f64 > cfg.workload.downloads as f64 * 0.8,
+            "most requests become download records ({} of {})",
+            out.dataset.downloads.len(),
+            cfg.workload.downloads
+        );
+        assert!(out.stats.logins > 1000, "logins {}", out.stats.logins);
+        assert!(!out.dataset.transfers.is_empty(), "p2p transfers happened");
+        assert!(!out.dataset.registrations.is_empty(), "DN log populated");
+        assert!(out.dataset.geodb.distinct_ips() > 500);
+    }
+
+    #[test]
+    fn most_downloads_complete_and_outcomes_are_shaped_like_the_paper() {
+        let out = run_tiny();
+        let total = out.dataset.downloads.len() as f64;
+        let completed = out.stats.completed as f64;
+        assert!(
+            completed / total > 0.85,
+            "completion rate {} too low",
+            completed / total
+        );
+        // Abandonment dominates failures (§5.2).
+        assert!(out.stats.abandoned > out.stats.failed_system + out.stats.failed_env);
+    }
+
+    #[test]
+    fn p2p_enabled_downloads_source_bytes_from_peers() {
+        let out = run_tiny();
+        let p2p_bytes: u64 = out
+            .dataset
+            .downloads
+            .iter()
+            .filter(|d| d.p2p_enabled)
+            .map(|d| d.bytes_peers.bytes())
+            .sum();
+        assert!(p2p_bytes > 0, "peer-assist must actually deliver bytes");
+        // Infra-only downloads never have peer bytes.
+        for d in out.dataset.downloads.iter().filter(|d| !d.p2p_enabled) {
+            assert_eq!(d.bytes_peers, ByteCount::ZERO);
+        }
+    }
+
+    #[test]
+    fn completed_downloads_received_their_size() {
+        let out = run_tiny();
+        for d in out
+            .dataset
+            .downloads
+            .iter()
+            .filter(|d| d.outcome == DownloadOutcome::Completed)
+            .take(500)
+        {
+            let got = d.total_bytes().bytes() as f64;
+            let want = d.size.bytes() as f64;
+            assert!(
+                (got - want).abs() / want.max(1.0) < 0.01,
+                "completed download got {got} of {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_tiny();
+        let b = run_tiny();
+        assert_eq!(a.dataset.downloads.len(), b.dataset.downloads.len());
+        assert_eq!(a.stats.completed, b.stats.completed);
+        assert_eq!(a.stats.p2p_bytes, b.stats.p2p_bytes);
+        for (x, y) in a.dataset.downloads.iter().zip(&b.dataset.downloads).take(200) {
+            assert_eq!(x.guid, y.guid);
+            assert_eq!(x.ended, y.ended);
+            assert_eq!(x.bytes_peers, y.bytes_peers);
+        }
+    }
+
+    #[test]
+    fn pure_p2p_ablation_hurts_completion() {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.edge_backstop = false;
+        let no_backstop = HybridSim::run_config(cfg);
+        let with_backstop = run_tiny();
+        let rate = |o: &SimOutput| {
+            o.stats.completed as f64 / (o.dataset.downloads.len().max(1)) as f64
+        };
+        assert!(
+            rate(&no_backstop) < rate(&with_backstop),
+            "backstop must improve completion ({} vs {})",
+            rate(&no_backstop),
+            rate(&with_backstop)
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! The assembled trace data set.
+//!
+//! [`TraceDataset`] is what one simulated month produces and what every
+//! analysis consumes — the analogue of the paper's October-2012 log
+//! collection plus EdgeScape data (Table 1 summarizes it).
+
+use crate::geodb::EdgeScapeDb;
+use crate::records::{DownloadRecord, LoginRecord, TransferRecord};
+use netsession_core::id::VersionId;
+use serde::{Deserialize, Serialize};
+
+/// One month of logs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceDataset {
+    /// CN download records.
+    pub downloads: Vec<DownloadRecord>,
+    /// CN login records.
+    pub logins: Vec<LoginRecord>,
+    /// Per-transfer p2p byte flows (§6.1 input).
+    pub transfers: Vec<TransferRecord>,
+    /// DN registration log: (version, cumulative registrations) — Fig 5.
+    pub registrations: Vec<(VersionId, u64)>,
+    /// EdgeScape-style geolocation data.
+    pub geodb: EdgeScapeDb,
+}
+
+/// The Table-1 style summary of a data set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Total log entries (downloads + logins + transfers).
+    pub log_entries: u64,
+    /// Distinct GUIDs across all records.
+    pub guids: u64,
+    /// Distinct objects downloaded ("Distinct URLs").
+    pub urls: u64,
+    /// Distinct IPs in the geo data.
+    pub ips: u64,
+    /// Downloads initiated.
+    pub downloads: u64,
+    /// Distinct geographic locations.
+    pub locations: u64,
+    /// Distinct autonomous systems.
+    pub ases: u64,
+    /// Distinct country codes.
+    pub countries: u64,
+}
+
+impl TraceDataset {
+    /// Compute the Table-1 summary.
+    pub fn summary(&self) -> DatasetSummary {
+        let mut guids: Vec<u128> = self
+            .downloads
+            .iter()
+            .map(|d| d.guid.0)
+            .chain(self.logins.iter().map(|l| l.guid.0))
+            .collect();
+        guids.sort_unstable();
+        guids.dedup();
+        let mut urls: Vec<u64> = self.downloads.iter().map(|d| d.object.0).collect();
+        urls.sort_unstable();
+        urls.dedup();
+        DatasetSummary {
+            log_entries: (self.downloads.len() + self.logins.len() + self.transfers.len()) as u64,
+            guids: guids.len() as u64,
+            urls: urls.len() as u64,
+            ips: self.geodb.distinct_ips() as u64,
+            downloads: self.downloads.len() as u64,
+            locations: self.geodb.distinct_locations() as u64,
+            ases: self.geodb.distinct_ases() as u64,
+            countries: self.geodb.distinct_countries() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geodb::GeoInfo;
+    use crate::records::DownloadOutcome;
+    use netsession_core::id::{AsNumber, CpCode, Guid, ObjectId};
+    use netsession_core::time::SimTime;
+    use netsession_core::units::ByteCount;
+
+    #[test]
+    fn summary_counts_distinct_entities() {
+        let mut ds = TraceDataset::default();
+        for g in [1u128, 1, 2] {
+            ds.downloads.push(DownloadRecord {
+                guid: Guid(g),
+                object: ObjectId(g as u64),
+                cp: CpCode(1),
+                size: ByteCount(10),
+                p2p_enabled: false,
+                started: SimTime(0),
+                ended: SimTime(1),
+                bytes_infra: ByteCount(10),
+                bytes_peers: ByteCount(0),
+                outcome: DownloadOutcome::Completed,
+                initial_peers: 0,
+                asn: AsNumber(1),
+                country: 0,
+                region: 0,
+            });
+        }
+        ds.geodb.insert(
+            7,
+            GeoInfo {
+                country_code: "US".into(),
+                city: "NYC".into(),
+                lat: 40.0,
+                lon: -74.0,
+                tz_offset: -5,
+                asn: AsNumber(1),
+                country_idx: 0,
+                region_idx: 0,
+            },
+        );
+        let s = ds.summary();
+        assert_eq!(s.downloads, 3);
+        assert_eq!(s.guids, 2);
+        assert_eq!(s.urls, 2);
+        assert_eq!(s.ips, 1);
+        assert_eq!(s.log_entries, 3);
+        assert_eq!(s.countries, 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! EdgeScape-style geolocation database.
+//!
+//! "We also obtained geolocation data from Akamai's EdgeScape service about
+//! each IP address that appears in the trace. This data includes an ISO
+//! 3166 country code, the name of a city and state, a latitude/longitude
+//! pair, a timezone, and a network provider name" (§4.1). The simulation
+//! builds this database as it assigns IPs; the analytics only ever join on
+//! it, as the authors did.
+
+use netsession_core::id::AsNumber;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What EdgeScape knows about one IP.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeoInfo {
+    /// ISO 3166 country code.
+    pub country_code: String,
+    /// City name.
+    pub city: String,
+    /// Latitude.
+    pub lat: f64,
+    /// Longitude.
+    pub lon: f64,
+    /// Timezone as GMT offset hours.
+    pub tz_offset: i32,
+    /// The AS announcing this IP.
+    pub asn: AsNumber,
+    /// Gazetteer country index (simulation-internal join key).
+    pub country_idx: u16,
+    /// Table-2 region index.
+    pub region_idx: u8,
+}
+
+/// IP → geolocation.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EdgeScapeDb {
+    entries: HashMap<u32, GeoInfo>,
+}
+
+impl EdgeScapeDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an IP's geolocation (idempotent; last write wins, matching a
+    /// geo DB refresh).
+    pub fn insert(&mut self, ip: u32, info: GeoInfo) {
+        self.entries.insert(ip, info);
+    }
+
+    /// Look up an IP.
+    pub fn lookup(&self, ip: u32) -> Option<&GeoInfo> {
+        self.entries.get(&ip)
+    }
+
+    /// Number of distinct IPs known (Table 1's "Distinct IPs").
+    pub fn distinct_ips(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of distinct (lat, lon) locations (Table 1's "Distinct
+    /// locations").
+    pub fn distinct_locations(&self) -> usize {
+        let mut locs: Vec<(u64, u64)> = self
+            .entries
+            .values()
+            .map(|g| (g.lat.to_bits(), g.lon.to_bits()))
+            .collect();
+        locs.sort_unstable();
+        locs.dedup();
+        locs.len()
+    }
+
+    /// Number of distinct ASes observed.
+    pub fn distinct_ases(&self) -> usize {
+        let mut ases: Vec<u32> = self.entries.values().map(|g| g.asn.0).collect();
+        ases.sort_unstable();
+        ases.dedup();
+        ases.len()
+    }
+
+    /// Number of distinct country codes observed.
+    pub fn distinct_countries(&self) -> usize {
+        let mut cc: Vec<&str> = self
+            .entries
+            .values()
+            .map(|g| g.country_code.as_str())
+            .collect();
+        cc.sort_unstable();
+        cc.dedup();
+        cc.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(cc: &str, lat: f64, asn: u32) -> GeoInfo {
+        GeoInfo {
+            country_code: cc.into(),
+            city: "X".into(),
+            lat,
+            lon: 1.0,
+            tz_offset: 0,
+            asn: AsNumber(asn),
+            country_idx: 0,
+            region_idx: 0,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut db = EdgeScapeDb::new();
+        db.insert(42, info("US", 40.0, 7018));
+        assert_eq!(db.lookup(42).unwrap().country_code, "US");
+        assert!(db.lookup(43).is_none());
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let mut db = EdgeScapeDb::new();
+        db.insert(1, info("US", 40.0, 100));
+        db.insert(2, info("US", 40.0, 100));
+        db.insert(3, info("DE", 52.0, 200));
+        assert_eq!(db.distinct_ips(), 3);
+        assert_eq!(db.distinct_locations(), 2);
+        assert_eq!(db.distinct_ases(), 2);
+        assert_eq!(db.distinct_countries(), 2);
+    }
+
+    #[test]
+    fn reinsert_overwrites() {
+        let mut db = EdgeScapeDb::new();
+        db.insert(1, info("US", 40.0, 100));
+        db.insert(1, info("CA", 43.0, 200));
+        assert_eq!(db.lookup(1).unwrap().country_code, "CA");
+        assert_eq!(db.distinct_ips(), 1);
+    }
+}

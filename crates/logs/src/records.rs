@@ -1,0 +1,227 @@
+//! Log record types (§4.1).
+//!
+//! "When a peer downloads a file from NetSession, the CN records
+//! information about the download, including the GUID of the peer, the
+//! name and size of the file, the CP code …, the time the download started
+//! and ended, and the number of bytes downloaded from the infrastructure
+//! and from peers. … when a peer opens a connection to the control plane,
+//! the CN records the peer's current IP address, its software version, and
+//! whether or not uploads are enabled on that peer."
+
+use netsession_core::id::{AsNumber, CpCode, Guid, ObjectId, SecondaryGuid};
+use netsession_core::time::{SimDuration, SimTime};
+use netsession_core::units::{Bandwidth, ByteCount};
+use serde::{Deserialize, Serialize};
+
+/// The three outcomes the paper distinguishes (§5.2): "a download can
+/// complete, it can fail, or it can be aborted/paused by the user and never
+/// resumed."
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DownloadOutcome {
+    /// Finished successfully.
+    Completed,
+    /// Failed; the flag says whether the cause was system-related (e.g.
+    /// "too many corrupted content blocks") or environmental ("the user's
+    /// disk is full").
+    Failed {
+        /// System-related vs. other causes (§5.2 splits 0.1 %/0.2 % vs
+        /// the rest).
+        system_related: bool,
+    },
+    /// Aborted or paused by the user and never resumed.
+    Abandoned,
+}
+
+/// One download record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DownloadRecord {
+    /// Downloading peer.
+    pub guid: Guid,
+    /// The object (file names are hashed in the real logs; object IDs here).
+    pub object: ObjectId,
+    /// Content-provider account.
+    pub cp: CpCode,
+    /// Object size.
+    pub size: ByteCount,
+    /// Whether the provider enabled p2p for this object.
+    pub p2p_enabled: bool,
+    /// Start time.
+    pub started: SimTime,
+    /// End time (completion, failure, or abandonment).
+    pub ended: SimTime,
+    /// Bytes from edge servers.
+    pub bytes_infra: ByteCount,
+    /// Bytes from peers.
+    pub bytes_peers: ByteCount,
+    /// Outcome.
+    pub outcome: DownloadOutcome,
+    /// How many peers the control plane initially returned (Fig 6 x-axis).
+    pub initial_peers: u32,
+    /// Requester's AS.
+    pub asn: AsNumber,
+    /// Requester's country (gazetteer index).
+    pub country: u16,
+    /// Requester's Table-2 region index.
+    pub region: u8,
+}
+
+impl DownloadRecord {
+    /// Total bytes received.
+    pub fn total_bytes(&self) -> ByteCount {
+        self.bytes_infra + self.bytes_peers
+    }
+
+    /// Peer efficiency of this download (§5.1).
+    pub fn peer_efficiency(&self) -> f64 {
+        let t = self.total_bytes().bytes();
+        if t == 0 {
+            0.0
+        } else {
+            self.bytes_peers.bytes() as f64 / t as f64
+        }
+    }
+
+    /// Elapsed wall time.
+    pub fn duration(&self) -> SimDuration {
+        self.ended.since(self.started)
+    }
+
+    /// Mean download speed over the whole download (Fig 4's metric: "we
+    /// then averaged the speed of each download across its entire length").
+    pub fn mean_speed(&self) -> Bandwidth {
+        self.total_bytes().rate_over(self.duration())
+    }
+
+    /// Fig 4's class: did at least half the bytes come from peers?
+    pub fn is_mostly_p2p(&self) -> bool {
+        self.peer_efficiency() >= 0.5
+    }
+
+    /// Fig 4's other class: everything from the edge.
+    pub fn is_edge_only(&self) -> bool {
+        self.bytes_peers == ByteCount::ZERO && self.bytes_infra.bytes() > 0
+    }
+}
+
+/// One login record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LoginRecord {
+    /// Login time.
+    pub at: SimTime,
+    /// The peer.
+    pub guid: Guid,
+    /// Its IP at login.
+    pub ip: u32,
+    /// The AS of that IP.
+    pub asn: AsNumber,
+    /// Country (gazetteer index).
+    pub country: u16,
+    /// Geolocation latitude.
+    pub lat: f64,
+    /// Geolocation longitude.
+    pub lon: f64,
+    /// Whether uploads are enabled at this login.
+    pub uploads_enabled: bool,
+    /// Client software version.
+    pub software_version: u32,
+    /// Last five secondary GUIDs, newest first (§6.2).
+    pub secondary_guids: Vec<SecondaryGuid>,
+}
+
+/// One peer-to-peer byte flow, attributed to source and destination ASes —
+/// the input to the §6.1 traffic-balance analysis ("a set of (N, AS1, AS2)
+/// tuples, which describe a flow of N bytes from AS1 to AS2").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Uploading peer.
+    pub from_guid: Guid,
+    /// Downloading peer.
+    pub to_guid: Guid,
+    /// Uploader's AS.
+    pub from_as: AsNumber,
+    /// Downloader's AS.
+    pub to_as: AsNumber,
+    /// Uploader's country (gazetteer index).
+    pub from_country: u16,
+    /// Downloader's country.
+    pub to_country: u16,
+    /// Content bytes moved (headers/overhead excluded, as in §6.1).
+    pub bytes: ByteCount,
+    /// The object involved.
+    pub object: ObjectId,
+}
+
+impl TransferRecord {
+    /// Whether the flow stayed inside one AS (18 % of bytes in the paper).
+    pub fn intra_as(&self) -> bool {
+        self.from_as == self.to_as
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(infra: u64, peers: u64, dur_secs: u64) -> DownloadRecord {
+        DownloadRecord {
+            guid: Guid(1),
+            object: ObjectId(2),
+            cp: CpCode(3),
+            size: ByteCount(infra + peers),
+            p2p_enabled: true,
+            started: SimTime(0),
+            ended: SimTime(dur_secs * 1_000_000),
+            bytes_infra: ByteCount(infra),
+            bytes_peers: ByteCount(peers),
+            outcome: DownloadOutcome::Completed,
+            initial_peers: 10,
+            asn: AsNumber(7018),
+            country: 0,
+            region: 0,
+        }
+    }
+
+    #[test]
+    fn efficiency_and_speed() {
+        let r = record(250, 750, 10);
+        assert!((r.peer_efficiency() - 0.75).abs() < 1e-9);
+        assert_eq!(r.total_bytes(), ByteCount(1000));
+        assert!((r.mean_speed().bytes_per_sec() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4_classes() {
+        assert!(record(0, 100, 1).is_mostly_p2p());
+        assert!(record(49, 51, 1).is_mostly_p2p());
+        assert!(!record(51, 49, 1).is_mostly_p2p());
+        assert!(record(100, 0, 1).is_edge_only());
+        assert!(!record(100, 1, 1).is_edge_only());
+    }
+
+    #[test]
+    fn zero_byte_download_has_zero_efficiency() {
+        let r = record(0, 0, 1);
+        assert_eq!(r.peer_efficiency(), 0.0);
+        assert!(!r.is_edge_only(), "needs actual bytes to count as edge-only");
+    }
+
+    #[test]
+    fn transfer_intra_as_detection() {
+        let t = TransferRecord {
+            from_guid: Guid(1),
+            to_guid: Guid(2),
+            from_as: AsNumber(10),
+            to_as: AsNumber(10),
+            from_country: 0,
+            to_country: 1,
+            bytes: ByteCount(5),
+            object: ObjectId(1),
+        };
+        assert!(t.intra_as());
+        let t2 = TransferRecord {
+            to_as: AsNumber(11),
+            ..t
+        };
+        assert!(!t2.intra_as());
+    }
+}

@@ -1,0 +1,38 @@
+//! # netsession-nat
+//!
+//! NAT and firewall substrate for the NetSession reproduction.
+//!
+//! The paper stresses that NAT traversal is a first-class concern for a
+//! peer-assisted CDN: peers "periodically communicate with STUN components
+//! over UDP and TCP to determine the details of their connectivity … and to
+//! enable NAT traversal. This involves a protocol with goals similar to
+//! \[RFC 5389\], but NetSession uses a custom implementation" (§3.6), and
+//! "due to the vast diversity in NAT implementations today, NAT hole
+//! punching is a complex issue, and the necessary code takes up a large
+//! fraction of the NetSession codebase" (§3.7).
+//!
+//! This crate provides that substrate:
+//!
+//! * [`natbox`] — a behavioural model of a NAT/firewall box: mapping
+//!   allocation (per-endpoint vs. per-destination) and filtering rules
+//!   (full-cone, restricted, port-restricted, symmetric, blocked).
+//! * [`stun`] — an RFC 3489-style classification protocol that runs *real
+//!   tests against the modeled box* (Test I/II/III, two server addresses)
+//!   and infers the [`NatType`](netsession_core::msg::NatType).
+//! * [`punch`] — control-plane-coordinated UDP hole punching between two
+//!   modeled boxes; success is determined by the boxes' actual mapping and
+//!   filtering behaviour, not by a lookup table.
+//! * [`matrix`] — the pairwise connectivity matrix the DN consults when
+//!   choosing peers ("it selects only peers that are likely to be able to
+//!   establish a connection with each other", §3.7). A test derives this
+//!   matrix from the punch simulation and asserts they agree.
+
+pub mod matrix;
+pub mod natbox;
+pub mod punch;
+pub mod stun;
+
+pub use matrix::{connectivity, Connectivity};
+pub use natbox::{Endpoint, NatBox};
+pub use punch::{punch as punch_peers, PunchOutcome};
+pub use stun::{classify, StunServer};

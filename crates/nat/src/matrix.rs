@@ -1,0 +1,129 @@
+//! Pairwise connectivity matrix.
+//!
+//! The DN "selects only peers that are likely to be able to establish a
+//! connection with each other, e.g., based on the type of their NAT or
+//! firewall" (§3.7). For that it needs a fast, table-driven answer; the
+//! table here is the closed form of what the punch simulation computes, and
+//! a test in this module *derives* the table from [`crate::punch`] to prove
+//! the two never drift apart.
+
+use netsession_core::msg::NatType;
+
+/// How two endpoints can be connected, if at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Connectivity {
+    /// Plain TCP works; no traversal needed.
+    Direct,
+    /// Reachable via a coordinated UDP hole punch.
+    HolePunch,
+    /// No direct connectivity; the control plane must not pair these peers.
+    None,
+}
+
+impl Connectivity {
+    /// Whether the DN may pair two such peers.
+    pub fn usable(self) -> bool {
+        self != Connectivity::None
+    }
+
+    /// Whether establishing the connection needs the control plane to
+    /// coordinate a punch (drives the §3.6 `ConnectTo`-to-both-sides path).
+    pub fn needs_punch(self) -> bool {
+        self == Connectivity::HolePunch
+    }
+}
+
+/// The closed-form connectivity table.
+pub fn connectivity(a: NatType, b: NatType) -> Connectivity {
+    use NatType::*;
+    match (a, b) {
+        (Open, _) | (_, Open) => Connectivity::Direct,
+        (Blocked, _) | (_, Blocked) => Connectivity::None,
+        (Symmetric, Symmetric) => Connectivity::None,
+        (Symmetric, PortRestricted) | (PortRestricted, Symmetric) => Connectivity::None,
+        _ => Connectivity::HolePunch,
+    }
+}
+
+/// Fraction of peer pairs that are connectable under a given distribution of
+/// NAT types — a useful aggregate when generating populations.
+pub fn connectable_fraction(dist: &[(NatType, f64)]) -> f64 {
+    let mut total = 0.0;
+    let mut ok = 0.0;
+    for (a, pa) in dist {
+        for (b, pb) in dist {
+            total += pa * pb;
+            if connectivity(*a, *b).usable() {
+                ok += pa * pb;
+            }
+        }
+    }
+    if total > 0.0 {
+        ok / total
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::natbox::{Endpoint, NatBox};
+    use crate::punch::{punch, PunchOutcome};
+
+    /// Derive the matrix from the behavioural punch simulation and compare
+    /// against the closed form — the central consistency check of the crate.
+    #[test]
+    fn table_matches_punch_simulation_for_all_pairs() {
+        for a in NatType::ALL {
+            for b in NatType::ALL {
+                let a_pub = if a == NatType::Open { 0x0a000001 } else { 0x01010101 };
+                let b_pub = if b == NatType::Open { 0x0b000001 } else { 0x02020202 };
+                let mut ab = NatBox::new(a, a_pub);
+                let mut bb = NatBox::new(b, b_pub);
+                let sim = punch(
+                    &mut ab,
+                    Endpoint::new(0x0a000001, 5000),
+                    &mut bb,
+                    Endpoint::new(0x0b000001, 6000),
+                );
+                let table = connectivity(a, b);
+                let agree = matches!(
+                    (sim, table),
+                    (PunchOutcome::DirectTcp, Connectivity::Direct)
+                        | (PunchOutcome::Punched, Connectivity::HolePunch)
+                        | (PunchOutcome::Failed, Connectivity::None)
+                );
+                assert!(agree, "{a:?}+{b:?}: sim={sim:?} table={table:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for a in NatType::ALL {
+            for b in NatType::ALL {
+                assert_eq!(connectivity(a, b), connectivity(b, a), "{a:?}/{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn connectable_fraction_bounds() {
+        let all_open = [(NatType::Open, 1.0)];
+        assert!((connectable_fraction(&all_open) - 1.0).abs() < 1e-12);
+        let all_sym = [(NatType::Symmetric, 1.0)];
+        assert!(connectable_fraction(&all_sym) < 1e-12);
+        // A realistic mixture gives something strictly in between.
+        let mix = [
+            (NatType::Open, 0.1),
+            (NatType::FullCone, 0.15),
+            (NatType::RestrictedCone, 0.2),
+            (NatType::PortRestricted, 0.35),
+            (NatType::Symmetric, 0.15),
+            (NatType::Blocked, 0.05),
+        ];
+        let f = connectable_fraction(&mix);
+        assert!(f > 0.5 && f < 1.0, "got {f}");
+    }
+}

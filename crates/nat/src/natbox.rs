@@ -1,0 +1,287 @@
+//! Behavioural NAT/firewall box model.
+//!
+//! A [`NatBox`] sits between one internal host and the public Internet. It
+//! implements the two orthogonal behaviours that distinguish real NATs:
+//!
+//! * **mapping allocation** — cone NATs reuse one external port per internal
+//!   socket regardless of destination; symmetric NATs allocate a fresh
+//!   external port per destination.
+//! * **inbound filtering** — full-cone boxes accept from anyone once a
+//!   mapping exists; address-restricted boxes require the internal host to
+//!   have previously sent to the source *IP*; port-restricted and symmetric
+//!   boxes require a previous send to the exact source *IP:port*; blocked
+//!   firewalls drop all inbound UDP.
+//!
+//! The STUN classifier and the hole-punch simulation operate on these
+//! behaviours directly, so their outcomes are consequences of the model, not
+//! hard-coded rules.
+
+use netsession_core::msg::NatType;
+use std::collections::{HashMap, HashSet};
+
+/// A transport endpoint (IP, port) in the modeled network.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// IPv4 address as an integer.
+    pub ip: u32,
+    /// UDP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Convenience constructor.
+    pub fn new(ip: u32, port: u16) -> Self {
+        Endpoint { ip, port }
+    }
+}
+
+/// Key for a mapping: cone NATs map per internal socket; symmetric NATs map
+/// per (internal socket, destination).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum MapKey {
+    Cone(Endpoint),
+    Symmetric(Endpoint, Endpoint),
+}
+
+/// A modeled NAT/firewall in front of a single internal host.
+#[derive(Clone, Debug)]
+pub struct NatBox {
+    kind: NatType,
+    /// Public IP of the box (for [`NatType::Open`] this equals the host IP).
+    public_ip: u32,
+    /// Allocated mappings: key → external port.
+    mappings: HashMap<MapKey, u16>,
+    /// Reverse view: external port → internal endpoint.
+    reverse: HashMap<u16, Endpoint>,
+    /// Outbound permissions per internal endpoint: destinations sent to.
+    permissions: HashMap<Endpoint, HashSet<Endpoint>>,
+    next_port: u16,
+}
+
+impl NatBox {
+    /// Create a box of the given kind with the given public IP.
+    pub fn new(kind: NatType, public_ip: u32) -> Self {
+        NatBox {
+            kind,
+            public_ip,
+            mappings: HashMap::new(),
+            reverse: HashMap::new(),
+            permissions: HashMap::new(),
+            next_port: 40000,
+        }
+    }
+
+    /// The box's NAT classification (ground truth; the STUN classifier must
+    /// *infer* this).
+    pub fn kind(&self) -> NatType {
+        self.kind
+    }
+
+    /// The box's public IP.
+    pub fn public_ip(&self) -> u32 {
+        self.public_ip
+    }
+
+    /// The internal host sends a UDP datagram from `internal` to `dst`.
+    /// Returns the external (public) endpoint the datagram appears to come
+    /// from, or `None` if the firewall blocks outbound UDP entirely.
+    pub fn send(&mut self, internal: Endpoint, dst: Endpoint) -> Option<Endpoint> {
+        if self.kind == NatType::Blocked {
+            return None;
+        }
+        self.permissions.entry(internal).or_default().insert(dst);
+        if self.kind == NatType::Open {
+            return Some(internal);
+        }
+        let key = match self.kind {
+            NatType::Symmetric => MapKey::Symmetric(internal, dst),
+            _ => MapKey::Cone(internal),
+        };
+        let port = match self.mappings.get(&key) {
+            Some(p) => *p,
+            None => {
+                let p = self.next_port;
+                self.next_port = self.next_port.wrapping_add(1).max(40000);
+                self.mappings.insert(key, p);
+                self.reverse.insert(p, internal);
+                p
+            }
+        };
+        Some(Endpoint::new(self.public_ip, port))
+    }
+
+    /// A datagram arrives from `src` addressed to the box's external
+    /// endpoint `to`. Returns the internal endpoint it is delivered to, or
+    /// `None` if the box filters it.
+    pub fn receive(&self, src: Endpoint, to: Endpoint) -> Option<Endpoint> {
+        if self.kind == NatType::Blocked {
+            return None;
+        }
+        if self.kind == NatType::Open {
+            // No NAT: deliver if addressed to the host itself.
+            return if to.ip == self.public_ip {
+                Some(to)
+            } else {
+                None
+            };
+        }
+        if to.ip != self.public_ip {
+            return None;
+        }
+        let internal = *self.reverse.get(&to.port)?;
+        let perms = self.permissions.get(&internal);
+        let allowed = match self.kind {
+            NatType::FullCone => true,
+            NatType::RestrictedCone => {
+                perms.is_some_and(|p| p.iter().any(|d| d.ip == src.ip))
+            }
+            NatType::PortRestricted | NatType::Symmetric => {
+                perms.is_some_and(|p| p.contains(&src))
+            }
+            NatType::Open | NatType::Blocked => unreachable!(),
+        };
+        if !allowed {
+            return None;
+        }
+        // Symmetric boxes additionally require the mapping used for *this*
+        // destination to be the one addressed: a packet to a mapping
+        // allocated for a different destination is dropped even if a
+        // permission exists.
+        if self.kind == NatType::Symmetric {
+            let key = MapKey::Symmetric(internal, src);
+            match self.mappings.get(&key) {
+                Some(p) if *p == to.port => {}
+                _ => return None,
+            }
+        }
+        Some(internal)
+    }
+
+    /// Whether the internal host can make direct *outbound TCP* connections
+    /// (all kinds except none — even blocked firewalls allow outbound TCP,
+    /// which is how blocked peers still reach edge servers and the control
+    /// plane).
+    pub fn outbound_tcp_allowed(&self) -> bool {
+        true
+    }
+
+    /// Whether inbound TCP connections to the host succeed without any
+    /// traversal (only for publicly reachable hosts).
+    pub fn inbound_tcp_allowed(&self) -> bool {
+        self.kind == NatType::Open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOST: Endpoint = Endpoint {
+        ip: 0x0a000001,
+        port: 5000,
+    };
+    const DST_A: Endpoint = Endpoint {
+        ip: 0x08080808,
+        port: 3478,
+    };
+    const DST_B: Endpoint = Endpoint {
+        ip: 0x08080404,
+        port: 3478,
+    };
+
+    #[test]
+    fn open_host_is_transparent() {
+        let mut nat = NatBox::new(NatType::Open, HOST.ip);
+        let ext = nat.send(HOST, DST_A).unwrap();
+        assert_eq!(ext, HOST, "no translation");
+        assert_eq!(nat.receive(DST_B, HOST), Some(HOST), "accepts from anyone");
+    }
+
+    #[test]
+    fn blocked_box_drops_udp_both_ways() {
+        let mut nat = NatBox::new(NatType::Blocked, 0x01010101);
+        assert!(nat.send(HOST, DST_A).is_none());
+        assert!(nat.receive(DST_A, Endpoint::new(0x01010101, 40000)).is_none());
+        assert!(nat.outbound_tcp_allowed());
+        assert!(!nat.inbound_tcp_allowed());
+    }
+
+    #[test]
+    fn cone_nats_reuse_mapping_across_destinations() {
+        for kind in [
+            NatType::FullCone,
+            NatType::RestrictedCone,
+            NatType::PortRestricted,
+        ] {
+            let mut nat = NatBox::new(kind, 0x01010101);
+            let e1 = nat.send(HOST, DST_A).unwrap();
+            let e2 = nat.send(HOST, DST_B).unwrap();
+            assert_eq!(e1, e2, "{kind:?} must reuse the mapping");
+        }
+    }
+
+    #[test]
+    fn symmetric_nat_allocates_per_destination() {
+        let mut nat = NatBox::new(NatType::Symmetric, 0x01010101);
+        let e1 = nat.send(HOST, DST_A).unwrap();
+        let e2 = nat.send(HOST, DST_B).unwrap();
+        assert_ne!(e1.port, e2.port, "fresh port per destination");
+        assert_eq!(e1.ip, e2.ip);
+        // Same destination reuses.
+        let e1again = nat.send(HOST, DST_A).unwrap();
+        assert_eq!(e1, e1again);
+    }
+
+    #[test]
+    fn full_cone_accepts_unsolicited_sources() {
+        let mut nat = NatBox::new(NatType::FullCone, 0x01010101);
+        let ext = nat.send(HOST, DST_A).unwrap();
+        assert_eq!(nat.receive(DST_B, ext), Some(HOST), "any source ok");
+    }
+
+    #[test]
+    fn restricted_cone_filters_by_ip_only() {
+        let mut nat = NatBox::new(NatType::RestrictedCone, 0x01010101);
+        let ext = nat.send(HOST, DST_A).unwrap();
+        // Same IP, different port: allowed.
+        let same_ip = Endpoint::new(DST_A.ip, 9999);
+        assert_eq!(nat.receive(same_ip, ext), Some(HOST));
+        // Different IP: dropped.
+        assert_eq!(nat.receive(DST_B, ext), None);
+    }
+
+    #[test]
+    fn port_restricted_requires_exact_endpoint() {
+        let mut nat = NatBox::new(NatType::PortRestricted, 0x01010101);
+        let ext = nat.send(HOST, DST_A).unwrap();
+        assert_eq!(nat.receive(DST_A, ext), Some(HOST));
+        let same_ip = Endpoint::new(DST_A.ip, 9999);
+        assert_eq!(nat.receive(same_ip, ext), None, "port mismatch dropped");
+    }
+
+    #[test]
+    fn symmetric_drops_cross_mapping_delivery() {
+        let mut nat = NatBox::new(NatType::Symmetric, 0x01010101);
+        let ext_a = nat.send(HOST, DST_A).unwrap();
+        let _ext_b = nat.send(HOST, DST_B).unwrap();
+        // DST_B sends to the mapping allocated for DST_A: dropped even
+        // though a permission for DST_B exists.
+        assert_eq!(nat.receive(DST_B, ext_a), None);
+        // DST_A to its own mapping: delivered.
+        assert_eq!(nat.receive(DST_A, ext_a), Some(HOST));
+    }
+
+    #[test]
+    fn packets_to_wrong_public_ip_dropped() {
+        let mut nat = NatBox::new(NatType::FullCone, 0x01010101);
+        let ext = nat.send(HOST, DST_A).unwrap();
+        let wrong = Endpoint::new(0x02020202, ext.port);
+        assert_eq!(nat.receive(DST_A, wrong), None);
+    }
+
+    #[test]
+    fn unmapped_port_dropped() {
+        let nat = NatBox::new(NatType::FullCone, 0x01010101);
+        assert_eq!(nat.receive(DST_A, Endpoint::new(0x01010101, 40000)), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Control-plane-coordinated UDP hole punching.
+//!
+//! NetSession's persistent control connections "are also used to tell peers
+//! to connect to each other in order to facilitate sharing of content. Such
+//! coordination is necessary … to overcome NATs and firewalls" (§3.6). This
+//! module simulates the punch as it actually unfolds:
+//!
+//! 1. Both peers run STUN and report their mapped (server-reflexive)
+//!    endpoints to the control plane.
+//! 2. The control plane tells each peer the other's reflexive endpoint
+//!    (the `ConnectTo` message).
+//! 3. Both peers simultaneously send UDP probes to the learned endpoint.
+//!    The first probes open outbound permissions; whether subsequent probes
+//!    are delivered is decided entirely by the two modeled boxes.
+//!
+//! Direct TCP is preferred when one side is publicly reachable; the punch
+//! is only attempted otherwise.
+
+use crate::natbox::{Endpoint, NatBox};
+use netsession_core::msg::NatType;
+
+/// Result of a connection-establishment attempt between two peers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PunchOutcome {
+    /// A plain TCP connection works (at least one side publicly reachable).
+    DirectTcp,
+    /// The UDP hole punch succeeded in both directions.
+    Punched,
+    /// No connectivity could be established.
+    Failed,
+}
+
+impl PunchOutcome {
+    /// Whether a usable peer connection resulted.
+    pub fn connected(self) -> bool {
+        self != PunchOutcome::Failed
+    }
+}
+
+/// Attempt to connect two peers behind the given boxes. `a_int`/`b_int` are
+/// the peers' internal sockets.
+pub fn punch(a_box: &mut NatBox, a_int: Endpoint, b_box: &mut NatBox, b_int: Endpoint) -> PunchOutcome {
+    // Fast path: somebody is directly reachable over TCP — the other side
+    // simply dials (both are online; the control plane tells them to).
+    if a_box.inbound_tcp_allowed() || b_box.inbound_tcp_allowed() {
+        return PunchOutcome::DirectTcp;
+    }
+    // Blocked firewalls cannot do UDP at all, and we established neither
+    // side accepts inbound TCP.
+    if a_box.kind() == NatType::Blocked || b_box.kind() == NatType::Blocked {
+        return PunchOutcome::Failed;
+    }
+
+    // Step 1: STUN — both sides learn their reflexive endpoints. We model
+    // the STUN exchange as a send to the STUN server; the reflexive address
+    // is what that mapping exposes.
+    let stun = Endpoint::new(0x08080808, 3478);
+    let a_reflex = match a_box.send(a_int, stun) {
+        Some(e) => e,
+        None => return PunchOutcome::Failed,
+    };
+    let b_reflex = match b_box.send(b_int, stun) {
+        Some(e) => e,
+        None => return PunchOutcome::Failed,
+    };
+
+    // Step 2+3: simultaneous probes. Each side sends a few probes to the
+    // other's *reflexive* endpoint. For symmetric NATs the probe allocates a
+    // NEW mapping (different from the reflexive one), which is exactly why
+    // symmetric↔symmetric fails.
+    let a_probe_src = a_box.send(a_int, b_reflex); // A's packets toward B
+    let b_probe_src = b_box.send(b_int, a_reflex); // B's packets toward A
+
+    let (a_probe_src, b_probe_src) = match (a_probe_src, b_probe_src) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return PunchOutcome::Failed,
+    };
+
+    // Round 2: after both sides have sent once (permissions now exist),
+    // deliverability is evaluated. B's probe arrives at A's box from
+    // b_probe_src addressed to a_reflex; and vice versa. Note the subtlety:
+    // a symmetric side sends from a_probe_src ≠ a_reflex, so the peer's
+    // probes toward a_reflex target a *different* mapping.
+    let b_to_a = a_box.receive(b_probe_src, a_reflex).is_some()
+        || a_box.receive(b_probe_src, a_probe_src).is_some();
+    let a_to_b = b_box.receive(a_probe_src, b_reflex).is_some()
+        || b_box.receive(a_probe_src, b_probe_src).is_some();
+
+    if a_to_b && b_to_a {
+        PunchOutcome::Punched
+    } else {
+        PunchOutcome::Failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxes(a: NatType, b: NatType) -> (NatBox, Endpoint, NatBox, Endpoint) {
+        let a_pub = if a == NatType::Open { 0x0a000001 } else { 0x01010101 };
+        let b_pub = if b == NatType::Open { 0x0b000001 } else { 0x02020202 };
+        (
+            NatBox::new(a, a_pub),
+            Endpoint::new(0x0a000001, 5000),
+            NatBox::new(b, b_pub),
+            Endpoint::new(0x0b000001, 6000),
+        )
+    }
+
+    fn outcome(a: NatType, b: NatType) -> PunchOutcome {
+        let (mut ab, ai, mut bb, bi) = boxes(a, b);
+        punch(&mut ab, ai, &mut bb, bi)
+    }
+
+    #[test]
+    fn open_peer_gives_direct_tcp() {
+        for other in NatType::ALL {
+            assert_eq!(
+                outcome(NatType::Open, other),
+                PunchOutcome::DirectTcp,
+                "open + {other:?}"
+            );
+            assert_eq!(
+                outcome(other, NatType::Open),
+                PunchOutcome::DirectTcp,
+                "{other:?} + open"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_pairs_fail_without_an_open_side() {
+        for other in [
+            NatType::FullCone,
+            NatType::RestrictedCone,
+            NatType::PortRestricted,
+            NatType::Symmetric,
+            NatType::Blocked,
+        ] {
+            assert_eq!(outcome(NatType::Blocked, other), PunchOutcome::Failed);
+            assert_eq!(outcome(other, NatType::Blocked), PunchOutcome::Failed);
+        }
+    }
+
+    #[test]
+    fn cone_pairs_punch() {
+        let cones = [
+            NatType::FullCone,
+            NatType::RestrictedCone,
+            NatType::PortRestricted,
+        ];
+        for a in cones {
+            for b in cones {
+                assert_eq!(outcome(a, b), PunchOutcome::Punched, "{a:?}+{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_with_symmetric_fails() {
+        assert_eq!(
+            outcome(NatType::Symmetric, NatType::Symmetric),
+            PunchOutcome::Failed
+        );
+    }
+
+    #[test]
+    fn symmetric_with_port_restricted_fails() {
+        // Classic result: the symmetric side's punch mapping differs from
+        // its reflexive address, and the port-restricted side only accepts
+        // from the exact endpoint it sent to.
+        assert_eq!(
+            outcome(NatType::Symmetric, NatType::PortRestricted),
+            PunchOutcome::Failed
+        );
+        assert_eq!(
+            outcome(NatType::PortRestricted, NatType::Symmetric),
+            PunchOutcome::Failed
+        );
+    }
+
+    #[test]
+    fn symmetric_with_permissive_cones_punches() {
+        assert_eq!(
+            outcome(NatType::Symmetric, NatType::FullCone),
+            PunchOutcome::Punched
+        );
+        assert_eq!(
+            outcome(NatType::Symmetric, NatType::RestrictedCone),
+            PunchOutcome::Punched
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! STUN-style connectivity classification.
+//!
+//! NetSession peers "periodically communicate with STUN components over UDP
+//! and TCP to determine the details of their connectivity (which are then
+//! stored in the DN databases)" (§3.6). This module implements the classic
+//! RFC 3489 decision tree as an actual protocol run against a modeled
+//! [`NatBox`]:
+//!
+//! 1. **Test I** — send to server address A; the server echoes the mapped
+//!    (public) address. No reply → UDP blocked. Mapped == local → open.
+//! 2. **Test II** — ask the server to reply from a *different IP and port*.
+//!    Reply received → full cone.
+//! 3. **Test I′** — repeat Test I toward server address B (different IP).
+//!    Different mapped address → symmetric.
+//! 4. **Test III** — ask the server to reply from the *same IP, different
+//!    port*. Reply received → address-restricted cone; otherwise
+//!    port-restricted cone.
+
+use crate::natbox::{Endpoint, NatBox};
+use netsession_core::msg::NatType;
+
+/// A STUN server with two distinct public IPs and two ports, as the
+/// classification algorithm requires.
+#[derive(Clone, Copy, Debug)]
+pub struct StunServer {
+    /// Primary address (IP A, port 1).
+    pub primary: Endpoint,
+    /// Alternate port on the primary IP (IP A, port 2) — for Test III.
+    pub alt_port: Endpoint,
+    /// Alternate IP entirely (IP B, port 1) — for Test II and Test I′.
+    pub alt_ip: Endpoint,
+}
+
+impl Default for StunServer {
+    fn default() -> Self {
+        StunServer {
+            primary: Endpoint::new(0x08080808, 3478),
+            alt_port: Endpoint::new(0x08080808, 3479),
+            alt_ip: Endpoint::new(0x08080404, 3478),
+        }
+    }
+}
+
+impl StunServer {
+    /// Run one binding request: the client behind `nat` sends from
+    /// `internal` to `to`; the server replies *from* `reply_from` to the
+    /// mapped address. Returns the mapped address if the reply gets back
+    /// through the NAT.
+    fn binding_request(
+        &self,
+        nat: &mut NatBox,
+        internal: Endpoint,
+        to: Endpoint,
+        reply_from: Endpoint,
+    ) -> Option<Endpoint> {
+        let mapped = nat.send(internal, to)?;
+        // The server sends its reply from `reply_from` to `mapped`.
+        nat.receive(reply_from, mapped)?;
+        Some(mapped)
+    }
+
+    /// Classify the NAT in front of `internal` by running the full RFC 3489
+    /// decision tree.
+    ///
+    /// `internal` must be a *freshly bound* socket: permissions opened by a
+    /// previous classification on the same socket would let Test II replies
+    /// through restricted boxes and misclassify them as full cone — exactly
+    /// why real STUN clients bind a new port per classification round.
+    pub fn classify(&self, nat: &mut NatBox, internal: Endpoint) -> NatType {
+        // Test I: request to primary, reply from primary.
+        let mapped1 = match self.binding_request(nat, internal, self.primary, self.primary) {
+            Some(m) => m,
+            None => return NatType::Blocked,
+        };
+
+        if mapped1 == internal {
+            // No translation observed. (A UDP-hostile firewall with no NAT
+            // would have failed Test I entirely.)
+            return NatType::Open;
+        }
+
+        // Test II: request to primary, reply from the alternate IP+port.
+        if self
+            .binding_request(nat, internal, self.primary, self.alt_ip)
+            .is_some()
+        {
+            return NatType::FullCone;
+        }
+
+        // Test I': request to the alternate IP; compare mapped addresses.
+        if let Some(mapped2) = self.binding_request(nat, internal, self.alt_ip, self.alt_ip) {
+            if mapped2 != mapped1 {
+                return NatType::Symmetric;
+            }
+        } else {
+            // The reply from alt_ip is from an address we *did* send to, so
+            // cone NATs deliver it; only a symmetric box with a divergent
+            // mapping can lose it.
+            return NatType::Symmetric;
+        }
+
+        // Test III: request to primary, reply from same IP, different port.
+        if self
+            .binding_request(nat, internal, self.primary, self.alt_port)
+            .is_some()
+        {
+            NatType::RestrictedCone
+        } else {
+            NatType::PortRestricted
+        }
+    }
+}
+
+/// Classify using a default server layout.
+pub fn classify(nat: &mut NatBox, internal: Endpoint) -> NatType {
+    StunServer::default().classify(nat, internal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classifier must recover the ground-truth type of every modeled
+    /// box — the key correctness property tying `stun` to `natbox`.
+    #[test]
+    fn classifier_recovers_ground_truth_for_every_nat_type() {
+        for kind in NatType::ALL {
+            let public_ip = if kind == NatType::Open {
+                0x0a000001 // open host's public IP == its own address
+            } else {
+                0x01010101
+            };
+            let mut nat = NatBox::new(kind, public_ip);
+            let internal = Endpoint::new(0x0a000001, 5000);
+            let inferred = classify(&mut nat, internal);
+            assert_eq!(inferred, kind, "misclassified {kind:?} as {inferred:?}");
+        }
+    }
+
+    #[test]
+    fn classification_is_stable_across_fresh_sockets() {
+        // Each classification round binds a fresh socket, as real STUN
+        // clients do; results must agree across rounds.
+        let mut nat = NatBox::new(NatType::PortRestricted, 0x01010101);
+        let first = classify(&mut nat, Endpoint::new(0x0a000001, 5000));
+        for port in 5001..5004 {
+            assert_eq!(
+                classify(&mut nat, Endpoint::new(0x0a000001, port)),
+                first
+            );
+        }
+    }
+
+    #[test]
+    fn different_internal_sockets_classify_independently() {
+        let mut nat = NatBox::new(NatType::Symmetric, 0x01010101);
+        let a = classify(&mut nat, Endpoint::new(0x0a000001, 5000));
+        let b = classify(&mut nat, Endpoint::new(0x0a000001, 5001));
+        assert_eq!(a, NatType::Symmetric);
+        assert_eq!(b, NatType::Symmetric);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the NAT substrate.
+
+use netsession_core::msg::NatType;
+use netsession_nat::matrix::connectivity;
+use netsession_nat::natbox::{Endpoint, NatBox};
+use netsession_nat::punch::punch;
+use netsession_nat::stun::classify;
+use proptest::prelude::*;
+
+fn nat_type() -> impl Strategy<Value = NatType> {
+    (0usize..6).prop_map(|i| NatType::ALL[i])
+}
+
+proptest! {
+    /// The punch outcome is symmetric in its arguments.
+    #[test]
+    fn punch_is_symmetric(a in nat_type(), b in nat_type()) {
+        let run = |x: NatType, y: NatType| {
+            let x_pub = if x == NatType::Open { 0x0a000001 } else { 0x01010101 };
+            let y_pub = if y == NatType::Open { 0x0b000001 } else { 0x02020202 };
+            let mut xb = NatBox::new(x, x_pub);
+            let mut yb = NatBox::new(y, y_pub);
+            punch(
+                &mut xb,
+                Endpoint::new(0x0a000001, 5000),
+                &mut yb,
+                Endpoint::new(0x0b000001, 6000),
+            )
+            .connected()
+        };
+        prop_assert_eq!(run(a, b), run(b, a));
+    }
+
+    /// Punch connectivity always agrees with the static matrix.
+    #[test]
+    fn punch_agrees_with_matrix(a in nat_type(), b in nat_type()) {
+        let a_pub = if a == NatType::Open { 0x0a000001 } else { 0x01010101 };
+        let b_pub = if b == NatType::Open { 0x0b000001 } else { 0x02020202 };
+        let mut ab = NatBox::new(a, a_pub);
+        let mut bb = NatBox::new(b, b_pub);
+        let sim = punch(
+            &mut ab,
+            Endpoint::new(0x0a000001, 5000),
+            &mut bb,
+            Endpoint::new(0x0b000001, 6000),
+        );
+        prop_assert_eq!(sim.connected(), connectivity(a, b).usable());
+    }
+
+    /// The STUN classifier recovers ground truth regardless of the
+    /// internal socket chosen.
+    #[test]
+    fn classifier_recovers_ground_truth(kind in nat_type(), port in 1024u16..60000) {
+        let public_ip = if kind == NatType::Open { 0x0a000001 } else { 0x01010101 };
+        let mut nat = NatBox::new(kind, public_ip);
+        prop_assert_eq!(classify(&mut nat, Endpoint::new(0x0a000001, port)), kind);
+    }
+
+    /// Mapping behaviour: cone boxes reuse the external endpoint per
+    /// internal socket; every send from the same socket to the same
+    /// destination yields the same mapping.
+    #[test]
+    fn mappings_are_stable(kind in nat_type(), port in 1024u16..60000, dports in proptest::collection::vec(1u16..60000, 1..8)) {
+        prop_assume!(kind != NatType::Blocked);
+        let mut nat = NatBox::new(kind, 0x01010101);
+        let internal = Endpoint::new(0x0a000001, port);
+        for dp in &dports {
+            let dst = Endpoint::new(0x08080808, *dp);
+            let first = nat.send(internal, dst).unwrap();
+            let second = nat.send(internal, dst).unwrap();
+            prop_assert_eq!(first, second, "same destination, same mapping");
+        }
+    }
+
+    /// Unsolicited inbound traffic never reaches hosts behind restrictive
+    /// boxes.
+    #[test]
+    fn restrictive_boxes_drop_unsolicited(src_ip in any::<u32>(), src_port in 1u16..60000, ext_port in 1u16..60000) {
+        for kind in [NatType::RestrictedCone, NatType::PortRestricted, NatType::Symmetric, NatType::Blocked] {
+            let nat = NatBox::new(kind, 0x01010101);
+            // No prior outbound traffic: everything must be filtered.
+            let delivered = nat.receive(
+                Endpoint::new(src_ip, src_port),
+                Endpoint::new(0x01010101, ext_port),
+            );
+            prop_assert!(delivered.is_none(), "{kind:?} leaked unsolicited traffic");
+        }
+    }
+}

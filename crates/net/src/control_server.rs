@@ -1,0 +1,391 @@
+//! Live control-plane server.
+//!
+//! One process standing in for a CN+DN region (§3.6): peers keep a
+//! persistent framed TCP connection; the server answers logins and peer
+//! queries, accepts content registrations and usage reports, and pushes
+//! `ConnectTo` instructions to *both* endpoints of every suggested pairing
+//! — the coordination real NAT traversal needs.
+
+use crate::framing::{read_msg, wall_now, write_msg};
+use netsession_control::directory::PeerRecord;
+use netsession_control::plane::{ControlPlane, PlaneConfig};
+use netsession_control::selection::Querier;
+use netsession_core::error::{Error, Result};
+use netsession_core::id::Guid;
+use netsession_core::msg::ControlMsg;
+use netsession_core::rng::DetRng;
+use netsession_edge::auth::EdgeAuth;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+struct Shared {
+    plane: Mutex<ControlPlane>,
+    rng: Mutex<DetRng>,
+    /// Outbound push channels per logged-in GUID.
+    pushers: Mutex<HashMap<Guid, mpsc::UnboundedSender<ControlMsg>>>,
+}
+
+/// A running control-plane server.
+pub struct ControlServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    handle: tokio::task::JoinHandle<()>,
+}
+
+impl ControlServer {
+    /// Start on `127.0.0.1:0` (or a given addr), verifying tokens minted
+    /// with `auth`.
+    pub async fn start(addr: &str, auth: EdgeAuth) -> Result<ControlServer> {
+        let listener = TcpListener::bind(addr)
+            .await
+            .map_err(|e| Error::Network(format!("bind: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| Error::Network(e.to_string()))?;
+        let shared = Arc::new(Shared {
+            plane: Mutex::new(ControlPlane::new(
+                &PlaneConfig {
+                    regions: 1,
+                    ..PlaneConfig::default()
+                },
+                auth,
+            )),
+            rng: Mutex::new(DetRng::seeded(0xC0117201)),
+            pushers: Mutex::new(HashMap::new()),
+        });
+        let shared_for_loop = shared.clone();
+        let handle = tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else {
+                    break;
+                };
+                let shared = shared_for_loop.clone();
+                tokio::spawn(async move {
+                    let _ = serve_connection(stream, shared).await;
+                });
+            }
+        });
+        Ok(ControlServer {
+            local_addr,
+            shared,
+            handle,
+        })
+    }
+
+    /// Where the server listens.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Currently connected peers (test observability).
+    pub fn connected(&self) -> usize {
+        self.shared.pushers.lock().len()
+    }
+
+    /// Drain collected usage records (billing pipeline; test observability).
+    pub fn drain_usage(&self) -> Vec<netsession_core::msg::UsageRecord> {
+        self.shared.plane.lock().drain_usage()
+    }
+
+    /// Stop serving.
+    pub fn shutdown(self) {
+        self.handle.abort();
+    }
+}
+
+async fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> {
+    let (mut reader, mut writer) = stream.into_split();
+    let (tx, mut rx) = mpsc::unbounded_channel::<ControlMsg>();
+
+    // Writer task: everything (responses and pushes) leaves through here.
+    let writer_task = tokio::spawn(async move {
+        while let Some(msg) = rx.recv().await {
+            if write_msg(&mut writer, &msg).await.is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut session: Option<(Guid, PeerRecord)> = None;
+    loop {
+        let Some(msg): Option<ControlMsg> = read_msg(&mut reader).await? else {
+            break;
+        };
+        match msg {
+            ControlMsg::Login {
+                guid,
+                secondary_guids,
+                uploads_enabled,
+                software_version,
+                nat,
+                addr,
+            } => {
+                let conn = shared.plane.lock().login(
+                    0,
+                    guid,
+                    addr,
+                    nat,
+                    uploads_enabled,
+                    software_version,
+                    secondary_guids,
+                    wall_now(),
+                );
+                session = Some((
+                    guid,
+                    PeerRecord {
+                        guid,
+                        addr,
+                        asn: netsession_core::id::AsNumber(1),
+                        area: 0,
+                        zone: 0,
+                        nat,
+                    },
+                ));
+                shared.pushers.lock().insert(guid, tx.clone());
+                let _ = tx.send(ControlMsg::LoginAck {
+                    conn,
+                    config: netsession_core::policy::TransferConfig::default(),
+                });
+            }
+            ControlMsg::QueryPeers { token, max_peers } => {
+                let Some((guid, record)) = &session else {
+                    continue;
+                };
+                let querier = Querier {
+                    guid: *guid,
+                    asn: record.asn,
+                    area: record.area,
+                    zone: record.zone,
+                    nat: record.nat,
+                };
+                let peers = {
+                    let mut plane = shared.plane.lock();
+                    let mut rng = shared.rng.lock();
+                    plane
+                        .query_peers(0, &querier, &token, wall_now(), &mut rng)
+                        .unwrap_or_default()
+                };
+                let peers: Vec<_> = peers.into_iter().take(max_peers as usize).collect();
+                // Tell both sides to connect (§3.6).
+                for contact in &peers {
+                    if let Some(pusher) = shared.pushers.lock().get(&contact.guid) {
+                        let _ = pusher.send(ControlMsg::ConnectTo {
+                            contact: netsession_core::msg::PeerContact {
+                                guid: *guid,
+                                addr: record.addr,
+                                asn: record.asn,
+                                nat: record.nat,
+                            },
+                            version: token.version,
+                            active_role: false,
+                        });
+                    }
+                    let _ = tx.send(ControlMsg::ConnectTo {
+                        contact: contact.clone(),
+                        version: token.version,
+                        active_role: true,
+                    });
+                }
+                let _ = tx.send(ControlMsg::PeerList {
+                    version: token.version,
+                    peers,
+                });
+            }
+            ControlMsg::RegisterContent { version, .. } => {
+                if let Some((_, record)) = &session {
+                    shared
+                        .plane
+                        .lock()
+                        .register_content(0, record.clone(), version);
+                }
+            }
+            ControlMsg::UnregisterContent { version } => {
+                if let Some((guid, _)) = &session {
+                    shared.plane.lock().unregister_content(0, *guid, version);
+                }
+            }
+            ControlMsg::ReAddResponse { versions } => {
+                if let Some((_, record)) = &session {
+                    shared
+                        .plane
+                        .lock()
+                        .handle_readd(0, record.clone(), &versions);
+                }
+            }
+            ControlMsg::UsageReport { records } => {
+                shared.plane.lock().accept_usage(0, records);
+            }
+            ControlMsg::Logout => break,
+            // Server→client messages arriving here are protocol errors;
+            // ignore them rather than kill the connection.
+            _ => {}
+        }
+    }
+    if let Some((guid, _)) = session {
+        shared.pushers.lock().remove(&guid);
+        shared.plane.lock().logout(0, guid);
+    }
+    writer_task.abort();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::{ObjectId, VersionId};
+    use netsession_core::msg::{NatType, PeerAddr};
+
+    async fn login(
+        addr: SocketAddr,
+        guid: u64,
+        port: u16,
+    ) -> (tokio::net::tcp::OwnedReadHalf, tokio::net::tcp::OwnedWriteHalf) {
+        let stream = TcpStream::connect(addr).await.unwrap();
+        let (mut r, mut w) = stream.into_split();
+        write_msg(
+            &mut w,
+            &ControlMsg::Login {
+                guid: Guid(guid as u128),
+                secondary_guids: vec![],
+                uploads_enabled: true,
+                software_version: 1,
+                nat: NatType::Open,
+                addr: PeerAddr {
+                    ip: u32::from_be_bytes([127, 0, 0, 1]),
+                    port,
+                },
+            },
+        )
+        .await
+        .unwrap();
+        let ack: ControlMsg = read_msg(&mut r).await.unwrap().unwrap();
+        assert!(matches!(ack, ControlMsg::LoginAck { .. }));
+        (r, w)
+    }
+
+    fn ver() -> VersionId {
+        VersionId {
+            object: ObjectId(9),
+            version: 1,
+        }
+    }
+
+    #[tokio::test]
+    async fn login_register_query_roundtrip() {
+        let auth = EdgeAuth::from_seed(5);
+        let server = ControlServer::start("127.0.0.1:0", auth.clone())
+            .await
+            .unwrap();
+        // Peer A registers a copy.
+        let (mut ra, mut wa) = login(server.local_addr(), 1, 1111).await;
+        write_msg(
+            &mut wa,
+            &ControlMsg::RegisterContent {
+                version: ver(),
+                fraction: 1.0,
+            },
+        )
+        .await
+        .unwrap();
+
+        // Peer B queries with a valid token.
+        let (mut rb, mut wb) = login(server.local_addr(), 2, 2222).await;
+        let token = auth.issue(Guid(2), ver(), wall_now());
+        write_msg(&mut wb, &ControlMsg::QueryPeers { token, max_peers: 10 })
+            .await
+            .unwrap();
+        // B receives a ConnectTo (active) then the PeerList.
+        let m1: ControlMsg = read_msg(&mut rb).await.unwrap().unwrap();
+        match m1 {
+            ControlMsg::ConnectTo {
+                contact,
+                active_role,
+                ..
+            } => {
+                assert_eq!(contact.guid, Guid(1));
+                assert!(active_role);
+            }
+            other => panic!("{other:?}"),
+        }
+        let m2: ControlMsg = read_msg(&mut rb).await.unwrap().unwrap();
+        match m2 {
+            ControlMsg::PeerList { peers, .. } => {
+                assert_eq!(peers.len(), 1);
+                assert_eq!(peers[0].addr.port, 1111);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A receives the passive ConnectTo push.
+        let push: ControlMsg = read_msg(&mut ra).await.unwrap().unwrap();
+        match push {
+            ControlMsg::ConnectTo {
+                contact,
+                active_role,
+                ..
+            } => {
+                assert_eq!(contact.guid, Guid(2));
+                assert!(!active_role);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(server.connected(), 2);
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn forged_token_yields_empty_list() {
+        let server = ControlServer::start("127.0.0.1:0", EdgeAuth::from_seed(5))
+            .await
+            .unwrap();
+        let (mut r, mut w) = login(server.local_addr(), 3, 3333).await;
+        let forged = EdgeAuth::from_seed(99).issue(Guid(3), ver(), wall_now());
+        write_msg(
+            &mut w,
+            &ControlMsg::QueryPeers {
+                token: forged,
+                max_peers: 10,
+            },
+        )
+        .await
+        .unwrap();
+        let resp: ControlMsg = read_msg(&mut r).await.unwrap().unwrap();
+        match resp {
+            ControlMsg::PeerList { peers, .. } => assert!(peers.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn usage_reports_reach_the_pipeline() {
+        let server = ControlServer::start("127.0.0.1:0", EdgeAuth::from_seed(5))
+            .await
+            .unwrap();
+        let (_r, mut w) = login(server.local_addr(), 4, 4444).await;
+        write_msg(
+            &mut w,
+            &ControlMsg::UsageReport {
+                records: vec![netsession_core::msg::UsageRecord {
+                    guid: Guid(4),
+                    version: ver(),
+                    started: wall_now(),
+                    ended: wall_now(),
+                    bytes_from_infrastructure: netsession_core::units::ByteCount(10),
+                    bytes_from_peers: netsession_core::units::ByteCount(20),
+                }],
+            },
+        )
+        .await
+        .unwrap();
+        // Give the server a beat to process.
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        let usage = server.drain_usage();
+        assert_eq!(usage.len(), 1);
+        assert_eq!(usage[0].bytes_from_peers.bytes(), 20);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,172 @@
+//! Live edge server.
+//!
+//! Serves the §3.5 edge functions over a framed TCP protocol (standing in
+//! for HTTP(S)): authorization — yielding the token, the provider policy,
+//! and the manifest with piece hashes — and piece downloads, each recorded
+//! as a trusted receipt in the accounting ledger.
+
+use crate::framing::{read_msg, wall_now, write_msg};
+use netsession_core::error::{Error, Result};
+use netsession_core::msg::EdgeMsg;
+use netsession_edge::accounting::AccountingLedger;
+use netsession_edge::auth::EdgeAuth;
+use netsession_edge::server::EdgeServer;
+use netsession_edge::store::ContentStore;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::{TcpListener, TcpStream};
+
+/// A running live edge server.
+pub struct EdgeHttpServer {
+    local_addr: SocketAddr,
+    /// The underlying edge logic (shared with tests for assertions).
+    pub edge: Arc<EdgeServer>,
+    handle: tokio::task::JoinHandle<()>,
+}
+
+impl EdgeHttpServer {
+    /// Start serving the given store on `127.0.0.1:0` (or a given addr).
+    pub async fn start(
+        addr: &str,
+        store: Arc<ContentStore>,
+        auth: EdgeAuth,
+        ledger: Arc<AccountingLedger>,
+    ) -> Result<EdgeHttpServer> {
+        let listener = TcpListener::bind(addr)
+            .await
+            .map_err(|e| Error::Network(format!("bind: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| Error::Network(e.to_string()))?;
+        let edge = Arc::new(EdgeServer::new(0, store, auth, ledger));
+        let edge_for_loop = edge.clone();
+        let handle = tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else {
+                    break;
+                };
+                let edge = edge_for_loop.clone();
+                tokio::spawn(async move {
+                    let _ = serve_connection(stream, edge).await;
+                });
+            }
+        });
+        Ok(EdgeHttpServer {
+            local_addr,
+            edge,
+            handle,
+        })
+    }
+
+    /// Where the server listens.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop serving.
+    pub fn shutdown(self) {
+        self.handle.abort();
+    }
+}
+
+async fn serve_connection(mut stream: TcpStream, edge: Arc<EdgeServer>) -> Result<()> {
+    loop {
+        let Some(msg): Option<EdgeMsg> = read_msg(&mut stream).await? else {
+            return Ok(());
+        };
+        let resp = edge.handle(msg, wall_now());
+        write_msg(&mut stream, &resp).await?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::{CpCode, Guid, ObjectId, VersionId};
+    use netsession_core::policy::DownloadPolicy;
+
+    async fn fixture() -> (EdgeHttpServer, Vec<u8>) {
+        let store = Arc::new(ContentStore::new());
+        let content: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+        store.publish_content(
+            ObjectId(1),
+            CpCode(1),
+            content.clone(),
+            1024,
+            DownloadPolicy::peer_assisted(),
+        );
+        let server = EdgeHttpServer::start(
+            "127.0.0.1:0",
+            store,
+            EdgeAuth::from_seed(1),
+            Arc::new(AccountingLedger::new()),
+        )
+        .await
+        .unwrap();
+        (server, content)
+    }
+
+    #[tokio::test]
+    async fn authorize_then_fetch_all_pieces() {
+        let (server, content) = fixture().await;
+        let mut stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        write_msg(
+            &mut stream,
+            &EdgeMsg::Authorize {
+                guid: Guid(7),
+                version: VersionId {
+                    object: ObjectId(1),
+                    version: 1,
+                },
+            },
+        )
+        .await
+        .unwrap();
+        let resp: EdgeMsg = read_msg(&mut stream).await.unwrap().unwrap();
+        let (token, manifest) = match resp {
+            EdgeMsg::Authorized {
+                token, manifest, ..
+            } => (token, manifest),
+            other => panic!("{other:?}"),
+        };
+        let mut got = Vec::new();
+        for piece in 0..manifest.piece_count() {
+            write_msg(&mut stream, &EdgeMsg::GetPiece { token, piece })
+                .await
+                .unwrap();
+            match read_msg(&mut stream).await.unwrap().unwrap() {
+                EdgeMsg::PieceData { data, .. } => {
+                    assert!(manifest.verify_piece(piece, &data));
+                    got.extend_from_slice(&data);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(got, content);
+        assert_eq!(server.edge.total_served().bytes(), content.len() as u64);
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn unknown_object_denied() {
+        let (server, _) = fixture().await;
+        let mut stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        write_msg(
+            &mut stream,
+            &EdgeMsg::Authorize {
+                guid: Guid(7),
+                version: VersionId {
+                    object: ObjectId(404),
+                    version: 1,
+                },
+            },
+        )
+        .await
+        .unwrap();
+        match read_msg::<_, EdgeMsg>(&mut stream).await.unwrap().unwrap() {
+            EdgeMsg::Denied { reason } => assert!(reason.contains("not found")),
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+}

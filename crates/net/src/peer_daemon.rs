@@ -1,0 +1,550 @@
+//! The live NetSession Interface daemon.
+//!
+//! A real network client implementing §3.3–§3.4: it keeps a persistent
+//! control connection, authorizes downloads with the edge, downloads from
+//! the edge *and* from peers in parallel (the edge connection is never
+//! closed — the backstop), verifies every piece against the manifest,
+//! serves uploads to other daemons under the governor's limits, registers
+//! completed objects with the control plane, and reports usage.
+
+use crate::framing::{read_msg, wall_now, write_msg};
+use netsession_core::error::{Error, Result};
+use netsession_core::hash::{sha256, Digest};
+use netsession_core::id::{Guid, ObjectId};
+use netsession_core::msg::{ControlMsg, EdgeMsg, NatType, PeerAddr, SwarmMsg};
+use netsession_core::piece::{Manifest, PieceMap};
+use netsession_core::policy::TransferConfig;
+use netsession_core::rng::DetRng;
+use netsession_core::units::ByteCount;
+use netsession_peer::governor::UploadGovernor;
+use netsession_peer::swarm::{SwarmEvent, SwarmSession};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+/// A completed, shareable object.
+struct SharedObject {
+    manifest: Manifest,
+    bytes: Vec<u8>,
+}
+
+struct Inner {
+    guid: Guid,
+    store: Mutex<HashMap<ObjectId, Arc<SharedObject>>>,
+    governor: Mutex<UploadGovernor>,
+    control_tx: mpsc::UnboundedSender<ControlMsg>,
+    pending_query: Mutex<Option<tokio::sync::oneshot::Sender<Vec<netsession_core::msg::PeerContact>>>>,
+}
+
+/// What one download achieved.
+#[derive(Clone, Debug)]
+pub struct DownloadReport {
+    /// Bytes fetched from the edge server.
+    pub bytes_from_edge: u64,
+    /// Bytes fetched from peers.
+    pub bytes_from_peers: u64,
+    /// SHA-256 of the assembled content.
+    pub content_hash: Digest,
+    /// Peers that contributed at least one piece.
+    pub peer_sources: usize,
+}
+
+/// A running peer daemon.
+pub struct PeerDaemon {
+    /// This installation's GUID.
+    pub guid: Guid,
+    edge_addr: SocketAddr,
+    listen_addr: SocketAddr,
+    inner: Arc<Inner>,
+    tasks: Vec<tokio::task::JoinHandle<()>>,
+}
+
+impl PeerDaemon {
+    /// Start a daemon: bind the swarm listener, log into the control
+    /// plane, and start serving uploads.
+    pub async fn start(
+        control_addr: SocketAddr,
+        edge_addr: SocketAddr,
+        guid: Guid,
+        uploads_enabled: bool,
+    ) -> Result<PeerDaemon> {
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .await
+            .map_err(|e| Error::Network(format!("bind: {e}")))?;
+        let listen_addr = listener
+            .local_addr()
+            .map_err(|e| Error::Network(e.to_string()))?;
+
+        let control = TcpStream::connect(control_addr)
+            .await
+            .map_err(|e| Error::Network(format!("control connect: {e}")))?;
+        let (mut control_read, mut control_write) = control.into_split();
+        let (control_tx, mut control_rx) = mpsc::unbounded_channel::<ControlMsg>();
+
+        let inner = Arc::new(Inner {
+            guid,
+            store: Mutex::new(HashMap::new()),
+            governor: Mutex::new(UploadGovernor::new(
+                TransferConfig::default(),
+                uploads_enabled,
+            )),
+            control_tx: control_tx.clone(),
+            pending_query: Mutex::new(None),
+        });
+
+        // Control writer.
+        let writer_task = tokio::spawn(async move {
+            while let Some(msg) = control_rx.recv().await {
+                if write_msg(&mut control_write, &msg).await.is_err() {
+                    break;
+                }
+            }
+        });
+
+        // Login.
+        control_tx
+            .send(ControlMsg::Login {
+                guid,
+                secondary_guids: vec![],
+                uploads_enabled,
+                software_version: 40_100,
+                nat: NatType::Open,
+                addr: PeerAddr {
+                    ip: u32::from_be_bytes([127, 0, 0, 1]),
+                    port: listen_addr.port(),
+                },
+            })
+            .map_err(|_| Error::Network("control writer gone".into()))?;
+
+        // Control reader: LoginAck, PeerList (answering queries), ReAdd.
+        let inner_for_reader = inner.clone();
+        let reader_task = tokio::spawn(async move {
+            loop {
+                let msg: Option<ControlMsg> = match read_msg(&mut control_read).await {
+                    Ok(m) => m,
+                    Err(_) => break,
+                };
+                let Some(msg) = msg else { break };
+                match msg {
+                    ControlMsg::PeerList { peers, .. } => {
+                        if let Some(tx) = inner_for_reader.pending_query.lock().take() {
+                            let _ = tx.send(peers);
+                        }
+                    }
+                    ControlMsg::ReAdd => {
+                        let versions: Vec<_> = inner_for_reader
+                            .store
+                            .lock()
+                            .values()
+                            .map(|o| o.manifest.version)
+                            .collect();
+                        let _ = inner_for_reader
+                            .control_tx
+                            .send(ControlMsg::ReAddResponse { versions });
+                    }
+                    // LoginAck / ConnectTo(passive) / ConfigUpdate need no
+                    // action in this loopback deployment: the active side
+                    // dials us directly.
+                    _ => {}
+                }
+            }
+        });
+
+        // Upload accept loop.
+        let inner_for_accept = inner.clone();
+        let accept_task = tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else {
+                    break;
+                };
+                let inner = inner_for_accept.clone();
+                tokio::spawn(async move {
+                    let _ = serve_upload(stream, inner).await;
+                });
+            }
+        });
+
+        Ok(PeerDaemon {
+            guid,
+            edge_addr,
+            listen_addr,
+            inner,
+            tasks: vec![writer_task, reader_task, accept_task],
+        })
+    }
+
+    /// Where this daemon accepts swarm connections.
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+
+    /// Number of objects in the local cache.
+    pub fn cached_objects(&self) -> usize {
+        self.inner.store.lock().len()
+    }
+
+    /// Download an object end-to-end: edge authorization, control-plane
+    /// peer query, parallel edge + swarm fetch, verification, assembly,
+    /// registration, and usage reporting.
+    pub async fn download(&self, object: ObjectId) -> Result<DownloadReport> {
+        // 1. Authorize with the edge.
+        let mut edge = TcpStream::connect(self.edge_addr)
+            .await
+            .map_err(|e| Error::Network(format!("edge connect: {e}")))?;
+        write_msg(
+            &mut edge,
+            &EdgeMsg::Authorize {
+                guid: self.guid,
+                version: netsession_core::id::VersionId { object, version: 1 },
+            },
+        )
+        .await?;
+        let resp: EdgeMsg = read_msg(&mut edge)
+            .await?
+            .ok_or_else(|| Error::Network("edge closed".into()))?;
+        let (token, policy, manifest) = match resp {
+            EdgeMsg::Authorized {
+                token,
+                policy,
+                manifest,
+            } => (token, policy, manifest),
+            EdgeMsg::Denied { reason } => return Err(Error::PolicyDenied(reason)),
+            other => return Err(Error::Network(format!("unexpected {other:?}"))),
+        };
+        let version = manifest.version;
+        let piece_count = manifest.piece_count();
+
+        // 2. Query the control plane for peers (p2p-enabled objects only).
+        let contacts = if policy.p2p_enabled {
+            let (tx, rx) = tokio::sync::oneshot::channel();
+            *self.inner.pending_query.lock() = Some(tx);
+            self.inner
+                .control_tx
+                .send(ControlMsg::QueryPeers {
+                    token,
+                    max_peers: 8,
+                })
+                .map_err(|_| Error::Network("control writer gone".into()))?;
+            tokio::time::timeout(std::time::Duration::from_secs(3), rx)
+                .await
+                .map_err(|_| Error::Network("peer query timeout".into()))?
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+
+        // 3. Spawn the swarm connections.
+        #[allow(clippy::large_enum_variant)]
+        enum Ev {
+            Joined(Guid, PieceMap),
+            Msg(Guid, SwarmMsg),
+            Left(Guid),
+            EdgePiece(u32, Vec<u8>, Digest),
+            EdgeFailed(String),
+        }
+        let (ev_tx, mut ev_rx) = mpsc::unbounded_channel::<Ev>();
+        let mut peer_out: HashMap<Guid, mpsc::UnboundedSender<SwarmMsg>> = HashMap::new();
+        let mut conn_tasks = Vec::new();
+        for contact in contacts.iter().take(8) {
+            let addr = SocketAddr::from((
+                std::net::Ipv4Addr::from(contact.addr.ip.to_be_bytes()),
+                contact.addr.port,
+            ));
+            let (out_tx, mut out_rx) = mpsc::unbounded_channel::<SwarmMsg>();
+            peer_out.insert(contact.guid, out_tx);
+            let ev_tx = ev_tx.clone();
+            let my_guid = self.guid;
+            let remote_guid = contact.guid;
+            conn_tasks.push(tokio::spawn(async move {
+                let Ok(stream) = TcpStream::connect(addr).await else {
+                    let _ = ev_tx.send(Ev::Left(remote_guid));
+                    return;
+                };
+                let (mut r, mut w) = stream.into_split();
+                if write_msg(
+                    &mut w,
+                    &SwarmMsg::Handshake {
+                        guid: my_guid,
+                        token,
+                        version,
+                    },
+                )
+                .await
+                .is_err()
+                {
+                    let _ = ev_tx.send(Ev::Left(remote_guid));
+                    return;
+                }
+                // Expect their handshake + have-map.
+                let hs: Option<SwarmMsg> = read_msg(&mut r).await.ok().flatten();
+                if !matches!(hs, Some(SwarmMsg::Handshake { .. })) {
+                    let _ = ev_tx.send(Ev::Left(remote_guid));
+                    return;
+                }
+                match read_msg::<_, SwarmMsg>(&mut r).await {
+                    Ok(Some(SwarmMsg::HaveMap { pieces, words })) => {
+                        match SwarmMsg::decode_have_map(pieces, &words) {
+                            Ok(map) => {
+                                let _ = ev_tx.send(Ev::Joined(remote_guid, map));
+                            }
+                            Err(_) => {
+                                let _ = ev_tx.send(Ev::Left(remote_guid));
+                                return;
+                            }
+                        }
+                    }
+                    _ => {
+                        let _ = ev_tx.send(Ev::Left(remote_guid));
+                        return;
+                    }
+                }
+                // Full duplex: writer drains out_rx, reader feeds events.
+                let writer = tokio::spawn(async move {
+                    while let Some(msg) = out_rx.recv().await {
+                        if write_msg(&mut w, &msg).await.is_err() {
+                            break;
+                        }
+                    }
+                });
+                while let Ok(Some(msg)) = read_msg::<_, SwarmMsg>(&mut r).await {
+                    if ev_tx.send(Ev::Msg(remote_guid, msg)).is_err() {
+                        break;
+                    }
+                }
+                let _ = ev_tx.send(Ev::Left(remote_guid));
+                writer.abort();
+            }));
+        }
+
+        // Edge fetch task: one outstanding piece request at a time.
+        let (edge_req_tx, mut edge_req_rx) = mpsc::unbounded_channel::<u32>();
+        let ev_tx_edge = ev_tx.clone();
+        let edge_task = tokio::spawn(async move {
+            while let Some(piece) = edge_req_rx.recv().await {
+                if write_msg(&mut edge, &EdgeMsg::GetPiece { token, piece })
+                    .await
+                    .is_err()
+                {
+                    let _ = ev_tx_edge.send(Ev::EdgeFailed("edge write".into()));
+                    return;
+                }
+                match read_msg::<_, EdgeMsg>(&mut edge).await {
+                    Ok(Some(EdgeMsg::PieceData { piece, data, digest })) => {
+                        if ev_tx_edge.send(Ev::EdgePiece(piece, data, digest)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Some(EdgeMsg::Denied { reason })) => {
+                        let _ = ev_tx_edge.send(Ev::EdgeFailed(reason));
+                        return;
+                    }
+                    _ => {
+                        let _ = ev_tx_edge.send(Ev::EdgeFailed("edge read".into()));
+                        return;
+                    }
+                }
+            }
+        });
+
+        // 4. Coordinate.
+        let mut session = SwarmSession::new(manifest.clone(), PieceMap::empty(piece_count));
+        let mut pieces: Vec<Option<Vec<u8>>> = vec![None; piece_count as usize];
+        let mut rng = DetRng::seeded(self.guid.0 as u64 ^ object.0);
+        let mut bytes_from_edge = 0u64;
+        let mut bytes_from_peers = 0u64;
+        let mut contributors: std::collections::HashSet<Guid> = Default::default();
+        let mut edge_busy = false;
+        let mut edge_alive = true;
+
+        let deadline = tokio::time::Instant::now() + std::time::Duration::from_secs(60);
+        while !session.is_complete() {
+            // Keep the edge backstop busy.
+            if edge_alive && !edge_busy {
+                if let Some(piece) = session.next_edge_piece() {
+                    if edge_req_tx.send(piece).is_ok() {
+                        edge_busy = true;
+                    } else {
+                        edge_alive = false;
+                    }
+                }
+            }
+            let ev = tokio::select! {
+                ev = ev_rx.recv() => ev,
+                _ = tokio::time::sleep_until(deadline) => None,
+            };
+            let Some(ev) = ev else {
+                return Err(Error::Network("download timed out or stalled".into()));
+            };
+            let events = match ev {
+                Ev::Joined(guid, map) => session.on_peer_joined(guid, map, &mut rng),
+                Ev::Left(guid) => {
+                    peer_out.remove(&guid);
+                    session.on_peer_left(guid);
+                    Vec::new()
+                }
+                Ev::Msg(guid, msg) => {
+                    // Keep piece bytes aside before the session verifies.
+                    let staged = match &msg {
+                        SwarmMsg::Piece { piece, data, .. } => Some((*piece, data.clone())),
+                        _ => None,
+                    };
+                    let events = session.on_message(guid, msg, &mut rng);
+                    if let Some((piece, data)) = staged {
+                        if events.contains(&SwarmEvent::PieceVerified(piece)) {
+                            bytes_from_peers += data.len() as u64;
+                            contributors.insert(guid);
+                            pieces[piece as usize] = Some(data);
+                        }
+                    }
+                    events
+                }
+                Ev::EdgePiece(piece, data, digest) => {
+                    edge_busy = false;
+                    let events = session.on_edge_piece(piece, &data, digest);
+                    if events.contains(&SwarmEvent::PieceVerified(piece)) {
+                        bytes_from_edge += data.len() as u64;
+                        pieces[piece as usize] = Some(data);
+                    }
+                    events
+                }
+                Ev::EdgeFailed(_reason) => {
+                    edge_alive = false;
+                    edge_busy = false;
+                    Vec::new()
+                }
+            };
+            for event in events {
+                if let SwarmEvent::Send(guid, msg) = event {
+                    if let Some(out) = peer_out.get(&guid) {
+                        let _ = out.send(msg);
+                    }
+                }
+            }
+        }
+
+        // 5. Assemble, store, register, report.
+        for (guid, out) in &peer_out {
+            let _ = out.send(SwarmMsg::Goodbye);
+            let _ = guid;
+        }
+        edge_task.abort();
+        for t in conn_tasks {
+            t.abort();
+        }
+        let mut content = Vec::with_capacity(manifest.size.bytes() as usize);
+        for p in pieces.into_iter() {
+            content.extend_from_slice(&p.expect("complete download has all pieces"));
+        }
+        let content_hash = sha256(&content);
+        let uploads_enabled = {
+            let store = &self.inner.store;
+            store.lock().insert(
+                object,
+                Arc::new(SharedObject {
+                    manifest,
+                    bytes: content,
+                }),
+            );
+            self.inner.governor.lock().rate_cap(
+                netsession_core::units::Bandwidth::from_mbps(1.0),
+            ) > netsession_core::units::Bandwidth::ZERO
+        };
+        if uploads_enabled && policy.upload_allowed {
+            let _ = self.inner.control_tx.send(ControlMsg::RegisterContent {
+                version,
+                fraction: 1.0,
+            });
+        }
+        let _ = self.inner.control_tx.send(ControlMsg::UsageReport {
+            records: vec![netsession_core::msg::UsageRecord {
+                guid: self.guid,
+                version,
+                started: wall_now(),
+                ended: wall_now(),
+                bytes_from_infrastructure: ByteCount(bytes_from_edge),
+                bytes_from_peers: ByteCount(bytes_from_peers),
+            }],
+        });
+
+        Ok(DownloadReport {
+            bytes_from_edge,
+            bytes_from_peers,
+            content_hash,
+            peer_sources: contributors.len(),
+        })
+    }
+
+    /// Shut the daemon down.
+    pub fn shutdown(self) {
+        let _ = self.inner.control_tx.send(ControlMsg::Logout);
+        for t in self.tasks {
+            t.abort();
+        }
+    }
+}
+
+/// Serve one inbound swarm connection (the upload side).
+async fn serve_upload(stream: TcpStream, inner: Arc<Inner>) -> Result<()> {
+    let (mut r, mut w) = stream.into_split();
+    let Some(SwarmMsg::Handshake { guid, token, version }) = read_msg(&mut r).await? else {
+        return Ok(());
+    };
+    let object = version.object;
+    let shared = inner.store.lock().get(&object).cloned();
+    let Some(shared) = shared else {
+        let _ = write_msg(&mut w, &SwarmMsg::Goodbye).await;
+        return Ok(());
+    };
+    if shared.manifest.version != version {
+        let _ = write_msg(&mut w, &SwarmMsg::Goodbye).await;
+        return Ok(());
+    }
+    // Governor gate: global connection limit etc.
+    if inner.governor.lock().try_start(guid, object, None).is_err() {
+        let _ = write_msg(&mut w, &SwarmMsg::Busy).await;
+        return Ok(());
+    }
+
+    let result = async {
+        // Our half of the handshake + our have-map (we are a seeder).
+        write_msg(
+            &mut w,
+            &SwarmMsg::Handshake {
+                guid: inner.guid,
+                token,
+                version,
+            },
+        )
+        .await?;
+        let full = PieceMap::full(shared.manifest.piece_count());
+        write_msg(&mut w, &SwarmMsg::have_map(&full)).await?;
+        loop {
+            match read_msg::<_, SwarmMsg>(&mut r).await? {
+                Some(SwarmMsg::Request { piece }) => {
+                    let start = piece as usize * shared.manifest.piece_size as usize;
+                    let len = shared.manifest.piece_len(piece) as usize;
+                    let data = shared.bytes[start..start + len].to_vec();
+                    let digest = shared.manifest.piece_hashes[piece as usize];
+                    write_msg(
+                        &mut w,
+                        &SwarmMsg::Piece {
+                            piece,
+                            data,
+                            digest,
+                        },
+                    )
+                    .await?;
+                }
+                Some(SwarmMsg::Goodbye) | None => break,
+                Some(_) => {}
+            }
+        }
+        Ok::<(), Error>(())
+    }
+    .await;
+    inner.governor.lock().finish(guid, object, true);
+    result
+}

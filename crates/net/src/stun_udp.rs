@@ -1,0 +1,113 @@
+//! STUN-style reflexive-address service over real UDP.
+//!
+//! NetSession peers "periodically communicate with STUN components over UDP
+//! and TCP to determine the details of their connectivity" (§3.6). The
+//! live runtime's variant: a binding request carries a transaction ID; the
+//! server echoes it together with the observed (reflexive) source address.
+//! On loopback every peer is effectively `NatType::Open`; the NAT-model
+//! crate covers the interesting classifications.
+
+use netsession_core::error::{Error, Result};
+use std::net::SocketAddr;
+use tokio::net::UdpSocket;
+
+/// Wire format: 8-byte transaction ID. Response: transaction ID + 4-byte
+/// IP + 2-byte port (all big-endian).
+const REQ_LEN: usize = 8;
+const RESP_LEN: usize = 14;
+
+/// A running STUN-ish server.
+pub struct StunUdpServer {
+    local_addr: SocketAddr,
+    handle: tokio::task::JoinHandle<()>,
+}
+
+impl StunUdpServer {
+    /// Bind and start serving on `127.0.0.1:0` (or a given address).
+    pub async fn start(addr: &str) -> Result<StunUdpServer> {
+        let socket = UdpSocket::bind(addr)
+            .await
+            .map_err(|e| Error::Network(format!("bind: {e}")))?;
+        let local_addr = socket
+            .local_addr()
+            .map_err(|e| Error::Network(e.to_string()))?;
+        let handle = tokio::spawn(async move {
+            let mut buf = [0u8; 64];
+            loop {
+                let Ok((n, from)) = socket.recv_from(&mut buf).await else {
+                    break;
+                };
+                if n != REQ_LEN {
+                    continue;
+                }
+                let mut resp = [0u8; RESP_LEN];
+                resp[..8].copy_from_slice(&buf[..8]);
+                match from {
+                    SocketAddr::V4(v4) => {
+                        resp[8..12].copy_from_slice(&v4.ip().octets());
+                        resp[12..14].copy_from_slice(&v4.port().to_be_bytes());
+                    }
+                    SocketAddr::V6(_) => continue,
+                }
+                let _ = socket.send_to(&resp, from).await;
+            }
+        });
+        Ok(StunUdpServer { local_addr, handle })
+    }
+
+    /// Where the server listens.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop serving.
+    pub fn shutdown(self) {
+        self.handle.abort();
+    }
+}
+
+/// Ask a STUN server for our reflexive address. Returns (ip, port).
+pub async fn reflexive_address(server: SocketAddr, txn_id: u64) -> Result<(u32, u16)> {
+    let socket = UdpSocket::bind("127.0.0.1:0")
+        .await
+        .map_err(|e| Error::Network(format!("bind: {e}")))?;
+    let req = txn_id.to_be_bytes();
+    socket
+        .send_to(&req, server)
+        .await
+        .map_err(|e| Error::Network(format!("send: {e}")))?;
+    let mut buf = [0u8; RESP_LEN];
+    let (n, _) = tokio::time::timeout(std::time::Duration::from_secs(2), socket.recv_from(&mut buf))
+        .await
+        .map_err(|_| Error::Network("stun timeout".into()))?
+        .map_err(|e| Error::Network(format!("recv: {e}")))?;
+    if n != RESP_LEN || buf[..8] != req {
+        return Err(Error::Codec("bad stun response".into()));
+    }
+    let ip = u32::from_be_bytes(buf[8..12].try_into().unwrap());
+    let port = u16::from_be_bytes(buf[12..14].try_into().unwrap());
+    Ok((ip, port))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn reflexive_address_is_observed_source() {
+        let server = StunUdpServer::start("127.0.0.1:0").await.unwrap();
+        let (ip, port) = reflexive_address(server.local_addr(), 42).await.unwrap();
+        assert_eq!(ip, u32::from_be_bytes([127, 0, 0, 1]));
+        assert!(port > 0);
+        server.shutdown();
+    }
+
+    #[tokio::test]
+    async fn distinct_sockets_get_distinct_ports() {
+        let server = StunUdpServer::start("127.0.0.1:0").await.unwrap();
+        let (_, p1) = reflexive_address(server.local_addr(), 1).await.unwrap();
+        let (_, p2) = reflexive_address(server.local_addr(), 2).await.unwrap();
+        assert_ne!(p1, p2);
+        server.shutdown();
+    }
+}

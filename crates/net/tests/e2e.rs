@@ -1,0 +1,199 @@
+//! End-to-end live-runtime test: a real control plane, a real edge server,
+//! and real peer daemons exchanging verified content over loopback TCP —
+//! the §3.3 Download Manager story executed on actual sockets.
+
+use netsession_core::hash::sha256;
+use netsession_core::id::{CpCode, Guid, ObjectId};
+use netsession_core::policy::DownloadPolicy;
+use netsession_edge::accounting::AccountingLedger;
+use netsession_edge::auth::EdgeAuth;
+use netsession_edge::store::ContentStore;
+use netsession_net::control_server::ControlServer;
+use netsession_net::edge_server::EdgeHttpServer;
+use netsession_net::peer_daemon::PeerDaemon;
+use std::sync::Arc;
+
+struct Deployment {
+    control: ControlServer,
+    edge: EdgeHttpServer,
+    content: Vec<u8>,
+}
+
+async fn deploy(p2p: bool) -> Deployment {
+    let auth = EdgeAuth::from_seed(42);
+    let store = Arc::new(ContentStore::new());
+    let content: Vec<u8> = (0..300_000u32).map(|i| (i * 2654435761) as u8).collect();
+    let policy = if p2p {
+        DownloadPolicy::peer_assisted()
+    } else {
+        DownloadPolicy::infrastructure_only()
+    };
+    store.publish_content(ObjectId(1), CpCode(1), content.clone(), 16 * 1024, policy);
+    let ledger = Arc::new(AccountingLedger::new());
+    let edge = EdgeHttpServer::start("127.0.0.1:0", store, auth.clone(), ledger)
+        .await
+        .unwrap();
+    let control = ControlServer::start("127.0.0.1:0", auth).await.unwrap();
+    Deployment {
+        control,
+        edge,
+        content,
+    }
+}
+
+#[tokio::test]
+async fn first_peer_downloads_from_edge_then_seeds_others() {
+    let d = deploy(true).await;
+    let expected_hash = sha256(&d.content);
+
+    // Peer 1: nothing registered yet — everything from the edge.
+    let p1 = PeerDaemon::start(
+        d.control.local_addr(),
+        d.edge.local_addr(),
+        Guid(1),
+        true,
+    )
+    .await
+    .unwrap();
+    let r1 = p1.download(ObjectId(1)).await.unwrap();
+    assert_eq!(r1.content_hash, expected_hash);
+    assert_eq!(r1.bytes_from_peers, 0);
+    assert_eq!(r1.bytes_from_edge, d.content.len() as u64);
+    assert_eq!(p1.cached_objects(), 1);
+
+    // Give the registration a moment to land.
+    tokio::time::sleep(std::time::Duration::from_millis(150)).await;
+
+    // Peer 2: should pull most bytes from peer 1.
+    let p2 = PeerDaemon::start(
+        d.control.local_addr(),
+        d.edge.local_addr(),
+        Guid(2),
+        true,
+    )
+    .await
+    .unwrap();
+    let r2 = p2.download(ObjectId(1)).await.unwrap();
+    assert_eq!(r2.content_hash, expected_hash);
+    assert!(
+        r2.bytes_from_peers > 0,
+        "second download must use the swarm"
+    );
+    assert_eq!(
+        r2.bytes_from_peers + r2.bytes_from_edge,
+        d.content.len() as u64
+    );
+    assert!(r2.peer_sources >= 1);
+
+    tokio::time::sleep(std::time::Duration::from_millis(150)).await;
+
+    // Peer 3: two seeds now.
+    let p3 = PeerDaemon::start(
+        d.control.local_addr(),
+        d.edge.local_addr(),
+        Guid(3),
+        true,
+    )
+    .await
+    .unwrap();
+    let r3 = p3.download(ObjectId(1)).await.unwrap();
+    assert_eq!(r3.content_hash, expected_hash);
+    assert!(r3.bytes_from_peers > 0);
+
+    // Usage reports reached the control plane.
+    tokio::time::sleep(std::time::Duration::from_millis(150)).await;
+    let usage = d.control.drain_usage();
+    assert!(usage.len() >= 3, "usage records: {}", usage.len());
+
+    p1.shutdown();
+    p2.shutdown();
+    p3.shutdown();
+    d.control.shutdown();
+    d.edge.shutdown();
+}
+
+#[tokio::test]
+async fn infra_only_object_never_touches_peers() {
+    let d = deploy(false).await;
+    let p1 = PeerDaemon::start(
+        d.control.local_addr(),
+        d.edge.local_addr(),
+        Guid(10),
+        true,
+    )
+    .await
+    .unwrap();
+    let r1 = p1.download(ObjectId(1)).await.unwrap();
+    assert_eq!(r1.bytes_from_peers, 0);
+
+    let p2 = PeerDaemon::start(
+        d.control.local_addr(),
+        d.edge.local_addr(),
+        Guid(11),
+        true,
+    )
+    .await
+    .unwrap();
+    let r2 = p2.download(ObjectId(1)).await.unwrap();
+    // p2p disabled: even with a cached copy nearby, all bytes are edge.
+    assert_eq!(r2.bytes_from_peers, 0);
+    assert_eq!(r2.bytes_from_edge, d.content.len() as u64);
+    p1.shutdown();
+    p2.shutdown();
+    d.control.shutdown();
+    d.edge.shutdown();
+}
+
+#[tokio::test]
+async fn upload_disabled_peer_is_never_selected() {
+    let d = deploy(true).await;
+    // Peer 1 downloads but has uploads OFF.
+    let p1 = PeerDaemon::start(
+        d.control.local_addr(),
+        d.edge.local_addr(),
+        Guid(21),
+        false,
+    )
+    .await
+    .unwrap();
+    let r1 = p1.download(ObjectId(1)).await.unwrap();
+    assert_eq!(r1.bytes_from_peers, 0);
+    tokio::time::sleep(std::time::Duration::from_millis(150)).await;
+
+    // Peer 2: no seeders available (peer 1 didn't register) → edge only.
+    let p2 = PeerDaemon::start(
+        d.control.local_addr(),
+        d.edge.local_addr(),
+        Guid(22),
+        true,
+    )
+    .await
+    .unwrap();
+    let r2 = p2.download(ObjectId(1)).await.unwrap();
+    assert_eq!(
+        r2.bytes_from_peers, 0,
+        "nobody registered a copy, so the edge serves everything"
+    );
+    p1.shutdown();
+    p2.shutdown();
+    d.control.shutdown();
+    d.edge.shutdown();
+}
+
+#[tokio::test]
+async fn unknown_object_is_denied() {
+    let d = deploy(true).await;
+    let p = PeerDaemon::start(
+        d.control.local_addr(),
+        d.edge.local_addr(),
+        Guid(31),
+        true,
+    )
+    .await
+    .unwrap();
+    let err = p.download(ObjectId(404)).await.unwrap_err();
+    assert!(matches!(err, netsession_core::error::Error::PolicyDenied(_)));
+    p.shutdown();
+    d.control.shutdown();
+    d.edge.shutdown();
+}

@@ -1,0 +1,250 @@
+//! Local object cache.
+//!
+//! "Once a file has been downloaded, the peer keeps it in a local cache for
+//! a certain amount of time and informs the control plane that it is
+//! willing to upload this file to other peers (if uploading is enabled)"
+//! (§5.2). The cache also backs pause/resume: partially downloaded piece
+//! maps persist so an aborted download can continue where it left off
+//! (§3.3). A peer "does not proactively download content; it only shares
+//! objects that the corresponding user has previously downloaded" (§3.9).
+
+use netsession_core::id::{ObjectId, VersionId};
+use netsession_core::piece::PieceMap;
+use netsession_core::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One cached object (complete or partial).
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The cached version.
+    pub version: VersionId,
+    /// Which pieces are present and verified.
+    pub pieces: PieceMap,
+    /// When the download completed, if it did.
+    pub completed_at: Option<SimTime>,
+    /// Last time the entry was used (download progress or upload served).
+    pub last_touch: SimTime,
+}
+
+impl CacheEntry {
+    /// Whether the object is complete and thus shareable.
+    pub fn is_complete(&self) -> bool {
+        self.pieces.is_complete()
+    }
+}
+
+/// The per-peer cache.
+#[derive(Clone, Debug)]
+pub struct ObjectCache {
+    entries: HashMap<ObjectId, CacheEntry>,
+    /// How long completed entries stay shareable.
+    pub ttl: SimDuration,
+}
+
+impl ObjectCache {
+    /// Empty cache with a TTL.
+    pub fn new(ttl: SimDuration) -> Self {
+        ObjectCache {
+            entries: HashMap::new(),
+            ttl,
+        }
+    }
+
+    /// Begin (or resume) caching a version with `pieces` pieces. If a
+    /// *different* version of the same object is cached, it is discarded —
+    /// versions must never mix (§3.5).
+    pub fn open(&mut self, version: VersionId, piece_count: u32, now: SimTime) -> &mut CacheEntry {
+        let entry = self.entries.entry(version.object);
+        match entry {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if e.get().version != version {
+                    e.insert(CacheEntry {
+                        version,
+                        pieces: PieceMap::empty(piece_count),
+                        completed_at: None,
+                        last_touch: now,
+                    });
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(CacheEntry {
+                    version,
+                    pieces: PieceMap::empty(piece_count),
+                    completed_at: None,
+                    last_touch: now,
+                });
+            }
+        }
+        self.entries.get_mut(&version.object).unwrap()
+    }
+
+    /// Record a verified piece. Returns `true` when this completes the
+    /// object.
+    pub fn add_piece(&mut self, version: VersionId, piece: u32, now: SimTime) -> bool {
+        let Some(e) = self.entries.get_mut(&version.object) else {
+            return false;
+        };
+        if e.version != version {
+            return false;
+        }
+        e.pieces.set(piece);
+        e.last_touch = now;
+        if e.pieces.is_complete() && e.completed_at.is_none() {
+            e.completed_at = Some(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mark a whole object complete at once (fluid simulation path).
+    pub fn complete(&mut self, version: VersionId, piece_count: u32, now: SimTime) {
+        self.entries.insert(
+            version.object,
+            CacheEntry {
+                version,
+                pieces: PieceMap::full(piece_count),
+                completed_at: Some(now),
+                last_touch: now,
+            },
+        );
+    }
+
+    /// Look up an entry.
+    pub fn get(&self, object: ObjectId) -> Option<&CacheEntry> {
+        self.entries.get(&object)
+    }
+
+    /// Touch an entry (serving an upload refreshes the TTL).
+    pub fn touch(&mut self, object: ObjectId, now: SimTime) {
+        if let Some(e) = self.entries.get_mut(&object) {
+            e.last_touch = now;
+        }
+    }
+
+    /// Remove one object (user cleared it / disk pressure).
+    pub fn remove(&mut self, object: ObjectId) -> Option<CacheEntry> {
+        self.entries.remove(&object)
+    }
+
+    /// All complete, unexpired versions — what a RE-ADD response lists and
+    /// what gets registered with the control plane.
+    pub fn shareable(&self, now: SimTime) -> Vec<VersionId> {
+        self.entries
+            .values()
+            .filter(|e| e.is_complete() && now.since(e.last_touch) <= self.ttl)
+            .map(|e| e.version)
+            .collect()
+    }
+
+    /// Drop expired completed entries; returns the versions to unregister.
+    pub fn evict_expired(&mut self, now: SimTime) -> Vec<VersionId> {
+        let ttl = self.ttl;
+        let expired: Vec<ObjectId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.is_complete() && now.since(e.last_touch) > ttl)
+            .map(|(o, _)| *o)
+            .collect();
+        expired
+            .into_iter()
+            .filter_map(|o| self.entries.remove(&o).map(|e| e.version))
+            .collect()
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::id::ObjectId;
+
+    fn ver(o: u64, v: u32) -> VersionId {
+        VersionId {
+            object: ObjectId(o),
+            version: v,
+        }
+    }
+
+    #[test]
+    fn open_add_complete_cycle() {
+        let mut c = ObjectCache::new(SimDuration::from_hours(24));
+        c.open(ver(1, 1), 3, SimTime(0));
+        assert!(!c.add_piece(ver(1, 1), 0, SimTime(1)));
+        assert!(!c.add_piece(ver(1, 1), 1, SimTime(2)));
+        assert!(c.add_piece(ver(1, 1), 2, SimTime(3)), "third piece completes");
+        let e = c.get(ObjectId(1)).unwrap();
+        assert!(e.is_complete());
+        assert_eq!(e.completed_at, Some(SimTime(3)));
+    }
+
+    #[test]
+    fn version_bump_discards_stale_partial() {
+        let mut c = ObjectCache::new(SimDuration::from_hours(24));
+        c.open(ver(1, 1), 3, SimTime(0));
+        c.add_piece(ver(1, 1), 0, SimTime(1));
+        // A new version arrives: the old pieces must not carry over.
+        let e = c.open(ver(1, 2), 4, SimTime(2));
+        assert_eq!(e.pieces.have_count(), 0);
+        assert_eq!(e.pieces.len(), 4);
+        // Pieces for the stale version are rejected.
+        assert!(!c.add_piece(ver(1, 1), 1, SimTime(3)));
+    }
+
+    #[test]
+    fn resume_keeps_partial_progress() {
+        let mut c = ObjectCache::new(SimDuration::from_hours(24));
+        c.open(ver(1, 1), 3, SimTime(0));
+        c.add_piece(ver(1, 1), 0, SimTime(1));
+        // Re-opening the same version (resume after pause) keeps pieces.
+        let e = c.open(ver(1, 1), 3, SimTime(10));
+        assert_eq!(e.pieces.have_count(), 1);
+    }
+
+    #[test]
+    fn shareable_lists_only_complete_unexpired() {
+        let mut c = ObjectCache::new(SimDuration::from_hours(10));
+        c.complete(ver(1, 1), 2, SimTime::ZERO);
+        c.open(ver(2, 1), 2, SimTime::ZERO); // partial
+        let now = SimTime::ZERO + SimDuration::from_hours(5);
+        assert_eq!(c.shareable(now), vec![ver(1, 1)]);
+        let later = SimTime::ZERO + SimDuration::from_hours(11);
+        assert!(c.shareable(later).is_empty(), "TTL expired");
+    }
+
+    #[test]
+    fn touch_refreshes_ttl() {
+        let mut c = ObjectCache::new(SimDuration::from_hours(10));
+        c.complete(ver(1, 1), 2, SimTime::ZERO);
+        c.touch(ObjectId(1), SimTime::ZERO + SimDuration::from_hours(8));
+        let now = SimTime::ZERO + SimDuration::from_hours(15);
+        assert_eq!(c.shareable(now), vec![ver(1, 1)], "touch extended life");
+    }
+
+    #[test]
+    fn eviction_returns_versions_to_unregister() {
+        let mut c = ObjectCache::new(SimDuration::from_hours(1));
+        c.complete(ver(1, 1), 2, SimTime::ZERO);
+        c.complete(ver(2, 1), 2, SimTime::ZERO);
+        let evicted = c.evict_expired(SimTime::ZERO + SimDuration::from_hours(2));
+        assert_eq!(evicted.len(), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn remove_is_explicit_eviction() {
+        let mut c = ObjectCache::new(SimDuration::from_hours(1));
+        c.complete(ver(1, 1), 2, SimTime::ZERO);
+        assert!(c.remove(ObjectId(1)).is_some());
+        assert!(c.remove(ObjectId(1)).is_none());
+    }
+}

@@ -1,0 +1,345 @@
+//! The Download Manager (DLM).
+//!
+//! "The DLM is one of several applications that use the NetSession system;
+//! a typical use case is to distribute large objects that are several GBs
+//! in size … Users can pause and resume downloads, and they can continue
+//! downloads that were aborted earlier, e.g., because the peer lost network
+//! connectivity or the peer's hard drive was full" (§3.3).
+//!
+//! The DLM accounts every byte by source (infrastructure vs. peers), which
+//! is what the usage reports — and ultimately the paper's *peer efficiency*
+//! metric (§5.1) — are computed from.
+
+use netsession_core::error::Error;
+use netsession_core::id::{Guid, ObjectId, VersionId};
+use netsession_core::msg::UsageRecord;
+use netsession_core::policy::DownloadPolicy;
+use netsession_core::time::SimTime;
+use netsession_core::units::ByteCount;
+use std::collections::HashMap;
+
+/// Lifecycle of one download.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DownloadPhase {
+    /// Transferring.
+    Active,
+    /// Paused by the user; resumable.
+    Paused,
+    /// All bytes present and verified.
+    Completed,
+    /// Failed (the error says whether it was system-related, §5.2).
+    Failed(Error),
+    /// Aborted by the user and never resumed.
+    Aborted,
+}
+
+/// One managed download.
+#[derive(Clone, Debug)]
+pub struct Download {
+    /// What is being downloaded.
+    pub version: VersionId,
+    /// Total size.
+    pub size: ByteCount,
+    /// Provider policy (p2p allowed?).
+    pub policy: DownloadPolicy,
+    /// When it started.
+    pub started: SimTime,
+    /// When it reached a terminal phase.
+    pub ended: Option<SimTime>,
+    /// Bytes fetched from edge servers.
+    pub bytes_infra: ByteCount,
+    /// Bytes fetched from peers.
+    pub bytes_peers: ByteCount,
+    /// Current phase.
+    pub phase: DownloadPhase,
+    /// How many times it was paused and resumed.
+    pub resume_count: u32,
+}
+
+impl Download {
+    /// Total bytes fetched so far.
+    pub fn total_bytes(&self) -> ByteCount {
+        self.bytes_infra + self.bytes_peers
+    }
+
+    /// Fraction of bytes that came from peers — zero until bytes arrive.
+    pub fn peer_efficiency(&self) -> f64 {
+        let total = self.total_bytes().bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes_peers.bytes() as f64 / total as f64
+        }
+    }
+
+    /// Progress in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.size.bytes() == 0 {
+            1.0
+        } else {
+            (self.total_bytes().bytes() as f64 / self.size.bytes() as f64).min(1.0)
+        }
+    }
+
+    /// Whether the phase is terminal.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self.phase,
+            DownloadPhase::Completed | DownloadPhase::Failed(_) | DownloadPhase::Aborted
+        )
+    }
+
+    /// The usage record this download reports to the control plane (§4.1).
+    pub fn usage_record(&self, guid: Guid) -> UsageRecord {
+        UsageRecord {
+            guid,
+            version: self.version,
+            started: self.started,
+            ended: self.ended.unwrap_or(self.started),
+            bytes_from_infrastructure: self.bytes_infra,
+            bytes_from_peers: self.bytes_peers,
+        }
+    }
+}
+
+/// The per-peer download manager.
+#[derive(Clone, Debug, Default)]
+pub struct DownloadManager {
+    downloads: HashMap<ObjectId, Download>,
+}
+
+impl DownloadManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start (or restart) a download. A download for an older version of
+    /// the same object is replaced.
+    pub fn begin(
+        &mut self,
+        version: VersionId,
+        size: ByteCount,
+        policy: DownloadPolicy,
+        now: SimTime,
+    ) -> &mut Download {
+        self.downloads.insert(
+            version.object,
+            Download {
+                version,
+                size,
+                policy,
+                started: now,
+                ended: None,
+                bytes_infra: ByteCount::ZERO,
+                bytes_peers: ByteCount::ZERO,
+                phase: DownloadPhase::Active,
+                resume_count: 0,
+            },
+        );
+        self.downloads.get_mut(&version.object).unwrap()
+    }
+
+    /// Account received bytes. `from_peers` selects the source bucket.
+    /// Returns `true` when this made the download byte-complete.
+    pub fn record_bytes(
+        &mut self,
+        object: ObjectId,
+        from_peers: bool,
+        bytes: ByteCount,
+        now: SimTime,
+    ) -> bool {
+        let Some(d) = self.downloads.get_mut(&object) else {
+            return false;
+        };
+        if d.phase != DownloadPhase::Active {
+            return false;
+        }
+        if from_peers {
+            d.bytes_peers += bytes;
+        } else {
+            d.bytes_infra += bytes;
+        }
+        if d.total_bytes().bytes() >= d.size.bytes() {
+            d.phase = DownloadPhase::Completed;
+            d.ended = Some(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pause an active download.
+    pub fn pause(&mut self, object: ObjectId, _now: SimTime) -> bool {
+        match self.downloads.get_mut(&object) {
+            Some(d) if d.phase == DownloadPhase::Active => {
+                d.phase = DownloadPhase::Paused;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Resume a paused download.
+    pub fn resume(&mut self, object: ObjectId) -> bool {
+        match self.downloads.get_mut(&object) {
+            Some(d) if d.phase == DownloadPhase::Paused => {
+                d.phase = DownloadPhase::Active;
+                d.resume_count += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The user abandons the download (paused-and-never-resumed collapses
+    /// to this at trace end).
+    pub fn abort(&mut self, object: ObjectId, now: SimTime) -> bool {
+        match self.downloads.get_mut(&object) {
+            Some(d) if !d.is_terminal() => {
+                d.phase = DownloadPhase::Aborted;
+                d.ended = Some(now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The download failed.
+    pub fn fail(&mut self, object: ObjectId, error: Error, now: SimTime) -> bool {
+        match self.downloads.get_mut(&object) {
+            Some(d) if !d.is_terminal() => {
+                d.phase = DownloadPhase::Failed(error);
+                d.ended = Some(now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A download by object.
+    pub fn get(&self, object: ObjectId) -> Option<&Download> {
+        self.downloads.get(&object)
+    }
+
+    /// Mutable access.
+    pub fn get_mut(&mut self, object: ObjectId) -> Option<&mut Download> {
+        self.downloads.get_mut(&object)
+    }
+
+    /// Count of non-terminal downloads.
+    pub fn active_count(&self) -> usize {
+        self.downloads
+            .values()
+            .filter(|d| !d.is_terminal())
+            .count()
+    }
+
+    /// Iterate all downloads.
+    pub fn iter(&self) -> impl Iterator<Item = &Download> {
+        self.downloads.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ver(o: u64) -> VersionId {
+        VersionId {
+            object: ObjectId(o),
+            version: 1,
+        }
+    }
+
+    fn begin(dm: &mut DownloadManager, o: u64, size: u64) {
+        dm.begin(
+            ver(o),
+            ByteCount(size),
+            DownloadPolicy::peer_assisted(),
+            SimTime(0),
+        );
+    }
+
+    #[test]
+    fn bytes_accumulate_and_complete() {
+        let mut dm = DownloadManager::new();
+        begin(&mut dm, 1, 1000);
+        assert!(!dm.record_bytes(ObjectId(1), false, ByteCount(400), SimTime(1)));
+        assert!(!dm.record_bytes(ObjectId(1), true, ByteCount(500), SimTime(2)));
+        assert!(dm.record_bytes(ObjectId(1), true, ByteCount(100), SimTime(3)));
+        let d = dm.get(ObjectId(1)).unwrap();
+        assert_eq!(d.phase, DownloadPhase::Completed);
+        assert_eq!(d.ended, Some(SimTime(3)));
+        assert!((d.peer_efficiency() - 0.6).abs() < 1e-9);
+        assert_eq!(d.progress(), 1.0);
+    }
+
+    #[test]
+    fn usage_record_reflects_split() {
+        let mut dm = DownloadManager::new();
+        begin(&mut dm, 1, 100);
+        dm.record_bytes(ObjectId(1), false, ByteCount(30), SimTime(1));
+        dm.record_bytes(ObjectId(1), true, ByteCount(70), SimTime(2));
+        let rec = dm.get(ObjectId(1)).unwrap().usage_record(Guid(5));
+        assert_eq!(rec.bytes_from_infrastructure, ByteCount(30));
+        assert_eq!(rec.bytes_from_peers, ByteCount(70));
+        assert_eq!(rec.ended, SimTime(2));
+    }
+
+    #[test]
+    fn pause_resume_cycle() {
+        let mut dm = DownloadManager::new();
+        begin(&mut dm, 1, 1000);
+        assert!(dm.pause(ObjectId(1), SimTime(1)));
+        // Paused downloads accept no bytes.
+        assert!(!dm.record_bytes(ObjectId(1), false, ByteCount(10), SimTime(2)));
+        assert_eq!(dm.get(ObjectId(1)).unwrap().total_bytes(), ByteCount::ZERO);
+        assert!(dm.resume(ObjectId(1)));
+        assert_eq!(dm.get(ObjectId(1)).unwrap().resume_count, 1);
+        assert!(dm.record_bytes(ObjectId(1), false, ByteCount(1000), SimTime(3)));
+        // Terminal: pause/resume now fail.
+        assert!(!dm.pause(ObjectId(1), SimTime(4)));
+        assert!(!dm.resume(ObjectId(1)));
+    }
+
+    #[test]
+    fn abort_and_fail_are_terminal() {
+        let mut dm = DownloadManager::new();
+        begin(&mut dm, 1, 1000);
+        begin(&mut dm, 2, 1000);
+        assert!(dm.abort(ObjectId(1), SimTime(5)));
+        assert!(dm.fail(ObjectId(2), Error::DiskFull, SimTime(6)));
+        assert!(dm.get(ObjectId(1)).unwrap().is_terminal());
+        assert!(dm.get(ObjectId(2)).unwrap().is_terminal());
+        assert!(!dm.abort(ObjectId(1), SimTime(7)), "already terminal");
+        assert_eq!(dm.active_count(), 0);
+        match &dm.get(ObjectId(2)).unwrap().phase {
+            DownloadPhase::Failed(e) => assert!(!e.is_system_related()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_byte_download_is_trivially_complete_progress() {
+        let mut dm = DownloadManager::new();
+        begin(&mut dm, 1, 0);
+        assert_eq!(dm.get(ObjectId(1)).unwrap().progress(), 1.0);
+        assert_eq!(dm.get(ObjectId(1)).unwrap().peer_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn new_version_replaces_download() {
+        let mut dm = DownloadManager::new();
+        begin(&mut dm, 1, 1000);
+        dm.record_bytes(ObjectId(1), false, ByteCount(10), SimTime(1));
+        let v2 = VersionId {
+            object: ObjectId(1),
+            version: 2,
+        };
+        dm.begin(v2, ByteCount(500), DownloadPolicy::peer_assisted(), SimTime(2));
+        let d = dm.get(ObjectId(1)).unwrap();
+        assert_eq!(d.version, v2);
+        assert_eq!(d.total_bytes(), ByteCount::ZERO);
+    }
+}

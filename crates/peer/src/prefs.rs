@@ -1,0 +1,106 @@
+//! User preferences.
+//!
+//! "NetSession Interface users have the option to turn off peer content
+//! uploads permanently or temporarily in the NetSession application
+//! preferences, without adverse effects on their download performance"
+//! (§3.4). The change history feeds the Table-3 analysis; the status
+//! surface mirrors the control-panel / command-line tools of §3.9.
+
+use netsession_core::time::SimTime;
+
+/// Client preferences plus their change history.
+#[derive(Clone, Debug)]
+pub struct Preferences {
+    uploads_enabled: bool,
+    /// The initial setting the binary shipped with (Table 4).
+    initial_uploads_enabled: bool,
+    /// (when, new value) for every user change.
+    changes: Vec<(SimTime, bool)>,
+}
+
+impl Preferences {
+    /// Fresh install with the provider-chosen default (§5.1: "the
+    /// NetSession binary is available in two versions").
+    pub fn with_default(uploads_enabled: bool) -> Self {
+        Preferences {
+            uploads_enabled,
+            initial_uploads_enabled: uploads_enabled,
+            changes: Vec::new(),
+        }
+    }
+
+    /// Whether content uploads are currently enabled.
+    pub fn uploads_enabled(&self) -> bool {
+        self.uploads_enabled
+    }
+
+    /// The setting at install time.
+    pub fn initial_uploads_enabled(&self) -> bool {
+        self.initial_uploads_enabled
+    }
+
+    /// The user flips the setting. No-op flips (setting the current value)
+    /// are not recorded as changes.
+    pub fn set_uploads(&mut self, now: SimTime, enabled: bool) {
+        if enabled != self.uploads_enabled {
+            self.uploads_enabled = enabled;
+            self.changes.push((now, enabled));
+        }
+    }
+
+    /// Number of recorded changes (Table 3's columns).
+    pub fn change_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// The change history.
+    pub fn changes(&self) -> &[(SimTime, bool)] {
+        &self.changes
+    }
+
+    /// The control-panel status line (§3.9: tools "enable users to
+    /// determine what the software is doing").
+    pub fn status_line(&self, cached_objects: usize, active_downloads: usize) -> String {
+        format!(
+            "uploads: {} | cached objects: {} | active downloads: {}",
+            if self.uploads_enabled { "on" } else { "off" },
+            cached_objects,
+            active_downloads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_recorded() {
+        let p = Preferences::with_default(true);
+        assert!(p.uploads_enabled());
+        assert!(p.initial_uploads_enabled());
+        assert_eq!(p.change_count(), 0);
+    }
+
+    #[test]
+    fn changes_are_recorded_noop_flips_ignored() {
+        let mut p = Preferences::with_default(false);
+        p.set_uploads(SimTime(5), false); // no-op
+        assert_eq!(p.change_count(), 0);
+        p.set_uploads(SimTime(10), true);
+        p.set_uploads(SimTime(20), false);
+        assert_eq!(p.change_count(), 2);
+        assert!(!p.uploads_enabled());
+        assert!(!p.initial_uploads_enabled());
+        assert_eq!(p.changes()[0], (SimTime(10), true));
+    }
+
+    #[test]
+    fn status_line_mentions_key_facts() {
+        let p = Preferences::with_default(true);
+        let s = p.status_line(3, 1);
+        assert!(s.contains("uploads: on"));
+        assert!(s.contains("cached objects: 3"));
+        assert!(s.contains("active downloads: 1"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Video-streaming delivery mode.
+//!
+//! "NetSession also supports video streaming, but it currently does not
+//! serve much video traffic because of the requirement to install client
+//! software" (§3.4). Streaming changes the piece-selection discipline:
+//! instead of rarest-first, the client needs pieces *in playback order*,
+//! with a small look-ahead window it may fill opportunistically from
+//! peers; whatever the window cannot supply in time must come from the
+//! edge, or playback stalls.
+//!
+//! [`StreamBuffer`] is the client-side model: a playhead, a look-ahead
+//! window, startup buffering, and rebuffering accounting — the QoS metrics
+//! a streaming evaluation would report.
+
+use netsession_core::piece::{PieceIndex, PieceMap};
+use netsession_core::time::{SimDuration, SimTime};
+
+/// Playback state of a streaming session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlaybackState {
+    /// Filling the startup buffer; nothing rendered yet.
+    Startup,
+    /// Rendering.
+    Playing,
+    /// Stalled mid-stream, waiting for the next piece.
+    Rebuffering,
+    /// Finished.
+    Done,
+}
+
+/// Client-side streaming buffer over a piece map.
+#[derive(Clone, Debug)]
+pub struct StreamBuffer {
+    have: PieceMap,
+    playhead: PieceIndex,
+    /// Pieces of look-ahead the picker may fetch out of order.
+    pub window: u32,
+    /// Pieces that must be buffered before playback starts.
+    pub startup_pieces: u32,
+    /// Seconds of media per piece.
+    pub piece_duration: SimDuration,
+    state: PlaybackState,
+    /// Media time already rendered within the playhead piece.
+    rendered_in_piece: SimDuration,
+    startup_delay: Option<SimDuration>,
+    started_at: Option<SimTime>,
+    first_request_at: Option<SimTime>,
+    rebuffer_events: u32,
+    rebuffer_time: SimDuration,
+    stall_since: Option<SimTime>,
+}
+
+impl StreamBuffer {
+    /// A fresh session over `pieces` pieces.
+    pub fn new(pieces: u32, window: u32, startup_pieces: u32, piece_duration: SimDuration) -> Self {
+        StreamBuffer {
+            have: PieceMap::empty(pieces),
+            playhead: 0,
+            window: window.max(1),
+            startup_pieces: startup_pieces.max(1),
+            piece_duration,
+            state: PlaybackState::Startup,
+            rendered_in_piece: SimDuration::ZERO,
+            startup_delay: None,
+            started_at: None,
+            first_request_at: None,
+            rebuffer_events: 0,
+            rebuffer_time: SimDuration::ZERO,
+            stall_since: None,
+        }
+    }
+
+    /// Current playback state.
+    pub fn state(&self) -> PlaybackState {
+        self.state
+    }
+
+    /// The current playhead piece.
+    pub fn playhead(&self) -> PieceIndex {
+        self.playhead
+    }
+
+    /// The piece the client should request next: the first missing piece
+    /// within the look-ahead window (in order — streaming has no use for
+    /// rarest-first).
+    pub fn next_wanted(&self) -> Option<PieceIndex> {
+        let end = (self.playhead + self.window).min(self.have.len());
+        (self.playhead..end).find(|p| !self.have.has(*p))
+    }
+
+    /// The session issues its first request at `now` (starts the startup
+    /// clock).
+    pub fn mark_started(&mut self, now: SimTime) {
+        if self.first_request_at.is_none() {
+            self.first_request_at = Some(now);
+        }
+    }
+
+    /// A verified piece arrived at `now`.
+    pub fn on_piece(&mut self, piece: PieceIndex, now: SimTime) {
+        self.have.set(piece);
+        match self.state {
+            PlaybackState::Startup => {
+                // Start once the first `startup_pieces` are contiguous.
+                let buffered = (self.playhead
+                    ..(self.playhead + self.startup_pieces).min(self.have.len()))
+                    .all(|p| self.have.has(p));
+                if buffered {
+                    self.state = PlaybackState::Playing;
+                    self.started_at = Some(now);
+                    self.startup_delay =
+                        Some(now.since(self.first_request_at.unwrap_or(now)));
+                }
+            }
+            PlaybackState::Rebuffering => {
+                if self.have.has(self.playhead) {
+                    self.state = PlaybackState::Playing;
+                    if let Some(since) = self.stall_since.take() {
+                        self.rebuffer_time += now.since(since);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Advance playback by `dt` of wall time ending at `now`. Returns the
+    /// new state.
+    pub fn advance(&mut self, dt: SimDuration, now: SimTime) -> PlaybackState {
+        if self.state != PlaybackState::Playing {
+            return self.state;
+        }
+        let mut remaining = dt;
+        loop {
+            if self.playhead >= self.have.len() {
+                self.state = PlaybackState::Done;
+                break;
+            }
+            // A gap at the playhead stalls playback immediately — even at
+            // an exact piece boundary (the renderer has nothing to show).
+            if !self.have.has(self.playhead) {
+                self.state = PlaybackState::Rebuffering;
+                self.rebuffer_events += 1;
+                self.stall_since = Some(now);
+                break;
+            }
+            if remaining == SimDuration::ZERO {
+                break;
+            }
+            let left_in_piece =
+                SimDuration(self.piece_duration.0 - self.rendered_in_piece.0);
+            if remaining.0 >= left_in_piece.0 {
+                remaining = SimDuration(remaining.0 - left_in_piece.0);
+                self.playhead += 1;
+                self.rendered_in_piece = SimDuration::ZERO;
+            } else {
+                self.rendered_in_piece += remaining;
+                remaining = SimDuration::ZERO;
+            }
+        }
+        self.state
+    }
+
+    /// Startup delay, once playback began.
+    pub fn startup_delay(&self) -> Option<SimDuration> {
+        self.startup_delay
+    }
+
+    /// Number of mid-stream stalls.
+    pub fn rebuffer_events(&self) -> u32 {
+        self.rebuffer_events
+    }
+
+    /// Total stalled time.
+    pub fn rebuffer_time(&self) -> SimDuration {
+        self.rebuffer_time
+    }
+
+    /// Fraction of the object buffered.
+    pub fn buffered_fraction(&self) -> f64 {
+        self.have.fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn buffer() -> StreamBuffer {
+        // 10 pieces of 4s video, 3-piece window, 2-piece startup buffer.
+        StreamBuffer::new(10, 3, 2, secs(4))
+    }
+
+    #[test]
+    fn startup_requires_contiguous_buffer() {
+        let mut b = buffer();
+        b.mark_started(SimTime(0));
+        assert_eq!(b.state(), PlaybackState::Startup);
+        b.on_piece(1, SimTime(1_000_000));
+        assert_eq!(b.state(), PlaybackState::Startup, "piece 0 still missing");
+        b.on_piece(0, SimTime(2_000_000));
+        assert_eq!(b.state(), PlaybackState::Playing);
+        assert_eq!(b.startup_delay(), Some(SimDuration(2_000_000)));
+    }
+
+    #[test]
+    fn next_wanted_is_in_order_within_window() {
+        let mut b = buffer();
+        assert_eq!(b.next_wanted(), Some(0));
+        b.on_piece(0, SimTime(0));
+        assert_eq!(b.next_wanted(), Some(1));
+        b.on_piece(2, SimTime(0)); // out-of-order arrival from a peer
+        assert_eq!(b.next_wanted(), Some(1));
+        b.on_piece(1, SimTime(0));
+        // Window is playhead..playhead+3 = 0..3, all held → nothing wanted
+        // until the playhead advances.
+        assert_eq!(b.next_wanted(), None);
+    }
+
+    #[test]
+    fn playback_advances_and_rebuffers_at_gap() {
+        let mut b = buffer();
+        b.mark_started(SimTime(0));
+        b.on_piece(0, SimTime(0));
+        b.on_piece(1, SimTime(0));
+        assert_eq!(b.state(), PlaybackState::Playing);
+        // Play 8 s: consumes pieces 0 and 1, hits missing piece 2.
+        let state = b.advance(secs(8), SimTime(8_000_000));
+        assert_eq!(state, PlaybackState::Rebuffering);
+        assert_eq!(b.rebuffer_events(), 1);
+        assert_eq!(b.playhead(), 2);
+        // Piece 2 arrives 3 s later: playback resumes, stall accounted.
+        b.on_piece(2, SimTime(11_000_000));
+        assert_eq!(b.state(), PlaybackState::Playing);
+        assert_eq!(b.rebuffer_time(), secs(3));
+    }
+
+    #[test]
+    fn smooth_delivery_never_rebuffers() {
+        let mut b = buffer();
+        b.mark_started(SimTime(0));
+        for p in 0..10 {
+            b.on_piece(p, SimTime(p as u64 * 100_000));
+        }
+        let state = b.advance(secs(40), SimTime(40_000_000));
+        assert_eq!(state, PlaybackState::Done);
+        assert_eq!(b.rebuffer_events(), 0);
+        assert_eq!(b.buffered_fraction(), 1.0);
+    }
+
+    #[test]
+    fn partial_advance_within_a_piece() {
+        let mut b = buffer();
+        b.mark_started(SimTime(0));
+        b.on_piece(0, SimTime(0));
+        b.on_piece(1, SimTime(0));
+        assert_eq!(b.advance(secs(2), SimTime(2_000_000)), PlaybackState::Playing);
+        assert_eq!(b.playhead(), 0, "still inside piece 0");
+        assert_eq!(b.advance(secs(2), SimTime(4_000_000)), PlaybackState::Playing);
+        assert_eq!(b.playhead(), 1);
+    }
+
+    #[test]
+    fn window_limits_lookahead() {
+        let b = StreamBuffer::new(100, 5, 2, secs(4));
+        assert_eq!(b.next_wanted(), Some(0));
+        // Nothing outside 0..5 is ever requested at playhead 0.
+        let mut b2 = b.clone();
+        for p in 0..5 {
+            b2.on_piece(p, SimTime(0));
+        }
+        assert_eq!(b2.next_wanted(), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the NetSession Interface components.
+
+use netsession_core::id::{Guid, ObjectId, VersionId};
+use netsession_core::piece::{Manifest, PieceMap};
+use netsession_core::policy::TransferConfig;
+use netsession_core::rng::DetRng;
+use netsession_core::units::{Bandwidth, ByteCount};
+use netsession_peer::governor::UploadGovernor;
+use netsession_peer::picker::PiecePicker;
+use netsession_peer::swarm::{SwarmEvent, SwarmSession};
+use proptest::prelude::*;
+
+proptest! {
+    /// The picker never assigns the same piece to two sources, never
+    /// assigns a held piece, and eventually covers everything.
+    #[test]
+    fn picker_no_double_assignment(
+        pieces in 1u32..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::seeded(seed);
+        let mut picker = PiecePicker::new(pieces);
+        let mine = PieceMap::empty(pieces);
+        let theirs = PieceMap::full(pieces);
+        picker.peer_joined(&theirs);
+        let mut assigned = std::collections::HashSet::new();
+        // Interleave peer and edge picks.
+        loop {
+            let pick = if rng.chance(0.5) {
+                picker.next_for_peer(&mine, &theirs, &mut rng)
+            } else {
+                picker.next_for_edge(&mine)
+            };
+            match pick {
+                Some(p) => prop_assert!(assigned.insert(p), "piece {p} assigned twice"),
+                None => break,
+            }
+        }
+        prop_assert_eq!(assigned.len(), pieces as usize);
+    }
+
+    /// The governor never exceeds its global connection limit under any
+    /// operation sequence, and per-object caps are never overshot.
+    #[test]
+    fn governor_limits_hold(
+        limit in 1usize..12,
+        cap in 1u32..6,
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..200),
+    ) {
+        let mut g = UploadGovernor::new(
+            TransferConfig {
+                max_upload_connections: limit,
+                ..TransferConfig::default()
+            },
+            true,
+        );
+        for (to, obj, finish) in ops {
+            let to = Guid(to as u128 % 16);
+            let obj = ObjectId(obj as u64 % 4);
+            if finish {
+                g.finish(to, obj, true);
+            } else {
+                let _ = g.try_start(to, obj, Some(cap));
+            }
+            prop_assert!(g.active_count() <= limit);
+            for o in 0..4u64 {
+                // Completed uploads may reach the cap but try_start must
+                // refuse beyond it, so counts can exceed cap only via
+                // uploads already in flight when it was hit — our model
+                // finishes at most one at a time, so the bound is cap +
+                // limit.
+                prop_assert!(g.uploads_of(ObjectId(o)) <= cap + limit as u32);
+            }
+        }
+    }
+
+    /// A swarm fed only valid pieces always terminates with a complete,
+    /// verified map, regardless of how many seeders there are and in
+    /// which order they answer.
+    #[test]
+    fn swarm_always_completes_with_honest_seeders(
+        pieces in 1u64..60,
+        n_seeders in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let manifest = Manifest::synthetic(
+            VersionId { object: ObjectId(1), version: 1 },
+            ByteCount(pieces * 1000),
+            1000,
+        );
+        let n = manifest.piece_count();
+        let mut rng = DetRng::seeded(seed);
+        let mut session = SwarmSession::new(manifest.clone(), PieceMap::empty(n));
+        let mut queue: Vec<SwarmEvent> = Vec::new();
+        for s in 0..n_seeders {
+            queue.extend(session.on_peer_joined(Guid(s as u128), PieceMap::full(n), &mut rng));
+        }
+        let mut steps = 0;
+        while !session.is_complete() {
+            steps += 1;
+            prop_assert!(steps < 10_000, "swarm failed to converge");
+            let mut next = Vec::new();
+            for ev in queue.drain(..) {
+                if let SwarmEvent::Send(to, netsession_core::msg::SwarmMsg::Request { piece }) = ev {
+                    let reply = netsession_core::msg::SwarmMsg::Piece {
+                        piece,
+                        data: vec![],
+                        digest: manifest.piece_hashes[piece as usize],
+                    };
+                    next.extend(session.on_message(to, reply, &mut rng));
+                }
+            }
+            if next.is_empty() && !session.is_complete() {
+                next.extend(session.pump_all(&mut rng));
+                prop_assert!(!next.is_empty(), "stalled incomplete swarm");
+            }
+            queue = next;
+        }
+        prop_assert!(session.is_complete());
+    }
+
+    /// Upload rate caps scale monotonically with upstream capacity and
+    /// never exceed it.
+    #[test]
+    fn governor_rate_cap_bounded(up_mbps in 0.0f64..500.0, busy in any::<bool>()) {
+        let mut g = UploadGovernor::new(TransferConfig::default(), true);
+        g.set_link_busy(busy);
+        let up = Bandwidth::from_mbps(up_mbps);
+        let cap = g.rate_cap(up);
+        prop_assert!(cap.bytes_per_sec() <= up.bytes_per_sec() + 1e-9);
+        prop_assert!(cap.bytes_per_sec() >= 0.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! Flow-level network model with max-min fair bandwidth sharing.
+//!
+//! Nodes model access links with asymmetric capacity (residential broadband
+//! has fast downstream and slow upstream — the asymmetry the paper invokes
+//! to explain Fig 4). A transfer is a *flow* from a source node's upstream
+//! side to a destination node's downstream side, optionally capped by a
+//! per-flow rate ceiling (NetSession's deliberate upload throttling, §3.9).
+//!
+//! Rates are assigned by **progressive filling**: all flows grow at the same
+//! rate until a resource (a node side or a flow ceiling) saturates, the
+//! affected flows freeze, and filling continues — the textbook max-min fair
+//! allocation. The driver calls [`FlowNet::recompute`] whenever the flow set
+//! changes and reads back per-flow rates.
+
+use netsession_core::units::Bandwidth;
+use std::collections::BTreeMap;
+
+/// Handle to a node (an access link: one upstream + one downstream side).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Handle to a flow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// Rates above this are treated as unconstrained (1 TB/s).
+const MAX_RATE: f64 = 1e12;
+/// Relative tolerance for saturation checks.
+const EPS: f64 = 1e-9;
+
+#[derive(Clone, Debug)]
+struct Node {
+    up: f64,
+    down: f64,
+}
+
+#[derive(Clone, Debug)]
+struct Flow {
+    src: NodeId,
+    dst: NodeId,
+    ceil: f64,
+    rate: f64,
+}
+
+/// The fluid network: nodes, flows, and their current max-min fair rates.
+pub struct FlowNet {
+    nodes: Vec<Node>,
+    flows: BTreeMap<u64, Flow>,
+    next_flow: u64,
+}
+
+impl Default for FlowNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowNet {
+    /// Empty network.
+    pub fn new() -> Self {
+        FlowNet {
+            nodes: Vec::new(),
+            flows: BTreeMap::new(),
+            next_flow: 0,
+        }
+    }
+
+    /// Add a node with the given up/downstream capacities. Infinite
+    /// capacities are allowed (edge servers are modeled as amply
+    /// provisioned).
+    pub fn add_node(&mut self, up: Bandwidth, down: Bandwidth) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            up: up.bytes_per_sec(),
+            down: down.bytes_per_sec(),
+        });
+        id
+    }
+
+    /// Add an *uncapacitated* node (infinite both ways) — for server tiers.
+    pub fn add_infinite_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            up: f64::INFINITY,
+            down: f64::INFINITY,
+        });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of active flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Change a node's capacities (e.g. the user's link becomes busy and the
+    /// upload throttle tightens). Takes effect at the next [`recompute`].
+    ///
+    /// [`recompute`]: FlowNet::recompute
+    pub fn set_node_caps(&mut self, node: NodeId, up: Bandwidth, down: Bandwidth) {
+        let n = &mut self.nodes[node.0 as usize];
+        n.up = up.bytes_per_sec();
+        n.down = down.bytes_per_sec();
+    }
+
+    /// Start a flow from `src`'s upstream to `dst`'s downstream, with an
+    /// optional rate ceiling.
+    pub fn add_flow(&mut self, src: NodeId, dst: NodeId, ceil: Option<Bandwidth>) -> FlowId {
+        assert!((src.0 as usize) < self.nodes.len(), "bad src node");
+        assert!((dst.0 as usize) < self.nodes.len(), "bad dst node");
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(
+            id.0,
+            Flow {
+                src,
+                dst,
+                ceil: ceil.map_or(MAX_RATE, |b| b.bytes_per_sec().min(MAX_RATE)),
+                rate: 0.0,
+            },
+        );
+        id
+    }
+
+    /// Tighten or relax a flow's ceiling.
+    pub fn set_flow_ceil(&mut self, flow: FlowId, ceil: Option<Bandwidth>) {
+        if let Some(f) = self.flows.get_mut(&flow.0) {
+            f.ceil = ceil.map_or(MAX_RATE, |b| b.bytes_per_sec().min(MAX_RATE));
+        }
+    }
+
+    /// End a flow. Unknown IDs are ignored (idempotent teardown).
+    pub fn remove_flow(&mut self, flow: FlowId) {
+        self.flows.remove(&flow.0);
+    }
+
+    /// Current rate of a flow (zero for unknown IDs).
+    pub fn rate(&self, flow: FlowId) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.flows.get(&flow.0).map_or(0.0, |f| f.rate))
+    }
+
+    /// Endpoints of a flow.
+    pub fn endpoints(&self, flow: FlowId) -> Option<(NodeId, NodeId)> {
+        self.flows.get(&flow.0).map(|f| (f.src, f.dst))
+    }
+
+    /// Recompute all flow rates by progressive filling (max-min fairness).
+    /// Call after any membership or capacity change; rates are stable
+    /// between calls.
+    ///
+    /// The loop works on dense scratch arrays and an active-flow list that
+    /// shrinks as flows freeze, so the common case is far below the
+    /// theoretical O(F²) bound.
+    pub fn recompute(&mut self) {
+        let n_nodes = self.nodes.len();
+        let mut resid_up: Vec<f64> = self.nodes.iter().map(|n| n.up).collect();
+        let mut resid_down: Vec<f64> = self.nodes.iter().map(|n| n.down).collect();
+        let mut up_count = vec![0u32; n_nodes];
+        let mut down_count = vec![0u32; n_nodes];
+
+        // Dense snapshot in insertion order (determinism).
+        let ids: Vec<u64> = self.flows.keys().copied().collect();
+        let n = ids.len();
+        let mut src = Vec::with_capacity(n);
+        let mut dst = Vec::with_capacity(n);
+        let mut ceil = Vec::with_capacity(n);
+        let mut rate = vec![0.0f64; n];
+        for id in &ids {
+            let f = &self.flows[id];
+            src.push(f.src.0 as usize);
+            dst.push(f.dst.0 as usize);
+            ceil.push(f.ceil);
+            up_count[f.src.0 as usize] += 1;
+            down_count[f.dst.0 as usize] += 1;
+        }
+
+        // Only nodes actually touched by flows matter for the bottleneck
+        // scan.
+        let mut touched: Vec<usize> = src.iter().chain(dst.iter()).copied().collect();
+        touched.sort_unstable();
+        touched.dedup();
+
+        let mut active: Vec<usize> = (0..n).collect();
+        while !active.is_empty() {
+            // The uniform increment every unfrozen flow can still take.
+            let mut inc = f64::INFINITY;
+            for &i in &touched {
+                if up_count[i] > 0 {
+                    inc = inc.min(resid_up[i] / up_count[i] as f64);
+                }
+                if down_count[i] > 0 {
+                    inc = inc.min(resid_down[i] / down_count[i] as f64);
+                }
+            }
+            for &k in &active {
+                inc = inc.min(ceil[k] - rate[k]);
+            }
+            if !inc.is_finite() {
+                inc = MAX_RATE;
+            }
+            inc = inc.max(0.0);
+
+            // Apply the increment.
+            for &k in &active {
+                rate[k] += inc;
+                resid_up[src[k]] -= inc;
+                resid_down[dst[k]] -= inc;
+            }
+
+            // Freeze flows at a saturated resource or at their ceiling.
+            // Infinite-capacity sides (edge servers) can never saturate —
+            // without the finiteness guard, `inf - inc <= EPS * inf` is
+            // true and every edge flow would freeze at the first global
+            // increment.
+            let before = active.len();
+            active.retain(|&k| {
+                let up_cap = self.nodes[src[k]].up;
+                let down_cap = self.nodes[dst[k]].down;
+                let up_sat = up_cap.is_finite()
+                    && (resid_up[src[k]] <= EPS * up_cap || resid_up[src[k]] <= 1e-6);
+                let down_sat = down_cap.is_finite()
+                    && (resid_down[dst[k]] <= EPS * down_cap || resid_down[dst[k]] <= 1e-6);
+                let at_ceil = rate[k] >= ceil[k] - EPS * ceil[k].max(1.0);
+                let capped = rate[k] >= MAX_RATE;
+                let freeze = up_sat || down_sat || at_ceil || capped;
+                if freeze {
+                    up_count[src[k]] -= 1;
+                    down_count[dst[k]] -= 1;
+                }
+                !freeze
+            });
+            // Progress guarantee: if numerically nothing froze, freeze the
+            // first remaining flow to avoid an infinite loop.
+            if active.len() == before {
+                let k = active.remove(0);
+                up_count[src[k]] -= 1;
+                down_count[dst[k]] -= 1;
+            }
+        }
+
+        for (k, id) in ids.iter().enumerate() {
+            self.flows.get_mut(id).unwrap().rate = rate[k];
+        }
+    }
+
+    /// Sum of current flow rates into `node` (its downstream utilization).
+    pub fn downstream_utilization(&self, node: NodeId) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(
+            self.flows
+                .values()
+                .filter(|f| f.dst == node)
+                .map(|f| f.rate)
+                .sum(),
+        )
+    }
+
+    /// Sum of current flow rates out of `node` (its upstream utilization).
+    pub fn upstream_utilization(&self, node: NodeId) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(
+            self.flows
+                .values()
+                .filter(|f| f.src == node)
+                .map(|f| f.rate)
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(v: f64) -> Bandwidth {
+        Bandwidth::from_mbps(v)
+    }
+
+    fn assert_close(a: Bandwidth, mbps_expected: f64) {
+        assert!(
+            (a.as_mbps() - mbps_expected).abs() < 0.01,
+            "expected {mbps_expected} Mbps, got {}",
+            a.as_mbps()
+        );
+    }
+
+    #[test]
+    fn single_flow_limited_by_slowest_side() {
+        let mut net = FlowNet::new();
+        let a = net.add_node(mbps(1.0), mbps(20.0));
+        let b = net.add_node(mbps(5.0), mbps(50.0));
+        let f = net.add_flow(a, b, None);
+        net.recompute();
+        assert_close(net.rate(f), 1.0); // a's upstream is the bottleneck
+    }
+
+    #[test]
+    fn flow_ceiling_binds() {
+        let mut net = FlowNet::new();
+        let a = net.add_node(mbps(10.0), mbps(10.0));
+        let b = net.add_node(mbps(10.0), mbps(10.0));
+        let f = net.add_flow(a, b, Some(mbps(2.0)));
+        net.recompute();
+        assert_close(net.rate(f), 2.0);
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck_equally() {
+        let mut net = FlowNet::new();
+        let src = net.add_node(mbps(8.0), mbps(100.0));
+        let d1 = net.add_node(mbps(1.0), mbps(100.0));
+        let d2 = net.add_node(mbps(1.0), mbps(100.0));
+        let f1 = net.add_flow(src, d1, None);
+        let f2 = net.add_flow(src, d2, None);
+        net.recompute();
+        assert_close(net.rate(f1), 4.0);
+        assert_close(net.rate(f2), 4.0);
+    }
+
+    #[test]
+    fn max_min_redistributes_slack_from_capped_flow() {
+        // Source has 10 Mbps up; flow 1 is capped at 2, so flow 2 should
+        // get the remaining 8 — strict equal-split would give it only 5.
+        let mut net = FlowNet::new();
+        let src = net.add_node(mbps(10.0), mbps(100.0));
+        let d1 = net.add_node(mbps(100.0), mbps(100.0));
+        let d2 = net.add_node(mbps(100.0), mbps(100.0));
+        let f1 = net.add_flow(src, d1, Some(mbps(2.0)));
+        let f2 = net.add_flow(src, d2, None);
+        net.recompute();
+        assert_close(net.rate(f1), 2.0);
+        assert_close(net.rate(f2), 8.0);
+    }
+
+    #[test]
+    fn downstream_bottleneck_shared_across_sources() {
+        // Two seeders with ample upstream feed one downloader with 6 Mbps
+        // downstream: each flow gets 3.
+        let mut net = FlowNet::new();
+        let s1 = net.add_node(mbps(50.0), mbps(50.0));
+        let s2 = net.add_node(mbps(50.0), mbps(50.0));
+        let d = net.add_node(mbps(50.0), mbps(6.0));
+        let f1 = net.add_flow(s1, d, None);
+        let f2 = net.add_flow(s2, d, None);
+        net.recompute();
+        assert_close(net.rate(f1), 3.0);
+        assert_close(net.rate(f2), 3.0);
+    }
+
+    #[test]
+    fn asymmetric_links_mirror_broadband() {
+        // Downloader has 16/1 ADSL-ish link; a single peer upload to it is
+        // limited by the *peer's* 1 Mbps upstream even though the
+        // downloader could take 16.
+        let mut net = FlowNet::new();
+        let peer = net.add_node(mbps(1.0), mbps(16.0));
+        let dl = net.add_node(mbps(1.0), mbps(16.0));
+        let f = net.add_flow(peer, dl, None);
+        net.recompute();
+        assert_close(net.rate(f), 1.0);
+    }
+
+    #[test]
+    fn infinite_edge_server_fills_client_downlink() {
+        let mut net = FlowNet::new();
+        let edge = net.add_infinite_node();
+        let dl = net.add_node(mbps(1.0), mbps(16.0));
+        let f = net.add_flow(edge, dl, None);
+        net.recompute();
+        assert_close(net.rate(f), 16.0);
+    }
+
+    #[test]
+    fn flow_removal_restores_capacity() {
+        let mut net = FlowNet::new();
+        let src = net.add_node(mbps(4.0), mbps(100.0));
+        let d1 = net.add_node(mbps(100.0), mbps(100.0));
+        let d2 = net.add_node(mbps(100.0), mbps(100.0));
+        let f1 = net.add_flow(src, d1, None);
+        let f2 = net.add_flow(src, d2, None);
+        net.recompute();
+        assert_close(net.rate(f1), 2.0);
+        net.remove_flow(f2);
+        net.recompute();
+        assert_close(net.rate(f1), 4.0);
+        assert_eq!(net.rate(f2), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn capacity_change_takes_effect() {
+        let mut net = FlowNet::new();
+        let a = net.add_node(mbps(10.0), mbps(10.0));
+        let b = net.add_node(mbps(10.0), mbps(10.0));
+        let f = net.add_flow(a, b, None);
+        net.recompute();
+        assert_close(net.rate(f), 10.0);
+        net.set_node_caps(a, mbps(0.5), mbps(10.0));
+        net.recompute();
+        assert_close(net.rate(f), 0.5);
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let mut net = FlowNet::new();
+        let src = net.add_node(mbps(10.0), mbps(10.0));
+        let d = net.add_node(mbps(10.0), mbps(3.0));
+        net.add_flow(src, d, None);
+        net.add_flow(src, d, None);
+        net.recompute();
+        assert_close(net.downstream_utilization(d), 3.0);
+        assert_close(net.upstream_utilization(src), 3.0);
+    }
+
+    #[test]
+    fn no_flows_recompute_is_noop() {
+        let mut net = FlowNet::new();
+        net.add_node(mbps(1.0), mbps(1.0));
+        net.recompute(); // must not panic or loop
+        assert_eq!(net.flow_count(), 0);
+    }
+
+    /// The defining max-min property: every flow is either at its ceiling or
+    /// passes through at least one saturated resource, and no resource is
+    /// over capacity.
+    #[test]
+    fn max_min_invariants_on_random_networks() {
+        use netsession_core::rng::DetRng;
+        let mut rng = DetRng::seeded(99);
+        for round in 0..30 {
+            let mut net = FlowNet::new();
+            let n = 3 + rng.index(8);
+            let nodes: Vec<NodeId> = (0..n)
+                .map(|_| {
+                    net.add_node(
+                        mbps(rng.range_f64(0.5, 20.0)),
+                        mbps(rng.range_f64(2.0, 100.0)),
+                    )
+                })
+                .collect();
+            let f = 1 + rng.index(20);
+            let flows: Vec<FlowId> = (0..f)
+                .map(|_| {
+                    let s = nodes[rng.index(n)];
+                    let mut d = nodes[rng.index(n)];
+                    while d == s {
+                        d = nodes[rng.index(n)];
+                    }
+                    let ceil = if rng.chance(0.3) {
+                        Some(mbps(rng.range_f64(0.1, 5.0)))
+                    } else {
+                        None
+                    };
+                    net.add_flow(s, d, ceil)
+                })
+                .collect();
+            net.recompute();
+
+            // Capacity feasibility.
+            for (i, node) in nodes.iter().enumerate() {
+                let up = net.upstream_utilization(*node).bytes_per_sec();
+                let down = net.downstream_utilization(*node).bytes_per_sec();
+                let cap_up = net.nodes[i].up;
+                let cap_down = net.nodes[i].down;
+                assert!(up <= cap_up * (1.0 + 1e-6) + 1e-3, "round {round}: up overload");
+                assert!(
+                    down <= cap_down * (1.0 + 1e-6) + 1e-3,
+                    "round {round}: down overload"
+                );
+            }
+            // Bottleneck property.
+            for fid in &flows {
+                let flow = &net.flows[&fid.0];
+                let at_ceil = flow.rate >= flow.ceil * (1.0 - 1e-6);
+                let src_up = net.upstream_utilization(flow.src).bytes_per_sec();
+                let dst_down = net.downstream_utilization(flow.dst).bytes_per_sec();
+                let src_sat = src_up >= net.nodes[flow.src.0 as usize].up * (1.0 - 1e-6) - 1e-3;
+                let dst_sat = dst_down >= net.nodes[flow.dst.0 as usize].down * (1.0 - 1e-6) - 1e-3;
+                assert!(
+                    at_ceil || src_sat || dst_sat,
+                    "round {round}: flow {fid:?} is not bottlenecked anywhere (rate {})",
+                    flow.rate
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Connection-setup latency model.
+//!
+//! The macro experiments need plausible latencies for three things: the
+//! TCP + protocol handshake to an edge server, the STUN round trip, and
+//! peer-to-peer connection establishment (including hole-punch attempts,
+//! which take several round trips). A full path-level model is
+//! unnecessary; distance-derived propagation plus a locality discount
+//! captures what the measurements depend on.
+
+use netsession_core::rng::DetRng;
+use netsession_core::time::SimDuration;
+
+/// Great-circle distance between two (lat, lon) points in kilometres.
+/// Used both here and by the mobility analysis (§6.2 computes "the two
+/// geolocations that were farthest apart" per GUID).
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    const R: f64 = 6371.0;
+    let (la1, lo1, la2, lo2) = (
+        lat1.to_radians(),
+        lon1.to_radians(),
+        lat2.to_radians(),
+        lon2.to_radians(),
+    );
+    let dlat = la2 - la1;
+    let dlon = lo2 - lo1;
+    let a = (dlat / 2.0).sin().powi(2) + la1.cos() * la2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * R * a.sqrt().atan2((1.0 - a).sqrt())
+}
+
+/// Simple latency model: base access delay + distance propagation + jitter.
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    /// Fixed per-connection overhead (access network, OS, queuing), seconds.
+    pub base_s: f64,
+    /// Propagation: seconds per kilometre of great-circle distance. Light
+    /// in fibre plus routing inflation is roughly 1 ms per 100 km one-way.
+    pub per_km_s: f64,
+    /// Extra RTT multiplier for same-AS paths (usually < 1: short paths).
+    pub same_as_factor: f64,
+    /// Multiplicative jitter half-width (0.2 = ±20 %).
+    pub jitter: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base_s: 0.015,
+            per_km_s: 0.00001,
+            same_as_factor: 0.5,
+            jitter: 0.2,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// One-way latency between two geolocated endpoints.
+    pub fn one_way(
+        &self,
+        from: (f64, f64),
+        to: (f64, f64),
+        same_as: bool,
+        rng: &mut DetRng,
+    ) -> SimDuration {
+        let km = haversine_km(from.0, from.1, to.0, to.1);
+        let mut s = self.base_s + km * self.per_km_s;
+        if same_as {
+            s *= self.same_as_factor;
+        }
+        let j = 1.0 + rng.range_f64(-self.jitter, self.jitter);
+        SimDuration::from_secs_f64(s * j.max(0.05))
+    }
+
+    /// Round-trip latency.
+    pub fn rtt(
+        &self,
+        from: (f64, f64),
+        to: (f64, f64),
+        same_as: bool,
+        rng: &mut DetRng,
+    ) -> SimDuration {
+        let one = self.one_way(from, to, same_as, rng);
+        let two = self.one_way(from, to, same_as, rng);
+        one + two
+    }
+
+    /// Time to establish a peer connection: TCP handshake plus protocol
+    /// handshake (~2 RTT), or several more round trips when a NAT hole punch
+    /// is involved.
+    pub fn connect_time(
+        &self,
+        from: (f64, f64),
+        to: (f64, f64),
+        same_as: bool,
+        needs_punch: bool,
+        rng: &mut DetRng,
+    ) -> SimDuration {
+        let rtts = if needs_punch { 6.0 } else { 2.0 };
+        self.rtt(from, to, same_as, rng).mul_f64(rtts / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distances() {
+        // Philadelphia → Barcelona is about 6,450 km.
+        let d = haversine_km(39.95, -75.16, 41.39, 2.17);
+        assert!((6100.0..6800.0).contains(&d), "got {d}");
+        // Zero distance.
+        assert!(haversine_km(10.0, 20.0, 10.0, 20.0) < 1e-9);
+        // Antipodal points are half the circumference (~20,015 km).
+        let anti = haversine_km(0.0, 0.0, 0.0, 180.0);
+        assert!((19900.0..20100.0).contains(&anti), "got {anti}");
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let m = LatencyModel {
+            jitter: 0.0,
+            ..LatencyModel::default()
+        };
+        let mut rng = DetRng::seeded(1);
+        let near = m.one_way((40.0, -75.0), (40.1, -75.1), false, &mut rng);
+        let far = m.one_way((40.0, -75.0), (41.4, 2.2), false, &mut rng);
+        assert!(far > near);
+        assert!(near.as_secs_f64() >= m.base_s);
+    }
+
+    #[test]
+    fn same_as_paths_are_faster() {
+        let m = LatencyModel {
+            jitter: 0.0,
+            ..LatencyModel::default()
+        };
+        let mut rng = DetRng::seeded(2);
+        let a = m.one_way((40.0, -75.0), (40.5, -75.5), false, &mut rng);
+        let b = m.one_way((40.0, -75.0), (40.5, -75.5), true, &mut rng);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn hole_punch_costs_more_round_trips() {
+        let m = LatencyModel {
+            jitter: 0.0,
+            ..LatencyModel::default()
+        };
+        let mut rng = DetRng::seeded(3);
+        let plain = m.connect_time((0.0, 0.0), (1.0, 1.0), false, false, &mut rng);
+        let punched = m.connect_time((0.0, 0.0), (1.0, 1.0), false, true, &mut rng);
+        assert!(punched.as_secs_f64() > plain.as_secs_f64() * 2.0);
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let m = LatencyModel::default();
+        let mut rng = DetRng::seeded(4);
+        let base = LatencyModel {
+            jitter: 0.0,
+            ..m.clone()
+        };
+        let mut rng2 = DetRng::seeded(5);
+        let nominal = base
+            .one_way((40.0, -75.0), (41.0, -76.0), false, &mut rng2)
+            .as_secs_f64();
+        for _ in 0..200 {
+            let v = m
+                .one_way((40.0, -75.0), (41.0, -76.0), false, &mut rng)
+                .as_secs_f64();
+            assert!(v > nominal * 0.7 && v < nominal * 1.3, "v={v} nominal={nominal}");
+        }
+    }
+}

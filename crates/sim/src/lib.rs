@@ -1,0 +1,29 @@
+//! # netsession-sim
+//!
+//! Deterministic discrete-event simulation substrate for the NetSession
+//! reproduction.
+//!
+//! The paper measures a production system with 25.9 M installations; we have
+//! no such deployment, so every macro-scale experiment runs on this
+//! simulator instead (see DESIGN.md, substitution table). The crate has
+//! three layers:
+//!
+//! * [`engine`] — a classic event-queue kernel: a simulated clock, a binary
+//!   heap of timestamped events with deterministic FIFO tie-breaking, and an
+//!   epoch mechanism for lazily invalidating stale events.
+//! * [`flownet`] — a *fluid* (flow-level) network model: peers and servers
+//!   are nodes with asymmetric access-link capacities, transfers are flows,
+//!   and rates are assigned by progressive-filling **max-min fairness**,
+//!   honouring per-flow rate ceilings (upload throttles). This is the
+//!   standard abstraction for CDN-scale simulation, where packet-level
+//!   detail is irrelevant but bandwidth sharing is everything.
+//! * [`latency`] — a simple geographic + AS-locality latency model used for
+//!   connection-setup delays and STUN round trips.
+
+pub mod engine;
+pub mod flownet;
+pub mod latency;
+
+pub use engine::EventQueue;
+pub use flownet::{FlowId, FlowNet, NodeId};
+pub use latency::LatencyModel;

@@ -1,0 +1,368 @@
+//! Autonomous-system model.
+//!
+//! The trace observed 31,190 ASes, with a heavily skewed peer population:
+//! "the heavy uploaders simply contain a lot more peers" (Fig 9c). This
+//! module generates a scaled AS universe with:
+//!
+//! * per-country AS sets sized by the country's peer weight,
+//! * Pareto-distributed AS sizes (a few giant eyeball networks, a long tail
+//!   of tiny ones),
+//! * per-AS access-link profiles (fibre / cable / DSL mixes with the strong
+//!   down/up asymmetry of residential broadband, per Dischinger et al.,
+//!   which the paper cites when explaining Fig 4), and
+//! * an AS adjacency graph (direct links) used by the Fig 11 analysis and
+//!   the §6.1 "35 % of heavy-pair bytes were exchanged between directly
+//!   connected ASes" estimate.
+
+use crate::geo::WORLD_COUNTRIES;
+use netsession_core::id::AsNumber;
+use netsession_core::rng::DetRng;
+use netsession_core::units::Bandwidth;
+use std::collections::HashSet;
+
+/// Dominant access technology of an AS — sets its speed profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkProfile {
+    /// FTTH-heavy network: very fast down, fast up.
+    Fiber,
+    /// DOCSIS cable: fast down, modest up.
+    Cable,
+    /// DSL: modest down, slow up — the classic asymmetric case.
+    Dsl,
+    /// Mobile broadband: variable, modest both ways.
+    Mobile,
+}
+
+impl LinkProfile {
+    /// Median (down, up) in Mbps for the profile, 2012-era access networks.
+    pub fn median_mbps(self) -> (f64, f64) {
+        match self {
+            LinkProfile::Fiber => (60.0, 25.0),
+            LinkProfile::Cable => (25.0, 3.5),
+            LinkProfile::Dsl => (8.0, 0.9),
+            LinkProfile::Mobile => (6.0, 1.5),
+        }
+    }
+}
+
+/// One autonomous system.
+#[derive(Clone, Debug)]
+pub struct AsSpec {
+    /// Its AS number.
+    pub asn: AsNumber,
+    /// Index into [`WORLD_COUNTRIES`].
+    pub country: usize,
+    /// Relative peer-population weight within its country (heavy-tailed).
+    pub size_weight: f64,
+    /// Access profile.
+    pub profile: LinkProfile,
+}
+
+/// The generated AS universe.
+pub struct AsModel {
+    specs: Vec<AsSpec>,
+    /// Per-country index lists, aligned with [`WORLD_COUNTRIES`].
+    per_country: Vec<Vec<usize>>,
+    /// Per-country cumulative weights for sampling.
+    country_weights: Vec<Vec<f64>>,
+    /// Undirected direct links (normalized: smaller index first).
+    links: HashSet<(u32, u32)>,
+}
+
+impl AsModel {
+    /// Generate roughly `target_total` ASes distributed over the gazetteer
+    /// countries proportionally to their peer weight (min 2 per country).
+    pub fn generate(target_total: usize, rng: &mut DetRng) -> AsModel {
+        let total_weight: f64 = WORLD_COUNTRIES.iter().map(|c| c.peer_weight).sum();
+        let mut specs = Vec::new();
+        let mut per_country = Vec::with_capacity(WORLD_COUNTRIES.len());
+        let mut next_asn = 1000u32;
+
+        for (ci, country) in WORLD_COUNTRIES.iter().enumerate() {
+            let n = ((target_total as f64 * country.peer_weight / total_weight).round() as usize)
+                .max(2);
+            let mut idxs = Vec::with_capacity(n);
+            for k in 0..n {
+                // Pareto sizes (capped to keep the tail from dwarfing the
+                // incumbent): the first AS in each country is the incumbent
+                // eyeball network and gets an extra boost.
+                let mut w = rng.pareto(1.0, 0.7).min(50.0);
+                if k == 0 {
+                    w *= 10.0;
+                }
+                let profile = match rng.weighted_index(&[0.15, 0.40, 0.35, 0.10]) {
+                    0 => LinkProfile::Fiber,
+                    1 => LinkProfile::Cable,
+                    2 => LinkProfile::Dsl,
+                    _ => LinkProfile::Mobile,
+                };
+                idxs.push(specs.len());
+                specs.push(AsSpec {
+                    asn: AsNumber(next_asn),
+                    country: ci,
+                    size_weight: w,
+                    profile,
+                });
+                next_asn += 1;
+            }
+            per_country.push(idxs);
+        }
+
+        // Adjacency: incumbents form a near-mesh (international transit);
+        // every AS additionally links to a handful of large ASes,
+        // preferentially within its own country.
+        let mut links = HashSet::new();
+        let incumbents: Vec<usize> = per_country.iter().map(|v| v[0]).collect();
+        for i in 0..incumbents.len() {
+            for j in (i + 1)..incumbents.len() {
+                if rng.chance(0.5) {
+                    Self::link(&mut links, incumbents[i], incumbents[j]);
+                }
+            }
+        }
+        for (idx, spec) in specs.iter().enumerate() {
+            let domestic = &per_country[spec.country];
+            let k = 2 + rng.index(3);
+            for _ in 0..k {
+                // 80 %: a domestic AS chosen by size; 20 %: any incumbent.
+                let other = if rng.chance(0.8) && domestic.len() > 1 {
+                    let weights: Vec<f64> =
+                        domestic.iter().map(|i| specs[*i].size_weight).collect();
+                    domestic[rng.weighted_index(&weights)]
+                } else {
+                    incumbents[rng.index(incumbents.len())]
+                };
+                if other != idx {
+                    Self::link(&mut links, idx, other);
+                }
+            }
+        }
+
+        let country_weights = per_country
+            .iter()
+            .map(|idxs| {
+                let mut acc = 0.0;
+                idxs.iter()
+                    .map(|i| {
+                        acc += specs[*i].size_weight;
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+
+        AsModel {
+            specs,
+            per_country,
+            country_weights,
+            links,
+        }
+    }
+
+    fn link(links: &mut HashSet<(u32, u32)>, a: usize, b: usize) {
+        let (x, y) = if a < b { (a, b) } else { (b, a) };
+        links.insert((x as u32, y as u32));
+    }
+
+    /// All AS specs.
+    pub fn specs(&self) -> &[AsSpec] {
+        &self.specs
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the universe is empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Sample an AS for a new peer located in `country` (index into
+    /// [`WORLD_COUNTRIES`]), weighted by AS size.
+    pub fn pick_for_country(&self, country: usize, rng: &mut DetRng) -> usize {
+        let cum = &self.country_weights[country];
+        let total = *cum.last().expect("country has ASes");
+        let target = rng.f64() * total;
+        let pos = cum.partition_point(|c| *c <= target);
+        self.per_country[country][pos.min(cum.len() - 1)]
+    }
+
+    /// Draw an access link (down, up) for a peer in AS `idx`: lognormal
+    /// variation around the profile median, clamped to plausible floors.
+    pub fn sample_link(&self, idx: usize, rng: &mut DetRng) -> (Bandwidth, Bandwidth) {
+        let (down_med, up_med) = self.specs[idx].profile.median_mbps();
+        let factor = rng.lognormal(0.0, 0.5);
+        let down = (down_med * factor).clamp(0.5, 1000.0);
+        // Upstream varies partly independently (provisioned tiers).
+        let up_factor = factor * rng.lognormal(0.0, 0.25);
+        let up = (up_med * up_factor).clamp(0.128, 500.0);
+        (Bandwidth::from_mbps(down), Bandwidth::from_mbps(up))
+    }
+
+    /// Whether two ASes (by index) have a direct link.
+    pub fn direct_link(&self, a: usize, b: usize) -> bool {
+        let (x, y) = if a < b { (a, b) } else { (b, a) };
+        self.links.contains(&(x as u32, y as u32))
+    }
+
+    /// Index of the AS with a given number, if present.
+    pub fn index_of(&self, asn: AsNumber) -> Option<usize> {
+        // AS numbers are assigned densely from 1000.
+        let idx = (asn.0 as usize).checked_sub(1000)?;
+        (idx < self.specs.len()).then_some(idx)
+    }
+
+    /// Number of direct links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AsModel {
+        let mut rng = DetRng::seeded(7);
+        AsModel::generate(400, &mut rng)
+    }
+
+    #[test]
+    fn generates_roughly_target_count() {
+        let m = model();
+        assert!(
+            (300..600).contains(&m.len()),
+            "AS count {} far from target",
+            m.len()
+        );
+        // Every country represented by at least two ASes.
+        for (ci, idxs) in m.per_country.iter().enumerate() {
+            assert!(idxs.len() >= 2, "country {ci} has {}", idxs.len());
+        }
+    }
+
+    #[test]
+    fn as_sizes_are_heavy_tailed() {
+        let m = model();
+        let mut weights: Vec<f64> = m.specs().iter().map(|s| s.size_weight).collect();
+        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let total: f64 = weights.iter().sum();
+        let top_decile: f64 = weights[..weights.len() / 10].iter().sum();
+        assert!(
+            top_decile / total > 0.5,
+            "top 10% of ASes hold {:.0}% of weight — not heavy-tailed",
+            100.0 * top_decile / total
+        );
+    }
+
+    #[test]
+    fn pick_for_country_respects_country() {
+        let m = model();
+        let mut rng = DetRng::seeded(8);
+        for country in [0usize, 5, 20] {
+            for _ in 0..50 {
+                let idx = m.pick_for_country(country, &mut rng);
+                assert_eq!(m.specs()[idx].country, country);
+            }
+        }
+    }
+
+    #[test]
+    fn pick_prefers_large_ases() {
+        let m = model();
+        let mut rng = DetRng::seeded(9);
+        let country = 0;
+        let mut counts = vec![0usize; m.per_country[country].len()];
+        for _ in 0..5000 {
+            let idx = m.pick_for_country(country, &mut rng);
+            let pos = m.per_country[country]
+                .iter()
+                .position(|i| *i == idx)
+                .unwrap();
+            counts[pos] += 1;
+        }
+        // Picks must track size weight: the heaviest AS collects far more
+        // than an average one, and pick counts correlate with weights.
+        let weights: Vec<f64> = m.per_country[country]
+            .iter()
+            .map(|i| m.specs()[*i].size_weight)
+            .collect();
+        let heaviest = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(
+            counts[heaviest] as f64 > 3.0 * mean,
+            "heaviest AS got {} picks vs mean {mean:.1}",
+            counts[heaviest]
+        );
+        // Rank correlation (coarse): total picks of the top-weight half
+        // exceed the bottom half.
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|a, b| weights[*b].partial_cmp(&weights[*a]).unwrap());
+        let top: usize = order[..order.len() / 2].iter().map(|i| counts[*i]).sum();
+        let bottom: usize = order[order.len() / 2..].iter().map(|i| counts[*i]).sum();
+        assert!(top > bottom * 2, "top {top} vs bottom {bottom}");
+    }
+
+    #[test]
+    fn sampled_links_are_asymmetric_broadband() {
+        let m = model();
+        let mut rng = DetRng::seeded(10);
+        let mut down_sum = 0.0;
+        let mut up_sum = 0.0;
+        for _ in 0..2000 {
+            let idx = rng.index(m.len());
+            let (down, up) = m.sample_link(idx, &mut rng);
+            assert!(down.as_mbps() >= 0.5 && down.as_mbps() <= 1000.0);
+            assert!(up.as_mbps() >= 0.128 && up.as_mbps() <= 500.0);
+            down_sum += down.as_mbps();
+            up_sum += up.as_mbps();
+        }
+        assert!(
+            down_sum / up_sum > 3.0,
+            "aggregate asymmetry {:.1} too low",
+            down_sum / up_sum
+        );
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_nontrivial() {
+        let m = model();
+        assert!(m.link_count() > m.len(), "too few links");
+        for (a, b) in m.links.iter().take(100) {
+            assert!(m.direct_link(*a as usize, *b as usize));
+            assert!(m.direct_link(*b as usize, *a as usize));
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn index_of_roundtrips() {
+        let m = model();
+        for (i, s) in m.specs().iter().enumerate().take(20) {
+            assert_eq!(m.index_of(s.asn), Some(i));
+        }
+        assert_eq!(m.index_of(AsNumber(1)), None);
+        assert_eq!(m.index_of(AsNumber(1000 + m.len() as u32)), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut r1 = DetRng::seeded(42);
+        let mut r2 = DetRng::seeded(42);
+        let a = AsModel::generate(200, &mut r1);
+        let b = AsModel::generate(200, &mut r2);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.link_count(), b.link_count());
+        for (x, y) in a.specs().iter().zip(b.specs()) {
+            assert_eq!(x.asn, y.asn);
+            assert_eq!(x.size_weight, y.size_weight);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Secondary-GUID chains, rollback, and cloning.
+//!
+//! §6.2 describes the instrumentation the NetSession team added to detect
+//! shared GUIDs: "a random 160-bit 'secondary GUID', which is chosen freshly
+//! every time the software starts … and to report the last five secondary
+//! GUIDs to the control plane upon login." A normal installation reports
+//! overlapping sequences (5 4 3 2 1, 6 5 4 3 2, …); rollbacks, restored
+//! backups, re-imaged café machines, and master-image cloning produce
+//! *branching* histories — 0.6 % of observed graphs.
+//!
+//! [`InstallationState`] is the client-side chain; [`AnomalyKind`] plus
+//! [`AnomalyPlan`] decide which installations misbehave and how, calibrated
+//! to the paper's pattern mix (46.2 % one long + one single-vertex branch,
+//! 6.2 % two long branches, 23.5 % several short/medium branches, the rest
+//! irregular).
+
+use netsession_core::id::SecondaryGuid;
+use netsession_core::rng::DetRng;
+
+/// How many secondary GUIDs a login report carries (§6.2: "the last five").
+pub const REPORT_LEN: usize = 5;
+
+/// The client-side secondary-GUID history of one installation state.
+#[derive(Clone, Debug, Default)]
+pub struct InstallationState {
+    history: Vec<SecondaryGuid>,
+}
+
+impl InstallationState {
+    /// Fresh installation with an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The software starts: draw a new secondary GUID and return the login
+    /// report (last five, newest first).
+    pub fn start(&mut self, rng: &mut DetRng) -> Vec<SecondaryGuid> {
+        self.history.push(SecondaryGuid::random(rng));
+        self.report()
+    }
+
+    /// The report a login would carry right now (newest first).
+    pub fn report(&self) -> Vec<SecondaryGuid> {
+        self.history
+            .iter()
+            .rev()
+            .take(REPORT_LEN)
+            .copied()
+            .collect()
+    }
+
+    /// Number of starts so far.
+    pub fn starts(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Roll the installation state back by `n` starts (failed software
+    /// update restored from the pre-update state).
+    pub fn rollback(&mut self, n: usize) {
+        let keep = self.history.len().saturating_sub(n);
+        self.history.truncate(keep);
+    }
+
+    /// Capture a snapshot (disk image / backup).
+    pub fn snapshot(&self) -> InstallationState {
+        self.clone()
+    }
+
+    /// Restore from a snapshot, discarding the current state.
+    pub fn restore(&mut self, snapshot: &InstallationState) {
+        self.history = snapshot.history.clone();
+    }
+}
+
+/// The §6.2 anomaly classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Normal installation: a pure linear chain.
+    None,
+    /// One failed software update rolled back after a single start —
+    /// produces one long branch plus a single-vertex short branch (the most
+    /// common nonlinear pattern, 46.2 %).
+    RollbackOnce,
+    /// A backup restored mid-month; both lines then evolve — two long
+    /// branches (6.2 %).
+    BackupRestore,
+    /// An Internet-café machine re-imaged nightly, or workstations cloned
+    /// from a master image — several short or medium branches (23.5 %).
+    ReImage,
+    /// Something stranger (multiple interacting restores) — the paper's
+    /// unexplained "highly irregular patterns".
+    Irregular,
+}
+
+/// Assigns anomaly kinds across a population of GUIDs so that the overall
+/// nonlinear fraction and the pattern mix match §6.2.
+#[derive(Clone, Debug)]
+pub struct AnomalyPlan {
+    /// Fraction of GUID graphs that end up nonlinear (paper: 0.006).
+    pub nonlinear_fraction: f64,
+    /// Mix over nonlinear kinds: (rollback, backup, reimage, irregular);
+    /// paper: 46.2 %, 6.2 %, 23.5 %, 24.1 %.
+    pub mix: [f64; 4],
+}
+
+impl Default for AnomalyPlan {
+    fn default() -> Self {
+        AnomalyPlan {
+            nonlinear_fraction: 0.006,
+            mix: [0.462, 0.062, 0.235, 0.241],
+        }
+    }
+}
+
+impl AnomalyPlan {
+    /// Draw the anomaly kind for one GUID.
+    pub fn sample(&self, rng: &mut DetRng) -> AnomalyKind {
+        if !rng.chance(self.nonlinear_fraction) {
+            return AnomalyKind::None;
+        }
+        match rng.weighted_index(&self.mix) {
+            0 => AnomalyKind::RollbackOnce,
+            1 => AnomalyKind::BackupRestore,
+            2 => AnomalyKind::ReImage,
+            _ => AnomalyKind::Irregular,
+        }
+    }
+}
+
+/// Generate the full month of login reports for one GUID with the given
+/// anomaly kind and roughly `starts` software starts. Returns one report
+/// per login, in order. This is what the simulation's login pipeline feeds
+/// to the control plane; the analytics reconstruct the chain graphs from
+/// exactly these reports.
+pub fn generate_reports(
+    kind: AnomalyKind,
+    starts: usize,
+    rng: &mut DetRng,
+) -> Vec<Vec<SecondaryGuid>> {
+    let starts = starts.max(3);
+    let mut reports = Vec::with_capacity(starts + 4);
+    let mut state = InstallationState::new();
+    match kind {
+        AnomalyKind::None => {
+            for _ in 0..starts {
+                reports.push(state.start(rng));
+            }
+        }
+        AnomalyKind::RollbackOnce => {
+            let fail_at = 1 + rng.index(starts - 1);
+            for i in 0..starts {
+                reports.push(state.start(rng));
+                if i == fail_at {
+                    // The update failed; the installer restored the
+                    // pre-update state, losing the most recent start.
+                    state.rollback(1);
+                }
+            }
+        }
+        AnomalyKind::BackupRestore => {
+            let snap_at = 1 + rng.index(starts / 2);
+            let restore_at = snap_at + 1 + rng.index(starts - snap_at - 1);
+            let mut snapshot = None;
+            for i in 0..starts {
+                reports.push(state.start(rng));
+                if i == snap_at {
+                    snapshot = Some(state.snapshot());
+                }
+                if i == restore_at {
+                    state.restore(snapshot.as_ref().unwrap());
+                }
+            }
+            // The restored line keeps evolving a while.
+            for _ in 0..(3 + rng.index(4)) {
+                reports.push(state.start(rng));
+            }
+        }
+        AnomalyKind::ReImage => {
+            // A master image taken early; several machines (or nightly
+            // resets) each boot from it and run a short while.
+            for _ in 0..(2 + rng.index(2)) {
+                reports.push(state.start(rng));
+            }
+            let image = state.snapshot();
+            let branches = 3 + rng.index(4);
+            for _ in 0..branches {
+                let mut machine = image.snapshot();
+                for _ in 0..(1 + rng.index(3)) {
+                    reports.push(machine.start(rng));
+                }
+            }
+        }
+        AnomalyKind::Irregular => {
+            // Nested snapshots and restores at random — the unexplained
+            // residue class.
+            let mut snaps: Vec<InstallationState> = Vec::new();
+            for _ in 0..(starts + 4) {
+                reports.push(state.start(rng));
+                if rng.chance(0.3) {
+                    snaps.push(state.snapshot());
+                }
+                if !snaps.is_empty() && rng.chance(0.35) {
+                    let s = snaps[rng.index(snaps.len())].clone();
+                    state.restore(&s);
+                }
+            }
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_chain_reports_overlap() {
+        let mut rng = DetRng::seeded(51);
+        let reports = generate_reports(AnomalyKind::None, 8, &mut rng);
+        assert_eq!(reports.len(), 8);
+        // Report i+1 shifted by one must overlap report i in 4 positions.
+        for w in reports.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            let overlap = b[1..].to_vec();
+            let expected: Vec<_> = a.iter().take(overlap.len()).copied().collect();
+            assert_eq!(overlap, expected, "consecutive reports must overlap");
+        }
+    }
+
+    #[test]
+    fn report_is_newest_first_and_capped_at_five() {
+        let mut rng = DetRng::seeded(52);
+        let mut st = InstallationState::new();
+        let mut last = None;
+        for i in 1..=9 {
+            let rep = st.start(&mut rng);
+            assert_eq!(rep.len(), i.min(REPORT_LEN));
+            if let Some(prev) = last {
+                assert_ne!(rep[0], prev, "fresh secondary GUID each start");
+            }
+            last = Some(rep[0]);
+        }
+    }
+
+    #[test]
+    fn rollback_reuses_earlier_prefix() {
+        let mut rng = DetRng::seeded(53);
+        let mut st = InstallationState::new();
+        st.start(&mut rng);
+        st.start(&mut rng);
+        let before = st.report();
+        st.start(&mut rng); // the failed-update start
+        st.rollback(1);
+        assert_eq!(st.report(), before, "rollback restores the prior state");
+        let after = st.start(&mut rng);
+        // The new start's parent equals the pre-update head: a fork.
+        assert_eq!(after[1], before[0]);
+    }
+
+    #[test]
+    fn anomaly_plan_mix_is_calibrated() {
+        let plan = AnomalyPlan::default();
+        let mut rng = DetRng::seeded(54);
+        let n = 400_000;
+        let mut nonlinear = 0usize;
+        let mut rollback = 0usize;
+        for _ in 0..n {
+            match plan.sample(&mut rng) {
+                AnomalyKind::None => {}
+                AnomalyKind::RollbackOnce => {
+                    nonlinear += 1;
+                    rollback += 1;
+                }
+                _ => nonlinear += 1,
+            }
+        }
+        let frac = nonlinear as f64 / n as f64;
+        assert!((0.004..0.008).contains(&frac), "nonlinear fraction {frac}");
+        let roll_share = rollback as f64 / nonlinear as f64;
+        assert!((0.40..0.53).contains(&roll_share), "rollback share {roll_share}");
+    }
+
+    #[test]
+    fn reimage_produces_shared_prefix_branches() {
+        let mut rng = DetRng::seeded(55);
+        let reports = generate_reports(AnomalyKind::ReImage, 6, &mut rng);
+        // Count distinct "first" GUIDs following the image point: multiple
+        // branches must re-report the image head as their parent.
+        let mut heads = std::collections::HashMap::new();
+        for r in &reports {
+            if r.len() >= 2 {
+                *heads.entry(r[1]).or_insert(0usize) += 1;
+            }
+        }
+        let max_children = heads.values().max().copied().unwrap_or(0);
+        assert!(
+            max_children >= 2,
+            "re-image must branch (max children {max_children})"
+        );
+    }
+
+    #[test]
+    fn generate_reports_minimum_three_starts() {
+        let mut rng = DetRng::seeded(56);
+        let r = generate_reports(AnomalyKind::None, 0, &mut rng);
+        assert!(r.len() >= 3);
+    }
+}

@@ -1,0 +1,294 @@
+//! Content providers ("customers").
+//!
+//! The paper anonymizes its ten largest content providers as Customers A–J
+//! and reports, for each: the regional distribution of their downloads
+//! (Table 2) and the fraction of their peers that have content uploads
+//! enabled (Table 4) — which is driven by which binary variant the customer
+//! bundles (§5.1). This module carries those calibrated profiles; the
+//! catalog and workload generators consume them.
+
+use netsession_core::id::CpCode;
+use netsession_core::policy::UploadDefault;
+use serde::{Deserialize, Serialize};
+
+/// What kind of content a provider predominantly distributes; drives the
+/// object-size mixture (§4.4: "a typical use case … was the distribution of
+/// software installers").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContentProfile {
+    /// Multi-GB game clients and patches — the flagship peer-assist case.
+    Games,
+    /// Application installers, hundreds of MB.
+    Software,
+    /// Mixed media and data files, mostly small.
+    Media,
+}
+
+/// A calibrated content-provider profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Customer {
+    /// Anonymized name, "A" through "J".
+    pub name: &'static str,
+    /// CP code used in logs.
+    pub cp: CpCode,
+    /// Share of total downloads attributable to this provider.
+    pub download_share: f64,
+    /// Share of the *peer population* that installed this provider's binary
+    /// (proxy: who acquired users).
+    pub install_share: f64,
+    /// Table 2 row: download shares over `geo::Region::ALL` (sums to ~1).
+    pub region_mix: [f64; 9],
+    /// Which binary variant this provider bundles (drives Table 4): the
+    /// fraction of its peers with uploads enabled equals this default's
+    /// adoption since users almost never change it (Table 3).
+    pub upload_default: UploadDefault,
+    /// Fraction of this provider's installs with uploads enabled — Table 4.
+    /// (Equals ~0 or ~1 for a pure default; middling values mean the
+    /// provider ships both variants across products.)
+    pub upload_enabled_fraction: f64,
+    /// Content profile, driving object sizes and p2p enablement.
+    pub profile: ContentProfile,
+}
+
+/// Table-2 row constructor (percentages, may sum slightly off 100 due to
+/// the paper's rounding; normalized at use).
+#[allow(clippy::too_many_arguments)] // one arg per Table-2 column, in order
+const fn mix(
+    us_east: f64,
+    us_west: f64,
+    other_am: f64,
+    india: f64,
+    china: f64,
+    other_asia: f64,
+    europe: f64,
+    africa: f64,
+    oceania: f64,
+) -> [f64; 9] {
+    [
+        us_east, us_west, other_am, india, china, other_asia, europe, africa, oceania,
+    ]
+}
+
+/// The ten largest content providers, calibrated to Tables 2 and 4.
+pub const CUSTOMERS: &[Customer] = &[
+    Customer {
+        name: "A",
+        cp: CpCode(101),
+        download_share: 0.18,
+        install_share: 0.18,
+        region_mix: mix(0.0, 0.0, 0.12, 0.06, 0.06, 0.18, 0.51, 0.04, 0.03),
+        upload_default: UploadDefault::Disabled,
+        upload_enabled_fraction: 0.005,
+        profile: ContentProfile::Software,
+    },
+    Customer {
+        name: "B",
+        cp: CpCode(102),
+        download_share: 0.07,
+        install_share: 0.07,
+        region_mix: mix(0.02, 0.01, 0.01, 0.11, 0.0, 0.61, 0.06, 0.17, 0.01),
+        upload_default: UploadDefault::Disabled,
+        upload_enabled_fraction: 0.20,
+        profile: ContentProfile::Software,
+    },
+    Customer {
+        name: "C",
+        cp: CpCode(103),
+        download_share: 0.09,
+        install_share: 0.09,
+        region_mix: mix(0.13, 0.06, 0.15, 0.01, 0.0, 0.08, 0.55, 0.01, 0.02),
+        upload_default: UploadDefault::Disabled,
+        upload_enabled_fraction: 0.02,
+        profile: ContentProfile::Media,
+    },
+    Customer {
+        name: "D",
+        cp: CpCode(104),
+        download_share: 0.15,
+        install_share: 0.15,
+        region_mix: mix(0.22, 0.21, 0.06, 0.0, 0.0, 0.03, 0.45, 0.0, 0.03),
+        upload_default: UploadDefault::Enabled,
+        upload_enabled_fraction: 0.94,
+        profile: ContentProfile::Games,
+    },
+    Customer {
+        name: "E",
+        cp: CpCode(105),
+        download_share: 0.08,
+        install_share: 0.08,
+        region_mix: mix(0.05, 0.03, 0.08, 0.02, 0.01, 0.29, 0.48, 0.02, 0.03),
+        upload_default: UploadDefault::Disabled,
+        upload_enabled_fraction: 0.02,
+        profile: ContentProfile::Software,
+    },
+    Customer {
+        name: "F",
+        cp: CpCode(106),
+        download_share: 0.03,
+        install_share: 0.03,
+        region_mix: mix(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0),
+        upload_default: UploadDefault::Enabled,
+        upload_enabled_fraction: 0.45,
+        profile: ContentProfile::Games,
+    },
+    Customer {
+        name: "G",
+        cp: CpCode(107),
+        download_share: 0.12,
+        install_share: 0.12,
+        region_mix: mix(0.08, 0.03, 0.12, 0.02, 0.08, 0.20, 0.45, 0.02, 0.02),
+        upload_default: UploadDefault::Enabled,
+        upload_enabled_fraction: 0.47,
+        profile: ContentProfile::Games,
+    },
+    Customer {
+        name: "H",
+        cp: CpCode(108),
+        download_share: 0.12,
+        install_share: 0.12,
+        region_mix: mix(0.06, 0.04, 0.07, 0.04, 0.02, 0.20, 0.53, 0.02, 0.02),
+        upload_default: UploadDefault::Disabled,
+        upload_enabled_fraction: 0.005,
+        profile: ContentProfile::Software,
+    },
+    Customer {
+        name: "I",
+        cp: CpCode(109),
+        download_share: 0.10,
+        install_share: 0.10,
+        region_mix: mix(0.05, 0.02, 0.18, 0.0, 0.0, 0.15, 0.57, 0.01, 0.01),
+        upload_default: UploadDefault::Enabled,
+        upload_enabled_fraction: 0.91,
+        profile: ContentProfile::Games,
+    },
+    Customer {
+        name: "J",
+        cp: CpCode(110),
+        download_share: 0.05,
+        install_share: 0.05,
+        region_mix: mix(0.42, 0.24, 0.14, 0.0, 0.0, 0.05, 0.11, 0.01, 0.03),
+        upload_default: UploadDefault::Disabled,
+        upload_enabled_fraction: 0.005,
+        profile: ContentProfile::Media,
+    },
+];
+
+/// Find a customer by name ("A" … "J").
+pub fn customer_by_name(name: &str) -> Option<&'static Customer> {
+    CUSTOMERS.iter().find(|c| c.name == name)
+}
+
+/// Find a customer by CP code.
+pub fn customer_by_cp(cp: CpCode) -> Option<&'static Customer> {
+    CUSTOMERS.iter().find(|c| c.cp == cp)
+}
+
+/// The "All customers" Table-2 row implied by the profiles: the
+/// download-share-weighted mixture of the per-customer rows.
+pub fn aggregate_region_mix() -> [f64; 9] {
+    let mut out = [0.0; 9];
+    let total: f64 = CUSTOMERS.iter().map(|c| c.download_share).sum();
+    for c in CUSTOMERS {
+        let row_sum: f64 = c.region_mix.iter().sum();
+        for (o, m) in out.iter_mut().zip(c.region_mix.iter()) {
+            *o += c.download_share / total * m / row_sum;
+        }
+    }
+    out
+}
+
+/// Expected system-wide uploads-enabled fraction implied by the profiles —
+/// should land near the paper's ~31 % (Table 3: 7.40 M of 23.3 M peers).
+pub fn expected_enabled_fraction() -> f64 {
+    let total: f64 = CUSTOMERS.iter().map(|c| c.install_share).sum();
+    CUSTOMERS
+        .iter()
+        .map(|c| c.install_share / total * c.upload_enabled_fraction)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::Region;
+
+    #[test]
+    fn ten_customers_with_unique_identity() {
+        assert_eq!(CUSTOMERS.len(), 10);
+        let mut names: Vec<_> = CUSTOMERS.iter().map(|c| c.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+        for (i, c) in CUSTOMERS.iter().enumerate() {
+            assert_eq!(c.name.as_bytes()[0], b'A' + i as u8);
+        }
+    }
+
+    #[test]
+    fn region_mixes_are_normalized_distributions() {
+        for c in CUSTOMERS {
+            let sum: f64 = c.region_mix.iter().sum();
+            assert!(
+                (0.95..=1.05).contains(&sum),
+                "customer {} mix sums to {sum}",
+                c.name
+            );
+            assert!(c.region_mix.iter().all(|m| *m >= 0.0));
+        }
+    }
+
+    #[test]
+    fn download_shares_form_a_distribution() {
+        let sum: f64 = CUSTOMERS.iter().map(|c| c.download_share).sum();
+        assert!((0.98..=1.02).contains(&sum), "shares sum {sum}");
+    }
+
+    /// Table 4 spot checks: D and I ship uploads-on binaries, A/H/J ship
+    /// uploads-off.
+    #[test]
+    fn table4_profile_spot_checks() {
+        assert!(customer_by_name("D").unwrap().upload_enabled_fraction > 0.9);
+        assert!(customer_by_name("I").unwrap().upload_enabled_fraction > 0.9);
+        assert!(customer_by_name("A").unwrap().upload_enabled_fraction < 0.01);
+        assert!(customer_by_name("J").unwrap().upload_enabled_fraction < 0.01);
+        assert_eq!(
+            customer_by_name("D").unwrap().upload_default,
+            UploadDefault::Enabled
+        );
+    }
+
+    /// §5.1: "About 31 % of the peers have uploading enabled."
+    #[test]
+    fn implied_global_enabled_fraction_matches_paper() {
+        let f = expected_enabled_fraction();
+        assert!((0.27..0.36).contains(&f), "enabled fraction {f}");
+    }
+
+    /// The aggregate row must be close to Table 2's "All customers":
+    /// 7/4/11/3/2/20/46/4/2 (%).
+    #[test]
+    fn aggregate_mix_matches_all_customers_row() {
+        let agg = aggregate_region_mix();
+        let paper = [0.07, 0.04, 0.11, 0.03, 0.02, 0.20, 0.46, 0.04, 0.02];
+        for (i, (got, want)) in agg.iter().zip(paper.iter()).enumerate() {
+            assert!(
+                (got - want).abs() < 0.045,
+                "region {:?}: got {got:.3}, paper {want}",
+                Region::ALL[i]
+            );
+        }
+    }
+
+    #[test]
+    fn lookups_work() {
+        assert_eq!(customer_by_name("F").unwrap().cp, CpCode(106));
+        assert_eq!(customer_by_cp(CpCode(109)).unwrap().name, "I");
+        assert!(customer_by_name("Z").is_none());
+    }
+
+    #[test]
+    fn customer_f_is_europe_only() {
+        let f = customer_by_name("F").unwrap();
+        assert_eq!(f.region_mix[Region::Europe.index()], 1.0);
+        assert_eq!(f.region_mix.iter().sum::<f64>(), 1.0);
+    }
+}

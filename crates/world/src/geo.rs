@@ -1,0 +1,820 @@
+//! Geography: regions, countries, cities.
+//!
+//! The paper's analyses use three geographic granularities: the nine
+//! regions of Table 2 (US East, US West, Other Americas, India, China,
+//! Other Asia, Europe, Africa, Oceania), ISO country codes (239 observed),
+//! and EdgeScape city-level locations with latitude/longitude (34,383
+//! distinct locations). This module carries a compact static gazetteer —
+//! enough countries and cities to make every per-region and per-country
+//! analysis meaningful — with peer-population weights calibrated to §4.2
+//! ("most of the peers are located in North America (27 %) and Europe
+//! (35 %), but there are also sizable groups … in South America and Asia").
+
+use serde::{Deserialize, Serialize};
+
+/// The nine regions of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// United States, east of roughly -100° longitude.
+    UsEast,
+    /// United States, west.
+    UsWest,
+    /// The Americas outside the US.
+    OtherAmericas,
+    /// India.
+    India,
+    /// China.
+    China,
+    /// Asia except India and China (incl. the Middle East, per the paper's
+    /// coarse bucketing).
+    OtherAsia,
+    /// Europe (incl. Russia and Turkey, the usual EdgeScape convention).
+    Europe,
+    /// Africa.
+    Africa,
+    /// Oceania.
+    Oceania,
+}
+
+impl Region {
+    /// All regions in Table 2 column order.
+    pub const ALL: [Region; 9] = [
+        Region::UsEast,
+        Region::UsWest,
+        Region::OtherAmericas,
+        Region::India,
+        Region::China,
+        Region::OtherAsia,
+        Region::Europe,
+        Region::Africa,
+        Region::Oceania,
+    ];
+
+    /// Table-2 column header.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::UsEast => "US East",
+            Region::UsWest => "US West",
+            Region::OtherAmericas => "Other Americas",
+            Region::India => "India",
+            Region::China => "China",
+            Region::OtherAsia => "Other Asia",
+            Region::Europe => "Europe",
+            Region::Africa => "Africa",
+            Region::Oceania => "Oceania",
+        }
+    }
+
+    /// Dense index (matches [`Region::ALL`] order).
+    pub fn index(self) -> usize {
+        Region::ALL.iter().position(|r| *r == self).unwrap()
+    }
+}
+
+/// A city with coordinates. Location granularity mirrors EdgeScape's
+/// city/suburb level (§4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct City {
+    /// City name.
+    pub name: &'static str,
+    /// Latitude, degrees.
+    pub lat: f64,
+    /// Longitude, degrees.
+    pub lon: f64,
+    /// Relative population weight within its country.
+    pub weight: f64,
+}
+
+/// A country entry in the gazetteer.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct Country {
+    /// ISO 3166 alpha-2 code.
+    pub iso: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Table-2 region. For the US this is refined per-city (east/west).
+    pub region: Region,
+    /// Timezone as a GMT offset in hours (coarse; per-country).
+    pub tz_offset: i32,
+    /// Share of the global peer population located here (weights need not
+    /// sum to 1; they are normalized at use).
+    pub peer_weight: f64,
+    /// Cities peers can be located in.
+    pub cities: &'static [City],
+}
+
+macro_rules! city {
+    ($name:expr, $lat:expr, $lon:expr, $w:expr) => {
+        City {
+            name: $name,
+            lat: $lat,
+            lon: $lon,
+            weight: $w,
+        }
+    };
+}
+
+/// The static gazetteer. Weights are calibrated so the continental shares
+/// match §4.2 (see `continental_shares` test).
+pub const WORLD_COUNTRIES: &[Country] = &[
+    // ---- North America: ~27% together with Canada/Mexico in OtherAmericas.
+    Country {
+        iso: "US",
+        name: "United States",
+        region: Region::UsEast, // refined per-city via `us_city_region`
+        tz_offset: -5,
+        peer_weight: 20.0,
+        cities: &[
+            city!("New York", 40.71, -74.01, 3.0),
+            city!("Philadelphia", 39.95, -75.16, 1.2),
+            city!("Boston", 42.36, -71.06, 1.0),
+            city!("Atlanta", 33.75, -84.39, 1.2),
+            city!("Miami", 25.76, -80.19, 1.0),
+            city!("Chicago", 41.88, -87.63, 1.6),
+            city!("Dallas", 32.78, -96.80, 1.3),
+            city!("Houston", 29.76, -95.37, 1.2),
+            city!("Seattle", 47.61, -122.33, 1.0),
+            city!("San Francisco", 37.77, -122.42, 1.2),
+            city!("Los Angeles", 34.05, -118.24, 2.2),
+            city!("Denver", 39.74, -104.99, 0.8),
+            city!("Phoenix", 33.45, -112.07, 0.8),
+        ],
+    },
+    Country {
+        iso: "CA",
+        name: "Canada",
+        region: Region::OtherAmericas,
+        tz_offset: -5,
+        peer_weight: 2.6,
+        cities: &[
+            city!("Toronto", 43.65, -79.38, 2.0),
+            city!("Montreal", 45.50, -73.57, 1.2),
+            city!("Vancouver", 49.28, -123.12, 1.0),
+        ],
+    },
+    Country {
+        iso: "MX",
+        name: "Mexico",
+        region: Region::OtherAmericas,
+        tz_offset: -6,
+        peer_weight: 1.8,
+        cities: &[
+            city!("Mexico City", 19.43, -99.13, 2.0),
+            city!("Guadalajara", 20.66, -103.35, 1.0),
+            city!("Monterrey", 25.69, -100.32, 0.8),
+        ],
+    },
+    // ---- South America.
+    Country {
+        iso: "BR",
+        name: "Brazil",
+        region: Region::OtherAmericas,
+        tz_offset: -3,
+        peer_weight: 4.2,
+        cities: &[
+            city!("Sao Paulo", -23.55, -46.63, 2.5),
+            city!("Rio de Janeiro", -22.91, -43.17, 1.5),
+            city!("Brasilia", -15.79, -47.88, 0.8),
+            city!("Porto Alegre", -30.03, -51.22, 0.7),
+        ],
+    },
+    Country {
+        iso: "AR",
+        name: "Argentina",
+        region: Region::OtherAmericas,
+        tz_offset: -3,
+        peer_weight: 1.4,
+        cities: &[
+            city!("Buenos Aires", -34.60, -58.38, 2.0),
+            city!("Cordoba", -31.42, -64.18, 0.8),
+        ],
+    },
+    Country {
+        iso: "CL",
+        name: "Chile",
+        region: Region::OtherAmericas,
+        tz_offset: -4,
+        peer_weight: 0.7,
+        cities: &[city!("Santiago", -33.45, -70.67, 1.0)],
+    },
+    Country {
+        iso: "CO",
+        name: "Colombia",
+        region: Region::OtherAmericas,
+        tz_offset: -5,
+        peer_weight: 0.9,
+        cities: &[
+            city!("Bogota", 4.71, -74.07, 1.5),
+            city!("Medellin", 6.24, -75.58, 0.8),
+        ],
+    },
+    Country {
+        iso: "PE",
+        name: "Peru",
+        region: Region::OtherAmericas,
+        tz_offset: -5,
+        peer_weight: 0.5,
+        cities: &[city!("Lima", -12.05, -77.04, 1.0)],
+    },
+    // ---- Europe: ~35%.
+    Country {
+        iso: "DE",
+        name: "Germany",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 4.6,
+        cities: &[
+            city!("Berlin", 52.52, 13.40, 1.5),
+            city!("Munich", 48.14, 11.58, 1.1),
+            city!("Hamburg", 53.55, 9.99, 0.9),
+            city!("Frankfurt", 50.11, 8.68, 0.9),
+        ],
+    },
+    Country {
+        iso: "FR",
+        name: "France",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 3.9,
+        cities: &[
+            city!("Paris", 48.86, 2.35, 2.2),
+            city!("Lyon", 45.76, 4.84, 0.8),
+            city!("Marseille", 43.30, 5.37, 0.7),
+        ],
+    },
+    Country {
+        iso: "GB",
+        name: "United Kingdom",
+        region: Region::Europe,
+        tz_offset: 0,
+        peer_weight: 3.9,
+        cities: &[
+            city!("London", 51.51, -0.13, 2.5),
+            city!("Manchester", 53.48, -2.24, 0.9),
+            city!("Glasgow", 55.86, -4.25, 0.6),
+        ],
+    },
+    Country {
+        iso: "IT",
+        name: "Italy",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 2.7,
+        cities: &[
+            city!("Rome", 41.90, 12.50, 1.4),
+            city!("Milan", 45.46, 9.19, 1.2),
+            city!("Naples", 40.85, 14.27, 0.7),
+        ],
+    },
+    Country {
+        iso: "ES",
+        name: "Spain",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 2.4,
+        cities: &[
+            city!("Madrid", 40.42, -3.70, 1.5),
+            city!("Barcelona", 41.39, 2.17, 1.2),
+            city!("Valencia", 39.47, -0.38, 0.6),
+        ],
+    },
+    Country {
+        iso: "PL",
+        name: "Poland",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 2.1,
+        cities: &[
+            city!("Warsaw", 52.23, 21.01, 1.4),
+            city!("Krakow", 50.06, 19.94, 0.8),
+            city!("Wroclaw", 51.11, 17.03, 0.6),
+        ],
+    },
+    Country {
+        iso: "NL",
+        name: "Netherlands",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 1.3,
+        cities: &[
+            city!("Amsterdam", 52.37, 4.90, 1.2),
+            city!("Rotterdam", 51.92, 4.48, 0.7),
+        ],
+    },
+    Country {
+        iso: "SE",
+        name: "Sweden",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 1.0,
+        cities: &[
+            city!("Stockholm", 59.33, 18.07, 1.2),
+            city!("Gothenburg", 57.71, 11.97, 0.6),
+        ],
+    },
+    Country {
+        iso: "NO",
+        name: "Norway",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 0.6,
+        cities: &[city!("Oslo", 59.91, 10.75, 1.0)],
+    },
+    Country {
+        iso: "FI",
+        name: "Finland",
+        region: Region::Europe,
+        tz_offset: 2,
+        peer_weight: 0.6,
+        cities: &[city!("Helsinki", 60.17, 24.94, 1.0)],
+    },
+    Country {
+        iso: "DK",
+        name: "Denmark",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 0.6,
+        cities: &[city!("Copenhagen", 55.68, 12.57, 1.0)],
+    },
+    Country {
+        iso: "BE",
+        name: "Belgium",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 0.8,
+        cities: &[city!("Brussels", 50.85, 4.35, 1.0)],
+    },
+    Country {
+        iso: "CH",
+        name: "Switzerland",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 0.7,
+        cities: &[
+            city!("Zurich", 47.38, 8.54, 1.0),
+            city!("Geneva", 46.20, 6.14, 0.6),
+        ],
+    },
+    Country {
+        iso: "AT",
+        name: "Austria",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 0.7,
+        cities: &[city!("Vienna", 48.21, 16.37, 1.0)],
+    },
+    Country {
+        iso: "CZ",
+        name: "Czechia",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 0.8,
+        cities: &[city!("Prague", 50.08, 14.44, 1.0)],
+    },
+    Country {
+        iso: "PT",
+        name: "Portugal",
+        region: Region::Europe,
+        tz_offset: 0,
+        peer_weight: 0.8,
+        cities: &[
+            city!("Lisbon", 38.72, -9.14, 1.0),
+            city!("Porto", 41.15, -8.61, 0.6),
+        ],
+    },
+    Country {
+        iso: "GR",
+        name: "Greece",
+        region: Region::Europe,
+        tz_offset: 2,
+        peer_weight: 0.7,
+        cities: &[city!("Athens", 37.98, 23.73, 1.0)],
+    },
+    Country {
+        iso: "RO",
+        name: "Romania",
+        region: Region::Europe,
+        tz_offset: 2,
+        peer_weight: 0.9,
+        cities: &[city!("Bucharest", 44.43, 26.10, 1.0)],
+    },
+    Country {
+        iso: "HU",
+        name: "Hungary",
+        region: Region::Europe,
+        tz_offset: 1,
+        peer_weight: 0.6,
+        cities: &[city!("Budapest", 47.50, 19.04, 1.0)],
+    },
+    Country {
+        iso: "UA",
+        name: "Ukraine",
+        region: Region::Europe,
+        tz_offset: 2,
+        peer_weight: 0.9,
+        cities: &[
+            city!("Kyiv", 50.45, 30.52, 1.2),
+            city!("Kharkiv", 49.99, 36.23, 0.6),
+        ],
+    },
+    Country {
+        iso: "RU",
+        name: "Russia",
+        region: Region::Europe,
+        tz_offset: 3,
+        peer_weight: 2.4,
+        cities: &[
+            city!("Moscow", 55.76, 37.62, 2.0),
+            city!("Saint Petersburg", 59.93, 30.36, 1.0),
+            city!("Novosibirsk", 55.03, 82.92, 0.5),
+        ],
+    },
+    Country {
+        iso: "TR",
+        name: "Turkey",
+        region: Region::Europe,
+        tz_offset: 3,
+        peer_weight: 1.2,
+        cities: &[
+            city!("Istanbul", 41.01, 28.98, 1.6),
+            city!("Ankara", 39.93, 32.86, 0.7),
+        ],
+    },
+    // ---- Asia.
+    Country {
+        iso: "IN",
+        name: "India",
+        region: Region::India,
+        tz_offset: 5, // coarse (IST is +5:30)
+        peer_weight: 3.2,
+        cities: &[
+            city!("Mumbai", 19.08, 72.88, 1.6),
+            city!("Delhi", 28.61, 77.21, 1.5),
+            city!("Bangalore", 12.97, 77.59, 1.2),
+            city!("Chennai", 13.08, 80.27, 0.8),
+        ],
+    },
+    Country {
+        iso: "CN",
+        name: "China",
+        region: Region::China,
+        tz_offset: 8,
+        peer_weight: 2.2,
+        cities: &[
+            city!("Beijing", 39.90, 116.41, 1.5),
+            city!("Shanghai", 31.23, 121.47, 1.5),
+            city!("Guangzhou", 23.13, 113.26, 1.0),
+        ],
+    },
+    Country {
+        iso: "JP",
+        name: "Japan",
+        region: Region::OtherAsia,
+        tz_offset: 9,
+        peer_weight: 2.8,
+        cities: &[
+            city!("Tokyo", 35.68, 139.69, 2.2),
+            city!("Osaka", 34.69, 135.50, 1.0),
+            city!("Nagoya", 35.18, 136.91, 0.6),
+        ],
+    },
+    Country {
+        iso: "KR",
+        name: "South Korea",
+        region: Region::OtherAsia,
+        tz_offset: 9,
+        peer_weight: 1.7,
+        cities: &[
+            city!("Seoul", 37.57, 126.98, 1.8),
+            city!("Busan", 35.18, 129.08, 0.7),
+        ],
+    },
+    Country {
+        iso: "TW",
+        name: "Taiwan",
+        region: Region::OtherAsia,
+        tz_offset: 8,
+        peer_weight: 1.2,
+        cities: &[city!("Taipei", 25.03, 121.57, 1.0)],
+    },
+    Country {
+        iso: "ID",
+        name: "Indonesia",
+        region: Region::OtherAsia,
+        tz_offset: 7,
+        peer_weight: 1.3,
+        cities: &[
+            city!("Jakarta", -6.21, 106.85, 1.5),
+            city!("Surabaya", -7.26, 112.75, 0.6),
+        ],
+    },
+    Country {
+        iso: "TH",
+        name: "Thailand",
+        region: Region::OtherAsia,
+        tz_offset: 7,
+        peer_weight: 1.0,
+        cities: &[city!("Bangkok", 13.76, 100.50, 1.0)],
+    },
+    Country {
+        iso: "VN",
+        name: "Vietnam",
+        region: Region::OtherAsia,
+        tz_offset: 7,
+        peer_weight: 0.9,
+        cities: &[
+            city!("Hanoi", 21.03, 105.85, 0.9),
+            city!("Ho Chi Minh City", 10.82, 106.63, 1.0),
+        ],
+    },
+    Country {
+        iso: "PH",
+        name: "Philippines",
+        region: Region::OtherAsia,
+        tz_offset: 8,
+        peer_weight: 0.9,
+        cities: &[city!("Manila", 14.60, 120.98, 1.0)],
+    },
+    Country {
+        iso: "MY",
+        name: "Malaysia",
+        region: Region::OtherAsia,
+        tz_offset: 8,
+        peer_weight: 0.8,
+        cities: &[city!("Kuala Lumpur", 3.139, 101.69, 1.0)],
+    },
+    Country {
+        iso: "SG",
+        name: "Singapore",
+        region: Region::OtherAsia,
+        tz_offset: 8,
+        peer_weight: 0.5,
+        cities: &[city!("Singapore", 1.35, 103.82, 1.0)],
+    },
+    Country {
+        iso: "PK",
+        name: "Pakistan",
+        region: Region::OtherAsia,
+        tz_offset: 5,
+        peer_weight: 0.6,
+        cities: &[
+            city!("Karachi", 24.86, 67.01, 1.0),
+            city!("Lahore", 31.55, 74.34, 0.8),
+        ],
+    },
+    Country {
+        iso: "BD",
+        name: "Bangladesh",
+        region: Region::OtherAsia,
+        tz_offset: 6,
+        peer_weight: 0.4,
+        cities: &[city!("Dhaka", 23.81, 90.41, 1.0)],
+    },
+    Country {
+        iso: "SA",
+        name: "Saudi Arabia",
+        region: Region::OtherAsia,
+        tz_offset: 3,
+        peer_weight: 0.7,
+        cities: &[
+            city!("Riyadh", 24.71, 46.68, 1.0),
+            city!("Jeddah", 21.49, 39.19, 0.7),
+        ],
+    },
+    Country {
+        iso: "AE",
+        name: "United Arab Emirates",
+        region: Region::OtherAsia,
+        tz_offset: 4,
+        peer_weight: 0.5,
+        cities: &[city!("Dubai", 25.20, 55.27, 1.0)],
+    },
+    Country {
+        iso: "IL",
+        name: "Israel",
+        region: Region::OtherAsia,
+        tz_offset: 2,
+        peer_weight: 0.6,
+        cities: &[city!("Tel Aviv", 32.09, 34.78, 1.0)],
+    },
+    // ---- Africa.
+    Country {
+        iso: "EG",
+        name: "Egypt",
+        region: Region::Africa,
+        tz_offset: 2,
+        peer_weight: 0.9,
+        cities: &[
+            city!("Cairo", 30.04, 31.24, 1.4),
+            city!("Alexandria", 31.20, 29.92, 0.6),
+        ],
+    },
+    Country {
+        iso: "ZA",
+        name: "South Africa",
+        region: Region::Africa,
+        tz_offset: 2,
+        peer_weight: 0.8,
+        cities: &[
+            city!("Johannesburg", -26.20, 28.05, 1.2),
+            city!("Cape Town", -33.92, 18.42, 0.8),
+        ],
+    },
+    Country {
+        iso: "NG",
+        name: "Nigeria",
+        region: Region::Africa,
+        tz_offset: 1,
+        peer_weight: 0.6,
+        cities: &[city!("Lagos", 6.52, 3.38, 1.0)],
+    },
+    Country {
+        iso: "MA",
+        name: "Morocco",
+        region: Region::Africa,
+        tz_offset: 0,
+        peer_weight: 0.5,
+        cities: &[city!("Casablanca", 33.57, -7.59, 1.0)],
+    },
+    Country {
+        iso: "KE",
+        name: "Kenya",
+        region: Region::Africa,
+        tz_offset: 3,
+        peer_weight: 0.3,
+        cities: &[city!("Nairobi", -1.29, 36.82, 1.0)],
+    },
+    Country {
+        iso: "DZ",
+        name: "Algeria",
+        region: Region::Africa,
+        tz_offset: 1,
+        peer_weight: 0.4,
+        cities: &[city!("Algiers", 36.75, 3.06, 1.0)],
+    },
+    // ---- Oceania.
+    Country {
+        iso: "AU",
+        name: "Australia",
+        region: Region::Oceania,
+        tz_offset: 10,
+        peer_weight: 1.8,
+        cities: &[
+            city!("Sydney", -33.87, 151.21, 1.4),
+            city!("Melbourne", -37.81, 144.96, 1.2),
+            city!("Brisbane", -27.47, 153.03, 0.7),
+            city!("Perth", -31.95, 115.86, 0.5),
+        ],
+    },
+    Country {
+        iso: "NZ",
+        name: "New Zealand",
+        region: Region::Oceania,
+        tz_offset: 12,
+        peer_weight: 0.4,
+        cities: &[
+            city!("Auckland", -36.85, 174.76, 1.0),
+            city!("Wellington", -41.29, 174.78, 0.5),
+        ],
+    },
+];
+
+/// Refine a US city into the Table-2 east/west split (the paper separates
+/// "US East" and "US West"; we split at −100° longitude).
+pub fn us_city_region(city: &City) -> Region {
+    if city.lon > -100.0 {
+        Region::UsEast
+    } else {
+        Region::UsWest
+    }
+}
+
+/// The Table-2 region of a (country, city) pair.
+pub fn region_of(country: &Country, city: &City) -> Region {
+    if country.iso == "US" {
+        us_city_region(city)
+    } else {
+        country.region
+    }
+}
+
+/// Continent buckets used in §4.2's "bubble plot" summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Continent {
+    /// North America (US, CA, MX).
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// Africa.
+    Africa,
+    /// Oceania.
+    Oceania,
+}
+
+/// Continent of a country (coarse, by ISO code).
+pub fn continent_of(iso: &str) -> Continent {
+    match iso {
+        "US" | "CA" | "MX" => Continent::NorthAmerica,
+        "BR" | "AR" | "CL" | "CO" | "PE" => Continent::SouthAmerica,
+        "IN" | "CN" | "JP" | "KR" | "TW" | "ID" | "TH" | "VN" | "PH" | "MY" | "SG" | "PK"
+        | "BD" | "SA" | "AE" | "IL" => Continent::Asia,
+        "EG" | "ZA" | "NG" | "MA" | "KE" | "DZ" => Continent::Africa,
+        "AU" | "NZ" => Continent::Oceania,
+        _ => Continent::Europe,
+    }
+}
+
+/// Look up a country by ISO code.
+pub fn country_by_iso(iso: &str) -> Option<&'static Country> {
+    WORLD_COUNTRIES.iter().find(|c| c.iso == iso)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn gazetteer_is_well_formed() {
+        assert!(WORLD_COUNTRIES.len() >= 45, "need a rich gazetteer");
+        let mut seen = std::collections::HashSet::new();
+        for c in WORLD_COUNTRIES {
+            assert!(seen.insert(c.iso), "duplicate iso {}", c.iso);
+            assert!(!c.cities.is_empty(), "{} has no cities", c.iso);
+            assert!(c.peer_weight > 0.0);
+            assert!((-12..=13).contains(&c.tz_offset), "{} tz", c.iso);
+            for city in c.cities {
+                assert!((-90.0..=90.0).contains(&city.lat), "{} lat", city.name);
+                assert!((-180.0..=180.0).contains(&city.lon), "{} lon", city.name);
+                assert!(city.weight > 0.0);
+            }
+        }
+    }
+
+    /// §4.2: North America ~27 %, Europe ~35 %. Our calibration must land
+    /// within a few points of the paper.
+    #[test]
+    fn continental_shares_match_the_paper() {
+        let total: f64 = WORLD_COUNTRIES.iter().map(|c| c.peer_weight).sum();
+        let mut shares: HashMap<Continent, f64> = HashMap::new();
+        for c in WORLD_COUNTRIES {
+            *shares.entry(continent_of(c.iso)).or_default() += c.peer_weight / total;
+        }
+        let na = shares[&Continent::NorthAmerica];
+        let eu = shares[&Continent::Europe];
+        assert!((0.23..0.31).contains(&na), "North America share {na}");
+        assert!((0.31..0.39).contains(&eu), "Europe share {eu}");
+        // Sizable groups in South America and Asia (§4.2).
+        assert!(shares[&Continent::SouthAmerica] > 0.04);
+        assert!(shares[&Continent::Asia] > 0.12);
+    }
+
+    #[test]
+    fn us_split_is_sensible() {
+        let us = country_by_iso("US").unwrap();
+        let east = us
+            .cities
+            .iter()
+            .filter(|c| us_city_region(c) == Region::UsEast)
+            .count();
+        let west = us.cities.len() - east;
+        assert!(east >= 5 && west >= 3, "east {east} west {west}");
+        // Spot checks.
+        let ny = us.cities.iter().find(|c| c.name == "New York").unwrap();
+        let la = us.cities.iter().find(|c| c.name == "Los Angeles").unwrap();
+        assert_eq!(us_city_region(ny), Region::UsEast);
+        assert_eq!(us_city_region(la), Region::UsWest);
+    }
+
+    #[test]
+    fn region_of_non_us_is_country_region() {
+        let de = country_by_iso("DE").unwrap();
+        assert_eq!(region_of(de, &de.cities[0]), Region::Europe);
+        let cn = country_by_iso("CN").unwrap();
+        assert_eq!(region_of(cn, &cn.cities[0]), Region::China);
+    }
+
+    #[test]
+    fn every_region_is_populated() {
+        let mut counts = [0usize; 9];
+        for c in WORLD_COUNTRIES {
+            for city in c.cities {
+                counts[region_of(c, city).index()] += 1;
+            }
+        }
+        for (i, n) in counts.iter().enumerate() {
+            assert!(*n > 0, "region {:?} empty", Region::ALL[i]);
+        }
+    }
+
+    #[test]
+    fn region_labels_match_table2() {
+        assert_eq!(Region::UsEast.label(), "US East");
+        assert_eq!(Region::OtherAsia.label(), "Other Asia");
+        assert_eq!(Region::ALL.len(), 9);
+    }
+}

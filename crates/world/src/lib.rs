@@ -1,0 +1,47 @@
+//! # netsession-world
+//!
+//! Synthetic world and workload generator — the substitute for the paper's
+//! production trace (25.9 M GUIDs, October 2012; see DESIGN.md).
+//!
+//! Everything the measurement study depends on is generated here from a
+//! single seed, with parameters calibrated to the aggregates the paper
+//! publishes:
+//!
+//! * [`geo`] — continents, the nine Table-2 regions, ~50 countries with
+//!   cities, timezones, and peer-population weights (27 % North America,
+//!   35 % Europe, …, §4.2).
+//! * [`asn`] — autonomous systems per country with heavy-tailed peer
+//!   populations and per-AS access-link profiles (Fig 9c's "heavy uploaders
+//!   simply contain a lot more peers").
+//! * [`customers`] — content providers A–J with their regional download
+//!   mixes (Table 2) and upload-default choices (Table 4).
+//! * [`catalog`] — the object catalog: sizes (Fig 3a's mixture), Zipf
+//!   popularity (Fig 3b), and per-object policies (p2p on 1.7 % of files,
+//!   §5.1).
+//! * [`population`] — the peer population: GUIDs, locations, ASes, NAT
+//!   types, asymmetric link speeds, upload-enable settings, online
+//!   schedules.
+//! * [`workload`] — diurnally modulated request arrivals (Fig 3c).
+//! * [`behaviour`] — the user model: pause/abort hazards that grow with
+//!   download duration (Fig 7), rare setting changes (Table 3), disk-full
+//!   failures (§5.2).
+//! * [`mobility`] — login-location processes reproducing §6.2's mobility
+//!   mix (80.6 % single-AS GUIDs, 77 % within 10 km).
+//! * [`cloning`] — cloned and re-imaged installations that share a GUID and
+//!   produce the §6.2 secondary-GUID branching patterns.
+
+pub mod asn;
+pub mod behaviour;
+pub mod catalog;
+pub mod cloning;
+pub mod customers;
+pub mod geo;
+pub mod mobility;
+pub mod population;
+pub mod workload;
+
+pub use catalog::{Catalog, ObjectSpec};
+pub use customers::{Customer, CUSTOMERS};
+pub use geo::{City, Country, Region, WORLD_COUNTRIES};
+pub use population::{PeerSpec, Population, PopulationConfig};
+pub use workload::{Request, Workload, WorkloadConfig};

@@ -1,0 +1,84 @@
+//! Property-based tests for the world generator.
+
+use netsession_core::rng::DetRng;
+use netsession_core::time::TRACE_MONTH;
+use netsession_world::catalog::Catalog;
+use netsession_world::geo::WORLD_COUNTRIES;
+use netsession_world::population::{Population, PopulationConfig};
+use netsession_world::workload::{Workload, WorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Population generation never panics and produces structurally valid
+    /// peers at any size/seed.
+    #[test]
+    fn population_is_structurally_valid(
+        peers in 50usize..2000,
+        ases in 50usize..300,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::seeded(seed);
+        let pop = Population::generate(
+            &PopulationConfig { peers, ases, ..PopulationConfig::default() },
+            &mut rng,
+        );
+        prop_assert_eq!(pop.len(), peers);
+        for p in &pop.peers {
+            prop_assert!(p.country < WORLD_COUNTRIES.len());
+            prop_assert!(p.city < WORLD_COUNTRIES[p.country].cities.len());
+            prop_assert!(p.as_index < pop.as_model.len());
+            prop_assert!(p.up.bytes_per_sec() > 0.0);
+            prop_assert!(p.down.bytes_per_sec() > 0.0);
+            prop_assert!((0.0..24.0).contains(&p.online_start_hour));
+        }
+        // Regional index lists partition the population.
+        let total: usize = pop.by_region.iter().map(|v| v.len()).sum();
+        prop_assert_eq!(total, peers);
+    }
+
+    /// Catalog invariants at any scale: dense ids, positive sizes,
+    /// p2p-enabled files rare.
+    #[test]
+    fn catalog_is_structurally_valid(objects in 100usize..3000, seed in any::<u64>()) {
+        let mut rng = DetRng::seeded(seed);
+        let cat = Catalog::generate(objects, &mut rng);
+        for (i, o) in cat.objects().iter().enumerate() {
+            prop_assert_eq!(o.id.0 as usize, i);
+            prop_assert!(o.size.bytes() > 0);
+            prop_assert!(o.popularity > 0.0);
+            if o.policy.p2p_enabled {
+                prop_assert!(o.policy.upload_allowed);
+            }
+        }
+        prop_assert!(cat.p2p_file_fraction() < 0.10);
+    }
+
+    /// Workload requests always land inside the trace month, sorted, with
+    /// valid peer/object references.
+    #[test]
+    fn workload_requests_are_valid(downloads in 100usize..2000, seed in any::<u64>()) {
+        let mut rng = DetRng::seeded(seed);
+        let pop = Population::generate(
+            &PopulationConfig { peers: 500, ases: 60, ..PopulationConfig::default() },
+            &mut rng,
+        );
+        let cat = Catalog::generate(300, &mut rng);
+        let wl = Workload::generate(
+            &WorkloadConfig { downloads, ..WorkloadConfig::default() },
+            &pop,
+            &cat,
+            &mut rng,
+        );
+        prop_assert_eq!(wl.len(), downloads);
+        let mut prev = netsession_core::time::SimTime::ZERO;
+        for r in &wl.requests {
+            prop_assert!(r.at >= prev);
+            prop_assert!(r.at.as_micros() < TRACE_MONTH.as_micros());
+            prop_assert!((r.peer.0 as usize) < pop.len());
+            prop_assert!((r.object.0 as usize) < cat.len());
+            prev = r.at;
+        }
+    }
+}

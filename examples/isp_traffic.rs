@@ -1,0 +1,65 @@
+//! Do ISPs suffer from NetSession? (§6.1)
+//!
+//! Runs the month, builds the AS-level traffic matrix, and prints the
+//! paper's three balance findings: the intra-AS share, the heavy/light
+//! uploader split, and the balance of the heavy uploaders.
+//!
+//! Run with: `cargo run --release --example isp_traffic`
+
+use netsession::analytics::astraffic;
+use netsession::hybrid::{HybridSim, ScenarioConfig};
+use netsession::world::population::PopulationConfig;
+
+fn main() {
+    let config = ScenarioConfig {
+        population: PopulationConfig {
+            peers: 10_000,
+            ases: 350,
+            ..PopulationConfig::default()
+        },
+        objects: 1_500,
+        ..ScenarioConfig::default()
+    };
+    println!("simulating {} peers for the ISP question…", config.population.peers);
+    let out = HybridSim::run_config(config);
+    let t = astraffic::build(&out.dataset);
+
+    println!();
+    println!(
+        "p2p bytes total: {:.2} TB; intra-AS: {:.0}% (paper: 18%)",
+        t.total_bytes as f64 / 1e12,
+        t.intra_as_share() * 100.0
+    );
+
+    let heavy = t.heavy_uploaders(0.02);
+    println!(
+        "top 2% of uploading ASes ({}) carry {:.0}% of inter-AS bytes (paper: ~90%)",
+        heavy.len(),
+        t.heavy_share(&heavy) * 100.0
+    );
+
+    let ratios = t.heavy_balance_ratios(&heavy);
+    let balanced = ratios.iter().filter(|r| **r > 0.5 && **r < 2.0).count();
+    println!(
+        "heavy uploaders within 2x of send/receive balance: {}/{} (paper: heavy traffic is well balanced)",
+        balanced,
+        ratios.len()
+    );
+
+    let as_model = &out.scenario.population.as_model;
+    let direct = t.direct_link_share(&heavy, |a, b| {
+        match (as_model.index_of(a), as_model.index_of(b)) {
+            (Some(x), Some(y)) => as_model.direct_link(x, y),
+            _ => false,
+        }
+    });
+    println!(
+        "heavy-pair bytes on direct AS links: {:.0}% (paper estimate: ~35%)",
+        direct * 100.0
+    );
+    println!();
+    println!(
+        "conclusion (§6.1): the locality-aware selection keeps the traffic pattern \
+         balanced — no AS is systematically drained"
+    );
+}

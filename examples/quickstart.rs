@@ -1,0 +1,59 @@
+//! Quickstart: simulate a small NetSession deployment for one month and
+//! print the headline measurements the paper reports in §5.1.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use netsession::analytics::overview;
+use netsession::hybrid::{HybridSim, ScenarioConfig};
+use netsession::world::population::PopulationConfig;
+use netsession::world::workload::WorkloadConfig;
+
+fn main() {
+    let config = ScenarioConfig {
+        population: PopulationConfig {
+            peers: 8_000,
+            ases: 300,
+            ..PopulationConfig::default()
+        },
+        objects: 1_000,
+        workload: WorkloadConfig {
+            downloads: 10_000,
+            ..WorkloadConfig::default()
+        },
+        ..ScenarioConfig::default()
+    };
+    println!(
+        "simulating one month: {} peers, {} downloads…",
+        config.population.peers, config.workload.downloads
+    );
+    let out = HybridSim::run_config(config);
+    let h = overview::headline(&out.dataset);
+
+    println!();
+    println!("downloads logged ............. {}", out.dataset.downloads.len());
+    println!("logins ....................... {}", out.stats.logins);
+    println!(
+        "uploads enabled .............. {:.1}% of peers (paper: ~31%)",
+        h.enabled_fraction * 100.0
+    );
+    println!(
+        "p2p-enabled files ............ {:.1}% (paper: 1.7%)",
+        h.p2p_file_fraction * 100.0
+    );
+    println!(
+        "bytes on p2p-enabled files ... {:.1}% (paper: 57.4%)",
+        h.p2p_byte_share * 100.0
+    );
+    println!(
+        "mean peer efficiency ......... {:.1}% (paper: 71.4%)",
+        h.mean_peer_efficiency * 100.0
+    );
+    println!(
+        "offloaded to peers ........... {:.1}% (paper: 70-80%)",
+        h.offload_fraction * 100.0
+    );
+    println!(
+        "completed .................... {:.1}%",
+        out.stats.completed as f64 / out.dataset.downloads.len().max(1) as f64 * 100.0
+    );
+}

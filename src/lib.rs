@@ -1,0 +1,28 @@
+//! # netsession
+//!
+//! Umbrella crate for the NetSession peer-assisted CDN reproduction
+//! (Zhao et al., *Peer-Assisted Content Distribution in Akamai NetSession*,
+//! IMC 2013). Re-exports every subsystem; see the workspace README for the
+//! architecture map and DESIGN.md for the paper-to-code index.
+//!
+//! Quick start (the simulator):
+//!
+//! ```no_run
+//! use netsession::hybrid::{HybridSim, ScenarioConfig};
+//! let out = HybridSim::run_config(ScenarioConfig::tiny());
+//! println!("peer efficiency: {:.1}%",
+//!     netsession::analytics::overview::headline(&out.dataset).mean_peer_efficiency * 100.0);
+//! ```
+
+pub use netsession_analytics as analytics;
+pub use netsession_baseline as baseline;
+pub use netsession_control as control;
+pub use netsession_core as core;
+pub use netsession_edge as edge;
+pub use netsession_hybrid as hybrid;
+pub use netsession_logs as logs;
+pub use netsession_nat as nat;
+pub use netsession_net as net;
+pub use netsession_peer as peer;
+pub use netsession_sim as sim;
+pub use netsession_world as world;

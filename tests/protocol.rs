@@ -1,0 +1,265 @@
+//! Protocol-level integration: edge tier + control plane + swarm engines
+//! wired together synchronously (no sockets, no fluid model) — the §3.3
+//! flow at message granularity, including failure injection.
+
+use netsession::control::directory::PeerRecord;
+use netsession::control::plane::{ControlPlane, PlaneConfig};
+use netsession::control::selection::Querier;
+use netsession::core::id::{CpCode, Guid, ObjectId};
+use netsession::core::msg::{NatType, PeerAddr, SwarmMsg};
+use netsession::core::piece::PieceMap;
+use netsession::core::policy::DownloadPolicy;
+use netsession::core::rng::DetRng;
+use netsession::core::time::SimTime;
+use netsession::core::units::ByteCount;
+use netsession::edge::accounting::AccountingLedger;
+use netsession::edge::auth::EdgeAuth;
+use netsession::edge::server::EdgeServer;
+use netsession::edge::store::ContentStore;
+use netsession::peer::swarm::{SwarmEvent, SwarmSession};
+use std::sync::Arc;
+
+struct Fixture {
+    edge: EdgeServer,
+    plane: ControlPlane,
+    auth: EdgeAuth,
+}
+
+fn fixture() -> Fixture {
+    let auth = EdgeAuth::from_seed(9);
+    let store = Arc::new(ContentStore::new());
+    store.publish_synthetic(
+        ObjectId(1),
+        CpCode(1),
+        ByteCount::from_mib(8),
+        DownloadPolicy::peer_assisted(),
+    );
+    let ledger = Arc::new(AccountingLedger::new());
+    let edge = EdgeServer::new(0, store, auth.clone(), ledger);
+    let plane = ControlPlane::new(
+        &PlaneConfig {
+            regions: 1,
+            ..PlaneConfig::default()
+        },
+        auth.clone(),
+    );
+    Fixture { edge, plane, auth }
+}
+
+fn record(guid: u64, nat: NatType) -> PeerRecord {
+    PeerRecord {
+        guid: Guid(guid as u128),
+        addr: PeerAddr {
+            ip: guid as u32,
+            port: 1,
+        },
+        asn: netsession::core::id::AsNumber(100),
+        area: 1,
+        zone: 0,
+        nat,
+    }
+}
+
+#[test]
+fn authorize_query_swarm_complete() {
+    let mut f = fixture();
+    let mut rng = DetRng::seeded(1);
+
+    // A seeder registers with the control plane.
+    f.plane.register_content(
+        0,
+        record(9, NatType::FullCone),
+        netsession::core::id::VersionId {
+            object: ObjectId(1),
+            version: 1,
+        },
+    );
+
+    // The downloader authorizes with the edge, then queries.
+    let authz = f.edge.authorize(Guid(1), ObjectId(1), SimTime(0)).unwrap();
+    let querier = Querier {
+        guid: Guid(1),
+        asn: netsession::core::id::AsNumber(100),
+        area: 1,
+        zone: 0,
+        nat: NatType::PortRestricted,
+    };
+    let peers = f
+        .plane
+        .query_peers(0, &querier, &authz.token, SimTime(0), &mut rng)
+        .unwrap();
+    assert_eq!(peers.len(), 1);
+
+    // Swarm from the seeder, edge as backstop: alternate sources.
+    let manifest = authz.manifest;
+    let n = manifest.piece_count();
+    let mut session = SwarmSession::new(manifest.clone(), PieceMap::empty(n));
+    let seeder = peers[0].guid;
+    let mut events = session.on_peer_joined(seeder, PieceMap::full(n), &mut rng);
+    let mut from_peer = 0u32;
+    let mut from_edge = 0u32;
+    while !session.is_complete() {
+        // Serve any outstanding peer request.
+        let mut next = Vec::new();
+        for e in events.drain(..) {
+            if let SwarmEvent::Send(to, SwarmMsg::Request { piece }) = e {
+                assert_eq!(to, seeder);
+                let reply = SwarmMsg::Piece {
+                    piece,
+                    data: vec![],
+                    digest: manifest.piece_hashes[piece as usize],
+                };
+                from_peer += 1;
+                next.extend(session.on_message(seeder, reply, &mut rng));
+            }
+        }
+        events = next;
+        // Edge fills one piece per round in parallel.
+        if !session.is_complete() {
+            if let Some(piece) = session.next_edge_piece() {
+                let (digest, _len) = f
+                    .edge
+                    .serve_piece_digest(&authz.token, piece, SimTime(1))
+                    .unwrap();
+                from_edge += 1;
+                events.extend(session.on_edge_piece(piece, &[], digest));
+            }
+        }
+    }
+    assert!(from_peer > 0 && from_edge > 0, "both sources contributed");
+    assert_eq!(from_peer + from_edge, n);
+    assert!(f.edge.total_served().bytes() > 0);
+}
+
+#[test]
+fn nat_incompatible_seeder_is_filtered_out() {
+    let mut f = fixture();
+    let mut rng = DetRng::seeded(2);
+    f.plane.register_content(
+        0,
+        record(9, NatType::Symmetric),
+        netsession::core::id::VersionId {
+            object: ObjectId(1),
+            version: 1,
+        },
+    );
+    let authz = f.edge.authorize(Guid(1), ObjectId(1), SimTime(0)).unwrap();
+    // Symmetric querier + symmetric seeder: unpairable.
+    let querier = Querier {
+        guid: Guid(1),
+        asn: netsession::core::id::AsNumber(100),
+        area: 1,
+        zone: 0,
+        nat: NatType::Symmetric,
+    };
+    let peers = f
+        .plane
+        .query_peers(0, &querier, &authz.token, SimTime(0), &mut rng)
+        .unwrap();
+    assert!(peers.is_empty());
+}
+
+#[test]
+fn corrupt_seeder_cannot_poison_the_download() {
+    let f = fixture();
+    let mut rng = DetRng::seeded(3);
+    let authz = f.edge.authorize(Guid(1), ObjectId(1), SimTime(0)).unwrap();
+    let manifest = authz.manifest;
+    let n = manifest.piece_count();
+    let mut session = SwarmSession::new(manifest.clone(), PieceMap::empty(n));
+    let evil = Guid(66);
+    let events = session.on_peer_joined(evil, PieceMap::full(n), &mut rng);
+    // The evil seeder answers every request with garbage.
+    let mut corrupt_seen = 0;
+    let mut queue = events;
+    for _ in 0..3 * n {
+        let mut next = Vec::new();
+        for e in queue.drain(..) {
+            if let SwarmEvent::Send(_, SwarmMsg::Request { piece }) = e {
+                let reply = SwarmMsg::Piece {
+                    piece,
+                    data: vec![],
+                    digest: netsession::core::hash::sha256(b"poison"),
+                };
+                let evs = session.on_message(evil, reply, &mut rng);
+                corrupt_seen += evs
+                    .iter()
+                    .filter(|e| matches!(e, SwarmEvent::CorruptPiece(..)))
+                    .count();
+                next.extend(evs);
+            }
+        }
+        queue = next;
+        if queue.is_empty() {
+            break;
+        }
+    }
+    assert!(corrupt_seen > 0);
+    assert_eq!(
+        session.mine().have_count(),
+        0,
+        "no poisoned piece may be accepted"
+    );
+    // The client drops the consistently corrupt peer (freeing any piece
+    // still in flight to it); the edge then completes the download.
+    session.on_peer_left(evil);
+    let mut done = 0;
+    while let Some(piece) = session.next_edge_piece() {
+        let (digest, _) = f
+            .edge
+            .serve_piece_digest(&authz.token, piece, SimTime(1))
+            .unwrap();
+        session.on_edge_piece(piece, &[], digest);
+        done += 1;
+    }
+    assert_eq!(done, n);
+    assert!(session.is_complete());
+}
+
+#[test]
+fn dn_failure_recovery_via_readd_preserves_service() {
+    let mut f = fixture();
+    let mut rng = DetRng::seeded(4);
+    let ver = netsession::core::id::VersionId {
+        object: ObjectId(1),
+        version: 1,
+    };
+    f.plane.login(
+        0,
+        Guid(9),
+        PeerAddr { ip: 9, port: 1 },
+        NatType::FullCone,
+        true,
+        1,
+        vec![],
+        SimTime(0),
+    );
+    f.plane.register_content(0, record(9, NatType::FullCone), ver);
+
+    // DN dies; the CN asks connected peers to RE-ADD (§3.8).
+    let to_ask = f.plane.fail_dn(0);
+    assert_eq!(to_ask, vec![Guid(9)]);
+    let token = f.auth.issue(Guid(1), ver, SimTime(0));
+    let querier = Querier {
+        guid: Guid(1),
+        asn: netsession::core::id::AsNumber(100),
+        area: 1,
+        zone: 0,
+        nat: NatType::Open,
+    };
+    assert!(f
+        .plane
+        .query_peers(0, &querier, &token, SimTime(0), &mut rng)
+        .unwrap()
+        .is_empty());
+    // The peer answers with its cached content: service restored.
+    f.plane
+        .handle_readd(0, record(9, NatType::FullCone), &[ver]);
+    assert_eq!(
+        f.plane
+            .query_peers(0, &querier, &token, SimTime(0), &mut rng)
+            .unwrap()
+            .len(),
+        1
+    );
+}
