@@ -46,7 +46,9 @@ pub fn build(ds: &TraceDataset) -> AsTraffic {
         }
         *t.uploaded.entry(rec.from_as.0).or_insert(0) += b;
         *t.downloaded.entry(rec.to_as.0).or_insert(0) += b;
-        *t.pair_bytes.entry((rec.from_as.0, rec.to_as.0)).or_insert(0) += b;
+        *t.pair_bytes
+            .entry((rec.from_as.0, rec.to_as.0))
+            .or_insert(0) += b;
     }
     // Distinct IPs per AS: count from logins (observed IPs), the closest
     // analogue of Fig 9c's "IP addresses observed in AS".
@@ -105,8 +107,11 @@ impl AsTraffic {
     /// the bytes".
     pub fn heavy_uploaders(&self, frac: f64) -> HashSet<u32> {
         let mut v: Vec<(u32, u64)> = self.uploaded.iter().map(|(a, b)| (*a, *b)).collect();
-        v.sort_by_key(|(_, b)| std::cmp::Reverse(*b));
-        let n = ((v.len() as f64 * frac).ceil() as usize).max(1).min(v.len());
+        // Tie-break on the AS number so the heavy set is deterministic.
+        v.sort_by_key(|(asn, b)| (std::cmp::Reverse(*b), *asn));
+        let n = ((v.len() as f64 * frac).ceil() as usize)
+            .max(1)
+            .min(v.len());
         v.into_iter().take(n).map(|(a, _)| a).collect()
     }
 
@@ -317,9 +322,8 @@ mod tests {
         let t = build(&dataset());
         let heavy: HashSet<u32> = [1, 2, 3].into_iter().collect();
         // Only the (3,2) pair counted as direct: 20 of 800 inter-heavy.
-        let share = t.direct_link_share(&heavy, |a, b| {
-            (a.0, b.0) == (3, 2) || (a.0, b.0) == (2, 3)
-        });
+        let share =
+            t.direct_link_share(&heavy, |a, b| (a.0, b.0) == (3, 2) || (a.0, b.0) == (2, 3));
         assert!((share - 20.0 / 800.0).abs() < 1e-9);
     }
 

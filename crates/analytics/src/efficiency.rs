@@ -111,22 +111,13 @@ pub fn growth_summary(ds: &TraceDataset) -> (f64, f64, f64, f64) {
     let lo5 = f5.first().map(|b| b.mean).unwrap_or(0.0);
     let hi5 = f5.last().map(|b| b.mean).unwrap_or(0.0);
     let f6 = fig6(ds);
-    let few: Vec<f64> = f6
-        .iter()
-        .filter(|b| b.peers <= 5)
-        .map(|b| b.mean)
-        .collect();
+    let few: Vec<f64> = f6.iter().filter(|b| b.peers <= 5).map(|b| b.mean).collect();
     let many: Vec<f64> = f6
         .iter()
         .filter(|b| b.peers >= 20)
         .map(|b| b.mean)
         .collect();
-    (
-        lo5,
-        hi5,
-        crate::stats::mean(few),
-        crate::stats::mean(many),
-    )
+    (lo5, hi5, crate::stats::mean(few), crate::stats::mean(many))
 }
 
 #[cfg(test)]

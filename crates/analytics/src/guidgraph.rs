@@ -105,10 +105,7 @@ impl ChainGraph {
         }
         if branch_points.len() == 1 {
             let (v, degree) = branch_points[0];
-            let mut depths: Vec<usize> = self.children[&v]
-                .iter()
-                .map(|c| self.depth(*c))
-                .collect();
+            let mut depths: Vec<usize> = self.children[&v].iter().map(|c| self.depth(*c)).collect();
             depths.sort_unstable();
             if degree == 2 {
                 let (short, long) = (depths[0], depths[1]);

@@ -76,9 +76,7 @@ pub fn summarize(ds: &TraceDataset) -> MobilitySummary {
             let mut max = 0.0f64;
             for i in 0..locs.len() {
                 for j in (i + 1)..locs.len() {
-                    max = max.max(haversine_km(
-                        locs[i].0, locs[i].1, locs[j].0, locs[j].1,
-                    ));
+                    max = max.max(haversine_km(locs[i].0, locs[i].1, locs[j].0, locs[j].1));
                 }
             }
             max <= 10.0

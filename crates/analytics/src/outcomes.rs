@@ -185,7 +185,8 @@ mod tests {
         let mut ds = TraceDataset::default();
         // Small files: no pauses.
         for _ in 0..10 {
-            ds.downloads.push(dl(false, 1_000_000, DownloadOutcome::Completed));
+            ds.downloads
+                .push(dl(false, 1_000_000, DownloadOutcome::Completed));
         }
         // Huge files: half paused.
         for i in 0..10 {

@@ -51,13 +51,14 @@ pub fn fig2_first_connections(ds: &TraceDataset) -> Vec<(u16, u64)> {
         *counts.entry(*country).or_insert(0) += 1;
     }
     let mut out: Vec<(u16, u64)> = counts.into_iter().collect();
-    out.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    // Tie-break on the country index so the ordering is deterministic.
+    out.sort_by_key(|(country, n)| (std::cmp::Reverse(*n), *country));
     out
 }
 
 /// Fig 8 classes: how much the peers contribute per country, for one
 /// provider.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CoverageClass {
     /// Infrastructure serves more bytes than the peers.
     InfraDominant,
@@ -69,10 +70,7 @@ pub enum CoverageClass {
 
 /// Fig 8: per-country byte split for one provider's completed downloads.
 /// Returns (country, infra bytes, peer bytes, class).
-pub fn fig8_country_classes(
-    ds: &TraceDataset,
-    cp: CpCode,
-) -> Vec<(u16, u64, u64, CoverageClass)> {
+pub fn fig8_country_classes(ds: &TraceDataset, cp: CpCode) -> Vec<(u16, u64, u64, CoverageClass)> {
     let mut per_country: HashMap<u16, (u64, u64)> = HashMap::new();
     for d in ds.downloads.iter().filter(|d| d.cp == cp) {
         let e = per_country.entry(d.country).or_insert((0, 0));

@@ -50,10 +50,7 @@ pub fn table3(ds: &TraceDataset) -> (SettingRow, SettingRow) {
     for (_, mut logins) in per_guid {
         logins.sort_by_key(|(t, _)| *t);
         let initial = logins[0].1;
-        let changes = logins
-            .windows(2)
-            .filter(|w| w[0].1 != w[1].1)
-            .count();
+        let changes = logins.windows(2).filter(|w| w[0].1 != w[1].1).count();
         let row = if initial { &mut enabled } else { &mut disabled };
         row.total += 1;
         match changes {

@@ -36,8 +36,8 @@ impl Cdf {
     /// The `p`-th percentile (0 ≤ p ≤ 100), by nearest-rank.
     pub fn percentile(&self, p: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "percentile of empty CDF");
-        let rank = ((p / 100.0 * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len());
+        let rank =
+            ((p / 100.0 * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
         self.sorted[rank - 1]
     }
 

@@ -9,14 +9,19 @@
 use netsession_analytics::outcomes;
 use netsession_analytics::stats::Cdf;
 use netsession_baseline::bittorrent::{Swarm, SwarmConfig};
-use netsession_bench::runner::{config_for, parse_args};
+use netsession_bench::runner::{config_for, parse_args, write_metrics_sidecar};
 use netsession_core::rng::DetRng;
 use netsession_hybrid::HybridSim;
 use netsession_logs::records::DownloadOutcome;
+use netsession_obs::MetricsRegistry;
 
 fn main() {
+    let metrics = MetricsRegistry::new();
     let args = parse_args();
-    eprintln!("# ablate_backstop: peers={} downloads={}", args.peers, args.downloads);
+    eprintln!(
+        "# ablate_backstop: peers={} downloads={}",
+        args.peers, args.downloads
+    );
 
     println!("A2: the infrastructure backstop");
     println!(
@@ -26,13 +31,11 @@ fn main() {
     for (label, backstop) in [("hybrid (backstop)", true), ("pure p2p (no edge)", false)] {
         let mut cfg = config_for(&args);
         cfg.edge_backstop = backstop;
-        let out = HybridSim::run_config(cfg);
+        let out = HybridSim::run_config_with(cfg, &metrics);
         let (infra, p2p) = outcomes::outcome_split(&out.dataset);
-        let completed = (infra.completed * infra.total as f64
-            + p2p.completed * p2p.total as f64)
+        let completed = (infra.completed * infra.total as f64 + p2p.completed * p2p.total as f64)
             / (infra.total + p2p.total).max(1) as f64;
-        let abandoned = (infra.abandoned * infra.total as f64
-            + p2p.abandoned * p2p.total as f64)
+        let abandoned = (infra.abandoned * infra.total as f64 + p2p.abandoned * p2p.total as f64)
             / (infra.total + p2p.total).max(1) as f64;
         let speeds: Vec<f64> = out
             .dataset
@@ -74,4 +77,6 @@ fn main() {
         healthy.completion_rate() * 100.0,
         orphaned.completion_rate() * 100.0
     );
+
+    write_metrics_sidecar("ablate_backstop", &metrics);
 }

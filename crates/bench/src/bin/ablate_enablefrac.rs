@@ -6,12 +6,17 @@
 //! willing-uploader fraction.
 
 use netsession_analytics::overview;
-use netsession_bench::runner::{config_for, parse_args};
+use netsession_bench::runner::{config_for, parse_args, write_metrics_sidecar};
 use netsession_hybrid::HybridSim;
+use netsession_obs::MetricsRegistry;
 
 fn main() {
+    let metrics = MetricsRegistry::new();
     let args = parse_args();
-    eprintln!("# ablate_enablefrac: peers={} downloads={}", args.peers, args.downloads);
+    eprintln!(
+        "# ablate_enablefrac: peers={} downloads={}",
+        args.peers, args.downloads
+    );
 
     println!("A5: uploads-enabled fraction sweep");
     println!(
@@ -21,7 +26,7 @@ fn main() {
     for frac in [0.0, 0.1, 0.31, 0.6, 1.0] {
         let mut cfg = config_for(&args);
         cfg.enable_fraction_override = Some(frac);
-        let out = HybridSim::run_config(cfg);
+        let out = HybridSim::run_config_with(cfg, &metrics);
         let h = overview::headline(&out.dataset);
         println!(
             "{:>9.0}%{:>16.1}{:>14.2}{:>14.2}",
@@ -36,4 +41,6 @@ fn main() {
         "expectation: efficiency grows with the enabled fraction; ~31% already \
          yields the bulk of the achievable offload (diminishing returns)"
     );
+
+    write_metrics_sidecar("ablate_enablefrac", &metrics);
 }

@@ -6,12 +6,17 @@
 //! cross-region traffic.
 
 use netsession_analytics::astraffic;
-use netsession_bench::runner::{config_for, parse_args};
+use netsession_bench::runner::{config_for, parse_args, write_metrics_sidecar};
 use netsession_hybrid::HybridSim;
+use netsession_obs::MetricsRegistry;
 
 fn main() {
+    let metrics = MetricsRegistry::new();
     let args = parse_args();
-    eprintln!("# ablate_locality: peers={} downloads={}", args.peers, args.downloads);
+    eprintln!(
+        "# ablate_locality: peers={} downloads={}",
+        args.peers, args.downloads
+    );
 
     let mut rows = Vec::new();
     for (label, locality) in [("locality ladder ON", true), ("random selection", false)] {
@@ -20,7 +25,7 @@ fn main() {
         // The ladder only matters when there are more candidates than
         // slots; return few peers so selection is actually selective.
         cfg.peers_returned = 8;
-        let out = HybridSim::run_config(cfg);
+        let out = HybridSim::run_config_with(cfg, &metrics);
         let t = astraffic::build(&out.dataset);
         // Cross-country share of p2p bytes.
         let mut cross_country = 0u64;
@@ -52,4 +57,6 @@ fn main() {
         "expectation: locality ON keeps more traffic intra-AS and in-country \
          (ISP-friendly), at equal p2p volume"
     );
+
+    write_metrics_sidecar("ablate_locality", &metrics);
 }

@@ -8,12 +8,17 @@
 //! peer's daily online window to model launch-on-demand clients.
 
 use netsession_analytics::overview;
-use netsession_bench::runner::{config_for, parse_args};
+use netsession_bench::runner::{config_for, parse_args, write_metrics_sidecar};
 use netsession_hybrid::HybridSim;
+use netsession_obs::MetricsRegistry;
 
 fn main() {
+    let metrics = MetricsRegistry::new();
     let args = parse_args();
-    eprintln!("# ablate_sessions: peers={} downloads={}", args.peers, args.downloads);
+    eprintln!(
+        "# ablate_sessions: peers={} downloads={}",
+        args.peers, args.downloads
+    );
 
     println!("A6: background client vs launch-on-demand sessions");
     println!(
@@ -27,7 +32,7 @@ fn main() {
     ] {
         let mut cfg = config_for(&args);
         cfg.session_mode_factor = factor;
-        let out = HybridSim::run_config(cfg);
+        let out = HybridSim::run_config_with(cfg, &metrics);
         let h = overview::headline(&out.dataset);
         println!(
             "{:<28}{:>16.1}{:>14.2}{:>12}",
@@ -39,4 +44,6 @@ fn main() {
     }
     println!();
     println!("expectation: shorter upload windows shrink swarm capacity and efficiency");
+
+    write_metrics_sidecar("ablate_sessions", &metrics);
 }

@@ -5,13 +5,18 @@
 //! cap should skew upload volume toward a smaller set of (high-upstream)
 //! peers and ASes.
 
-use netsession_bench::runner::{config_for, parse_args};
+use netsession_bench::runner::{config_for, parse_args, write_metrics_sidecar};
 use netsession_hybrid::HybridSim;
+use netsession_obs::MetricsRegistry;
 use std::collections::HashMap;
 
 fn main() {
+    let metrics = MetricsRegistry::new();
     let args = parse_args();
-    eprintln!("# ablate_uploadcap: peers={} downloads={}", args.peers, args.downloads);
+    eprintln!(
+        "# ablate_uploadcap: peers={} downloads={}",
+        args.peers, args.downloads
+    );
 
     println!("A3: the per-object upload cap");
     println!(
@@ -21,7 +26,7 @@ fn main() {
     for (label, cap) in [("cap = 30", Some(30u32)), ("uncapped", None)] {
         let mut cfg = config_for(&args);
         cfg.per_object_upload_cap = cap;
-        let out = HybridSim::run_config(cfg);
+        let out = HybridSim::run_config_with(cfg, &metrics);
         // Upload bytes per uploader GUID.
         let mut per_uploader: HashMap<u128, u64> = HashMap::new();
         for t in &out.dataset.transfers {
@@ -47,4 +52,6 @@ fn main() {
     }
     println!();
     println!("expectation: uncapped concentrates upload volume on fewer peers");
+
+    write_metrics_sidecar("ablate_uploadcap", &metrics);
 }

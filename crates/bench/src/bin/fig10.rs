@@ -6,12 +6,13 @@
 
 use netsession_analytics::astraffic;
 use netsession_analytics::stats::Cdf;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig10: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
+    write_metrics_sidecar("fig10", &out.metrics);
     let t = astraffic::build(&out.dataset);
     let heavy = t.heavy_uploaders(0.02);
     let scatter = t.fig10(&heavy);
@@ -33,8 +34,8 @@ fn main() {
             cdf.percentile(10.0),
             cdf.percentile(90.0)
         );
-        let near = ratios.iter().filter(|r| **r > 0.5 && **r < 2.0).count() as f64
-            / ratios.len() as f64;
+        let near =
+            ratios.iter().filter(|r| **r > 0.5 && **r < 2.0).count() as f64 / ratios.len() as f64;
         println!(
             "heavy uploaders within 2x of balance: {:.0}% (paper: heavy traffic is well balanced)",
             near * 100.0
@@ -47,7 +48,10 @@ fn main() {
         .map(|(up, down, _)| *up as f64 / *down as f64)
         .collect();
     if !light_ratios.is_empty() {
-        let near = light_ratios.iter().filter(|r| **r > 0.5 && **r < 2.0).count() as f64
+        let near = light_ratios
+            .iter()
+            .filter(|r| **r > 0.5 && **r < 2.0)
+            .count() as f64
             / light_ratios.len() as f64;
         println!("light uploaders within 2x of balance: {:.0}%", near * 100.0);
     }

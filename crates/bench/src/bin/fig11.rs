@@ -5,12 +5,13 @@
 
 use netsession_analytics::astraffic;
 use netsession_analytics::stats::Cdf;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig11: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
+    write_metrics_sidecar("fig11", &out.metrics);
     let t = astraffic::build(&out.dataset);
     let as_model = &out.scenario.population.as_model;
     let heavy = t.heavy_uploaders(0.02);
@@ -37,8 +38,8 @@ fn main() {
         .collect();
     if !ratios.is_empty() {
         let cdf = Cdf::from_values(ratios.clone());
-        let near = ratios.iter().filter(|r| **r > 0.5 && **r < 2.0).count() as f64
-            / ratios.len() as f64;
+        let near =
+            ratios.iter().filter(|r| **r > 0.5 && **r < 2.0).count() as f64 / ratios.len() as f64;
         println!();
         println!(
             "pairwise balance: median ratio {:.2}; {:.0}% of pairs within 2x (paper: roughly even)",

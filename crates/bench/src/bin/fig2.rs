@@ -5,7 +5,7 @@
 //! §4.2 (North America 27 %, Europe 35 %).
 
 use netsession_analytics::regions;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 use netsession_world::geo::{continent_of, Continent, WORLD_COUNTRIES};
 use std::collections::HashMap;
 
@@ -13,6 +13,7 @@ fn main() {
     let args = parse_args();
     eprintln!("# fig2: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
+    write_metrics_sidecar("fig2", &out.metrics);
     let bubbles = regions::fig2_first_connections(&out.dataset);
 
     println!("Fig 2: first-connection counts per country (bubble sizes)");
@@ -33,6 +34,8 @@ fn main() {
     }
     println!();
     println!("continental shares (paper: North America 27%, Europe 35%):");
+    let mut shares: Vec<(Continent, u64)> = shares.into_iter().collect();
+    shares.sort_by_key(|(cont, _)| format!("{cont:?}"));
     for (cont, count) in &shares {
         println!(
             "  {:?}: {:.0}%",
@@ -40,5 +43,8 @@ fn main() {
             *count as f64 / total.max(1) as f64 * 100.0
         );
     }
-    println!("countries with peers: {} (paper: 239 incl. territories)", bubbles.len());
+    println!(
+        "countries with peers: {} (paper: 239 incl. territories)",
+        bubbles.len()
+    );
 }

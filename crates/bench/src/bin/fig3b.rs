@@ -3,12 +3,13 @@
 //! Prints the downloads-vs-rank series and the fitted log-log slope.
 
 use netsession_analytics::sizes;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig3b: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
+    write_metrics_sidecar("fig3b", &out.metrics);
     let ranked = sizes::fig3b(&out.dataset);
 
     println!("Fig 3b: content popularity (downloads per object by rank)");

@@ -5,7 +5,7 @@
 //! evening peak; the GMT curve is flattened by timezone spread.
 
 use netsession_analytics::sizes;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 use netsession_core::time::TRACE_MONTH;
 use netsession_world::geo::WORLD_COUNTRIES;
 
@@ -13,6 +13,7 @@ fn main() {
     let args = parse_args();
     eprintln!("# fig3c: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
+    write_metrics_sidecar("fig3c", &out.metrics);
     let hours = TRACE_MONTH.as_hours_f64() as usize + 48;
     let (gmt, local) = sizes::fig3c(&out.dataset, hours, |c| {
         WORLD_COUNTRIES[c as usize].tz_offset

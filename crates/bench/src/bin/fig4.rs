@@ -6,22 +6,20 @@
 //! asymmetry).
 
 use netsession_analytics::speeds;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig4: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
+    write_metrics_sidecar("fig4", &out.metrics);
 
     for (label, s) in ["AS X", "AS Y"].iter().zip(speeds::fig4(&out.dataset)) {
         println!(
             "Fig 4 — {} ({}, {} downloads): CDF of mean download speed (Mbps)",
             label, s.asn, s.downloads
         );
-        println!(
-            "{:>12}{:>12}{:>12}",
-            "speed", "edge-only", ">50% p2p"
-        );
+        println!("{:>12}{:>12}{:>12}", "speed", "edge-only", ">50% p2p");
         for x in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
             println!(
                 "{:>12}{:>11.0}%{:>11.0}%",

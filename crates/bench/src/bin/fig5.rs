@@ -4,12 +4,13 @@
 //! rises rapidly after that, and reaches ~80 % around 10,000 copies.
 
 use netsession_analytics::efficiency;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig5: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
+    write_metrics_sidecar("fig5", &out.metrics);
     let buckets = efficiency::fig5(&out.dataset);
 
     println!("Fig 5: peer efficiency vs file copies registered during the month");

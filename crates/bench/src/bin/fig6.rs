@@ -9,11 +9,13 @@
 
 use netsession_analytics::efficiency;
 use netsession_analytics::stats::mean;
-use netsession_bench::runner::{config_for, ExperimentArgs};
+use netsession_bench::runner::{config_for, write_metrics_sidecar, ExperimentArgs};
 use netsession_hybrid::HybridSim;
 use netsession_logs::records::DownloadOutcome;
+use netsession_obs::MetricsRegistry;
 
 fn main() {
+    let metrics = MetricsRegistry::new();
     let mut argv: Vec<String> = std::env::args().collect();
     let sweep = if let Some(pos) = argv.iter().position(|a| a == "--sweep") {
         let v = argv.get(pos + 1).map(|v| v == "1").unwrap_or(false);
@@ -25,7 +27,7 @@ fn main() {
     let args = parse_args_from(&argv);
     eprintln!("# fig6: peers={} downloads={}", args.peers, args.downloads);
 
-    let out = HybridSim::run_config(config_for(&args));
+    let out = HybridSim::run_config_with(config_for(&args), &metrics);
     let buckets = efficiency::fig6(&out.dataset);
     println!("Fig 6: peer efficiency vs peers initially returned");
     println!("{:>8}{:>12}{:>10}", "peers", "downloads", "mean %");
@@ -54,7 +56,7 @@ fn main() {
         for max in [5usize, 10, 20, 40] {
             let mut cfg = config_for(&args);
             cfg.peers_returned = max;
-            let out = HybridSim::run_config(cfg);
+            let out = HybridSim::run_config_with(cfg, &metrics);
             let effs: Vec<f64> = out
                 .dataset
                 .downloads
@@ -65,6 +67,8 @@ fn main() {
             println!("{:>12}{:>12.1}", max, mean(effs));
         }
     }
+
+    write_metrics_sidecar("fig6", &metrics);
 }
 
 fn parse_args_from(argv: &[String]) -> ExperimentArgs {

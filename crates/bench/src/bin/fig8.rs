@@ -6,15 +6,16 @@
 //! because the edge infrastructure already covers the globe.
 
 use netsession_analytics::regions::{self, CoverageClass};
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 use netsession_world::customers::customer_by_name;
 use netsession_world::geo::{continent_of, WORLD_COUNTRIES};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig8: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
+    write_metrics_sidecar("fig8", &out.metrics);
     // Customer D: a typical p2p-enabled provider (94 % uploads enabled).
     let cp = customer_by_name("D").expect("customer D").cp;
     let classes = regions::fig8_country_classes(&out.dataset, cp);
@@ -24,8 +25,8 @@ fn main() {
         "{:<6}{:<22}{:>12}{:>12}{:<20}",
         "iso", "country", "infra GB", "peer GB", "  class"
     );
-    let mut by_class: HashMap<CoverageClass, usize> = HashMap::new();
-    let mut by_continent: HashMap<&'static str, (u64, u64)> = HashMap::new();
+    let mut by_class: BTreeMap<CoverageClass, usize> = BTreeMap::new();
+    let mut by_continent: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
     for (country, infra, peers, class) in &classes {
         let c = &WORLD_COUNTRIES[*country as usize];
         *by_class.entry(*class).or_insert(0) += 1;

@@ -8,12 +8,13 @@
 //! bytes on direct links.
 
 use netsession_analytics::astraffic;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig9: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
+    write_metrics_sidecar("fig9", &out.metrics);
     let t = astraffic::build(&out.dataset);
     let as_model = &out.scenario.population.as_model;
 

@@ -6,12 +6,16 @@
 //! offloaded to peers.
 
 use netsession_analytics::overview;
-use netsession_bench::runner::{parse_args, pct, run_default};
+use netsession_bench::runner::{parse_args, pct, run_default, write_metrics_sidecar};
 
 fn main() {
     let args = parse_args();
-    eprintln!("# headline: peers={} downloads={}", args.peers, args.downloads);
+    eprintln!(
+        "# headline: peers={} downloads={}",
+        args.peers, args.downloads
+    );
     let out = run_default(&args);
+    write_metrics_sidecar("headline", &out.metrics);
     let h = overview::headline(&out.dataset);
 
     println!("metric                          paper      measured");

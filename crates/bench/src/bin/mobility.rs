@@ -5,31 +5,43 @@
 //! connections per minute on average.
 
 use netsession_analytics::mobility;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 
 fn main() {
     let args = parse_args();
-    eprintln!("# mobility: peers={} downloads={}", args.peers, args.downloads);
+    eprintln!(
+        "# mobility: peers={} downloads={}",
+        args.peers, args.downloads
+    );
     let out = run_default(&args);
+    write_metrics_sidecar("mobility", &out.metrics);
     let s = mobility::summarize(&out.dataset);
 
     println!("§6.2 mobility summary ({} GUIDs observed)", s.guids);
     println!("{:<28}{:>10}{:>12}", "metric", "paper", "measured");
     println!(
         "{:<28}{:>10}{:>11.1}%",
-        "single AS", "80.6%", s.single_as * 100.0
+        "single AS",
+        "80.6%",
+        s.single_as * 100.0
     );
     println!(
         "{:<28}{:>10}{:>11.1}%",
-        "two ASes", "13.4%", s.two_as * 100.0
+        "two ASes",
+        "13.4%",
+        s.two_as * 100.0
     );
     println!(
         "{:<28}{:>10}{:>11.1}%",
-        "more than two", "6.0%", s.more_as * 100.0
+        "more than two",
+        "6.0%",
+        s.more_as * 100.0
     );
     println!(
         "{:<28}{:>10}{:>11.1}%",
-        "within 10 km", "77%", s.within_10km * 100.0
+        "within 10 km",
+        "77%",
+        s.within_10km * 100.0
     );
     let scale = 25_941_122.0 / args.peers as f64;
     println!(

@@ -6,12 +6,16 @@
 //! size, not by system failures.
 
 use netsession_analytics::outcomes;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 
 fn main() {
     let args = parse_args();
-    eprintln!("# outcomes: peers={} downloads={}", args.peers, args.downloads);
+    eprintln!(
+        "# outcomes: peers={} downloads={}",
+        args.peers, args.downloads
+    );
     let out = run_default(&args);
+    write_metrics_sidecar("outcomes", &out.metrics);
     let (infra, p2p) = outcomes::outcome_split(&out.dataset);
 
     println!("§5.2 outcome split");
@@ -19,10 +23,7 @@ fn main() {
         "{:<24}{:>14}{:>16}",
         "metric", "infra-only", "peer-assisted"
     );
-    println!(
-        "{:<24}{:>14}{:>16}",
-        "downloads", infra.total, p2p.total
-    );
+    println!("{:<24}{:>14}{:>16}", "downloads", infra.total, p2p.total);
     let row = |name: &str, a: f64, b: f64, paper: &str| {
         println!(
             "{:<24}{:>13.1}%{:>15.1}%   (paper: {})",
@@ -39,8 +40,18 @@ fn main() {
         p2p.failed_system,
         "0.1% / 0.2%",
     );
-    row("failed (other)", infra.failed_other, p2p.failed_other, "rest");
-    row("paused/terminated", infra.abandoned, p2p.abandoned, "3% / 8%");
+    row(
+        "failed (other)",
+        infra.failed_other,
+        p2p.failed_other,
+        "rest",
+    );
+    row(
+        "paused/terminated",
+        infra.abandoned,
+        p2p.abandoned,
+        "3% / 8%",
+    );
     println!();
     println!(
         "qualitative check: p2p pauses more ({}), system failures stay tiny both ways ({})",

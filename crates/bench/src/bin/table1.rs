@@ -6,12 +6,16 @@
 //! scaled down (`--scale`); the scale factor is printed so shares can be
 //! compared.
 
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 
 fn main() {
     let args = parse_args();
-    eprintln!("# table1: peers={} downloads={}", args.peers, args.downloads);
+    eprintln!(
+        "# table1: peers={} downloads={}",
+        args.peers, args.downloads
+    );
     let out = run_default(&args);
+    write_metrics_sidecar("table1", &out.metrics);
     let s = out.dataset.summary();
 
     let scale = 25_941_122.0 / args.peers as f64;

@@ -2,14 +2,18 @@
 //! content providers.
 
 use netsession_analytics::regions;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 use netsession_world::customers::{customer_by_cp, CUSTOMERS};
 use netsession_world::geo::Region;
 
 fn main() {
     let args = parse_args();
-    eprintln!("# table2: peers={} downloads={}", args.peers, args.downloads);
+    eprintln!(
+        "# table2: peers={} downloads={}",
+        args.peers, args.downloads
+    );
     let out = run_default(&args);
+    write_metrics_sidecar("table2", &out.metrics);
     let (rows, all) = regions::table2(&out.dataset);
 
     print!("{:<14}", "customer");
@@ -38,7 +42,9 @@ fn main() {
 
     println!();
     println!("paper row for comparison (All customers): 7% 4% 11% 3% 2% 20% 46% 4% 2%");
-    println!("paper-specified per-customer rows are encoded in netsession_world::customers::CUSTOMERS:");
+    println!(
+        "paper-specified per-customer rows are encoded in netsession_world::customers::CUSTOMERS:"
+    );
     for c in CUSTOMERS {
         let row: Vec<String> = c
             .region_mix

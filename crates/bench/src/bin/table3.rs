@@ -4,12 +4,16 @@
 //! two-plus; initially enabled — 98.11 % / 1.80 % / 0.09 %.
 
 use netsession_analytics::settings;
-use netsession_bench::runner::{parse_args, run_default};
+use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
 
 fn main() {
     let args = parse_args();
-    eprintln!("# table3: peers={} downloads={}", args.peers, args.downloads);
+    eprintln!(
+        "# table3: peers={} downloads={}",
+        args.peers, args.downloads
+    );
     let out = run_default(&args);
+    write_metrics_sidecar("table3", &out.metrics);
     let (disabled, enabled) = settings::table3(&out.dataset);
 
     println!("Table 3: observed changes to the upload setting");

@@ -48,8 +48,7 @@ fn main() {
         }
     }
     println!();
-    let overall =
-        enabled.iter().sum::<u64>() as f64 / total.iter().sum::<u64>().max(1) as f64;
+    let overall = enabled.iter().sum::<u64>() as f64 / total.iter().sum::<u64>().max(1) as f64;
     println!();
     println!(
         "overall enabled fraction: {:.1}% (paper: ~31%)",

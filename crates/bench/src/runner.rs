@@ -1,6 +1,7 @@
 //! Shared experiment plumbing: argument parsing and the standard run.
 
 use netsession_hybrid::{HybridSim, ScenarioConfig, SimOutput};
+use netsession_obs::MetricsRegistry;
 use netsession_world::population::PopulationConfig;
 use netsession_world::workload::WorkloadConfig;
 
@@ -68,6 +69,23 @@ pub fn run_default(args: &ExperimentArgs) -> SimOutput {
 /// Render a fraction as a percent string.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
+}
+
+/// Write the run's metrics snapshot next to the experiment results as
+/// `results/<name>.metrics.json`. The sidecar is a separate file, so the
+/// experiment's stdout stays byte-identical run-to-run; the snapshot itself
+/// includes the volatile (wall-clock) section for perf inspection.
+pub fn write_metrics_sidecar(name: &str, metrics: &MetricsRegistry) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("# metrics sidecar skipped: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.metrics.json"));
+    match std::fs::write(&path, metrics.full_snapshot_json()) {
+        Ok(()) => eprintln!("# metrics sidecar: {}", path.display()),
+        Err(e) => eprintln!("# metrics sidecar skipped: {e}"),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,193 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the builder/macro surface the workspace benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, `criterion_group!`,
+//! `criterion_main!` — on a simple wall-clock harness: each benchmark is
+//! warmed up briefly, then timed over enough iterations to fill a fixed
+//! measurement window, and the mean ns/iter (plus MB/s when a throughput
+//! is declared) is printed. No statistics, plots, or saved baselines.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: stops the optimizer from deleting benchmarked
+/// work without introducing measurable overhead.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared data volume per iteration, used to report MB/s.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` over the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run for a short fixed window.
+        let warmup_end = Instant::now() + WARMUP;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warmup_end {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Choose an iteration count that roughly fills the window.
+        let per_iter = WARMUP.as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let target = (MEASURE.as_nanos() / per_iter.max(1)).clamp(10, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = target;
+    }
+}
+
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_millis(400);
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh harness.
+    pub fn default() -> Criterion {
+        Criterion {}
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration data volume for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op; matches criterion's API).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let ns = b.total.as_nanos() as f64 / b.iters.max(1) as f64;
+    let mut line = format!("{name:<40} {:>12.1} ns/iter", ns);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mbps = bytes as f64 / ns * 1e9 / (1024.0 * 1024.0);
+            let _ = write!(line, " {mbps:>10.1} MiB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / ns * 1e9;
+            let _ = write!(line, " {eps:>10.0} elem/s");
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The registry is unreachable in this environment, so the workspace keeps
+//! its property tests by providing the subset of the proptest API they use
+//! as an in-tree crate with the same package name. Semantics: each test
+//! runs `cases` iterations with values sampled from the given strategies
+//! using a deterministic RNG seeded from the test's module path and name,
+//! so failures are reproducible run-to-run. There is no shrinking — a
+//! failing case panics with the plain assertion message.
+//!
+//! Supported surface: integer/float `Range` strategies, `any::<T>()` for
+//! primitives and arrays, tuple strategies up to 6 elements,
+//! `collection::vec`, `&str` regex-ish string strategies of the form
+//! `".{lo,hi}"`, `Just`, `.prop_map`, `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, and `ProptestConfig::with_cases`.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the tests import with `use proptest::prelude::*`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests. Mirrors proptest's macro: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `#[test]`
+/// functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __case in 0..config.cases {
+                    let _ = __case;
+                    $crate::__proptest_case!(rng; {$body} $($args)*);
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident; {$body:block}) => { $body };
+    ($rng:ident; {$body:block} $pat:pat in $strat:expr) => {{
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $body
+    }};
+    ($rng:ident; {$body:block} $pat:pat in $strat:expr, $($rest:tt)*) => {{
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_case!($rng; {$body} $($rest)*)
+    }};
+}
+
+/// Skip the current case when an assumption does not hold. Expands to a
+/// `continue` of the per-case loop, so rejected samples simply don't count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Assert inside a property test (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..17, b in -5i64..5, c in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.0..1.0).contains(&c));
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0u32..9, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 9));
+        }
+
+        #[test]
+        fn tuples_and_map(x in (0usize..4).prop_map(|i| i * 2), (a, b) in (any::<bool>(), 1u8..3)) {
+            prop_assert!(x % 2 == 0 && x < 8);
+            prop_assert!(a || !a);
+            prop_assert!(b == 1 || b == 2);
+        }
+
+        #[test]
+        fn string_pattern_lengths(s in ".{0,20}") {
+            prop_assert!(s.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut r1 = crate::test_runner::TestRng::for_test("x");
+        let mut r2 = crate::test_runner::TestRng::for_test("x");
+        let s = crate::collection::vec(0u64..1000, 0..50);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+}

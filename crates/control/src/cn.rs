@@ -10,8 +10,8 @@
 //! routing state, all of it disposable: peers simply reconnect elsewhere if
 //! a CN dies.
 
-use netsession_core::id::{ConnectionId, Guid};
 use netsession_core::id::SecondaryGuid;
+use netsession_core::id::{ConnectionId, Guid};
 use netsession_core::msg::{NatType, PeerAddr, UsageRecord};
 use netsession_core::time::SimTime;
 use std::collections::HashMap;

@@ -8,9 +8,9 @@
 //! The DN's state is **soft** (§3.8): losing it is harmless because the
 //! peers hold the ground truth and repopulate the DN through RE-ADD.
 
+use netsession_core::id::AsNumber;
 use netsession_core::id::{Guid, ObjectId, VersionId};
 use netsession_core::msg::{NatType, PeerAddr, PeerContact};
-use netsession_core::id::AsNumber;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// What the directory knows about one registered peer.
@@ -155,7 +155,10 @@ impl DirectoryNode {
 
     /// Uploads of `object` performed by `guid` so far.
     pub fn uploads_of(&self, guid: Guid, object: ObjectId) -> u32 {
-        self.upload_counts.get(&(guid, object)).copied().unwrap_or(0)
+        self.upload_counts
+            .get(&(guid, object))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total registration events seen for `version` (Fig 5's x-axis).

@@ -75,7 +75,10 @@ impl MonitoringNode {
     }
 
     fn evict(&mut self, now: SimTime) {
-        let horizon = now.since(SimTime::ZERO).as_micros().saturating_sub(self.window.as_micros());
+        let horizon = now
+            .since(SimTime::ZERO)
+            .as_micros()
+            .saturating_sub(self.window.as_micros());
         while self
             .reports
             .front()

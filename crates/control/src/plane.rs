@@ -12,12 +12,13 @@ use crate::directory::{DirectoryNode, PeerRecord};
 use crate::monitor::MonitoringNode;
 use crate::selection::{Querier, SelectionPolicy, Selector};
 use netsession_core::error::{Error, Result};
-use netsession_core::id::{ConnectionId, Guid, ObjectId, VersionId};
 use netsession_core::id::SecondaryGuid;
+use netsession_core::id::{ConnectionId, Guid, ObjectId, VersionId};
 use netsession_core::msg::{AuthToken, NatType, PeerAddr, PeerContact, UsageRecord};
 use netsession_core::rng::DetRng;
 use netsession_core::time::{SimDuration, SimTime};
 use netsession_edge::auth::EdgeAuth;
+use netsession_obs::MetricsRegistry;
 
 /// Control-plane parameters.
 #[derive(Clone, Debug)]
@@ -60,7 +61,11 @@ impl ReconnectLimiter {
     /// Admission time for the next reconnect attempted at `now`.
     pub fn admit(&mut self, now: SimTime) -> SimTime {
         let gap = SimDuration::from_secs_f64(1.0 / self.per_sec);
-        let at = if self.next_slot > now { self.next_slot } else { now };
+        let at = if self.next_slot > now {
+            self.next_slot
+        } else {
+            now
+        };
         self.next_slot = at + gap;
         at
     }
@@ -75,6 +80,7 @@ pub struct ControlPlane {
     /// Fleet monitoring (public so drivers can feed speed samples).
     pub monitor: MonitoringNode,
     limiter: ReconnectLimiter,
+    metrics: MetricsRegistry,
 }
 
 impl ControlPlane {
@@ -88,7 +94,29 @@ impl ControlPlane {
             auth,
             monitor: MonitoringNode::new(),
             limiter: ReconnectLimiter::new(cfg.reconnect_per_sec),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Attach this plane's instruments to a shared registry. Control
+    /// counters are named `control.*`: `control.logins`,
+    /// `control.logouts`, `control.peer_queries` /
+    /// `control.peer_queries_rejected`, `control.peers_selected`,
+    /// `control.empty_selections`, `control.usage_records`, plus the
+    /// `control.selection_size` histogram.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.attach_metrics(registry);
+        self
+    }
+
+    /// In-place variant of [`ControlPlane::with_metrics`].
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = registry.clone();
+    }
+
+    /// The registry this plane records into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Number of regions.
@@ -110,6 +138,7 @@ impl ControlPlane {
         secondary_guids: Vec<SecondaryGuid>,
         now: SimTime,
     ) -> ConnectionId {
+        self.metrics.counter("control.logins").incr();
         self.cns[region as usize].login(
             guid,
             addr,
@@ -124,6 +153,7 @@ impl ControlPlane {
     /// Logout / connection loss. Withdraws the peer's DN registrations
     /// (its copies are unreachable while offline).
     pub fn logout(&mut self, region: u32, guid: Guid) {
+        self.metrics.counter("control.logouts").incr();
         self.cns[region as usize].logout(guid);
         self.dns[region as usize].unregister_all(guid);
     }
@@ -156,11 +186,14 @@ impl ControlPlane {
         rng: &mut DetRng,
     ) -> Result<Vec<PeerContact>> {
         if token.guid != querier.guid {
+            self.metrics.counter("control.peer_queries_rejected").incr();
             return Err(Error::Unauthorized("token bound to another GUID".into()));
         }
         if !self.auth.verify(token, now) {
+            self.metrics.counter("control.peer_queries_rejected").incr();
             return Err(Error::Unauthorized("invalid or expired token".into()));
         }
+        self.metrics.counter("control.peer_queries").incr();
         let want = self.selector.policy.max_peers;
         let mut picked =
             self.selector
@@ -172,12 +205,9 @@ impl ControlPlane {
                     break;
                 }
                 let r = (region + offset) % regions;
-                let more = self.selector.select(
-                    &mut self.dns[r as usize],
-                    token.version,
-                    querier,
-                    rng,
-                );
+                let more =
+                    self.selector
+                        .select(&mut self.dns[r as usize], token.version, querier, rng);
                 for contact in more {
                     if picked.len() >= want {
                         break;
@@ -187,6 +217,15 @@ impl ControlPlane {
                     }
                 }
             }
+        }
+        self.metrics
+            .counter("control.peers_selected")
+            .add(picked.len() as u64);
+        self.metrics
+            .histogram("control.selection_size")
+            .record(picked.len() as u64);
+        if picked.is_empty() {
+            self.metrics.counter("control.empty_selections").incr();
         }
         Ok(picked)
     }
@@ -222,12 +261,18 @@ impl ControlPlane {
 
     /// Accept a usage report at a region's CN.
     pub fn accept_usage(&mut self, region: u32, records: Vec<UsageRecord>) {
+        self.metrics
+            .counter("control.usage_records")
+            .add(records.len() as u64);
         self.cns[region as usize].accept_usage(records);
     }
 
     /// Drain all usage records (billing pipeline).
     pub fn drain_usage(&mut self) -> Vec<UsageRecord> {
-        self.cns.iter_mut().flat_map(|cn| cn.drain_usage()).collect()
+        self.cns
+            .iter_mut()
+            .flat_map(|cn| cn.drain_usage())
+            .collect()
     }
 
     /// All login-log entries across CNs.
@@ -425,8 +470,10 @@ mod tests {
 
     #[test]
     fn cn_failure_paces_reconnections() {
-        let mut cfg = PlaneConfig::default();
-        cfg.reconnect_per_sec = 2.0; // 0.5 s between admissions
+        let cfg = PlaneConfig {
+            reconnect_per_sec: 2.0, // 0.5 s between admissions
+            ..PlaneConfig::default()
+        };
         let mut p = ControlPlane::new(&cfg, EdgeAuth::from_seed(1));
         for g in 1..=5u64 {
             p.login(

@@ -87,7 +87,6 @@ pub struct Selector {
     pub policy: SelectionPolicy,
 }
 
-
 impl Selector {
     /// Build with a policy.
     pub fn new(policy: SelectionPolicy) -> Self {
@@ -132,7 +131,10 @@ impl Selector {
             } else {
                 LocalityTier::World
             };
-            let ti = LocalityTier::LADDER.iter().position(|t| *t == tier).unwrap();
+            let ti = LocalityTier::LADDER
+                .iter()
+                .position(|t| *t == tier)
+                .unwrap();
             tiers[ti].push(rec.clone());
         }
 
@@ -366,6 +368,8 @@ mod tests {
         let mut dn = DirectoryNode::new(0);
         let selector = Selector::default();
         let mut rng = DetRng::seeded(8);
-        assert!(selector.select(&mut dn, ver(), &querier(), &mut rng).is_empty());
+        assert!(selector
+            .select(&mut dn, ver(), &querier(), &mut rng)
+            .is_empty());
     }
 }

@@ -1,28 +1,28 @@
 //! Hand-rolled binary wire codec.
 //!
-//! The live tokio runtime (`netsession-net`) frames protocol messages as
-//! length-prefixed binary records. Rather than pulling in a serde binary
-//! format, this module defines a tiny, explicit [`Wire`] trait with
-//! varint-compressed integers — the style the tokio "framing" tutorial
-//! recommends, with every field written and read in a fixed documented
-//! order.
+//! The live runtime (`netsession-net`) frames protocol messages as
+//! length-prefixed binary records. Rather than pulling in a serialization
+//! crate, this module defines a tiny, explicit [`Wire`] trait with
+//! varint-compressed integers, with every field written and read in a
+//! fixed documented order over plain `Vec<u8>` buffers.
 //!
 //! Framing: a frame is `u32-le length` followed by `length` payload bytes.
 //! [`FrameReader`] incrementally consumes a byte stream into frames.
 
 use crate::error::{Error, Result};
 use crate::hash::Digest;
-use crate::id::{AsNumber, ConnectionId, CpCode, Guid, ObjectId, PeerIndex, SecondaryGuid, VersionId};
+use crate::id::{
+    AsNumber, ConnectionId, CpCode, Guid, ObjectId, PeerIndex, SecondaryGuid, VersionId,
+};
 use crate::time::{SimDuration, SimTime};
 use crate::units::{Bandwidth, ByteCount};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Maximum accepted frame payload; larger frames are rejected as corrupt.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
 /// Serialization writer over a growable buffer.
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Default for Writer {
@@ -35,7 +35,7 @@ impl Writer {
     /// Fresh writer.
     pub fn new() -> Self {
         Writer {
-            buf: BytesMut::with_capacity(256),
+            buf: Vec::with_capacity(256),
         }
     }
 
@@ -45,10 +45,10 @@ impl Writer {
             let byte = (v & 0x7f) as u8;
             v >>= 7;
             if v == 0 {
-                self.buf.put_u8(byte);
+                self.buf.push(byte);
                 return;
             }
-            self.buf.put_u8(byte | 0x80);
+            self.buf.push(byte | 0x80);
         }
     }
 
@@ -59,18 +59,18 @@ impl Writer {
 
     /// Raw byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Fixed 64-bit float (little endian).
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_f64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Length-prefixed byte string.
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_varint(v.len() as u64);
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Length-prefixed UTF-8 string.
@@ -79,8 +79,8 @@ impl Writer {
     }
 
     /// Finish, returning the payload.
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
     }
 }
 
@@ -138,8 +138,7 @@ impl<'a> Reader<'a> {
         if self.buf.len() < 8 {
             return Err(Error::Codec("unexpected end of frame (f64)".into()));
         }
-        let mut b = self.buf;
-        let v = b.get_f64_le();
+        let v = f64::from_le_bytes(self.buf[..8].try_into().unwrap());
         self.buf = &self.buf[8..];
         Ok(v)
     }
@@ -191,7 +190,7 @@ pub trait Wire: Sized {
     fn decode(r: &mut Reader<'_>) -> Result<Self>;
 
     /// Encode into a standalone payload.
-    fn to_payload(&self) -> Bytes {
+    fn to_payload(&self) -> Vec<u8> {
         let mut w = Writer::new();
         self.encode(&mut w);
         w.finish()
@@ -392,7 +391,7 @@ impl Wire for ConnectionId {
 
 impl Wire for Digest {
     fn encode(&self, w: &mut Writer) {
-        w.buf.put_slice(&self.0);
+        w.buf.extend_from_slice(&self.0);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         Ok(Digest(r.get_array::<32>()?))
@@ -436,18 +435,18 @@ impl Wire for Bandwidth {
 }
 
 /// Wrap a payload in a length-prefixed frame.
-pub fn frame(payload: &[u8]) -> Bytes {
+pub fn frame(payload: &[u8]) -> Vec<u8> {
     assert!(payload.len() <= MAX_FRAME, "frame too large");
-    let mut out = BytesMut::with_capacity(4 + payload.len());
-    out.put_u32_le(payload.len() as u32);
-    out.put_slice(payload);
-    out.freeze()
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
 }
 
 /// Incremental frame extractor over a byte stream.
 #[derive(Default)]
 pub struct FrameReader {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl FrameReader {
@@ -458,11 +457,11 @@ impl FrameReader {
 
     /// Feed newly received bytes.
     pub fn extend(&mut self, data: &[u8]) {
-        self.buf.put_slice(data);
+        self.buf.extend_from_slice(data);
     }
 
     /// Try to extract the next complete frame payload.
-    pub fn next_frame(&mut self) -> Result<Option<Bytes>> {
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
@@ -473,8 +472,9 @@ impl FrameReader {
         if self.buf.len() < 4 + len {
             return Ok(None);
         }
-        self.buf.advance(4);
-        Ok(Some(self.buf.split_to(len).freeze()))
+        let payload = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(payload))
     }
 
     /// Bytes currently buffered but not yet consumed.

@@ -7,11 +7,10 @@
 //! workspace does not need an external crypto dependency. The implementation
 //! follows FIPS 180-4 and is validated against the standard test vectors.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 256-bit digest.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Digest(pub [u8; 32]);
 
 impl Digest {

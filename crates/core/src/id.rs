@@ -8,14 +8,13 @@
 //! **autonomous systems**.
 
 use crate::rng::DetRng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A peer installation's primary GUID — 128 random bits chosen when the
 /// NetSession Interface is first installed (§3.4). Two installations cloned
 /// from the same disk image share a GUID, which is exactly the anomaly the
 /// paper's §6.2 investigates.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Guid(pub u128);
 
 impl Guid {
@@ -45,7 +44,7 @@ impl fmt::Display for Guid {
 /// The 160-bit secondary GUID chosen freshly at every client start (§6.2).
 /// Clients report the last five secondary GUIDs at login; the control plane
 /// reconstructs chains from these reports to detect rollback/cloning.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SecondaryGuid(pub [u32; 5]);
 
 impl SecondaryGuid {
@@ -69,7 +68,7 @@ impl fmt::Debug for SecondaryGuid {
 
 /// A distributable object (one URL in the paper's trace). The trace had
 /// 4,038,894 distinct URLs (Table 1).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectId(pub u64);
 
 impl ObjectId {
@@ -95,7 +94,7 @@ impl fmt::Display for ObjectId {
 /// important that different versions are not mixed up in the same download.
 /// Edge servers generate and maintain secure IDs of content, which are unique
 /// to each version" (§3.5).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VersionId {
     /// The object this version belongs to.
     pub object: ObjectId,
@@ -112,7 +111,7 @@ impl fmt::Debug for VersionId {
 /// A content-provider account ("CP code" in Akamai terms, §4.1): "a number
 /// identifying a specific account of a content provider that is offering the
 /// file".
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CpCode(pub u32);
 
 impl fmt::Debug for CpCode {
@@ -129,7 +128,7 @@ impl fmt::Display for CpCode {
 
 /// An autonomous-system number. The trace observed 31,190 distinct ASes
 /// (Table 1).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AsNumber(pub u32);
 
 impl fmt::Debug for AsNumber {
@@ -147,7 +146,7 @@ impl fmt::Display for AsNumber {
 /// Dense index of a peer inside a simulation run. GUIDs are sparse 128-bit
 /// values; the simulator keeps peers in contiguous arrays and refers to them
 /// by this index.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PeerIndex(pub u32);
 
 impl PeerIndex {
@@ -165,7 +164,7 @@ impl fmt::Debug for PeerIndex {
 
 /// Identifier of one persistent control connection (peer ↔ CN), unique per
 /// CN. Used to route asynchronous "connect to each other" instructions.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnectionId(pub u64);
 
 impl fmt::Debug for ConnectionId {

@@ -21,12 +21,11 @@ use crate::piece::{Manifest, PieceIndex, PieceMap};
 use crate::policy::{DownloadPolicy, TransferConfig};
 use crate::time::SimTime;
 use crate::units::ByteCount;
-use serde::{Deserialize, Serialize};
 
 /// NAT/firewall classification of an endpoint, as determined by the STUN
 /// components (§3.6). The taxonomy follows classic STUN (RFC 3489 vintage),
 /// which is what a custom traversal implementation must reason about.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NatType {
     /// Publicly reachable, no NAT.
     Open,
@@ -88,7 +87,7 @@ impl Wire for NatType {
 
 /// Transport address of a peer (synthetic IPv4 in the simulator, real
 /// localhost addresses in the live runtime).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PeerAddr {
     /// IPv4 address as a big-endian integer.
     pub ip: u32,
@@ -121,7 +120,7 @@ impl Wire for PeerAddr {
 
 /// Everything a downloading peer needs to contact a selected peer: returned
 /// by the CN in response to a query (§3.7).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PeerContact {
     /// The remote peer's GUID.
     pub guid: Guid,
@@ -155,7 +154,7 @@ impl Wire for PeerContact {
 /// search for peers." The token binds (guid, object version, expiry) under
 /// the edge tier's secret; the control plane verifies the binding before
 /// answering queries.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AuthToken {
     /// GUID the token was issued to.
     pub guid: Guid,
@@ -188,7 +187,7 @@ impl Wire for AuthToken {
 /// object, start/end, and the split of bytes between infrastructure and
 /// peers. This is the billing-relevant unit the accounting pipeline
 /// cross-checks.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct UsageRecord {
     /// Downloading peer.
     pub guid: Guid,
@@ -226,7 +225,7 @@ impl Wire for UsageRecord {
 }
 
 /// Messages on the persistent peer ↔ control-plane connection.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ControlMsg {
     /// Peer logs in when it comes online.
     Login {
@@ -466,7 +465,7 @@ impl Wire for ControlMsg {
 /// Messages on peer ↔ peer swarming connections (§3.4). Deliberately close
 /// to BitTorrent's wire protocol, minus choke/unchoke: NetSession has no
 /// tit-for-tat.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SwarmMsg {
     /// First message on a connection; both sides send one.
     Handshake {
@@ -627,7 +626,7 @@ impl Wire for SwarmMsg {
 }
 
 /// Messages on peer ↔ edge-server HTTP(S) connections (§3.5).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum EdgeMsg {
     /// Peer authenticates and asks for authorization to fetch a version.
     Authorize {

@@ -10,7 +10,6 @@
 use crate::hash::{sha256, Digest, Sha256};
 use crate::id::VersionId;
 use crate::units::ByteCount;
-use serde::{Deserialize, Serialize};
 
 /// Index of one fixed-size piece within an object.
 pub type PieceIndex = u32;
@@ -22,7 +21,7 @@ pub const DEFAULT_PIECE_SIZE: u64 = 1 << 20;
 /// total size, piece size, and the secure hash of every piece. Distributed
 /// to peers over the trusted HTTP(S) edge connection so they can validate
 /// pieces received from untrusted peers (§3.5).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Manifest {
     /// Versioned secure content ID.
     pub version: VersionId,
@@ -42,10 +41,7 @@ impl Manifest {
     /// server and by tests).
     pub fn from_content(version: VersionId, content: &[u8], piece_size: u64) -> Self {
         assert!(piece_size > 0, "piece size must be positive");
-        let piece_hashes: Vec<Digest> = content
-            .chunks(piece_size as usize)
-            .map(sha256)
-            .collect();
+        let piece_hashes: Vec<Digest> = content.chunks(piece_size as usize).map(sha256).collect();
         let piece_hashes = if piece_hashes.is_empty() {
             // Zero-byte object still has one (empty) piece for bookkeeping.
             vec![sha256(b"")]
@@ -147,7 +143,7 @@ impl Manifest {
 }
 
 /// The have-bitmap: which pieces of an object a peer holds.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct PieceMap {
     bits: Vec<u64>,
     len: u32,

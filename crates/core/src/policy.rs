@@ -9,10 +9,9 @@
 //! idle-link backoff) and the global upload-connection limit of §3.4.
 
 use crate::units::Bandwidth;
-use serde::{Deserialize, Serialize};
 
 /// Per-object policy, set by the content provider.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DownloadPolicy {
     /// Whether the object may be downloaded at all.
     pub download_allowed: bool,
@@ -62,7 +61,7 @@ pub const DEFAULT_PEERS_RETURNED: usize = 40;
 /// Client-side transfer configuration — the §3.9 best practices plus the
 /// §3.4 global connection limit. Communicated from the control plane via
 /// configuration updates.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TransferConfig {
     /// Global limit on simultaneous upload connections a peer allows
     /// ("only a globally configurable limit on the total number of upload
@@ -119,7 +118,7 @@ impl TransferConfig {
 /// Which binary variant a content provider bundles: uploads initially
 /// enabled or initially disabled (§5.1: "the NetSession binary is available
 /// in two versions").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum UploadDefault {
     /// Peer-assist on by default.
     Enabled,

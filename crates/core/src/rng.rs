@@ -1,12 +1,10 @@
 //! Deterministic, splittable pseudo-randomness.
 //!
 //! Every experiment binary in the workspace must be exactly reproducible from
-//! a single seed, independent of the `rand` crate's internal algorithm
+//! a single seed, independent of any external crate's internal algorithm
 //! choices. [`DetRng`] is a small, fast SplitMix64/xoshiro256++ generator
-//! implemented here; it also implements [`rand::RngCore`] so it can drive
-//! `rand`'s distribution adaptors when convenient.
-
-use rand::RngCore;
+//! implemented entirely here, so the workspace builds offline with no
+//! dependency on the `rand` ecosystem.
 
 /// Deterministic RNG: xoshiro256++ seeded via SplitMix64.
 #[derive(Clone, Debug)]
@@ -149,16 +147,9 @@ impl DetRng {
             items.swap(i, j);
         }
     }
-}
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        DetRng::next_u32(self)
-    }
-    fn next_u64(&mut self) -> u64 {
-        DetRng::next_u64(self)
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fill a byte slice with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next_u64().to_le_bytes());
@@ -168,10 +159,6 @@ impl RngCore for DetRng {
             let bytes = self.next_u64().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -5,14 +5,11 @@
 //! October 2012; our synthetic month is likewise 31 days, and helpers convert
 //! to (day, hour) for the diurnal analyses (Fig 3c).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A span of simulated time, in microseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize, Debug,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Debug)]
 pub struct SimDuration(pub u64);
 
 impl SimDuration {
@@ -68,9 +65,7 @@ impl SimDuration {
 }
 
 /// An instant of simulated time: microseconds since trace start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

@@ -5,15 +5,12 @@
 //! from being confused and provide the conversions the analytics need.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A number of content bytes.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ByteCount(pub u64);
 
 impl ByteCount {
@@ -115,7 +112,7 @@ impl fmt::Display for ByteCount {
 
 /// A transfer rate. Stored as bytes/second (f64) for flow-model arithmetic;
 /// displayed in Mbps to match the paper's figures.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Bandwidth(pub f64);
 
 impl Bandwidth {

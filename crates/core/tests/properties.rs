@@ -113,7 +113,7 @@ proptest! {
             piece_size,
         );
         let total: u64 = (0..m.piece_count()).map(|p| m.piece_len(p)).sum();
-        prop_assert_eq!(total, size.max(0));
+        prop_assert_eq!(total, size);
         // Every piece except possibly the last is exactly piece_size.
         for p in 0..m.piece_count().saturating_sub(1) {
             prop_assert_eq!(m.piece_len(p), piece_size);

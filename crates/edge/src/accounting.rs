@@ -19,8 +19,8 @@
 use netsession_core::id::{Guid, VersionId};
 use netsession_core::msg::UsageRecord;
 use netsession_core::units::ByteCount;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Reconciliation tolerance: protocol overhead and in-flight rounding allow
 /// a small relative slack before a record is flagged.
@@ -72,7 +72,7 @@ impl AccountingLedger {
     /// Record that an edge authorized `guid` for `version` (every download
     /// begins with an authorization, §3.5).
     pub fn record_authorization(&self, guid: Guid, version: VersionId) {
-        self.authorized.lock().insert((guid, version));
+        self.authorized.lock().unwrap().insert((guid, version));
     }
 
     /// Record bytes an edge actually served.
@@ -80,16 +80,30 @@ impl AccountingLedger {
         *self
             .receipts
             .lock()
+            .unwrap()
             .entry((guid, version))
             .or_insert(ByteCount::ZERO) += bytes;
         // Serving implies authorization.
-        self.authorized.lock().insert((guid, version));
+        self.authorized.lock().unwrap().insert((guid, version));
+    }
+
+    /// Total bytes receipted across all (GUID, version) pairs.
+    pub fn total_edge_bytes(&self) -> ByteCount {
+        ByteCount::from_bytes(
+            self.receipts
+                .lock()
+                .unwrap()
+                .values()
+                .map(|b| b.bytes())
+                .sum(),
+        )
     }
 
     /// Receipted bytes for a (GUID, version).
     pub fn receipted(&self, guid: Guid, version: VersionId) -> ByteCount {
         self.receipts
             .lock()
+            .unwrap()
             .get(&(guid, version))
             .copied()
             .unwrap_or(ByteCount::ZERO)
@@ -108,7 +122,7 @@ impl AccountingLedger {
         let mut flagged = Vec::new();
         for r in reports {
             let key = (r.guid, r.version);
-            if !self.authorized.lock().contains(&key) {
+            if !self.authorized.lock().unwrap().contains(&key) {
                 flagged.push(Discrepancy::Phantom {
                     guid: r.guid,
                     version: r.version,
@@ -118,9 +132,7 @@ impl AccountingLedger {
             let receipted = self.receipted(r.guid, r.version);
             let slack_bytes =
                 ByteCount::from_bytes((receipted.bytes() as f64 * SLACK) as u64 + 4096);
-            if r.bytes_from_infrastructure.bytes()
-                > (receipted + slack_bytes).bytes()
-            {
+            if r.bytes_from_infrastructure.bytes() > (receipted + slack_bytes).bytes() {
                 flagged.push(Discrepancy::InflatedInfrastructure {
                     guid: r.guid,
                     claimed: r.bytes_from_infrastructure,
@@ -130,9 +142,7 @@ impl AccountingLedger {
             }
             if let Some(size) = completed_size(r) {
                 let claimed = r.bytes_from_infrastructure + r.bytes_from_peers;
-                let floor = ByteCount::from_bytes(
-                    (size.bytes() as f64 * (1.0 - SLACK)) as u64,
-                );
+                let floor = ByteCount::from_bytes((size.bytes() as f64 * (1.0 - SLACK)) as u64);
                 if claimed.bytes() < floor.bytes() {
                     flagged.push(Discrepancy::DeflatedTotal {
                         guid: r.guid,

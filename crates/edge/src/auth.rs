@@ -111,7 +111,7 @@ mod tests {
         assert!(!auth.verify(&forged, SimTime(0)));
         // Extended expiry.
         let mut forged = t;
-        forged.expires = forged.expires + SimDuration::from_days(30);
+        forged.expires += SimDuration::from_days(30);
         assert!(!auth.verify(&forged, SimTime(0)));
     }
 

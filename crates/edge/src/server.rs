@@ -15,8 +15,9 @@ use netsession_core::msg::{AuthToken, EdgeMsg};
 use netsession_core::piece::Manifest;
 use netsession_core::time::SimTime;
 use netsession_core::units::ByteCount;
-use parking_lot::Mutex;
+use netsession_obs::MetricsRegistry;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A regional edge server.
 pub struct EdgeServer {
@@ -26,6 +27,7 @@ pub struct EdgeServer {
     auth: EdgeAuth,
     ledger: Arc<AccountingLedger>,
     served: Mutex<ByteCount>,
+    metrics: MetricsRegistry,
 }
 
 /// Successful authorization response payload.
@@ -53,22 +55,47 @@ impl EdgeServer {
             auth,
             ledger,
             served: Mutex::new(ByteCount::ZERO),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Attach this server's instruments to a shared registry. All edge
+    /// counters are named `edge.*`:
+    /// `edge.auth_grants` / `edge.auth_denials`, `edge.pieces_served`,
+    /// `edge.bytes_served`, and the `edge.piece_len` histogram.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.attach_metrics(registry);
+        self
+    }
+
+    /// In-place variant of [`EdgeServer::with_metrics`].
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = registry.clone();
+    }
+
+    /// The registry this server records into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Handle an authorization request (§3.5): authentication is implicit
     /// (the GUID identifies the installation); policy gates the download.
     pub fn authorize(&self, guid: Guid, object: ObjectId, now: SimTime) -> Result<Authorization> {
-        let stored = self
-            .store
-            .get(object)
-            .ok_or_else(|| Error::NotFound(format!("object {object}")))?;
+        let stored = match self.store.get(object) {
+            Some(stored) => stored,
+            None => {
+                self.metrics.counter("edge.auth_denials").incr();
+                return Err(Error::NotFound(format!("object {object}")));
+            }
+        };
         if !stored.policy.download_allowed {
+            self.metrics.counter("edge.auth_denials").incr();
             return Err(Error::PolicyDenied(format!(
                 "provider policy forbids downloading object {object}"
             )));
         }
         let token = self.auth.issue(guid, stored.manifest.version, now);
+        self.metrics.counter("edge.auth_grants").incr();
         Ok(Authorization {
             token,
             policy: stored.policy,
@@ -119,8 +146,29 @@ impl EdgeServer {
     /// Record served bytes directly (used by the fluid simulation, which
     /// accounts transfers continuously rather than per piece).
     pub fn record_served(&self, guid: Guid, version: VersionId, bytes: ByteCount) {
-        *self.served.lock() += bytes;
+        *self.served.lock().unwrap() += bytes;
+        self.metrics.counter("edge.pieces_served").incr();
+        self.metrics.counter("edge.bytes_served").add(bytes.bytes());
+        self.metrics
+            .histogram("edge.piece_len")
+            .record(bytes.bytes());
         self.ledger.record_edge_receipt(guid, version, bytes);
+    }
+
+    /// Cross-check this server's byte counter against the ledger's edge
+    /// receipts, recording the outcome as `edge.accounting_ok` /
+    /// `edge.accounting_mismatch`. Returns `true` when they agree.
+    pub fn verify_accounting(&self) -> bool {
+        let served = self.served.lock().unwrap().bytes();
+        let receipts = self.ledger.total_edge_bytes().bytes();
+        let ok = served == receipts;
+        let name = if ok {
+            "edge.accounting_ok"
+        } else {
+            "edge.accounting_mismatch"
+        };
+        self.metrics.counter(name).incr();
+        ok
     }
 
     fn check_token(&self, token: &AuthToken, now: SimTime) -> Result<()> {
@@ -132,7 +180,7 @@ impl EdgeServer {
 
     /// Total bytes this server has served.
     pub fn total_served(&self) -> ByteCount {
-        *self.served.lock()
+        *self.served.lock().unwrap()
     }
 
     /// Dispatch a wire-level [`EdgeMsg`] (used by the live runtime's
@@ -237,9 +285,7 @@ mod tests {
     fn piece_serving_requires_valid_token_and_counts_bytes() {
         let (server, _) = fixture();
         let a = server.authorize(Guid(7), ObjectId(1), SimTime(0)).unwrap();
-        let (digest, len) = server
-            .serve_piece_digest(&a.token, 0, SimTime(1))
-            .unwrap();
+        let (digest, len) = server.serve_piece_digest(&a.token, 0, SimTime(1)).unwrap();
         assert_eq!(len, 1 << 20);
         assert!(a.manifest.verify_digest(0, digest));
         assert_eq!(server.total_served().bytes(), 1 << 20);
@@ -307,7 +353,9 @@ mod tests {
             SimTime(0),
         );
         let token = match resp {
-            EdgeMsg::Authorized { token, manifest, .. } => {
+            EdgeMsg::Authorized {
+                token, manifest, ..
+            } => {
                 assert_eq!(manifest.piece_count(), 2);
                 token
             }

@@ -11,8 +11,8 @@ use netsession_core::id::{CpCode, ObjectId, VersionId};
 use netsession_core::piece::{Manifest, DEFAULT_PIECE_SIZE};
 use netsession_core::policy::DownloadPolicy;
 use netsession_core::units::ByteCount;
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// One published object: its manifest, policy, owner, and (optionally, for
 /// the live runtime) the actual bytes.
@@ -51,7 +51,7 @@ impl ContentStore {
     ) -> VersionId {
         let version = self.next_version(id);
         let manifest = Manifest::synthetic(version, size, DEFAULT_PIECE_SIZE);
-        self.objects.write().insert(
+        self.objects.write().unwrap().insert(
             id,
             StoredObject {
                 manifest,
@@ -74,7 +74,7 @@ impl ContentStore {
     ) -> VersionId {
         let version = self.next_version(id);
         let manifest = Manifest::from_content(version, &content, piece_size);
-        self.objects.write().insert(
+        self.objects.write().unwrap().insert(
             id,
             StoredObject {
                 manifest,
@@ -87,7 +87,7 @@ impl ContentStore {
     }
 
     fn next_version(&self, id: ObjectId) -> VersionId {
-        let objects = self.objects.read();
+        let objects = self.objects.read().unwrap();
         let version = objects
             .get(&id)
             .map(|o| o.manifest.version.version + 1)
@@ -100,12 +100,16 @@ impl ContentStore {
 
     /// Fetch the stored object, if published.
     pub fn get(&self, id: ObjectId) -> Option<StoredObject> {
-        self.objects.read().get(&id).cloned()
+        self.objects.read().unwrap().get(&id).cloned()
     }
 
     /// Current manifest of an object.
     pub fn manifest(&self, id: ObjectId) -> Option<Manifest> {
-        self.objects.read().get(&id).map(|o| o.manifest.clone())
+        self.objects
+            .read()
+            .unwrap()
+            .get(&id)
+            .map(|o| o.manifest.clone())
     }
 
     /// Whether `version` is the *current* version of its object — stale
@@ -113,13 +117,14 @@ impl ContentStore {
     pub fn is_current(&self, version: VersionId) -> bool {
         self.objects
             .read()
+            .unwrap()
             .get(&version.object)
             .is_some_and(|o| o.manifest.version == version)
     }
 
     /// Bytes of one piece of the current version (live runtime only).
     pub fn piece_bytes(&self, version: VersionId, piece: u32) -> Option<Vec<u8>> {
-        let objects = self.objects.read();
+        let objects = self.objects.read().unwrap();
         let obj = objects.get(&version.object)?;
         if obj.manifest.version != version {
             return None;
@@ -132,12 +137,12 @@ impl ContentStore {
 
     /// Number of published objects.
     pub fn len(&self) -> usize {
-        self.objects.read().len()
+        self.objects.read().unwrap().len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.objects.read().is_empty()
+        self.objects.read().unwrap().is_empty()
     }
 }
 

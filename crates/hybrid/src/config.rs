@@ -67,9 +67,7 @@ impl Default for ScenarioConfig {
             peers_returned: 40,
             locality_aware: true,
             edge_backstop: true,
-            per_object_upload_cap: Some(
-                netsession_core::policy::DEFAULT_PER_OBJECT_UPLOAD_CAP,
-            ),
+            per_object_upload_cap: Some(netsession_core::policy::DEFAULT_PER_OBJECT_UPLOAD_CAP),
             enable_fraction_override: None,
             daily_login_prob: 0.4,
             session_mode_factor: 1.0,

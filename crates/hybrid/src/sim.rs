@@ -29,6 +29,7 @@ use netsession_logs::geodb::GeoInfo;
 use netsession_logs::records::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
 use netsession_logs::TraceDataset;
 use netsession_nat::matrix::{connectivity, Connectivity};
+use netsession_obs::MetricsRegistry;
 use netsession_sim::engine::EventQueue;
 use netsession_sim::flownet::{FlowId, FlowNet, NodeId};
 use netsession_world::behaviour::UserModel;
@@ -144,6 +145,10 @@ pub struct SimOutput {
     /// The scenario in its end-of-month state (population, catalog, AS
     /// universe, control plane) — several analyses join against it.
     pub scenario: Scenario,
+    /// Telemetry recorded during the run (deterministic counters and
+    /// histograms, the event ring, and wall-clock timings in the volatile
+    /// section).
+    pub metrics: MetricsRegistry,
 }
 
 /// The simulation driver.
@@ -151,6 +156,7 @@ pub struct HybridSim {
     scenario: Scenario,
     rng: DetRng,
     user_model: UserModel,
+    metrics: MetricsRegistry,
 }
 
 impl HybridSim {
@@ -161,7 +167,16 @@ impl HybridSim {
             scenario,
             rng,
             user_model: UserModel::default(),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Record the run's telemetry into `registry` instead of the sim's own
+    /// private registry. Instrumentation is strictly passive — attaching a
+    /// registry never changes simulated behaviour or the produced dataset.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = registry.clone();
+        self
     }
 
     /// Convenience: build and run a config.
@@ -169,11 +184,25 @@ impl HybridSim {
         HybridSim::new(Scenario::build(config)).run()
     }
 
+    /// Build and run a config, recording telemetry into a caller-supplied
+    /// registry. Lets multi-run experiments (sweeps, ablations) accumulate
+    /// metrics from every run into one sidecar.
+    pub fn run_config_with(config: ScenarioConfig, registry: &MetricsRegistry) -> SimOutput {
+        HybridSim::new(Scenario::build(config))
+            .with_metrics(registry)
+            .run()
+    }
+
     /// Run the month and produce the trace.
     pub fn run(mut self) -> SimOutput {
         let n_peers = self.scenario.population.len();
-        let mut net = FlowNet::new();
-        let mut queue: EventQueue<Event> = EventQueue::new();
+        let metrics = self.metrics.clone();
+        self.scenario.plane.attach_metrics(&metrics);
+        for edge in &mut self.scenario.edges {
+            edge.attach_metrics(&metrics);
+        }
+        let mut net = FlowNet::new().with_metrics(&metrics);
+        let mut queue: EventQueue<Event> = EventQueue::new().with_metrics(&metrics);
         let mut dataset = TraceDataset::default();
         let mut stats = RunStats::default();
 
@@ -209,8 +238,12 @@ impl HybridSim {
                     kind => IdentityState::with_anomaly(kind, 2 + id_rng.index(6) as u32),
                 },
             };
-            let mobility =
-                MobilityPlan::generate(spec, &self.scenario.population.as_model, &mob_cfg, &mut mob_rng);
+            let mobility = MobilityPlan::generate(
+                spec,
+                &self.scenario.population.as_model,
+                &mob_cfg,
+                &mut mob_rng,
+            );
             // Table-3 setting changes, scheduled at random trace times.
             let changes = self
                 .user_model
@@ -327,10 +360,37 @@ impl HybridSim {
         let mut tick_scheduled = false;
         let cutoff = SimTime::ZERO + TRACE_MONTH + TAIL;
 
+        // Per-event-type instruments, pre-created so the hot loop does no
+        // name lookups. Wall-clock timings go to the volatile section (they
+        // differ run-to-run and must not pollute the deterministic snapshot).
+        let ev_counters = [
+            metrics.counter("hybrid.ev_online"),
+            metrics.counter("hybrid.ev_offline"),
+            metrics.counter("hybrid.ev_arrival"),
+            metrics.counter("hybrid.ev_tick"),
+            metrics.counter("hybrid.ev_control_restart"),
+        ];
+        let ev_timings = [
+            metrics.volatile_histogram("hybrid.ev_online_ns"),
+            metrics.volatile_histogram("hybrid.ev_offline_ns"),
+            metrics.volatile_histogram("hybrid.ev_arrival_ns"),
+            metrics.volatile_histogram("hybrid.ev_tick_ns"),
+            metrics.volatile_histogram("hybrid.ev_control_restart_ns"),
+        ];
+
         while let Some((t, event)) = queue.pop() {
             if t > cutoff {
                 break;
             }
+            let ev_kind = match &event {
+                Event::Online(_) => 0,
+                Event::Offline(_) => 1,
+                Event::Arrival(_) => 2,
+                Event::Tick => 3,
+                Event::ControlRestart => 4,
+            };
+            ev_counters[ev_kind].incr();
+            let ev_started = std::time::Instant::now();
             match event {
                 Event::Online(p) => {
                     self.login(
@@ -355,6 +415,7 @@ impl HybridSim {
                         &mut self.scenario,
                         &mut dataset,
                         &mut stats,
+                        &metrics,
                         t,
                     );
                     net.recompute();
@@ -383,6 +444,7 @@ impl HybridSim {
                         &mut self.scenario,
                         &mut dataset,
                         &mut stats,
+                        &metrics,
                         t,
                     );
                     net.recompute();
@@ -392,6 +454,12 @@ impl HybridSim {
                     }
                 }
                 Event::ControlRestart => {
+                    metrics.record_event(
+                        t.as_micros(),
+                        "hybrid",
+                        "control_restart",
+                        "fleet-wide CN/DN restart: DN soft state wiped, RE-ADD issued",
+                    );
                     // All DN soft state is wiped; every online, upload-
                     // enabled peer answers the RE-ADD by re-registering its
                     // cached content (§3.8). (The production system paces
@@ -444,6 +512,7 @@ impl HybridSim {
                         &mut self.scenario,
                         &mut dataset,
                         &mut stats,
+                        &metrics,
                         t,
                     );
                     self.requery(
@@ -466,6 +535,7 @@ impl HybridSim {
                     }
                 }
             }
+            ev_timings[ev_kind].record(ev_started.elapsed().as_nanos() as u64);
         }
 
         // Cut off whatever is still in flight.
@@ -482,6 +552,7 @@ impl HybridSim {
             &mut self.scenario,
             &mut dataset,
             &mut stats,
+            &metrics,
             cutoff,
         );
 
@@ -500,6 +571,7 @@ impl HybridSim {
             dataset,
             stats,
             scenario: self.scenario,
+            metrics,
         }
     }
 
@@ -531,7 +603,11 @@ impl HybridSim {
         // Pick the login site.
         let site_idx = {
             let site = rt.mobility.sample_site(rng);
-            rt.mobility.sites.iter().position(|s| s == site).unwrap_or(0)
+            rt.mobility
+                .sites
+                .iter()
+                .position(|s| s == site)
+                .unwrap_or(0)
         };
         rt.site = site_idx;
         let site = &rt.mobility.sites[site_idx];
@@ -603,7 +679,9 @@ impl HybridSim {
                 .map(|(_, (v, _))| *v)
                 .collect();
             for v in versions {
-                self.scenario.plane.register_content(region, record.clone(), v);
+                self.scenario
+                    .plane
+                    .register_content(region, record.clone(), v);
             }
         }
     }
@@ -734,10 +812,10 @@ impl HybridSim {
                 zone: region as u8,
                 nat: spec.nat,
             };
-            if let Ok(contacts) =
-                self.scenario
-                    .plane
-                    .query_peers(region, &querier, &dl.token, t, rng)
+            if let Ok(contacts) = self
+                .scenario
+                .plane
+                .query_peers(region, &querier, &dl.token, t, rng)
             {
                 dl.initial_peers = contacts.len() as u32;
                 connect_sources(
@@ -750,17 +828,21 @@ impl HybridSim {
                     net,
                     &mut dl,
                     stats,
+                    &self.metrics,
                     rng,
                 );
+            }
+            // Swarm came up empty (nobody reachable through NAT, nobody
+            // caching the version): the always-on edge connection is the
+            // backstop (§3.3).
+            if dl.sources.is_empty() {
+                self.metrics.counter("peer.edge_fallbacks").incr();
             }
         }
 
         if self.scenario.config.edge_backstop {
-            dl.edge_flow = Some(net.add_flow(
-                edge_nodes[region as usize],
-                peers[p as usize].node,
-                None,
-            ));
+            dl.edge_flow =
+                Some(net.add_flow(edge_nodes[region as usize], peers[p as usize].node, None));
             update_edge_ceil(&dl, spec.down, net);
         }
 
@@ -829,6 +911,7 @@ impl HybridSim {
                     net,
                     &mut dls[*id],
                     stats,
+                    &self.metrics,
                     rng,
                 );
                 update_edge_ceil(&dls[*id], downlink, net);
@@ -868,6 +951,7 @@ fn connect_sources(
     net: &mut FlowNet,
     dl: &mut Dl,
     stats: &mut RunStats,
+    metrics: &MetricsRegistry,
     rng: &mut DetRng,
 ) {
     let max_conns = scenario.config.transfer.max_download_connections;
@@ -898,19 +982,27 @@ fn connect_sources(
             _ => continue,
         }
         // Traversal.
+        metrics.counter("peer.nat_traversal_attempts").incr();
         let p_ok = match connectivity(my_nat, c.nat) {
             Connectivity::Direct => P_DIRECT,
             Connectivity::HolePunch => P_PUNCH,
             Connectivity::None => {
                 stats.punch_failures += 1;
+                metrics.counter("peer.nat_traversal_blocked").incr();
                 continue;
             }
         };
         if !rng.chance(p_ok) {
             stats.punch_failures += 1;
+            metrics.counter("peer.nat_punch_failures").incr();
             continue;
         }
-        let flow = net.add_flow(peers[src as usize].node, peers[downloader as usize].node, None);
+        metrics.counter("peer.nat_traversal_ok").incr();
+        let flow = net.add_flow(
+            peers[src as usize].node,
+            peers[downloader as usize].node,
+            None,
+        );
         peers[src as usize].active_uploads += 1;
         dl.sources.push(SourceFlow {
             peer: src,
@@ -976,11 +1068,10 @@ fn advance(dls: &mut [Dl], active: &[usize], net: &FlowNet, from: SimTime, to: S
         if let Some(abort_at) = dl.abort_at {
             if abort_at <= to {
                 let dt_abort = abort_at.since(from).as_secs_f64();
-                if (dt_abort < milestone_dt || outcome.is_none())
-                    && dt_abort <= milestone_dt {
-                        milestone_dt = dt_abort;
-                        outcome = Some(DownloadOutcome::Abandoned);
-                    }
+                if (dt_abort < milestone_dt || outcome.is_none()) && dt_abort <= milestone_dt {
+                    milestone_dt = dt_abort;
+                    outcome = Some(DownloadOutcome::Abandoned);
+                }
             }
         }
 
@@ -1008,6 +1099,7 @@ fn process_finished(
     scenario: &mut Scenario,
     dataset: &mut TraceDataset,
     stats: &mut RunStats,
+    metrics: &MetricsRegistry,
     _now: SimTime,
 ) {
     let mut i = 0;
@@ -1074,16 +1166,27 @@ fn process_finished(
 
         // Outcome bookkeeping.
         match outcome {
-            DownloadOutcome::Completed => stats.completed += 1,
-            DownloadOutcome::Abandoned => stats.abandoned += 1,
+            DownloadOutcome::Completed => {
+                stats.completed += 1;
+                metrics.counter("hybrid.downloads_completed").incr();
+            }
+            DownloadOutcome::Abandoned => {
+                stats.abandoned += 1;
+                metrics.counter("hybrid.downloads_abandoned").incr();
+            }
             DownloadOutcome::Failed { system_related } => {
                 if system_related {
                     stats.failed_system += 1;
+                    metrics.counter("hybrid.downloads_failed_system").incr();
                 } else {
                     stats.failed_env += 1;
+                    metrics.counter("hybrid.downloads_failed_env").incr();
                 }
             }
         }
+        metrics
+            .histogram("hybrid.download_secs")
+            .record((ended - dl.started).as_secs_f64() as u64);
 
         // Cache + registration on completion.
         if outcome == DownloadOutcome::Completed {
@@ -1128,7 +1231,10 @@ fn process_finished(
             country: spec.country as u16,
             region: spec.region().index() as u8,
         };
-        scenario.plane.monitor.report_speed(ended, record.mean_speed());
+        scenario
+            .plane
+            .monitor
+            .report_speed(ended, record.mean_speed());
         scenario
             .plane
             .accept_usage(dl.region, vec![record_to_usage(&record)]);
@@ -1234,7 +1340,13 @@ mod tests {
         assert_eq!(a.dataset.downloads.len(), b.dataset.downloads.len());
         assert_eq!(a.stats.completed, b.stats.completed);
         assert_eq!(a.stats.p2p_bytes, b.stats.p2p_bytes);
-        for (x, y) in a.dataset.downloads.iter().zip(&b.dataset.downloads).take(200) {
+        for (x, y) in a
+            .dataset
+            .downloads
+            .iter()
+            .zip(&b.dataset.downloads)
+            .take(200)
+        {
             assert_eq!(x.guid, y.guid);
             assert_eq!(x.ended, y.ended);
             assert_eq!(x.bytes_peers, y.bytes_peers);
@@ -1247,9 +1359,8 @@ mod tests {
         cfg.edge_backstop = false;
         let no_backstop = HybridSim::run_config(cfg);
         let with_backstop = run_tiny();
-        let rate = |o: &SimOutput| {
-            o.stats.completed as f64 / (o.dataset.downloads.len().max(1)) as f64
-        };
+        let rate =
+            |o: &SimOutput| o.stats.completed as f64 / (o.dataset.downloads.len().max(1)) as f64;
         assert!(
             rate(&no_backstop) < rate(&with_backstop),
             "backstop must improve completion ({} vs {})",

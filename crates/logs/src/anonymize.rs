@@ -25,7 +25,10 @@ impl Anonymizer {
     /// Anonymize a GUID: a new opaque 128-bit identifier.
     pub fn guid(&self, guid: Guid) -> Guid {
         let d = anonymize(&self.key, &format!("guid:{guid}"));
-        Guid(((d.prefix_u64() as u128) << 64) | u64::from_be_bytes(d.0[8..16].try_into().unwrap()) as u128)
+        Guid(
+            ((d.prefix_u64() as u128) << 64)
+                | u64::from_be_bytes(d.0[8..16].try_into().unwrap()) as u128,
+        )
     }
 
     /// Anonymize an IP address to an opaque 64-bit value.

@@ -7,10 +7,9 @@
 use crate::geodb::EdgeScapeDb;
 use crate::records::{DownloadRecord, LoginRecord, TransferRecord};
 use netsession_core::id::VersionId;
-use serde::{Deserialize, Serialize};
 
 /// One month of logs.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TraceDataset {
     /// CN download records.
     pub downloads: Vec<DownloadRecord>,
@@ -25,7 +24,7 @@ pub struct TraceDataset {
 }
 
 /// The Table-1 style summary of a data set.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DatasetSummary {
     /// Total log entries (downloads + logins + transfers).
     pub log_entries: u64,

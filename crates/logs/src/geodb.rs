@@ -8,11 +8,10 @@
 //! it, as the authors did.
 
 use netsession_core::id::AsNumber;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// What EdgeScape knows about one IP.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GeoInfo {
     /// ISO 3166 country code.
     pub country_code: String,
@@ -33,7 +32,7 @@ pub struct GeoInfo {
 }
 
 /// IP → geolocation.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct EdgeScapeDb {
     entries: HashMap<u32, GeoInfo>,
 }

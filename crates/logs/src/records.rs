@@ -11,12 +11,11 @@
 use netsession_core::id::{AsNumber, CpCode, Guid, ObjectId, SecondaryGuid};
 use netsession_core::time::{SimDuration, SimTime};
 use netsession_core::units::{Bandwidth, ByteCount};
-use serde::{Deserialize, Serialize};
 
 /// The three outcomes the paper distinguishes (§5.2): "a download can
 /// complete, it can fail, or it can be aborted/paused by the user and never
 /// resumed."
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DownloadOutcome {
     /// Finished successfully.
     Completed,
@@ -33,7 +32,7 @@ pub enum DownloadOutcome {
 }
 
 /// One download record.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DownloadRecord {
     /// Downloading peer.
     pub guid: Guid,
@@ -104,7 +103,7 @@ impl DownloadRecord {
 }
 
 /// One login record.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LoginRecord {
     /// Login time.
     pub at: SimTime,
@@ -131,7 +130,7 @@ pub struct LoginRecord {
 /// One peer-to-peer byte flow, attributed to source and destination ASes —
 /// the input to the §6.1 traffic-balance analysis ("a set of (N, AS1, AS2)
 /// tuples, which describe a flow of N bytes from AS1 to AS2").
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TransferRecord {
     /// Uploading peer.
     pub from_guid: Guid,
@@ -202,7 +201,10 @@ mod tests {
     fn zero_byte_download_has_zero_efficiency() {
         let r = record(0, 0, 1);
         assert_eq!(r.peer_efficiency(), 0.0);
-        assert!(!r.is_edge_only(), "needs actual bytes to count as edge-only");
+        assert!(
+            !r.is_edge_only(),
+            "needs actual bytes to count as edge-only"
+        );
     }
 
     #[test]

@@ -77,8 +77,16 @@ mod tests {
     fn table_matches_punch_simulation_for_all_pairs() {
         for a in NatType::ALL {
             for b in NatType::ALL {
-                let a_pub = if a == NatType::Open { 0x0a000001 } else { 0x01010101 };
-                let b_pub = if b == NatType::Open { 0x0b000001 } else { 0x02020202 };
+                let a_pub = if a == NatType::Open {
+                    0x0a000001
+                } else {
+                    0x01010101
+                };
+                let b_pub = if b == NatType::Open {
+                    0x0b000001
+                } else {
+                    0x02020202
+                };
                 let mut ab = NatBox::new(a, a_pub);
                 let mut bb = NatBox::new(b, b_pub);
                 let sim = punch(

@@ -132,12 +132,8 @@ impl NatBox {
         let perms = self.permissions.get(&internal);
         let allowed = match self.kind {
             NatType::FullCone => true,
-            NatType::RestrictedCone => {
-                perms.is_some_and(|p| p.iter().any(|d| d.ip == src.ip))
-            }
-            NatType::PortRestricted | NatType::Symmetric => {
-                perms.is_some_and(|p| p.contains(&src))
-            }
+            NatType::RestrictedCone => perms.is_some_and(|p| p.iter().any(|d| d.ip == src.ip)),
+            NatType::PortRestricted | NatType::Symmetric => perms.is_some_and(|p| p.contains(&src)),
             NatType::Open | NatType::Blocked => unreachable!(),
         };
         if !allowed {
@@ -201,7 +197,9 @@ mod tests {
     fn blocked_box_drops_udp_both_ways() {
         let mut nat = NatBox::new(NatType::Blocked, 0x01010101);
         assert!(nat.send(HOST, DST_A).is_none());
-        assert!(nat.receive(DST_A, Endpoint::new(0x01010101, 40000)).is_none());
+        assert!(nat
+            .receive(DST_A, Endpoint::new(0x01010101, 40000))
+            .is_none());
         assert!(nat.outbound_tcp_allowed());
         assert!(!nat.inbound_tcp_allowed());
     }

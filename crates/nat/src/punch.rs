@@ -39,7 +39,12 @@ impl PunchOutcome {
 
 /// Attempt to connect two peers behind the given boxes. `a_int`/`b_int` are
 /// the peers' internal sockets.
-pub fn punch(a_box: &mut NatBox, a_int: Endpoint, b_box: &mut NatBox, b_int: Endpoint) -> PunchOutcome {
+pub fn punch(
+    a_box: &mut NatBox,
+    a_int: Endpoint,
+    b_box: &mut NatBox,
+    b_int: Endpoint,
+) -> PunchOutcome {
     // Fast path: somebody is directly reachable over TCP — the other side
     // simply dials (both are online; the control plane tells them to).
     if a_box.inbound_tcp_allowed() || b_box.inbound_tcp_allowed() {
@@ -98,8 +103,16 @@ mod tests {
     use super::*;
 
     fn boxes(a: NatType, b: NatType) -> (NatBox, Endpoint, NatBox, Endpoint) {
-        let a_pub = if a == NatType::Open { 0x0a000001 } else { 0x01010101 };
-        let b_pub = if b == NatType::Open { 0x0b000001 } else { 0x02020202 };
+        let a_pub = if a == NatType::Open {
+            0x0a000001
+        } else {
+            0x01010101
+        };
+        let b_pub = if b == NatType::Open {
+            0x0b000001
+        } else {
+            0x02020202
+        };
         (
             NatBox::new(a, a_pub),
             Endpoint::new(0x0a000001, 5000),

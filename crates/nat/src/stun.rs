@@ -144,10 +144,7 @@ mod tests {
         let mut nat = NatBox::new(NatType::PortRestricted, 0x01010101);
         let first = classify(&mut nat, Endpoint::new(0x0a000001, 5000));
         for port in 5001..5004 {
-            assert_eq!(
-                classify(&mut nat, Endpoint::new(0x0a000001, port)),
-                first
-            );
+            assert_eq!(classify(&mut nat, Endpoint::new(0x0a000001, port)), first);
         }
     }
 

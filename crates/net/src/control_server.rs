@@ -15,64 +15,83 @@ use netsession_core::id::Guid;
 use netsession_core::msg::ControlMsg;
 use netsession_core::rng::DetRng;
 use netsession_edge::auth::EdgeAuth;
-use parking_lot::Mutex;
+use netsession_obs::MetricsRegistry;
 use std::collections::HashMap;
-use std::net::SocketAddr;
-use std::sync::Arc;
-use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::mpsc;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 struct Shared {
     plane: Mutex<ControlPlane>,
     rng: Mutex<DetRng>,
     /// Outbound push channels per logged-in GUID.
-    pushers: Mutex<HashMap<Guid, mpsc::UnboundedSender<ControlMsg>>>,
+    pushers: Mutex<HashMap<Guid, mpsc::Sender<ControlMsg>>>,
+    metrics: MetricsRegistry,
 }
 
 /// A running control-plane server.
 pub struct ControlServer {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    handle: tokio::task::JoinHandle<()>,
+    stop: Arc<AtomicBool>,
 }
 
 impl ControlServer {
     /// Start on `127.0.0.1:0` (or a given addr), verifying tokens minted
     /// with `auth`.
-    pub async fn start(addr: &str, auth: EdgeAuth) -> Result<ControlServer> {
-        let listener = TcpListener::bind(addr)
-            .await
-            .map_err(|e| Error::Network(format!("bind: {e}")))?;
+    pub fn start(addr: &str, auth: EdgeAuth) -> Result<ControlServer> {
+        let listener = TcpListener::bind(addr).map_err(|e| Error::Network(format!("bind: {e}")))?;
         let local_addr = listener
             .local_addr()
             .map_err(|e| Error::Network(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Network(e.to_string()))?;
+        let metrics = MetricsRegistry::new();
         let shared = Arc::new(Shared {
-            plane: Mutex::new(ControlPlane::new(
-                &PlaneConfig {
-                    regions: 1,
-                    ..PlaneConfig::default()
-                },
-                auth,
-            )),
+            plane: Mutex::new(
+                ControlPlane::new(
+                    &PlaneConfig {
+                        regions: 1,
+                        ..PlaneConfig::default()
+                    },
+                    auth,
+                )
+                .with_metrics(&metrics),
+            ),
             rng: Mutex::new(DetRng::seeded(0xC0117201)),
             pushers: Mutex::new(HashMap::new()),
+            metrics,
         });
+        let stop = Arc::new(AtomicBool::new(false));
         let shared_for_loop = shared.clone();
-        let handle = tokio::spawn(async move {
-            loop {
-                let Ok((stream, _)) = listener.accept().await else {
-                    break;
-                };
-                let shared = shared_for_loop.clone();
-                tokio::spawn(async move {
-                    let _ = serve_connection(stream, shared).await;
-                });
+        let stop_for_loop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop_for_loop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        shared_for_loop
+                            .metrics
+                            .counter("net.control.connections")
+                            .incr();
+                        let shared = shared_for_loop.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, shared);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
             }
         });
         Ok(ControlServer {
             local_addr,
             shared,
-            handle,
+            stop,
         })
     }
 
@@ -83,38 +102,49 @@ impl ControlServer {
 
     /// Currently connected peers (test observability).
     pub fn connected(&self) -> usize {
-        self.shared.pushers.lock().len()
+        self.shared.pushers.lock().unwrap().len()
+    }
+
+    /// Live telemetry registry (connections, framed messages, plus the
+    /// control-plane's own instruments).
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.shared.metrics.clone()
     }
 
     /// Drain collected usage records (billing pipeline; test observability).
     pub fn drain_usage(&self) -> Vec<netsession_core::msg::UsageRecord> {
-        self.shared.plane.lock().drain_usage()
+        self.shared.plane.lock().unwrap().drain_usage()
     }
 
     /// Stop serving.
     pub fn shutdown(self) {
-        self.handle.abort();
+        self.stop.store(true, Ordering::Relaxed);
     }
 }
 
-async fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> {
-    let (mut reader, mut writer) = stream.into_split();
-    let (tx, mut rx) = mpsc::unbounded_channel::<ControlMsg>();
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> {
+    let mut reader = stream
+        .try_clone()
+        .map_err(|e| Error::Network(e.to_string()))?;
+    let mut writer = stream;
+    let (tx, rx) = mpsc::channel::<ControlMsg>();
+    let msgs_in = shared.metrics.counter("net.control.msgs_in");
+    let msgs_out = shared.metrics.counter("net.control.msgs_out");
 
-    // Writer task: everything (responses and pushes) leaves through here.
-    let writer_task = tokio::spawn(async move {
-        while let Some(msg) = rx.recv().await {
-            if write_msg(&mut writer, &msg).await.is_err() {
+    // Writer thread: everything (responses and pushes) leaves through here.
+    let msgs_out_for_writer = msgs_out.clone();
+    let writer_thread = std::thread::spawn(move || {
+        while let Ok(msg) = rx.recv() {
+            if write_msg(&mut writer, &msg).is_err() {
                 break;
             }
+            msgs_out_for_writer.incr();
         }
     });
 
     let mut session: Option<(Guid, PeerRecord)> = None;
-    loop {
-        let Some(msg): Option<ControlMsg> = read_msg(&mut reader).await? else {
-            break;
-        };
+    while let Some(msg) = read_msg::<_, ControlMsg>(&mut reader)? {
+        msgs_in.incr();
         match msg {
             ControlMsg::Login {
                 guid,
@@ -124,7 +154,7 @@ async fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> 
                 nat,
                 addr,
             } => {
-                let conn = shared.plane.lock().login(
+                let conn = shared.plane.lock().unwrap().login(
                     0,
                     guid,
                     addr,
@@ -145,7 +175,7 @@ async fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> 
                         nat,
                     },
                 ));
-                shared.pushers.lock().insert(guid, tx.clone());
+                shared.pushers.lock().unwrap().insert(guid, tx.clone());
                 let _ = tx.send(ControlMsg::LoginAck {
                     conn,
                     config: netsession_core::policy::TransferConfig::default(),
@@ -163,8 +193,8 @@ async fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> 
                     nat: record.nat,
                 };
                 let peers = {
-                    let mut plane = shared.plane.lock();
-                    let mut rng = shared.rng.lock();
+                    let mut plane = shared.plane.lock().unwrap();
+                    let mut rng = shared.rng.lock().unwrap();
                     plane
                         .query_peers(0, &querier, &token, wall_now(), &mut rng)
                         .unwrap_or_default()
@@ -172,7 +202,8 @@ async fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> 
                 let peers: Vec<_> = peers.into_iter().take(max_peers as usize).collect();
                 // Tell both sides to connect (§3.6).
                 for contact in &peers {
-                    if let Some(pusher) = shared.pushers.lock().get(&contact.guid) {
+                    let pusher = shared.pushers.lock().unwrap().get(&contact.guid).cloned();
+                    if let Some(pusher) = pusher {
                         let _ = pusher.send(ControlMsg::ConnectTo {
                             contact: netsession_core::msg::PeerContact {
                                 guid: *guid,
@@ -200,12 +231,17 @@ async fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> 
                     shared
                         .plane
                         .lock()
+                        .unwrap()
                         .register_content(0, record.clone(), version);
                 }
             }
             ControlMsg::UnregisterContent { version } => {
                 if let Some((guid, _)) = &session {
-                    shared.plane.lock().unregister_content(0, *guid, version);
+                    shared
+                        .plane
+                        .lock()
+                        .unwrap()
+                        .unregister_content(0, *guid, version);
                 }
             }
             ControlMsg::ReAddResponse { versions } => {
@@ -213,11 +249,12 @@ async fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> 
                     shared
                         .plane
                         .lock()
+                        .unwrap()
                         .handle_readd(0, record.clone(), &versions);
                 }
             }
             ControlMsg::UsageReport { records } => {
-                shared.plane.lock().accept_usage(0, records);
+                shared.plane.lock().unwrap().accept_usage(0, records);
             }
             ControlMsg::Logout => break,
             // Server→client messages arriving here are protocol errors;
@@ -226,10 +263,12 @@ async fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> 
         }
     }
     if let Some((guid, _)) = session {
-        shared.pushers.lock().remove(&guid);
-        shared.plane.lock().logout(0, guid);
+        shared.pushers.lock().unwrap().remove(&guid);
+        shared.plane.lock().unwrap().logout(0, guid);
     }
-    writer_task.abort();
+    // Dropping `tx` ends the writer thread once the queue drains.
+    drop(tx);
+    let _ = writer_thread.join();
     Ok(())
 }
 
@@ -239,15 +278,10 @@ mod tests {
     use netsession_core::id::{ObjectId, VersionId};
     use netsession_core::msg::{NatType, PeerAddr};
 
-    async fn login(
-        addr: SocketAddr,
-        guid: u64,
-        port: u16,
-    ) -> (tokio::net::tcp::OwnedReadHalf, tokio::net::tcp::OwnedWriteHalf) {
-        let stream = TcpStream::connect(addr).await.unwrap();
-        let (mut r, mut w) = stream.into_split();
+    fn login(addr: SocketAddr, guid: u64, port: u16) -> TcpStream {
+        let mut stream = TcpStream::connect(addr).unwrap();
         write_msg(
-            &mut w,
+            &mut stream,
             &ControlMsg::Login {
                 guid: Guid(guid as u128),
                 secondary_guids: vec![],
@@ -260,11 +294,10 @@ mod tests {
                 },
             },
         )
-        .await
         .unwrap();
-        let ack: ControlMsg = read_msg(&mut r).await.unwrap().unwrap();
+        let ack: ControlMsg = read_msg(&mut stream).unwrap().unwrap();
         assert!(matches!(ack, ControlMsg::LoginAck { .. }));
-        (r, w)
+        stream
     }
 
     fn ver() -> VersionId {
@@ -274,32 +307,34 @@ mod tests {
         }
     }
 
-    #[tokio::test]
-    async fn login_register_query_roundtrip() {
+    #[test]
+    fn login_register_query_roundtrip() {
         let auth = EdgeAuth::from_seed(5);
-        let server = ControlServer::start("127.0.0.1:0", auth.clone())
-            .await
-            .unwrap();
+        let server = ControlServer::start("127.0.0.1:0", auth.clone()).unwrap();
         // Peer A registers a copy.
-        let (mut ra, mut wa) = login(server.local_addr(), 1, 1111).await;
+        let mut a = login(server.local_addr(), 1, 1111);
         write_msg(
-            &mut wa,
+            &mut a,
             &ControlMsg::RegisterContent {
                 version: ver(),
                 fraction: 1.0,
             },
         )
-        .await
         .unwrap();
 
         // Peer B queries with a valid token.
-        let (mut rb, mut wb) = login(server.local_addr(), 2, 2222).await;
+        let mut b = login(server.local_addr(), 2, 2222);
         let token = auth.issue(Guid(2), ver(), wall_now());
-        write_msg(&mut wb, &ControlMsg::QueryPeers { token, max_peers: 10 })
-            .await
-            .unwrap();
+        write_msg(
+            &mut b,
+            &ControlMsg::QueryPeers {
+                token,
+                max_peers: 10,
+            },
+        )
+        .unwrap();
         // B receives a ConnectTo (active) then the PeerList.
-        let m1: ControlMsg = read_msg(&mut rb).await.unwrap().unwrap();
+        let m1: ControlMsg = read_msg(&mut b).unwrap().unwrap();
         match m1 {
             ControlMsg::ConnectTo {
                 contact,
@@ -311,7 +346,7 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        let m2: ControlMsg = read_msg(&mut rb).await.unwrap().unwrap();
+        let m2: ControlMsg = read_msg(&mut b).unwrap().unwrap();
         match m2 {
             ControlMsg::PeerList { peers, .. } => {
                 assert_eq!(peers.len(), 1);
@@ -320,7 +355,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // A receives the passive ConnectTo push.
-        let push: ControlMsg = read_msg(&mut ra).await.unwrap().unwrap();
+        let push: ControlMsg = read_msg(&mut a).unwrap().unwrap();
         match push {
             ControlMsg::ConnectTo {
                 contact,
@@ -333,26 +368,24 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(server.connected(), 2);
+        assert_eq!(server.metrics().counter("net.control.connections").get(), 2);
         server.shutdown();
     }
 
-    #[tokio::test]
-    async fn forged_token_yields_empty_list() {
-        let server = ControlServer::start("127.0.0.1:0", EdgeAuth::from_seed(5))
-            .await
-            .unwrap();
-        let (mut r, mut w) = login(server.local_addr(), 3, 3333).await;
+    #[test]
+    fn forged_token_yields_empty_list() {
+        let server = ControlServer::start("127.0.0.1:0", EdgeAuth::from_seed(5)).unwrap();
+        let mut s = login(server.local_addr(), 3, 3333);
         let forged = EdgeAuth::from_seed(99).issue(Guid(3), ver(), wall_now());
         write_msg(
-            &mut w,
+            &mut s,
             &ControlMsg::QueryPeers {
                 token: forged,
                 max_peers: 10,
             },
         )
-        .await
         .unwrap();
-        let resp: ControlMsg = read_msg(&mut r).await.unwrap().unwrap();
+        let resp: ControlMsg = read_msg(&mut s).unwrap().unwrap();
         match resp {
             ControlMsg::PeerList { peers, .. } => assert!(peers.is_empty()),
             other => panic!("{other:?}"),
@@ -360,14 +393,12 @@ mod tests {
         server.shutdown();
     }
 
-    #[tokio::test]
-    async fn usage_reports_reach_the_pipeline() {
-        let server = ControlServer::start("127.0.0.1:0", EdgeAuth::from_seed(5))
-            .await
-            .unwrap();
-        let (_r, mut w) = login(server.local_addr(), 4, 4444).await;
+    #[test]
+    fn usage_reports_reach_the_pipeline() {
+        let server = ControlServer::start("127.0.0.1:0", EdgeAuth::from_seed(5)).unwrap();
+        let mut s = login(server.local_addr(), 4, 4444);
         write_msg(
-            &mut w,
+            &mut s,
             &ControlMsg::UsageReport {
                 records: vec![netsession_core::msg::UsageRecord {
                     guid: Guid(4),
@@ -379,10 +410,9 @@ mod tests {
                 }],
             },
         )
-        .await
         .unwrap();
         // Give the server a beat to process.
-        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        std::thread::sleep(std::time::Duration::from_millis(100));
         let usage = server.drain_usage();
         assert_eq!(usage.len(), 1);
         assert_eq!(usage[0].bytes_from_peers.bytes(), 20);

@@ -12,49 +12,66 @@ use netsession_edge::accounting::AccountingLedger;
 use netsession_edge::auth::EdgeAuth;
 use netsession_edge::server::EdgeServer;
 use netsession_edge::store::ContentStore;
-use std::net::SocketAddr;
+use netsession_obs::MetricsRegistry;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use tokio::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
 /// A running live edge server.
 pub struct EdgeHttpServer {
     local_addr: SocketAddr,
     /// The underlying edge logic (shared with tests for assertions).
     pub edge: Arc<EdgeServer>,
-    handle: tokio::task::JoinHandle<()>,
+    /// Live telemetry: connections accepted, framed messages in/out.
+    pub metrics: MetricsRegistry,
+    stop: Arc<AtomicBool>,
 }
 
 impl EdgeHttpServer {
     /// Start serving the given store on `127.0.0.1:0` (or a given addr).
-    pub async fn start(
+    pub fn start(
         addr: &str,
         store: Arc<ContentStore>,
         auth: EdgeAuth,
         ledger: Arc<AccountingLedger>,
     ) -> Result<EdgeHttpServer> {
-        let listener = TcpListener::bind(addr)
-            .await
-            .map_err(|e| Error::Network(format!("bind: {e}")))?;
+        let listener = TcpListener::bind(addr).map_err(|e| Error::Network(format!("bind: {e}")))?;
         let local_addr = listener
             .local_addr()
             .map_err(|e| Error::Network(e.to_string()))?;
-        let edge = Arc::new(EdgeServer::new(0, store, auth, ledger));
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Network(e.to_string()))?;
+        let metrics = MetricsRegistry::new();
+        let edge = Arc::new(EdgeServer::new(0, store, auth, ledger).with_metrics(&metrics));
+        let stop = Arc::new(AtomicBool::new(false));
         let edge_for_loop = edge.clone();
-        let handle = tokio::spawn(async move {
-            loop {
-                let Ok((stream, _)) = listener.accept().await else {
-                    break;
-                };
-                let edge = edge_for_loop.clone();
-                tokio::spawn(async move {
-                    let _ = serve_connection(stream, edge).await;
-                });
+        let stop_for_loop = stop.clone();
+        let metrics_for_loop = metrics.clone();
+        std::thread::spawn(move || {
+            while !stop_for_loop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        metrics_for_loop.counter("net.edge.connections").incr();
+                        let edge = edge_for_loop.clone();
+                        let metrics = metrics_for_loop.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, edge, metrics);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
             }
         });
         Ok(EdgeHttpServer {
             local_addr,
             edge,
-            handle,
+            metrics,
+            stop,
         })
     }
 
@@ -65,17 +82,25 @@ impl EdgeHttpServer {
 
     /// Stop serving.
     pub fn shutdown(self) {
-        self.handle.abort();
+        self.stop.store(true, Ordering::Relaxed);
     }
 }
 
-async fn serve_connection(mut stream: TcpStream, edge: Arc<EdgeServer>) -> Result<()> {
+fn serve_connection(
+    mut stream: TcpStream,
+    edge: Arc<EdgeServer>,
+    metrics: MetricsRegistry,
+) -> Result<()> {
+    let msgs_in = metrics.counter("net.edge.msgs_in");
+    let msgs_out = metrics.counter("net.edge.msgs_out");
     loop {
-        let Some(msg): Option<EdgeMsg> = read_msg(&mut stream).await? else {
+        let Some(msg): Option<EdgeMsg> = read_msg(&mut stream)? else {
             return Ok(());
         };
+        msgs_in.incr();
         let resp = edge.handle(msg, wall_now());
-        write_msg(&mut stream, &resp).await?;
+        write_msg(&mut stream, &resp)?;
+        msgs_out.incr();
     }
 }
 
@@ -85,7 +110,7 @@ mod tests {
     use netsession_core::id::{CpCode, Guid, ObjectId, VersionId};
     use netsession_core::policy::DownloadPolicy;
 
-    async fn fixture() -> (EdgeHttpServer, Vec<u8>) {
+    fn fixture() -> (EdgeHttpServer, Vec<u8>) {
         let store = Arc::new(ContentStore::new());
         let content: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
         store.publish_content(
@@ -101,15 +126,14 @@ mod tests {
             EdgeAuth::from_seed(1),
             Arc::new(AccountingLedger::new()),
         )
-        .await
         .unwrap();
         (server, content)
     }
 
-    #[tokio::test]
-    async fn authorize_then_fetch_all_pieces() {
-        let (server, content) = fixture().await;
-        let mut stream = TcpStream::connect(server.local_addr()).await.unwrap();
+    #[test]
+    fn authorize_then_fetch_all_pieces() {
+        let (server, content) = fixture();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         write_msg(
             &mut stream,
             &EdgeMsg::Authorize {
@@ -120,9 +144,8 @@ mod tests {
                 },
             },
         )
-        .await
         .unwrap();
-        let resp: EdgeMsg = read_msg(&mut stream).await.unwrap().unwrap();
+        let resp: EdgeMsg = read_msg(&mut stream).unwrap().unwrap();
         let (token, manifest) = match resp {
             EdgeMsg::Authorized {
                 token, manifest, ..
@@ -131,10 +154,8 @@ mod tests {
         };
         let mut got = Vec::new();
         for piece in 0..manifest.piece_count() {
-            write_msg(&mut stream, &EdgeMsg::GetPiece { token, piece })
-                .await
-                .unwrap();
-            match read_msg(&mut stream).await.unwrap().unwrap() {
+            write_msg(&mut stream, &EdgeMsg::GetPiece { token, piece }).unwrap();
+            match read_msg(&mut stream).unwrap().unwrap() {
                 EdgeMsg::PieceData { data, .. } => {
                     assert!(manifest.verify_piece(piece, &data));
                     got.extend_from_slice(&data);
@@ -144,13 +165,19 @@ mod tests {
         }
         assert_eq!(got, content);
         assert_eq!(server.edge.total_served().bytes(), content.len() as u64);
+        // Telemetry observed the exchange.
+        assert_eq!(server.metrics.counter("net.edge.connections").get(), 1);
+        assert_eq!(
+            server.metrics.counter("net.edge.msgs_in").get(),
+            1 + manifest.piece_count() as u64
+        );
         server.shutdown();
     }
 
-    #[tokio::test]
-    async fn unknown_object_denied() {
-        let (server, _) = fixture().await;
-        let mut stream = TcpStream::connect(server.local_addr()).await.unwrap();
+    #[test]
+    fn unknown_object_denied() {
+        let (server, _) = fixture();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         write_msg(
             &mut stream,
             &EdgeMsg::Authorize {
@@ -161,9 +188,8 @@ mod tests {
                 },
             },
         )
-        .await
         .unwrap();
-        match read_msg::<_, EdgeMsg>(&mut stream).await.unwrap().unwrap() {
+        match read_msg::<_, EdgeMsg>(&mut stream).unwrap().unwrap() {
             EdgeMsg::Denied { reason } => assert!(reason.contains("not found")),
             other => panic!("{other:?}"),
         }

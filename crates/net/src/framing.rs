@@ -1,41 +1,39 @@
-//! Async framing over tokio streams.
+//! Blocking framing over byte streams.
 //!
 //! Frames are `u32-le length` + payload, exactly as
-//! [`netsession_core::codec`] defines them; this module adds the async
-//! read/write halves the tokio tutorial's framing chapter describes.
+//! [`netsession_core::codec`] defines them; this module adds the blocking
+//! read/write halves used by the threaded live runtime.
 
 use netsession_core::codec::{frame, Wire, MAX_FRAME};
 use netsession_core::error::{Error, Result};
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use std::io::{Read, Write};
 
 /// Write one message as a frame.
-pub async fn write_msg<W, T>(writer: &mut W, msg: &T) -> Result<()>
+pub fn write_msg<W, T>(writer: &mut W, msg: &T) -> Result<()>
 where
-    W: AsyncWriteExt + Unpin,
+    W: Write,
     T: Wire,
 {
     let payload = msg.to_payload();
     let framed = frame(&payload);
     writer
         .write_all(&framed)
-        .await
         .map_err(|e| Error::Network(format!("write: {e}")))?;
     writer
         .flush()
-        .await
         .map_err(|e| Error::Network(format!("flush: {e}")))?;
     Ok(())
 }
 
 /// Read one message from a frame. Returns `None` on clean EOF at a frame
 /// boundary.
-pub async fn read_msg<R, T>(reader: &mut R) -> Result<Option<T>>
+pub fn read_msg<R, T>(reader: &mut R) -> Result<Option<T>>
 where
-    R: AsyncReadExt + Unpin,
+    R: Read,
     T: Wire,
 {
     let mut len_buf = [0u8; 4];
-    match reader.read_exact(&mut len_buf).await {
+    match reader.read_exact(&mut len_buf) {
         Ok(_) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(Error::Network(format!("read len: {e}"))),
@@ -47,54 +45,8 @@ where
     let mut payload = vec![0u8; len];
     reader
         .read_exact(&mut payload)
-        .await
         .map_err(|e| Error::Network(format!("read payload: {e}")))?;
     Ok(Some(T::from_payload(&payload)?))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use netsession_core::msg::SwarmMsg;
-
-    #[tokio::test]
-    async fn roundtrip_over_duplex() {
-        let (mut a, mut b) = tokio::io::duplex(1024);
-        let msg = SwarmMsg::Request { piece: 7 };
-        write_msg(&mut a, &msg).await.unwrap();
-        let got: Option<SwarmMsg> = read_msg(&mut b).await.unwrap();
-        assert_eq!(got, Some(msg));
-    }
-
-    #[tokio::test]
-    async fn clean_eof_returns_none() {
-        let (a, mut b) = tokio::io::duplex(64);
-        drop(a);
-        let got: Option<SwarmMsg> = read_msg(&mut b).await.unwrap();
-        assert!(got.is_none());
-    }
-
-    #[tokio::test]
-    async fn oversized_frame_rejected() {
-        let (mut a, mut b) = tokio::io::duplex(64);
-        tokio::io::AsyncWriteExt::write_all(&mut a, &u32::MAX.to_le_bytes())
-            .await
-            .unwrap();
-        let got: Result<Option<SwarmMsg>> = read_msg(&mut b).await;
-        assert!(got.is_err());
-    }
-
-    #[tokio::test]
-    async fn multiple_messages_in_sequence() {
-        let (mut a, mut b) = tokio::io::duplex(4096);
-        for piece in 0..10u32 {
-            write_msg(&mut a, &SwarmMsg::Request { piece }).await.unwrap();
-        }
-        for piece in 0..10u32 {
-            let got: Option<SwarmMsg> = read_msg(&mut b).await.unwrap();
-            assert_eq!(got, Some(SwarmMsg::Request { piece }));
-        }
-    }
 }
 
 /// Process-wide wall clock mapped onto [`netsession_core::time::SimTime`]:
@@ -106,4 +58,58 @@ pub fn wall_now() -> netsession_core::time::SimTime {
     static START: OnceLock<Instant> = OnceLock::new();
     let start = START.get_or_init(Instant::now);
     netsession_core::time::SimTime(start.elapsed().as_micros() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsession_core::msg::SwarmMsg;
+    use std::net::{TcpListener, TcpStream};
+
+    /// A connected loopback socket pair (stand-in for tokio's duplex).
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn roundtrip_over_socket_pair() {
+        let (mut a, mut b) = pair();
+        let msg = SwarmMsg::Request { piece: 7 };
+        write_msg(&mut a, &msg).unwrap();
+        let got: Option<SwarmMsg> = read_msg(&mut b).unwrap();
+        assert_eq!(got, Some(msg));
+    }
+
+    #[test]
+    fn clean_eof_returns_none() {
+        let (a, mut b) = pair();
+        drop(a);
+        let got: Option<SwarmMsg> = read_msg(&mut b).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let (mut a, mut b) = pair();
+        use std::io::Write as _;
+        a.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let got: Result<Option<SwarmMsg>> = read_msg(&mut b);
+        assert!(got.is_err());
+    }
+
+    #[test]
+    fn multiple_messages_in_sequence() {
+        let (mut a, mut b) = pair();
+        for piece in 0..10u32 {
+            write_msg(&mut a, &SwarmMsg::Request { piece }).unwrap();
+        }
+        for piece in 0..10u32 {
+            let got: Option<SwarmMsg> = read_msg(&mut b).unwrap();
+            assert_eq!(got, Some(SwarmMsg::Request { piece }));
+        }
+    }
 }

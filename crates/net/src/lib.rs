@@ -1,7 +1,7 @@
 //! # netsession-net
 //!
 //! The live NetSession runtime: the same protocol logic the simulator
-//! exercises, running over real TCP and UDP sockets with tokio. This is
+//! exercises, running over real TCP and UDP sockets on plain threads. This is
 //! the "it is an implementable network protocol" half of the reproduction:
 //! a control-plane server ([`control_server`]), an edge server
 //! ([`edge_server`]), a STUN-style reflexive-address service over UDP

@@ -6,6 +6,12 @@
 //! closed — the backstop), verifies every piece against the manifest,
 //! serves uploads to other daemons under the governor's limits, registers
 //! completed objects with the control plane, and reports usage.
+//!
+//! Concurrency model: plain threads and channels. Each remote peer
+//! connection gets a reader thread (and a writer thread for outbound
+//! messages); the edge fetch runs on its own thread; the download
+//! coordinator multiplexes all of them over one mpsc channel with
+//! `recv_timeout` providing the overall deadline.
 
 use crate::framing::{read_msg, wall_now, write_msg};
 use netsession_core::error::{Error, Result};
@@ -16,14 +22,15 @@ use netsession_core::piece::{Manifest, PieceMap};
 use netsession_core::policy::TransferConfig;
 use netsession_core::rng::DetRng;
 use netsession_core::units::ByteCount;
+use netsession_obs::MetricsRegistry;
 use netsession_peer::governor::UploadGovernor;
 use netsession_peer::swarm::{SwarmEvent, SwarmSession};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::net::SocketAddr;
-use std::sync::Arc;
-use tokio::net::{TcpListener, TcpStream};
-use tokio::sync::mpsc;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A completed, shareable object.
 struct SharedObject {
@@ -35,8 +42,9 @@ struct Inner {
     guid: Guid,
     store: Mutex<HashMap<ObjectId, Arc<SharedObject>>>,
     governor: Mutex<UploadGovernor>,
-    control_tx: mpsc::UnboundedSender<ControlMsg>,
-    pending_query: Mutex<Option<tokio::sync::oneshot::Sender<Vec<netsession_core::msg::PeerContact>>>>,
+    control_tx: mpsc::Sender<ControlMsg>,
+    pending_query: Mutex<Option<mpsc::Sender<Vec<netsession_core::msg::PeerContact>>>>,
+    metrics: MetricsRegistry,
 }
 
 /// What one download achieved.
@@ -59,31 +67,36 @@ pub struct PeerDaemon {
     edge_addr: SocketAddr,
     listen_addr: SocketAddr,
     inner: Arc<Inner>,
-    tasks: Vec<tokio::task::JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
 }
 
 impl PeerDaemon {
     /// Start a daemon: bind the swarm listener, log into the control
     /// plane, and start serving uploads.
-    pub async fn start(
+    pub fn start(
         control_addr: SocketAddr,
         edge_addr: SocketAddr,
         guid: Guid,
         uploads_enabled: bool,
     ) -> Result<PeerDaemon> {
-        let listener = TcpListener::bind("127.0.0.1:0")
-            .await
-            .map_err(|e| Error::Network(format!("bind: {e}")))?;
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| Error::Network(format!("bind: {e}")))?;
         let listen_addr = listener
             .local_addr()
             .map_err(|e| Error::Network(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Network(e.to_string()))?;
 
         let control = TcpStream::connect(control_addr)
-            .await
             .map_err(|e| Error::Network(format!("control connect: {e}")))?;
-        let (mut control_read, mut control_write) = control.into_split();
-        let (control_tx, mut control_rx) = mpsc::unbounded_channel::<ControlMsg>();
+        let mut control_read = control
+            .try_clone()
+            .map_err(|e| Error::Network(e.to_string()))?;
+        let mut control_write = control;
+        let (control_tx, control_rx) = mpsc::channel::<ControlMsg>();
 
+        let metrics = MetricsRegistry::new();
         let inner = Arc::new(Inner {
             guid,
             store: Mutex::new(HashMap::new()),
@@ -93,14 +106,17 @@ impl PeerDaemon {
             )),
             control_tx: control_tx.clone(),
             pending_query: Mutex::new(None),
+            metrics: metrics.clone(),
         });
 
         // Control writer.
-        let writer_task = tokio::spawn(async move {
-            while let Some(msg) = control_rx.recv().await {
-                if write_msg(&mut control_write, &msg).await.is_err() {
+        let msgs_out = metrics.counter("net.peer.control_msgs_out");
+        std::thread::spawn(move || {
+            while let Ok(msg) = control_rx.recv() {
+                if write_msg(&mut control_write, &msg).is_err() {
                     break;
                 }
+                msgs_out.incr();
             }
         });
 
@@ -121,16 +137,13 @@ impl PeerDaemon {
 
         // Control reader: LoginAck, PeerList (answering queries), ReAdd.
         let inner_for_reader = inner.clone();
-        let reader_task = tokio::spawn(async move {
-            loop {
-                let msg: Option<ControlMsg> = match read_msg(&mut control_read).await {
-                    Ok(m) => m,
-                    Err(_) => break,
-                };
-                let Some(msg) = msg else { break };
+        let msgs_in = metrics.counter("net.peer.control_msgs_in");
+        std::thread::spawn(move || {
+            while let Ok(Some(msg)) = read_msg::<_, ControlMsg>(&mut control_read) {
+                msgs_in.incr();
                 match msg {
                     ControlMsg::PeerList { peers, .. } => {
-                        if let Some(tx) = inner_for_reader.pending_query.lock().take() {
+                        if let Some(tx) = inner_for_reader.pending_query.lock().unwrap().take() {
                             let _ = tx.send(peers);
                         }
                     }
@@ -138,6 +151,7 @@ impl PeerDaemon {
                         let versions: Vec<_> = inner_for_reader
                             .store
                             .lock()
+                            .unwrap()
                             .values()
                             .map(|o| o.manifest.version)
                             .collect();
@@ -154,16 +168,27 @@ impl PeerDaemon {
         });
 
         // Upload accept loop.
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_for_accept = stop.clone();
         let inner_for_accept = inner.clone();
-        let accept_task = tokio::spawn(async move {
-            loop {
-                let Ok((stream, _)) = listener.accept().await else {
-                    break;
-                };
-                let inner = inner_for_accept.clone();
-                tokio::spawn(async move {
-                    let _ = serve_upload(stream, inner).await;
-                });
+        std::thread::spawn(move || {
+            while !stop_for_accept.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        inner_for_accept
+                            .metrics
+                            .counter("net.peer.upload_connections_in")
+                            .incr();
+                        let inner = inner_for_accept.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_upload(stream, inner);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
             }
         });
 
@@ -172,7 +197,7 @@ impl PeerDaemon {
             edge_addr,
             listen_addr,
             inner,
-            tasks: vec![writer_task, reader_task, accept_task],
+            stop,
         })
     }
 
@@ -183,16 +208,21 @@ impl PeerDaemon {
 
     /// Number of objects in the local cache.
     pub fn cached_objects(&self) -> usize {
-        self.inner.store.lock().len()
+        self.inner.store.lock().unwrap().len()
+    }
+
+    /// Live telemetry registry for this daemon.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.inner.metrics.clone()
     }
 
     /// Download an object end-to-end: edge authorization, control-plane
     /// peer query, parallel edge + swarm fetch, verification, assembly,
     /// registration, and usage reporting.
-    pub async fn download(&self, object: ObjectId) -> Result<DownloadReport> {
+    pub fn download(&self, object: ObjectId) -> Result<DownloadReport> {
+        let metrics = &self.inner.metrics;
         // 1. Authorize with the edge.
         let mut edge = TcpStream::connect(self.edge_addr)
-            .await
             .map_err(|e| Error::Network(format!("edge connect: {e}")))?;
         write_msg(
             &mut edge,
@@ -200,18 +230,19 @@ impl PeerDaemon {
                 guid: self.guid,
                 version: netsession_core::id::VersionId { object, version: 1 },
             },
-        )
-        .await?;
-        let resp: EdgeMsg = read_msg(&mut edge)
-            .await?
-            .ok_or_else(|| Error::Network("edge closed".into()))?;
+        )?;
+        let resp: EdgeMsg =
+            read_msg(&mut edge)?.ok_or_else(|| Error::Network("edge closed".into()))?;
         let (token, policy, manifest) = match resp {
             EdgeMsg::Authorized {
                 token,
                 policy,
                 manifest,
             } => (token, policy, manifest),
-            EdgeMsg::Denied { reason } => return Err(Error::PolicyDenied(reason)),
+            EdgeMsg::Denied { reason } => {
+                metrics.counter("net.peer.downloads_denied").incr();
+                return Err(Error::PolicyDenied(reason));
+            }
             other => return Err(Error::Network(format!("unexpected {other:?}"))),
         };
         let version = manifest.version;
@@ -219,8 +250,8 @@ impl PeerDaemon {
 
         // 2. Query the control plane for peers (p2p-enabled objects only).
         let contacts = if policy.p2p_enabled {
-            let (tx, rx) = tokio::sync::oneshot::channel();
-            *self.inner.pending_query.lock() = Some(tx);
+            let (tx, rx) = mpsc::channel();
+            *self.inner.pending_query.lock().unwrap() = Some(tx);
             self.inner
                 .control_tx
                 .send(ControlMsg::QueryPeers {
@@ -228,10 +259,13 @@ impl PeerDaemon {
                     max_peers: 8,
                 })
                 .map_err(|_| Error::Network("control writer gone".into()))?;
-            tokio::time::timeout(std::time::Duration::from_secs(3), rx)
-                .await
-                .map_err(|_| Error::Network("peer query timeout".into()))?
-                .unwrap_or_default()
+            match rx.recv_timeout(Duration::from_secs(3)) {
+                Ok(peers) => peers,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    return Err(Error::Network("peer query timeout".into()))
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => Vec::new(),
+            }
         } else {
             Vec::new()
         };
@@ -245,25 +279,35 @@ impl PeerDaemon {
             EdgePiece(u32, Vec<u8>, Digest),
             EdgeFailed(String),
         }
-        let (ev_tx, mut ev_rx) = mpsc::unbounded_channel::<Ev>();
-        let mut peer_out: HashMap<Guid, mpsc::UnboundedSender<SwarmMsg>> = HashMap::new();
-        let mut conn_tasks = Vec::new();
+        let (ev_tx, ev_rx) = mpsc::channel::<Ev>();
+        let mut peer_out: HashMap<Guid, mpsc::Sender<SwarmMsg>> = HashMap::new();
         for contact in contacts.iter().take(8) {
             let addr = SocketAddr::from((
                 std::net::Ipv4Addr::from(contact.addr.ip.to_be_bytes()),
                 contact.addr.port,
             ));
-            let (out_tx, mut out_rx) = mpsc::unbounded_channel::<SwarmMsg>();
+            let (out_tx, out_rx) = mpsc::channel::<SwarmMsg>();
             peer_out.insert(contact.guid, out_tx);
             let ev_tx = ev_tx.clone();
             let my_guid = self.guid;
             let remote_guid = contact.guid;
-            conn_tasks.push(tokio::spawn(async move {
-                let Ok(stream) = TcpStream::connect(addr).await else {
+            metrics.counter("net.peer.swarm_connections_out").incr();
+            std::thread::spawn(move || {
+                let Ok(stream) = TcpStream::connect(addr) else {
                     let _ = ev_tx.send(Ev::Left(remote_guid));
                     return;
                 };
-                let (mut r, mut w) = stream.into_split();
+                // Bounded reads so an idle remote can't pin this thread
+                // past any download deadline.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(90)));
+                let mut r = match stream.try_clone() {
+                    Ok(r) => r,
+                    Err(_) => {
+                        let _ = ev_tx.send(Ev::Left(remote_guid));
+                        return;
+                    }
+                };
+                let mut w = stream;
                 if write_msg(
                     &mut w,
                     &SwarmMsg::Handshake {
@@ -272,19 +316,18 @@ impl PeerDaemon {
                         version,
                     },
                 )
-                .await
                 .is_err()
                 {
                     let _ = ev_tx.send(Ev::Left(remote_guid));
                     return;
                 }
                 // Expect their handshake + have-map.
-                let hs: Option<SwarmMsg> = read_msg(&mut r).await.ok().flatten();
+                let hs: Option<SwarmMsg> = read_msg(&mut r).ok().flatten();
                 if !matches!(hs, Some(SwarmMsg::Handshake { .. })) {
                     let _ = ev_tx.send(Ev::Left(remote_guid));
                     return;
                 }
-                match read_msg::<_, SwarmMsg>(&mut r).await {
+                match read_msg::<_, SwarmMsg>(&mut r) {
                     Ok(Some(SwarmMsg::HaveMap { pieces, words })) => {
                         match SwarmMsg::decode_have_map(pieces, &words) {
                             Ok(map) => {
@@ -301,38 +344,39 @@ impl PeerDaemon {
                         return;
                     }
                 }
-                // Full duplex: writer drains out_rx, reader feeds events.
-                let writer = tokio::spawn(async move {
-                    while let Some(msg) = out_rx.recv().await {
-                        if write_msg(&mut w, &msg).await.is_err() {
+                // Full duplex: a writer thread drains out_rx while this
+                // thread keeps reading events.
+                std::thread::spawn(move || {
+                    while let Ok(msg) = out_rx.recv() {
+                        if write_msg(&mut w, &msg).is_err() {
                             break;
                         }
                     }
                 });
-                while let Ok(Some(msg)) = read_msg::<_, SwarmMsg>(&mut r).await {
+                while let Ok(Some(msg)) = read_msg::<_, SwarmMsg>(&mut r) {
                     if ev_tx.send(Ev::Msg(remote_guid, msg)).is_err() {
                         break;
                     }
                 }
                 let _ = ev_tx.send(Ev::Left(remote_guid));
-                writer.abort();
-            }));
+            });
         }
 
-        // Edge fetch task: one outstanding piece request at a time.
-        let (edge_req_tx, mut edge_req_rx) = mpsc::unbounded_channel::<u32>();
+        // Edge fetch thread: one outstanding piece request at a time.
+        let (edge_req_tx, edge_req_rx) = mpsc::channel::<u32>();
         let ev_tx_edge = ev_tx.clone();
-        let edge_task = tokio::spawn(async move {
-            while let Some(piece) = edge_req_rx.recv().await {
-                if write_msg(&mut edge, &EdgeMsg::GetPiece { token, piece })
-                    .await
-                    .is_err()
-                {
+        std::thread::spawn(move || {
+            while let Ok(piece) = edge_req_rx.recv() {
+                if write_msg(&mut edge, &EdgeMsg::GetPiece { token, piece }).is_err() {
                     let _ = ev_tx_edge.send(Ev::EdgeFailed("edge write".into()));
                     return;
                 }
-                match read_msg::<_, EdgeMsg>(&mut edge).await {
-                    Ok(Some(EdgeMsg::PieceData { piece, data, digest })) => {
+                match read_msg::<_, EdgeMsg>(&mut edge) {
+                    Ok(Some(EdgeMsg::PieceData {
+                        piece,
+                        data,
+                        digest,
+                    })) => {
                         if ev_tx_edge.send(Ev::EdgePiece(piece, data, digest)).is_err() {
                             return;
                         }
@@ -348,6 +392,7 @@ impl PeerDaemon {
                 }
             }
         });
+        drop(ev_tx);
 
         // 4. Coordinate.
         let mut session = SwarmSession::new(manifest.clone(), PieceMap::empty(piece_count));
@@ -358,11 +403,23 @@ impl PeerDaemon {
         let mut contributors: std::collections::HashSet<Guid> = Default::default();
         let mut edge_busy = false;
         let mut edge_alive = true;
+        let piece_bytes_hist = metrics.histogram("net.peer.piece_bytes");
 
-        let deadline = tokio::time::Instant::now() + std::time::Duration::from_secs(60);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        // When the control plane returned peers, give their handshakes a
+        // head start before engaging the edge backstop; on a fast local
+        // link the edge would otherwise win the race for every piece and
+        // the swarm would never contribute (§3.3: the edge covers what the
+        // peers don't, it doesn't compete with them).
+        let edge_hold_until = if contacts.is_empty() {
+            Instant::now()
+        } else {
+            Instant::now() + Duration::from_millis(400)
+        };
         while !session.is_complete() {
+            let now = Instant::now();
             // Keep the edge backstop busy.
-            if edge_alive && !edge_busy {
+            if edge_alive && !edge_busy && now >= edge_hold_until {
                 if let Some(piece) = session.next_edge_piece() {
                     if edge_req_tx.send(piece).is_ok() {
                         edge_busy = true;
@@ -371,12 +428,26 @@ impl PeerDaemon {
                     }
                 }
             }
-            let ev = tokio::select! {
-                ev = ev_rx.recv() => ev,
-                _ = tokio::time::sleep_until(deadline) => None,
+            // Wake at the hold boundary so the backstop engages even if no
+            // swarm event ever arrives.
+            let wake = if now < edge_hold_until {
+                edge_hold_until.min(deadline)
+            } else {
+                deadline
             };
-            let Some(ev) = ev else {
-                return Err(Error::Network("download timed out or stalled".into()));
+            let ev = match ev_rx.recv_timeout(wake.saturating_duration_since(now)) {
+                Ok(ev) => ev,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        metrics.counter("net.peer.downloads_failed").incr();
+                        return Err(Error::Network("download timed out or stalled".into()));
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    metrics.counter("net.peer.downloads_failed").incr();
+                    return Err(Error::Network("download timed out or stalled".into()));
+                }
             };
             let events = match ev {
                 Ev::Joined(guid, map) => session.on_peer_joined(guid, map, &mut rng),
@@ -395,6 +466,7 @@ impl PeerDaemon {
                     if let Some((piece, data)) = staged {
                         if events.contains(&SwarmEvent::PieceVerified(piece)) {
                             bytes_from_peers += data.len() as u64;
+                            piece_bytes_hist.record(data.len() as u64);
                             contributors.insert(guid);
                             pieces[piece as usize] = Some(data);
                         }
@@ -406,6 +478,7 @@ impl PeerDaemon {
                     let events = session.on_edge_piece(piece, &data, digest);
                     if events.contains(&SwarmEvent::PieceVerified(piece)) {
                         bytes_from_edge += data.len() as u64;
+                        piece_bytes_hist.record(data.len() as u64);
                         pieces[piece as usize] = Some(data);
                     }
                     events
@@ -425,15 +498,14 @@ impl PeerDaemon {
             }
         }
 
-        // 5. Assemble, store, register, report.
+        // 5. Assemble, store, register, report. Dropping the channel ends
+        // the edge fetch thread; Goodbye + dropped senders wind down the
+        // per-peer threads.
         for (guid, out) in &peer_out {
             let _ = out.send(SwarmMsg::Goodbye);
             let _ = guid;
         }
-        edge_task.abort();
-        for t in conn_tasks {
-            t.abort();
-        }
+        drop(edge_req_tx);
         let mut content = Vec::with_capacity(manifest.size.bytes() as usize);
         for p in pieces.into_iter() {
             content.extend_from_slice(&p.expect("complete download has all pieces"));
@@ -441,16 +513,19 @@ impl PeerDaemon {
         let content_hash = sha256(&content);
         let uploads_enabled = {
             let store = &self.inner.store;
-            store.lock().insert(
+            store.lock().unwrap().insert(
                 object,
                 Arc::new(SharedObject {
                     manifest,
                     bytes: content,
                 }),
             );
-            self.inner.governor.lock().rate_cap(
-                netsession_core::units::Bandwidth::from_mbps(1.0),
-            ) > netsession_core::units::Bandwidth::ZERO
+            self.inner
+                .governor
+                .lock()
+                .unwrap()
+                .rate_cap(netsession_core::units::Bandwidth::from_mbps(1.0))
+                > netsession_core::units::Bandwidth::ZERO
         };
         if uploads_enabled && policy.upload_allowed {
             let _ = self.inner.control_tx.send(ControlMsg::RegisterContent {
@@ -468,6 +543,13 @@ impl PeerDaemon {
                 bytes_from_peers: ByteCount(bytes_from_peers),
             }],
         });
+        metrics.counter("net.peer.downloads_completed").incr();
+        metrics
+            .counter("net.peer.bytes_from_edge")
+            .add(bytes_from_edge);
+        metrics
+            .counter("net.peer.bytes_from_peers")
+            .add(bytes_from_peers);
 
         Ok(DownloadReport {
             bytes_from_edge,
@@ -480,35 +562,47 @@ impl PeerDaemon {
     /// Shut the daemon down.
     pub fn shutdown(self) {
         let _ = self.inner.control_tx.send(ControlMsg::Logout);
-        for t in self.tasks {
-            t.abort();
-        }
+        self.stop.store(true, Ordering::Relaxed);
     }
 }
 
 /// Serve one inbound swarm connection (the upload side).
-async fn serve_upload(stream: TcpStream, inner: Arc<Inner>) -> Result<()> {
-    let (mut r, mut w) = stream.into_split();
-    let Some(SwarmMsg::Handshake { guid, token, version }) = read_msg(&mut r).await? else {
+fn serve_upload(stream: TcpStream, inner: Arc<Inner>) -> Result<()> {
+    let mut r = stream
+        .try_clone()
+        .map_err(|e| Error::Network(e.to_string()))?;
+    let mut w = stream;
+    let Some(SwarmMsg::Handshake {
+        guid,
+        token,
+        version,
+    }) = read_msg(&mut r)?
+    else {
         return Ok(());
     };
     let object = version.object;
-    let shared = inner.store.lock().get(&object).cloned();
+    let shared = inner.store.lock().unwrap().get(&object).cloned();
     let Some(shared) = shared else {
-        let _ = write_msg(&mut w, &SwarmMsg::Goodbye).await;
+        let _ = write_msg(&mut w, &SwarmMsg::Goodbye);
         return Ok(());
     };
     if shared.manifest.version != version {
-        let _ = write_msg(&mut w, &SwarmMsg::Goodbye).await;
+        let _ = write_msg(&mut w, &SwarmMsg::Goodbye);
         return Ok(());
     }
     // Governor gate: global connection limit etc.
-    if inner.governor.lock().try_start(guid, object, None).is_err() {
-        let _ = write_msg(&mut w, &SwarmMsg::Busy).await;
+    if inner
+        .governor
+        .lock()
+        .unwrap()
+        .try_start(guid, object, None)
+        .is_err()
+    {
+        let _ = write_msg(&mut w, &SwarmMsg::Busy);
         return Ok(());
     }
 
-    let result = async {
+    let result = (|| {
         // Our half of the handshake + our have-map (we are a seeder).
         write_msg(
             &mut w,
@@ -517,17 +611,18 @@ async fn serve_upload(stream: TcpStream, inner: Arc<Inner>) -> Result<()> {
                 token,
                 version,
             },
-        )
-        .await?;
+        )?;
         let full = PieceMap::full(shared.manifest.piece_count());
-        write_msg(&mut w, &SwarmMsg::have_map(&full)).await?;
+        write_msg(&mut w, &SwarmMsg::have_map(&full))?;
+        let served = inner.metrics.counter("net.peer.bytes_uploaded");
         loop {
-            match read_msg::<_, SwarmMsg>(&mut r).await? {
+            match read_msg::<_, SwarmMsg>(&mut r)? {
                 Some(SwarmMsg::Request { piece }) => {
                     let start = piece as usize * shared.manifest.piece_size as usize;
                     let len = shared.manifest.piece_len(piece) as usize;
                     let data = shared.bytes[start..start + len].to_vec();
                     let digest = shared.manifest.piece_hashes[piece as usize];
+                    served.add(data.len() as u64);
                     write_msg(
                         &mut w,
                         &SwarmMsg::Piece {
@@ -535,16 +630,14 @@ async fn serve_upload(stream: TcpStream, inner: Arc<Inner>) -> Result<()> {
                             data,
                             digest,
                         },
-                    )
-                    .await?;
+                    )?;
                 }
                 Some(SwarmMsg::Goodbye) | None => break,
                 Some(_) => {}
             }
         }
         Ok::<(), Error>(())
-    }
-    .await;
-    inner.governor.lock().finish(guid, object, true);
+    })();
+    inner.governor.lock().unwrap().finish(guid, object, true);
     result
 }

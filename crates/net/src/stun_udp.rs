@@ -8,8 +8,11 @@
 //! crate covers the interesting classifications.
 
 use netsession_core::error::{Error, Result};
-use std::net::SocketAddr;
-use tokio::net::UdpSocket;
+use netsession_obs::Counter;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Wire format: 8-byte transaction ID. Response: transaction ID + 4-byte
 /// IP + 2-byte port (all big-endian).
@@ -19,23 +22,37 @@ const RESP_LEN: usize = 14;
 /// A running STUN-ish server.
 pub struct StunUdpServer {
     local_addr: SocketAddr,
-    handle: tokio::task::JoinHandle<()>,
+    stop: Arc<AtomicBool>,
+    /// Binding requests answered (live telemetry).
+    pub requests: Counter,
 }
 
 impl StunUdpServer {
     /// Bind and start serving on `127.0.0.1:0` (or a given address).
-    pub async fn start(addr: &str) -> Result<StunUdpServer> {
-        let socket = UdpSocket::bind(addr)
-            .await
-            .map_err(|e| Error::Network(format!("bind: {e}")))?;
+    pub fn start(addr: &str) -> Result<StunUdpServer> {
+        let socket = UdpSocket::bind(addr).map_err(|e| Error::Network(format!("bind: {e}")))?;
         let local_addr = socket
             .local_addr()
             .map_err(|e| Error::Network(e.to_string()))?;
-        let handle = tokio::spawn(async move {
+        socket
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(|e| Error::Network(e.to_string()))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Counter::detached();
+        let stop_for_loop = stop.clone();
+        let requests_for_loop = requests.clone();
+        std::thread::spawn(move || {
             let mut buf = [0u8; 64];
-            loop {
-                let Ok((n, from)) = socket.recv_from(&mut buf).await else {
-                    break;
+            while !stop_for_loop.load(Ordering::Relaxed) {
+                let (n, from) = match socket.recv_from(&mut buf) {
+                    Ok(r) => r,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
                 };
                 if n != REQ_LEN {
                     continue;
@@ -49,10 +66,15 @@ impl StunUdpServer {
                     }
                     SocketAddr::V6(_) => continue,
                 }
-                let _ = socket.send_to(&resp, from).await;
+                requests_for_loop.incr();
+                let _ = socket.send_to(&resp, from);
             }
         });
-        Ok(StunUdpServer { local_addr, handle })
+        Ok(StunUdpServer {
+            local_addr,
+            stop,
+            requests,
+        })
     }
 
     /// Where the server listens.
@@ -62,25 +84,29 @@ impl StunUdpServer {
 
     /// Stop serving.
     pub fn shutdown(self) {
-        self.handle.abort();
+        self.stop.store(true, Ordering::Relaxed);
     }
 }
 
 /// Ask a STUN server for our reflexive address. Returns (ip, port).
-pub async fn reflexive_address(server: SocketAddr, txn_id: u64) -> Result<(u32, u16)> {
-    let socket = UdpSocket::bind("127.0.0.1:0")
-        .await
-        .map_err(|e| Error::Network(format!("bind: {e}")))?;
+pub fn reflexive_address(server: SocketAddr, txn_id: u64) -> Result<(u32, u16)> {
+    let socket =
+        UdpSocket::bind("127.0.0.1:0").map_err(|e| Error::Network(format!("bind: {e}")))?;
+    socket
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .map_err(|e| Error::Network(e.to_string()))?;
     let req = txn_id.to_be_bytes();
     socket
         .send_to(&req, server)
-        .await
         .map_err(|e| Error::Network(format!("send: {e}")))?;
     let mut buf = [0u8; RESP_LEN];
-    let (n, _) = tokio::time::timeout(std::time::Duration::from_secs(2), socket.recv_from(&mut buf))
-        .await
-        .map_err(|_| Error::Network("stun timeout".into()))?
-        .map_err(|e| Error::Network(format!("recv: {e}")))?;
+    let (n, _) = socket.recv_from(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut {
+            Error::Network("stun timeout".into())
+        } else {
+            Error::Network(format!("recv: {e}"))
+        }
+    })?;
     if n != RESP_LEN || buf[..8] != req {
         return Err(Error::Codec("bad stun response".into()));
     }
@@ -93,20 +119,21 @@ pub async fn reflexive_address(server: SocketAddr, txn_id: u64) -> Result<(u32, 
 mod tests {
     use super::*;
 
-    #[tokio::test]
-    async fn reflexive_address_is_observed_source() {
-        let server = StunUdpServer::start("127.0.0.1:0").await.unwrap();
-        let (ip, port) = reflexive_address(server.local_addr(), 42).await.unwrap();
+    #[test]
+    fn reflexive_address_is_observed_source() {
+        let server = StunUdpServer::start("127.0.0.1:0").unwrap();
+        let (ip, port) = reflexive_address(server.local_addr(), 42).unwrap();
         assert_eq!(ip, u32::from_be_bytes([127, 0, 0, 1]));
         assert!(port > 0);
+        assert_eq!(server.requests.get(), 1);
         server.shutdown();
     }
 
-    #[tokio::test]
-    async fn distinct_sockets_get_distinct_ports() {
-        let server = StunUdpServer::start("127.0.0.1:0").await.unwrap();
-        let (_, p1) = reflexive_address(server.local_addr(), 1).await.unwrap();
-        let (_, p2) = reflexive_address(server.local_addr(), 2).await.unwrap();
+    #[test]
+    fn distinct_sockets_get_distinct_ports() {
+        let server = StunUdpServer::start("127.0.0.1:0").unwrap();
+        let (_, p1) = reflexive_address(server.local_addr(), 1).unwrap();
+        let (_, p2) = reflexive_address(server.local_addr(), 2).unwrap();
         assert_ne!(p1, p2);
         server.shutdown();
     }

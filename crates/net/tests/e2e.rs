@@ -19,7 +19,7 @@ struct Deployment {
     content: Vec<u8>,
 }
 
-async fn deploy(p2p: bool) -> Deployment {
+fn deploy(p2p: bool) -> Deployment {
     let auth = EdgeAuth::from_seed(42);
     let store = Arc::new(ContentStore::new());
     let content: Vec<u8> = (0..300_000u32).map(|i| (i * 2654435761) as u8).collect();
@@ -30,10 +30,8 @@ async fn deploy(p2p: bool) -> Deployment {
     };
     store.publish_content(ObjectId(1), CpCode(1), content.clone(), 16 * 1024, policy);
     let ledger = Arc::new(AccountingLedger::new());
-    let edge = EdgeHttpServer::start("127.0.0.1:0", store, auth.clone(), ledger)
-        .await
-        .unwrap();
-    let control = ControlServer::start("127.0.0.1:0", auth).await.unwrap();
+    let edge = EdgeHttpServer::start("127.0.0.1:0", store, auth.clone(), ledger).unwrap();
+    let control = ControlServer::start("127.0.0.1:0", auth).unwrap();
     Deployment {
         control,
         edge,
@@ -41,39 +39,25 @@ async fn deploy(p2p: bool) -> Deployment {
     }
 }
 
-#[tokio::test]
-async fn first_peer_downloads_from_edge_then_seeds_others() {
-    let d = deploy(true).await;
+#[test]
+fn first_peer_downloads_from_edge_then_seeds_others() {
+    let d = deploy(true);
     let expected_hash = sha256(&d.content);
 
     // Peer 1: nothing registered yet — everything from the edge.
-    let p1 = PeerDaemon::start(
-        d.control.local_addr(),
-        d.edge.local_addr(),
-        Guid(1),
-        true,
-    )
-    .await
-    .unwrap();
-    let r1 = p1.download(ObjectId(1)).await.unwrap();
+    let p1 = PeerDaemon::start(d.control.local_addr(), d.edge.local_addr(), Guid(1), true).unwrap();
+    let r1 = p1.download(ObjectId(1)).unwrap();
     assert_eq!(r1.content_hash, expected_hash);
     assert_eq!(r1.bytes_from_peers, 0);
     assert_eq!(r1.bytes_from_edge, d.content.len() as u64);
     assert_eq!(p1.cached_objects(), 1);
 
     // Give the registration a moment to land.
-    tokio::time::sleep(std::time::Duration::from_millis(150)).await;
+    std::thread::sleep(std::time::Duration::from_millis(150));
 
     // Peer 2: should pull most bytes from peer 1.
-    let p2 = PeerDaemon::start(
-        d.control.local_addr(),
-        d.edge.local_addr(),
-        Guid(2),
-        true,
-    )
-    .await
-    .unwrap();
-    let r2 = p2.download(ObjectId(1)).await.unwrap();
+    let p2 = PeerDaemon::start(d.control.local_addr(), d.edge.local_addr(), Guid(2), true).unwrap();
+    let r2 = p2.download(ObjectId(1)).unwrap();
     assert_eq!(r2.content_hash, expected_hash);
     assert!(
         r2.bytes_from_peers > 0,
@@ -85,23 +69,16 @@ async fn first_peer_downloads_from_edge_then_seeds_others() {
     );
     assert!(r2.peer_sources >= 1);
 
-    tokio::time::sleep(std::time::Duration::from_millis(150)).await;
+    std::thread::sleep(std::time::Duration::from_millis(150));
 
     // Peer 3: two seeds now.
-    let p3 = PeerDaemon::start(
-        d.control.local_addr(),
-        d.edge.local_addr(),
-        Guid(3),
-        true,
-    )
-    .await
-    .unwrap();
-    let r3 = p3.download(ObjectId(1)).await.unwrap();
+    let p3 = PeerDaemon::start(d.control.local_addr(), d.edge.local_addr(), Guid(3), true).unwrap();
+    let r3 = p3.download(ObjectId(1)).unwrap();
     assert_eq!(r3.content_hash, expected_hash);
     assert!(r3.bytes_from_peers > 0);
 
     // Usage reports reached the control plane.
-    tokio::time::sleep(std::time::Duration::from_millis(150)).await;
+    std::thread::sleep(std::time::Duration::from_millis(150));
     let usage = d.control.drain_usage();
     assert!(usage.len() >= 3, "usage records: {}", usage.len());
 
@@ -112,29 +89,17 @@ async fn first_peer_downloads_from_edge_then_seeds_others() {
     d.edge.shutdown();
 }
 
-#[tokio::test]
-async fn infra_only_object_never_touches_peers() {
-    let d = deploy(false).await;
-    let p1 = PeerDaemon::start(
-        d.control.local_addr(),
-        d.edge.local_addr(),
-        Guid(10),
-        true,
-    )
-    .await
-    .unwrap();
-    let r1 = p1.download(ObjectId(1)).await.unwrap();
+#[test]
+fn infra_only_object_never_touches_peers() {
+    let d = deploy(false);
+    let p1 =
+        PeerDaemon::start(d.control.local_addr(), d.edge.local_addr(), Guid(10), true).unwrap();
+    let r1 = p1.download(ObjectId(1)).unwrap();
     assert_eq!(r1.bytes_from_peers, 0);
 
-    let p2 = PeerDaemon::start(
-        d.control.local_addr(),
-        d.edge.local_addr(),
-        Guid(11),
-        true,
-    )
-    .await
-    .unwrap();
-    let r2 = p2.download(ObjectId(1)).await.unwrap();
+    let p2 =
+        PeerDaemon::start(d.control.local_addr(), d.edge.local_addr(), Guid(11), true).unwrap();
+    let r2 = p2.download(ObjectId(1)).unwrap();
     // p2p disabled: even with a cached copy nearby, all bytes are edge.
     assert_eq!(r2.bytes_from_peers, 0);
     assert_eq!(r2.bytes_from_edge, d.content.len() as u64);
@@ -144,32 +109,20 @@ async fn infra_only_object_never_touches_peers() {
     d.edge.shutdown();
 }
 
-#[tokio::test]
-async fn upload_disabled_peer_is_never_selected() {
-    let d = deploy(true).await;
+#[test]
+fn upload_disabled_peer_is_never_selected() {
+    let d = deploy(true);
     // Peer 1 downloads but has uploads OFF.
-    let p1 = PeerDaemon::start(
-        d.control.local_addr(),
-        d.edge.local_addr(),
-        Guid(21),
-        false,
-    )
-    .await
-    .unwrap();
-    let r1 = p1.download(ObjectId(1)).await.unwrap();
+    let p1 =
+        PeerDaemon::start(d.control.local_addr(), d.edge.local_addr(), Guid(21), false).unwrap();
+    let r1 = p1.download(ObjectId(1)).unwrap();
     assert_eq!(r1.bytes_from_peers, 0);
-    tokio::time::sleep(std::time::Duration::from_millis(150)).await;
+    std::thread::sleep(std::time::Duration::from_millis(150));
 
     // Peer 2: no seeders available (peer 1 didn't register) → edge only.
-    let p2 = PeerDaemon::start(
-        d.control.local_addr(),
-        d.edge.local_addr(),
-        Guid(22),
-        true,
-    )
-    .await
-    .unwrap();
-    let r2 = p2.download(ObjectId(1)).await.unwrap();
+    let p2 =
+        PeerDaemon::start(d.control.local_addr(), d.edge.local_addr(), Guid(22), true).unwrap();
+    let r2 = p2.download(ObjectId(1)).unwrap();
     assert_eq!(
         r2.bytes_from_peers, 0,
         "nobody registered a copy, so the edge serves everything"
@@ -180,19 +133,15 @@ async fn upload_disabled_peer_is_never_selected() {
     d.edge.shutdown();
 }
 
-#[tokio::test]
-async fn unknown_object_is_denied() {
-    let d = deploy(true).await;
-    let p = PeerDaemon::start(
-        d.control.local_addr(),
-        d.edge.local_addr(),
-        Guid(31),
-        true,
-    )
-    .await
-    .unwrap();
-    let err = p.download(ObjectId(404)).await.unwrap_err();
-    assert!(matches!(err, netsession_core::error::Error::PolicyDenied(_)));
+#[test]
+fn unknown_object_is_denied() {
+    let d = deploy(true);
+    let p = PeerDaemon::start(d.control.local_addr(), d.edge.local_addr(), Guid(31), true).unwrap();
+    let err = p.download(ObjectId(404)).unwrap_err();
+    assert!(matches!(
+        err,
+        netsession_core::error::Error::PolicyDenied(_)
+    ));
     p.shutdown();
     d.control.shutdown();
     d.edge.shutdown();

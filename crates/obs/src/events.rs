@@ -1,0 +1,115 @@
+//! Bounded structured-event ring buffer.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One structured event: a timestamp (simulation or wall micros — the
+/// producer decides), the component that emitted it, an event kind, and a
+/// free-form detail string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Producer-defined timestamp.
+    pub t: u64,
+    /// Emitting component, e.g. `"control"` or `"edge"`.
+    pub component: String,
+    /// Event class, e.g. `"restart"` or `"denied"`.
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+struct RingInner {
+    /// Oldest-first buffer plus count of events dropped off the front.
+    buf: VecDeque<Event>,
+    dropped: u64,
+    capacity: usize,
+}
+
+/// A bounded ring of [`Event`]s: pushing beyond capacity drops the
+/// oldest entries (and counts them), so long runs keep the tail of their
+/// event history at a fixed memory cost.
+#[derive(Clone)]
+pub struct EventRing(Arc<Mutex<RingInner>>);
+
+/// Default event capacity; enough for the interesting tail of a month
+/// simulation without holding the whole log.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+impl Default for EventRing {
+    fn default() -> EventRing {
+        EventRing::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> EventRing {
+        EventRing(Arc::new(Mutex::new(RingInner {
+            buf: VecDeque::with_capacity(capacity.min(DEFAULT_EVENT_CAPACITY)),
+            dropped: 0,
+            capacity: capacity.max(1),
+        })))
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&self, event: Event) {
+        let mut inner = self.0.lock().unwrap();
+        if inner.buf.len() == inner.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(event);
+    }
+
+    /// Events currently buffered, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.0.lock().unwrap().buf.iter().cloned().collect()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.0.lock().unwrap().dropped
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().buf.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> Event {
+        Event {
+            t,
+            component: "test".into(),
+            kind: "tick".into(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = EventRing::with_capacity(3);
+        for t in 0..5 {
+            ring.push(ev(t));
+        }
+        let got: Vec<u64> = ring.events().iter().map(|e| e.t).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn empty_ring() {
+        let ring = EventRing::default();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Tiny hand-rolled JSON writer (no external serialization crates).
+
+/// Append a JSON string literal (with escaping) to `out`.
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes `"key": ` with indentation.
+pub(crate) fn push_key(out: &mut String, indent: usize, key: &str) {
+    out.push_str(&" ".repeat(indent));
+    push_str_literal(out, key);
+    out.push_str(": ");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,292 @@
+//! The named-instrument registry and JSON snapshot exporter.
+
+use crate::events::{Event, EventRing};
+use crate::instruments::{Counter, Gauge, Histogram};
+use crate::json::{push_key, push_str_literal};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    // Wall-clock-dependent instruments: excluded from the deterministic
+    // snapshot, present only in `full_snapshot_json`.
+    volatile_counters: Mutex<BTreeMap<String, Counter>>,
+    volatile_histograms: Mutex<BTreeMap<String, Histogram>>,
+    events: EventRing,
+}
+
+/// A registry of named instruments plus a structured-event ring.
+///
+/// Cloning is cheap and shares the underlying store, so one registry can
+/// be threaded through every layer of a simulation or live deployment.
+/// Requesting an instrument name twice returns handles to the same
+/// underlying atomic.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &self.inner.counters.lock().unwrap().len())
+            .field("gauges", &self.inner.gauges.lock().unwrap().len())
+            .field("histograms", &self.inner.histograms.lock().unwrap().len())
+            .field("events", &self.inner.events.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .histograms
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create a counter whose value depends on wall-clock timing
+    /// (kept out of the deterministic snapshot).
+    pub fn volatile_counter(&self, name: &str) -> Counter {
+        self.inner
+            .volatile_counters
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create a histogram of wall-clock measurements (kept out of
+    /// the deterministic snapshot).
+    pub fn volatile_histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .volatile_histograms
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The shared event ring.
+    pub fn events(&self) -> EventRing {
+        self.inner.events.clone()
+    }
+
+    /// Record one structured event.
+    pub fn record_event(&self, t: u64, component: &str, kind: &str, detail: impl Into<String>) {
+        self.inner.events.push(Event {
+            t,
+            component: component.to_string(),
+            kind: kind.to_string(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Deterministic JSON snapshot: counters, gauges, histograms (with
+    /// quantile estimates), and the buffered events. Two same-seed runs
+    /// of a deterministic program produce byte-identical output here.
+    pub fn snapshot_json(&self) -> String {
+        self.render(false)
+    }
+
+    /// Full JSON snapshot including the volatile (wall-clock) section.
+    pub fn full_snapshot_json(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, include_volatile: bool) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+
+        push_key(&mut out, 2, "counters");
+        render_counters(&mut out, 2, &self.inner.counters.lock().unwrap());
+        out.push_str(",\n");
+
+        push_key(&mut out, 2, "gauges");
+        {
+            let gauges = self.inner.gauges.lock().unwrap();
+            render_map(&mut out, 2, gauges.iter(), |out, g| {
+                out.push_str(&g.get().to_string())
+            });
+        }
+        out.push_str(",\n");
+
+        push_key(&mut out, 2, "histograms");
+        render_histograms(&mut out, 2, &self.inner.histograms.lock().unwrap());
+        out.push_str(",\n");
+
+        push_key(&mut out, 2, "events");
+        self.render_events(&mut out);
+
+        if include_volatile {
+            out.push_str(",\n");
+            push_key(&mut out, 2, "volatile");
+            out.push_str("{\n");
+            push_key(&mut out, 4, "counters");
+            render_counters(&mut out, 4, &self.inner.volatile_counters.lock().unwrap());
+            out.push_str(",\n");
+            push_key(&mut out, 4, "histograms");
+            render_histograms(&mut out, 4, &self.inner.volatile_histograms.lock().unwrap());
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    fn render_events(&self, out: &mut String) {
+        let events = self.inner.events.events();
+        if events.is_empty() {
+            out.push_str("[]");
+            return;
+        }
+        out.push_str("[\n");
+        for (i, e) in events.iter().enumerate() {
+            out.push_str("    { \"t\": ");
+            out.push_str(&e.t.to_string());
+            out.push_str(", \"component\": ");
+            push_str_literal(out, &e.component);
+            out.push_str(", \"kind\": ");
+            push_str_literal(out, &e.kind);
+            out.push_str(", \"detail\": ");
+            push_str_literal(out, &e.detail);
+            out.push_str(" }");
+            if i + 1 < events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]");
+    }
+}
+
+fn render_counters(out: &mut String, indent: usize, counters: &BTreeMap<String, Counter>) {
+    render_map(out, indent, counters.iter(), |out, c| {
+        out.push_str(&c.get().to_string())
+    });
+}
+
+fn render_histograms(out: &mut String, indent: usize, histograms: &BTreeMap<String, Histogram>) {
+    render_map(out, indent, histograms.iter(), |out, h| {
+        out.push_str(&format!(
+            "{{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {} }}",
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.p50(),
+            h.p90(),
+            h.p99()
+        ))
+    });
+}
+
+fn render_map<'a, V: 'a>(
+    out: &mut String,
+    indent: usize,
+    entries: impl ExactSizeIterator<Item = (&'a String, &'a V)>,
+    mut value: impl FnMut(&mut String, &V),
+) {
+    if entries.len() == 0 {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    let len = entries.len();
+    for (i, (k, v)) in entries.enumerate() {
+        push_key(out, indent + 2, k);
+        value(out, v);
+        if i + 1 < len {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(indent));
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_instrument() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").add(3);
+        reg.counter("x").add(4);
+        assert_eq!(reg.counter("x").get(), 7);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_ordered() {
+        let build = || {
+            let reg = MetricsRegistry::new();
+            reg.counter("b.second").add(2);
+            reg.counter("a.first").add(1);
+            reg.gauge("depth").set(-4);
+            reg.histogram("h").record(100);
+            reg.record_event(1, "comp", "kind", "detail with \"quotes\"");
+            reg
+        };
+        let a = build().snapshot_json();
+        let b = build().snapshot_json();
+        assert_eq!(a, b);
+        // BTreeMap ordering: a.first renders before b.second.
+        assert!(a.find("a.first").unwrap() < a.find("b.second").unwrap());
+    }
+
+    #[test]
+    fn volatile_section_only_in_full_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.counter("det").incr();
+        reg.volatile_histogram("timing_ns").record(12345);
+        let det = reg.snapshot_json();
+        assert!(!det.contains("timing_ns"));
+        assert!(!det.contains("volatile"));
+        let full = reg.full_snapshot_json();
+        assert!(full.contains("timing_ns"));
+        assert!(full.contains("\"volatile\""));
+    }
+
+    #[test]
+    fn empty_registry_renders_valid_shape() {
+        let json = MetricsRegistry::new().snapshot_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"events\": []"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Histogram quantile edge cases the log-bucket scheme must get exactly
+//! right: empty, all-zero, single-sample, and saturating (`u64::MAX`)
+//! populations, plus snapshot determinism for the registry as a whole.
+
+use netsession_obs::{Histogram, MetricsRegistry};
+
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = Histogram::detached();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.p50(), 0);
+    assert_eq!(h.p90(), 0);
+    assert_eq!(h.p99(), 0);
+}
+
+#[test]
+fn all_zero_samples_quantiles_are_zero() {
+    let h = Histogram::detached();
+    for _ in 0..1000 {
+        h.record(0);
+    }
+    assert_eq!(h.count(), 1000);
+    assert_eq!(h.sum(), 0);
+    assert_eq!((h.min(), h.max()), (0, 0));
+    assert_eq!(h.p50(), 0);
+    assert_eq!(h.p99(), 0);
+}
+
+#[test]
+fn single_sample_is_every_quantile() {
+    for v in [0u64, 1, 7, 1 << 20, u64::MAX] {
+        let h = Histogram::detached();
+        h.record(v);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), v);
+        assert_eq!(h.max(), v);
+        // With one sample, every quantile is that sample exactly.
+        assert_eq!(h.quantile(0.0), v, "q0 of single sample {v}");
+        assert_eq!(h.p50(), v, "p50 of single sample {v}");
+        assert_eq!(h.p99(), v, "p99 of single sample {v}");
+        assert_eq!(h.quantile(1.0), v, "q1 of single sample {v}");
+    }
+}
+
+#[test]
+fn u64_max_samples_do_not_overflow_quantiles() {
+    let h = Histogram::detached();
+    for _ in 0..10 {
+        h.record(u64::MAX);
+    }
+    assert_eq!(h.count(), 10);
+    assert_eq!(h.min(), u64::MAX);
+    assert_eq!(h.max(), u64::MAX);
+    assert_eq!(h.p50(), u64::MAX);
+    assert_eq!(h.p99(), u64::MAX);
+    // sum wraps rather than panicking.
+    let _ = h.sum();
+}
+
+#[test]
+fn mixed_extremes_clamp_into_observed_range() {
+    let h = Histogram::detached();
+    h.record(0);
+    h.record(u64::MAX);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), u64::MAX);
+    let p50 = h.p50();
+    assert!(p50 == 0 || p50 == u64::MAX, "p50 = {p50}");
+    assert_eq!(h.quantile(1.0), u64::MAX);
+}
+
+#[test]
+fn out_of_range_quantile_requests_are_clamped() {
+    let h = Histogram::detached();
+    h.record(42);
+    assert_eq!(h.quantile(-1.0), 42);
+    assert_eq!(h.quantile(2.0), 42);
+}
+
+#[test]
+fn identical_recordings_snapshot_identically() {
+    let run = || {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(3);
+        reg.gauge("g").set(-7);
+        let h = reg.histogram("h");
+        for v in [0u64, 1, 5, u64::MAX] {
+            h.record(v);
+        }
+        reg.record_event(12, "edge", "grant", "guid=9");
+        // Volatile instruments must not leak into the deterministic view.
+        reg.volatile_histogram("wallclock_ns").record(918273645);
+        reg.snapshot_json()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert!(!a.contains("wallclock_ns"));
+}

@@ -181,7 +181,10 @@ mod tests {
         c.open(ver(1, 1), 3, SimTime(0));
         assert!(!c.add_piece(ver(1, 1), 0, SimTime(1)));
         assert!(!c.add_piece(ver(1, 1), 1, SimTime(2)));
-        assert!(c.add_piece(ver(1, 1), 2, SimTime(3)), "third piece completes");
+        assert!(
+            c.add_piece(ver(1, 1), 2, SimTime(3)),
+            "third piece completes"
+        );
         let e = c.get(ObjectId(1)).unwrap();
         assert!(e.is_complete());
         assert_eq!(e.completed_at, Some(SimTime(3)));

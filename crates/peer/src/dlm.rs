@@ -16,6 +16,7 @@ use netsession_core::msg::UsageRecord;
 use netsession_core::policy::DownloadPolicy;
 use netsession_core::time::SimTime;
 use netsession_core::units::ByteCount;
+use netsession_obs::MetricsRegistry;
 use std::collections::HashMap;
 
 /// Lifecycle of one download.
@@ -103,15 +104,30 @@ impl Download {
 }
 
 /// The per-peer download manager.
+///
+/// Carries passive `peer.download_*` outcome counters; they start detached
+/// and can be pointed at a shared registry with
+/// [`DownloadManager::with_metrics`]. Clones share the same instruments.
 #[derive(Clone, Debug, Default)]
 pub struct DownloadManager {
     downloads: HashMap<ObjectId, Download>,
+    metrics: MetricsRegistry,
 }
 
 impl DownloadManager {
     /// Empty manager.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach outcome instruments to `registry`: `peer.downloads_started`,
+    /// `peer.downloads_completed`, `peer.downloads_failed`,
+    /// `peer.downloads_aborted`, `peer.downloads_paused`,
+    /// `peer.downloads_resumed`, and the `peer.download_peer_share_pct`
+    /// histogram (peer-sourced percentage of each completed download).
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = registry.clone();
+        self
     }
 
     /// Start (or restart) a download. A download for an older version of
@@ -123,6 +139,7 @@ impl DownloadManager {
         policy: DownloadPolicy,
         now: SimTime,
     ) -> &mut Download {
+        self.metrics.counter("peer.downloads_started").incr();
         self.downloads.insert(
             version.object,
             Download {
@@ -163,6 +180,10 @@ impl DownloadManager {
         if d.total_bytes().bytes() >= d.size.bytes() {
             d.phase = DownloadPhase::Completed;
             d.ended = Some(now);
+            self.metrics.counter("peer.downloads_completed").incr();
+            self.metrics
+                .histogram("peer.download_peer_share_pct")
+                .record((d.peer_efficiency() * 100.0) as u64);
             true
         } else {
             false
@@ -174,6 +195,7 @@ impl DownloadManager {
         match self.downloads.get_mut(&object) {
             Some(d) if d.phase == DownloadPhase::Active => {
                 d.phase = DownloadPhase::Paused;
+                self.metrics.counter("peer.downloads_paused").incr();
                 true
             }
             _ => false,
@@ -186,6 +208,7 @@ impl DownloadManager {
             Some(d) if d.phase == DownloadPhase::Paused => {
                 d.phase = DownloadPhase::Active;
                 d.resume_count += 1;
+                self.metrics.counter("peer.downloads_resumed").incr();
                 true
             }
             _ => false,
@@ -199,6 +222,7 @@ impl DownloadManager {
             Some(d) if !d.is_terminal() => {
                 d.phase = DownloadPhase::Aborted;
                 d.ended = Some(now);
+                self.metrics.counter("peer.downloads_aborted").incr();
                 true
             }
             _ => false,
@@ -211,6 +235,7 @@ impl DownloadManager {
             Some(d) if !d.is_terminal() => {
                 d.phase = DownloadPhase::Failed(error);
                 d.ended = Some(now);
+                self.metrics.counter("peer.downloads_failed").incr();
                 true
             }
             _ => false,
@@ -229,10 +254,7 @@ impl DownloadManager {
 
     /// Count of non-terminal downloads.
     pub fn active_count(&self) -> usize {
-        self.downloads
-            .values()
-            .filter(|d| !d.is_terminal())
-            .count()
+        self.downloads.values().filter(|d| !d.is_terminal()).count()
     }
 
     /// Iterate all downloads.
@@ -337,7 +359,12 @@ mod tests {
             object: ObjectId(1),
             version: 2,
         };
-        dm.begin(v2, ByteCount(500), DownloadPolicy::peer_assisted(), SimTime(2));
+        dm.begin(
+            v2,
+            ByteCount(500),
+            DownloadPolicy::peer_assisted(),
+            SimTime(2),
+        );
         let d = dm.get(ObjectId(1)).unwrap();
         assert_eq!(d.version, v2);
         assert_eq!(d.total_bytes(), ByteCount::ZERO);

@@ -108,16 +108,13 @@ impl StreamBuffer {
                 if buffered {
                     self.state = PlaybackState::Playing;
                     self.started_at = Some(now);
-                    self.startup_delay =
-                        Some(now.since(self.first_request_at.unwrap_or(now)));
+                    self.startup_delay = Some(now.since(self.first_request_at.unwrap_or(now)));
                 }
             }
-            PlaybackState::Rebuffering => {
-                if self.have.has(self.playhead) {
-                    self.state = PlaybackState::Playing;
-                    if let Some(since) = self.stall_since.take() {
-                        self.rebuffer_time += now.since(since);
-                    }
+            PlaybackState::Rebuffering if self.have.has(self.playhead) => {
+                self.state = PlaybackState::Playing;
+                if let Some(since) = self.stall_since.take() {
+                    self.rebuffer_time += now.since(since);
                 }
             }
             _ => {}
@@ -147,8 +144,7 @@ impl StreamBuffer {
             if remaining == SimDuration::ZERO {
                 break;
             }
-            let left_in_piece =
-                SimDuration(self.piece_duration.0 - self.rendered_in_piece.0);
+            let left_in_piece = SimDuration(self.piece_duration.0 - self.rendered_in_piece.0);
             if remaining.0 >= left_in_piece.0 {
                 remaining = SimDuration(remaining.0 - left_in_piece.0);
                 self.playhead += 1;
@@ -258,9 +254,15 @@ mod tests {
         b.mark_started(SimTime(0));
         b.on_piece(0, SimTime(0));
         b.on_piece(1, SimTime(0));
-        assert_eq!(b.advance(secs(2), SimTime(2_000_000)), PlaybackState::Playing);
+        assert_eq!(
+            b.advance(secs(2), SimTime(2_000_000)),
+            PlaybackState::Playing
+        );
         assert_eq!(b.playhead(), 0, "still inside piece 0");
-        assert_eq!(b.advance(secs(2), SimTime(4_000_000)), PlaybackState::Playing);
+        assert_eq!(
+            b.advance(secs(2), SimTime(4_000_000)),
+            PlaybackState::Playing
+        );
         assert_eq!(b.playhead(), 1);
     }
 

@@ -18,6 +18,7 @@ use netsession_core::id::Guid;
 use netsession_core::msg::SwarmMsg;
 use netsession_core::piece::{Manifest, PieceIndex, PieceMap};
 use netsession_core::rng::DetRng;
+use netsession_obs::MetricsRegistry;
 use std::collections::HashMap;
 
 /// State kept per connected remote peer.
@@ -52,6 +53,7 @@ pub struct SwarmSession {
     mine: PieceMap,
     picker: PiecePicker,
     remotes: HashMap<Guid, RemotePeer>,
+    metrics: MetricsRegistry,
 }
 
 impl SwarmSession {
@@ -65,7 +67,17 @@ impl SwarmSession {
             mine,
             picker,
             remotes: HashMap::new(),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Attach passive piece-outcome instruments to `registry`:
+    /// `peer.swarm_pieces_from_peers`, `peer.swarm_pieces_from_edge`,
+    /// `peer.swarm_pieces_corrupt`, and `peer.swarm_peers_joined` /
+    /// `peer.swarm_peers_left`.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = registry.clone();
+        self
     }
 
     /// The local have-map.
@@ -93,6 +105,7 @@ impl SwarmSession {
     ) -> Vec<SwarmEvent> {
         assert_eq!(their_map.len(), self.manifest.piece_count());
         self.picker.peer_joined(&their_map);
+        self.metrics.counter("peer.swarm_peers_joined").incr();
         self.remotes.insert(
             guid,
             RemotePeer {
@@ -109,6 +122,7 @@ impl SwarmSession {
     /// pool.
     pub fn on_peer_left(&mut self, guid: Guid) {
         if let Some(remote) = self.remotes.remove(&guid) {
+            self.metrics.counter("peer.swarm_peers_left").incr();
             self.picker.peer_left(&remote.map);
             if let Some(p) = remote.in_flight {
                 self.picker.request_finished(p);
@@ -152,6 +166,7 @@ impl SwarmSession {
                 }
                 if ok {
                     if self.mine.set(piece) {
+                        self.metrics.counter("peer.swarm_pieces_from_peers").incr();
                         out.push(SwarmEvent::PieceVerified(piece));
                         // Announce to everyone else (they may want it).
                         for guid in self.remotes.keys() {
@@ -162,6 +177,7 @@ impl SwarmSession {
                         }
                     }
                 } else {
+                    self.metrics.counter("peer.swarm_pieces_corrupt").incr();
                     out.push(SwarmEvent::CorruptPiece(from, piece));
                 }
                 if !self.mine.is_complete() {
@@ -223,6 +239,7 @@ impl SwarmSession {
         self.picker.request_finished(piece);
         let mut out = Vec::new();
         if ok && self.mine.set(piece) {
+            self.metrics.counter("peer.swarm_pieces_from_edge").incr();
             out.push(SwarmEvent::PieceVerified(piece));
             for guid in self.remotes.keys() {
                 out.push(SwarmEvent::Send(*guid, SwarmMsg::Have { piece }));
@@ -402,7 +419,7 @@ mod tests {
         let mut mine = PieceMap::empty(3);
         mine.set(0);
         mine.set(2);
-        let mut s = SwarmSession::new(m.clone(), mine, );
+        let mut s = SwarmSession::new(m.clone(), mine);
         let mut rng = DetRng::seeded(6);
         let events = s.on_peer_joined(Guid(1), PieceMap::full(3), &mut rng);
         match &events[0] {

@@ -11,6 +11,7 @@
 //! and the control flow visible in one place.
 
 use netsession_core::time::SimTime;
+use netsession_obs::{Counter, Gauge, MetricsRegistry};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -42,11 +43,20 @@ impl<E> Ord for Entry<E> {
 }
 
 /// Deterministic future-event list.
+///
+/// The queue carries passive instrumentation: `sim.events_scheduled`,
+/// `sim.events_processed`, and the `sim.queue_depth` gauge. The instruments
+/// start detached (recording goes nowhere); [`EventQueue::with_metrics`]
+/// attaches them to a registry. Either way the queue's behaviour — and
+/// therefore every simulated experiment — is identical.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     seq: u64,
     processed: u64,
+    scheduled_ctr: Counter,
+    processed_ctr: Counter,
+    depth_gauge: Gauge,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -63,7 +73,18 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             seq: 0,
             processed: 0,
+            scheduled_ctr: Counter::detached(),
+            processed_ctr: Counter::detached(),
+            depth_gauge: Gauge::detached(),
         }
+    }
+
+    /// Attach the kernel's instruments to `registry`.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.scheduled_ctr = registry.counter("sim.events_scheduled");
+        self.processed_ctr = registry.counter("sim.events_processed");
+        self.depth_gauge = registry.gauge("sim.queue_depth");
+        self
     }
 
     /// Current simulated time: the timestamp of the last popped event.
@@ -95,6 +116,8 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.scheduled_ctr.incr();
+        self.depth_gauge.set(self.heap.len() as i64);
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
@@ -103,6 +126,8 @@ impl<E> EventQueue<E> {
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
         self.processed += 1;
+        self.processed_ctr.incr();
+        self.depth_gauge.set(self.heap.len() as i64);
         Some((entry.at, entry.event))
     }
 

@@ -13,6 +13,7 @@
 //! changes and reads back per-flow rates.
 
 use netsession_core::units::Bandwidth;
+use netsession_obs::{Counter, Histogram, MetricsRegistry};
 use std::collections::BTreeMap;
 
 /// Handle to a node (an access link: one upstream + one downstream side).
@@ -47,6 +48,8 @@ pub struct FlowNet {
     nodes: Vec<Node>,
     flows: BTreeMap<u64, Flow>,
     next_flow: u64,
+    recompute_ctr: Counter,
+    flows_per_recompute: Histogram,
 }
 
 impl Default for FlowNet {
@@ -62,7 +65,18 @@ impl FlowNet {
             nodes: Vec::new(),
             flows: BTreeMap::new(),
             next_flow: 0,
+            recompute_ctr: Counter::detached(),
+            flows_per_recompute: Histogram::detached(),
         }
+    }
+
+    /// Attach the model's instruments (`sim.flownet_recomputes` and the
+    /// `sim.flownet_flows_per_recompute` histogram) to `registry`. Purely
+    /// passive: rate assignment is identical with or without a registry.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.recompute_ctr = registry.counter("sim.flownet_recomputes");
+        self.flows_per_recompute = registry.histogram("sim.flownet_flows_per_recompute");
+        self
     }
 
     /// Add a node with the given up/downstream capacities. Infinite
@@ -156,6 +170,8 @@ impl FlowNet {
     /// shrinks as flows freeze, so the common case is far below the
     /// theoretical O(F²) bound.
     pub fn recompute(&mut self) {
+        self.recompute_ctr.incr();
+        self.flows_per_recompute.record(self.flows.len() as u64);
         let n_nodes = self.nodes.len();
         let mut resid_up: Vec<f64> = self.nodes.iter().map(|n| n.up).collect();
         let mut resid_down: Vec<f64> = self.nodes.iter().map(|n| n.down).collect();
@@ -463,7 +479,10 @@ mod tests {
                 let down = net.downstream_utilization(*node).bytes_per_sec();
                 let cap_up = net.nodes[i].up;
                 let cap_down = net.nodes[i].down;
-                assert!(up <= cap_up * (1.0 + 1e-6) + 1e-3, "round {round}: up overload");
+                assert!(
+                    up <= cap_up * (1.0 + 1e-6) + 1e-3,
+                    "round {round}: up overload"
+                );
                 assert!(
                     down <= cap_down * (1.0 + 1e-6) + 1e-3,
                     "round {round}: down overload"

@@ -168,7 +168,10 @@ mod tests {
             let v = m
                 .one_way((40.0, -75.0), (41.0, -76.0), false, &mut rng)
                 .as_secs_f64();
-            assert!(v > nominal * 0.7 && v < nominal * 1.3, "v={v} nominal={nominal}");
+            assert!(
+                v > nominal * 0.7 && v < nominal * 1.3,
+                "v={v} nominal={nominal}"
+            );
         }
     }
 }

@@ -279,7 +279,7 @@ mod tests {
     fn sampling_respects_customer_and_popularity() {
         let c = catalog();
         let mut rng = DetRng::seeded(12);
-        for customer in 0..CUSTOMERS.len() {
+        for (customer, spec) in CUSTOMERS.iter().enumerate() {
             let mut mass_of_p2p = 0.0;
             let draws = 2000;
             for _ in 0..draws {
@@ -291,11 +291,11 @@ mod tests {
             }
             // Flagships are few but popular: p2p-enabled requests should be
             // far above the p2p *file* fraction for game-heavy customers.
-            if CUSTOMERS[customer].profile == ContentProfile::Games {
+            if spec.profile == ContentProfile::Games {
                 assert!(
                     mass_of_p2p / draws as f64 > 0.035,
                     "customer {} p2p request share {:.3}",
-                    CUSTOMERS[customer].name,
+                    spec.name,
                     mass_of_p2p / draws as f64
                 );
             }

@@ -277,7 +277,10 @@ mod tests {
         let frac = nonlinear as f64 / n as f64;
         assert!((0.004..0.008).contains(&frac), "nonlinear fraction {frac}");
         let roll_share = rollback as f64 / nonlinear as f64;
-        assert!((0.40..0.53).contains(&roll_share), "rollback share {roll_share}");
+        assert!(
+            (0.40..0.53).contains(&roll_share),
+            "rollback share {roll_share}"
+        );
     }
 
     #[test]

@@ -9,12 +9,11 @@
 
 use netsession_core::id::CpCode;
 use netsession_core::policy::UploadDefault;
-use serde::{Deserialize, Serialize};
 
 /// What kind of content a provider predominantly distributes; drives the
 /// object-size mixture (§4.4: "a typical use case … was the distribution of
 /// software installers").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ContentProfile {
     /// Multi-GB game clients and patches — the flagship peer-assist case.
     Games,
@@ -25,7 +24,7 @@ pub enum ContentProfile {
 }
 
 /// A calibrated content-provider profile.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Customer {
     /// Anonymized name, "A" through "J".
     pub name: &'static str,

@@ -10,10 +10,8 @@
 //! ("most of the peers are located in North America (27 %) and Europe
 //! (35 %), but there are also sizable groups … in South America and Asia").
 
-use serde::{Deserialize, Serialize};
-
 /// The nine regions of Table 2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Region {
     /// United States, east of roughly -100° longitude.
     UsEast,
@@ -73,7 +71,7 @@ impl Region {
 
 /// A city with coordinates. Location granularity mirrors EdgeScape's
 /// city/suburb level (§4.1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct City {
     /// City name.
     pub name: &'static str,
@@ -86,7 +84,7 @@ pub struct City {
 }
 
 /// A country entry in the gazetteer.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Country {
     /// ISO 3166 alpha-2 code.
     pub iso: &'static str,
@@ -699,7 +697,7 @@ pub fn region_of(country: &Country, city: &City) -> Region {
 }
 
 /// Continent buckets used in §4.2's "bubble plot" summary.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Continent {
     /// North America (US, CA, MX).
     NorthAmerica,

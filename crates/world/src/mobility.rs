@@ -93,7 +93,9 @@ impl MobilityPlan {
             // redraws avoid collapsing two-AS plans into one AS.
             let mut as_index = as_model.pick_for_country(peer.country, rng);
             for _ in 0..16 {
-                if as_index != peer.as_index && !sites.iter().any(|s: &LoginSite| s.as_index == as_index) {
+                if as_index != peer.as_index
+                    && !sites.iter().any(|s: &LoginSite| s.as_index == as_index)
+                {
                     break;
                 }
                 as_index = as_model.pick_for_country(peer.country, rng);
@@ -220,11 +222,7 @@ mod tests {
     fn distance_mix_matches_paper() {
         let plans = plans();
         let n = plans.len() as f64;
-        let near = plans
-            .iter()
-            .filter(|p| p.max_distance_km() <= 10.0)
-            .count() as f64
-            / n;
+        let near = plans.iter().filter(|p| p.max_distance_km() <= 10.0).count() as f64 / n;
         assert!((0.70..0.88).contains(&near), "within-10km fraction {near}");
     }
 
@@ -248,7 +246,10 @@ mod tests {
     fn stationary_peers_always_log_in_from_home() {
         let plans = plans();
         let mut rng = DetRng::seeded(44);
-        let plan = plans.iter().find(|p| p.sites.len() == 1).expect("stationary");
+        let plan = plans
+            .iter()
+            .find(|p| p.sites.len() == 1)
+            .expect("stationary");
         for _ in 0..50 {
             assert_eq!(plan.sample_site(&mut rng), &plan.sites[0]);
         }

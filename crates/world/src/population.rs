@@ -131,8 +131,7 @@ impl Population {
         let mut as_rng = rng.split(1);
         let as_model = AsModel::generate(cfg.ases, &mut as_rng);
 
-        let country_weights: Vec<f64> =
-            WORLD_COUNTRIES.iter().map(|c| c.peer_weight).collect();
+        let country_weights: Vec<f64> = WORLD_COUNTRIES.iter().map(|c| c.peer_weight).collect();
         let customer_weights: Vec<f64> = CUSTOMERS.iter().map(|c| c.install_share).collect();
         let nat_weights: Vec<f64> = NAT_DISTRIBUTION.iter().map(|(_, w)| *w).collect();
 

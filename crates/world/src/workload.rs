@@ -16,8 +16,8 @@ use netsession_core::time::{SimDuration, SimTime, TRACE_MONTH};
 /// Relative request intensity per *local* hour of day: evening peak,
 /// night trough.
 pub const DIURNAL_WEIGHTS: [f64; 24] = [
-    0.45, 0.32, 0.24, 0.20, 0.20, 0.26, 0.38, 0.55, 0.72, 0.85, 0.95, 1.00, 1.02, 1.00, 0.98,
-    1.00, 1.08, 1.22, 1.42, 1.60, 1.68, 1.55, 1.18, 0.72,
+    0.45, 0.32, 0.24, 0.20, 0.20, 0.26, 0.38, 0.55, 0.72, 0.85, 0.95, 1.00, 1.02, 1.00, 0.98, 1.00,
+    1.08, 1.22, 1.42, 1.60, 1.68, 1.55, 1.18, 0.72,
 ];
 
 /// One download request.

@@ -23,7 +23,10 @@ fn main() {
         objects: 1_500,
         ..ScenarioConfig::default()
     };
-    println!("simulating {} peers for the coverage question…", config.population.peers);
+    println!(
+        "simulating {} peers for the coverage question…",
+        config.population.peers
+    );
     let out = HybridSim::run_config(config);
 
     let cp = customer_by_name("G").expect("customer G").cp;

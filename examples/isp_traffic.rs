@@ -20,7 +20,10 @@ fn main() {
         objects: 1_500,
         ..ScenarioConfig::default()
     };
-    println!("simulating {} peers for the ISP question…", config.population.peers);
+    println!(
+        "simulating {} peers for the ISP question…",
+        config.population.peers
+    );
     let out = HybridSim::run_config(config);
     let t = astraffic::build(&out.dataset);
 

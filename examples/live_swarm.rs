@@ -16,8 +16,7 @@ use netsession::net::edge_server::EdgeHttpServer;
 use netsession::net::peer_daemon::PeerDaemon;
 use std::sync::Arc;
 
-#[tokio::main]
-async fn main() {
+fn main() {
     // Publish a 2 MB "installer" on the edge.
     let auth = EdgeAuth::from_seed(2012);
     let store = Arc::new(ContentStore::new());
@@ -31,10 +30,8 @@ async fn main() {
         DownloadPolicy::peer_assisted(),
     );
     let ledger = Arc::new(AccountingLedger::new());
-    let edge = EdgeHttpServer::start("127.0.0.1:0", store, auth.clone(), ledger)
-        .await
-        .expect("edge");
-    let control = ControlServer::start("127.0.0.1:0", auth).await.expect("control");
+    let edge = EdgeHttpServer::start("127.0.0.1:0", store, auth.clone(), ledger).expect("edge");
+    let control = ControlServer::start("127.0.0.1:0", auth).expect("control");
     println!(
         "edge at {}, control plane at {}",
         edge.local_addr(),
@@ -49,9 +46,8 @@ async fn main() {
             Guid(i as u128),
             true,
         )
-        .await
         .expect("daemon");
-        let report = daemon.download(ObjectId(1)).await.expect("download");
+        let report = daemon.download(ObjectId(1)).expect("download");
         assert_eq!(report.content_hash, expected, "content verified");
         println!(
             "peer {} downloaded: {:>8} B from edge, {:>8} B from {} peer(s) — hash OK",
@@ -61,7 +57,7 @@ async fn main() {
         totals.1 += report.bytes_from_peers;
         // Leave the daemon running so it can seed the next one.
         std::mem::forget(daemon);
-        tokio::time::sleep(std::time::Duration::from_millis(200)).await;
+        std::thread::sleep(std::time::Duration::from_millis(200));
     }
 
     println!();
@@ -72,7 +68,10 @@ async fn main() {
         totals.1 as f64 / (totals.0 + totals.1) as f64 * 100.0
     );
     let usage = control.drain_usage();
-    println!("usage records collected by the control plane: {}", usage.len());
+    println!(
+        "usage records collected by the control plane: {}",
+        usage.len()
+    );
     control.shutdown();
     edge.shutdown();
 }

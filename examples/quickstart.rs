@@ -30,7 +30,10 @@ fn main() {
     let h = overview::headline(&out.dataset);
 
     println!();
-    println!("downloads logged ............. {}", out.dataset.downloads.len());
+    println!(
+        "downloads logged ............. {}",
+        out.dataset.downloads.len()
+    );
     println!("logins ....................... {}", out.stats.logins);
     println!(
         "uploads enabled .............. {:.1}% of peers (paper: ~31%)",

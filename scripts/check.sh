@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, and the full test suite.
+# Run from the repo root: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy -q --workspace --all-targets -- -D warnings
+
+echo "== cargo test --workspace"
+cargo test -q --workspace
+
+echo "All checks passed."

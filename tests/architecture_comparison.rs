@@ -78,7 +78,10 @@ fn freeloading_is_harmless_in_the_hybrid_but_punished_in_bittorrent() {
         completed > 0.85,
         "all-freeloader hybrid still completes: {completed}"
     );
-    assert_eq!(out.stats.p2p_bytes, 0, "nobody uploads, nobody swarm-serves");
+    assert_eq!(
+        out.stats.p2p_bytes, 0,
+        "nobody uploads, nobody swarm-serves"
+    );
 
     // BitTorrent: free-riders in a seed-scarce swarm fall behind or starve.
     let mut rng = DetRng::seeded(11);
@@ -94,10 +97,12 @@ fn freeloading_is_harmless_in_the_hybrid_but_punished_in_bittorrent() {
         &mut rng,
     );
     let result = swarm.run(&mut rng);
-    let contributors = result.mean_finish_round(false).expect("contributors finish");
-    match result.mean_finish_round(true) {
-        Some(freeriders) => assert!(freeriders > contributors),
-        None => {} // fully starved — the strongest form of punishment
+    let contributors = result
+        .mean_finish_round(false)
+        .expect("contributors finish");
+    // None means fully starved — the strongest form of punishment.
+    if let Some(freeriders) = result.mean_finish_round(true) {
+        assert!(freeriders > contributors);
     }
 }
 
@@ -113,7 +118,7 @@ fn infra_cdn_speed_is_the_downlink_hybrid_peers_add_capacity_not_speed() {
         .download_time(ByteCount::from_gib(1), downlink)
         .unwrap();
     assert!(t.as_secs_f64() > 0.0);
-    let offload = out.stats.p2p_bytes as f64
-        / (out.stats.p2p_bytes + out.stats.edge_bytes).max(1) as f64;
+    let offload =
+        out.stats.p2p_bytes as f64 / (out.stats.p2p_bytes + out.stats.edge_bytes).max(1) as f64;
     assert!(offload > 0.15, "offload {offload}");
 }

@@ -234,7 +234,8 @@ fn dn_failure_recovery_via_readd_preserves_service() {
         vec![],
         SimTime(0),
     );
-    f.plane.register_content(0, record(9, NatType::FullCone), ver);
+    f.plane
+        .register_content(0, record(9, NatType::FullCone), ver);
 
     // DN dies; the CN asks connected peers to RE-ADD (§3.8).
     let to_ask = f.plane.fail_dn(0);

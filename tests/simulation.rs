@@ -30,7 +30,11 @@ fn headline_shape_holds() {
         "enabled {}",
         h.enabled_fraction
     );
-    assert!(h.p2p_file_fraction < 0.08, "p2p files {}", h.p2p_file_fraction);
+    assert!(
+        h.p2p_file_fraction < 0.08,
+        "p2p files {}",
+        h.p2p_file_fraction
+    );
     assert!(
         h.p2p_byte_share > 0.25,
         "p2p-enabled files dominate bytes: {}",
@@ -210,8 +214,16 @@ fn outcome_split_matches_the_papers_story() {
 fn mobility_mix_is_calibrated() {
     let out = run();
     let m = mobility::summarize(&out.dataset);
-    assert!((0.72..0.90).contains(&m.single_as), "single-AS {}", m.single_as);
-    assert!((0.60..0.92).contains(&m.within_10km), "10km {}", m.within_10km);
+    assert!(
+        (0.72..0.90).contains(&m.single_as),
+        "single-AS {}",
+        m.single_as
+    );
+    assert!(
+        (0.60..0.92).contains(&m.within_10km),
+        "10km {}",
+        m.within_10km
+    );
 }
 
 #[test]
@@ -230,7 +242,10 @@ fn guid_graphs_mostly_linear_with_rare_trees() {
     let census = guidgraph::fig12(&out.dataset);
     let nl = guidgraph::nonlinear_fraction(&census);
     assert!(nl < 0.05, "nonlinear fraction {nl}");
-    assert!(nl > 0.0, "the clone/anomaly machinery must produce some trees");
+    assert!(
+        nl > 0.0,
+        "the clone/anomaly machinery must produce some trees"
+    );
 }
 
 #[test]
@@ -261,8 +276,8 @@ fn control_plane_restart_does_not_hurt_service() {
         completion(baseline)
     );
     // Peer-assisted delivery keeps working after day 15.
-    let restart_at = netsession::core::time::SimTime::ZERO
-        + netsession::core::time::SimDuration::from_days(16);
+    let restart_at =
+        netsession::core::time::SimTime::ZERO + netsession::core::time::SimDuration::from_days(16);
     let p2p_after: u64 = restarted
         .dataset
         .downloads
