@@ -77,6 +77,30 @@ impl Default for ScenarioConfig {
 }
 
 impl ScenarioConfig {
+    /// Sanity-check the configuration. Called by `Scenario::build`;
+    /// asserts on values that would silently disable whole mechanisms
+    /// (e.g. `sufficient_peer_connections == 0` once made the requery
+    /// threshold collapse to zero under integer division).
+    pub fn validate(&self) {
+        assert!(
+            self.transfer.sufficient_peer_connections >= 1,
+            "transfer.sufficient_peer_connections must be >= 1 \
+             (0 would disable re-queries entirely)"
+        );
+        assert!(
+            self.transfer.max_download_connections >= 1,
+            "transfer.max_download_connections must be >= 1"
+        );
+        assert!(
+            self.population.peers > 0 && self.objects > 0,
+            "population and catalog must be non-empty"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.daily_login_prob),
+            "daily_login_prob must be a probability"
+        );
+    }
+
     /// A small configuration for fast tests.
     pub fn tiny() -> Self {
         ScenarioConfig {

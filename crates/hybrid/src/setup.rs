@@ -40,6 +40,7 @@ pub struct Scenario {
 impl Scenario {
     /// Build everything deterministically from the config.
     pub fn build(config: ScenarioConfig) -> Scenario {
+        config.validate();
         let mut rng = DetRng::seeded(config.seed);
         let mut pop_rng = rng.split(0x706f70);
         let mut cat_rng = rng.split(0x636174);

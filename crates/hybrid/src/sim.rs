@@ -13,7 +13,9 @@
 //! coarse tick (default 20 s) are the only points where the flow set
 //! changes; bytes advance linearly between those points, and completion
 //! times are interpolated exactly within the advance step, so per-download
-//! speeds (Fig 4) are not quantized by the tick.
+//! speeds (Fig 4) are not quantized by the tick. Every handler refreshes
+//! rates through [`FlowNet::recompute_dirty`], so only the swarm
+//! components actually touched by an event are re-filled.
 
 use crate::config::ScenarioConfig;
 use crate::identity::IdentityState;
@@ -418,7 +420,7 @@ impl HybridSim {
                         &metrics,
                         t,
                     );
-                    net.recompute();
+                    net.recompute_dirty();
                 }
                 Event::Arrival(i) => {
                     advance(&mut dls, &active, &net, last_advance, t);
@@ -447,7 +449,7 @@ impl HybridSim {
                         &metrics,
                         t,
                     );
-                    net.recompute();
+                    net.recompute_dirty();
                     if !tick_scheduled && !active.is_empty() {
                         queue.schedule(t + TICK, Event::Tick);
                         tick_scheduled = true;
@@ -503,7 +505,6 @@ impl HybridSim {
                 Event::Tick => {
                     advance(&mut dls, &active, &net, last_advance, t);
                     last_advance = t;
-                    let any_finished = dls.iter().any(|d| d.finished.is_some());
                     process_finished(
                         &mut dls,
                         &mut active,
@@ -525,9 +526,14 @@ impl HybridSim {
                         &mut stats,
                         &mut run_rng,
                     );
-                    if any_finished {
-                        net.recompute();
-                    }
+                    // Rates must be refreshed whenever the tick changed the
+                    // flow set — a finished download tearing flows down OR
+                    // a requery connecting new sources / retightening the
+                    // edge ceiling. (Gating this on "a download finished"
+                    // used to leave requery-added flows at 0 B/s for many
+                    // ticks.) The incremental path is a no-op on the common
+                    // quiet tick where nothing was dirtied.
+                    net.recompute_dirty();
                     if active.is_empty() {
                         tick_scheduled = false;
                     } else {
@@ -870,9 +876,11 @@ impl HybridSim {
             let (needs, peer_idx, region) = {
                 let dl = &dls[*id];
                 (
+                    // div_ceil: with `sufficient <= 1`, flooring division
+                    // made the threshold 0 and disabled re-queries outright.
                     dl.p2p
                         && dl.finished.is_none()
-                        && dl.sources.len() < sufficient / 2
+                        && dl.sources.len() < sufficient.div_ceil(2)
                         && dl.requeries < max_rounds,
                     dl.peer,
                     dl.region,
@@ -1046,9 +1054,12 @@ fn advance(dls: &mut [Dl], active: &[usize], net: &FlowNet, from: SimTime, to: S
                 milestone_dt = dt_complete.max(0.0);
                 outcome = Some(DownloadOutcome::Completed);
             }
+            // A failure threshold already crossed in a previous step gives
+            // a negative raw dt; clamp to 0 so the failure fires at the
+            // step boundary instead of being skipped forever.
             if let Some(fail_bytes) = dl.env_fail_at_bytes {
-                let dt_fail = (fail_bytes - done) / total_rate;
-                if dt_fail >= 0.0 && dt_fail < milestone_dt {
+                let dt_fail = ((fail_bytes - done) / total_rate).max(0.0);
+                if dt_fail < milestone_dt {
                     milestone_dt = dt_fail;
                     outcome = Some(DownloadOutcome::Failed {
                         system_related: false,
@@ -1056,8 +1067,8 @@ fn advance(dls: &mut [Dl], active: &[usize], net: &FlowNet, from: SimTime, to: S
                 }
             }
             if let Some(fail_bytes) = dl.sys_fail_at_bytes {
-                let dt_fail = (fail_bytes - done) / total_rate;
-                if dt_fail >= 0.0 && dt_fail < milestone_dt {
+                let dt_fail = ((fail_bytes - done) / total_rate).max(0.0);
+                if dt_fail < milestone_dt {
                     milestone_dt = dt_fail;
                     outcome = Some(DownloadOutcome::Failed {
                         system_related: true,
@@ -1129,13 +1140,17 @@ fn process_finished(
             .chain(dl.finished_sources.drain(..))
             .collect();
 
-        // Transfer records + upload accounting.
+        // Transfer records + upload accounting. Every delivered byte counts
+        // toward `bytes_peers` — `done_bytes()` counted sub-1-byte source
+        // contributions toward completion, so dropping them here would make
+        // a completed download's logged total undershoot its size. Only the
+        // per-source TransferRecord emission skips the <1-byte dust.
         let mut bytes_peers = 0.0;
         for (src, bytes) in &sources {
+            bytes_peers += bytes;
             if *bytes < 1.0 {
                 continue;
             }
-            bytes_peers += bytes;
             let src_spec = &scenario.population.peers[*src as usize];
             dataset.transfers.push(TransferRecord {
                 from_guid: src_spec.guid,
@@ -1351,6 +1366,62 @@ mod tests {
             assert_eq!(x.ended, y.ended);
             assert_eq!(x.bytes_peers, y.bytes_peers);
         }
+    }
+
+    #[test]
+    fn crossed_failure_threshold_fires_at_step_boundary() {
+        // Regression: a failure whose byte threshold was already crossed in
+        // a previous advance step used to compute a negative dt and never
+        // fire, letting the download survive forever.
+        let mut net = FlowNet::new();
+        let src = net.add_node(Bandwidth::from_mbps(8.0), Bandwidth::from_mbps(8.0));
+        let dst = net.add_node(Bandwidth::from_mbps(8.0), Bandwidth::from_mbps(8.0));
+        let flow = net.add_flow(src, dst, None);
+        net.recompute();
+        assert!(net.rate(flow).bytes_per_sec() > 0.0);
+        let version = VersionId {
+            object: ObjectId::from_raw(1),
+            version: 1,
+        };
+        let mut dls = vec![Dl {
+            peer: 0,
+            object: ObjectId::from_raw(1),
+            version,
+            size: 1e9,
+            p2p: false,
+            cap: None,
+            started: SimTime::ZERO,
+            token: AuthToken {
+                guid: Guid::from_raw(1),
+                version,
+                expires: SimTime(u64::MAX),
+                mac: netsession_core::hash::Digest::zero(),
+            },
+            edge_flow: Some(flow),
+            edge_bytes: 500_000.0, // already past the threshold below
+            sources: Vec::new(),
+            finished_sources: Vec::new(),
+            initial_peers: 0,
+            abort_at: None,
+            env_fail_at_bytes: Some(400_000.0),
+            sys_fail_at_bytes: None,
+            requeries: 0,
+            region: 0,
+            finished: None,
+        }];
+        let active = vec![0usize];
+        let from = SimTime::ZERO + SimDuration::from_secs(40);
+        let to = from + SimDuration::from_secs(20);
+        advance(&mut dls, &active, &net, from, to);
+        let (at, outcome) = dls[0].finished.expect("crossed threshold must fire");
+        assert_eq!(
+            outcome,
+            DownloadOutcome::Failed {
+                system_related: false
+            }
+        );
+        assert_eq!(at, from, "fires at the step boundary, accruing no bytes");
+        assert!((dls[0].done_bytes() - 500_000.0).abs() < 1e-6);
     }
 
     #[test]

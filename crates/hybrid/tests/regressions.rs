@@ -1,0 +1,142 @@
+//! Scenario-level regression tests for driver bugfixes.
+//!
+//! Each test pins a bug that once lived in the event loop: requery-added
+//! flows running at 0 B/s until an unrelated event recomputed rates, and
+//! the requery gate collapsing to zero under integer division.
+
+use netsession_core::id::PeerIndex;
+use netsession_core::msg::NatType;
+use netsession_core::time::{SimDuration, SimTime};
+use netsession_core::units::Bandwidth;
+use netsession_hybrid::{HybridSim, Scenario, ScenarioConfig};
+use netsession_logs::records::DownloadOutcome;
+use netsession_world::population::PopulationConfig;
+use netsession_world::workload::{Request, WorkloadConfig};
+
+/// A requery that connects new sources must start moving bytes at the
+/// next tick, not whenever the next unrelated Online/Offline/Arrival
+/// event happens to recompute rates.
+///
+/// Construction: two peers. Peer 0 requests a p2p object half an hour
+/// into the trace while the only seeder (peer 1) is still offline, so the
+/// initial swarm query comes up empty and there is no edge backstop. The
+/// seeder logs in around hour 2 and the next tick's requery connects it.
+/// With the old `if any_finished` gate the new flow kept rate 0 until
+/// peer 0's own scheduled logout around hour 13 triggered a recompute;
+/// with the fix the transfer finishes within minutes of the connect. The
+/// completion-time bound is what makes the test decisive.
+#[test]
+fn requery_connected_sources_transfer_immediately() {
+    let mut cfg = ScenarioConfig::tiny();
+    cfg.seed = 7;
+    cfg.population = PopulationConfig {
+        peers: 2,
+        ases: 4,
+        clone_fraction: 0.0,
+        ..PopulationConfig::default()
+    };
+    cfg.objects = 20;
+    cfg.workload = WorkloadConfig {
+        downloads: 1,
+        ..WorkloadConfig::default()
+    };
+    cfg.edge_backstop = false;
+    cfg.daily_login_prob = 1.0;
+    cfg.transfer.max_requery_rounds = 100_000;
+
+    let mut scenario = Scenario::build(cfg);
+
+    // Downloader: reachable, fat downlink, never uploads, habitually
+    // online around noon GMT for one hour (its logout is the *only*
+    // rate-recomputing event the old code could ride on).
+    {
+        let d = &mut scenario.population.peers[0];
+        d.nat = NatType::Open;
+        d.uploads_enabled = false;
+        d.down = Bandwidth::from_mbps(1000.0);
+        d.tz_offset = 0;
+        d.online_start_hour = 12.0;
+        d.online_hours = 1.0;
+    }
+    // Seeder: co-located with the downloader, reachable, fat uplink,
+    // logs in around hour 2 and stays up.
+    {
+        let (c, city, as_index, asn) = {
+            let d = &scenario.population.peers[0];
+            (d.country, d.city, d.as_index, d.asn)
+        };
+        let s = &mut scenario.population.peers[1];
+        s.nat = NatType::Open;
+        s.uploads_enabled = true;
+        s.up = Bandwidth::from_mbps(1000.0);
+        s.country = c;
+        s.city = city;
+        s.as_index = as_index;
+        s.asn = asn;
+        s.tz_offset = 0;
+        s.online_start_hour = 2.0;
+        s.online_hours = 20.0;
+    }
+
+    // One request: peer 0 asks for a p2p-enabled object at minute 30,
+    // long before the seeder's first login. (Pre-seeding puts cached
+    // copies of every p2p object on the only upload-enabled peer.)
+    let object = scenario
+        .catalog
+        .objects()
+        .iter()
+        .find(|o| o.policy.p2p_enabled)
+        .expect("catalog has p2p objects")
+        .id;
+    scenario.workload.requests = vec![Request {
+        at: SimTime::ZERO + SimDuration::from_mins(30),
+        peer: PeerIndex(0),
+        object,
+    }];
+
+    let out = HybridSim::new(scenario).run();
+
+    assert!(out.stats.requeries > 0, "the empty swarm must requery");
+    let rec = out
+        .dataset
+        .downloads
+        .iter()
+        .find(|r| r.object == object)
+        .expect("the download must be logged");
+    assert_eq!(rec.outcome, DownloadOutcome::Completed);
+    assert_eq!(rec.bytes_infra.bytes(), 0, "no edge backstop configured");
+    assert!(
+        rec.bytes_peers.bytes() > 0,
+        "bytes must come from the swarm"
+    );
+    assert!(
+        rec.ended <= SimTime::ZERO + SimDuration::from_hours(6),
+        "requery-added flow ran at stale 0 B/s: download dragged to {:?}",
+        rec.ended
+    );
+}
+
+/// `sufficient_peer_connections = 1` must still requery: the old gate
+/// `sources.len() < sufficient / 2` floored to `< 0`, which is never
+/// true, silently disabling re-queries for small-sufficiency configs.
+#[test]
+fn sufficient_one_still_requeries() {
+    let mut cfg = ScenarioConfig::tiny();
+    cfg.population = PopulationConfig {
+        peers: 400,
+        ases: 60,
+        ..PopulationConfig::default()
+    };
+    cfg.objects = 100;
+    cfg.workload = WorkloadConfig {
+        downloads: 400,
+        ..WorkloadConfig::default()
+    };
+    cfg.transfer.sufficient_peer_connections = 1;
+
+    let out = HybridSim::run_config(cfg);
+    assert!(
+        out.stats.requeries > 0,
+        "sufficient=1 must not disable re-queries (integer-division gate)"
+    );
+}

@@ -22,7 +22,9 @@ struct Deployment {
 fn deploy(p2p: bool) -> Deployment {
     let auth = EdgeAuth::from_seed(42);
     let store = Arc::new(ContentStore::new());
-    let content: Vec<u8> = (0..300_000u32).map(|i| (i * 2654435761) as u8).collect();
+    let content: Vec<u8> = (0..300_000u32)
+        .map(|i| (i.wrapping_mul(2654435761)) as u8)
+        .collect();
     let policy = if p2p {
         DownloadPolicy::peer_assisted()
     } else {

@@ -9,20 +9,44 @@
 //! Rates are assigned by **progressive filling**: all flows grow at the same
 //! rate until a resource (a node side or a flow ceiling) saturates, the
 //! affected flows freeze, and filling continues — the textbook max-min fair
-//! allocation. The driver calls [`FlowNet::recompute`] whenever the flow set
-//! changes and reads back per-flow rates.
+//! allocation.
+//!
+//! # Incremental recomputation
+//!
+//! Rates only couple flows that share a resource, i.e. flows in the same
+//! *connected component* of the bipartite flow graph. The model therefore
+//! maintains a union-find partition of nodes, tracks which components were
+//! dirtied by membership / ceiling / capacity changes, and
+//! [`FlowNet::recompute_dirty`] re-runs progressive filling only inside
+//! dirty components — the common driver path at scale, where a single
+//! swarm's churn must not trigger a global recomputation.
+//! [`FlowNet::recompute`] remains as the full-recomputation fallback and as
+//! the oracle for equivalence tests; both paths fill each *exact* connected
+//! component independently (flows visited in creation order), so they
+//! assign byte-identical rates.
+//!
+//! Flows live in a dense slab (`Vec` + free list) addressed by
+//! generation-tagged [`FlowId`]s, and per-node utilization aggregates are
+//! maintained alongside rates, so [`FlowNet::downstream_utilization`] /
+//! [`FlowNet::upstream_utilization`] are O(1) reads rather than O(flows)
+//! scans.
 
 use netsession_core::units::Bandwidth;
-use netsession_obs::{Counter, Histogram, MetricsRegistry};
-use std::collections::BTreeMap;
+use netsession_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Handle to a node (an access link: one upstream + one downstream side).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
-/// Handle to a flow.
+/// Handle to a flow: a slab slot plus a generation tag. Slots are reused
+/// after removal, but the generation bumps on every removal, so a stale
+/// handle can never alias a later flow occupying the same slot — lookups
+/// through it simply miss (rate zero, idempotent teardown).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
-pub struct FlowId(pub u64);
+pub struct FlowId {
+    slot: u32,
+    gen: u32,
+}
 
 /// Rates above this are treated as unconstrained (1 TB/s).
 const MAX_RATE: f64 = 1e12;
@@ -41,15 +65,62 @@ struct Flow {
     dst: NodeId,
     ceil: f64,
     rate: f64,
+    /// Monotonic creation stamp. Progressive filling always visits flows
+    /// in `seq` order, which keeps rate assignment (and its floating-point
+    /// rounding) independent of slot reuse.
+    seq: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Slot {
+    gen: u32,
+    flow: Option<Flow>,
 }
 
 /// The fluid network: nodes, flows, and their current max-min fair rates.
 pub struct FlowNet {
     nodes: Vec<Node>,
-    flows: BTreeMap<u64, Flow>,
-    next_flow: u64,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    next_seq: u64,
+
+    // Coarse union-find partition of nodes over the active flow graph.
+    // Additions union eagerly; removals only mark staleness (the partition
+    // is then an over-approximation of true connectivity, which is always
+    // safe — it can only enlarge the recomputed set). `rebuild_partition`
+    // restores exactness once enough removals accumulate.
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    stale_removals: usize,
+
+    // Dirty tracking: nodes touched by mutations since the last recompute,
+    // deduplicated with an epoch-stamped mark.
+    dirty_nodes: Vec<u32>,
+    dirty_mark: Vec<u64>,
+    epoch: u64,
+
+    // Scratch epoch arrays (per-node) reused across recomputes to avoid
+    // O(nodes) clearing: dirty-root marks, distinct-root counting marks,
+    // and the node→local-index map used by component filling.
+    root_mark: Vec<u64>,
+    comp_mark: Vec<u64>,
+    scan_epoch: u64,
+    nl_idx: Vec<u32>,
+    nl_mark: Vec<u64>,
+    nl_epoch: u64,
+
+    // Running per-node utilization aggregates (sum of flow rates touching
+    // each side). Exact after every recompute; between a removal and the
+    // next recompute they track by subtraction, like the rates themselves.
+    util_up: Vec<f64>,
+    util_down: Vec<f64>,
+
     recompute_ctr: Counter,
     flows_per_recompute: Histogram,
+    components_gauge: Gauge,
+    dirty_components_ctr: Counter,
+    flows_recomputed_ctr: Counter,
 }
 
 impl Default for FlowNet {
@@ -63,42 +134,73 @@ impl FlowNet {
     pub fn new() -> Self {
         FlowNet {
             nodes: Vec::new(),
-            flows: BTreeMap::new(),
-            next_flow: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            next_seq: 0,
+            parent: Vec::new(),
+            rank: Vec::new(),
+            stale_removals: 0,
+            dirty_nodes: Vec::new(),
+            dirty_mark: Vec::new(),
+            epoch: 1,
+            root_mark: Vec::new(),
+            comp_mark: Vec::new(),
+            scan_epoch: 0,
+            nl_idx: Vec::new(),
+            nl_mark: Vec::new(),
+            nl_epoch: 0,
+            util_up: Vec::new(),
+            util_down: Vec::new(),
             recompute_ctr: Counter::detached(),
             flows_per_recompute: Histogram::detached(),
+            components_gauge: Gauge::detached(),
+            dirty_components_ctr: Counter::detached(),
+            flows_recomputed_ctr: Counter::detached(),
         }
     }
 
-    /// Attach the model's instruments (`sim.flownet_recomputes` and the
-    /// `sim.flownet_flows_per_recompute` histogram) to `registry`. Purely
+    /// Attach the model's instruments to `registry`: the existing
+    /// `sim.flownet_recomputes` counter and `sim.flownet_flows_per_recompute`
+    /// histogram, plus the incremental-path instruments
+    /// `sim.flownet_components` (flow-graph components at the last
+    /// recompute), `sim.flownet_dirty_components` (components re-filled),
+    /// and `sim.flownet_active_flows_recomputed` (flows re-filled). Purely
     /// passive: rate assignment is identical with or without a registry.
     pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
         self.recompute_ctr = registry.counter("sim.flownet_recomputes");
         self.flows_per_recompute = registry.histogram("sim.flownet_flows_per_recompute");
+        self.components_gauge = registry.gauge("sim.flownet_components");
+        self.dirty_components_ctr = registry.counter("sim.flownet_dirty_components");
+        self.flows_recomputed_ctr = registry.counter("sim.flownet_active_flows_recomputed");
         self
+    }
+
+    fn push_node(&mut self, up: f64, down: f64) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { up, down });
+        self.parent.push(id.0);
+        self.rank.push(0);
+        self.dirty_mark.push(0);
+        self.root_mark.push(0);
+        self.comp_mark.push(0);
+        self.nl_idx.push(0);
+        self.nl_mark.push(0);
+        self.util_up.push(0.0);
+        self.util_down.push(0.0);
+        id
     }
 
     /// Add a node with the given up/downstream capacities. Infinite
     /// capacities are allowed (edge servers are modeled as amply
     /// provisioned).
     pub fn add_node(&mut self, up: Bandwidth, down: Bandwidth) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
-            up: up.bytes_per_sec(),
-            down: down.bytes_per_sec(),
-        });
-        id
+        self.push_node(up.bytes_per_sec(), down.bytes_per_sec())
     }
 
     /// Add an *uncapacitated* node (infinite both ways) — for server tiers.
     pub fn add_infinite_node(&mut self) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
-            up: f64::INFINITY,
-            down: f64::INFINITY,
-        });
-        id
+        self.push_node(f64::INFINITY, f64::INFINITY)
     }
 
     /// Number of nodes.
@@ -108,17 +210,20 @@ impl FlowNet {
 
     /// Number of active flows.
     pub fn flow_count(&self) -> usize {
-        self.flows.len()
+        self.live
     }
 
     /// Change a node's capacities (e.g. the user's link becomes busy and the
-    /// upload throttle tightens). Takes effect at the next [`recompute`].
-    ///
-    /// [`recompute`]: FlowNet::recompute
+    /// upload throttle tightens). Takes effect at the next recompute; a
+    /// genuine change dirties the node's component.
     pub fn set_node_caps(&mut self, node: NodeId, up: Bandwidth, down: Bandwidth) {
+        let (u, d) = (up.bytes_per_sec(), down.bytes_per_sec());
         let n = &mut self.nodes[node.0 as usize];
-        n.up = up.bytes_per_sec();
-        n.down = down.bytes_per_sec();
+        if n.up != u || n.down != d {
+            n.up = u;
+            n.down = d;
+            self.mark_dirty(node.0);
+        }
     }
 
     /// Start a flow from `src`'s upstream to `dst`'s downstream, with an
@@ -126,85 +231,357 @@ impl FlowNet {
     pub fn add_flow(&mut self, src: NodeId, dst: NodeId, ceil: Option<Bandwidth>) -> FlowId {
         assert!((src.0 as usize) < self.nodes.len(), "bad src node");
         assert!((dst.0 as usize) < self.nodes.len(), "bad dst node");
-        let id = FlowId(self.next_flow);
-        self.next_flow += 1;
-        self.flows.insert(
-            id.0,
-            Flow {
-                src,
-                dst,
-                ceil: ceil.map_or(MAX_RATE, |b| b.bytes_per_sec().min(MAX_RATE)),
-                rate: 0.0,
-            },
-        );
-        id
-    }
-
-    /// Tighten or relax a flow's ceiling.
-    pub fn set_flow_ceil(&mut self, flow: FlowId, ceil: Option<Bandwidth>) {
-        if let Some(f) = self.flows.get_mut(&flow.0) {
-            f.ceil = ceil.map_or(MAX_RATE, |b| b.bytes_per_sec().min(MAX_RATE));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let flow = Flow {
+            src,
+            dst,
+            ceil: ceil.map_or(MAX_RATE, |b| b.bytes_per_sec().min(MAX_RATE)),
+            rate: 0.0,
+            seq,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].flow = Some(flow);
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    gen: 0,
+                    flow: Some(flow),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        self.union(src.0, dst.0);
+        self.mark_dirty(src.0);
+        FlowId {
+            slot,
+            gen: self.slots[slot as usize].gen,
         }
     }
 
-    /// End a flow. Unknown IDs are ignored (idempotent teardown).
-    pub fn remove_flow(&mut self, flow: FlowId) {
-        self.flows.remove(&flow.0);
+    /// Tighten or relax a flow's ceiling. A genuine change dirties the
+    /// flow's component; setting the same ceiling again is free.
+    pub fn set_flow_ceil(&mut self, flow: FlowId, ceil: Option<Bandwidth>) {
+        let new_ceil = ceil.map_or(MAX_RATE, |b| b.bytes_per_sec().min(MAX_RATE));
+        let Some(f) = self.get_mut(flow) else { return };
+        if f.ceil != new_ceil {
+            f.ceil = new_ceil;
+            let src = f.src.0;
+            self.mark_dirty(src);
+        }
     }
 
-    /// Current rate of a flow (zero for unknown IDs).
+    /// End a flow. Unknown or stale IDs are ignored (idempotent teardown).
+    pub fn remove_flow(&mut self, flow: FlowId) {
+        let Some(slot) = self.slots.get_mut(flow.slot as usize) else {
+            return;
+        };
+        if slot.gen != flow.gen {
+            return;
+        }
+        let Some(f) = slot.flow.take() else { return };
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(flow.slot);
+        self.live -= 1;
+        self.stale_removals += 1;
+        self.util_up[f.src.0 as usize] -= f.rate;
+        self.util_down[f.dst.0 as usize] -= f.rate;
+        self.mark_dirty(f.src.0);
+        self.mark_dirty(f.dst.0);
+    }
+
+    /// Current rate of a flow (zero for unknown or stale IDs).
     pub fn rate(&self, flow: FlowId) -> Bandwidth {
-        Bandwidth::from_bytes_per_sec(self.flows.get(&flow.0).map_or(0.0, |f| f.rate))
+        Bandwidth::from_bytes_per_sec(self.get(flow).map_or(0.0, |f| f.rate))
     }
 
     /// Endpoints of a flow.
     pub fn endpoints(&self, flow: FlowId) -> Option<(NodeId, NodeId)> {
-        self.flows.get(&flow.0).map(|f| (f.src, f.dst))
+        self.get(flow).map(|f| (f.src, f.dst))
     }
 
-    /// Recompute all flow rates by progressive filling (max-min fairness).
-    /// Call after any membership or capacity change; rates are stable
-    /// between calls.
-    ///
-    /// The loop works on dense scratch arrays and an active-flow list that
-    /// shrinks as flows freeze, so the common case is far below the
-    /// theoretical O(F²) bound.
-    pub fn recompute(&mut self) {
-        self.recompute_ctr.incr();
-        self.flows_per_recompute.record(self.flows.len() as u64);
-        let n_nodes = self.nodes.len();
-        let mut resid_up: Vec<f64> = self.nodes.iter().map(|n| n.up).collect();
-        let mut resid_down: Vec<f64> = self.nodes.iter().map(|n| n.down).collect();
-        let mut up_count = vec![0u32; n_nodes];
-        let mut down_count = vec![0u32; n_nodes];
+    fn get(&self, id: FlowId) -> Option<&Flow> {
+        self.slots
+            .get(id.slot as usize)
+            .filter(|s| s.gen == id.gen)
+            .and_then(|s| s.flow.as_ref())
+    }
 
-        // Dense snapshot in insertion order (determinism).
-        let ids: Vec<u64> = self.flows.keys().copied().collect();
-        let n = ids.len();
+    fn get_mut(&mut self, id: FlowId) -> Option<&mut Flow> {
+        self.slots
+            .get_mut(id.slot as usize)
+            .filter(|s| s.gen == id.gen)
+            .and_then(|s| s.flow.as_mut())
+    }
+
+    // --- Union-find over nodes.
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+    }
+
+    /// Reset the partition to exact connectivity over the live flows.
+    fn rebuild_partition(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.parent[i] = i as u32;
+            self.rank[i] = 0;
+        }
+        for s in 0..self.slots.len() {
+            let Some((a, b)) = self.slots[s].flow.as_ref().map(|f| (f.src.0, f.dst.0)) else {
+                continue;
+            };
+            self.union(a, b);
+        }
+        self.stale_removals = 0;
+    }
+
+    fn mark_dirty(&mut self, node: u32) {
+        if self.dirty_mark[node as usize] != self.epoch {
+            self.dirty_mark[node as usize] = self.epoch;
+            self.dirty_nodes.push(node);
+        }
+    }
+
+    // --- Recomputation.
+
+    /// Recompute all flow rates by progressive filling (max-min fairness).
+    /// The full-recomputation fallback: rebuilds the exact component
+    /// partition and re-fills every component. Use
+    /// [`recompute_dirty`](FlowNet::recompute_dirty) on the hot path.
+    pub fn recompute(&mut self) {
+        self.rebuild_partition();
+        let mut members: Vec<(u64, u32)> = Vec::with_capacity(self.live);
+        for s in 0..self.slots.len() {
+            if let Some(f) = self.slots[s].flow.as_ref() {
+                members.push((f.seq, s as u32));
+            }
+        }
+        members.sort_unstable();
+        let member_slots: Vec<u32> = members.into_iter().map(|(_, s)| s).collect();
+
+        for u in &mut self.util_up {
+            *u = 0.0;
+        }
+        for d in &mut self.util_down {
+            *d = 0.0;
+        }
+
+        self.recompute_ctr.incr();
+        self.flows_per_recompute.record(self.live as u64);
+        self.flows_recomputed_ctr.add(member_slots.len() as u64);
+        let filled = self.fill_candidates(&member_slots);
+        self.dirty_components_ctr.add(filled as u64);
+        self.components_gauge.set(filled as i64);
+
+        self.dirty_nodes.clear();
+        self.epoch += 1;
+    }
+
+    /// Recompute rates only inside components dirtied since the last
+    /// recompute (by flow add/remove, ceiling changes, or node capacity
+    /// changes). A no-op when nothing is dirty. Produces byte-identical
+    /// rates to a full [`recompute`](FlowNet::recompute): both paths fill
+    /// each exact connected component independently, visiting member flows
+    /// in creation order.
+    pub fn recompute_dirty(&mut self) {
+        if self.dirty_nodes.is_empty() {
+            return;
+        }
+        // Removals make the coarse partition stale (components can only
+        // appear merged, never split — safe but wasteful). Re-derive it
+        // once staleness could double the recomputed set.
+        if self.stale_removals > 64 && self.stale_removals * 4 > self.live {
+            self.rebuild_partition();
+        }
+
+        self.scan_epoch += 1;
+        let mut dirty = std::mem::take(&mut self.dirty_nodes);
+        for &n in &dirty {
+            let r = self.find(n);
+            self.root_mark[r as usize] = self.scan_epoch;
+        }
+
+        // One pass over the slab: count distinct components (gauge) and
+        // collect flows whose component root is dirty.
+        let mut members: Vec<(u64, u32)> = Vec::new();
+        let mut components_total = 0usize;
+        for s in 0..self.slots.len() {
+            let Some((src, seq)) = self.slots[s].flow.as_ref().map(|f| (f.src.0, f.seq)) else {
+                continue;
+            };
+            let r = self.find(src);
+            if self.comp_mark[r as usize] != self.scan_epoch {
+                self.comp_mark[r as usize] = self.scan_epoch;
+                components_total += 1;
+            }
+            if self.root_mark[r as usize] == self.scan_epoch {
+                members.push((seq, s as u32));
+            }
+        }
+        members.sort_unstable();
+        let member_slots: Vec<u32> = members.into_iter().map(|(_, s)| s).collect();
+
+        // A dirty node whose flows all vanished is re-filled by nothing:
+        // zero its aggregates here (filling overwrites nodes that still
+        // carry flows).
+        for &n in &dirty {
+            self.util_up[n as usize] = 0.0;
+            self.util_down[n as usize] = 0.0;
+        }
+        dirty.clear();
+        self.dirty_nodes = dirty;
+
+        self.recompute_ctr.incr();
+        self.flows_per_recompute.record(self.live as u64);
+        self.flows_recomputed_ctr.add(member_slots.len() as u64);
+        let filled = self.fill_candidates(&member_slots);
+        self.dirty_components_ctr.add(filled as u64);
+        self.components_gauge.set(components_total as i64);
+
+        self.epoch += 1;
+    }
+
+    /// Split `members` (flow slots, sorted by creation order) into exact
+    /// connected components and fill each independently. Returns the number
+    /// of components filled.
+    fn fill_candidates(&mut self, members: &[u32]) -> usize {
+        if members.is_empty() {
+            return 0;
+        }
+        // Local union-find over just the candidate flows: the coarse
+        // partition may be stale (merged), so exact splitting here is what
+        // guarantees byte-identical fills between the dirty and full paths.
+        self.nl_epoch += 1;
+        let mut lsrc: Vec<u32> = Vec::with_capacity(members.len());
+        let mut ldst: Vec<u32> = Vec::with_capacity(members.len());
+        let mut lparent: Vec<u32> = Vec::new();
+        let mut lrank: Vec<u8> = Vec::new();
+        for &s in members {
+            let f = self.slots[s as usize].flow.as_ref().unwrap();
+            for e in [f.src.0 as usize, f.dst.0 as usize] {
+                if self.nl_mark[e] != self.nl_epoch {
+                    self.nl_mark[e] = self.nl_epoch;
+                    self.nl_idx[e] = lparent.len() as u32;
+                    lparent.push(lparent.len() as u32);
+                    lrank.push(0);
+                }
+            }
+            lsrc.push(self.nl_idx[f.src.0 as usize]);
+            ldst.push(self.nl_idx[f.dst.0 as usize]);
+        }
+        fn lfind(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                let grand = parent[parent[x as usize] as usize];
+                parent[x as usize] = grand;
+                x = grand;
+            }
+            x
+        }
+        for k in 0..members.len() {
+            let (ra, rb) = (lfind(&mut lparent, lsrc[k]), lfind(&mut lparent, ldst[k]));
+            if ra == rb {
+                continue;
+            }
+            match lrank[ra as usize].cmp(&lrank[rb as usize]) {
+                std::cmp::Ordering::Less => lparent[ra as usize] = rb,
+                std::cmp::Ordering::Greater => lparent[rb as usize] = ra,
+                std::cmp::Ordering::Equal => {
+                    lparent[rb as usize] = ra;
+                    lrank[ra as usize] += 1;
+                }
+            }
+        }
+
+        // Bucket members by component, preserving creation order within
+        // each (members are sorted, pushes preserve order).
+        let mut comp_of_root: Vec<u32> = vec![u32::MAX; lparent.len()];
+        let mut comps: Vec<Vec<u32>> = Vec::new();
+        for (k, &s) in members.iter().enumerate() {
+            let r = lfind(&mut lparent, lsrc[k]) as usize;
+            if comp_of_root[r] == u32::MAX {
+                comp_of_root[r] = comps.len() as u32;
+                comps.push(Vec::new());
+            }
+            comps[comp_of_root[r] as usize].push(s);
+        }
+        for comp in &comps {
+            self.fill_component(comp);
+        }
+        comps.len()
+    }
+
+    /// Progressive filling restricted to one connected component. The loop
+    /// works on dense scratch arrays and an active-flow list that shrinks
+    /// as flows freeze, so the common case is far below the theoretical
+    /// O(F²) bound. Also rebuilds the component's per-node utilization
+    /// aggregates exactly (every flow touching a member node is a member).
+    fn fill_component(&mut self, comp: &[u32]) {
+        let n = comp.len();
+        self.nl_epoch += 1;
+        let mut cn: Vec<u32> = Vec::new();
+        let mut cap_up: Vec<f64> = Vec::new();
+        let mut cap_down: Vec<f64> = Vec::new();
+        let mut resid_up: Vec<f64> = Vec::new();
+        let mut resid_down: Vec<f64> = Vec::new();
+        let mut up_count: Vec<u32> = Vec::new();
+        let mut down_count: Vec<u32> = Vec::new();
         let mut src = Vec::with_capacity(n);
         let mut dst = Vec::with_capacity(n);
         let mut ceil = Vec::with_capacity(n);
-        let mut rate = vec![0.0f64; n];
-        for id in &ids {
-            let f = &self.flows[id];
-            src.push(f.src.0 as usize);
-            dst.push(f.dst.0 as usize);
-            ceil.push(f.ceil);
-            up_count[f.src.0 as usize] += 1;
-            down_count[f.dst.0 as usize] += 1;
+        for &s in comp {
+            let f = self.slots[s as usize].flow.as_ref().unwrap();
+            let (a, b, c) = (f.src.0 as usize, f.dst.0 as usize, f.ceil);
+            for e in [a, b] {
+                if self.nl_mark[e] != self.nl_epoch {
+                    self.nl_mark[e] = self.nl_epoch;
+                    self.nl_idx[e] = cn.len() as u32;
+                    cn.push(e as u32);
+                    let node = &self.nodes[e];
+                    cap_up.push(node.up);
+                    cap_down.push(node.down);
+                    resid_up.push(node.up);
+                    resid_down.push(node.down);
+                    up_count.push(0);
+                    down_count.push(0);
+                }
+            }
+            let (sl, dl) = (self.nl_idx[a] as usize, self.nl_idx[b] as usize);
+            up_count[sl] += 1;
+            down_count[dl] += 1;
+            src.push(sl);
+            dst.push(dl);
+            ceil.push(c);
         }
 
-        // Only nodes actually touched by flows matter for the bottleneck
-        // scan.
-        let mut touched: Vec<usize> = src.iter().chain(dst.iter()).copied().collect();
-        touched.sort_unstable();
-        touched.dedup();
-
+        let mut rate = vec![0.0f64; n];
         let mut active: Vec<usize> = (0..n).collect();
         while !active.is_empty() {
             // The uniform increment every unfrozen flow can still take.
             let mut inc = f64::INFINITY;
-            for &i in &touched {
+            for i in 0..cn.len() {
                 if up_count[i] > 0 {
                     inc = inc.min(resid_up[i] / up_count[i] as f64);
                 }
@@ -230,12 +607,12 @@ impl FlowNet {
             // Freeze flows at a saturated resource or at their ceiling.
             // Infinite-capacity sides (edge servers) can never saturate —
             // without the finiteness guard, `inf - inc <= EPS * inf` is
-            // true and every edge flow would freeze at the first global
+            // true and every edge flow would freeze at the first
             // increment.
             let before = active.len();
             active.retain(|&k| {
-                let up_cap = self.nodes[src[k]].up;
-                let down_cap = self.nodes[dst[k]].down;
+                let up_cap = cap_up[src[k]];
+                let down_cap = cap_down[dst[k]];
                 let up_sat = up_cap.is_finite()
                     && (resid_up[src[k]] <= EPS * up_cap || resid_up[src[k]] <= 1e-6);
                 let down_sat = down_cap.is_finite()
@@ -258,31 +635,54 @@ impl FlowNet {
             }
         }
 
-        for (k, id) in ids.iter().enumerate() {
-            self.flows.get_mut(id).unwrap().rate = rate[k];
+        // Write back rates and rebuild the component's utilization
+        // aggregates (accumulated in creation order, matching what a flow
+        // scan in creation order would sum).
+        for &nid in &cn {
+            self.util_up[nid as usize] = 0.0;
+            self.util_down[nid as usize] = 0.0;
+        }
+        for (k, &s) in comp.iter().enumerate() {
+            let f = self.slots[s as usize].flow.as_mut().unwrap();
+            f.rate = rate[k];
+            let (a, b) = (f.src.0 as usize, f.dst.0 as usize);
+            self.util_up[a] += rate[k];
+            self.util_down[b] += rate[k];
         }
     }
 
     /// Sum of current flow rates into `node` (its downstream utilization).
+    /// An O(1) read of the maintained aggregate.
     pub fn downstream_utilization(&self, node: NodeId) -> Bandwidth {
-        Bandwidth::from_bytes_per_sec(
-            self.flows
-                .values()
-                .filter(|f| f.dst == node)
-                .map(|f| f.rate)
-                .sum(),
-        )
+        Bandwidth::from_bytes_per_sec(self.util_down[node.0 as usize])
     }
 
     /// Sum of current flow rates out of `node` (its upstream utilization).
+    /// An O(1) read of the maintained aggregate.
     pub fn upstream_utilization(&self, node: NodeId) -> Bandwidth {
-        Bandwidth::from_bytes_per_sec(
-            self.flows
-                .values()
-                .filter(|f| f.src == node)
-                .map(|f| f.rate)
-                .sum(),
-        )
+        Bandwidth::from_bytes_per_sec(self.util_up[node.0 as usize])
+    }
+
+    /// Deterministic checksum over (creation stamp, rate bits) of all live
+    /// flows. Two nets that went through the same mutation sequence have
+    /// equal checksums iff they assigned byte-identical rates — the
+    /// equivalence probe for `recompute` vs `recompute_dirty`.
+    pub fn rate_checksum(&self) -> u64 {
+        let mut items: Vec<(u64, u64)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.flow.as_ref())
+            .map(|f| (f.seq, f.rate.to_bits()))
+            .collect();
+        items.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (seq, bits) in items {
+            h ^= seq;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+            h ^= bits;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
     }
 }
 
@@ -437,6 +837,119 @@ mod tests {
         assert_eq!(net.flow_count(), 0);
     }
 
+    #[test]
+    fn stale_flow_id_never_aliases_slot_reuse() {
+        let mut net = FlowNet::new();
+        let a = net.add_node(mbps(10.0), mbps(10.0));
+        let b = net.add_node(mbps(10.0), mbps(10.0));
+        let f1 = net.add_flow(a, b, None);
+        net.recompute();
+        net.remove_flow(f1);
+        // The replacement reuses f1's slot but carries a new generation.
+        let f2 = net.add_flow(a, b, Some(mbps(2.0)));
+        net.recompute();
+        assert_eq!(net.rate(f1), Bandwidth::ZERO, "stale id reads zero");
+        assert!(net.endpoints(f1).is_none(), "stale id resolves nothing");
+        assert_close(net.rate(f2), 2.0);
+        // Removing through the stale id is a no-op; f2 survives.
+        net.remove_flow(f1);
+        assert_eq!(net.flow_count(), 1);
+        assert_close(net.rate(f2), 2.0);
+    }
+
+    #[test]
+    fn recompute_dirty_is_noop_when_clean() {
+        let mut net = FlowNet::new();
+        let a = net.add_node(mbps(10.0), mbps(10.0));
+        let b = net.add_node(mbps(10.0), mbps(10.0));
+        let f = net.add_flow(a, b, None);
+        net.recompute();
+        let before = net.rate(f);
+        net.recompute_dirty(); // nothing dirty: rates untouched
+        assert_eq!(net.rate(f).bytes_per_sec(), before.bytes_per_sec());
+        // Setting the identical ceiling dirties nothing either.
+        net.set_flow_ceil(f, None);
+        net.recompute_dirty();
+        assert_eq!(net.rate(f).bytes_per_sec(), before.bytes_per_sec());
+    }
+
+    #[test]
+    fn recompute_dirty_only_touches_dirty_component() {
+        let mut net = FlowNet::new();
+        // Component 1: a -> b. Component 2: c -> d.
+        let a = net.add_node(mbps(10.0), mbps(100.0));
+        let b = net.add_node(mbps(10.0), mbps(100.0));
+        let c = net.add_node(mbps(8.0), mbps(100.0));
+        let d = net.add_node(mbps(8.0), mbps(100.0));
+        let f_ab = net.add_flow(a, b, None);
+        let f_cd = net.add_flow(c, d, None);
+        net.recompute();
+        assert_close(net.rate(f_ab), 10.0);
+        assert_close(net.rate(f_cd), 8.0);
+        // Dirty only component 2; component 1's rate must be preserved
+        // bit-for-bit (not re-derived).
+        let ab_bits = net.rate(f_ab).bytes_per_sec().to_bits();
+        net.set_node_caps(c, mbps(4.0), mbps(100.0));
+        net.recompute_dirty();
+        assert_close(net.rate(f_cd), 4.0);
+        assert_eq!(net.rate(f_ab).bytes_per_sec().to_bits(), ab_bits);
+    }
+
+    #[test]
+    fn incremental_matches_full_after_component_merge_and_split() {
+        // Build two components, bridge them (merge), drop the bridge
+        // (split): the dirty path must agree with the full path throughout.
+        let ops_on = |net: &mut FlowNet| {
+            let a = net.add_node(mbps(10.0), mbps(100.0));
+            let b = net.add_node(mbps(6.0), mbps(100.0));
+            let c = net.add_node(mbps(8.0), mbps(100.0));
+            let d = net.add_node(mbps(4.0), mbps(100.0));
+            let f1 = net.add_flow(a, b, None);
+            let f2 = net.add_flow(c, d, None);
+            let bridge = net.add_flow(b, c, Some(mbps(3.0)));
+            (f1, f2, bridge)
+        };
+        let mut inc = FlowNet::new();
+        let mut full = FlowNet::new();
+        let (i1, i2, ib) = ops_on(&mut inc);
+        let (.., fb) = ops_on(&mut full);
+        inc.recompute_dirty();
+        full.recompute();
+        assert_eq!(inc.rate_checksum(), full.rate_checksum());
+        inc.remove_flow(ib);
+        full.remove_flow(fb);
+        inc.recompute_dirty();
+        full.recompute();
+        assert_eq!(inc.rate_checksum(), full.rate_checksum());
+        assert!(net_rates_finite(&inc, &[i1, i2]));
+    }
+
+    fn net_rates_finite(net: &FlowNet, flows: &[FlowId]) -> bool {
+        flows
+            .iter()
+            .all(|f| net.rate(*f).bytes_per_sec().is_finite())
+    }
+
+    #[test]
+    fn utilization_tracks_removals_between_recomputes() {
+        let mut net = FlowNet::new();
+        let src = net.add_node(mbps(10.0), mbps(10.0));
+        let d = net.add_node(mbps(10.0), mbps(4.0));
+        let f1 = net.add_flow(src, d, None);
+        let f2 = net.add_flow(src, d, None);
+        net.recompute();
+        assert_close(net.downstream_utilization(d), 4.0);
+        net.remove_flow(f1);
+        // Before the recompute the aggregate already excludes f1.
+        assert_close(net.downstream_utilization(d), 2.0);
+        net.recompute_dirty();
+        assert_close(net.downstream_utilization(d), 4.0);
+        net.remove_flow(f2);
+        net.recompute_dirty();
+        assert_eq!(net.downstream_utilization(d), Bandwidth::ZERO);
+        assert_eq!(net.upstream_utilization(src), Bandwidth::ZERO);
+    }
+
     /// The defining max-min property: every flow is either at its ceiling or
     /// passes through at least one saturated resource, and no resource is
     /// over capacity.
@@ -447,15 +960,17 @@ mod tests {
         for round in 0..30 {
             let mut net = FlowNet::new();
             let n = 3 + rng.index(8);
+            let mut node_caps: Vec<(f64, f64)> = Vec::new();
             let nodes: Vec<NodeId> = (0..n)
                 .map(|_| {
-                    net.add_node(
-                        mbps(rng.range_f64(0.5, 20.0)),
-                        mbps(rng.range_f64(2.0, 100.0)),
-                    )
+                    let up = mbps(rng.range_f64(0.5, 20.0));
+                    let down = mbps(rng.range_f64(2.0, 100.0));
+                    node_caps.push((up.bytes_per_sec(), down.bytes_per_sec()));
+                    net.add_node(up, down)
                 })
                 .collect();
             let f = 1 + rng.index(20);
+            let mut flow_specs: Vec<(NodeId, NodeId, f64)> = Vec::new();
             let flows: Vec<FlowId> = (0..f)
                 .map(|_| {
                     let s = nodes[rng.index(n)];
@@ -468,6 +983,7 @@ mod tests {
                     } else {
                         None
                     };
+                    flow_specs.push((s, d, ceil.map_or(MAX_RATE, |b| b.bytes_per_sec())));
                     net.add_flow(s, d, ceil)
                 })
                 .collect();
@@ -477,8 +993,7 @@ mod tests {
             for (i, node) in nodes.iter().enumerate() {
                 let up = net.upstream_utilization(*node).bytes_per_sec();
                 let down = net.downstream_utilization(*node).bytes_per_sec();
-                let cap_up = net.nodes[i].up;
-                let cap_down = net.nodes[i].down;
+                let (cap_up, cap_down) = node_caps[i];
                 assert!(
                     up <= cap_up * (1.0 + 1e-6) + 1e-3,
                     "round {round}: up overload"
@@ -489,17 +1004,16 @@ mod tests {
                 );
             }
             // Bottleneck property.
-            for fid in &flows {
-                let flow = &net.flows[&fid.0];
-                let at_ceil = flow.rate >= flow.ceil * (1.0 - 1e-6);
-                let src_up = net.upstream_utilization(flow.src).bytes_per_sec();
-                let dst_down = net.downstream_utilization(flow.dst).bytes_per_sec();
-                let src_sat = src_up >= net.nodes[flow.src.0 as usize].up * (1.0 - 1e-6) - 1e-3;
-                let dst_sat = dst_down >= net.nodes[flow.dst.0 as usize].down * (1.0 - 1e-6) - 1e-3;
+            for (fid, (s, d, ceil)) in flows.iter().zip(&flow_specs) {
+                let rate = net.rate(*fid).bytes_per_sec();
+                let at_ceil = rate >= ceil * (1.0 - 1e-6);
+                let src_up = net.upstream_utilization(*s).bytes_per_sec();
+                let dst_down = net.downstream_utilization(*d).bytes_per_sec();
+                let src_sat = src_up >= node_caps[s.0 as usize].0 * (1.0 - 1e-6) - 1e-3;
+                let dst_sat = dst_down >= node_caps[d.0 as usize].1 * (1.0 - 1e-6) - 1e-3;
                 assert!(
                     at_ceil || src_sat || dst_sat,
-                    "round {round}: flow {fid:?} is not bottlenecked anywhere (rate {})",
-                    flow.rate
+                    "round {round}: flow {fid:?} is not bottlenecked anywhere (rate {rate})"
                 );
             }
         }

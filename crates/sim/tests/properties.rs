@@ -100,3 +100,95 @@ proptest! {
         prop_assert_eq!(net.flow_count(), 0);
     }
 }
+
+/// `recompute_dirty()` is an optimization, not an approximation: across
+/// 200 seeded mutation sequences (flow add/remove, ceiling changes, node
+/// capacity changes) the incremental path must produce *bit-identical*
+/// rates, utilizations, and rate checksums to the full `recompute()`
+/// oracle after every single mutation.
+#[test]
+fn recompute_dirty_matches_full_oracle_across_200_seeds() {
+    for seed in 0..200u64 {
+        let mut rng = DetRng::seeded(0xd127_0000 ^ seed);
+        let mut inc = FlowNet::new();
+        let mut full = FlowNet::new();
+        let n_nodes = 4 + rng.index(12);
+        let mut nodes_inc: Vec<NodeId> = Vec::new();
+        let mut nodes_full: Vec<NodeId> = Vec::new();
+        for _ in 0..n_nodes {
+            let up = Bandwidth::from_mbps(rng.range_f64(0.1, 50.0));
+            let down = Bandwidth::from_mbps(rng.range_f64(0.5, 200.0));
+            nodes_inc.push(inc.add_node(up, down));
+            nodes_full.push(full.add_node(up, down));
+        }
+        let mut live = Vec::new();
+        let steps = 30 + rng.index(40);
+        for step in 0..steps {
+            match rng.index(5) {
+                // Bias toward adds so components grow, merge, and churn.
+                0 | 1 => {
+                    let s = rng.index(n_nodes);
+                    let mut d = rng.index(n_nodes);
+                    while d == s {
+                        d = rng.index(n_nodes);
+                    }
+                    let ceil = rng
+                        .chance(0.4)
+                        .then(|| Bandwidth::from_mbps(rng.range_f64(0.05, 10.0)));
+                    live.push((
+                        inc.add_flow(nodes_inc[s], nodes_inc[d], ceil),
+                        full.add_flow(nodes_full[s], nodes_full[d], ceil),
+                    ));
+                }
+                2 if !live.is_empty() => {
+                    let k = rng.index(live.len());
+                    let (fi, ff) = live.swap_remove(k);
+                    inc.remove_flow(fi);
+                    full.remove_flow(ff);
+                }
+                3 if !live.is_empty() => {
+                    let k = rng.index(live.len());
+                    let ceil = rng
+                        .chance(0.7)
+                        .then(|| Bandwidth::from_mbps(rng.range_f64(0.05, 10.0)));
+                    inc.set_flow_ceil(live[k].0, ceil);
+                    full.set_flow_ceil(live[k].1, ceil);
+                }
+                4 => {
+                    let k = rng.index(n_nodes);
+                    let up = Bandwidth::from_mbps(rng.range_f64(0.1, 50.0));
+                    let down = Bandwidth::from_mbps(rng.range_f64(0.5, 200.0));
+                    inc.set_node_caps(nodes_inc[k], up, down);
+                    full.set_node_caps(nodes_full[k], up, down);
+                }
+                _ => {}
+            }
+            inc.recompute_dirty();
+            full.recompute();
+            assert_eq!(
+                inc.rate_checksum(),
+                full.rate_checksum(),
+                "seed {seed} step {step}: checksum diverged"
+            );
+            for (fi, ff) in &live {
+                assert_eq!(
+                    inc.rate(*fi).bytes_per_sec().to_bits(),
+                    full.rate(*ff).bytes_per_sec().to_bits(),
+                    "seed {seed} step {step}: per-flow rate diverged"
+                );
+            }
+            for (a, b) in nodes_inc.iter().zip(&nodes_full) {
+                assert_eq!(
+                    inc.upstream_utilization(*a).bytes_per_sec().to_bits(),
+                    full.upstream_utilization(*b).bytes_per_sec().to_bits(),
+                    "seed {seed} step {step}: upstream utilization diverged"
+                );
+                assert_eq!(
+                    inc.downstream_utilization(*a).bytes_per_sec().to_bits(),
+                    full.downstream_utilization(*b).bytes_per_sec().to_bits(),
+                    "seed {seed} step {step}: downstream utilization diverged"
+                );
+            }
+        }
+    }
+}
