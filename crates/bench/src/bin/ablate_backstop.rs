@@ -9,7 +9,9 @@
 use netsession_analytics::outcomes;
 use netsession_analytics::stats::Cdf;
 use netsession_baseline::bittorrent::{Swarm, SwarmConfig};
-use netsession_bench::runner::{config_for, parse_args, write_metrics_sidecar};
+use netsession_bench::runner::{
+    config_for, parse_args, write_metrics_sidecar, write_trace_sidecar,
+};
 use netsession_core::rng::DetRng;
 use netsession_hybrid::HybridSim;
 use netsession_logs::records::DownloadOutcome;
@@ -28,10 +30,14 @@ fn main() {
         "{:<22}{:>12}{:>14}{:>18}",
         "system", "completed", "abandoned", "median speed Mbps"
     );
+    let mut baseline_trace = None;
     for (label, backstop) in [("hybrid (backstop)", true), ("pure p2p (no edge)", false)] {
         let mut cfg = config_for(&args);
         cfg.edge_backstop = backstop;
         let out = HybridSim::run_config_with(cfg, &metrics);
+        if baseline_trace.is_none() {
+            baseline_trace = Some(out.trace.clone());
+        }
         let (infra, p2p) = outcomes::outcome_split(&out.dataset);
         let completed = (infra.completed * infra.total as f64 + p2p.completed * p2p.total as f64)
             / (infra.total + p2p.total).max(1) as f64;
@@ -79,4 +85,7 @@ fn main() {
     );
 
     write_metrics_sidecar("ablate_backstop", &metrics);
+    if let Some(trace) = &baseline_trace {
+        write_trace_sidecar("ablate_backstop", trace);
+    }
 }

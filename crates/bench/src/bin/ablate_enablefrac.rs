@@ -6,7 +6,9 @@
 //! willing-uploader fraction.
 
 use netsession_analytics::overview;
-use netsession_bench::runner::{config_for, parse_args, write_metrics_sidecar};
+use netsession_bench::runner::{
+    config_for, parse_args, write_metrics_sidecar, write_trace_sidecar,
+};
 use netsession_hybrid::HybridSim;
 use netsession_obs::MetricsRegistry;
 
@@ -23,10 +25,14 @@ fn main() {
         "{:>10}{:>16}{:>14}{:>14}",
         "enabled", "mean eff %", "p2p TB", "edge TB"
     );
+    let mut baseline_trace = None;
     for frac in [0.0, 0.1, 0.31, 0.6, 1.0] {
         let mut cfg = config_for(&args);
         cfg.enable_fraction_override = Some(frac);
         let out = HybridSim::run_config_with(cfg, &metrics);
+        if baseline_trace.is_none() {
+            baseline_trace = Some(out.trace.clone());
+        }
         let h = overview::headline(&out.dataset);
         println!(
             "{:>9.0}%{:>16.1}{:>14.2}{:>14.2}",
@@ -43,4 +49,7 @@ fn main() {
     );
 
     write_metrics_sidecar("ablate_enablefrac", &metrics);
+    if let Some(trace) = &baseline_trace {
+        write_trace_sidecar("ablate_enablefrac", trace);
+    }
 }

@@ -6,7 +6,9 @@
 //! cross-region traffic.
 
 use netsession_analytics::astraffic;
-use netsession_bench::runner::{config_for, parse_args, write_metrics_sidecar};
+use netsession_bench::runner::{
+    config_for, parse_args, write_metrics_sidecar, write_trace_sidecar,
+};
 use netsession_hybrid::HybridSim;
 use netsession_obs::MetricsRegistry;
 
@@ -19,6 +21,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut baseline_trace = None;
     for (label, locality) in [("locality ladder ON", true), ("random selection", false)] {
         let mut cfg = config_for(&args);
         cfg.locality_aware = locality;
@@ -26,6 +29,9 @@ fn main() {
         // slots; return few peers so selection is actually selective.
         cfg.peers_returned = 8;
         let out = HybridSim::run_config_with(cfg, &metrics);
+        if baseline_trace.is_none() {
+            baseline_trace = Some(out.trace.clone());
+        }
         let t = astraffic::build(&out.dataset);
         // Cross-country share of p2p bytes.
         let mut cross_country = 0u64;
@@ -59,4 +65,7 @@ fn main() {
     );
 
     write_metrics_sidecar("ablate_locality", &metrics);
+    if let Some(trace) = &baseline_trace {
+        write_trace_sidecar("ablate_locality", trace);
+    }
 }

@@ -8,7 +8,9 @@
 //! peer's daily online window to model launch-on-demand clients.
 
 use netsession_analytics::overview;
-use netsession_bench::runner::{config_for, parse_args, write_metrics_sidecar};
+use netsession_bench::runner::{
+    config_for, parse_args, write_metrics_sidecar, write_trace_sidecar,
+};
 use netsession_hybrid::HybridSim;
 use netsession_obs::MetricsRegistry;
 
@@ -25,6 +27,7 @@ fn main() {
         "{:<28}{:>16}{:>14}{:>12}",
         "availability model", "mean eff %", "p2p TB", "logins"
     );
+    let mut baseline_trace = None;
     for (label, factor) in [
         ("persistent background", 1.0),
         ("half-day sessions", 0.5),
@@ -33,6 +36,9 @@ fn main() {
         let mut cfg = config_for(&args);
         cfg.session_mode_factor = factor;
         let out = HybridSim::run_config_with(cfg, &metrics);
+        if baseline_trace.is_none() {
+            baseline_trace = Some(out.trace.clone());
+        }
         let h = overview::headline(&out.dataset);
         println!(
             "{:<28}{:>16.1}{:>14.2}{:>12}",
@@ -46,4 +52,7 @@ fn main() {
     println!("expectation: shorter upload windows shrink swarm capacity and efficiency");
 
     write_metrics_sidecar("ablate_sessions", &metrics);
+    if let Some(trace) = &baseline_trace {
+        write_trace_sidecar("ablate_sessions", trace);
+    }
 }

@@ -5,7 +5,9 @@
 //! cap should skew upload volume toward a smaller set of (high-upstream)
 //! peers and ASes.
 
-use netsession_bench::runner::{config_for, parse_args, write_metrics_sidecar};
+use netsession_bench::runner::{
+    config_for, parse_args, write_metrics_sidecar, write_trace_sidecar,
+};
 use netsession_hybrid::HybridSim;
 use netsession_obs::MetricsRegistry;
 use std::collections::HashMap;
@@ -23,10 +25,14 @@ fn main() {
         "{:<18}{:>14}{:>22}{:>20}",
         "policy", "p2p TB", "top-1% uploader share", "max uploads/peer"
     );
+    let mut baseline_trace = None;
     for (label, cap) in [("cap = 30", Some(30u32)), ("uncapped", None)] {
         let mut cfg = config_for(&args);
         cfg.per_object_upload_cap = cap;
         let out = HybridSim::run_config_with(cfg, &metrics);
+        if baseline_trace.is_none() {
+            baseline_trace = Some(out.trace.clone());
+        }
         // Upload bytes per uploader GUID.
         let mut per_uploader: HashMap<u128, u64> = HashMap::new();
         for t in &out.dataset.transfers {
@@ -54,4 +60,7 @@ fn main() {
     println!("expectation: uncapped concentrates upload volume on fewer peers");
 
     write_metrics_sidecar("ablate_uploadcap", &metrics);
+    if let Some(trace) = &baseline_trace {
+        write_trace_sidecar("ablate_uploadcap", trace);
+    }
 }

@@ -6,13 +6,16 @@
 
 use netsession_analytics::astraffic;
 use netsession_analytics::stats::Cdf;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig10: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig10", &out.metrics);
+    write_trace_sidecar("fig10", &out.trace);
     let t = astraffic::build(&out.dataset);
     let heavy = t.heavy_uploaders(0.02);
     let scatter = t.fig10(&heavy);

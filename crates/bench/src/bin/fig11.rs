@@ -5,13 +5,16 @@
 
 use netsession_analytics::astraffic;
 use netsession_analytics::stats::Cdf;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig11: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig11", &out.metrics);
+    write_trace_sidecar("fig11", &out.trace);
     let t = astraffic::build(&out.dataset);
     let as_model = &out.scenario.population.as_model;
     let heavy = t.heavy_uploaders(0.02);

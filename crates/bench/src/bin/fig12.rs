@@ -6,13 +6,16 @@
 //! several short/medium branches (re-imaging/cloning), rest irregular.
 
 use netsession_analytics::guidgraph::{self, ChainPattern};
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig12: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig12", &out.metrics);
+    write_trace_sidecar("fig12", &out.trace);
     let census = guidgraph::fig12(&out.dataset);
 
     let total: u64 = census.values().sum();

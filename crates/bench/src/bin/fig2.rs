@@ -5,7 +5,9 @@
 //! §4.2 (North America 27 %, Europe 35 %).
 
 use netsession_analytics::regions;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 use netsession_world::geo::{continent_of, Continent, WORLD_COUNTRIES};
 use std::collections::HashMap;
 
@@ -14,6 +16,7 @@ fn main() {
     eprintln!("# fig2: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig2", &out.metrics);
+    write_trace_sidecar("fig2", &out.trace);
     let bubbles = regions::fig2_first_connections(&out.dataset);
 
     println!("Fig 2: first-connection counts per country (bubble sizes)");

@@ -5,13 +5,16 @@
 //! requests skew small.
 
 use netsession_analytics::sizes;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig3a: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig3a", &out.metrics);
+    write_trace_sidecar("fig3a", &out.trace);
     let cdfs = sizes::fig3a(&out.dataset);
 
     println!("Fig 3a: CDF of requests by object size (GB)");

@@ -3,13 +3,16 @@
 //! Prints the downloads-vs-rank series and the fitted log-log slope.
 
 use netsession_analytics::sizes;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig3b: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig3b", &out.metrics);
+    write_trace_sidecar("fig3b", &out.trace);
     let ranked = sizes::fig3b(&out.dataset);
 
     println!("Fig 3b: content popularity (downloads per object by rank)");

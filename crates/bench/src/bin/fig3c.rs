@@ -5,7 +5,9 @@
 //! evening peak; the GMT curve is flattened by timezone spread.
 
 use netsession_analytics::sizes;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 use netsession_core::time::TRACE_MONTH;
 use netsession_world::geo::WORLD_COUNTRIES;
 
@@ -14,6 +16,7 @@ fn main() {
     eprintln!("# fig3c: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig3c", &out.metrics);
+    write_trace_sidecar("fig3c", &out.trace);
     let hours = TRACE_MONTH.as_hours_f64() as usize + 48;
     let (gmt, local) = sizes::fig3c(&out.dataset, hours, |c| {
         WORLD_COUNTRIES[c as usize].tz_offset

@@ -6,13 +6,16 @@
 //! asymmetry).
 
 use netsession_analytics::speeds;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig4: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig4", &out.metrics);
+    write_trace_sidecar("fig4", &out.trace);
 
     for (label, s) in ["AS X", "AS Y"].iter().zip(speeds::fig4(&out.dataset)) {
         println!(

@@ -4,13 +4,16 @@
 //! rises rapidly after that, and reaches ~80 % around 10,000 copies.
 
 use netsession_analytics::efficiency;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig5: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig5", &out.metrics);
+    write_trace_sidecar("fig5", &out.trace);
     let buckets = efficiency::fig5(&out.dataset);
 
     println!("Fig 5: peer efficiency vs file copies registered during the month");

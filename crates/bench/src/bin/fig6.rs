@@ -9,7 +9,9 @@
 
 use netsession_analytics::efficiency;
 use netsession_analytics::stats::mean;
-use netsession_bench::runner::{config_for, write_metrics_sidecar, ExperimentArgs};
+use netsession_bench::runner::{
+    config_for, write_metrics_sidecar, write_trace_sidecar, ExperimentArgs,
+};
 use netsession_hybrid::HybridSim;
 use netsession_logs::records::DownloadOutcome;
 use netsession_obs::MetricsRegistry;
@@ -69,6 +71,7 @@ fn main() {
     }
 
     write_metrics_sidecar("fig6", &metrics);
+    write_trace_sidecar("fig6", &out.trace);
 }
 
 fn parse_args_from(argv: &[String]) -> ExperimentArgs {

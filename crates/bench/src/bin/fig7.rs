@@ -5,13 +5,16 @@
 //! because they carry the bigger files, not because p2p is less reliable.
 
 use netsession_analytics::outcomes;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig7: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig7", &out.metrics);
+    write_trace_sidecar("fig7", &out.trace);
     let buckets = outcomes::fig7(&out.dataset);
 
     println!("Fig 7: pause/termination rate by file size (%)");

@@ -6,7 +6,9 @@
 //! because the edge infrastructure already covers the globe.
 
 use netsession_analytics::regions::{self, CoverageClass};
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 use netsession_world::customers::customer_by_name;
 use netsession_world::geo::{continent_of, WORLD_COUNTRIES};
 use std::collections::BTreeMap;
@@ -16,6 +18,7 @@ fn main() {
     eprintln!("# fig8: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig8", &out.metrics);
+    write_trace_sidecar("fig8", &out.trace);
     // Customer D: a typical p2p-enabled provider (94 % uploads enabled).
     let cp = customer_by_name("D").expect("customer D").cp;
     let classes = regions::fig8_country_classes(&out.dataset, cp);

@@ -8,13 +8,16 @@
 //! bytes on direct links.
 
 use netsession_analytics::astraffic;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
     eprintln!("# fig9: peers={} downloads={}", args.peers, args.downloads);
     let out = run_default(&args);
     write_metrics_sidecar("fig9", &out.metrics);
+    write_trace_sidecar("fig9", &out.trace);
     let t = astraffic::build(&out.dataset);
     let as_model = &out.scenario.population.as_model;
 

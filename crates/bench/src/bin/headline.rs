@@ -6,7 +6,9 @@
 //! offloaded to peers.
 
 use netsession_analytics::overview;
-use netsession_bench::runner::{parse_args, pct, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, pct, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
@@ -16,6 +18,7 @@ fn main() {
     );
     let out = run_default(&args);
     write_metrics_sidecar("headline", &out.metrics);
+    write_trace_sidecar("headline", &out.trace);
     let h = overview::headline(&out.dataset);
 
     println!("metric                          paper      measured");

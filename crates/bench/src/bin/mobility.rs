@@ -5,7 +5,9 @@
 //! connections per minute on average.
 
 use netsession_analytics::mobility;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
@@ -15,6 +17,7 @@ fn main() {
     );
     let out = run_default(&args);
     write_metrics_sidecar("mobility", &out.metrics);
+    write_trace_sidecar("mobility", &out.trace);
     let s = mobility::summarize(&out.dataset);
 
     println!("§6.2 mobility summary ({} GUIDs observed)", s.guids);

@@ -6,7 +6,9 @@
 //! size, not by system failures.
 
 use netsession_analytics::outcomes;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
@@ -16,6 +18,7 @@ fn main() {
     );
     let out = run_default(&args);
     write_metrics_sidecar("outcomes", &out.metrics);
+    write_trace_sidecar("outcomes", &out.trace);
     let (infra, p2p) = outcomes::outcome_split(&out.dataset);
 
     println!("§5.2 outcome split");

@@ -6,7 +6,9 @@
 //! scaled down (`--scale`); the scale factor is printed so shares can be
 //! compared.
 
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
@@ -16,6 +18,7 @@ fn main() {
     );
     let out = run_default(&args);
     write_metrics_sidecar("table1", &out.metrics);
+    write_trace_sidecar("table1", &out.trace);
     let s = out.dataset.summary();
 
     let scale = 25_941_122.0 / args.peers as f64;

@@ -2,7 +2,9 @@
 //! content providers.
 
 use netsession_analytics::regions;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 use netsession_world::customers::{customer_by_cp, CUSTOMERS};
 use netsession_world::geo::Region;
 
@@ -14,6 +16,7 @@ fn main() {
     );
     let out = run_default(&args);
     write_metrics_sidecar("table2", &out.metrics);
+    write_trace_sidecar("table2", &out.trace);
     let (rows, all) = regions::table2(&out.dataset);
 
     print!("{:<14}", "customer");

@@ -4,7 +4,9 @@
 //! two-plus; initially enabled — 98.11 % / 1.80 % / 0.09 %.
 
 use netsession_analytics::settings;
-use netsession_bench::runner::{parse_args, run_default, write_metrics_sidecar};
+use netsession_bench::runner::{
+    parse_args, run_default, write_metrics_sidecar, write_trace_sidecar,
+};
 
 fn main() {
     let args = parse_args();
@@ -14,6 +16,7 @@ fn main() {
     );
     let out = run_default(&args);
     write_metrics_sidecar("table3", &out.metrics);
+    write_trace_sidecar("table3", &out.trace);
     let (disabled, enabled) = settings::table3(&out.dataset);
 
     println!("Table 3: observed changes to the upload setting");

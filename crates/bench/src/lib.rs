@@ -8,6 +8,7 @@
 //! to trade fidelity for runtime, and print the same rows/series the paper
 //! reports.
 
+pub mod explain;
 pub mod runner;
 
 pub use runner::{parse_args, run_default, ExperimentArgs};

@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: argument parsing and the standard run.
 
 use netsession_hybrid::{HybridSim, ScenarioConfig, SimOutput};
-use netsession_obs::MetricsRegistry;
+use netsession_obs::{MetricsRegistry, TraceSink};
 use netsession_world::population::PopulationConfig;
 use netsession_world::workload::WorkloadConfig;
 
@@ -85,6 +85,25 @@ pub fn write_metrics_sidecar(name: &str, metrics: &MetricsRegistry) {
     match std::fs::write(&path, metrics.full_snapshot_json()) {
         Ok(()) => eprintln!("# metrics sidecar: {}", path.display()),
         Err(e) => eprintln!("# metrics sidecar skipped: {e}"),
+    }
+}
+
+/// Write the run's sampled download traces as Chrome trace-event JSON
+/// (`results/<name>.trace.json`, loadable in Perfetto / `chrome://tracing`
+/// and readable by the `trace_explain` binary). Like the metrics sidecar
+/// this goes to a separate file so experiment stdout stays byte-identical;
+/// unlike it, the export itself is fully deterministic — same seed, same
+/// bytes.
+pub fn write_trace_sidecar(name: &str, trace: &TraceSink) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("# trace sidecar skipped: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.trace.json"));
+    match std::fs::write(&path, trace.export_chrome_json()) {
+        Ok(()) => eprintln!("# trace sidecar: {}", path.display()),
+        Err(e) => eprintln!("# trace sidecar skipped: {e}"),
     }
 }
 

@@ -1,0 +1,78 @@
+//! End-to-end check that `trace_explain`'s byte split is *numerically*
+//! identical to the metrics log: run a small scenario tracing every
+//! download, export + re-parse the trace file format, and cross-check
+//! each trace's peer/edge byte split against its `DownloadRecord`.
+
+use netsession_bench::explain::{downloads, narrate, parse_trace, summarize};
+use netsession_hybrid::{HybridSim, ScenarioConfig};
+use std::collections::HashMap;
+
+#[test]
+fn trace_byte_splits_match_download_records_exactly() {
+    let mut cfg = ScenarioConfig::tiny();
+    cfg.obs.trace_sample_every = 1; // trace every download
+    let out = HybridSim::run_config(cfg);
+
+    let doc = parse_trace(&out.trace.export_chrome_json()).expect("export parses");
+    assert_eq!(doc.dropped, 0, "tiny run must fit in the span bound");
+    let dls = downloads(&doc);
+    assert!(
+        dls.len() >= out.dataset.downloads.len(),
+        "every logged download must have a trace ({} traces, {} records)",
+        dls.len(),
+        out.dataset.downloads.len()
+    );
+
+    // Index records by (guid-hex, object, start micros) — guids export as
+    // hex strings (they exceed 2^53), the rest use the attrs' truncations.
+    let mut records: HashMap<(String, u64, u64), (u64, u64)> = HashMap::new();
+    for r in &out.dataset.downloads {
+        records.insert(
+            (
+                format!("{:016x}", r.guid.0 as u64),
+                r.object.0,
+                r.started.as_micros(),
+            ),
+            (r.bytes_peers.bytes(), r.bytes_infra.bytes()),
+        );
+    }
+
+    let mut checked = 0usize;
+    for dl in &dls {
+        let s = summarize(dl);
+        if s.outcome.is_empty() || s.outcome == "denied" {
+            // Still active at the cutoff, or denied authorization (denied
+            // downloads never produce a DownloadRecord).
+            continue;
+        }
+        let guid = dl
+            .root
+            .attr("guid")
+            .and_then(|v| v.as_str())
+            .expect("guid attr");
+        let object = s.object.expect("object attr");
+        let key = (guid.to_string(), object, s.start_us);
+        let (rec_peers, rec_edge) = records
+            .get(&key)
+            .unwrap_or_else(|| panic!("no DownloadRecord for trace {key:?}"));
+        assert_eq!(
+            (s.bytes_peers, s.bytes_edge),
+            (*rec_peers, *rec_edge),
+            "trace {} byte split must match its DownloadRecord",
+            s.trace
+        );
+        checked += 1;
+    }
+    assert!(checked > 100, "checked {checked} downloads");
+
+    // And the narrative for a download that actually used peers mentions
+    // both sides of the split.
+    let with_peers = dls
+        .iter()
+        .map(summarize)
+        .find(|s| s.bytes_peers > 0 && s.bytes_edge > 0)
+        .expect("some download split bytes between peers and edge");
+    let text = narrate(&with_peers);
+    assert!(text.contains("from peers"), "{text}");
+    assert!(text.contains("from edge"), "{text}");
+}

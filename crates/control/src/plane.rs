@@ -18,7 +18,7 @@ use netsession_core::msg::{AuthToken, NatType, PeerAddr, PeerContact, UsageRecor
 use netsession_core::rng::DetRng;
 use netsession_core::time::{SimDuration, SimTime};
 use netsession_edge::auth::EdgeAuth;
-use netsession_obs::MetricsRegistry;
+use netsession_obs::{MetricsRegistry, SpanId, TraceCtx, TraceSink};
 
 /// Control-plane parameters.
 #[derive(Clone, Debug)]
@@ -228,6 +228,32 @@ impl ControlPlane {
             self.metrics.counter("control.empty_selections").incr();
         }
         Ok(picked)
+    }
+
+    /// Trace-aware [`ControlPlane::query_peers`]: same behaviour, plus a
+    /// `"query_peers"` span in the control layer recording how many
+    /// sources were offered (or why the query was rejected). Returns the
+    /// span so the caller can attach context of its own (e.g. the
+    /// re-query round).
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_peers_traced(
+        &mut self,
+        region: u32,
+        querier: &Querier,
+        token: &AuthToken,
+        now: SimTime,
+        rng: &mut DetRng,
+        trace: &TraceSink,
+        ctx: TraceCtx,
+    ) -> (Result<Vec<PeerContact>>, SpanId) {
+        let span = trace.span(ctx, "query_peers", "control", now.as_micros());
+        let result = self.query_peers(region, querier, token, now, rng);
+        match &result {
+            Ok(picked) => trace.add_attr(span, "offered", picked.len() as u64),
+            Err(e) => trace.add_attr(span, "error", e.to_string()),
+        }
+        trace.end_span(span, now.as_micros());
+        (result, span)
     }
 
     /// Record an upload and enforce the per-object cap: returns `true` if

@@ -15,7 +15,7 @@ use netsession_core::msg::{AuthToken, EdgeMsg};
 use netsession_core::piece::Manifest;
 use netsession_core::time::SimTime;
 use netsession_core::units::ByteCount;
-use netsession_obs::MetricsRegistry;
+use netsession_obs::{MetricsRegistry, TraceCtx, TraceSink};
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -103,6 +103,27 @@ impl EdgeServer {
         })
     }
 
+    /// Trace-aware [`EdgeServer::authorize`]: same behaviour, plus an
+    /// `"authorize"` span in the edge layer recording the grant/deny
+    /// outcome under the caller's download trace.
+    pub fn authorize_traced(
+        &self,
+        guid: Guid,
+        object: ObjectId,
+        now: SimTime,
+        trace: &TraceSink,
+        ctx: TraceCtx,
+    ) -> Result<Authorization> {
+        let span = trace.span(ctx, "authorize", "edge", now.as_micros());
+        let result = self.authorize(guid, object, now);
+        trace.add_attr(span, "granted", result.is_ok());
+        if let Err(e) = &result {
+            trace.add_attr(span, "reason", e.to_string());
+        }
+        trace.end_span(span, now.as_micros());
+        result
+    }
+
     /// Serve one piece (simulation flavour: returns the piece's digest and
     /// length; the live runtime uses [`EdgeServer::piece_bytes`]). Records
     /// the served bytes in the ledger.
@@ -153,6 +174,23 @@ impl EdgeServer {
             .histogram("edge.piece_len")
             .record(bytes.bytes());
         self.ledger.record_edge_receipt(guid, version, bytes);
+    }
+
+    /// Trace-aware [`EdgeServer::record_served`]: adds an `"accounting"`
+    /// marker span carrying the receipted byte count, so a download's
+    /// trace shows exactly what the edge billed for it.
+    pub fn record_served_traced(
+        &self,
+        guid: Guid,
+        version: VersionId,
+        bytes: ByteCount,
+        trace: &TraceSink,
+        ctx: TraceCtx,
+        now_us: u64,
+    ) {
+        let span = trace.instant(ctx, "accounting", "edge", now_us);
+        trace.add_attr(span, "bytes", bytes.bytes());
+        self.record_served(guid, version, bytes);
     }
 
     /// Cross-check this server's byte counter against the ledger's edge

@@ -8,6 +8,34 @@ use netsession_core::policy::TransferConfig;
 use netsession_world::population::PopulationConfig;
 use netsession_world::workload::WorkloadConfig;
 
+/// Observability knobs. These configure what gets *recorded* — event
+/// ring depth and download-trace sampling — and, by the passive-design
+/// rule, can never change simulated behaviour: a same-seed run produces
+/// identical experiment output at any setting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Bound on the structured-event ring the metrics registry keeps
+    /// (0 disables event recording; details are then never formatted).
+    pub event_ring_capacity: usize,
+    /// Trace one download in this many (1 = trace everything). Sampling
+    /// is deterministic — the k-th download start is sampled iff
+    /// `(k - 1) % trace_sample_every == 0`.
+    pub trace_sample_every: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            event_ring_capacity: netsession_obs::DEFAULT_EVENT_CAPACITY,
+            // At the default 40 k-download scale this keeps ~40 traced
+            // downloads per run — rich enough to drill into, small
+            // enough that committed `.trace.json` artifacts stay well
+            // under the 1 MiB repo lint.
+            trace_sample_every: 1024,
+        }
+    }
+}
+
 /// Everything one simulation run needs.
 #[derive(Clone, Debug)]
 pub struct ScenarioConfig {
@@ -47,6 +75,8 @@ pub struct ScenarioConfig {
     /// negatively affect the service"); online peers repopulate the
     /// directories via RE-ADD.
     pub control_restart_day: Option<u64>,
+    /// Observability configuration (event-ring depth, trace sampling).
+    pub obs: ObsConfig,
 }
 
 impl Default for ScenarioConfig {
@@ -72,6 +102,7 @@ impl Default for ScenarioConfig {
             daily_login_prob: 0.4,
             session_mode_factor: 1.0,
             control_restart_day: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -98,6 +129,11 @@ impl ScenarioConfig {
         assert!(
             (0.0..=1.0).contains(&self.daily_login_prob),
             "daily_login_prob must be a probability"
+        );
+        assert!(
+            self.obs.trace_sample_every >= 1,
+            "obs.trace_sample_every must be >= 1 (sample every Nth download; \
+             1 traces everything — 0 would divide by zero, not disable)"
         );
     }
 
@@ -131,6 +167,22 @@ mod tests {
         assert!(c.per_object_upload_cap.is_some());
         assert!(c.enable_fraction_override.is_none());
         assert!((0.3..0.5).contains(&c.daily_login_prob));
+    }
+
+    #[test]
+    fn obs_defaults_are_bounded() {
+        let c = ScenarioConfig::default();
+        assert!(c.obs.event_ring_capacity >= 1);
+        assert!(c.obs.trace_sample_every >= 1);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "trace_sample_every")]
+    fn zero_sampling_rate_is_rejected() {
+        let mut c = ScenarioConfig::tiny();
+        c.obs.trace_sample_every = 0;
+        c.validate();
     }
 
     #[test]

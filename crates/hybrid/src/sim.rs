@@ -31,7 +31,7 @@ use netsession_logs::geodb::GeoInfo;
 use netsession_logs::records::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
 use netsession_logs::TraceDataset;
 use netsession_nat::matrix::{connectivity, Connectivity};
-use netsession_obs::MetricsRegistry;
+use netsession_obs::{MetricsRegistry, SpanId, TraceCtx, TraceSink};
 use netsession_sim::engine::EventQueue;
 use netsession_sim::flownet::{FlowId, FlowNet, NodeId};
 use netsession_world::behaviour::UserModel;
@@ -63,6 +63,8 @@ struct SourceFlow {
     peer: u32,
     flow: FlowId,
     bytes: f64,
+    /// Open `peer_transfer` span, ended when the source detaches.
+    span: SpanId,
 }
 
 struct Dl {
@@ -86,6 +88,12 @@ struct Dl {
     requeries: u32,
     region: u32,
     finished: Option<(SimTime, DownloadOutcome)>,
+    /// Trace context whose span is this download's root span (the null
+    /// context for unsampled downloads — every recording through it
+    /// no-ops).
+    ctx: TraceCtx,
+    /// Open `edge_backstop` span, ended when the edge flow tears down.
+    edge_span: SpanId,
 }
 
 impl Dl {
@@ -151,6 +159,11 @@ pub struct SimOutput {
     /// histograms, the event ring, and wall-clock timings in the volatile
     /// section).
     pub metrics: MetricsRegistry,
+    /// Download-lifecycle spans sampled during the run (1-in-N per
+    /// `ScenarioConfig::obs.trace_sample_every`), exportable as
+    /// Chrome-trace/Perfetto JSON. Deterministic: all timestamps are
+    /// virtual sim time and IDs come from a monotone counter.
+    pub trace: TraceSink,
 }
 
 /// The simulation driver.
@@ -159,17 +172,22 @@ pub struct HybridSim {
     rng: DetRng,
     user_model: UserModel,
     metrics: MetricsRegistry,
+    trace: TraceSink,
 }
 
 impl HybridSim {
-    /// Create from a built scenario.
+    /// Create from a built scenario. The event-ring depth and the trace
+    /// sampling rate come from the scenario's `obs` section.
     pub fn new(scenario: Scenario) -> Self {
         let rng = DetRng::seeded(scenario.config.seed ^ 0x73696d);
+        let metrics = MetricsRegistry::with_event_capacity(scenario.config.obs.event_ring_capacity);
+        let trace = TraceSink::new(scenario.config.obs.trace_sample_every);
         HybridSim {
             scenario,
             rng,
             user_model: UserModel::default(),
-            metrics: MetricsRegistry::new(),
+            metrics,
+            trace,
         }
     }
 
@@ -178,6 +196,15 @@ impl HybridSim {
     /// registry never changes simulated behaviour or the produced dataset.
     pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
         self.metrics = registry.clone();
+        self
+    }
+
+    /// Record download traces into `sink` instead of the sim's own sink.
+    /// Sharing one sink across runs (sweeps, ablations) keeps sampling
+    /// deterministic — the trace counter simply continues. Passive, like
+    /// `with_metrics`.
+    pub fn with_trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = sink.clone();
         self
     }
 
@@ -195,15 +222,30 @@ impl HybridSim {
             .run()
     }
 
+    /// Build and run a config, recording into caller-supplied metrics
+    /// *and* trace sinks (multi-run experiments accumulate both).
+    pub fn run_config_traced(
+        config: ScenarioConfig,
+        registry: &MetricsRegistry,
+        sink: &TraceSink,
+    ) -> SimOutput {
+        HybridSim::new(Scenario::build(config))
+            .with_metrics(registry)
+            .with_trace(sink)
+            .run()
+    }
+
     /// Run the month and produce the trace.
     pub fn run(mut self) -> SimOutput {
         let n_peers = self.scenario.population.len();
         let metrics = self.metrics.clone();
+        let trace = self.trace.clone();
+        trace.attach_metrics(&metrics);
         self.scenario.plane.attach_metrics(&metrics);
         for edge in &mut self.scenario.edges {
             edge.attach_metrics(&metrics);
         }
-        let mut net = FlowNet::new().with_metrics(&metrics);
+        let mut net = FlowNet::new().with_metrics(&metrics).with_trace(&trace);
         let mut queue: EventQueue<Event> = EventQueue::new().with_metrics(&metrics);
         let mut dataset = TraceDataset::default();
         let mut stats = RunStats::default();
@@ -418,6 +460,7 @@ impl HybridSim {
                         &mut dataset,
                         &mut stats,
                         &metrics,
+                        &trace,
                         t,
                     );
                     net.recompute_dirty();
@@ -447,6 +490,7 @@ impl HybridSim {
                         &mut dataset,
                         &mut stats,
                         &metrics,
+                        &trace,
                         t,
                     );
                     net.recompute_dirty();
@@ -514,6 +558,7 @@ impl HybridSim {
                         &mut dataset,
                         &mut stats,
                         &metrics,
+                        &trace,
                         t,
                     );
                     self.requery(
@@ -559,6 +604,7 @@ impl HybridSim {
             &mut dataset,
             &mut stats,
             &metrics,
+            &trace,
             cutoff,
         );
 
@@ -578,6 +624,7 @@ impl HybridSim {
             stats,
             scenario: self.scenario,
             metrics,
+            trace,
         }
     }
 
@@ -713,10 +760,14 @@ impl HybridSim {
                 let dl = &mut dls[*id];
                 let mut k = 0;
                 let mut changed = false;
+                net.set_trace_scope(dl.ctx, t.as_micros());
                 while k < dl.sources.len() {
                     if dl.sources[k].peer == p {
                         let s = dl.sources.swap_remove(k);
                         net.remove_flow(s.flow);
+                        self.trace.add_attr(s.span, "bytes", s.bytes as u64);
+                        self.trace.add_attr(s.span, "end_reason", "source_offline");
+                        self.trace.end_span(s.span, t.as_micros());
                         dl.finished_sources.push((s.peer, s.bytes));
                         peers[p as usize].active_uploads =
                             peers[p as usize].active_uploads.saturating_sub(1);
@@ -725,6 +776,7 @@ impl HybridSim {
                         k += 1;
                     }
                 }
+                net.clear_trace_scope();
                 if changed {
                     let downlink = self.scenario.population.peers[dl.peer as usize].down;
                     update_edge_ceil(dl, downlink, net);
@@ -734,7 +786,6 @@ impl HybridSim {
         let region = peers[p as usize].logged_region;
         self.scenario.plane.logout(region, spec.guid);
         peers[p as usize].online = false;
-        let _ = t;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -766,10 +817,32 @@ impl HybridSim {
         let rt = &peers[p as usize];
         let region = rt.logged_region;
 
+        // Root span for this download's causal story. Unsampled requests
+        // get the null context; everything recorded through it no-ops.
+        let ctx = self.trace.start_trace("download", "hybrid", t.as_micros());
+        if ctx.sampled {
+            // GUIDs exceed 2^53, so they export as hex strings — raw u64
+            // attrs would lose precision through an f64 JSON parser.
+            self.trace
+                .add_attr(ctx.span, "guid", format!("{:016x}", spec.guid.0 as u64));
+        }
+        self.trace.add_attr(ctx.span, "object", req.object.0);
+        self.trace.add_attr(ctx.span, "region", region as u64);
+
         // Edge authorization (§3.5) — the trust root even for p2p.
-        let auth = match self.scenario.edges[region as usize].authorize(spec.guid, req.object, t) {
+        let auth = match self.scenario.edges[region as usize].authorize_traced(
+            spec.guid,
+            req.object,
+            t,
+            &self.trace,
+            ctx,
+        ) {
             Ok(a) => a,
-            Err(_) => return,
+            Err(_) => {
+                self.trace.add_attr(ctx.span, "outcome", "denied");
+                self.trace.end_span(ctx.span, t.as_micros());
+                return;
+            }
         };
         self.scenario
             .ledger
@@ -778,6 +851,8 @@ impl HybridSim {
         let p2p = auth.policy.p2p_enabled;
         let cap = auth.policy.per_peer_upload_cap;
         let version = auth.token.version;
+        self.trace.add_attr(ctx.span, "size", size as u64);
+        self.trace.add_attr(ctx.span, "p2p", p2p);
 
         let id = dls.len();
         let mut dl = Dl {
@@ -806,7 +881,12 @@ impl HybridSim {
             requeries: 0,
             region,
             finished: None,
+            ctx,
+            edge_span: SpanId::NONE,
         };
+
+        // Flow mutations below belong to this download's trace.
+        net.set_trace_scope(ctx, t.as_micros());
 
         // Peer selection and connection establishment.
         if p2p {
@@ -818,11 +898,16 @@ impl HybridSim {
                 zone: region as u8,
                 nat: spec.nat,
             };
-            if let Ok(contacts) = self
-                .scenario
-                .plane
-                .query_peers(region, &querier, &dl.token, t, rng)
-            {
+            let (selected, _qspan) = self.scenario.plane.query_peers_traced(
+                region,
+                &querier,
+                &dl.token,
+                t,
+                rng,
+                &self.trace,
+                ctx,
+            );
+            if let Ok(contacts) = selected {
                 dl.initial_peers = contacts.len() as u32;
                 connect_sources(
                     &contacts,
@@ -835,6 +920,8 @@ impl HybridSim {
                     &mut dl,
                     stats,
                     &self.metrics,
+                    &self.trace,
+                    t,
                     rng,
                 );
             }
@@ -843,14 +930,18 @@ impl HybridSim {
             // backstop (§3.3).
             if dl.sources.is_empty() {
                 self.metrics.counter("peer.edge_fallbacks").incr();
+                self.trace
+                    .instant(ctx, "edge_fallback", "edge", t.as_micros());
             }
         }
 
         if self.scenario.config.edge_backstop {
             dl.edge_flow =
                 Some(net.add_flow(edge_nodes[region as usize], peers[p as usize].node, None));
+            dl.edge_span = self.trace.span(ctx, "edge_backstop", "edge", t.as_micros());
             update_edge_ceil(&dl, spec.down, net);
         }
+        net.clear_trace_scope();
 
         peers[p as usize].active_download = Some(id);
         dls.push(dl);
@@ -900,15 +991,24 @@ impl HybridSim {
                 nat: spec.nat,
             };
             let token = dls[*id].token;
-            if let Ok(contacts) = self
-                .scenario
-                .plane
-                .query_peers(region, &querier, &token, t, rng)
-            {
+            let ctx = dls[*id].ctx;
+            let (selected, qspan) = self.scenario.plane.query_peers_traced(
+                region,
+                &querier,
+                &token,
+                t,
+                rng,
+                &self.trace,
+                ctx,
+            );
+            if let Ok(contacts) = selected {
                 dls[*id].requeries += 1;
                 stats.requeries += 1;
+                self.trace
+                    .add_attr(qspan, "round", dls[*id].requeries as u64);
                 let nat = spec.nat;
                 let downlink = self.scenario.population.peers[peer_idx as usize].down;
+                net.set_trace_scope(ctx, t.as_micros());
                 connect_sources(
                     &contacts,
                     nat,
@@ -920,9 +1020,12 @@ impl HybridSim {
                     &mut dls[*id],
                     stats,
                     &self.metrics,
+                    &self.trace,
+                    t,
                     rng,
                 );
                 update_edge_ceil(&dls[*id], downlink, net);
+                net.clear_trace_scope();
             }
         }
     }
@@ -947,7 +1050,10 @@ fn update_edge_ceil(dl: &Dl, downlink: Bandwidth, net: &mut FlowNet) {
     }
 }
 
-/// Try to connect the selected contacts as swarm sources.
+/// Try to connect the selected contacts as swarm sources. Each offered
+/// contact gets a `connect_attempt` marker span recording why it did or
+/// did not become a source — the per-download story behind the aggregate
+/// NAT counters.
 #[allow(clippy::too_many_arguments)]
 fn connect_sources(
     contacts: &[netsession_core::msg::PeerContact],
@@ -960,6 +1066,8 @@ fn connect_sources(
     dl: &mut Dl,
     stats: &mut RunStats,
     metrics: &MetricsRegistry,
+    trace: &TraceSink,
+    t: SimTime,
     rng: &mut DetRng,
 ) {
     let max_conns = scenario.config.transfer.max_download_connections;
@@ -968,13 +1076,20 @@ fn connect_sources(
         if dl.sources.len() >= max_conns {
             break;
         }
+        let attempt = trace.instant(dl.ctx, "connect_attempt", "peer", t.as_micros());
+        if attempt.is_some() {
+            trace.add_attr(attempt, "src_guid", format!("{:016x}", c.guid.0 as u64));
+        }
         let Some(&src) = guid_owner.get(&c.guid) else {
+            trace.add_attr(attempt, "result", "stale_contact");
             continue;
         };
         if src == downloader {
+            trace.add_attr(attempt, "result", "self");
             continue;
         }
         if dl.sources.iter().any(|s| s.peer == src) {
+            trace.add_attr(attempt, "result", "duplicate");
             continue;
         }
         let src_rt = &peers[src as usize];
@@ -982,40 +1097,54 @@ fn connect_sources(
             || !src_rt.uploads_enabled
             || src_rt.active_uploads as usize >= max_uploads
         {
+            trace.add_attr(attempt, "result", "unavailable");
             continue;
         }
         // Source must still cache the exact version.
         match src_rt.cached.get(&dl.object) {
             Some((v, _)) if *v == dl.version => {}
-            _ => continue,
+            _ => {
+                trace.add_attr(attempt, "result", "stale_version");
+                continue;
+            }
         }
         // Traversal.
         metrics.counter("peer.nat_traversal_attempts").incr();
-        let p_ok = match connectivity(my_nat, c.nat) {
+        let conn = connectivity(my_nat, c.nat);
+        trace.add_attr(attempt, "nat", conn.label());
+        let p_ok = match conn {
             Connectivity::Direct => P_DIRECT,
             Connectivity::HolePunch => P_PUNCH,
             Connectivity::None => {
                 stats.punch_failures += 1;
                 metrics.counter("peer.nat_traversal_blocked").incr();
+                trace.add_attr(attempt, "result", "blocked");
                 continue;
             }
         };
         if !rng.chance(p_ok) {
             stats.punch_failures += 1;
             metrics.counter("peer.nat_punch_failures").incr();
+            trace.add_attr(attempt, "result", "punch_failed");
             continue;
         }
         metrics.counter("peer.nat_traversal_ok").incr();
+        trace.add_attr(attempt, "result", "connected");
         let flow = net.add_flow(
             peers[src as usize].node,
             peers[downloader as usize].node,
             None,
         );
         peers[src as usize].active_uploads += 1;
+        let span = trace.span(dl.ctx, "peer_transfer", "peer", t.as_micros());
+        if span.is_some() {
+            trace.add_attr(span, "src_guid", format!("{:016x}", c.guid.0 as u64));
+        }
         dl.sources.push(SourceFlow {
             peer: src,
             flow,
             bytes: 0.0,
+            span,
         });
     }
 }
@@ -1111,6 +1240,7 @@ fn process_finished(
     dataset: &mut TraceDataset,
     stats: &mut RunStats,
     metrics: &MetricsRegistry,
+    trace: &TraceSink,
     _now: SimTime,
 ) {
     let mut i = 0;
@@ -1125,8 +1255,13 @@ fn process_finished(
         let spec = &scenario.population.peers[dl.peer as usize];
 
         // Tear down flows.
+        net.set_trace_scope(dl.ctx, ended.as_micros());
         if let Some(f) = dl.edge_flow.take() {
             net.remove_flow(f);
+        }
+        if dl.edge_span != SpanId::NONE {
+            trace.add_attr(dl.edge_span, "bytes", dl.edge_bytes as u64);
+            trace.end_span(dl.edge_span, ended.as_micros());
         }
         let sources: Vec<(u32, f64)> = dl
             .sources
@@ -1135,10 +1270,13 @@ fn process_finished(
                 net.remove_flow(s.flow);
                 peers[s.peer as usize].active_uploads =
                     peers[s.peer as usize].active_uploads.saturating_sub(1);
+                trace.add_attr(s.span, "bytes", s.bytes as u64);
+                trace.end_span(s.span, ended.as_micros());
                 (s.peer, s.bytes)
             })
             .chain(dl.finished_sources.drain(..))
             .collect();
+        net.clear_trace_scope();
 
         // Transfer records + upload accounting. Every delivered byte counts
         // toward `bytes_peers` — `done_bytes()` counted sub-1-byte source
@@ -1172,12 +1310,36 @@ fn process_finished(
 
         // Edge receipt.
         if dl.edge_bytes >= 1.0 {
-            scenario.edges[dl.region as usize].record_served(
+            scenario.edges[dl.region as usize].record_served_traced(
                 spec.guid,
                 dl.version,
                 ByteCount(dl.edge_bytes as u64),
+                trace,
+                dl.ctx,
+                ended.as_micros(),
             );
         }
+
+        // Close the root span. The byte attrs use the same `as u64`
+        // truncation as the DownloadRecord below, so `trace-explain`'s
+        // byte split cross-checks the metrics log exactly.
+        let outcome_label = match outcome {
+            DownloadOutcome::Completed => "completed",
+            DownloadOutcome::Abandoned => "abandoned",
+            DownloadOutcome::Failed { system_related } => {
+                if system_related {
+                    "failed_system"
+                } else {
+                    "failed_env"
+                }
+            }
+        };
+        trace.add_attr(dl.ctx.span, "outcome", outcome_label);
+        trace.add_attr(dl.ctx.span, "bytes_edge", dl.edge_bytes as u64);
+        trace.add_attr(dl.ctx.span, "bytes_peers", bytes_peers as u64);
+        trace.add_attr(dl.ctx.span, "initial_peers", dl.initial_peers as u64);
+        trace.add_attr(dl.ctx.span, "requeries", dl.requeries as u64);
+        trace.end_span(dl.ctx.span, ended.as_micros());
 
         // Outcome bookkeeping.
         match outcome {
@@ -1408,6 +1570,8 @@ mod tests {
             requeries: 0,
             region: 0,
             finished: None,
+            ctx: TraceCtx::NONE,
+            edge_span: SpanId::NONE,
         }];
         let active = vec![0usize];
         let from = SimTime::ZERO + SimDuration::from_secs(40);

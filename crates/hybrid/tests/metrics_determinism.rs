@@ -25,6 +25,56 @@ fn same_seed_runs_produce_identical_metric_snapshots() {
 }
 
 #[test]
+fn same_seed_runs_produce_identical_trace_exports() {
+    let run = |sample_every: u64| {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.obs.trace_sample_every = sample_every;
+        let out = HybridSim::run_config(cfg);
+        (
+            out.trace.export_chrome_json(),
+            out.metrics.snapshot_json(),
+            out.dataset.downloads.len(),
+        )
+    };
+    let (trace_a, snap_a, downloads_a) = run(4);
+    let (trace_b, snap_b, downloads_b) = run(4);
+    assert_eq!(downloads_a, downloads_b);
+    assert_eq!(trace_a, trace_b, "same-seed trace exports diverged");
+    assert_eq!(snap_a, snap_b, "same-seed snapshots diverged");
+    // Populated, not vacuously equal: the export carries real spans.
+    assert!(trace_a.contains("\"download\""));
+    assert!(trace_a.contains("\"connect_attempt\""));
+    assert!(snap_a.contains("trace.spans.hybrid"));
+}
+
+#[test]
+fn sampling_rate_changes_volume_but_not_ids() {
+    // The download counter advances whether or not a download is sampled,
+    // so the k-th download's trace id is stable across sampling rates.
+    let export = |sample_every: u64| {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.obs.trace_sample_every = sample_every;
+        HybridSim::run_config(cfg).trace.export_chrome_json()
+    };
+    let sparse = export(8);
+    let dense = export(2);
+    let ids = |s: &str| {
+        let mut out = std::collections::BTreeSet::new();
+        for chunk in s.split("\"trace\":\"").skip(1) {
+            out.insert(chunk[..16].to_string());
+        }
+        out
+    };
+    let sparse_ids = ids(&sparse);
+    let dense_ids = ids(&dense);
+    assert!(
+        sparse_ids.is_subset(&dense_ids),
+        "sparser sampling must select a subset of the denser run's traces"
+    );
+    assert!(dense_ids.len() > sparse_ids.len());
+}
+
+#[test]
 fn attaching_metrics_does_not_change_the_experiment() {
     let cfg = ScenarioConfig::tiny;
     let plain = HybridSim::run_config(cfg());

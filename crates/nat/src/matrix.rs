@@ -31,6 +31,15 @@ impl Connectivity {
     pub fn needs_punch(self) -> bool {
         self == Connectivity::HolePunch
     }
+
+    /// A stable label for logs and trace-span attributes.
+    pub fn label(self) -> &'static str {
+        match self {
+            Connectivity::Direct => "direct",
+            Connectivity::HolePunch => "hole_punch",
+            Connectivity::None => "unreachable",
+        }
+    }
 }
 
 /// The closed-form connectivity table.

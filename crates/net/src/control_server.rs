@@ -6,7 +6,7 @@
 //! `ConnectTo` instructions to *both* endpoints of every suggested pairing
 //! — the coordination real NAT traversal needs.
 
-use crate::framing::{read_msg, wall_now, write_msg};
+use crate::framing::{read_msg_traced, wall_now, write_msg};
 use netsession_control::directory::PeerRecord;
 use netsession_control::plane::{ControlPlane, PlaneConfig};
 use netsession_control::selection::Querier;
@@ -15,7 +15,7 @@ use netsession_core::id::Guid;
 use netsession_core::msg::ControlMsg;
 use netsession_core::rng::DetRng;
 use netsession_edge::auth::EdgeAuth;
-use netsession_obs::MetricsRegistry;
+use netsession_obs::{MetricsRegistry, TraceCtx, TraceSink};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -23,12 +23,17 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// Trace-id prefix for the control-server process (see
+/// [`TraceSink::with_id_prefix`]).
+const CONTROL_ID_PREFIX: u16 = 0x0002;
+
 struct Shared {
     plane: Mutex<ControlPlane>,
     rng: Mutex<DetRng>,
     /// Outbound push channels per logged-in GUID.
     pushers: Mutex<HashMap<Guid, mpsc::Sender<ControlMsg>>>,
     metrics: MetricsRegistry,
+    trace: TraceSink,
 }
 
 /// A running control-plane server.
@@ -63,6 +68,11 @@ impl ControlServer {
             ),
             rng: Mutex::new(DetRng::seeded(0xC0117201)),
             pushers: Mutex::new(HashMap::new()),
+            trace: {
+                let trace = TraceSink::with_id_prefix(1, CONTROL_ID_PREFIX);
+                trace.attach_metrics(&metrics);
+                trace
+            },
             metrics,
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -111,6 +121,12 @@ impl ControlServer {
         self.shared.metrics.clone()
     }
 
+    /// This server's trace sink. Spans for traced client requests join
+    /// the *client's* trace id (received via the framing envelope).
+    pub fn trace(&self) -> TraceSink {
+        self.shared.trace.clone()
+    }
+
     /// Drain collected usage records (billing pipeline; test observability).
     pub fn drain_usage(&self) -> Vec<netsession_core::msg::UsageRecord> {
         self.shared.plane.lock().unwrap().drain_usage()
@@ -143,8 +159,14 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> {
     });
 
     let mut session: Option<(Guid, PeerRecord)> = None;
-    while let Some(msg) = read_msg::<_, ControlMsg>(&mut reader)? {
+    while let Some((msg, remote_ctx)) = read_msg_traced::<_, ControlMsg>(&mut reader)? {
         msgs_in.incr();
+        // Requests stamped with a trace context get their server-side
+        // spans recorded under the client's trace.
+        let ctx = match remote_ctx {
+            Some((t, parent)) => shared.trace.join(t, parent),
+            None => TraceCtx::NONE,
+        };
         match msg {
             ControlMsg::Login {
                 guid,
@@ -195,9 +217,16 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> {
                 let peers = {
                     let mut plane = shared.plane.lock().unwrap();
                     let mut rng = shared.rng.lock().unwrap();
-                    plane
-                        .query_peers(0, &querier, &token, wall_now(), &mut rng)
-                        .unwrap_or_default()
+                    let (result, _span) = plane.query_peers_traced(
+                        0,
+                        &querier,
+                        &token,
+                        wall_now(),
+                        &mut rng,
+                        &shared.trace,
+                        ctx,
+                    );
+                    result.unwrap_or_default()
                 };
                 let peers: Vec<_> = peers.into_iter().take(max_peers as usize).collect();
                 // Tell both sides to connect (§3.6).
@@ -275,6 +304,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framing::read_msg;
     use netsession_core::id::{ObjectId, VersionId};
     use netsession_core::msg::{NatType, PeerAddr};
 

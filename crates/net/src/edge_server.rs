@@ -5,18 +5,22 @@
 //! and the manifest with piece hashes — and piece downloads, each recorded
 //! as a trusted receipt in the accounting ledger.
 
-use crate::framing::{read_msg, wall_now, write_msg};
+use crate::framing::{read_msg_traced, wall_now, write_msg};
 use netsession_core::error::{Error, Result};
 use netsession_core::msg::EdgeMsg;
 use netsession_edge::accounting::AccountingLedger;
 use netsession_edge::auth::EdgeAuth;
 use netsession_edge::server::EdgeServer;
 use netsession_edge::store::ContentStore;
-use netsession_obs::MetricsRegistry;
+use netsession_obs::{MetricsRegistry, SpanId, TraceCtx, TraceSink};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Trace-id prefix for the edge-server process (see
+/// [`TraceSink::with_id_prefix`]).
+const EDGE_ID_PREFIX: u16 = 0x0003;
 
 /// A running live edge server.
 pub struct EdgeHttpServer {
@@ -25,6 +29,7 @@ pub struct EdgeHttpServer {
     pub edge: Arc<EdgeServer>,
     /// Live telemetry: connections accepted, framed messages in/out.
     pub metrics: MetricsRegistry,
+    trace: TraceSink,
     stop: Arc<AtomicBool>,
 }
 
@@ -44,11 +49,14 @@ impl EdgeHttpServer {
             .set_nonblocking(true)
             .map_err(|e| Error::Network(e.to_string()))?;
         let metrics = MetricsRegistry::new();
+        let trace = TraceSink::with_id_prefix(1, EDGE_ID_PREFIX);
+        trace.attach_metrics(&metrics);
         let edge = Arc::new(EdgeServer::new(0, store, auth, ledger).with_metrics(&metrics));
         let stop = Arc::new(AtomicBool::new(false));
         let edge_for_loop = edge.clone();
         let stop_for_loop = stop.clone();
         let metrics_for_loop = metrics.clone();
+        let trace_for_loop = trace.clone();
         std::thread::spawn(move || {
             while !stop_for_loop.load(Ordering::Relaxed) {
                 match listener.accept() {
@@ -56,8 +64,9 @@ impl EdgeHttpServer {
                         metrics_for_loop.counter("net.edge.connections").incr();
                         let edge = edge_for_loop.clone();
                         let metrics = metrics_for_loop.clone();
+                        let trace = trace_for_loop.clone();
                         std::thread::spawn(move || {
-                            let _ = serve_connection(stream, edge, metrics);
+                            let _ = serve_connection(stream, edge, metrics, trace);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -71,6 +80,7 @@ impl EdgeHttpServer {
             local_addr,
             edge,
             metrics,
+            trace,
             stop,
         })
     }
@@ -78,6 +88,12 @@ impl EdgeHttpServer {
     /// Where the server listens.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// This server's trace sink. Spans for traced client requests join
+    /// the *client's* trace id (received via the framing envelope).
+    pub fn trace(&self) -> TraceSink {
+        self.trace.clone()
     }
 
     /// Stop serving.
@@ -90,15 +106,36 @@ fn serve_connection(
     mut stream: TcpStream,
     edge: Arc<EdgeServer>,
     metrics: MetricsRegistry,
+    trace: TraceSink,
 ) -> Result<()> {
     let msgs_in = metrics.counter("net.edge.msgs_in");
     let msgs_out = metrics.counter("net.edge.msgs_out");
     loop {
-        let Some(msg): Option<EdgeMsg> = read_msg(&mut stream)? else {
+        let Some((msg, remote_ctx)) = read_msg_traced::<_, EdgeMsg>(&mut stream)? else {
             return Ok(());
         };
         msgs_in.incr();
+        // A stamped request records the server-side half of the exchange
+        // under the client's trace.
+        let ctx = match remote_ctx {
+            Some((t, parent)) => trace.join(t, parent),
+            None => TraceCtx::NONE,
+        };
+        let span = if ctx.sampled {
+            let name = match &msg {
+                EdgeMsg::Authorize { .. } => "authorize",
+                EdgeMsg::GetPiece { .. } => "serve_piece",
+                _ => "edge_request",
+            };
+            trace.span(ctx, name, "edge", wall_now().as_micros())
+        } else {
+            SpanId::NONE
+        };
         let resp = edge.handle(msg, wall_now());
+        if span.is_some() {
+            trace.add_attr(span, "granted", !matches!(resp, EdgeMsg::Denied { .. }));
+            trace.end_span(span, wall_now().as_micros());
+        }
         write_msg(&mut stream, &resp)?;
         msgs_out.incr();
     }
@@ -107,6 +144,7 @@ fn serve_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framing::read_msg;
     use netsession_core::id::{CpCode, Guid, ObjectId, VersionId};
     use netsession_core::policy::DownloadPolicy;
 

@@ -1,21 +1,54 @@
 //! Blocking framing over byte streams.
 //!
-//! Frames are `u32-le length` + payload, exactly as
-//! [`netsession_core::codec`] defines them; this module adds the blocking
-//! read/write halves used by the threaded live runtime.
+//! Frames are `u32-le length` + envelope, where the envelope wraps the
+//! [`netsession_core::codec`] message payload with a one-byte flags field
+//! and an optional 16-byte trace context (trace id + span id, both
+//! little-endian u64). The length counts the whole envelope, so readers
+//! that predate a given flag still skip the frame cleanly. The trace
+//! context is how a client's download trace crosses process boundaries:
+//! servers [`netsession_obs::TraceSink::join`] the received ids so their
+//! spans land in the caller's trace.
 
-use netsession_core::codec::{frame, Wire, MAX_FRAME};
+use netsession_core::codec::{Wire, MAX_FRAME};
 use netsession_core::error::{Error, Result};
+use netsession_obs::{SpanId, TraceId};
 use std::io::{Read, Write};
 
-/// Write one message as a frame.
+/// Envelope flag: the frame carries a 16-byte trace context.
+const FLAG_TRACED: u8 = 0x01;
+
+/// Envelope overhead ceiling: flags byte + trace context.
+const MAX_ENVELOPE: usize = 1 + 16;
+
+/// Write one message as a frame with no trace context.
 pub fn write_msg<W, T>(writer: &mut W, msg: &T) -> Result<()>
 where
     W: Write,
     T: Wire,
 {
+    write_msg_traced(writer, msg, None)
+}
+
+/// Write one message as a frame, stamping the sender's trace context into
+/// the envelope when given.
+pub fn write_msg_traced<W, T>(writer: &mut W, msg: &T, ctx: Option<(TraceId, SpanId)>) -> Result<()>
+where
+    W: Write,
+    T: Wire,
+{
     let payload = msg.to_payload();
-    let framed = frame(&payload);
+    let header = 1 + if ctx.is_some() { 16 } else { 0 };
+    let mut framed = Vec::with_capacity(4 + header + payload.len());
+    framed.extend_from_slice(&((header + payload.len()) as u32).to_le_bytes());
+    match ctx {
+        Some((trace, span)) => {
+            framed.push(FLAG_TRACED);
+            framed.extend_from_slice(&trace.0.to_le_bytes());
+            framed.extend_from_slice(&span.0.to_le_bytes());
+        }
+        None => framed.push(0),
+    }
+    framed.extend_from_slice(&payload);
     writer
         .write_all(&framed)
         .map_err(|e| Error::Network(format!("write: {e}")))?;
@@ -25,9 +58,21 @@ where
     Ok(())
 }
 
-/// Read one message from a frame. Returns `None` on clean EOF at a frame
-/// boundary.
+/// Read one message from a frame, discarding any trace context. Returns
+/// `None` on clean EOF at a frame boundary.
 pub fn read_msg<R, T>(reader: &mut R) -> Result<Option<T>>
+where
+    R: Read,
+    T: Wire,
+{
+    Ok(read_msg_traced(reader)?.map(|(msg, _)| msg))
+}
+
+/// Read one message from a frame together with the sender's trace context
+/// (if the sender stamped one). Returns `None` on clean EOF at a frame
+/// boundary.
+#[allow(clippy::type_complexity)]
+pub fn read_msg_traced<R, T>(reader: &mut R) -> Result<Option<(T, Option<(TraceId, SpanId)>)>>
 where
     R: Read,
     T: Wire,
@@ -39,14 +84,31 @@ where
         Err(e) => return Err(Error::Network(format!("read len: {e}"))),
     }
     let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME {
+    if len > MAX_FRAME + MAX_ENVELOPE {
         return Err(Error::Codec(format!("frame length {len} exceeds maximum")));
     }
-    let mut payload = vec![0u8; len];
+    if len == 0 {
+        return Err(Error::Codec("empty frame (missing envelope flags)".into()));
+    }
+    let mut body = vec![0u8; len];
     reader
-        .read_exact(&mut payload)
+        .read_exact(&mut body)
         .map_err(|e| Error::Network(format!("read payload: {e}")))?;
-    Ok(Some(T::from_payload(&payload)?))
+    let flags = body[0];
+    if flags & !FLAG_TRACED != 0 {
+        return Err(Error::Codec(format!("unknown envelope flags {flags:#04x}")));
+    }
+    let (ctx, payload) = if flags & FLAG_TRACED != 0 {
+        if body.len() < 1 + 16 {
+            return Err(Error::Codec("truncated trace context".into()));
+        }
+        let trace = u64::from_le_bytes(body[1..9].try_into().expect("8 bytes"));
+        let span = u64::from_le_bytes(body[9..17].try_into().expect("8 bytes"));
+        (Some((TraceId(trace), SpanId(span))), &body[17..])
+    } else {
+        (None, &body[1..])
+    };
+    Ok(Some((T::from_payload(payload)?, ctx)))
 }
 
 /// Process-wide wall clock mapped onto [`netsession_core::time::SimTime`]:
@@ -82,6 +144,28 @@ mod tests {
         write_msg(&mut a, &msg).unwrap();
         let got: Option<SwarmMsg> = read_msg(&mut b).unwrap();
         assert_eq!(got, Some(msg));
+    }
+
+    #[test]
+    fn trace_context_survives_the_wire() {
+        let (mut a, mut b) = pair();
+        let msg = SwarmMsg::Request { piece: 7 };
+        let ctx = (
+            TraceId(0x00ab_cdef_0123_4567),
+            SpanId(0x89ab_cdef_0000_0001),
+        );
+        write_msg_traced(&mut a, &msg, Some(ctx)).unwrap();
+        let (got, got_ctx) = read_msg_traced::<_, SwarmMsg>(&mut b).unwrap().unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(got_ctx, Some(ctx));
+    }
+
+    #[test]
+    fn untraced_frame_reads_as_no_context() {
+        let (mut a, mut b) = pair();
+        write_msg(&mut a, &SwarmMsg::Request { piece: 3 }).unwrap();
+        let (_, ctx) = read_msg_traced::<_, SwarmMsg>(&mut b).unwrap().unwrap();
+        assert_eq!(ctx, None);
     }
 
     #[test]

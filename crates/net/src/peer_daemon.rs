@@ -13,7 +13,7 @@
 //! coordinator multiplexes all of them over one mpsc channel with
 //! `recv_timeout` providing the overall deadline.
 
-use crate::framing::{read_msg, wall_now, write_msg};
+use crate::framing::{read_msg, read_msg_traced, wall_now, write_msg, write_msg_traced};
 use netsession_core::error::{Error, Result};
 use netsession_core::hash::{sha256, Digest};
 use netsession_core::id::{Guid, ObjectId};
@@ -22,7 +22,7 @@ use netsession_core::piece::{Manifest, PieceMap};
 use netsession_core::policy::TransferConfig;
 use netsession_core::rng::DetRng;
 use netsession_core::units::ByteCount;
-use netsession_obs::MetricsRegistry;
+use netsession_obs::{MetricsRegistry, SpanId, TraceId, TraceSink};
 use netsession_peer::governor::UploadGovernor;
 use netsession_peer::swarm::{SwarmEvent, SwarmSession};
 use std::collections::HashMap;
@@ -38,13 +38,17 @@ struct SharedObject {
     bytes: Vec<u8>,
 }
 
+/// A control-plane message plus the trace context to stamp on its frame.
+type TracedControlMsg = (ControlMsg, Option<(TraceId, SpanId)>);
+
 struct Inner {
     guid: Guid,
     store: Mutex<HashMap<ObjectId, Arc<SharedObject>>>,
     governor: Mutex<UploadGovernor>,
-    control_tx: mpsc::Sender<ControlMsg>,
+    control_tx: mpsc::Sender<TracedControlMsg>,
     pending_query: Mutex<Option<mpsc::Sender<Vec<netsession_core::msg::PeerContact>>>>,
     metrics: MetricsRegistry,
+    trace: TraceSink,
 }
 
 /// What one download achieved.
@@ -94,9 +98,15 @@ impl PeerDaemon {
             .try_clone()
             .map_err(|e| Error::Network(e.to_string()))?;
         let mut control_write = control;
-        let (control_tx, control_rx) = mpsc::channel::<ControlMsg>();
+        let (control_tx, control_rx) = mpsc::channel::<TracedControlMsg>();
 
         let metrics = MetricsRegistry::new();
+        // Every live download is traced (sample_every = 1): live runs are
+        // small, and the e2e tests assert cross-process propagation. The
+        // id prefix is guid-derived so span ids from different daemons in
+        // one deployment never collide when traces are merged.
+        let trace = TraceSink::with_id_prefix(1, 0x1000 | (guid.0 as u16 & 0x0fff));
+        trace.attach_metrics(&metrics);
         let inner = Arc::new(Inner {
             guid,
             store: Mutex::new(HashMap::new()),
@@ -107,13 +117,14 @@ impl PeerDaemon {
             control_tx: control_tx.clone(),
             pending_query: Mutex::new(None),
             metrics: metrics.clone(),
+            trace,
         });
 
         // Control writer.
         let msgs_out = metrics.counter("net.peer.control_msgs_out");
         std::thread::spawn(move || {
-            while let Ok(msg) = control_rx.recv() {
-                if write_msg(&mut control_write, &msg).is_err() {
+            while let Ok((msg, ctx)) = control_rx.recv() {
+                if write_msg_traced(&mut control_write, &msg, ctx).is_err() {
                     break;
                 }
                 msgs_out.incr();
@@ -122,17 +133,20 @@ impl PeerDaemon {
 
         // Login.
         control_tx
-            .send(ControlMsg::Login {
-                guid,
-                secondary_guids: vec![],
-                uploads_enabled,
-                software_version: 40_100,
-                nat: NatType::Open,
-                addr: PeerAddr {
-                    ip: u32::from_be_bytes([127, 0, 0, 1]),
-                    port: listen_addr.port(),
+            .send((
+                ControlMsg::Login {
+                    guid,
+                    secondary_guids: vec![],
+                    uploads_enabled,
+                    software_version: 40_100,
+                    nat: NatType::Open,
+                    addr: PeerAddr {
+                        ip: u32::from_be_bytes([127, 0, 0, 1]),
+                        port: listen_addr.port(),
+                    },
                 },
-            })
+                None,
+            ))
             .map_err(|_| Error::Network("control writer gone".into()))?;
 
         // Control reader: LoginAck, PeerList (answering queries), ReAdd.
@@ -157,7 +171,7 @@ impl PeerDaemon {
                             .collect();
                         let _ = inner_for_reader
                             .control_tx
-                            .send(ControlMsg::ReAddResponse { versions });
+                            .send((ControlMsg::ReAddResponse { versions }, None));
                     }
                     // LoginAck / ConnectTo(passive) / ConfigUpdate need no
                     // action in this loopback deployment: the active side
@@ -216,20 +230,35 @@ impl PeerDaemon {
         self.inner.metrics.clone()
     }
 
+    /// This daemon's trace sink (handles are shared; clones see the same
+    /// spans).
+    pub fn trace(&self) -> TraceSink {
+        self.inner.trace.clone()
+    }
+
     /// Download an object end-to-end: edge authorization, control-plane
     /// peer query, parallel edge + swarm fetch, verification, assembly,
     /// registration, and usage reporting.
     pub fn download(&self, object: ObjectId) -> Result<DownloadReport> {
         let metrics = &self.inner.metrics;
-        // 1. Authorize with the edge.
+        let trace = &self.inner.trace;
+        let ctx = trace.start_trace("download", "client", wall_now().as_micros());
+        // GUIDs can exceed 2^53: export them as hex strings so an f64
+        // JSON parser round-trips them exactly.
+        trace.add_attr(ctx.span, "guid", format!("{:016x}", self.guid.0 as u64));
+        trace.add_attr(ctx.span, "object", object.0);
+        // 1. Authorize with the edge. The frame carries (trace, span) so
+        // the edge server's own spans join this download's trace.
         let mut edge = TcpStream::connect(self.edge_addr)
             .map_err(|e| Error::Network(format!("edge connect: {e}")))?;
-        write_msg(
+        let auth_span = trace.span(ctx, "authorize", "edge", wall_now().as_micros());
+        write_msg_traced(
             &mut edge,
             &EdgeMsg::Authorize {
                 guid: self.guid,
                 version: netsession_core::id::VersionId { object, version: 1 },
             },
+            Some((ctx.trace, auth_span)),
         )?;
         let resp: EdgeMsg =
             read_msg(&mut edge)?.ok_or_else(|| Error::Network("edge closed".into()))?;
@@ -238,9 +267,17 @@ impl PeerDaemon {
                 token,
                 policy,
                 manifest,
-            } => (token, policy, manifest),
+            } => {
+                trace.add_attr(auth_span, "granted", true);
+                trace.end_span(auth_span, wall_now().as_micros());
+                (token, policy, manifest)
+            }
             EdgeMsg::Denied { reason } => {
                 metrics.counter("net.peer.downloads_denied").incr();
+                trace.add_attr(auth_span, "granted", false);
+                trace.end_span(auth_span, wall_now().as_micros());
+                trace.add_attr(ctx.span, "outcome", "denied");
+                trace.end_span(ctx.span, wall_now().as_micros());
                 return Err(Error::PolicyDenied(reason));
             }
             other => return Err(Error::Network(format!("unexpected {other:?}"))),
@@ -252,17 +289,27 @@ impl PeerDaemon {
         let contacts = if policy.p2p_enabled {
             let (tx, rx) = mpsc::channel();
             *self.inner.pending_query.lock().unwrap() = Some(tx);
+            let qspan = trace.span(ctx, "query_peers", "control", wall_now().as_micros());
             self.inner
                 .control_tx
-                .send(ControlMsg::QueryPeers {
-                    token,
-                    max_peers: 8,
-                })
+                .send((
+                    ControlMsg::QueryPeers {
+                        token,
+                        max_peers: 8,
+                    },
+                    Some((ctx.trace, qspan)),
+                ))
                 .map_err(|_| Error::Network("control writer gone".into()))?;
             match rx.recv_timeout(Duration::from_secs(3)) {
-                Ok(peers) => peers,
+                Ok(peers) => {
+                    trace.add_attr(qspan, "offered", peers.len() as u64);
+                    trace.end_span(qspan, wall_now().as_micros());
+                    peers
+                }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
-                    return Err(Error::Network("peer query timeout".into()))
+                    trace.add_attr(qspan, "error", "timeout");
+                    trace.end_span(qspan, wall_now().as_micros());
+                    return Err(Error::Network("peer query timeout".into()));
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => Vec::new(),
             }
@@ -292,8 +339,17 @@ impl PeerDaemon {
             let my_guid = self.guid;
             let remote_guid = contact.guid;
             metrics.counter("net.peer.swarm_connections_out").incr();
+            let attempt = trace.instant(ctx, "connect_attempt", "peer", wall_now().as_micros());
+            trace.add_attr(
+                attempt,
+                "src_guid",
+                format!("{:016x}", remote_guid.0 as u64),
+            );
+            let thread_trace = trace.clone();
+            let trace_ids = Some((ctx.trace, attempt)).filter(|_| ctx.sampled);
             std::thread::spawn(move || {
                 let Ok(stream) = TcpStream::connect(addr) else {
+                    thread_trace.add_attr(attempt, "result", "connect_failed");
                     let _ = ev_tx.send(Ev::Left(remote_guid));
                     return;
                 };
@@ -303,27 +359,31 @@ impl PeerDaemon {
                 let mut r = match stream.try_clone() {
                     Ok(r) => r,
                     Err(_) => {
+                        thread_trace.add_attr(attempt, "result", "connect_failed");
                         let _ = ev_tx.send(Ev::Left(remote_guid));
                         return;
                     }
                 };
                 let mut w = stream;
-                if write_msg(
+                if write_msg_traced(
                     &mut w,
                     &SwarmMsg::Handshake {
                         guid: my_guid,
                         token,
                         version,
                     },
+                    trace_ids,
                 )
                 .is_err()
                 {
+                    thread_trace.add_attr(attempt, "result", "handshake_failed");
                     let _ = ev_tx.send(Ev::Left(remote_guid));
                     return;
                 }
                 // Expect their handshake + have-map.
                 let hs: Option<SwarmMsg> = read_msg(&mut r).ok().flatten();
                 if !matches!(hs, Some(SwarmMsg::Handshake { .. })) {
+                    thread_trace.add_attr(attempt, "result", "handshake_failed");
                     let _ = ev_tx.send(Ev::Left(remote_guid));
                     return;
                 }
@@ -331,15 +391,18 @@ impl PeerDaemon {
                     Ok(Some(SwarmMsg::HaveMap { pieces, words })) => {
                         match SwarmMsg::decode_have_map(pieces, &words) {
                             Ok(map) => {
+                                thread_trace.add_attr(attempt, "result", "connected");
                                 let _ = ev_tx.send(Ev::Joined(remote_guid, map));
                             }
                             Err(_) => {
+                                thread_trace.add_attr(attempt, "result", "bad_have_map");
                                 let _ = ev_tx.send(Ev::Left(remote_guid));
                                 return;
                             }
                         }
                     }
                     _ => {
+                        thread_trace.add_attr(attempt, "result", "handshake_failed");
                         let _ = ev_tx.send(Ev::Left(remote_guid));
                         return;
                     }
@@ -440,12 +503,16 @@ impl PeerDaemon {
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if Instant::now() >= deadline {
                         metrics.counter("net.peer.downloads_failed").incr();
+                        trace.add_attr(ctx.span, "outcome", "failed");
+                        trace.end_span(ctx.span, wall_now().as_micros());
                         return Err(Error::Network("download timed out or stalled".into()));
                     }
                     continue;
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
                     metrics.counter("net.peer.downloads_failed").incr();
+                    trace.add_attr(ctx.span, "outcome", "failed");
+                    trace.end_span(ctx.span, wall_now().as_micros());
                     return Err(Error::Network("download timed out or stalled".into()));
                 }
             };
@@ -528,21 +595,27 @@ impl PeerDaemon {
                 > netsession_core::units::Bandwidth::ZERO
         };
         if uploads_enabled && policy.upload_allowed {
-            let _ = self.inner.control_tx.send(ControlMsg::RegisterContent {
-                version,
-                fraction: 1.0,
-            });
+            let _ = self.inner.control_tx.send((
+                ControlMsg::RegisterContent {
+                    version,
+                    fraction: 1.0,
+                },
+                None,
+            ));
         }
-        let _ = self.inner.control_tx.send(ControlMsg::UsageReport {
-            records: vec![netsession_core::msg::UsageRecord {
-                guid: self.guid,
-                version,
-                started: wall_now(),
-                ended: wall_now(),
-                bytes_from_infrastructure: ByteCount(bytes_from_edge),
-                bytes_from_peers: ByteCount(bytes_from_peers),
-            }],
-        });
+        let _ = self.inner.control_tx.send((
+            ControlMsg::UsageReport {
+                records: vec![netsession_core::msg::UsageRecord {
+                    guid: self.guid,
+                    version,
+                    started: wall_now(),
+                    ended: wall_now(),
+                    bytes_from_infrastructure: ByteCount(bytes_from_edge),
+                    bytes_from_peers: ByteCount(bytes_from_peers),
+                }],
+            },
+            None,
+        ));
         metrics.counter("net.peer.downloads_completed").incr();
         metrics
             .counter("net.peer.bytes_from_edge")
@@ -550,6 +623,11 @@ impl PeerDaemon {
         metrics
             .counter("net.peer.bytes_from_peers")
             .add(bytes_from_peers);
+        trace.add_attr(ctx.span, "outcome", "completed");
+        trace.add_attr(ctx.span, "bytes_edge", bytes_from_edge);
+        trace.add_attr(ctx.span, "bytes_peers", bytes_from_peers);
+        trace.add_attr(ctx.span, "peer_sources", contributors.len() as u64);
+        trace.end_span(ctx.span, wall_now().as_micros());
 
         Ok(DownloadReport {
             bytes_from_edge,
@@ -561,32 +639,48 @@ impl PeerDaemon {
 
     /// Shut the daemon down.
     pub fn shutdown(self) {
-        let _ = self.inner.control_tx.send(ControlMsg::Logout);
+        let _ = self.inner.control_tx.send((ControlMsg::Logout, None));
         self.stop.store(true, Ordering::Relaxed);
     }
 }
 
-/// Serve one inbound swarm connection (the upload side).
+/// Serve one inbound swarm connection (the upload side). When the
+/// downloader stamped its trace context on the handshake frame, this
+/// uploader's `serve_upload` span joins the *downloader's* trace.
 fn serve_upload(stream: TcpStream, inner: Arc<Inner>) -> Result<()> {
     let mut r = stream
         .try_clone()
         .map_err(|e| Error::Network(e.to_string()))?;
     let mut w = stream;
-    let Some(SwarmMsg::Handshake {
-        guid,
-        token,
-        version,
-    }) = read_msg(&mut r)?
+    let Some((
+        SwarmMsg::Handshake {
+            guid,
+            token,
+            version,
+        },
+        remote_ctx,
+    )) = read_msg_traced(&mut r)?
     else {
         return Ok(());
     };
+    let trace = &inner.trace;
+    let ctx = match remote_ctx {
+        Some((t, parent)) => trace.join(t, parent),
+        None => netsession_obs::TraceCtx::NONE,
+    };
+    let span = trace.span(ctx, "serve_upload", "peer", wall_now().as_micros());
+    trace.add_attr(span, "downloader_guid", format!("{:016x}", guid.0 as u64));
     let object = version.object;
     let shared = inner.store.lock().unwrap().get(&object).cloned();
     let Some(shared) = shared else {
+        trace.add_attr(span, "result", "not_cached");
+        trace.end_span(span, wall_now().as_micros());
         let _ = write_msg(&mut w, &SwarmMsg::Goodbye);
         return Ok(());
     };
     if shared.manifest.version != version {
+        trace.add_attr(span, "result", "stale_version");
+        trace.end_span(span, wall_now().as_micros());
         let _ = write_msg(&mut w, &SwarmMsg::Goodbye);
         return Ok(());
     }
@@ -598,10 +692,13 @@ fn serve_upload(stream: TcpStream, inner: Arc<Inner>) -> Result<()> {
         .try_start(guid, object, None)
         .is_err()
     {
+        trace.add_attr(span, "result", "governor_busy");
+        trace.end_span(span, wall_now().as_micros());
         let _ = write_msg(&mut w, &SwarmMsg::Busy);
         return Ok(());
     }
 
+    let mut bytes_served = 0u64;
     let result = (|| {
         // Our half of the handshake + our have-map (we are a seeder).
         write_msg(
@@ -623,6 +720,7 @@ fn serve_upload(stream: TcpStream, inner: Arc<Inner>) -> Result<()> {
                     let data = shared.bytes[start..start + len].to_vec();
                     let digest = shared.manifest.piece_hashes[piece as usize];
                     served.add(data.len() as u64);
+                    bytes_served += data.len() as u64;
                     write_msg(
                         &mut w,
                         &SwarmMsg::Piece {
@@ -639,5 +737,8 @@ fn serve_upload(stream: TcpStream, inner: Arc<Inner>) -> Result<()> {
         Ok::<(), Error>(())
     })();
     inner.governor.lock().unwrap().finish(guid, object, true);
+    trace.add_attr(span, "result", "served");
+    trace.add_attr(span, "bytes", bytes_served);
+    trace.end_span(span, wall_now().as_micros());
     result
 }

@@ -92,6 +92,75 @@ fn first_peer_downloads_from_edge_then_seeds_others() {
 }
 
 #[test]
+fn trace_context_propagates_across_processes() {
+    let d = deploy(true);
+
+    // Seed peer 1 from the edge, then let peer 2 download from the swarm.
+    let p1 =
+        PeerDaemon::start(d.control.local_addr(), d.edge.local_addr(), Guid(41), true).unwrap();
+    p1.download(ObjectId(1)).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let p2 =
+        PeerDaemon::start(d.control.local_addr(), d.edge.local_addr(), Guid(42), true).unwrap();
+    let r2 = p2.download(ObjectId(1)).unwrap();
+    assert!(r2.bytes_from_peers > 0, "p2 must use the swarm");
+
+    // p2's root download span defines the trace id every other process
+    // should have joined via the framing envelope.
+    let p2_spans = p2.trace().spans();
+    let root = p2_spans
+        .iter()
+        .find(|s| s.name == "download")
+        .expect("client records a root span");
+    let trace_id = root.trace;
+
+    // Control server: the query_peers span joined p2's trace.
+    let control_spans = d.control.trace().spans();
+    assert!(
+        control_spans
+            .iter()
+            .any(|s| s.trace == trace_id && s.name == "query_peers"),
+        "control-plane span must join the client's trace: {control_spans:?}"
+    );
+
+    // Edge server: the authorize span joined p2's trace.
+    let edge_spans = d.edge.trace().spans();
+    assert!(
+        edge_spans
+            .iter()
+            .any(|s| s.trace == trace_id && s.name == "authorize"),
+        "edge span must join the client's trace: {edge_spans:?}"
+    );
+
+    // Uploading peer: serve_upload joined p2's trace.
+    let p1_spans = p1.trace().spans();
+    assert!(
+        p1_spans
+            .iter()
+            .any(|s| s.trace == trace_id && s.name == "serve_upload"),
+        "uploader span must join the downloader's trace: {p1_spans:?}"
+    );
+
+    // Span ids from different processes never collide (distinct prefixes).
+    let mut all_ids: Vec<u64> = Vec::new();
+    for s in p2_spans
+        .iter()
+        .chain(&control_spans)
+        .chain(&edge_spans)
+        .chain(&p1_spans)
+    {
+        all_ids.push(s.id.0);
+    }
+    let distinct: std::collections::HashSet<u64> = all_ids.iter().copied().collect();
+    assert_eq!(distinct.len(), all_ids.len(), "span ids must be unique");
+
+    p1.shutdown();
+    p2.shutdown();
+    d.control.shutdown();
+    d.edge.shutdown();
+}
+
+#[test]
 fn infra_only_object_never_touches_peers() {
     let d = deploy(false);
     let p1 =

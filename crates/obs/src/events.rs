@@ -22,14 +22,23 @@ struct RingInner {
     /// Oldest-first buffer plus count of events dropped off the front.
     buf: VecDeque<Event>,
     dropped: u64,
-    capacity: usize,
 }
 
 /// A bounded ring of [`Event`]s: pushing beyond capacity drops the
 /// oldest entries (and counts them), so long runs keep the tail of their
 /// event history at a fixed memory cost.
+///
+/// Capacity 0 disables the ring entirely: [`EventRing::accepts`] returns
+/// `false` and pushes are discarded without locking, which lets callers
+/// skip building detail strings (see
+/// [`crate::MetricsRegistry::record_event_with`]).
 #[derive(Clone)]
-pub struct EventRing(Arc<Mutex<RingInner>>);
+pub struct EventRing {
+    /// Fixed at construction; kept outside the mutex so `accepts` is a
+    /// plain read.
+    capacity: usize,
+    inner: Arc<Mutex<RingInner>>,
+}
 
 /// Default event capacity; enough for the interesting tail of a month
 /// simulation without holding the whole log.
@@ -42,19 +51,36 @@ impl Default for EventRing {
 }
 
 impl EventRing {
-    /// A ring holding at most `capacity` events.
+    /// A ring holding at most `capacity` events (0 = disabled).
     pub fn with_capacity(capacity: usize) -> EventRing {
-        EventRing(Arc::new(Mutex::new(RingInner {
-            buf: VecDeque::with_capacity(capacity.min(DEFAULT_EVENT_CAPACITY)),
-            dropped: 0,
-            capacity: capacity.max(1),
-        })))
+        EventRing {
+            capacity,
+            inner: Arc::new(Mutex::new(RingInner {
+                buf: VecDeque::with_capacity(capacity.min(DEFAULT_EVENT_CAPACITY)),
+                dropped: 0,
+            })),
+        }
     }
 
-    /// Append an event, evicting the oldest when full.
+    /// Whether pushed events are kept at all. `false` only for a
+    /// zero-capacity (disabled) ring.
+    pub fn accepts(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The fixed capacity this ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an event, evicting the oldest when full. Discards the
+    /// event when the ring is disabled.
     pub fn push(&self, event: Event) {
-        let mut inner = self.0.lock().unwrap();
-        if inner.buf.len() == inner.capacity {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner.buf.len() == self.capacity {
             inner.buf.pop_front();
             inner.dropped += 1;
         }
@@ -63,17 +89,17 @@ impl EventRing {
 
     /// Events currently buffered, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.0.lock().unwrap().buf.iter().cloned().collect()
+        self.inner.lock().unwrap().buf.iter().cloned().collect()
     }
 
     /// Events evicted so far.
     pub fn dropped(&self) -> u64 {
-        self.0.lock().unwrap().dropped
+        self.inner.lock().unwrap().dropped
     }
 
     /// Number of events currently buffered.
     pub fn len(&self) -> usize {
-        self.0.lock().unwrap().buf.len()
+        self.inner.lock().unwrap().buf.len()
     }
 
     /// Whether no events are buffered.
@@ -109,6 +135,17 @@ mod tests {
     #[test]
     fn empty_ring() {
         let ring = EventRing::default();
+        assert!(ring.is_empty());
+        assert!(ring.accepts());
+        assert_eq!(ring.capacity(), DEFAULT_EVENT_CAPACITY);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let ring = EventRing::with_capacity(0);
+        assert!(!ring.accepts());
+        ring.push(ev(1));
         assert!(ring.is_empty());
         assert_eq!(ring.dropped(), 0);
     }

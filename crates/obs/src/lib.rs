@@ -14,7 +14,13 @@
 //! - a bounded structured-event ring ([`Event`], via
 //!   [`MetricsRegistry::record_event`]);
 //! - a deterministic JSON snapshot exporter
-//!   ([`MetricsRegistry::snapshot_json`]).
+//!   ([`MetricsRegistry::snapshot_json`]);
+//! - a causal trace layer ([`TraceSink`]: [`TraceId`]/[`SpanId`] spans
+//!   with parent links and typed attributes, deterministic 1-in-N trace
+//!   sampling, and a Chrome-trace/Perfetto JSON exporter) for
+//!   per-download lifecycle stories;
+//! - a minimal JSON reader ([`json::parse`]) so tools can load those
+//!   artifacts back without external crates.
 //!
 //! ## Passive by construction
 //!
@@ -75,9 +81,11 @@
 
 mod events;
 mod instruments;
-mod json;
+pub mod json;
 mod registry;
+mod trace;
 
-pub use events::{Event, EventRing};
+pub use events::{Event, EventRing, DEFAULT_EVENT_CAPACITY};
 pub use instruments::{Counter, Gauge, Histogram};
 pub use registry::MetricsRegistry;
+pub use trace::{AttrValue, Span, SpanId, TraceCtx, TraceId, TraceSink};

@@ -1,0 +1,631 @@
+//! Causal download-lifecycle tracing.
+//!
+//! The paper reconstructs *per-download stories* from raw logs: which
+//! sources the control plane offered, whether NAT traversal succeeded,
+//! when the edge backstop kicked in, and how the bytes split between
+//! peers and infrastructure (§3–§5). Aggregate counters cannot answer
+//! "why did *this* download fall back to the edge?", so this module adds
+//! spans — named, categorised intervals with parent links, typed
+//! attributes, and trace-scoped IDs — alongside the metrics.
+//!
+//! The design mirrors the metrics layer's rules:
+//!
+//! - **Passive by construction.** A [`TraceSink`] is either *detached*
+//!   (every call is a no-op returning null IDs) or enabled; nothing in
+//!   instrumented code branches on which, so tracing cannot change the
+//!   behaviour of a same-seed simulation.
+//! - **Deterministic.** Simulated components stamp spans with virtual
+//!   sim time and draw IDs from a monotone per-sink counter, so two
+//!   same-seed runs export byte-identical traces. The live runtime
+//!   stamps wall-clock micros instead; such traces are inherently
+//!   volatile and are excluded from determinism gates.
+//! - **Sampled.** Tracing every download of a month-long run would dwarf
+//!   the experiment output, so [`TraceSink::start_trace`] samples 1-in-N
+//!   deterministically (the trace *counter* still advances for unsampled
+//!   downloads, keeping IDs stable under different sampling rates).
+//!
+//! The exporter ([`TraceSink::export_chrome_json`]) writes the Chrome
+//! trace-event JSON flavour that `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) load directly: one process row per
+//! span category (control / edge / hybrid / peer / sim), one thread row
+//! per trace, complete (`"ph": "X"`) events with micros timestamps.
+
+use crate::json::push_str_literal;
+use crate::registry::MetricsRegistry;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// Identifies one causal story (in this repo: one download). The high 16
+/// bits carry the sink's process prefix so traces that cross process
+/// boundaries in the live runtime never collide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within a sink. `SpanId(0)` is the null span:
+/// ending it, attributing it, or parenting under it are all no-ops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl TraceId {
+    /// The null trace (unsampled or detached contexts carry it).
+    pub const NONE: TraceId = TraceId(0);
+}
+
+impl SpanId {
+    /// The null span.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is a real, recorded span.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// A typed attribute value. There is deliberately no float variant:
+/// attributes feed byte-identical exports and float formatting is a
+/// determinism hazard; callers scale to integer units instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttrValue {
+    /// Unsigned integer (bytes, counts, micros).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short label; prefer `'static` labels over formatted strings on hot
+    /// paths.
+    Str(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> AttrValue {
+        AttrValue::U64(v)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> AttrValue {
+        AttrValue::I64(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> AttrValue {
+        AttrValue::Str(v)
+    }
+}
+
+/// One recorded span.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's ID.
+    pub id: SpanId,
+    /// Parent span within the same trace (`None` for roots and for spans
+    /// whose parent lives in another process).
+    pub parent: Option<SpanId>,
+    /// Span name, e.g. `"download"` or `"connect_attempt"`.
+    pub name: &'static str,
+    /// Layer category, e.g. `"hybrid"`, `"control"`, `"edge"`, `"peer"`,
+    /// `"sim"`. Categories become process rows in Perfetto.
+    pub cat: &'static str,
+    /// Start timestamp in micros (virtual sim time, or wall micros in the
+    /// live runtime).
+    pub start_us: u64,
+    /// End timestamp; `None` while the span is open. Instant spans end at
+    /// their start.
+    pub end_us: Option<u64>,
+    /// Ordered key/value attributes.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// The trace context threaded through a call chain: which trace we are
+/// in, the current parent span, and whether the trace is sampled.
+/// `Copy`, 24 bytes — cheap to pass everywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace ID (null when unsampled/detached).
+    pub trace: TraceId,
+    /// Current span, used as parent for children.
+    pub span: SpanId,
+    /// Whether spans should be recorded for this context.
+    pub sampled: bool,
+}
+
+impl TraceCtx {
+    /// The null context: nothing is recorded under it.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace: TraceId::NONE,
+        span: SpanId::NONE,
+        sampled: false,
+    };
+
+    /// The same trace with `span` as the new parent.
+    pub fn child(self, span: SpanId) -> TraceCtx {
+        TraceCtx { span, ..self }
+    }
+}
+
+/// Spans are dropped (and counted) past this bound so a runaway producer
+/// cannot exhaust memory; the exporter reports the drop count.
+const MAX_SPANS: usize = 1 << 20;
+
+struct SinkState {
+    spans: Vec<Span>,
+    /// Span ID → index into `spans`, for `end_span`/`add_attr`.
+    open: HashMap<u64, usize>,
+    next_span: u64,
+    traces_started: u64,
+    dropped: u64,
+    metrics: Option<MetricsRegistry>,
+}
+
+struct SinkShared {
+    /// Record every Nth trace (1 = all).
+    sample_every: u64,
+    /// Process prefix planted in the high 16 bits of generated IDs.
+    id_prefix: u64,
+    state: Mutex<SinkState>,
+}
+
+/// A collector of [`Span`]s with deterministic IDs, 1-in-N trace
+/// sampling, and a Chrome-trace/Perfetto JSON exporter.
+///
+/// Cloning shares the underlying store (same contract as
+/// [`MetricsRegistry`]). The detached sink records nothing and costs a
+/// null check per call.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    shared: Option<Arc<SinkShared>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.shared {
+            None => f.write_str("TraceSink(detached)"),
+            Some(s) => {
+                let st = s.state.lock().unwrap();
+                f.debug_struct("TraceSink")
+                    .field("sample_every", &s.sample_every)
+                    .field("spans", &st.spans.len())
+                    .field("traces_started", &st.traces_started)
+                    .finish()
+            }
+        }
+    }
+}
+
+impl TraceSink {
+    /// The no-op sink every component holds by default.
+    pub fn detached() -> TraceSink {
+        TraceSink { shared: None }
+    }
+
+    /// An enabled sink sampling one trace in `sample_every` (clamped to
+    /// ≥ 1).
+    pub fn new(sample_every: u64) -> TraceSink {
+        TraceSink {
+            shared: Some(Arc::new(SinkShared {
+                sample_every: sample_every.max(1),
+                id_prefix: 0,
+                state: Mutex::new(SinkState {
+                    spans: Vec::new(),
+                    open: HashMap::new(),
+                    next_span: 0,
+                    traces_started: 0,
+                    dropped: 0,
+                    metrics: None,
+                }),
+            })),
+        }
+    }
+
+    /// Like [`TraceSink::new`] but planting `prefix` in the high 16 bits
+    /// of every generated trace/span ID. Live-runtime processes use
+    /// distinct prefixes so IDs stay unique across a deployment.
+    pub fn with_id_prefix(sample_every: u64, prefix: u16) -> TraceSink {
+        let mut sink = TraceSink::new(sample_every);
+        if let Some(shared) = sink.shared.take() {
+            // The sink was just created, so the Arc is unique.
+            let Ok(mut shared) = Arc::try_unwrap(shared) else {
+                unreachable!("fresh sink is unique");
+            };
+            shared.id_prefix = (prefix as u64) << 48;
+            sink.shared = Some(Arc::new(shared));
+        }
+        sink
+    }
+
+    /// Whether this sink records anything at all.
+    pub fn enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Mirror span recording into `metrics`: each recorded span bumps
+    /// `trace.spans.<cat>`, and traces bump `trace.started` /
+    /// `trace.sampled`. This is what puts per-layer span counts into the
+    /// metrics sidecars.
+    pub fn attach_metrics(&self, metrics: &MetricsRegistry) {
+        if let Some(shared) = &self.shared {
+            shared.state.lock().unwrap().metrics = Some(metrics.clone());
+        }
+    }
+
+    /// Begin a new trace with a root span `name` in `cat` at `start_us`.
+    /// Deterministically samples 1-in-`sample_every`: unsampled traces
+    /// still advance the trace counter but record nothing and return an
+    /// unsampled context.
+    pub fn start_trace(&self, name: &'static str, cat: &'static str, start_us: u64) -> TraceCtx {
+        let Some(shared) = &self.shared else {
+            return TraceCtx::NONE;
+        };
+        let mut st = shared.state.lock().unwrap();
+        st.traces_started += 1;
+        let n = st.traces_started;
+        if let Some(m) = &st.metrics {
+            m.counter("trace.started").incr();
+        }
+        if (n - 1) % shared.sample_every != 0 {
+            return TraceCtx::NONE;
+        }
+        if let Some(m) = &st.metrics {
+            m.counter("trace.sampled").incr();
+        }
+        let trace = TraceId(shared.id_prefix | n);
+        let ctx = TraceCtx {
+            trace,
+            span: SpanId::NONE,
+            sampled: true,
+        };
+        let root = record_span(shared, &mut st, ctx, name, cat, start_us);
+        ctx.child(root)
+    }
+
+    /// Adopt a trace/span pair received from another process (live
+    /// runtime: the framing header carries them). The returned context is
+    /// sampled — the sender only propagates sampled traces — and new
+    /// spans parent under the *remote* span ID.
+    pub fn join(&self, trace: TraceId, parent: SpanId) -> TraceCtx {
+        if self.shared.is_none() || trace == TraceId::NONE {
+            return TraceCtx::NONE;
+        }
+        TraceCtx {
+            trace,
+            span: parent,
+            sampled: true,
+        }
+    }
+
+    /// Open a child span under `ctx`. Returns [`SpanId::NONE`] (a no-op
+    /// handle) for unsampled contexts.
+    pub fn span(
+        &self,
+        ctx: TraceCtx,
+        name: &'static str,
+        cat: &'static str,
+        start_us: u64,
+    ) -> SpanId {
+        let Some(shared) = &self.shared else {
+            return SpanId::NONE;
+        };
+        if !ctx.sampled {
+            return SpanId::NONE;
+        }
+        let mut st = shared.state.lock().unwrap();
+        record_span(shared, &mut st, ctx, name, cat, start_us)
+    }
+
+    /// A zero-duration marker span under `ctx`.
+    pub fn instant(
+        &self,
+        ctx: TraceCtx,
+        name: &'static str,
+        cat: &'static str,
+        t_us: u64,
+    ) -> SpanId {
+        let id = self.span(ctx, name, cat, t_us);
+        self.end_span(id, t_us);
+        id
+    }
+
+    /// Close `span` at `end_us`. No-op for the null span or an already
+    /// closed one.
+    pub fn end_span(&self, span: SpanId, end_us: u64) {
+        let Some(shared) = &self.shared else { return };
+        if !span.is_some() {
+            return;
+        }
+        let mut st = shared.state.lock().unwrap();
+        if let Some(&idx) = st.open.get(&span.0) {
+            let s = &mut st.spans[idx];
+            if s.end_us.is_none() {
+                s.end_us = Some(end_us.max(s.start_us));
+            }
+        }
+    }
+
+    /// Attach `key = value` to an open or closed span.
+    pub fn add_attr(&self, span: SpanId, key: &'static str, value: impl Into<AttrValue>) {
+        let Some(shared) = &self.shared else { return };
+        if !span.is_some() {
+            return;
+        }
+        let mut st = shared.state.lock().unwrap();
+        if let Some(&idx) = st.open.get(&span.0) {
+            st.spans[idx].attrs.push((key, value.into()));
+        }
+    }
+
+    /// Number of traces begun (sampled or not).
+    pub fn traces_started(&self) -> u64 {
+        match &self.shared {
+            None => 0,
+            Some(s) => s.state.lock().unwrap().traces_started,
+        }
+    }
+
+    /// Snapshot of all recorded spans, in recording order.
+    pub fn spans(&self) -> Vec<Span> {
+        match &self.shared {
+            None => Vec::new(),
+            Some(s) => s.state.lock().unwrap().spans.clone(),
+        }
+    }
+
+    /// Recorded span counts per category — the per-layer summary the
+    /// sidecars carry.
+    pub fn span_counts_by_cat(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
+        if let Some(s) = &self.shared {
+            for span in &s.state.lock().unwrap().spans {
+                *counts.entry(span.cat).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Export every recorded span as Chrome trace-event JSON (loadable in
+    /// Perfetto / `chrome://tracing`). Deterministic: spans appear in
+    /// recording order, categories map to process rows in sorted order,
+    /// and each trace gets its own thread row. Open spans export with
+    /// zero duration and `"unfinished": true`.
+    pub fn export_chrome_json(&self) -> String {
+        let (spans, dropped) = match &self.shared {
+            None => (Vec::new(), 0),
+            Some(s) => {
+                let st = s.state.lock().unwrap();
+                (st.spans.clone(), st.dropped)
+            }
+        };
+
+        // Category → process ID, in sorted-category order.
+        let mut cats: Vec<&'static str> = spans.iter().map(|s| s.cat).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        let pid_of: BTreeMap<&'static str, u64> = cats
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (*c, i as u64 + 1))
+            .collect();
+
+        let mut out = String::with_capacity(256 + spans.len() * 160);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"droppedSpans\":");
+        out.push_str(&dropped.to_string());
+        out.push_str(",\"traceEvents\":[");
+        let mut first = true;
+        for cat in &cats {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":",
+                pid_of[cat]
+            ));
+            push_str_literal(&mut out, cat);
+            out.push_str("}}");
+        }
+        for s in &spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let dur = s.end_us.map(|e| e - s.start_us).unwrap_or(0);
+            // Thread row = trace counter (prefix stripped): each download
+            // gets its own lane inside the layer's process row.
+            let tid = s.trace.0 & 0xffff_ffff_ffff;
+            out.push_str(&format!(
+                "\n{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":",
+                pid_of[s.cat], tid, s.start_us, dur
+            ));
+            push_str_literal(&mut out, s.name);
+            out.push_str(",\"cat\":");
+            push_str_literal(&mut out, s.cat);
+            out.push_str(&format!(",\"args\":{{\"trace\":\"{:016x}\"", s.trace.0));
+            out.push_str(&format!(",\"span\":\"{:016x}\"", s.id.0));
+            if let Some(p) = s.parent {
+                out.push_str(&format!(",\"parent\":\"{:016x}\"", p.0));
+            }
+            if s.end_us.is_none() {
+                out.push_str(",\"unfinished\":true");
+            }
+            for (k, v) in &s.attrs {
+                out.push(',');
+                push_str_literal(&mut out, k);
+                out.push(':');
+                match v {
+                    AttrValue::U64(n) => out.push_str(&n.to_string()),
+                    AttrValue::I64(n) => out.push_str(&n.to_string()),
+                    AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                    AttrValue::Str(t) => push_str_literal(&mut out, t),
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Record one span (caller holds the state lock).
+fn record_span(
+    shared: &SinkShared,
+    st: &mut SinkState,
+    ctx: TraceCtx,
+    name: &'static str,
+    cat: &'static str,
+    start_us: u64,
+) -> SpanId {
+    if st.spans.len() >= MAX_SPANS {
+        st.dropped += 1;
+        return SpanId::NONE;
+    }
+    st.next_span += 1;
+    let id = SpanId(shared.id_prefix | st.next_span);
+    let parent = if ctx.span.is_some() {
+        Some(ctx.span)
+    } else {
+        None
+    };
+    if let Some(m) = &st.metrics {
+        m.counter(&format!("trace.spans.{cat}")).incr();
+    }
+    st.open.insert(id.0, st.spans.len());
+    st.spans.push(Span {
+        trace: ctx.trace,
+        id,
+        parent,
+        name,
+        cat,
+        start_us,
+        end_us: None,
+        attrs: Vec::new(),
+    });
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_sink_is_inert() {
+        let sink = TraceSink::detached();
+        let ctx = sink.start_trace("download", "hybrid", 10);
+        assert_eq!(ctx, TraceCtx::NONE);
+        let span = sink.span(ctx, "child", "peer", 11);
+        assert!(!span.is_some());
+        sink.end_span(span, 12);
+        sink.add_attr(span, "bytes", 4u64);
+        assert!(sink.spans().is_empty());
+        assert_eq!(sink.traces_started(), 0);
+        assert!(sink.export_chrome_json().contains("\"traceEvents\":["));
+    }
+
+    #[test]
+    fn sampling_records_one_in_n() {
+        let sink = TraceSink::new(3);
+        let sampled: Vec<bool> = (0..7)
+            .map(|i| sink.start_trace("t", "hybrid", i).sampled)
+            .collect();
+        assert_eq!(sampled, [true, false, false, true, false, false, true]);
+        assert_eq!(sink.traces_started(), 7);
+        // Three roots recorded.
+        assert_eq!(sink.spans().len(), 3);
+    }
+
+    #[test]
+    fn spans_nest_and_close() {
+        let sink = TraceSink::new(1);
+        let root = sink.start_trace("download", "hybrid", 100);
+        let q = sink.span(root, "query_peers", "control", 110);
+        sink.add_attr(q, "offered", 5u64);
+        sink.end_span(q, 150);
+        sink.end_span(root.span, 400);
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "download");
+        assert_eq!(spans[0].end_us, Some(400));
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+        assert_eq!(spans[1].attrs, vec![("offered", AttrValue::U64(5))]);
+        assert_eq!(spans[1].end_us, Some(150));
+    }
+
+    #[test]
+    fn same_calls_export_identical_json() {
+        let run = || {
+            let sink = TraceSink::new(2);
+            for i in 0..4u64 {
+                let ctx = sink.start_trace("download", "hybrid", i * 1000);
+                let c = sink.span(ctx, "connect_attempt", "peer", i * 1000 + 5);
+                sink.add_attr(c, "nat", "direct");
+                sink.end_span(c, i * 1000 + 9);
+                sink.instant(ctx, "edge_fallback", "edge", i * 1000 + 10);
+                sink.end_span(ctx.span, i * 1000 + 500);
+            }
+            sink.export_chrome_json()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.contains("\"process_name\""));
+        assert!(a.contains("\"edge_fallback\""));
+    }
+
+    #[test]
+    fn id_prefix_lands_in_high_bits() {
+        let sink = TraceSink::with_id_prefix(1, 7);
+        let ctx = sink.start_trace("t", "net", 0);
+        assert_eq!(ctx.trace.0 >> 48, 7);
+        assert_eq!(ctx.span.0 >> 48, 7);
+    }
+
+    #[test]
+    fn join_adopts_remote_ids() {
+        let client = TraceSink::with_id_prefix(1, 1);
+        let server = TraceSink::with_id_prefix(1, 2);
+        let ctx = client.start_trace("download", "net", 0);
+        let joined = server.join(ctx.trace, ctx.span);
+        assert!(joined.sampled);
+        let s = server.span(joined, "authorize", "edge", 5);
+        server.end_span(s, 9);
+        let spans = server.spans();
+        assert_eq!(spans[0].trace, ctx.trace);
+        assert_eq!(spans[0].parent, Some(ctx.span));
+        // Server-generated span IDs carry the server prefix.
+        assert_eq!(spans[0].id.0 >> 48, 2);
+    }
+
+    #[test]
+    fn metrics_mirror_counts_by_cat() {
+        let sink = TraceSink::new(1);
+        let reg = MetricsRegistry::new();
+        sink.attach_metrics(&reg);
+        let ctx = sink.start_trace("download", "hybrid", 0);
+        sink.instant(ctx, "attach", "sim", 1);
+        sink.instant(ctx, "attach", "sim", 2);
+        assert_eq!(reg.counter("trace.started").get(), 1);
+        assert_eq!(reg.counter("trace.sampled").get(), 1);
+        assert_eq!(reg.counter("trace.spans.hybrid").get(), 1);
+        assert_eq!(reg.counter("trace.spans.sim").get(), 2);
+        let counts = sink.span_counts_by_cat();
+        assert_eq!(counts[&"sim"], 2);
+    }
+
+    #[test]
+    fn unfinished_spans_export_flagged() {
+        let sink = TraceSink::new(1);
+        let ctx = sink.start_trace("download", "hybrid", 0);
+        let _open = sink.span(ctx, "stuck", "peer", 3);
+        let json = sink.export_chrome_json();
+        assert!(json.contains("\"unfinished\":true"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Round-trip tests: everything the exporters write must parse back
+//! with the in-crate JSON reader and mean the same thing — this is what
+//! `trace-explain` and the sidecar tooling rely on.
+
+use netsession_obs::json::{self, JsonValue};
+use netsession_obs::{MetricsRegistry, TraceSink};
+
+#[test]
+fn string_escaping_survives_parse() {
+    let nasty = [
+        "plain",
+        "quote\"inside",
+        "back\\slash",
+        "line\nbreak\r\ttab",
+        "control\u{0}\u{1}\u{1f}chars",
+        "non-ascii: héllo wörld",
+        "emoji 🦀 and CJK 你好",
+        "\\u0041 looks like an escape but is literal",
+    ];
+    for original in nasty {
+        let mut doc = String::from("[");
+        json::push_str_literal(&mut doc, original);
+        doc.push(']');
+        let parsed = json::parse(&doc).expect("exporter output must parse");
+        assert_eq!(parsed.as_arr().unwrap()[0].as_str(), Some(original));
+    }
+}
+
+#[test]
+fn histogram_snapshot_round_trips() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("peer.download_bytes");
+    for v in [100u64, 1_000, 10_000, 1 << 20] {
+        h.record(v);
+    }
+    reg.counter("edge.bytes_served").add(12345);
+    reg.record_event(42, "edge", "grant", "guid=\"7\"\nline2");
+
+    let snap = reg.snapshot_json();
+    let doc = json::parse(&snap).expect("snapshot_json must be valid JSON");
+
+    let hist = doc
+        .get("histograms")
+        .and_then(|h| h.get("peer.download_bytes"))
+        .expect("histogram present");
+    assert_eq!(hist.get("count").unwrap().as_u64(), Some(4));
+    assert_eq!(hist.get("sum").unwrap().as_u64(), Some(h.sum()));
+    assert_eq!(hist.get("min").unwrap().as_u64(), Some(h.min()));
+    assert_eq!(hist.get("max").unwrap().as_u64(), Some(h.max()));
+    assert_eq!(hist.get("p50").unwrap().as_u64(), Some(h.p50()));
+
+    let counters = doc.get("counters").unwrap();
+    assert_eq!(
+        counters.get("edge.bytes_served").unwrap().as_u64(),
+        Some(12345)
+    );
+
+    let events = doc.get("events").unwrap().as_arr().unwrap();
+    assert_eq!(events.len(), 1);
+    assert_eq!(
+        events[0].get("detail").unwrap().as_str(),
+        Some("guid=\"7\"\nline2")
+    );
+}
+
+#[test]
+fn trace_export_round_trips() {
+    let sink = TraceSink::new(1);
+    let ctx = sink.start_trace("download", "hybrid", 1_000);
+    let q = sink.span(ctx, "query_peers", "control", 1_010);
+    sink.add_attr(q, "offered", 3u64);
+    sink.add_attr(q, "label", "dn-\"primary\"");
+    sink.end_span(q, 1_050);
+    sink.instant(ctx, "edge_fallback", "edge", 1_060);
+    sink.end_span(ctx.span, 9_999);
+
+    let exported = sink.export_chrome_json();
+    let doc = json::parse(&exported).expect("trace export must be valid JSON");
+    assert_eq!(doc.get("droppedSpans").unwrap().as_u64(), Some(0));
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+
+    // Metadata rows name one process per category, sorted.
+    let meta_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+        .map(|e| {
+            e.get("args")
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(meta_names, ["control", "edge", "hybrid"]);
+
+    let spans: Vec<&JsonValue> = events
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+        .collect();
+    assert_eq!(spans.len(), 3);
+
+    let root = spans
+        .iter()
+        .find(|s| s.get("name").unwrap().as_str() == Some("download"))
+        .unwrap();
+    assert_eq!(root.get("ts").unwrap().as_u64(), Some(1_000));
+    assert_eq!(root.get("dur").unwrap().as_u64(), Some(8_999));
+
+    let query = spans
+        .iter()
+        .find(|s| s.get("name").unwrap().as_str() == Some("query_peers"))
+        .unwrap();
+    let args = query.get("args").unwrap();
+    assert_eq!(args.get("offered").unwrap().as_u64(), Some(3));
+    assert_eq!(args.get("label").unwrap().as_str(), Some("dn-\"primary\""));
+    // Child links to the root via the parent span ID.
+    assert_eq!(
+        args.get("parent").unwrap().as_str(),
+        root.get("args").unwrap().get("span").unwrap().as_str()
+    );
+    // Same trace ID everywhere.
+    let trace_of = |s: &JsonValue| {
+        s.get("args")
+            .unwrap()
+            .get("trace")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(trace_of(root), trace_of(query));
+}
+
+#[test]
+fn full_snapshot_parses_too() {
+    let reg = MetricsRegistry::new();
+    reg.volatile_histogram("wall.tick_ns").record(125);
+    reg.counter("det").incr();
+    let doc = json::parse(&reg.full_snapshot_json()).unwrap();
+    assert!(doc.get("volatile").unwrap().get("histograms").is_some());
+}

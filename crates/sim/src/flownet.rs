@@ -32,7 +32,7 @@
 //! scans.
 
 use netsession_core::units::Bandwidth;
-use netsession_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use netsession_obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceCtx, TraceSink};
 
 /// Handle to a node (an access link: one upstream + one downstream side).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -121,6 +121,13 @@ pub struct FlowNet {
     components_gauge: Gauge,
     dirty_components_ctr: Counter,
     flows_recomputed_ctr: Counter,
+
+    // Trace scope: while a driver is mutating flows on behalf of a traced
+    // download, attach/detach marker spans are emitted under that
+    // download's context. Detached by default (zero-cost null check).
+    trace: TraceSink,
+    trace_ctx: TraceCtx,
+    trace_now_us: u64,
 }
 
 impl Default for FlowNet {
@@ -157,6 +164,9 @@ impl FlowNet {
             components_gauge: Gauge::detached(),
             dirty_components_ctr: Counter::detached(),
             flows_recomputed_ctr: Counter::detached(),
+            trace: TraceSink::detached(),
+            trace_ctx: TraceCtx::NONE,
+            trace_now_us: 0,
         }
     }
 
@@ -174,6 +184,28 @@ impl FlowNet {
         self.dirty_components_ctr = registry.counter("sim.flownet_dirty_components");
         self.flows_recomputed_ctr = registry.counter("sim.flownet_active_flows_recomputed");
         self
+    }
+
+    /// Attach a trace sink. Flow attach/detach then emit marker spans
+    /// whenever a trace scope is set (see [`FlowNet::set_trace_scope`]).
+    /// Passive like the metrics: rate assignment never depends on it.
+    pub fn with_trace(mut self, sink: &TraceSink) -> Self {
+        self.trace = sink.clone();
+        self
+    }
+
+    /// Enter a trace scope: until [`FlowNet::clear_trace_scope`], flow
+    /// mutations emit `flow_attach`/`flow_detach` spans under `ctx` at
+    /// virtual time `now_us`. Drivers set this around the mutations they
+    /// perform on behalf of one traced download.
+    pub fn set_trace_scope(&mut self, ctx: TraceCtx, now_us: u64) {
+        self.trace_ctx = ctx;
+        self.trace_now_us = now_us;
+    }
+
+    /// Leave the trace scope (mutations stop emitting spans).
+    pub fn clear_trace_scope(&mut self) {
+        self.trace_ctx = TraceCtx::NONE;
     }
 
     fn push_node(&mut self, up: f64, down: f64) -> NodeId {
@@ -256,10 +288,19 @@ impl FlowNet {
         self.live += 1;
         self.union(src.0, dst.0);
         self.mark_dirty(src.0);
-        FlowId {
+        let id = FlowId {
             slot,
             gen: self.slots[slot as usize].gen,
+        };
+        if self.trace_ctx.sampled {
+            let span = self
+                .trace
+                .instant(self.trace_ctx, "flow_attach", "sim", self.trace_now_us);
+            self.trace.add_attr(span, "flow", id.slot as u64);
+            self.trace.add_attr(span, "src", src.0 as u64);
+            self.trace.add_attr(span, "dst", dst.0 as u64);
         }
+        id
     }
 
     /// Tighten or relax a flow's ceiling. A genuine change dirties the
@@ -291,6 +332,12 @@ impl FlowNet {
         self.util_down[f.dst.0 as usize] -= f.rate;
         self.mark_dirty(f.src.0);
         self.mark_dirty(f.dst.0);
+        if self.trace_ctx.sampled {
+            let span = self
+                .trace
+                .instant(self.trace_ctx, "flow_detach", "sim", self.trace_now_us);
+            self.trace.add_attr(span, "flow", flow.slot as u64);
+        }
     }
 
     /// Current rate of a flow (zero for unknown or stale IDs).

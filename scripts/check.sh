@@ -13,4 +13,22 @@ cargo clippy -q --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace"
 cargo test -q --workspace
 
+echo "== trace determinism (same seed => byte-identical export)"
+cargo build -q --release -p netsession-bench --bin headline
+bin="$PWD/target/release/headline"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+(cd "$tmp" && "$bin" --scale 2000 --downloads 3000 >run1.txt 2>/dev/null && mv results/headline.trace.json trace1.json)
+(cd "$tmp" && "$bin" --scale 2000 --downloads 3000 >run2.txt 2>/dev/null && mv results/headline.trace.json trace2.json)
+cmp "$tmp/run1.txt" "$tmp/run2.txt"
+cmp "$tmp/trace1.json" "$tmp/trace2.json"
+
+echo "== committed trace exports stay under 1 MiB"
+oversize="$(find results -name '*.trace.json' -size +1M 2>/dev/null || true)"
+if [ -n "$oversize" ]; then
+    echo "trace export(s) exceed the 1 MiB budget:" >&2
+    echo "$oversize" >&2
+    exit 1
+fi
+
 echo "All checks passed."
