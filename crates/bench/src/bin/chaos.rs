@@ -1,0 +1,215 @@
+//! chaos — the §3.8 robustness campaign.
+//!
+//! Runs the standard scenario twice with the same seed: once untouched
+//! (baseline) and once under a deterministic fault-injection campaign —
+//! CN crashes (paced readmission), DN soft-state wipes (RE-ADD
+//! fate-sharing), a fleet-wide edge outage (backstop flows cut, then
+//! re-attached), and a mass churn burst. Reports the service-level
+//! damage (completion rate, peer-efficiency dip) and the recovery
+//! machinery's work, plus per-fault-class recovery latency measured from
+//! the always-sampled fault trace spans.
+
+use netsession_bench::runner::{
+    config_for, parse_args, pct, write_metrics_sidecar, write_trace_sidecar,
+};
+use netsession_hybrid::{FaultEvent, FaultKind, HybridSim, SimOutput};
+use netsession_logs::records::DownloadOutcome;
+use std::collections::BTreeMap;
+
+/// The injected campaign: one fault class per week, every region.
+fn campaign() -> Vec<FaultEvent> {
+    let mut events = Vec::new();
+    for region in 0..9 {
+        events.push(FaultEvent {
+            at_hours: 186, // day 8
+            kind: FaultKind::CnCrash { region },
+        });
+        events.push(FaultEvent {
+            at_hours: 330, // day 14
+            kind: FaultKind::DnWipe { region },
+        });
+        events.push(FaultEvent {
+            at_hours: 480, // day 20
+            kind: FaultKind::EdgeOutage {
+                region,
+                secs: 7_200,
+            },
+        });
+    }
+    events.push(FaultEvent {
+        at_hours: 600, // day 25
+        kind: FaultKind::ChurnBurst { fraction: 0.3 },
+    });
+    events
+}
+
+fn completion_rate(out: &SimOutput) -> f64 {
+    out.stats.completed as f64 / out.dataset.downloads.len().max(1) as f64
+}
+
+fn peer_efficiency(out: &SimOutput) -> f64 {
+    let total = out.stats.p2p_bytes + out.stats.edge_bytes;
+    if total == 0 {
+        0.0
+    } else {
+        out.stats.p2p_bytes as f64 / total as f64
+    }
+}
+
+/// Per-day peer byte share over completed downloads, keyed by the day the
+/// download ended.
+fn daily_efficiency(out: &SimOutput) -> BTreeMap<u64, f64> {
+    let mut per_day: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for rec in &out.dataset.downloads {
+        if rec.outcome != DownloadOutcome::Completed {
+            continue;
+        }
+        let day = rec.ended.as_micros() / (24 * 3_600 * 1_000_000);
+        let e = per_day.entry(day).or_insert((0, 0));
+        e.0 += rec.bytes_peers.bytes();
+        e.1 += rec.bytes_infra.bytes();
+    }
+    per_day
+        .into_iter()
+        .map(|(day, (peers, infra))| {
+            let total = peers + infra;
+            let eff = if total == 0 {
+                0.0
+            } else {
+                peers as f64 / total as f64
+            };
+            (day, eff)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!("# chaos: peers={} downloads={}", args.peers, args.downloads);
+    let cfg = config_for(&args);
+
+    let baseline = HybridSim::run_config(cfg.clone());
+    let mut chaos_cfg = cfg;
+    chaos_cfg.faults.events = campaign();
+    let out = HybridSim::run_config(chaos_cfg);
+    write_metrics_sidecar("chaos", &out.metrics);
+    write_trace_sidecar("chaos", &out.trace);
+
+    println!("injected campaign (one fault class per week, all 9 regions):");
+    println!(
+        "  day  8  cn_crash     control connections drop; paced readmission + re-registration"
+    );
+    println!("  day 14  dn_wipe      directory soft state lost; paced RE-ADD repopulates it");
+    println!(
+        "  day 20  edge_outage  edge dark for 2h; backstop flows cut, re-attached on recovery"
+    );
+    println!("  day 25  churn_burst  30% of idle online peers drop offline at once");
+    println!();
+
+    println!("service level                   baseline     chaos");
+    println!(
+        "downloads completed             {:<12} {}",
+        baseline.stats.completed, out.stats.completed
+    );
+    println!(
+        "completion rate                 {:<12} {}",
+        pct(completion_rate(&baseline)),
+        pct(completion_rate(&out))
+    );
+    println!(
+        "peer efficiency (byte share)    {:<12} {}",
+        pct(peer_efficiency(&baseline)),
+        pct(peer_efficiency(&out))
+    );
+    println!(
+        "p2p bytes (TB)                  {:<12.2} {:.2}",
+        baseline.stats.p2p_bytes as f64 / 1e12,
+        out.stats.p2p_bytes as f64 / 1e12
+    );
+    println!(
+        "edge bytes (TB)                 {:<12.2} {:.2}",
+        baseline.stats.edge_bytes as f64 / 1e12,
+        out.stats.edge_bytes as f64 / 1e12
+    );
+    println!();
+
+    // The worst per-day peer-efficiency dip vs the baseline.
+    let base_daily = daily_efficiency(&baseline);
+    let chaos_daily = daily_efficiency(&out);
+    let mut worst: Option<(u64, f64, f64)> = None;
+    for (day, chaos_eff) in &chaos_daily {
+        let Some(base_eff) = base_daily.get(day) else {
+            continue;
+        };
+        let dip = base_eff - chaos_eff;
+        if worst.is_none_or(|(_, b, c)| dip > b - c) {
+            worst = Some((*day, *base_eff, *chaos_eff));
+        }
+    }
+    match worst {
+        Some((day, base_eff, chaos_eff)) => println!(
+            "worst peer-efficiency dip: day {:>2}  {} -> {}  ({:+.1} pts)",
+            day,
+            pct(base_eff),
+            pct(chaos_eff),
+            (chaos_eff - base_eff) * 100.0
+        ),
+        None => println!("worst peer-efficiency dip: n/a"),
+    }
+    println!();
+
+    let counter = |name: &str| out.metrics.counter(name).get();
+    println!("recovery machinery (chaos run):");
+    println!(
+        "  cn crashes: {} dropped {} connections; {} paced readmissions re-registered {} cached versions",
+        counter("hybrid.fault.cn_crashes"),
+        counter("hybrid.fault.peers_disconnected"),
+        counter("hybrid.fault.readmissions"),
+        counter("hybrid.fault.reregistered_versions"),
+    );
+    println!(
+        "  dn wipes:   {} triggered {} RE-ADDs covering {} versions",
+        counter("hybrid.fault.dn_wipes"),
+        counter("hybrid.fault.readds"),
+        counter("hybrid.fault.readd_versions"),
+    );
+    println!(
+        "  edge:       {} outages cut {} backstop flows, {} re-attached on recovery",
+        counter("hybrid.fault.edge_outages"),
+        counter("hybrid.fault.edge_flows_cut"),
+        counter("hybrid.fault.edge_flows_restored"),
+    );
+    println!(
+        "  churn:      {} burst(s) took {} peers offline",
+        counter("hybrid.fault.churn_bursts"),
+        counter("hybrid.fault.churn_offline"),
+    );
+    println!(
+        "  degraded:   {} downloads started edge-only while control was unreachable",
+        counter("hybrid.fault.edge_only_downloads"),
+    );
+    println!();
+
+    // Recovery latency per fault class, from the always-sampled fault
+    // spans (span end covers the paced recovery wave / outage window).
+    let mut latency: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for span in out.trace.spans() {
+        if span.cat != "fault" {
+            continue;
+        }
+        let Some(end) = span.end_us else { continue };
+        let dur = end.saturating_sub(span.start_us);
+        let e = latency.entry(span.name).or_insert((0, 0));
+        e.0 += 1;
+        e.1 = e.1.max(dur);
+    }
+    println!("recovery latency (virtual time, per fault class):");
+    for (name, (n, max_us)) in &latency {
+        println!(
+            "  {:<18} n={:<3} max recovery {:.1}s",
+            name,
+            n,
+            *max_us as f64 / 1e6
+        );
+    }
+}

@@ -176,6 +176,9 @@ pub struct ExplainSummary {
     pub attempts: u64,
     /// Attempts that became transfer sources.
     pub connected: u64,
+    /// GUIDs of the peers we successfully connected to (the
+    /// `connect_attempt` span's `dst_guid` — the dialed peer).
+    pub connected_guids: Vec<String>,
     /// Rejected attempts, by reason label, sorted by label.
     pub rejected: BTreeMap<String, u64>,
     /// Attempts lost to NAT: unreachable pairings plus failed punches.
@@ -210,7 +213,12 @@ pub fn summarize(dl: &DownloadTrace<'_>) -> ExplainSummary {
             "connect_attempt" => {
                 s.attempts += 1;
                 match ev.attr_str("result") {
-                    Some("connected") => s.connected += 1,
+                    Some("connected") => {
+                        s.connected += 1;
+                        if let Some(guid) = ev.attr_str("dst_guid") {
+                            s.connected_guids.push(guid.to_string());
+                        }
+                    }
                     Some(reason) => {
                         if reason == "blocked" || reason == "punch_failed" {
                             s.nat_blocked += 1;
@@ -275,6 +283,12 @@ pub fn narrate(s: &ExplainSummary) -> String {
         "  connections:   {} attempt(s), {} connected\n",
         s.attempts, s.connected
     ));
+    if !s.connected_guids.is_empty() {
+        out.push_str(&format!(
+            "                 peers dialed: {}\n",
+            s.connected_guids.join(", ")
+        ));
+    }
     for (reason, n) in &s.rejected {
         out.push_str(&format!("                 {n} rejected: {reason}\n"));
     }
@@ -323,7 +337,7 @@ mod tests {
         trace.end_span(q, 1_000_500);
         for (i, result) in ["connected", "blocked", "punch_failed"].iter().enumerate() {
             let a = trace.instant(ctx, "connect_attempt", "peer", 1_001_000 + i as u64);
-            trace.add_attr(a, "src_guid", 100 + i as u64);
+            trace.add_attr(a, "dst_guid", format!("{:016x}", 100 + i as u64));
             trace.add_attr(a, "result", *result);
         }
         let t = trace.span(ctx, "peer_transfer", "peer", 1_002_000);
@@ -352,6 +366,7 @@ mod tests {
         assert_eq!(s.offered, 3);
         assert_eq!(s.attempts, 3);
         assert_eq!(s.connected, 1);
+        assert_eq!(s.connected_guids, vec!["0000000000000064".to_string()]);
         assert_eq!(s.nat_blocked, 2);
         assert_eq!(s.bytes_peers, 600);
         assert_eq!(s.bytes_edge, 400);
@@ -368,6 +383,7 @@ mod tests {
         assert!(text.contains("completed"));
         assert!(text.contains("offered 3 contact(s)"));
         assert!(text.contains("3 attempt(s), 1 connected"));
+        assert!(text.contains("peers dialed: 0000000000000064"));
         assert!(text.contains("lost to NAT"));
         assert!(text.contains("600 B from peers (60.0%)"));
         assert!(text.contains("400 B from edge (40.0%)"));

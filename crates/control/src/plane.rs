@@ -323,9 +323,12 @@ impl ControlPlane {
 
     /// Inject a CN failure. Returns `(guid, readmission_time)` pairs: every
     /// dropped peer reconnects (to another CN in practice; same region
-    /// here), paced by the reconnect limiter.
+    /// here), paced by the reconnect limiter. The dropped set is sorted by
+    /// GUID before pacing so the admission schedule is deterministic (the
+    /// CN's session table is a hash map).
     pub fn fail_cn(&mut self, region: u32, now: SimTime) -> Vec<(Guid, SimTime)> {
-        let dropped = self.cns[region as usize].fail();
+        let mut dropped = self.cns[region as usize].fail();
+        dropped.sort_unstable();
         dropped
             .into_iter()
             .map(|g| (g, self.limiter.admit(now)))
@@ -334,10 +337,20 @@ impl ControlPlane {
 
     /// Inject a DN failure (§3.8): the DN's soft state is wiped and the
     /// region's connected peers must be asked to RE-ADD. Returns the GUIDs
-    /// to ask.
+    /// to ask, sorted for determinism.
     pub fn fail_dn(&mut self, region: u32) -> Vec<Guid> {
         self.dns[region as usize].fail();
-        self.cns[region as usize].connected_guids().collect()
+        let mut guids: Vec<Guid> = self.cns[region as usize].connected_guids().collect();
+        guids.sort_unstable();
+        guids
+    }
+
+    /// Admit one recovery action through the shared reconnect limiter
+    /// (§3.8 smooth recovery). CN readmissions and post-DN-wipe RE-ADD
+    /// responses draw from the same budget, mirroring the deployment where
+    /// one rate limit protects the whole control plane.
+    pub fn pace_recovery(&mut self, now: SimTime) -> SimTime {
+        self.limiter.admit(now)
     }
 
     /// Apply one peer's RE-ADD response: re-register all its cached

@@ -5,8 +5,73 @@
 //! the ablation switches the DESIGN.md experiment index calls out.
 
 use netsession_core::policy::TransferConfig;
+use netsession_core::time::TRACE_MONTH;
+use netsession_world::geo::Region;
 use netsession_world::population::PopulationConfig;
 use netsession_world::workload::WorkloadConfig;
+
+/// One kind of injected infrastructure failure (§3.8 robustness scenarios).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// A region's Connection Node crashes: every control connection in the
+    /// region drops and the dropped peers reconnect through the
+    /// rate-limited readmission pacing ("reconnections are rate-limited to
+    /// ensure a smooth recovery"). While disconnected, a peer cannot query
+    /// for sources and downloads degrade to edge-only.
+    CnCrash {
+        /// Region index (dense [`Region::ALL`] order).
+        region: u32,
+    },
+    /// A region's Directory Node loses its soft state. Connected peers are
+    /// asked to RE-ADD their cached content; responses are paced through
+    /// the same recovery limiter (fate-sharing, §3.8).
+    DnWipe {
+        /// Region index.
+        region: u32,
+    },
+    /// The region's edge servers go dark for a window: active backstop
+    /// flows are cut and new downloads in the region run peer-only until
+    /// the outage ends, when backstops re-attach.
+    EdgeOutage {
+        /// Region index.
+        region: u32,
+        /// Outage duration in seconds.
+        secs: u64,
+    },
+    /// A burst of abrupt peer departures: each online peer without an
+    /// active download goes offline with this probability (upload flows it
+    /// sourced are dropped, stressing re-query and edge fallback).
+    ChurnBurst {
+        /// Departure probability in `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// A scheduled fault: *what* fails and *when*.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Hours from the start of the simulated month.
+    pub at_hours: u64,
+    /// The failure to inject.
+    pub kind: FaultKind,
+}
+
+/// Deterministic fault-injection schedule. Part of [`ScenarioConfig`], so
+/// a chaos campaign is replayable from `(seed, schedule)` alone. Empty by
+/// default — a schedule-free run is byte-identical to one before this
+/// subsystem existed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// Faults to inject, in any order (the event queue sorts by time).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
 
 /// Observability knobs. These configure what gets *recorded* — event
 /// ring depth and download-trace sampling — and, by the passive-design
@@ -75,6 +140,9 @@ pub struct ScenarioConfig {
     /// negatively affect the service"); online peers repopulate the
     /// directories via RE-ADD.
     pub control_restart_day: Option<u64>,
+    /// Scheduled infrastructure faults (§3.8 chaos campaign). Empty by
+    /// default.
+    pub faults: FaultSchedule,
     /// Observability configuration (event-ring depth, trace sampling).
     pub obs: ObsConfig,
 }
@@ -102,6 +170,7 @@ impl Default for ScenarioConfig {
             daily_login_prob: 0.4,
             session_mode_factor: 1.0,
             control_restart_day: None,
+            faults: FaultSchedule::default(),
             obs: ObsConfig::default(),
         }
     }
@@ -135,6 +204,40 @@ impl ScenarioConfig {
             "obs.trace_sample_every must be >= 1 (sample every Nth download; \
              1 traces everything — 0 would divide by zero, not disable)"
         );
+        let regions = Region::ALL.len() as u32;
+        let month_hours = TRACE_MONTH.as_micros() / 3_600_000_000;
+        for (i, f) in self.faults.events.iter().enumerate() {
+            assert!(
+                f.at_hours < month_hours,
+                "faults.events[{i}]: at_hours {} is past the simulated month \
+                 ({month_hours} h) — the fault would never fire",
+                f.at_hours
+            );
+            match f.kind {
+                FaultKind::CnCrash { region }
+                | FaultKind::DnWipe { region }
+                | FaultKind::EdgeOutage { region, .. } => {
+                    assert!(
+                        region < regions,
+                        "faults.events[{i}]: region {region} out of range \
+                         (deployment has {regions} regions)"
+                    );
+                }
+                FaultKind::ChurnBurst { .. } => {}
+            }
+            if let FaultKind::EdgeOutage { secs, .. } = f.kind {
+                assert!(
+                    secs > 0,
+                    "faults.events[{i}]: zero-length edge outage would be a no-op"
+                );
+            }
+            if let FaultKind::ChurnBurst { fraction } = f.kind {
+                assert!(
+                    fraction > 0.0 && fraction <= 1.0,
+                    "faults.events[{i}]: churn fraction must be in (0, 1], got {fraction}"
+                );
+            }
+        }
     }
 
     /// A small configuration for fast tests.
@@ -182,6 +285,73 @@ mod tests {
     fn zero_sampling_rate_is_rejected() {
         let mut c = ScenarioConfig::tiny();
         c.obs.trace_sample_every = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_default() {
+        let c = ScenarioConfig::default();
+        assert!(c.faults.is_empty());
+        c.validate();
+    }
+
+    #[test]
+    fn valid_fault_schedule_passes() {
+        let mut c = ScenarioConfig::tiny();
+        c.faults.events = vec![
+            FaultEvent {
+                at_hours: 100,
+                kind: FaultKind::CnCrash { region: 0 },
+            },
+            FaultEvent {
+                at_hours: 200,
+                kind: FaultKind::DnWipe { region: 8 },
+            },
+            FaultEvent {
+                at_hours: 300,
+                kind: FaultKind::EdgeOutage {
+                    region: 3,
+                    secs: 3_600,
+                },
+            },
+            FaultEvent {
+                at_hours: 400,
+                kind: FaultKind::ChurnBurst { fraction: 0.25 },
+            },
+        ];
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "region 9 out of range")]
+    fn fault_region_out_of_range_is_rejected() {
+        let mut c = ScenarioConfig::tiny();
+        c.faults.events = vec![FaultEvent {
+            at_hours: 1,
+            kind: FaultKind::CnCrash { region: 9 },
+        }];
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "past the simulated month")]
+    fn fault_after_month_end_is_rejected() {
+        let mut c = ScenarioConfig::tiny();
+        c.faults.events = vec![FaultEvent {
+            at_hours: 744,
+            kind: FaultKind::ChurnBurst { fraction: 0.1 },
+        }];
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "churn fraction")]
+    fn churn_fraction_over_one_is_rejected() {
+        let mut c = ScenarioConfig::tiny();
+        c.faults.events = vec![FaultEvent {
+            at_hours: 1,
+            kind: FaultKind::ChurnBurst { fraction: 1.5 },
+        }];
         c.validate();
     }
 

@@ -29,6 +29,6 @@ pub mod identity;
 pub mod setup;
 pub mod sim;
 
-pub use config::ScenarioConfig;
+pub use config::{FaultEvent, FaultKind, FaultSchedule, ScenarioConfig};
 pub use setup::Scenario;
 pub use sim::{HybridSim, RunStats, SimOutput};

@@ -17,7 +17,7 @@
 //! rates through [`FlowNet::recompute_dirty`], so only the swarm
 //! components actually touched by an event are re-filled.
 
-use crate::config::ScenarioConfig;
+use crate::config::{FaultKind, ScenarioConfig};
 use crate::identity::IdentityState;
 use crate::setup::Scenario;
 use netsession_control::directory::PeerRecord;
@@ -57,6 +57,17 @@ enum Event {
     Tick,
     /// §3.8: a fleet-wide CN/DN software-update restart.
     ControlRestart,
+    /// A scheduled infrastructure fault (index into `faults.events`).
+    Fault(u32),
+    /// Paced control-plane readmission of a dropped peer (§3.8: the
+    /// reconnect limiter spreads the herd; until this fires the peer is
+    /// control-disconnected and its downloads run edge-only).
+    Readmit(u32),
+    /// Paced RE-ADD response after a DN soft-state wipe: the peer
+    /// re-registers its cached content (fate-sharing).
+    ReAdd(u32),
+    /// End of a region's edge outage: backstop flows re-attach.
+    EdgeRecover(u32),
 }
 
 struct SourceFlow {
@@ -107,6 +118,11 @@ impl Dl {
 struct PeerRt {
     node: NodeId,
     online: bool,
+    /// Control connection up. Tracks `online` except between a CN crash
+    /// and the paced readmission: the machine is on (data plane works,
+    /// cached copies still serve uploads) but it cannot query for peers
+    /// or register content, so new downloads degrade to edge-only (§3.8).
+    control_connected: bool,
     uploads_enabled: bool,
     pending_pref_changes: Vec<(SimTime, bool)>,
     /// Complete cached versions and their expiry.
@@ -258,6 +274,10 @@ impl HybridSim {
         let mut sched_rng = self.rng.split(3);
         let mut beh_rng = self.rng.split(4);
         let mut run_rng = self.rng.split(5);
+        // Seeded independently (not split from the parent) so that runs
+        // without a fault schedule keep byte-identical streams with
+        // pre-fault-injection builds.
+        let mut churn_rng = DetRng::seeded(self.scenario.config.seed ^ 0x4348_5552_4e21);
 
         // Clone groups share a master image.
         let mut masters: HashMap<u32, netsession_world::cloning::InstallationState> =
@@ -305,6 +325,7 @@ impl HybridSim {
             peers.push(PeerRt {
                 node,
                 online: false,
+                control_connected: false,
                 uploads_enabled: spec.uploads_enabled,
                 pending_pref_changes: pending,
                 cached: HashMap::new(),
@@ -391,6 +412,14 @@ impl HybridSim {
             );
         }
 
+        // --- Scheduled infrastructure faults (§3.8 chaos campaign).
+        for (i, f) in self.scenario.config.faults.events.iter().enumerate() {
+            queue.schedule(
+                SimTime::ZERO + SimDuration::from_hours(f.at_hours),
+                Event::Fault(i as u32),
+            );
+        }
+
         // --- Edge nodes per region.
         let edge_nodes: Vec<NodeId> = (0..self.scenario.plane.regions())
             .map(|_| net.add_infinite_node())
@@ -403,6 +432,8 @@ impl HybridSim {
         let mut last_advance = SimTime::ZERO;
         let mut tick_scheduled = false;
         let cutoff = SimTime::ZERO + TRACE_MONTH + TAIL;
+        // Regions whose edge servers are currently dark (EdgeOutage).
+        let mut edge_down = vec![false; self.scenario.plane.regions() as usize];
 
         // Per-event-type instruments, pre-created so the hot loop does no
         // name lookups. Wall-clock timings go to the volatile section (they
@@ -413,6 +444,10 @@ impl HybridSim {
             metrics.counter("hybrid.ev_arrival"),
             metrics.counter("hybrid.ev_tick"),
             metrics.counter("hybrid.ev_control_restart"),
+            metrics.counter("hybrid.ev_fault"),
+            metrics.counter("hybrid.ev_readmit"),
+            metrics.counter("hybrid.ev_readd"),
+            metrics.counter("hybrid.ev_edge_recover"),
         ];
         let ev_timings = [
             metrics.volatile_histogram("hybrid.ev_online_ns"),
@@ -420,6 +455,10 @@ impl HybridSim {
             metrics.volatile_histogram("hybrid.ev_arrival_ns"),
             metrics.volatile_histogram("hybrid.ev_tick_ns"),
             metrics.volatile_histogram("hybrid.ev_control_restart_ns"),
+            metrics.volatile_histogram("hybrid.ev_fault_ns"),
+            metrics.volatile_histogram("hybrid.ev_readmit_ns"),
+            metrics.volatile_histogram("hybrid.ev_readd_ns"),
+            metrics.volatile_histogram("hybrid.ev_edge_recover_ns"),
         ];
 
         while let Some((t, event)) = queue.pop() {
@@ -432,6 +471,10 @@ impl HybridSim {
                 Event::Arrival(_) => 2,
                 Event::Tick => 3,
                 Event::ControlRestart => 4,
+                Event::Fault(_) => 5,
+                Event::Readmit(_) => 6,
+                Event::ReAdd(_) => 7,
+                Event::EdgeRecover(_) => 8,
             };
             ev_counters[ev_kind].incr();
             let ev_started = std::time::Instant::now();
@@ -475,6 +518,7 @@ impl HybridSim {
                         &mut guid_owner,
                         &mut net,
                         &edge_nodes,
+                        &edge_down,
                         &mut dls,
                         &mut active,
                         &mut dataset,
@@ -504,47 +548,220 @@ impl HybridSim {
                         t.as_micros(),
                         "hybrid",
                         "control_restart",
-                        "fleet-wide CN/DN restart: DN soft state wiped, RE-ADD issued",
+                        "fleet-wide CN/DN restart: connections dropped, DN soft \
+                         state wiped, paced readmission + RE-ADD recovery",
                     );
-                    // All DN soft state is wiped; every online, upload-
-                    // enabled peer answers the RE-ADD by re-registering its
-                    // cached content (§3.8). (The production system paces
-                    // this through the reconnect limiter; at simulation
-                    // granularity the re-registration lands within the same
-                    // tick, which is the paper's "short timeframe".)
+                    // §3.8: every CN and DN restarts "in a short timeframe".
+                    // Connections drop, DN soft state is wiped, and the
+                    // whole fleet reconnects through the rate limiter — the
+                    // paced readmission re-registers each peer's cache
+                    // (fate-sharing), repopulating the directories. Until a
+                    // peer's Readmit fires its downloads run edge-only.
+                    let fctx = trace.start_trace_always("control_restart", "fault", t.as_micros());
+                    let mut dropped = 0u64;
+                    let mut last = t;
                     for region in 0..self.scenario.plane.regions() {
                         let _ = self.scenario.plane.fail_dn(region);
-                    }
-                    for (i, rt) in peers.iter().enumerate() {
-                        if !rt.online || !rt.uploads_enabled {
-                            continue;
+                        for (guid, at) in self.scenario.plane.fail_cn(region, t) {
+                            let Some(&p) = guid_owner.get(&guid) else {
+                                continue;
+                            };
+                            if !peers[p as usize].online {
+                                continue;
+                            }
+                            peers[p as usize].control_connected = false;
+                            queue.schedule(at, Event::Readmit(p));
+                            dropped += 1;
+                            last = last.max(at);
                         }
-                        let versions: Vec<VersionId> = rt
-                            .cached
-                            .values()
-                            .filter(|(_, exp)| *exp > t)
-                            .map(|(v, _)| *v)
-                            .collect();
-                        if versions.is_empty() {
-                            continue;
-                        }
-                        let spec = &self.scenario.population.peers[i];
-                        let site = &rt.mobility.sites[rt.site];
-                        let record = PeerRecord {
-                            guid: spec.guid,
-                            addr: PeerAddr {
-                                ip: site.ip,
-                                port: 8443,
-                            },
-                            asn: site.asn,
-                            area: site.country as u16,
-                            zone: rt.logged_region as u8,
-                            nat: spec.nat,
-                        };
-                        self.scenario
-                            .plane
-                            .handle_readd(rt.logged_region, record, &versions);
                     }
+                    metrics
+                        .counter("hybrid.fault.peers_disconnected")
+                        .add(dropped);
+                    trace.add_attr(fctx.span, "dropped", dropped);
+                    // The span covers the paced reconnect wave.
+                    trace.end_span(fctx.span, last.as_micros());
+                }
+                Event::Fault(i) => {
+                    // Faults mutate the flow set; settle transfers first.
+                    advance(&mut dls, &active, &net, last_advance, t);
+                    last_advance = t;
+                    let fault = self.scenario.config.faults.events[i as usize];
+                    metrics.counter("hybrid.fault.injected").incr();
+                    metrics.record_event_with(t.as_micros(), "hybrid", "fault", || {
+                        format!("{:?}", fault.kind)
+                    });
+                    match fault.kind {
+                        FaultKind::CnCrash { region } => {
+                            metrics.counter("hybrid.fault.cn_crashes").incr();
+                            let fctx =
+                                trace.start_trace_always("fault_cn_crash", "fault", t.as_micros());
+                            trace.add_attr(fctx.span, "region", region as u64);
+                            let mut dropped = 0u64;
+                            let mut last = t;
+                            for (guid, at) in self.scenario.plane.fail_cn(region, t) {
+                                let Some(&p) = guid_owner.get(&guid) else {
+                                    continue;
+                                };
+                                if !peers[p as usize].online {
+                                    continue;
+                                }
+                                peers[p as usize].control_connected = false;
+                                queue.schedule(at, Event::Readmit(p));
+                                dropped += 1;
+                                last = last.max(at);
+                            }
+                            metrics
+                                .counter("hybrid.fault.peers_disconnected")
+                                .add(dropped);
+                            trace.add_attr(fctx.span, "dropped", dropped);
+                            // Span covers the paced reconnect wave (§3.8
+                            // "smooth recovery").
+                            trace.end_span(fctx.span, last.as_micros());
+                        }
+                        FaultKind::DnWipe { region } => {
+                            metrics.counter("hybrid.fault.dn_wipes").incr();
+                            let fctx =
+                                trace.start_trace_always("fault_dn_wipe", "fault", t.as_micros());
+                            trace.add_attr(fctx.span, "region", region as u64);
+                            let mut asked = 0u64;
+                            let mut last = t;
+                            for guid in self.scenario.plane.fail_dn(region) {
+                                let Some(&p) = guid_owner.get(&guid) else {
+                                    continue;
+                                };
+                                let rt = &peers[p as usize];
+                                if !rt.online || !rt.uploads_enabled {
+                                    continue;
+                                }
+                                let at = self.scenario.plane.pace_recovery(t);
+                                queue.schedule(at, Event::ReAdd(p));
+                                asked += 1;
+                                last = last.max(at);
+                            }
+                            trace.add_attr(fctx.span, "readds_requested", asked);
+                            trace.end_span(fctx.span, last.as_micros());
+                        }
+                        FaultKind::EdgeOutage { region, secs } => {
+                            metrics.counter("hybrid.fault.edge_outages").incr();
+                            let fctx = trace.start_trace_always(
+                                "fault_edge_outage",
+                                "fault",
+                                t.as_micros(),
+                            );
+                            trace.add_attr(fctx.span, "region", region as u64);
+                            trace.add_attr(fctx.span, "secs", secs);
+                            edge_down[region as usize] = true;
+                            let mut cut = 0u64;
+                            for id in &active {
+                                let dl = &mut dls[*id];
+                                if dl.region != region || dl.finished.is_some() {
+                                    continue;
+                                }
+                                if let Some(f) = dl.edge_flow.take() {
+                                    net.set_trace_scope(dl.ctx, t.as_micros());
+                                    net.remove_flow(f);
+                                    net.clear_trace_scope();
+                                    if dl.edge_span != SpanId::NONE {
+                                        trace.add_attr(
+                                            dl.edge_span,
+                                            "bytes_at_cut",
+                                            dl.edge_bytes as u64,
+                                        );
+                                        trace.add_attr(dl.edge_span, "end_reason", "edge_outage");
+                                        trace.end_span(dl.edge_span, t.as_micros());
+                                        dl.edge_span = SpanId::NONE;
+                                    }
+                                    cut += 1;
+                                }
+                            }
+                            metrics.counter("hybrid.fault.edge_flows_cut").add(cut);
+                            trace.add_attr(fctx.span, "flows_cut", cut);
+                            let until = t + SimDuration::from_secs(secs);
+                            trace.end_span(fctx.span, until.as_micros());
+                            queue.schedule(until, Event::EdgeRecover(region));
+                        }
+                        FaultKind::ChurnBurst { fraction } => {
+                            metrics.counter("hybrid.fault.churn_bursts").incr();
+                            let fctx = trace.start_trace_always(
+                                "fault_churn_burst",
+                                "fault",
+                                t.as_micros(),
+                            );
+                            let mut gone = 0u64;
+                            for p in 0..peers.len() as u32 {
+                                if !peers[p as usize].online
+                                    || peers[p as usize].active_download.is_some()
+                                {
+                                    continue;
+                                }
+                                if !churn_rng.chance(fraction) {
+                                    continue;
+                                }
+                                self.peer_offline(p, t, &mut peers, &mut net, &mut dls, &active);
+                                gone += 1;
+                            }
+                            metrics.counter("hybrid.fault.churn_offline").add(gone);
+                            trace.add_attr(fctx.span, "peers_offline", gone);
+                            trace.end_span(fctx.span, t.as_micros());
+                        }
+                    }
+                    process_finished(
+                        &mut dls,
+                        &mut active,
+                        &mut peers,
+                        &mut net,
+                        &mut self.scenario,
+                        &mut dataset,
+                        &mut stats,
+                        &metrics,
+                        &trace,
+                        t,
+                    );
+                    net.recompute_dirty();
+                }
+                Event::Readmit(p) => {
+                    self.control_readmit(p, t, &mut peers);
+                }
+                Event::ReAdd(p) => {
+                    self.control_readd(p, t, &peers);
+                }
+                Event::EdgeRecover(region) => {
+                    advance(&mut dls, &active, &net, last_advance, t);
+                    last_advance = t;
+                    edge_down[region as usize] = false;
+                    let mut restored = 0u64;
+                    if self.scenario.config.edge_backstop {
+                        for id in &active {
+                            let dl = &mut dls[*id];
+                            if dl.region != region
+                                || dl.finished.is_some()
+                                || dl.edge_flow.is_some()
+                            {
+                                continue;
+                            }
+                            let downlink = self.scenario.population.peers[dl.peer as usize].down;
+                            net.set_trace_scope(dl.ctx, t.as_micros());
+                            dl.edge_flow = Some(net.add_flow(
+                                edge_nodes[region as usize],
+                                peers[dl.peer as usize].node,
+                                None,
+                            ));
+                            net.clear_trace_scope();
+                            dl.edge_span =
+                                trace.span(dl.ctx, "edge_backstop", "edge", t.as_micros());
+                            trace.add_attr(dl.edge_span, "restored", true);
+                            update_edge_ceil(dl, downlink, &mut net);
+                            restored += 1;
+                        }
+                    }
+                    metrics
+                        .counter("hybrid.fault.edge_flows_restored")
+                        .add(restored);
+                    metrics.record_event_with(t.as_micros(), "hybrid", "edge_recover", || {
+                        format!("region {region}: {restored} backstop flows re-attached")
+                    });
+                    net.recompute_dirty();
                 }
                 Event::Tick => {
                     advance(&mut dls, &active, &net, last_advance, t);
@@ -668,6 +885,7 @@ impl HybridSim {
         let region = region_of(country, &country.cities[site.city]).index() as u32;
         rt.logged_region = region;
         rt.online = true;
+        rt.control_connected = true;
         rt.first_login_done = true;
         guid_owner.insert(spec.guid, p);
 
@@ -786,6 +1004,101 @@ impl HybridSim {
         let region = peers[p as usize].logged_region;
         self.scenario.plane.logout(region, spec.guid);
         peers[p as usize].online = false;
+        peers[p as usize].control_connected = false;
+    }
+
+    /// Paced readmission after a CN crash (§3.8): the peer opens a fresh
+    /// control connection and — fate-sharing — re-registers its cached
+    /// content, repopulating the directories. Skipped if the peer logged
+    /// out while waiting (its next login reconnects anyway) or already
+    /// holds a fresh session.
+    fn control_readmit(&mut self, p: u32, t: SimTime, peers: &mut [PeerRt]) {
+        let rt = &mut peers[p as usize];
+        if !rt.online || rt.control_connected {
+            return;
+        }
+        rt.control_connected = true;
+        let spec = &self.scenario.population.peers[p as usize];
+        let site = &rt.mobility.sites[rt.site];
+        let region = rt.logged_region;
+        let addr = PeerAddr {
+            ip: site.ip,
+            port: 8443,
+        };
+        self.scenario.plane.login(
+            region,
+            spec.guid,
+            addr,
+            spec.nat,
+            rt.uploads_enabled,
+            40_100,
+            vec![],
+            t,
+        );
+        self.metrics.counter("hybrid.fault.readmissions").incr();
+        if rt.uploads_enabled {
+            let record = PeerRecord {
+                guid: spec.guid,
+                addr,
+                asn: site.asn,
+                area: site.country as u16,
+                zone: region as u8,
+                nat: spec.nat,
+            };
+            let versions: Vec<VersionId> = rt
+                .cached
+                .values()
+                .filter(|(_, exp)| *exp > t)
+                .map(|(v, _)| *v)
+                .collect();
+            self.metrics
+                .counter("hybrid.fault.reregistered_versions")
+                .add(versions.len() as u64);
+            for v in versions {
+                self.scenario
+                    .plane
+                    .register_content(region, record.clone(), v);
+            }
+        }
+    }
+
+    /// Paced RE-ADD response after a DN soft-state wipe (§3.8): the peer's
+    /// control connection survived, so it answers the directory's RE-ADD
+    /// request with its cached versions.
+    fn control_readd(&mut self, p: u32, t: SimTime, peers: &[PeerRt]) {
+        let rt = &peers[p as usize];
+        if !rt.online || !rt.control_connected || !rt.uploads_enabled {
+            return;
+        }
+        let versions: Vec<VersionId> = rt
+            .cached
+            .values()
+            .filter(|(_, exp)| *exp > t)
+            .map(|(v, _)| *v)
+            .collect();
+        if versions.is_empty() {
+            return;
+        }
+        let spec = &self.scenario.population.peers[p as usize];
+        let site = &rt.mobility.sites[rt.site];
+        let record = PeerRecord {
+            guid: spec.guid,
+            addr: PeerAddr {
+                ip: site.ip,
+                port: 8443,
+            },
+            asn: site.asn,
+            area: site.country as u16,
+            zone: rt.logged_region as u8,
+            nat: spec.nat,
+        };
+        self.scenario
+            .plane
+            .handle_readd(rt.logged_region, record, &versions);
+        self.metrics.counter("hybrid.fault.readds").incr();
+        self.metrics
+            .counter("hybrid.fault.readd_versions")
+            .add(versions.len() as u64);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -797,6 +1110,7 @@ impl HybridSim {
         guid_owner: &mut HashMap<Guid, u32>,
         net: &mut FlowNet,
         edge_nodes: &[NodeId],
+        edge_down: &[bool],
         dls: &mut Vec<Dl>,
         active: &mut Vec<usize>,
         dataset: &mut TraceDataset,
@@ -816,6 +1130,7 @@ impl HybridSim {
         let spec = &self.scenario.population.peers[p as usize];
         let rt = &peers[p as usize];
         let region = rt.logged_region;
+        let control_up = rt.control_connected;
 
         // Root span for this download's causal story. Unsampled requests
         // get the null context; everything recorded through it no-ops.
@@ -890,44 +1205,55 @@ impl HybridSim {
 
         // Peer selection and connection establishment.
         if p2p {
-            let site = &rt.mobility.sites[rt.site];
-            let querier = Querier {
-                guid: spec.guid,
-                asn: site.asn,
-                area: site.country as u16,
-                zone: region as u8,
-                nat: spec.nat,
-            };
-            let (selected, _qspan) = self.scenario.plane.query_peers_traced(
-                region,
-                &querier,
-                &dl.token,
-                t,
-                rng,
-                &self.trace,
-                ctx,
-            );
-            if let Ok(contacts) = selected {
-                dl.initial_peers = contacts.len() as u32;
-                connect_sources(
-                    &contacts,
-                    spec.nat,
-                    p,
-                    &self.scenario,
-                    peers,
-                    guid_owner,
-                    net,
-                    &mut dl,
-                    stats,
-                    &self.metrics,
-                    &self.trace,
+            if control_up {
+                let site = &rt.mobility.sites[rt.site];
+                let querier = Querier {
+                    guid: spec.guid,
+                    asn: site.asn,
+                    area: site.country as u16,
+                    zone: region as u8,
+                    nat: spec.nat,
+                };
+                let (selected, _qspan) = self.scenario.plane.query_peers_traced(
+                    region,
+                    &querier,
+                    &dl.token,
                     t,
                     rng,
+                    &self.trace,
+                    ctx,
                 );
+                if let Ok(contacts) = selected {
+                    dl.initial_peers = contacts.len() as u32;
+                    connect_sources(
+                        &contacts,
+                        spec.nat,
+                        p,
+                        &self.scenario,
+                        peers,
+                        guid_owner,
+                        net,
+                        &mut dl,
+                        stats,
+                        &self.metrics,
+                        &self.trace,
+                        t,
+                        rng,
+                    );
+                }
+            } else {
+                // §3.8: the control plane is unreachable (CN crashed, the
+                // paced readmission hasn't fired yet) — no peer query is
+                // possible; the download proceeds against the edge alone.
+                self.metrics
+                    .counter("hybrid.fault.edge_only_downloads")
+                    .incr();
+                self.trace
+                    .instant(ctx, "control_disconnected", "fault", t.as_micros());
             }
             // Swarm came up empty (nobody reachable through NAT, nobody
-            // caching the version): the always-on edge connection is the
-            // backstop (§3.3).
+            // caching the version, or no control plane to ask): the
+            // always-on edge connection is the backstop (§3.3).
             if dl.sources.is_empty() {
                 self.metrics.counter("peer.edge_fallbacks").incr();
                 self.trace
@@ -935,7 +1261,7 @@ impl HybridSim {
             }
         }
 
-        if self.scenario.config.edge_backstop {
+        if self.scenario.config.edge_backstop && !edge_down[region as usize] {
             dl.edge_flow =
                 Some(net.add_flow(edge_nodes[region as usize], peers[p as usize].node, None));
             dl.edge_span = self.trace.span(ctx, "edge_backstop", "edge", t.as_micros());
@@ -977,7 +1303,10 @@ impl HybridSim {
                     dl.region,
                 )
             };
-            if !needs {
+            // A control-disconnected peer (CN crash, readmission pending)
+            // cannot re-query; it keeps whatever sources it has plus the
+            // edge backstop until its Readmit fires.
+            if !needs || !peers[peer_idx as usize].control_connected {
                 continue;
             }
             let spec = &self.scenario.population.peers[peer_idx as usize];
@@ -1078,7 +1407,10 @@ fn connect_sources(
         }
         let attempt = trace.instant(dl.ctx, "connect_attempt", "peer", t.as_micros());
         if attempt.is_some() {
-            trace.add_attr(attempt, "src_guid", format!("{:016x}", c.guid.0 as u64));
+            // The contact is who we dial — the *destination* of the
+            // attempt. (`src_guid` on `peer_transfer` below is correct:
+            // once connected, that peer is the byte source.)
+            trace.add_attr(attempt, "dst_guid", format!("{:016x}", c.guid.0 as u64));
         }
         let Some(&src) = guid_owner.get(&c.guid) else {
             trace.add_attr(attempt, "result", "stale_contact");
@@ -1371,7 +1703,13 @@ fn process_finished(
             peers[dl.peer as usize]
                 .cached
                 .insert(dl.object, (dl.version, ended + ttl));
-            if peers[dl.peer as usize].uploads_enabled && dl.p2p {
+            // A control-disconnected peer cannot reach the DN to register;
+            // its paced readmission re-registers the whole cache (this
+            // object included) when it fires.
+            if peers[dl.peer as usize].uploads_enabled
+                && dl.p2p
+                && peers[dl.peer as usize].control_connected
+            {
                 let rt = &peers[dl.peer as usize];
                 let site = &rt.mobility.sites[rt.site];
                 let record = PeerRecord {

@@ -8,7 +8,7 @@ use netsession_core::id::PeerIndex;
 use netsession_core::msg::NatType;
 use netsession_core::time::{SimDuration, SimTime};
 use netsession_core::units::Bandwidth;
-use netsession_hybrid::{HybridSim, Scenario, ScenarioConfig};
+use netsession_hybrid::{FaultEvent, FaultKind, HybridSim, Scenario, ScenarioConfig, SimOutput};
 use netsession_logs::records::DownloadOutcome;
 use netsession_world::population::PopulationConfig;
 use netsession_world::workload::{Request, WorkloadConfig};
@@ -138,5 +138,210 @@ fn sufficient_one_still_requeries() {
     assert!(
         out.stats.requeries > 0,
         "sufficient=1 must not disable re-queries (integer-division gate)"
+    );
+}
+
+fn completion_rate(out: &SimOutput) -> f64 {
+    out.stats.completed as f64 / out.dataset.downloads.len().max(1) as f64
+}
+
+/// §3.8: a CN crash drops every control connection in the region, but
+/// peers "can always fall back" to the edge tier, so completion must stay
+/// at the no-failure baseline (within a small allowance for the paced
+/// reconnect window, during which downloads run edge-only and a little
+/// slower). Also pins the recovery machinery: peers are disconnected,
+/// paced readmissions fire, and caches are re-registered.
+#[test]
+fn paced_cn_failure_keeps_completion_near_baseline() {
+    let cfg = ScenarioConfig::tiny();
+    let baseline = HybridSim::run_config(cfg.clone());
+
+    let mut chaos_cfg = cfg;
+    // Crash every region's CN mid-month so the fault bites regardless of
+    // where the population concentrates.
+    chaos_cfg.faults.events = (0..9)
+        .map(|r| FaultEvent {
+            at_hours: 450,
+            kind: FaultKind::CnCrash { region: r },
+        })
+        .collect();
+    let chaos = HybridSim::run_config(chaos_cfg);
+
+    let disconnected = chaos
+        .metrics
+        .counter("hybrid.fault.peers_disconnected")
+        .get();
+    let readmitted = chaos.metrics.counter("hybrid.fault.readmissions").get();
+    assert!(disconnected > 0, "the crash must drop live connections");
+    assert!(
+        readmitted > 0 && readmitted <= disconnected,
+        "paced readmissions must fire for (a subset of) dropped peers \
+         ({readmitted} of {disconnected})"
+    );
+    assert!(
+        completion_rate(&chaos) >= completion_rate(&baseline) - 0.02,
+        "a paced CN failure must not hurt completion beyond the outage \
+         window ({:.4} vs baseline {:.4})",
+        completion_rate(&chaos),
+        completion_rate(&baseline)
+    );
+}
+
+/// An edge outage covering a download's start leaves it stalled (no
+/// sources, no backstop) until the outage ends, when the backstop
+/// re-attaches and the download completes — the recovery half of the
+/// edge-outage story.
+#[test]
+fn edge_outage_defers_completion_until_recovery() {
+    let mut cfg = ScenarioConfig::tiny();
+    cfg.seed = 11;
+    cfg.population = PopulationConfig {
+        peers: 2,
+        ases: 4,
+        clone_fraction: 0.0,
+        ..PopulationConfig::default()
+    };
+    cfg.objects = 20;
+    cfg.workload = WorkloadConfig {
+        downloads: 1,
+        ..WorkloadConfig::default()
+    };
+    cfg.daily_login_prob = 1.0;
+
+    let build = |outage: bool| {
+        let mut cfg = cfg.clone();
+        if outage {
+            // Dark edge in every region for the first two hours.
+            cfg.faults.events = (0..9)
+                .map(|r| FaultEvent {
+                    at_hours: 0,
+                    kind: FaultKind::EdgeOutage {
+                        region: r,
+                        secs: 7_200,
+                    },
+                })
+                .collect();
+        }
+        let mut scenario = Scenario::build(cfg);
+        // Nobody uploads: no pre-seeded copies, so the edge is the only
+        // byte source.
+        for p in &mut scenario.population.peers {
+            p.uploads_enabled = false;
+        }
+        let object = scenario
+            .catalog
+            .objects()
+            .iter()
+            .find(|o| o.policy.p2p_enabled)
+            .expect("catalog has p2p objects")
+            .id;
+        scenario.workload.requests = vec![Request {
+            at: SimTime::ZERO + SimDuration::from_mins(30),
+            peer: PeerIndex(0),
+            object,
+        }];
+        HybridSim::new(scenario).run()
+    };
+
+    let baseline = build(false);
+    let rec = &baseline.dataset.downloads[0];
+    assert_eq!(rec.outcome, DownloadOutcome::Completed);
+    assert!(
+        rec.ended < SimTime::ZERO + SimDuration::from_hours(2),
+        "baseline must finish before the outage window would end ({:?})",
+        rec.ended
+    );
+
+    let out = build(true);
+    assert_eq!(out.metrics.counter("hybrid.fault.edge_outages").get(), 9);
+    assert_eq!(
+        out.metrics
+            .counter("hybrid.fault.edge_flows_restored")
+            .get(),
+        1,
+        "recovery must re-attach the stalled download's backstop"
+    );
+    let rec = &out.dataset.downloads[0];
+    assert_eq!(rec.outcome, DownloadOutcome::Completed);
+    assert_eq!(rec.bytes_peers.bytes(), 0);
+    assert!(rec.bytes_infra.bytes() > 0);
+    assert!(
+        rec.ended > SimTime::ZERO + SimDuration::from_hours(2),
+        "with the edge dark the download cannot finish early ({:?})",
+        rec.ended
+    );
+    assert!(
+        rec.ended < SimTime::ZERO + SimDuration::from_hours(4),
+        "after recovery the backstop must finish the job ({:?})",
+        rec.ended
+    );
+}
+
+/// The full campaign — CN crash, DN wipe, edge outage, churn burst — must
+/// exercise every recovery path and stay deterministic (the chaos bench's
+/// byte-identical double-run gate rests on this).
+#[test]
+fn fault_campaign_exercises_all_paths_and_is_deterministic() {
+    let mut cfg = ScenarioConfig::tiny();
+    let mut events: Vec<FaultEvent> = Vec::new();
+    for r in 0..9 {
+        events.push(FaultEvent {
+            at_hours: 200,
+            kind: FaultKind::CnCrash { region: r },
+        });
+        events.push(FaultEvent {
+            at_hours: 350,
+            kind: FaultKind::DnWipe { region: r },
+        });
+        events.push(FaultEvent {
+            at_hours: 500,
+            kind: FaultKind::EdgeOutage {
+                region: r,
+                secs: 3_600,
+            },
+        });
+    }
+    events.push(FaultEvent {
+        at_hours: 650,
+        kind: FaultKind::ChurnBurst { fraction: 0.5 },
+    });
+    cfg.faults.events = events;
+
+    let run = || HybridSim::run_config(cfg.clone());
+    let a = run();
+
+    let counter = |name: &str| a.metrics.counter(name).get();
+    assert!(counter("hybrid.fault.peers_disconnected") > 0);
+    assert!(counter("hybrid.fault.readmissions") > 0);
+    assert!(
+        counter("hybrid.fault.readds") > 0,
+        "DN wipe must trigger RE-ADDs"
+    );
+    assert!(counter("hybrid.fault.churn_offline") > 0);
+    assert_eq!(counter("hybrid.fault.injected"), 28);
+    assert!(
+        completion_rate(&a) > 0.8,
+        "service must survive the whole campaign ({:.3})",
+        completion_rate(&a)
+    );
+    // Fault recovery is traced even at the default 1-in-1024 sampling.
+    let cats = a.trace.span_counts_by_cat();
+    assert!(
+        cats.get("fault").copied().unwrap_or(0) >= 28,
+        "every fault roots an always-sampled trace span: {cats:?}"
+    );
+
+    let b = run();
+    assert_eq!(a.stats.completed, b.stats.completed);
+    assert_eq!(a.stats.p2p_bytes, b.stats.p2p_bytes);
+    assert_eq!(a.stats.edge_bytes, b.stats.edge_bytes);
+    assert_eq!(
+        a.metrics.counter("hybrid.fault.readmissions").get(),
+        b.metrics.counter("hybrid.fault.readmissions").get()
+    );
+    assert_eq!(
+        a.trace.export_chrome_json(),
+        b.trace.export_chrome_json(),
+        "fault-campaign trace exports must be byte-identical"
     );
 }

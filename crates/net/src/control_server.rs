@@ -32,6 +32,9 @@ struct Shared {
     rng: Mutex<DetRng>,
     /// Outbound push channels per logged-in GUID.
     pushers: Mutex<HashMap<Guid, mpsc::Sender<ControlMsg>>>,
+    /// Raw handles of accepted connections, kept so [`ControlServer::kill`]
+    /// can sever live links (crash injection for the e2e tests).
+    conns: Mutex<Vec<TcpStream>>,
     metrics: MetricsRegistry,
     trace: TraceSink,
 }
@@ -68,6 +71,7 @@ impl ControlServer {
             ),
             rng: Mutex::new(DetRng::seeded(0xC0117201)),
             pushers: Mutex::new(HashMap::new()),
+            conns: Mutex::new(Vec::new()),
             trace: {
                 let trace = TraceSink::with_id_prefix(1, CONTROL_ID_PREFIX);
                 trace.attach_metrics(&metrics);
@@ -86,6 +90,9 @@ impl ControlServer {
                             .metrics
                             .counter("net.control.connections")
                             .incr();
+                        if let Ok(handle) = stream.try_clone() {
+                            shared_for_loop.conns.lock().unwrap().push(handle);
+                        }
                         let shared = shared_for_loop.clone();
                         std::thread::spawn(move || {
                             let _ = serve_connection(stream, shared);
@@ -132,9 +139,26 @@ impl ControlServer {
         self.shared.plane.lock().unwrap().drain_usage()
     }
 
-    /// Stop serving.
+    /// Registered holders of a version (test observability for the
+    /// fate-sharing re-registration path).
+    pub fn holder_count(&self, version: netsession_core::id::VersionId) -> usize {
+        self.shared.plane.lock().unwrap().holder_count(0, version)
+    }
+
+    /// Stop serving. Live connections are left to drain naturally.
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Crash the server: stop accepting *and* sever every established
+    /// connection, the way a CN process death looks from the outside
+    /// (§3.8 fault injection). The listening port is released within a
+    /// few milliseconds, so a replacement can bind the same address.
+    pub fn kill(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
     }
 }
 

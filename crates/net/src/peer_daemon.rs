@@ -46,6 +46,9 @@ struct Inner {
     store: Mutex<HashMap<ObjectId, Arc<SharedObject>>>,
     governor: Mutex<UploadGovernor>,
     control_tx: mpsc::Sender<TracedControlMsg>,
+    /// Whether the control link is currently established (§3.8: while it
+    /// is down the daemon degrades to edge-only downloads).
+    control_up: AtomicBool,
     pending_query: Mutex<Option<mpsc::Sender<Vec<netsession_core::msg::PeerContact>>>>,
     metrics: MetricsRegistry,
     trace: TraceSink,
@@ -94,10 +97,6 @@ impl PeerDaemon {
 
         let control = TcpStream::connect(control_addr)
             .map_err(|e| Error::Network(format!("control connect: {e}")))?;
-        let mut control_read = control
-            .try_clone()
-            .map_err(|e| Error::Network(e.to_string()))?;
-        let mut control_write = control;
         let (control_tx, control_rx) = mpsc::channel::<TracedControlMsg>();
 
         let metrics = MetricsRegistry::new();
@@ -115,74 +114,32 @@ impl PeerDaemon {
                 uploads_enabled,
             )),
             control_tx: control_tx.clone(),
+            control_up: AtomicBool::new(false),
             pending_query: Mutex::new(None),
             metrics: metrics.clone(),
             trace,
         });
 
-        // Control writer.
-        let msgs_out = metrics.counter("net.peer.control_msgs_out");
+        // Control-link supervisor: owns the outbound queue for the
+        // daemon's whole life, logs in, pumps messages, and — when the
+        // link drops — reconnects with exponential backoff (§3.8).
+        let stop = Arc::new(AtomicBool::new(false));
+        let inner_for_link = inner.clone();
+        let stop_for_link = stop.clone();
+        let listen_port = listen_addr.port();
         std::thread::spawn(move || {
-            while let Ok((msg, ctx)) = control_rx.recv() {
-                if write_msg_traced(&mut control_write, &msg, ctx).is_err() {
-                    break;
-                }
-                msgs_out.incr();
-            }
-        });
-
-        // Login.
-        control_tx
-            .send((
-                ControlMsg::Login {
-                    guid,
-                    secondary_guids: vec![],
-                    uploads_enabled,
-                    software_version: 40_100,
-                    nat: NatType::Open,
-                    addr: PeerAddr {
-                        ip: u32::from_be_bytes([127, 0, 0, 1]),
-                        port: listen_addr.port(),
-                    },
-                },
-                None,
-            ))
-            .map_err(|_| Error::Network("control writer gone".into()))?;
-
-        // Control reader: LoginAck, PeerList (answering queries), ReAdd.
-        let inner_for_reader = inner.clone();
-        let msgs_in = metrics.counter("net.peer.control_msgs_in");
-        std::thread::spawn(move || {
-            while let Ok(Some(msg)) = read_msg::<_, ControlMsg>(&mut control_read) {
-                msgs_in.incr();
-                match msg {
-                    ControlMsg::PeerList { peers, .. } => {
-                        if let Some(tx) = inner_for_reader.pending_query.lock().unwrap().take() {
-                            let _ = tx.send(peers);
-                        }
-                    }
-                    ControlMsg::ReAdd => {
-                        let versions: Vec<_> = inner_for_reader
-                            .store
-                            .lock()
-                            .unwrap()
-                            .values()
-                            .map(|o| o.manifest.version)
-                            .collect();
-                        let _ = inner_for_reader
-                            .control_tx
-                            .send((ControlMsg::ReAddResponse { versions }, None));
-                    }
-                    // LoginAck / ConnectTo(passive) / ConfigUpdate need no
-                    // action in this loopback deployment: the active side
-                    // dials us directly.
-                    _ => {}
-                }
-            }
+            run_control_link(
+                inner_for_link,
+                control_addr,
+                control_rx,
+                Some(control),
+                uploads_enabled,
+                listen_port,
+                stop_for_link,
+            );
         });
 
         // Upload accept loop.
-        let stop = Arc::new(AtomicBool::new(false));
         let stop_for_accept = stop.clone();
         let inner_for_accept = inner.clone();
         std::thread::spawn(move || {
@@ -206,6 +163,14 @@ impl PeerDaemon {
             }
         });
 
+        // Wait for the supervisor's first login to go out so a download
+        // issued right after `start` returns sees the link up (the
+        // initial connect above already succeeded, so this is quick).
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !inner.control_up.load(Ordering::Acquire) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
         Ok(PeerDaemon {
             guid,
             edge_addr,
@@ -223,6 +188,12 @@ impl PeerDaemon {
     /// Number of objects in the local cache.
     pub fn cached_objects(&self) -> usize {
         self.inner.store.lock().unwrap().len()
+    }
+
+    /// Whether the control link is currently established (§3.8
+    /// observability: while false, downloads run edge-only).
+    pub fn control_connected(&self) -> bool {
+        self.inner.control_up.load(Ordering::Acquire)
     }
 
     /// Live telemetry registry for this daemon.
@@ -286,7 +257,11 @@ impl PeerDaemon {
         let piece_count = manifest.piece_count();
 
         // 2. Query the control plane for peers (p2p-enabled objects only).
-        let contacts = if policy.p2p_enabled {
+        // Every failure here degrades to an empty contact list — the edge
+        // backstop serves the whole object (§3.8: "peers can always fall
+        // back to downloading from the edge servers").
+        let control_up = self.inner.control_up.load(Ordering::Acquire);
+        let contacts = if policy.p2p_enabled && control_up {
             let (tx, rx) = mpsc::channel();
             *self.inner.pending_query.lock().unwrap() = Some(tx);
             let qspan = trace.span(ctx, "query_peers", "control", wall_now().as_micros());
@@ -307,13 +282,22 @@ impl PeerDaemon {
                     peers
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
+                    metrics.counter("net.peer.query_timeouts").incr();
                     trace.add_attr(qspan, "error", "timeout");
                     trace.end_span(qspan, wall_now().as_micros());
-                    return Err(Error::Network("peer query timeout".into()));
+                    Vec::new()
                 }
-                Err(mpsc::RecvTimeoutError::Disconnected) => Vec::new(),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    trace.add_attr(qspan, "error", "disconnected");
+                    trace.end_span(qspan, wall_now().as_micros());
+                    Vec::new()
+                }
             }
         } else {
+            if policy.p2p_enabled {
+                metrics.counter("net.peer.edge_only_downloads").incr();
+                trace.instant(ctx, "control_unreachable", "fault", wall_now().as_micros());
+            }
             Vec::new()
         };
 
@@ -340,9 +324,11 @@ impl PeerDaemon {
             let remote_guid = contact.guid;
             metrics.counter("net.peer.swarm_connections_out").incr();
             let attempt = trace.instant(ctx, "connect_attempt", "peer", wall_now().as_micros());
+            // The GUID on a connect_attempt is the peer we dial — the
+            // *destination* of the connection, not its source.
             trace.add_attr(
                 attempt,
-                "src_guid",
+                "dst_guid",
                 format!("{:016x}", remote_guid.0 as u64),
             );
             let thread_trace = trace.clone();
@@ -642,6 +628,196 @@ impl PeerDaemon {
         let _ = self.inner.control_tx.send((ControlMsg::Logout, None));
         self.stop.store(true, Ordering::Relaxed);
     }
+}
+
+/// Maximum exponent for the reconnect backoff: 50ms << 5 = 1.6s cap.
+const BACKOFF_BASE_MS: u64 = 50;
+const BACKOFF_MAX_SHIFT: u32 = 5;
+
+/// The control-link supervisor (§3.8).
+///
+/// Owns the outbound message queue for the daemon's entire life. For each
+/// established connection it sends `Login`, re-registers every cached
+/// object (fate-sharing: the CN lost our soft state when the connection
+/// died), raises `control_up`, and pumps queued messages until the link
+/// fails. Between connections it retries with exponential backoff plus
+/// deterministic jitter (seeded from the GUID) so a restarted CN is not
+/// hit by a synchronized thundering herd, while `control_up` stays low
+/// and downloads degrade to edge-only.
+#[allow(clippy::too_many_arguments)]
+fn run_control_link(
+    inner: Arc<Inner>,
+    control_addr: SocketAddr,
+    control_rx: mpsc::Receiver<TracedControlMsg>,
+    first: Option<TcpStream>,
+    uploads_enabled: bool,
+    listen_port: u16,
+    stop: Arc<AtomicBool>,
+) {
+    let mut jitter_rng = DetRng::seeded(inner.guid.0 as u64 ^ 0xC0A7_11AC);
+    let mut stream = first;
+    let mut failures: u32 = 0;
+    let mut sessions: u64 = 0;
+    let msgs_out = inner.metrics.counter("net.peer.control_msgs_out");
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let s = match stream.take() {
+            Some(s) => s,
+            None => match TcpStream::connect(control_addr) {
+                Ok(s) => s,
+                Err(_) => {
+                    inner
+                        .metrics
+                        .counter("net.peer.control_reconnect_failures")
+                        .incr();
+                    let base = BACKOFF_BASE_MS << failures.min(BACKOFF_MAX_SHIFT);
+                    // Up to +50% deterministic jitter, so a fleet of
+                    // daemons with distinct GUIDs desynchronizes.
+                    let delay = base + (base as f64 * 0.5 * jitter_rng.f64()) as u64;
+                    failures = failures.saturating_add(1);
+                    // Sleep in slices so shutdown stays responsive.
+                    let deadline = Instant::now() + Duration::from_millis(delay);
+                    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    continue;
+                }
+            },
+        };
+        failures = 0;
+        let Ok(read_half) = s.try_clone() else {
+            continue;
+        };
+        let mut write_half = s;
+        let link_down = Arc::new(AtomicBool::new(false));
+        spawn_control_reader(read_half, inner.clone(), link_down.clone());
+
+        // Session setup: login, then re-register whatever we cached while
+        // the control plane wasn't looking (fate-sharing re-add).
+        let login = ControlMsg::Login {
+            guid: inner.guid,
+            secondary_guids: vec![],
+            uploads_enabled,
+            software_version: 40_100,
+            nat: NatType::Open,
+            addr: PeerAddr {
+                ip: u32::from_be_bytes([127, 0, 0, 1]),
+                port: listen_port,
+            },
+        };
+        let mut session_ok = write_msg_traced(&mut write_half, &login, None).is_ok();
+        if session_ok {
+            msgs_out.incr();
+            if uploads_enabled {
+                let versions: Vec<_> = inner
+                    .store
+                    .lock()
+                    .unwrap()
+                    .values()
+                    .map(|o| o.manifest.version)
+                    .collect();
+                for version in versions {
+                    let msg = ControlMsg::RegisterContent {
+                        version,
+                        fraction: 1.0,
+                    };
+                    if write_msg_traced(&mut write_half, &msg, None).is_err() {
+                        session_ok = false;
+                        break;
+                    }
+                    msgs_out.incr();
+                    if sessions > 0 {
+                        inner
+                            .metrics
+                            .counter("net.peer.control_reregistrations")
+                            .incr();
+                    }
+                }
+            }
+        }
+        if session_ok {
+            if sessions > 0 {
+                inner.metrics.counter("net.peer.control_reconnects").incr();
+            }
+            sessions += 1;
+            inner.control_up.store(true, Ordering::Release);
+            // Pump outbound messages until the link drops or we stop.
+            loop {
+                if link_down.load(Ordering::Relaxed) {
+                    break;
+                }
+                if stop.load(Ordering::Relaxed) {
+                    // Drain what is already queued (Logout included), then
+                    // exit for good.
+                    while let Ok((msg, ctx)) = control_rx.try_recv() {
+                        if write_msg_traced(&mut write_half, &msg, ctx).is_err() {
+                            break;
+                        }
+                        msgs_out.incr();
+                    }
+                    inner.control_up.store(false, Ordering::Release);
+                    return;
+                }
+                match control_rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok((msg, ctx)) => {
+                        if write_msg_traced(&mut write_half, &msg, ctx).is_err() {
+                            break;
+                        }
+                        msgs_out.incr();
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        }
+        // Link failed: degrade. Dropping the pending-query sender wakes
+        // any download blocked on a peer query so it proceeds edge-only
+        // immediately instead of waiting out its timeout.
+        inner.control_up.store(false, Ordering::Release);
+        inner.metrics.counter("net.peer.control_disconnects").incr();
+        inner.pending_query.lock().unwrap().take();
+    }
+}
+
+/// Per-connection control reader: LoginAck, PeerList (answering queries),
+/// ReAdd. Signals `link_down` when the socket dies so the supervisor
+/// starts reconnecting.
+fn spawn_control_reader(mut read_half: TcpStream, inner: Arc<Inner>, link_down: Arc<AtomicBool>) {
+    let msgs_in = inner.metrics.counter("net.peer.control_msgs_in");
+    std::thread::spawn(move || {
+        while let Ok(Some(msg)) = read_msg::<_, ControlMsg>(&mut read_half) {
+            msgs_in.incr();
+            match msg {
+                ControlMsg::PeerList { peers, .. } => {
+                    if let Some(tx) = inner.pending_query.lock().unwrap().take() {
+                        let _ = tx.send(peers);
+                    }
+                }
+                ControlMsg::ReAdd => {
+                    let versions: Vec<_> = inner
+                        .store
+                        .lock()
+                        .unwrap()
+                        .values()
+                        .map(|o| o.manifest.version)
+                        .collect();
+                    let _ = inner
+                        .control_tx
+                        .send((ControlMsg::ReAddResponse { versions }, None));
+                }
+                // LoginAck / ConnectTo(passive) / ConfigUpdate need no
+                // action in this loopback deployment: the active side
+                // dials us directly.
+                _ => {}
+            }
+        }
+        link_down.store(true, Ordering::Relaxed);
+        // Fail any in-flight query right away (the supervisor also does
+        // this, but it may be up to 100ms behind).
+        inner.pending_query.lock().unwrap().take();
+    });
 }
 
 /// Serve one inbound swarm connection (the upload side). When the

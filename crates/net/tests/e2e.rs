@@ -204,6 +204,146 @@ fn upload_disabled_peer_is_never_selected() {
     d.edge.shutdown();
 }
 
+/// §3.8 over real sockets: kill the control server mid-deployment, watch
+/// daemons degrade to edge-only, restart the server on the same port, and
+/// verify the reconnect supervisor re-logs-in and re-registers cached
+/// content (fate-sharing) so the swarm works again.
+#[test]
+fn control_kill_degrades_to_edge_then_reconnect_restores_the_swarm() {
+    let Deployment {
+        control,
+        edge,
+        content,
+    } = deploy(true);
+    let expected_hash = sha256(&content);
+    let control_addr = control.local_addr();
+
+    // Seed peer 1 from the edge; its registration lands on the CN.
+    let p1 = PeerDaemon::start(control_addr, edge.local_addr(), Guid(51), true).unwrap();
+    p1.download(ObjectId(1)).unwrap();
+    // Peer 2 joins while the control plane is still healthy.
+    let p2 = PeerDaemon::start(control_addr, edge.local_addr(), Guid(52), true).unwrap();
+    assert!(p1.control_connected() && p2.control_connected());
+
+    // Crash the CN: every live control connection is severed.
+    control.kill();
+    let gone = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while (p1.control_connected() || p2.control_connected()) && std::time::Instant::now() < gone {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(
+        !p2.control_connected(),
+        "severed link must be detected and control_up lowered"
+    );
+
+    // Download during the outage: no peer query, all bytes from the edge.
+    let r2 = p2.download(ObjectId(1)).unwrap();
+    assert_eq!(r2.content_hash, expected_hash);
+    assert_eq!(r2.bytes_from_peers, 0);
+    assert_eq!(r2.bytes_from_edge, content.len() as u64);
+    assert_eq!(
+        p2.metrics().counter("net.peer.edge_only_downloads").get(),
+        1,
+        "the degraded download must be counted"
+    );
+
+    // Restart the CN on the same address. SO_REUSEADDR lets us rebind as
+    // soon as the old accept loop notices the stop flag (~10ms); retry
+    // until then.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let control2 = loop {
+        match ControlServer::start(&control_addr.to_string(), EdgeAuth::from_seed(42)) {
+            Ok(server) => break server,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => panic!("restart on {control_addr} failed: {e:?}"),
+        }
+    };
+
+    // Both daemons reconnect under backoff and re-register their caches.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while control2.connected() < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert_eq!(control2.connected(), 2, "both daemons must reconnect");
+    let version = netsession_core::id::VersionId {
+        object: ObjectId(1),
+        version: 1,
+    };
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while control2.holder_count(version) < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert_eq!(
+        control2.holder_count(version),
+        2,
+        "reconnect must re-register both cached copies (fate-sharing)"
+    );
+    assert!(p2.metrics().counter("net.peer.control_reconnects").get() >= 1);
+    assert!(p2.metrics().counter("net.peer.control_disconnects").get() >= 1);
+    assert!(
+        p2.metrics()
+            .counter("net.peer.control_reregistrations")
+            .get()
+            >= 1
+    );
+
+    // A third peer now sees a healthy swarm again.
+    let p3 = PeerDaemon::start(control_addr, edge.local_addr(), Guid(53), true).unwrap();
+    let r3 = p3.download(ObjectId(1)).unwrap();
+    assert_eq!(r3.content_hash, expected_hash);
+    assert!(
+        r3.bytes_from_peers > 0,
+        "after recovery the swarm must serve bytes again"
+    );
+
+    p1.shutdown();
+    p2.shutdown();
+    p3.shutdown();
+    control2.shutdown();
+    edge.shutdown();
+}
+
+/// A control plane that accepts connections but never answers: the peer
+/// query times out after 3s and the download must degrade to edge-only
+/// (not fail), count the timeout, and close the query span.
+#[test]
+fn unresponsive_control_times_out_and_degrades_to_edge() {
+    let d = deploy(true);
+
+    // Black-hole control server: accepts and holds sockets, says nothing.
+    let blackhole = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let bh_addr = blackhole.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = blackhole.accept() {
+            held.push(stream);
+        }
+    });
+
+    let p = PeerDaemon::start(bh_addr, d.edge.local_addr(), Guid(61), true).unwrap();
+    let r = p.download(ObjectId(1)).unwrap();
+    assert_eq!(r.content_hash, sha256(&d.content));
+    assert_eq!(r.bytes_from_peers, 0);
+    assert_eq!(r.bytes_from_edge, d.content.len() as u64);
+    assert_eq!(r.peer_sources, 0);
+    assert_eq!(p.metrics().counter("net.peer.query_timeouts").get(), 1);
+    assert_eq!(p.metrics().counter("net.peer.downloads_completed").get(), 1);
+
+    // The timed-out query span must still be closed (span-leak fix).
+    let spans = p.trace().spans();
+    let q = spans
+        .iter()
+        .find(|s| s.name == "query_peers")
+        .expect("query span recorded");
+    assert!(q.end_us.is_some(), "timeout path must end the span");
+
+    p.shutdown();
+    d.control.shutdown();
+    d.edge.shutdown();
+}
+
 #[test]
 fn unknown_object_is_denied() {
     let d = deploy(true);

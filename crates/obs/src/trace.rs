@@ -290,6 +290,37 @@ impl TraceSink {
         ctx.child(root)
     }
 
+    /// Begin a trace that bypasses sampling — always recorded. For rare,
+    /// high-signal lifecycles (fault injection and recovery) where 1-in-N
+    /// download sampling would almost always discard the story. Advances
+    /// the same trace counter as [`TraceSink::start_trace`], so the ids
+    /// handed to subsequent traces do not depend on the sampling rate.
+    pub fn start_trace_always(
+        &self,
+        name: &'static str,
+        cat: &'static str,
+        start_us: u64,
+    ) -> TraceCtx {
+        let Some(shared) = &self.shared else {
+            return TraceCtx::NONE;
+        };
+        let mut st = shared.state.lock().unwrap();
+        st.traces_started += 1;
+        let n = st.traces_started;
+        if let Some(m) = &st.metrics {
+            m.counter("trace.started").incr();
+            m.counter("trace.sampled").incr();
+        }
+        let trace = TraceId(shared.id_prefix | n);
+        let ctx = TraceCtx {
+            trace,
+            span: SpanId::NONE,
+            sampled: true,
+        };
+        let root = record_span(shared, &mut st, ctx, name, cat, start_us);
+        ctx.child(root)
+    }
+
     /// Adopt a trace/span pair received from another process (live
     /// runtime: the framing header carries them). The returned context is
     /// sampled — the sender only propagates sampled traces — and new
@@ -541,6 +572,27 @@ mod tests {
         assert_eq!(sink.traces_started(), 7);
         // Three roots recorded.
         assert_eq!(sink.spans().len(), 3);
+    }
+
+    #[test]
+    fn forced_traces_bypass_sampling_but_share_the_counter() {
+        let sink = TraceSink::new(3);
+        // Sampled: trace 1. Unsampled: 2, 3.
+        assert!(sink.start_trace("t", "hybrid", 0).sampled);
+        assert!(!sink.start_trace("t", "hybrid", 1).sampled);
+        // Forced trace is recorded even though counter 3 is off-cycle...
+        let forced = sink.start_trace_always("fault_cn_crash", "fault", 2);
+        assert!(forced.sampled);
+        // ...and it advanced the shared counter, so the next regular
+        // trace (number 4) lands on the 1-in-3 cycle.
+        assert!(sink.start_trace("t", "hybrid", 3).sampled);
+        assert_eq!(sink.traces_started(), 4);
+        assert_eq!(sink.spans().len(), 3);
+        // Detached sinks stay inert.
+        assert_eq!(
+            TraceSink::detached().start_trace_always("f", "fault", 0),
+            TraceCtx::NONE
+        );
     }
 
     #[test]

@@ -23,6 +23,14 @@ trap 'rm -rf "$tmp"' EXIT
 cmp "$tmp/run1.txt" "$tmp/run2.txt"
 cmp "$tmp/trace1.json" "$tmp/trace2.json"
 
+echo "== chaos determinism (same seed => byte-identical campaign + trace)"
+cargo build -q --release -p netsession-bench --bin chaos
+chaos_bin="$PWD/target/release/chaos"
+(cd "$tmp" && "$chaos_bin" --scale 2000 --downloads 3000 >chaos1.txt 2>/dev/null && mv results/chaos.trace.json chaos_trace1.json)
+(cd "$tmp" && "$chaos_bin" --scale 2000 --downloads 3000 >chaos2.txt 2>/dev/null && mv results/chaos.trace.json chaos_trace2.json)
+cmp "$tmp/chaos1.txt" "$tmp/chaos2.txt"
+cmp "$tmp/chaos_trace1.json" "$tmp/chaos_trace2.json"
+
 echo "== committed trace exports stay under 1 MiB"
 oversize="$(find results -name '*.trace.json' -size +1M 2>/dev/null || true)"
 if [ -n "$oversize" ]; then
