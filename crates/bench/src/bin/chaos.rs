@@ -12,8 +12,11 @@
 use netsession_bench::runner::{
     config_for, parse_args, pct, write_metrics_sidecar, write_trace_sidecar,
 };
+use netsession_hybrid::alerts::FAULT_CLASS_RULES;
 use netsession_hybrid::{FaultEvent, FaultKind, HybridSim, SimOutput};
 use netsession_logs::records::DownloadOutcome;
+use netsession_obs::json::push_str_literal;
+use netsession_obs::AlertEvent;
 use std::collections::BTreeMap;
 
 /// The injected campaign: one fault class per week, every region.
@@ -41,6 +44,88 @@ fn campaign() -> Vec<FaultEvent> {
         kind: FaultKind::ChurnBurst { fraction: 0.3 },
     });
     events
+}
+
+/// First injection hour of each fault class, in [`FAULT_CLASS_RULES`]
+/// order (joined against the campaign above).
+const INJECTION_HOURS: [u64; 4] = [186, 330, 480, 600];
+
+/// Time-to-detection per fault class: the first raise of the class's
+/// detection rule at-or-after its injection instant.
+fn detection_table(out: &SimOutput) -> Vec<(&'static str, &'static str, u64, Option<u64>)> {
+    FAULT_CLASS_RULES
+        .iter()
+        .zip(INJECTION_HOURS)
+        .map(|((class, rule, _), at_hours)| {
+            let injected_us = at_hours * 3_600_000_000;
+            let detected = out
+                .alerts
+                .iter()
+                .find(|e| e.rule == *rule && e.raised && e.at_us >= injected_us)
+                .map(|e| e.at_us);
+            (*class, *rule, injected_us, detected)
+        })
+        .collect()
+}
+
+/// Deterministic sidecar: the full alert log plus the TTD table as JSON.
+fn write_alerts_sidecars(
+    ttd: &[(&str, &str, u64, Option<u64>)],
+    log: &[AlertEvent],
+    baseline_alerts: usize,
+) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("# alerts sidecars skipped: cannot create results/: {e}");
+        return;
+    }
+
+    let mut txt = String::from("# chaos-run alert transitions (virtual time)\n");
+    for e in log {
+        txt.push_str(&format!(
+            "{:>10.1}s  {}  {:<20} {}\n",
+            e.at_us as f64 / 1e6,
+            if e.raised { "RAISE" } else { "clear" },
+            e.rule,
+            e.message
+        ));
+    }
+
+    let mut json = String::from("{\n  \"baseline_alerts\": ");
+    json.push_str(&baseline_alerts.to_string());
+    json.push_str(",\n  \"time_to_detection\": [\n");
+    for (i, (class, rule, injected_us, detected)) in ttd.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"class\": \"{class}\", \"rule\": \"{rule}\", \"injected_us\": {injected_us}, "
+        ));
+        match detected {
+            Some(at) => json.push_str(&format!(
+                "\"detected_us\": {at}, \"ttd_s\": {:.1}}}",
+                (at - injected_us) as f64 / 1e6
+            )),
+            None => json.push_str("\"detected_us\": null, \"ttd_s\": null}"),
+        }
+        json.push_str(if i + 1 < ttd.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"log\": [\n");
+    for (i, e) in log.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"at_us\": {}, \"rule\": \"{}\", \"raised\": {}, \"message\": ",
+            e.at_us, e.rule, e.raised
+        ));
+        push_str_literal(&mut json, &e.message);
+        json.push('}');
+        json.push_str(if i + 1 < log.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    for (name, body) in [("alerts.txt", txt), ("alerts.json", json)] {
+        let path = dir.join(name);
+        match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("# alerts sidecar: {}", path.display()),
+            Err(e) => eprintln!("# alerts sidecar skipped: {e}"),
+        }
+    }
 }
 
 fn completion_rate(out: &SimOutput) -> f64 {
@@ -89,11 +174,18 @@ fn main() {
     let cfg = config_for(&args);
 
     let baseline = HybridSim::run_config(cfg.clone());
+    assert!(
+        baseline.alerts.is_empty(),
+        "zero-fault baseline fired alerts (false positives): {:?}",
+        baseline.alerts
+    );
     let mut chaos_cfg = cfg;
     chaos_cfg.faults.events = campaign();
     let out = HybridSim::run_config(chaos_cfg);
     write_metrics_sidecar("chaos", &out.metrics);
     write_trace_sidecar("chaos", &out.trace);
+    let ttd = detection_table(&out);
+    write_alerts_sidecars(&ttd, &out.alerts, baseline.alerts.len());
 
     println!("injected campaign (one fault class per week, all 9 regions):");
     println!(
@@ -212,4 +304,33 @@ fn main() {
             *max_us as f64 / 1e6
         );
     }
+    println!();
+
+    // §3.8 alerting: the AlertEngine ran over virtual time during both
+    // runs. The baseline fired nothing (asserted above); here the chaos
+    // run must detect every injected class.
+    println!("alert engine (baseline run): 0 transitions — zero false positives");
+    println!("time-to-detection (first raise after injection, virtual time):");
+    let mut missed = 0;
+    for (class, rule, injected_us, detected) in &ttd {
+        match detected {
+            Some(at) => println!(
+                "  {:<12} rule {:<16} injected day {:<5.2} detected +{:.1}s",
+                class,
+                rule,
+                *injected_us as f64 / 86.4e9,
+                (at - injected_us) as f64 / 1e6
+            ),
+            None => {
+                missed += 1;
+                println!("  {class:<12} rule {rule:<16} NEVER DETECTED");
+            }
+        }
+    }
+    println!(
+        "alert transitions over the chaos month: {} ({} raises)",
+        out.alerts.len(),
+        out.alerts.iter().filter(|e| e.raised).count()
+    );
+    assert_eq!(missed, 0, "every injected fault class must be detected");
 }

@@ -6,24 +6,46 @@
 //! troubleshoot specific user issues" (§3.6). "Download and upload
 //! performance is constantly monitored, and automated alerts are in place
 //! to notify network engineers in case of large-scale problems" (§3.8).
+//!
+//! The node itself is thin: problem reports and speed samples feed a
+//! private [`MetricsRegistry`], and the alerting logic is the shared
+//! [`AlertEngine`] from `netsession-obs` — the same rule machinery the
+//! hybrid simulator runs over virtual time and the live monitor server
+//! runs over wall-clock scrapes. Two rules:
+//!
+//! - **problem burst** (rate-of-change): total problem reports rise by at
+//!   least `problem_threshold` within `window`;
+//! - **fleet speed** (threshold): the mean download speed across the
+//!   trailing window (once at least [`SPEED_MIN_SAMPLES`] samples are in
+//!   it) sits below `speed_floor`.
+//!
+//! Alerts clear on their own when the window quiets down or speeds
+//! recover; use [`MonitoringNode::poll`] to advance the clock when no
+//! reports are arriving.
 
 use netsession_core::id::Guid;
-use netsession_core::time::SimTime;
+use netsession_core::time::{SimDuration, SimTime};
 use netsession_core::units::Bandwidth;
+use netsession_obs::{AlertEngine, AlertRule, MetricsRegistry, RuleKind};
 use std::collections::VecDeque;
 
-/// Kinds of problem reports peers upload.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum ProblemKind {
-    /// The client application crashed.
-    Crash,
-    /// A download failed for a system-related cause.
-    DownloadFailure,
-    /// Repeated piece-verification failures (possible corruption source).
-    VerificationFailure,
-    /// NAT traversal failed against a selected peer.
-    TraversalFailure,
-}
+pub use netsession_core::msg::ProblemKind;
+
+/// Minimum speed samples in the window before the fleet-speed rule is
+/// allowed to judge the mean (avoids alerting on a handful of slow
+/// outliers right after startup).
+pub const SPEED_MIN_SAMPLES: usize = 100;
+
+/// Counter fed by [`MonitoringNode::report_problem`] (all kinds).
+pub const PROBLEMS_TOTAL: &str = "monitor.problems.total";
+/// Gauge holding the windowed fleet mean download speed in bytes/sec
+/// (only meaningful once [`SPEED_MIN_SAMPLES`] samples are present).
+pub const SPEED_MEAN_GAUGE: &str = "monitor.speed.window_mean_bps";
+
+/// Rule name for the problem-burst alert.
+pub const RULE_PROBLEM_BURST: &str = "problem-burst";
+/// Rule name for the fleet-speed alert.
+pub const RULE_FLEET_SPEED: &str = "fleet-speed";
 
 /// One problem report.
 #[derive(Clone, Debug)]
@@ -45,15 +67,21 @@ pub struct Alert {
     pub message: String,
 }
 
-/// Sliding-window monitoring with rate-based alerts.
+/// Monitoring node: ingests reports, delegates alerting to an
+/// [`AlertEngine`].
+///
+/// The tunables (`window`, `problem_threshold`, `speed_floor`) are public
+/// fields and may be adjusted until the first report or poll; the engine
+/// is built from them lazily on first use and fixed from then on.
 pub struct MonitoringNode {
     /// Window size for rate alerts.
-    pub window: netsession_core::time::SimDuration,
+    pub window: SimDuration,
     /// Problem-count threshold within the window that triggers an alert.
     pub problem_threshold: usize,
     /// Mean download speed below which a sustained-speed alert fires.
     pub speed_floor: Bandwidth,
-    reports: VecDeque<ProblemReport>,
+    registry: MetricsRegistry,
+    engine: Option<AlertEngine>,
     speed_samples: VecDeque<(SimTime, Bandwidth)>,
     alerts: Vec<Alert>,
     total_reports: u64,
@@ -64,28 +92,108 @@ impl MonitoringNode {
     /// threshold, 0.5 Mbps fleet-speed floor.
     pub fn new() -> Self {
         MonitoringNode {
-            window: netsession_core::time::SimDuration::from_mins(10),
+            window: SimDuration::from_mins(10),
             problem_threshold: 1000,
             speed_floor: Bandwidth::from_mbps(0.5),
-            reports: VecDeque::new(),
+            registry: MetricsRegistry::with_event_capacity(0),
+            engine: None,
             speed_samples: VecDeque::new(),
             alerts: Vec::new(),
             total_reports: 0,
         }
     }
 
-    fn evict(&mut self, now: SimTime) {
+    /// Ingest a problem report; may raise (or clear) alerts.
+    pub fn report_problem(&mut self, report: ProblemReport) {
+        let now = report.at;
+        self.prime(now);
+        self.total_reports += 1;
+        self.registry.counter(PROBLEMS_TOTAL).incr();
+        self.registry
+            .counter(&format!("monitor.problems.{}", report.kind.label()))
+            .incr();
+        self.evaluate(now);
+    }
+
+    /// Ingest a per-download mean-speed sample; may raise (or clear) the
+    /// fleet-speed alert when the windowed mean dips below the floor.
+    pub fn report_speed(&mut self, at: SimTime, speed: Bandwidth) {
+        self.prime(at);
+        self.speed_samples.push_back((at, speed));
+        self.evaluate(at);
+    }
+
+    /// Advance the clock without new input, so alerts whose window has
+    /// quieted down get a chance to clear.
+    pub fn poll(&mut self, now: SimTime) {
+        self.prime(now);
+        self.evaluate(now);
+    }
+
+    /// Alerts raised so far (raise transitions only; clears are visible
+    /// through [`MonitoringNode::active_alerts`]).
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Names of currently firing rules.
+    pub fn active_alerts(&self) -> Vec<&str> {
+        self.engine.as_ref().map(|e| e.active()).unwrap_or_default()
+    }
+
+    /// Total problem reports ever ingested.
+    pub fn total_reports(&self) -> u64 {
+        self.total_reports
+    }
+
+    /// Problem reports of one kind ever ingested.
+    pub fn problem_count(&self, kind: ProblemKind) -> u64 {
+        self.registry
+            .counter(&format!("monitor.problems.{}", kind.label()))
+            .get()
+    }
+
+    /// Build the engine from the current tunables and feed it one
+    /// baseline observation at `now` *before* the first ingest counts,
+    /// so the engine's first real delta is measured against an empty
+    /// window rather than swallowing the first report.
+    fn prime(&mut self, now: SimTime) {
+        if self.engine.is_some() {
+            return;
+        }
+        self.refresh_speed_gauge(now);
+        let mut engine = AlertEngine::new(vec![
+            AlertRule::new(
+                RULE_PROBLEM_BURST,
+                PROBLEMS_TOTAL,
+                RuleKind::RateAbove {
+                    delta: self.problem_threshold as u64,
+                },
+                self.window.as_micros(),
+            ),
+            AlertRule::new(
+                RULE_FLEET_SPEED,
+                SPEED_MEAN_GAUGE,
+                RuleKind::GaugeBelow {
+                    limit: self.speed_floor.bytes_per_sec() as i64,
+                },
+                0,
+            ),
+        ]);
+        engine.observe(
+            now.since(SimTime::ZERO).as_micros(),
+            &self.registry.scrape(),
+        );
+        self.engine = Some(engine);
+    }
+
+    fn refresh_speed_gauge(&mut self, now: SimTime) -> i64 {
+        // The gauge starts (and idles) at i64::MAX: a missing gauge
+        // would read 0 and instantly trip the below-floor rule.
         let horizon = now
             .since(SimTime::ZERO)
             .as_micros()
             .saturating_sub(self.window.as_micros());
-        while self
-            .reports
-            .front()
-            .is_some_and(|r| r.at.as_micros() < horizon)
-        {
-            self.reports.pop_front();
-        }
         while self
             .speed_samples
             .front()
@@ -93,60 +201,43 @@ impl MonitoringNode {
         {
             self.speed_samples.pop_front();
         }
-    }
-
-    /// Ingest a problem report; may raise an alert.
-    pub fn report_problem(&mut self, report: ProblemReport) {
-        let now = report.at;
-        self.total_reports += 1;
-        self.reports.push_back(report);
-        self.evict(now);
-        if self.reports.len() >= self.problem_threshold {
-            self.alerts.push(Alert {
-                at: now,
-                message: format!(
-                    "{} problem reports within {}",
-                    self.reports.len(),
-                    self.window
-                ),
-            });
-            self.reports.clear();
-        }
-    }
-
-    /// Ingest a per-download mean-speed sample; may raise an alert when the
-    /// fleet-wide mean in the window dips below the floor.
-    pub fn report_speed(&mut self, at: SimTime, speed: Bandwidth) {
-        self.speed_samples.push_back((at, speed));
-        self.evict(at);
-        if self.speed_samples.len() >= 100 {
-            let mean: f64 = self
+        let mean_bps = if self.speed_samples.len() >= SPEED_MIN_SAMPLES {
+            let mean = self
                 .speed_samples
                 .iter()
                 .map(|(_, s)| s.bytes_per_sec())
                 .sum::<f64>()
                 / self.speed_samples.len() as f64;
-            if mean < self.speed_floor.bytes_per_sec() {
-                self.alerts.push(Alert {
-                    at,
-                    message: format!(
-                        "fleet mean download speed {:.2} Mbps below floor",
-                        Bandwidth::from_bytes_per_sec(mean).as_mbps()
-                    ),
-                });
-                self.speed_samples.clear();
+            mean as i64
+        } else {
+            i64::MAX
+        };
+        self.registry.gauge(SPEED_MEAN_GAUGE).set(mean_bps);
+        mean_bps
+    }
+
+    fn evaluate(&mut self, now: SimTime) {
+        let mean_bps = self.refresh_speed_gauge(now);
+        let engine = self.engine.as_mut().expect("primed before evaluate");
+        for ev in engine.observe(
+            now.since(SimTime::ZERO).as_micros(),
+            &self.registry.scrape(),
+        ) {
+            if !ev.raised {
+                continue;
             }
+            let message = match ev.rule.as_str() {
+                RULE_PROBLEM_BURST => {
+                    format!("problem reports burst within {}", self.window)
+                }
+                RULE_FLEET_SPEED => format!(
+                    "fleet mean download speed {:.2} Mbps below floor",
+                    Bandwidth::from_bytes_per_sec(mean_bps as f64).as_mbps()
+                ),
+                _ => ev.message.clone(),
+            };
+            self.alerts.push(Alert { at: now, message });
         }
-    }
-
-    /// Alerts raised so far.
-    pub fn alerts(&self) -> &[Alert] {
-        &self.alerts
-    }
-
-    /// Total problem reports ever ingested.
-    pub fn total_reports(&self) -> u64 {
-        self.total_reports
     }
 }
 
@@ -159,21 +250,50 @@ impl Default for MonitoringNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsession_core::time::SimDuration;
+
+    fn report(at: SimTime, kind: ProblemKind) -> ProblemReport {
+        ProblemReport {
+            at,
+            guid: Guid(1),
+            kind,
+        }
+    }
 
     #[test]
     fn problem_burst_raises_alert() {
         let mut m = MonitoringNode::new();
         m.problem_threshold = 10;
         for i in 0..10 {
-            m.report_problem(ProblemReport {
-                at: SimTime(i),
-                guid: Guid(i as u128),
-                kind: ProblemKind::Crash,
-            });
+            m.report_problem(report(SimTime(i), ProblemKind::Crash));
         }
         assert_eq!(m.alerts().len(), 1);
         assert!(m.alerts()[0].message.contains("problem reports"));
+        assert_eq!(m.active_alerts(), vec![RULE_PROBLEM_BURST]);
+    }
+
+    #[test]
+    fn quiet_period_clears_burst_alert() {
+        let mut m = MonitoringNode::new();
+        m.problem_threshold = 10;
+        for i in 0..10 {
+            m.report_problem(report(SimTime(i), ProblemKind::Crash));
+        }
+        assert_eq!(m.active_alerts(), vec![RULE_PROBLEM_BURST]);
+        // A full quiet window later the burst has rolled out of the
+        // window; the alert clears without new reports.
+        m.poll(SimTime::ZERO + SimDuration::from_mins(11));
+        assert!(m.active_alerts().is_empty());
+        // The raise stays in the historical log.
+        assert_eq!(m.alerts().len(), 1);
+        // A second burst re-raises.
+        let base = SimTime::ZERO + SimDuration::from_mins(20);
+        for i in 0..10 {
+            m.report_problem(report(SimTime(base.0 + i), ProblemKind::DownloadFailure));
+        }
+        assert_eq!(m.alerts().len(), 2);
+        assert_eq!(m.total_reports(), 20);
+        assert_eq!(m.problem_count(ProblemKind::Crash), 10);
+        assert_eq!(m.problem_count(ProblemKind::DownloadFailure), 10);
     }
 
     #[test]
@@ -182,11 +302,10 @@ mod tests {
         m.problem_threshold = 10;
         // One report every 5 minutes: never 10 within a 10-minute window.
         for i in 0..50u64 {
-            m.report_problem(ProblemReport {
-                at: SimTime::ZERO + SimDuration::from_mins(5 * i),
-                guid: Guid(1),
-                kind: ProblemKind::DownloadFailure,
-            });
+            m.report_problem(report(
+                SimTime::ZERO + SimDuration::from_mins(5 * i),
+                ProblemKind::DownloadFailure,
+            ));
         }
         assert!(m.alerts().is_empty());
         assert_eq!(m.total_reports(), 50);
@@ -200,6 +319,22 @@ mod tests {
         }
         assert_eq!(m.alerts().len(), 1);
         assert!(m.alerts()[0].message.contains("below floor"));
+        assert_eq!(m.active_alerts(), vec![RULE_FLEET_SPEED]);
+    }
+
+    #[test]
+    fn recovered_speeds_clear_the_alert() {
+        let mut m = MonitoringNode::new();
+        for i in 0..100u64 {
+            m.report_speed(SimTime(i), Bandwidth::from_mbps(0.1));
+        }
+        assert_eq!(m.active_alerts(), vec![RULE_FLEET_SPEED]);
+        // Healthy samples push the windowed mean back above the floor.
+        for i in 100..600u64 {
+            m.report_speed(SimTime(i), Bandwidth::from_mbps(8.0));
+        }
+        assert!(m.active_alerts().is_empty());
+        assert_eq!(m.alerts().len(), 1);
     }
 
     #[test]

@@ -803,6 +803,119 @@ impl Wire for EdgeMsg {
     }
 }
 
+/// Category of a §3.6 problem report: "peers upload information about
+/// their operation and about problems" to the monitoring nodes. The
+/// taxonomy mirrors what a client can self-diagnose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProblemKind {
+    /// Client crashed (detected on next start).
+    Crash,
+    /// A download failed outright.
+    DownloadFailure,
+    /// Downloaded content failed hash verification.
+    VerificationFailure,
+    /// NAT traversal to a peer failed.
+    TraversalFailure,
+}
+
+impl ProblemKind {
+    /// All variants, for iteration in tests and metric registration.
+    pub const ALL: [ProblemKind; 4] = [
+        ProblemKind::Crash,
+        ProblemKind::DownloadFailure,
+        ProblemKind::VerificationFailure,
+        ProblemKind::TraversalFailure,
+    ];
+
+    /// Stable lowercase label used in metric names and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProblemKind::Crash => "crash",
+            ProblemKind::DownloadFailure => "download_failure",
+            ProblemKind::VerificationFailure => "verification_failure",
+            ProblemKind::TraversalFailure => "traversal_failure",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            ProblemKind::Crash => 0,
+            ProblemKind::DownloadFailure => 1,
+            ProblemKind::VerificationFailure => 2,
+            ProblemKind::TraversalFailure => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> CodecResult<Self> {
+        Ok(match c {
+            0 => ProblemKind::Crash,
+            1 => ProblemKind::DownloadFailure,
+            2 => ProblemKind::VerificationFailure,
+            3 => ProblemKind::TraversalFailure,
+            x => return Err(Error::Codec(format!("invalid problem kind {x}"))),
+        })
+    }
+}
+
+impl Wire for ProblemKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.code());
+    }
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        ProblemKind::from_code(r.get_u8()?)
+    }
+}
+
+/// Messages on peer → monitoring-node connections (§3.6). A separate
+/// conversation from [`ControlMsg`]: problem reports must survive when
+/// the control link itself is the problem, so peers push them to the
+/// monitor server over a short-lived dedicated connection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MonitorMsg {
+    /// One self-diagnosed problem report.
+    Problem {
+        /// Reporting peer.
+        guid: Guid,
+        /// What went wrong.
+        kind: ProblemKind,
+        /// Free-form context (object id, remote peer, error string).
+        detail: String,
+    },
+}
+
+impl MonitorMsg {
+    fn tag(&self) -> u8 {
+        match self {
+            MonitorMsg::Problem { .. } => 0,
+        }
+    }
+}
+
+impl Wire for MonitorMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.tag());
+        match self {
+            MonitorMsg::Problem { guid, kind, detail } => {
+                guid.encode(w);
+                kind.encode(w);
+                detail.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            0 => MonitorMsg::Problem {
+                guid: Guid::decode(r)?,
+                kind: ProblemKind::decode(r)?,
+                detail: String::decode(r)?,
+            },
+            x => return Err(Error::Codec(format!("invalid monitor tag {x}"))),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -985,11 +1098,24 @@ mod tests {
     }
 
     #[test]
+    fn monitor_messages_roundtrip() {
+        for kind in ProblemKind::ALL {
+            roundtrip(MonitorMsg::Problem {
+                guid: Guid(42),
+                kind,
+                detail: format!("context for {}", kind.label()),
+            });
+        }
+    }
+
+    #[test]
     fn invalid_tags_rejected() {
         assert!(ControlMsg::from_payload(&[99]).is_err());
         assert!(SwarmMsg::from_payload(&[99]).is_err());
         assert!(EdgeMsg::from_payload(&[99]).is_err());
         assert!(NatType::from_payload(&[7]).is_err());
+        assert!(MonitorMsg::from_payload(&[9]).is_err());
+        assert!(ProblemKind::from_payload(&[9]).is_err());
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! The §3.8 alert policy for the simulated deployment.
+//!
+//! One declarative rule set, evaluated two ways: the hybrid driver runs
+//! it over *virtual* time each observation interval (so a chaos campaign
+//! reports deterministic time-to-detection numbers), and the live
+//! `monitor_server` runs the same [`AlertEngine`] machinery over
+//! wall-clock scrapes. Rules watch the `hybrid.fault.*` counters the
+//! fault-injection subsystem maintains; every counter is either covered
+//! by a rule here or listed in [`ALLOWLIST`] with a reason —
+//! `scripts/check.sh` greps the source to keep that exhaustive.
+//!
+//! Rule taxonomy:
+//!
+//! - **Fault-class rules** (one per injectable [`FaultKind`]): fire on
+//!   any injection of that class within the trailing hour. These are what
+//!   the chaos bench's time-to-detection table is measured against.
+//! - **Symptom rules**: fire on the *observable damage* — mass control
+//!   disconnects, cut backstop flows, degraded edge-only downloads —
+//!   so an alert still raises when the cause counter is missing.
+//!
+//! A fault-free run never creates any `hybrid.fault.*` counter (they are
+//! lazily registered at first increment), so the zero-fault baseline is
+//! structurally incapable of false positives.
+//!
+//! [`FaultKind`]: crate::config::FaultKind
+
+use netsession_obs::{AlertRule, RuleKind};
+
+/// Observation window for every rate rule: one trailing hour of virtual
+/// (or wall) time. Detection latency is bounded by the driver's
+/// observation cadence, not by this window; the window only controls how
+/// long an alert stays raised after the burst ends.
+pub const RULE_WINDOW_US: u64 = 3_600_000_000;
+
+/// Fault-class rule names, paired with the chaos campaign class each one
+/// detects: `(class label, rule name, watched counter)`.
+pub const FAULT_CLASS_RULES: [(&str, &str, &str); 4] = [
+    ("cn_crash", "control-crash", "hybrid.fault.cn_crashes"),
+    ("dn_wipe", "directory-wipe", "hybrid.fault.dn_wipes"),
+    ("edge_outage", "edge-outage", "hybrid.fault.edge_outages"),
+    ("churn_burst", "churn-burst", "hybrid.fault.churn_bursts"),
+];
+
+/// Symptom rules: `(rule name, watched counter)`.
+pub const SYMPTOM_RULES: [(&str, &str); 5] = [
+    ("fault-injected", "hybrid.fault.injected"),
+    ("mass-disconnect", "hybrid.fault.peers_disconnected"),
+    ("churn-offline", "hybrid.fault.churn_offline"),
+    ("backstop-cut", "hybrid.fault.edge_flows_cut"),
+    ("degraded-downloads", "hybrid.fault.edge_only_downloads"),
+];
+
+/// `hybrid.fault.*` counters deliberately *without* an alert rule: they
+/// count the recovery machinery doing its job (readmission pacing,
+/// RE-ADD fate-sharing, backstop re-attachment). Alerting on recovery
+/// would page on the cure, not the disease.
+pub const ALLOWLIST: [&str; 5] = [
+    "hybrid.fault.readmissions",
+    "hybrid.fault.reregistered_versions",
+    "hybrid.fault.readds",
+    "hybrid.fault.readd_versions",
+    "hybrid.fault.edge_flows_restored",
+];
+
+/// The standard rule set the driver evaluates over virtual time. Every
+/// rule is `RateAbove {{ delta: 1 }}` over [`RULE_WINDOW_US`]: a single
+/// counter increment within the trailing hour raises, and the alert
+/// clears one window after the activity stops.
+pub fn standard_rules() -> Vec<AlertRule> {
+    FAULT_CLASS_RULES
+        .iter()
+        .map(|(_, rule, metric)| (*rule, *metric))
+        .chain(SYMPTOM_RULES)
+        .map(|(rule, metric)| {
+            AlertRule::new(
+                rule,
+                metric,
+                RuleKind::RateAbove { delta: 1 },
+                RULE_WINDOW_US,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rules_are_well_formed_and_disjoint_from_the_allowlist() {
+        let rules = standard_rules();
+        assert_eq!(rules.len(), FAULT_CLASS_RULES.len() + SYMPTOM_RULES.len());
+        let mut names = BTreeSet::new();
+        let mut metrics = BTreeSet::new();
+        for r in &rules {
+            assert!(names.insert(r.name.clone()), "duplicate rule {}", r.name);
+            assert!(
+                metrics.insert(r.metric.clone()),
+                "two rules watch {}",
+                r.metric
+            );
+            assert!(r.metric.starts_with("hybrid.fault."), "{}", r.metric);
+            assert!(r.window_us > 0);
+        }
+        for allowed in ALLOWLIST {
+            assert!(
+                !metrics.contains(allowed),
+                "{allowed} is both ruled and allowlisted"
+            );
+        }
+    }
+
+    #[test]
+    fn class_rules_cover_every_injectable_fault_kind() {
+        // One rule per FaultKind variant; the chaos bench joins the TTD
+        // table on these labels.
+        let classes: BTreeSet<&str> = FAULT_CLASS_RULES.iter().map(|(c, _, _)| *c).collect();
+        for class in ["cn_crash", "dn_wipe", "edge_outage", "churn_burst"] {
+            assert!(classes.contains(class), "no detection rule for {class}");
+        }
+    }
+}

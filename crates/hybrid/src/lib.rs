@@ -24,6 +24,7 @@
 //! println!("{} downloads logged", out.dataset.downloads.len());
 //! ```
 
+pub mod alerts;
 pub mod config;
 pub mod identity;
 pub mod setup;

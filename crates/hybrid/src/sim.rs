@@ -31,7 +31,7 @@ use netsession_logs::geodb::GeoInfo;
 use netsession_logs::records::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
 use netsession_logs::TraceDataset;
 use netsession_nat::matrix::{connectivity, Connectivity};
-use netsession_obs::{MetricsRegistry, SpanId, TraceCtx, TraceSink};
+use netsession_obs::{AlertEngine, AlertEvent, MetricsRegistry, SpanId, TraceCtx, TraceSink};
 use netsession_sim::engine::EventQueue;
 use netsession_sim::flownet::{FlowId, FlowNet, NodeId};
 use netsession_world::behaviour::UserModel;
@@ -48,6 +48,11 @@ const TAIL: SimDuration = SimDuration::from_days(2);
 /// Connection-success probabilities by traversal kind.
 const P_DIRECT: f64 = 0.97;
 const P_PUNCH: f64 = 0.85;
+/// Minimum virtual time between alert-engine observations. Evaluation
+/// piggybacks on whatever event pops next at-or-after the due time — no
+/// events of its own enter the queue, so same-seed runs with and without
+/// a rule change pop the identical event sequence.
+const OBS_EVERY: SimDuration = SimDuration::from_secs(60);
 
 #[derive(Clone, Debug)]
 enum Event {
@@ -180,6 +185,11 @@ pub struct SimOutput {
     /// Chrome-trace/Perfetto JSON. Deterministic: all timestamps are
     /// virtual sim time and IDs come from a monotone counter.
     pub trace: TraceSink,
+    /// Raise/clear transitions from the [`crate::alerts::standard_rules`]
+    /// engine, evaluated over virtual time every [`OBS_EVERY`] of sim
+    /// time. Deterministic: timestamps are virtual, and a fault-free run
+    /// produces an empty log (no `hybrid.fault.*` counter ever exists).
+    pub alerts: Vec<AlertEvent>,
 }
 
 /// The simulation driver.
@@ -449,6 +459,11 @@ impl HybridSim {
             metrics.counter("hybrid.ev_readd"),
             metrics.counter("hybrid.ev_edge_recover"),
         ];
+        // §3.8 alerting over virtual time: the same AlertEngine the live
+        // monitor server runs over wall-clock scrapes, fed deterministic
+        // registry snapshots at >= OBS_EVERY intervals.
+        let mut alert_engine = AlertEngine::new(crate::alerts::standard_rules());
+        let mut next_obs = SimTime::ZERO;
         let ev_timings = [
             metrics.volatile_histogram("hybrid.ev_online_ns"),
             metrics.volatile_histogram("hybrid.ev_offline_ns"),
@@ -464,6 +479,10 @@ impl HybridSim {
         while let Some((t, event)) = queue.pop() {
             if t > cutoff {
                 break;
+            }
+            if t >= next_obs {
+                alert_engine.observe(t.as_micros(), &metrics.scrape());
+                next_obs = t + OBS_EVERY;
             }
             let ev_kind = match &event {
                 Event::Online(_) => 0,
@@ -836,12 +855,17 @@ impl HybridSim {
         dataset.registrations = reg.into_iter().collect();
         dataset.registrations.sort_by_key(|(v, _)| *v);
 
+        // Final observation at the cutoff so alerts that went quiet near
+        // the end of the month still record their clear transition.
+        alert_engine.observe(cutoff.as_micros(), &metrics.scrape());
+
         SimOutput {
             dataset,
             stats,
             scenario: self.scenario,
             metrics,
             trace,
+            alerts: alert_engine.log().to_vec(),
         }
     }
 

@@ -345,3 +345,69 @@ fn fault_campaign_exercises_all_paths_and_is_deterministic() {
         "fault-campaign trace exports must be byte-identical"
     );
 }
+
+/// §3.8 alerting over virtual time: every injected fault class raises
+/// its detection rule with a finite, bounded time-to-detection; the
+/// zero-fault baseline produces an empty alert log (no `hybrid.fault.*`
+/// counter ever exists, so no rule can fire); and the whole log is
+/// deterministic across same-seed runs.
+#[test]
+fn alert_engine_detects_every_fault_class_deterministically() {
+    let cfg = ScenarioConfig::tiny();
+    let baseline = HybridSim::run_config(cfg.clone());
+    assert!(
+        baseline.alerts.is_empty(),
+        "zero-fault baseline must fire zero alerts: {:?}",
+        baseline.alerts
+    );
+
+    let mut chaos_cfg = cfg;
+    let injections = [
+        (200u64, FaultKind::CnCrash { region: 0 }),
+        (350, FaultKind::DnWipe { region: 0 }),
+        (
+            500,
+            FaultKind::EdgeOutage {
+                region: 0,
+                secs: 3_600,
+            },
+        ),
+        (650, FaultKind::ChurnBurst { fraction: 0.5 }),
+    ];
+    chaos_cfg.faults.events = injections
+        .iter()
+        .map(|(at_hours, kind)| FaultEvent {
+            at_hours: *at_hours,
+            kind: *kind,
+        })
+        .collect();
+    let run = || HybridSim::run_config(chaos_cfg.clone());
+    let a = run();
+
+    for ((at_hours, kind), (class, rule, _)) in injections
+        .iter()
+        .zip(netsession_hybrid::alerts::FAULT_CLASS_RULES)
+    {
+        let injected_us = at_hours * 3_600_000_000;
+        let raise = a
+            .alerts
+            .iter()
+            .find(|e| e.rule == rule && e.raised && e.at_us >= injected_us)
+            .unwrap_or_else(|| panic!("{class} ({kind:?}) was never detected: {:?}", a.alerts));
+        let ttd_us = raise.at_us - injected_us;
+        assert!(
+            ttd_us < 3_600_000_000,
+            "{class} detection took {ttd_us}us (> 1h)"
+        );
+        // The alert also clears once the burst leaves the window.
+        assert!(
+            a.alerts
+                .iter()
+                .any(|e| e.rule == rule && !e.raised && e.at_us > raise.at_us),
+            "{class} alert never cleared"
+        );
+    }
+
+    let b = run();
+    assert_eq!(a.alerts, b.alerts, "alert log must be byte-identical");
+}

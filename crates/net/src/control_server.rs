@@ -7,6 +7,7 @@
 //! — the coordination real NAT traversal needs.
 
 use crate::framing::{read_msg_traced, wall_now, write_msg};
+use crate::http::{standard_routes, AdminEndpoint};
 use netsession_control::directory::PeerRecord;
 use netsession_control::plane::{ControlPlane, PlaneConfig};
 use netsession_control::selection::Querier;
@@ -44,12 +45,21 @@ pub struct ControlServer {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     stop: Arc<AtomicBool>,
+    admin: AdminEndpoint,
 }
 
 impl ControlServer {
     /// Start on `127.0.0.1:0` (or a given addr), verifying tokens minted
-    /// with `auth`.
+    /// with `auth`. The admin endpoint binds an ephemeral port; use
+    /// [`ControlServer::start_with_admin`] when a restarted server must
+    /// come back on the same admin address.
     pub fn start(addr: &str, auth: EdgeAuth) -> Result<ControlServer> {
+        ControlServer::start_with_admin(addr, "127.0.0.1:0", auth)
+    }
+
+    /// Start with an explicit admin (HTTP) listen address serving
+    /// `/metrics`, `/healthz`, and `/varz`.
+    pub fn start_with_admin(addr: &str, admin_addr: &str, auth: EdgeAuth) -> Result<ControlServer> {
         let listener = TcpListener::bind(addr).map_err(|e| Error::Network(format!("bind: {e}")))?;
         let local_addr = listener
             .local_addr()
@@ -105,16 +115,34 @@ impl ControlServer {
                 }
             }
         });
+        let admin = {
+            let shared = shared.clone();
+            AdminEndpoint::start(
+                admin_addr,
+                standard_routes(shared.metrics.clone(), move || {
+                    format!(
+                        "{{\"status\":\"ok\",\"component\":\"control\",\"connected\":{}}}",
+                        shared.pushers.lock().unwrap().len()
+                    )
+                }),
+            )?
+        };
         Ok(ControlServer {
             local_addr,
             shared,
             stop,
+            admin,
         })
     }
 
     /// Where the server listens.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Where the admin (HTTP) endpoint listens.
+    pub fn admin_addr(&self) -> SocketAddr {
+        self.admin.local_addr()
     }
 
     /// Currently connected peers (test observability).
@@ -148,6 +176,7 @@ impl ControlServer {
     /// Stop serving. Live connections are left to drain naturally.
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::Relaxed);
+        self.admin.stop();
     }
 
     /// Crash the server: stop accepting *and* sever every established
@@ -156,6 +185,7 @@ impl ControlServer {
     /// few milliseconds, so a replacement can bind the same address.
     pub fn kill(self) {
         self.stop.store(true, Ordering::Relaxed);
+        self.admin.stop();
         for conn in self.shared.conns.lock().unwrap().drain(..) {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }

@@ -6,6 +6,7 @@
 //! as a trusted receipt in the accounting ledger.
 
 use crate::framing::{read_msg_traced, wall_now, write_msg};
+use crate::http::{standard_routes, AdminEndpoint};
 use netsession_core::error::{Error, Result};
 use netsession_core::msg::EdgeMsg;
 use netsession_edge::accounting::AccountingLedger;
@@ -31,6 +32,7 @@ pub struct EdgeHttpServer {
     pub metrics: MetricsRegistry,
     trace: TraceSink,
     stop: Arc<AtomicBool>,
+    admin: AdminEndpoint,
 }
 
 impl EdgeHttpServer {
@@ -76,18 +78,36 @@ impl EdgeHttpServer {
                 }
             }
         });
+        let admin = {
+            let edge = edge.clone();
+            AdminEndpoint::start(
+                "127.0.0.1:0",
+                standard_routes(metrics.clone(), move || {
+                    format!(
+                        "{{\"status\":\"ok\",\"component\":\"edge\",\"bytes_served\":{}}}",
+                        edge.total_served().bytes()
+                    )
+                }),
+            )?
+        };
         Ok(EdgeHttpServer {
             local_addr,
             edge,
             metrics,
             trace,
             stop,
+            admin,
         })
     }
 
     /// Where the server listens.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Where the admin (HTTP) endpoint listens.
+    pub fn admin_addr(&self) -> SocketAddr {
+        self.admin.local_addr()
     }
 
     /// This server's trace sink. Spans for traced client requests join
@@ -99,6 +119,7 @@ impl EdgeHttpServer {
     /// Stop serving.
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::Relaxed);
+        self.admin.stop();
     }
 }
 

@@ -16,10 +16,14 @@
 pub mod control_server;
 pub mod edge_server;
 pub mod framing;
+pub mod http;
+pub mod monitor_server;
 pub mod peer_daemon;
 pub mod stun_udp;
 
 pub use control_server::ControlServer;
 pub use edge_server::EdgeHttpServer;
+pub use http::{http_get, AdminEndpoint, HttpResponse};
+pub use monitor_server::{default_rules, MonitorServer, MonitorTarget};
 pub use peer_daemon::{DownloadReport, PeerDaemon};
 pub use stun_udp::StunUdpServer;

@@ -14,10 +14,13 @@
 //! `recv_timeout` providing the overall deadline.
 
 use crate::framing::{read_msg, read_msg_traced, wall_now, write_msg, write_msg_traced};
+use crate::http::{standard_routes, AdminEndpoint};
 use netsession_core::error::{Error, Result};
 use netsession_core::hash::{sha256, Digest};
 use netsession_core::id::{Guid, ObjectId};
-use netsession_core::msg::{ControlMsg, EdgeMsg, NatType, PeerAddr, SwarmMsg};
+use netsession_core::msg::{
+    ControlMsg, EdgeMsg, MonitorMsg, NatType, PeerAddr, ProblemKind, SwarmMsg,
+};
 use netsession_core::piece::{Manifest, PieceMap};
 use netsession_core::policy::TransferConfig;
 use netsession_core::rng::DetRng;
@@ -50,8 +53,52 @@ struct Inner {
     /// is down the daemon degrades to edge-only downloads).
     control_up: AtomicBool,
     pending_query: Mutex<Option<mpsc::Sender<Vec<netsession_core::msg::PeerContact>>>>,
+    /// Monitoring node to push §3.6 problem reports to, when configured.
+    monitor_addr: Mutex<Option<SocketAddr>>,
     metrics: MetricsRegistry,
     trace: TraceSink,
+}
+
+impl Inner {
+    /// Queue a message for the control link, keeping the
+    /// `net.peer.control_queue_depth` gauge in step with the backlog the
+    /// supervisor has yet to drain.
+    fn queue_control(&self, msg: TracedControlMsg) -> Result<()> {
+        let depth = self.metrics.gauge("net.peer.control_queue_depth");
+        depth.add(1);
+        self.control_tx.send(msg).map_err(|_| {
+            depth.sub(1);
+            Error::Network("control writer gone".into())
+        })
+    }
+
+    /// Flip the control-link liveness flag and its mirror gauge together.
+    fn set_control_up(&self, up: bool) {
+        self.control_up.store(up, Ordering::Release);
+        self.metrics
+            .gauge("net.peer.control_up")
+            .set(if up { 1 } else { 0 });
+    }
+
+    /// Push one problem report to the monitoring node (§3.6), if one is
+    /// configured. Fire-and-forget on a short-lived thread: reporting
+    /// must never slow down or fail the path that hit the problem.
+    fn report_problem(&self, kind: ProblemKind, detail: String) {
+        self.metrics
+            .counter(&format!("net.peer.problems.{}", kind.label()))
+            .incr();
+        let Some(addr) = *self.monitor_addr.lock().unwrap() else {
+            return;
+        };
+        let guid = self.guid;
+        std::thread::spawn(move || {
+            let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_secs(2)) else {
+                return;
+            };
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            let _ = write_msg(&mut stream, &MonitorMsg::Problem { guid, kind, detail });
+        });
+    }
 }
 
 /// What one download achieved.
@@ -75,6 +122,7 @@ pub struct PeerDaemon {
     listen_addr: SocketAddr,
     inner: Arc<Inner>,
     stop: Arc<AtomicBool>,
+    admin: AdminEndpoint,
 }
 
 impl PeerDaemon {
@@ -116,9 +164,29 @@ impl PeerDaemon {
             control_tx: control_tx.clone(),
             control_up: AtomicBool::new(false),
             pending_query: Mutex::new(None),
+            monitor_addr: Mutex::new(None),
             metrics: metrics.clone(),
             trace,
         });
+        let admin = {
+            let inner = inner.clone();
+            AdminEndpoint::start(
+                "127.0.0.1:0",
+                standard_routes(metrics.clone(), move || {
+                    let m = &inner.metrics;
+                    format!(
+                        "{{\"status\":\"ok\",\"component\":\"peer\",\"guid\":\"{:016x}\",\
+                         \"control_up\":{},\"backoff_failures\":{},\"queued\":{},\
+                         \"cached_objects\":{}}}",
+                        inner.guid.0 as u64,
+                        inner.control_up.load(Ordering::Acquire),
+                        m.gauge("net.peer.control_backoff_failures").get(),
+                        m.gauge("net.peer.control_queue_depth").get(),
+                        inner.store.lock().unwrap().len()
+                    )
+                }),
+            )?
+        };
 
         // Control-link supervisor: owns the outbound queue for the
         // daemon's whole life, logs in, pumps messages, and — when the
@@ -177,12 +245,29 @@ impl PeerDaemon {
             listen_addr,
             inner,
             stop,
+            admin,
         })
     }
 
     /// Where this daemon accepts swarm connections.
     pub fn listen_addr(&self) -> SocketAddr {
         self.listen_addr
+    }
+
+    /// Where the admin (HTTP) endpoint listens.
+    pub fn admin_addr(&self) -> SocketAddr {
+        self.admin.local_addr()
+    }
+
+    /// Configure the monitoring node that receives this daemon's §3.6
+    /// problem reports (crash, download failure, traversal failure).
+    pub fn set_monitor_addr(&self, addr: SocketAddr) {
+        *self.inner.monitor_addr.lock().unwrap() = Some(addr);
+    }
+
+    /// Push one problem report to the monitoring node.
+    pub fn report_problem(&self, kind: ProblemKind, detail: impl Into<String>) {
+        self.inner.report_problem(kind, detail.into());
     }
 
     /// Number of objects in the local cache.
@@ -265,16 +350,13 @@ impl PeerDaemon {
             let (tx, rx) = mpsc::channel();
             *self.inner.pending_query.lock().unwrap() = Some(tx);
             let qspan = trace.span(ctx, "query_peers", "control", wall_now().as_micros());
-            self.inner
-                .control_tx
-                .send((
-                    ControlMsg::QueryPeers {
-                        token,
-                        max_peers: 8,
-                    },
-                    Some((ctx.trace, qspan)),
-                ))
-                .map_err(|_| Error::Network("control writer gone".into()))?;
+            self.inner.queue_control((
+                ControlMsg::QueryPeers {
+                    token,
+                    max_peers: 8,
+                },
+                Some((ctx.trace, qspan)),
+            ))?;
             match rx.recv_timeout(Duration::from_secs(3)) {
                 Ok(peers) => {
                     trace.add_attr(qspan, "offered", peers.len() as u64);
@@ -332,10 +414,15 @@ impl PeerDaemon {
                 format!("{:016x}", remote_guid.0 as u64),
             );
             let thread_trace = trace.clone();
+            let thread_inner = self.inner.clone();
             let trace_ids = Some((ctx.trace, attempt)).filter(|_| ctx.sampled);
             std::thread::spawn(move || {
                 let Ok(stream) = TcpStream::connect(addr) else {
                     thread_trace.add_attr(attempt, "result", "connect_failed");
+                    thread_inner.report_problem(
+                        ProblemKind::TraversalFailure,
+                        format!("connect to peer {:016x} failed", remote_guid.0 as u64),
+                    );
                     let _ = ev_tx.send(Ev::Left(remote_guid));
                     return;
                 };
@@ -491,6 +578,10 @@ impl PeerDaemon {
                         metrics.counter("net.peer.downloads_failed").incr();
                         trace.add_attr(ctx.span, "outcome", "failed");
                         trace.end_span(ctx.span, wall_now().as_micros());
+                        self.inner.report_problem(
+                            ProblemKind::DownloadFailure,
+                            format!("object {} timed out", object.0),
+                        );
                         return Err(Error::Network("download timed out or stalled".into()));
                     }
                     continue;
@@ -499,6 +590,10 @@ impl PeerDaemon {
                     metrics.counter("net.peer.downloads_failed").incr();
                     trace.add_attr(ctx.span, "outcome", "failed");
                     trace.end_span(ctx.span, wall_now().as_micros());
+                    self.inner.report_problem(
+                        ProblemKind::DownloadFailure,
+                        format!("object {} stalled", object.0),
+                    );
                     return Err(Error::Network("download timed out or stalled".into()));
                 }
             };
@@ -581,7 +676,7 @@ impl PeerDaemon {
                 > netsession_core::units::Bandwidth::ZERO
         };
         if uploads_enabled && policy.upload_allowed {
-            let _ = self.inner.control_tx.send((
+            let _ = self.inner.queue_control((
                 ControlMsg::RegisterContent {
                     version,
                     fraction: 1.0,
@@ -589,7 +684,7 @@ impl PeerDaemon {
                 None,
             ));
         }
-        let _ = self.inner.control_tx.send((
+        let _ = self.inner.queue_control((
             ControlMsg::UsageReport {
                 records: vec![netsession_core::msg::UsageRecord {
                     guid: self.guid,
@@ -625,8 +720,9 @@ impl PeerDaemon {
 
     /// Shut the daemon down.
     pub fn shutdown(self) {
-        let _ = self.inner.control_tx.send((ControlMsg::Logout, None));
+        let _ = self.inner.queue_control((ControlMsg::Logout, None));
         self.stop.store(true, Ordering::Relaxed);
+        self.admin.stop();
     }
 }
 
@@ -659,6 +755,8 @@ fn run_control_link(
     let mut failures: u32 = 0;
     let mut sessions: u64 = 0;
     let msgs_out = inner.metrics.counter("net.peer.control_msgs_out");
+    let backoff_gauge = inner.metrics.gauge("net.peer.control_backoff_failures");
+    let queue_depth = inner.metrics.gauge("net.peer.control_queue_depth");
     loop {
         if stop.load(Ordering::Relaxed) {
             return;
@@ -677,6 +775,7 @@ fn run_control_link(
                     // daemons with distinct GUIDs desynchronizes.
                     let delay = base + (base as f64 * 0.5 * jitter_rng.f64()) as u64;
                     failures = failures.saturating_add(1);
+                    backoff_gauge.set(failures as i64);
                     // Sleep in slices so shutdown stays responsive.
                     let deadline = Instant::now() + Duration::from_millis(delay);
                     while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
@@ -687,6 +786,7 @@ fn run_control_link(
             },
         };
         failures = 0;
+        backoff_gauge.set(0);
         let Ok(read_half) = s.try_clone() else {
             continue;
         };
@@ -742,7 +842,7 @@ fn run_control_link(
                 inner.metrics.counter("net.peer.control_reconnects").incr();
             }
             sessions += 1;
-            inner.control_up.store(true, Ordering::Release);
+            inner.set_control_up(true);
             // Pump outbound messages until the link drops or we stop.
             loop {
                 if link_down.load(Ordering::Relaxed) {
@@ -752,16 +852,18 @@ fn run_control_link(
                     // Drain what is already queued (Logout included), then
                     // exit for good.
                     while let Ok((msg, ctx)) = control_rx.try_recv() {
+                        queue_depth.sub(1);
                         if write_msg_traced(&mut write_half, &msg, ctx).is_err() {
                             break;
                         }
                         msgs_out.incr();
                     }
-                    inner.control_up.store(false, Ordering::Release);
+                    inner.set_control_up(false);
                     return;
                 }
                 match control_rx.recv_timeout(Duration::from_millis(100)) {
                     Ok((msg, ctx)) => {
+                        queue_depth.sub(1);
                         if write_msg_traced(&mut write_half, &msg, ctx).is_err() {
                             break;
                         }
@@ -775,7 +877,7 @@ fn run_control_link(
         // Link failed: degrade. Dropping the pending-query sender wakes
         // any download blocked on a peer query so it proceeds edge-only
         // immediately instead of waiting out its timeout.
-        inner.control_up.store(false, Ordering::Release);
+        inner.set_control_up(false);
         inner.metrics.counter("net.peer.control_disconnects").incr();
         inner.pending_query.lock().unwrap().take();
     }
@@ -803,9 +905,7 @@ fn spawn_control_reader(mut read_half: TcpStream, inner: Arc<Inner>, link_down: 
                         .values()
                         .map(|o| o.manifest.version)
                         .collect();
-                    let _ = inner
-                        .control_tx
-                        .send((ControlMsg::ReAddResponse { versions }, None));
+                    let _ = inner.queue_control((ControlMsg::ReAddResponse { versions }, None));
                 }
                 // LoginAck / ConnectTo(passive) / ConfigUpdate need no
                 // action in this loopback deployment: the active side

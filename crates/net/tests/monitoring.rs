@@ -1,0 +1,292 @@
+//! Live monitoring e2e: real admin endpoints scraped over real sockets,
+//! a monitor server aggregating the fleet, §3.6 problem reports pushed
+//! over the framed protocol, and the §3.8 alert story — kill the control
+//! server, watch `control-unreachable` raise, restart it on the same
+//! address, watch it clear.
+
+use netsession_core::id::{CpCode, Guid, ObjectId};
+use netsession_core::msg::ProblemKind;
+use netsession_core::policy::DownloadPolicy;
+use netsession_edge::accounting::AccountingLedger;
+use netsession_edge::auth::EdgeAuth;
+use netsession_edge::store::ContentStore;
+use netsession_net::control_server::ControlServer;
+use netsession_net::edge_server::EdgeHttpServer;
+use netsession_net::http::http_get;
+use netsession_net::monitor_server::{default_rules, MonitorServer, MonitorTarget};
+use netsession_net::peer_daemon::PeerDaemon;
+use netsession_obs::parse_prometheus;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const T: Duration = Duration::from_secs(2);
+
+fn deploy() -> (ControlServer, EdgeHttpServer) {
+    let auth = EdgeAuth::from_seed(42);
+    let store = Arc::new(ContentStore::new());
+    let content: Vec<u8> = (0..120_000u32)
+        .map(|i| (i.wrapping_mul(2654435761)) as u8)
+        .collect();
+    store.publish_content(
+        ObjectId(1),
+        CpCode(1),
+        content,
+        16 * 1024,
+        DownloadPolicy::peer_assisted(),
+    );
+    let edge = EdgeHttpServer::start(
+        "127.0.0.1:0",
+        store,
+        auth.clone(),
+        Arc::new(AccountingLedger::new()),
+    )
+    .unwrap();
+    let control = ControlServer::start("127.0.0.1:0", auth).unwrap();
+    (control, edge)
+}
+
+/// Poll `cond` until it holds or `secs` elapse.
+fn wait_for(secs: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cond()
+}
+
+/// Every live server exposes `/metrics` (parseable Prometheus text),
+/// `/healthz` (JSON), and `/varz` over its own admin port.
+#[test]
+fn admin_endpoints_serve_metrics_healthz_and_varz() {
+    let (control, edge) = deploy();
+    let p = PeerDaemon::start(control.local_addr(), edge.local_addr(), Guid(1), true).unwrap();
+    p.download(ObjectId(1)).unwrap();
+
+    // Control: metrics parse back and count the peer's connection.
+    let (status, body) = http_get(control.admin_addr(), "/metrics", T).unwrap();
+    assert_eq!(status, 200);
+    let snap = parse_prometheus(&body).unwrap();
+    assert!(snap.counter("net.control.connections") >= 1);
+    let (status, body) = http_get(control.admin_addr(), "/healthz", T).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"component\":\"control\""), "{body}");
+    assert!(body.contains("\"connected\":1"), "{body}");
+
+    // Edge: bytes served show up in healthz.
+    let (status, body) = http_get(edge.admin_addr(), "/metrics", T).unwrap();
+    assert_eq!(status, 200);
+    assert!(parse_prometheus(&body).unwrap().counter("net.edge.msgs_in") >= 1);
+    let (_, body) = http_get(edge.admin_addr(), "/healthz", T).unwrap();
+    assert!(body.contains("\"bytes_served\":120000"), "{body}");
+
+    // Peer: download counters over /metrics, link health over /healthz.
+    let (status, body) = http_get(p.admin_addr(), "/metrics", T).unwrap();
+    assert_eq!(status, 200);
+    let snap = parse_prometheus(&body).unwrap();
+    assert_eq!(snap.counter("net.peer.downloads_completed"), 1);
+    let (_, body) = http_get(p.admin_addr(), "/healthz", T).unwrap();
+    assert!(body.contains("\"component\":\"peer\""), "{body}");
+    assert!(body.contains("\"control_up\":true"), "{body}");
+    assert!(body.contains("\"cached_objects\":1"), "{body}");
+
+    // /varz includes the volatile section the deterministic scrape omits.
+    let (status, body) = http_get(p.admin_addr(), "/varz", T).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"volatile\""), "{body}");
+
+    p.shutdown();
+    control.shutdown();
+    edge.shutdown();
+}
+
+/// Satellite: the reconnect supervisor's state — control_up, backoff
+/// attempt count, queued backlog — is visible as gauges and in /healthz.
+#[test]
+fn reconnect_supervisor_state_is_visible_in_gauges_and_healthz() {
+    let (control, edge) = deploy();
+    let p = PeerDaemon::start(control.local_addr(), edge.local_addr(), Guid(2), true).unwrap();
+    assert!(wait_for(5, || p.control_connected()));
+    assert_eq!(p.metrics().gauge("net.peer.control_up").get(), 1);
+    assert_eq!(
+        p.metrics().gauge("net.peer.control_backoff_failures").get(),
+        0
+    );
+
+    // Crash the control plane: the supervisor lowers control_up and the
+    // failed reconnect attempts show up in the backoff gauge.
+    control.kill();
+    assert!(wait_for(5, || p
+        .metrics()
+        .gauge("net.peer.control_up")
+        .get()
+        == 0));
+    assert!(wait_for(10, || {
+        p.metrics().gauge("net.peer.control_backoff_failures").get() >= 1
+    }));
+    let (_, body) = http_get(p.admin_addr(), "/healthz", T).unwrap();
+    assert!(body.contains("\"control_up\":false"), "{body}");
+
+    // Queued messages during the outage appear as backlog depth.
+    p.download(ObjectId(1)).unwrap();
+    assert!(
+        p.metrics().gauge("net.peer.control_queue_depth").get() >= 0,
+        "gauge exists and never goes negative"
+    );
+
+    p.shutdown();
+    edge.shutdown();
+}
+
+/// The headline §3.8 scenario: monitor scrapes the whole deployment,
+/// stays quiet while healthy, raises `control-unreachable` when the CN
+/// dies, and clears it when the CN comes back on the same address.
+#[test]
+fn monitor_detects_control_crash_and_clears_after_restart() {
+    let (control, edge) = deploy();
+    let control_addr = control.local_addr();
+    let control_admin = control.admin_addr();
+    let p = PeerDaemon::start(control_addr, edge.local_addr(), Guid(3), true).unwrap();
+    p.download(ObjectId(1)).unwrap();
+
+    let targets = vec![
+        MonitorTarget::new("control", control_admin),
+        MonitorTarget::new("edge", edge.admin_addr()),
+        MonitorTarget::new("peer-3", p.admin_addr()),
+    ];
+    let rules = default_rules(&targets);
+    let monitor =
+        MonitorServer::start("127.0.0.1:0", targets, Duration::from_millis(50), rules).unwrap();
+
+    // Healthy fleet: scrapes complete, aggregation sees the peer's
+    // download through the merged snapshot, and nothing fires.
+    assert!(wait_for(5, || monitor.scrapes() >= 2));
+    assert!(
+        monitor.active_alerts().is_empty(),
+        "healthy fleet must not alert: {:?}",
+        monitor.active_alerts()
+    );
+    assert_eq!(
+        monitor
+            .fleet_snapshot()
+            .counter("net.peer.downloads_completed"),
+        1,
+        "fleet view must aggregate peer metrics"
+    );
+    assert_eq!(monitor.metrics().gauge("monitor.up.control").get(), 1);
+
+    // Kill the CN. The next scrape round fails against its admin port
+    // and the zero-window threshold rule fires immediately.
+    control.kill();
+    assert!(
+        wait_for(5, || monitor
+            .active_alerts()
+            .contains(&"control-unreachable".to_string())),
+        "monitor must detect the dead control server: {:?}",
+        monitor.alert_log()
+    );
+    assert_eq!(
+        monitor.active_alerts(),
+        vec!["control-unreachable".to_string()],
+        "only the control target is down"
+    );
+
+    // Restart on the same protocol *and* admin addresses (SO_REUSEADDR;
+    // retry until the old accept loops release the ports).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let control2 = loop {
+        match ControlServer::start_with_admin(
+            &control_addr.to_string(),
+            &control_admin.to_string(),
+            EdgeAuth::from_seed(42),
+        ) {
+            Ok(server) => break server,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(25)),
+            Err(e) => panic!("restart failed: {e:?}"),
+        }
+    };
+    assert!(
+        wait_for(5, || monitor.active_alerts().is_empty()),
+        "alert must clear once the control server is back: {:?}",
+        monitor.alert_log()
+    );
+
+    // The log kept the full raise/clear history.
+    let log = monitor.alert_log();
+    let raised = log
+        .iter()
+        .any(|e| e.rule == "control-unreachable" && e.raised);
+    let cleared = log
+        .iter()
+        .any(|e| e.rule == "control-unreachable" && !e.raised);
+    assert!(raised && cleared, "{log:?}");
+
+    // The monitor's own admin endpoint reports fleet health.
+    let (status, body) = http_get(monitor.admin_addr(), "/healthz", T).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"component\":\"monitor\""), "{body}");
+    assert!(body.contains("\"active_alerts\":[]"), "{body}");
+
+    p.shutdown();
+    monitor.shutdown();
+    control2.shutdown();
+    edge.shutdown();
+}
+
+/// §3.6: peers push problem reports to the monitoring node over the
+/// framed protocol; the monitor counts them per kind and a burst trips
+/// the `problem-burst` rate rule.
+#[test]
+fn peer_problem_reports_reach_the_monitor_fleet_view() {
+    let (control, edge) = deploy();
+    let p = PeerDaemon::start(control.local_addr(), edge.local_addr(), Guid(4), true).unwrap();
+
+    let targets = vec![MonitorTarget::new("peer-4", p.admin_addr())];
+    let rules = default_rules(&targets);
+    let monitor =
+        MonitorServer::start("127.0.0.1:0", targets, Duration::from_millis(50), rules).unwrap();
+    p.set_monitor_addr(monitor.local_addr());
+
+    // A couple of reports of different kinds arrive and are tallied.
+    p.report_problem(ProblemKind::Crash, "simulated crash");
+    p.report_problem(ProblemKind::DownloadFailure, "object 9 stalled");
+    p.report_problem(ProblemKind::DownloadFailure, "object 9 timed out");
+    assert!(wait_for(5, || {
+        monitor.metrics().counter("monitor.problems.total").get() == 3
+    }));
+    assert_eq!(monitor.metrics().counter("monitor.problems.crash").get(), 1);
+    assert_eq!(
+        monitor
+            .metrics()
+            .counter("monitor.problems.download_failure")
+            .get(),
+        2
+    );
+
+    // The tallies surface in the monitor's own /metrics exposition.
+    assert!(wait_for(5, || {
+        http_get(monitor.admin_addr(), "/metrics", T)
+            .ok()
+            .and_then(|(_, body)| parse_prometheus(&body).ok())
+            .is_some_and(|snap| snap.counter("monitor.problems.total") == 3)
+    }));
+
+    // A burst (default rule: >10 within a minute) raises problem-burst.
+    for i in 0..12 {
+        p.report_problem(ProblemKind::TraversalFailure, format!("burst {i}"));
+    }
+    assert!(
+        wait_for(5, || monitor
+            .active_alerts()
+            .contains(&"problem-burst".to_string())),
+        "{:?}",
+        monitor.alert_log()
+    );
+
+    p.shutdown();
+    monitor.shutdown();
+    control.shutdown();
+    edge.shutdown();
+}

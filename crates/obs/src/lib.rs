@@ -20,7 +20,13 @@
 //!   sampling, and a Chrome-trace/Perfetto JSON exporter) for
 //!   per-download lifecycle stories;
 //! - a minimal JSON reader ([`json::parse`]) so tools can load those
-//!   artifacts back without external crates.
+//!   artifacts back without external crates;
+//! - a Prometheus-style text exposition ([`render_prometheus`]) with a
+//!   matching scrape-side parser ([`parse_prometheus`]), both operating
+//!   on plain-value [`RegistrySnapshot`]s;
+//! - a deterministic [`AlertEngine`]: declarative threshold /
+//!   rate-of-change / absence rules evaluated against a stream of
+//!   snapshots, usable over virtual sim time and live wall time alike.
 //!
 //! ## Passive by construction
 //!
@@ -79,13 +85,17 @@
 //! assert_eq!(c.get(), 1);
 //! ```
 
+mod alert;
 mod events;
+pub mod expo;
 mod instruments;
 pub mod json;
 mod registry;
 mod trace;
 
+pub use alert::{AlertEngine, AlertEvent, AlertRule, RuleKind};
 pub use events::{Event, EventRing, DEFAULT_EVENT_CAPACITY};
+pub use expo::{parse_prometheus, render_prometheus};
 pub use instruments::{Counter, Gauge, Histogram};
-pub use registry::MetricsRegistry;
+pub use registry::{HistogramSnapshot, MetricsRegistry, RegistrySnapshot, EVENTS_DROPPED_COUNTER};
 pub use trace::{AttrValue, Span, SpanId, TraceCtx, TraceId, TraceSink};

@@ -6,6 +6,101 @@ use crate::json::{push_key, push_str_literal};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
+/// Name under which the event ring's eviction count surfaces in
+/// snapshots and scrapes. The ring drops its oldest entries silently
+/// when full; this synthetic counter makes the loss observable (and
+/// alertable) instead of invisible.
+pub const EVENTS_DROPPED_COUNTER: &str = "obs.events.dropped";
+
+/// Point-in-time values of one histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Smallest recorded sample (0 when empty).
+    pub min: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    fn of(h: &Histogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.p50(),
+            p90: h.p90(),
+            p99: h.p99(),
+        }
+    }
+}
+
+/// A point-in-time copy of the registry's deterministic instruments:
+/// plain values, detached from the live atomics. This is the unit the
+/// text exposition renders, scrapers ship across the network, and the
+/// [`crate::AlertEngine`] evaluates rules against.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name (includes [`EVENTS_DROPPED_COUNTER`]).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Counter value, 0 when the counter does not exist.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge level, 0 when the gauge does not exist.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merge `other` into this snapshot the way a fleet aggregator
+    /// wants it: counters and gauges add, histogram counts and sums
+    /// add, min/max widen, and quantiles keep the pessimistic (larger)
+    /// estimate.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let e = self.histograms.entry(k.clone()).or_default();
+            let min = if e.count == 0 {
+                h.min
+            } else if h.count == 0 {
+                e.min
+            } else {
+                e.min.min(h.min)
+            };
+            e.count += h.count;
+            e.sum += h.sum;
+            e.min = min;
+            e.max = e.max.max(h.max);
+            e.p50 = e.p50.max(h.p50);
+            e.p90 = e.p90.max(h.p90);
+            e.p99 = e.p99.max(h.p99);
+        }
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     counters: Mutex<BTreeMap<String, Counter>>,
@@ -159,6 +254,44 @@ impl MetricsRegistry {
         });
     }
 
+    /// A point-in-time copy of the deterministic instruments (counters,
+    /// gauges, histogram summaries) as plain values. The event-ring
+    /// eviction count is included as the [`EVENTS_DROPPED_COUNTER`]
+    /// counter. Volatile (wall-clock) instruments are excluded, so the
+    /// scrape of a same-seed deterministic run is itself deterministic.
+    pub fn scrape(&self) -> RegistrySnapshot {
+        let mut counters: BTreeMap<String, u64> = self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        *counters
+            .entry(EVENTS_DROPPED_COUNTER.to_string())
+            .or_insert(0) += self.inner.events.dropped();
+        RegistrySnapshot {
+            counters,
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
+                .collect(),
+        }
+    }
+
     /// Deterministic JSON snapshot: counters, gauges, histograms (with
     /// quantile estimates), and the buffered events. Two same-seed runs
     /// of a deterministic program produce byte-identical output here.
@@ -176,7 +309,19 @@ impl MetricsRegistry {
         out.push_str("{\n");
 
         push_key(&mut out, 2, "counters");
-        render_counters(&mut out, 2, &self.inner.counters.lock().unwrap());
+        {
+            // The event ring's eviction count rides along as a synthetic
+            // counter so snapshots always reveal when events were lost.
+            let counters = self.inner.counters.lock().unwrap();
+            let mut values: BTreeMap<&str, u64> = counters
+                .iter()
+                .map(|(k, c)| (k.as_str(), c.get()))
+                .collect();
+            *values.entry(EVENTS_DROPPED_COUNTER).or_insert(0) += self.inner.events.dropped();
+            render_map(&mut out, 2, values.iter(), |out, v| {
+                out.push_str(&v.to_string())
+            });
+        }
         out.push_str(",\n");
 
         push_key(&mut out, 2, "gauges");
@@ -257,10 +402,10 @@ fn render_histograms(out: &mut String, indent: usize, histograms: &BTreeMap<Stri
     });
 }
 
-fn render_map<'a, V: 'a>(
+fn render_map<'a, K: AsRef<str>, V: 'a>(
     out: &mut String,
     indent: usize,
-    entries: impl ExactSizeIterator<Item = (&'a String, &'a V)>,
+    entries: impl ExactSizeIterator<Item = (K, &'a V)>,
     mut value: impl FnMut(&mut String, &V),
 ) {
     if entries.len() == 0 {
@@ -270,7 +415,7 @@ fn render_map<'a, V: 'a>(
     out.push_str("{\n");
     let len = entries.len();
     for (i, (k, v)) in entries.enumerate() {
-        push_key(out, indent + 2, k);
+        push_key(out, indent + 2, k.as_ref());
         value(out, v);
         if i + 1 < len {
             out.push(',');
@@ -327,7 +472,64 @@ mod tests {
     #[test]
     fn empty_registry_renders_valid_shape() {
         let json = MetricsRegistry::new().snapshot_json();
-        assert!(json.contains("\"counters\": {}"));
+        // Even an empty registry reports the (zero) event-drop count.
+        assert!(json.contains("\"obs.events.dropped\": 0"));
         assert!(json.contains("\"events\": []"));
+    }
+
+    #[test]
+    fn event_ring_drops_surface_in_snapshots() {
+        let reg = MetricsRegistry::with_event_capacity(2);
+        for t in 0..5 {
+            reg.record_event(t, "comp", "tick", "");
+        }
+        // 5 pushed into a 2-slot ring: 3 evicted.
+        assert!(reg.snapshot_json().contains("\"obs.events.dropped\": 3"));
+        assert!(reg
+            .full_snapshot_json()
+            .contains("\"obs.events.dropped\": 3"));
+        assert_eq!(reg.scrape().counter(EVENTS_DROPPED_COUNTER), 3);
+    }
+
+    #[test]
+    fn scrape_copies_instrument_values() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(-4);
+        let h = reg.histogram("h");
+        h.record(10);
+        h.record(30);
+        reg.volatile_counter("wall").incr();
+        let snap = reg.scrape();
+        assert_eq!(snap.counter("c"), 7);
+        assert_eq!(snap.gauge("g"), -4);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("missing"), 0);
+        let hs = snap.histograms.get("h").unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum, 40);
+        assert_eq!(hs.min, 10);
+        assert_eq!(hs.max, 30);
+        assert!(hs.p50 <= hs.p99);
+        // Volatile instruments stay out of the deterministic scrape.
+        assert_eq!(snap.counter("wall"), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_aggregates() {
+        let a = MetricsRegistry::new();
+        a.counter("c").add(2);
+        a.gauge("g").set(1);
+        a.histogram("h").record(4);
+        let b = MetricsRegistry::new();
+        b.counter("c").add(3);
+        b.gauge("g").set(5);
+        b.histogram("h").record(100);
+        let mut fleet = a.scrape();
+        fleet.merge(&b.scrape());
+        assert_eq!(fleet.counter("c"), 5);
+        assert_eq!(fleet.gauge("g"), 6);
+        let h = fleet.histograms.get("h").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 104, 4, 100));
     }
 }

@@ -13,8 +13,10 @@ use netsession::edge::auth::EdgeAuth;
 use netsession::edge::store::ContentStore;
 use netsession::net::control_server::ControlServer;
 use netsession::net::edge_server::EdgeHttpServer;
+use netsession::net::monitor_server::{default_rules, MonitorServer, MonitorTarget};
 use netsession::net::peer_daemon::PeerDaemon;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     // Publish a 2 MB "installer" on the edge.
@@ -37,6 +39,25 @@ fn main() {
         edge.local_addr(),
         control.local_addr()
     );
+    println!(
+        "admin endpoints (curl /metrics, /healthz, /varz): edge {}, control {}",
+        edge.admin_addr(),
+        control.admin_addr()
+    );
+
+    // A monitoring node scrapes both servers twice a second and evaluates
+    // the stock alert rules over the merged fleet snapshot.
+    let targets = vec![
+        MonitorTarget::new("control", control.admin_addr()),
+        MonitorTarget::new("edge", edge.admin_addr()),
+    ];
+    let rules = default_rules(&targets);
+    let monitor = MonitorServer::start("127.0.0.1:0", targets, Duration::from_millis(500), rules)
+        .expect("monitor");
+    println!(
+        "monitor scraping the fleet; aggregated view at {}",
+        monitor.admin_addr()
+    );
 
     let mut totals = (0u64, 0u64);
     for i in 1..=5u64 {
@@ -47,6 +68,7 @@ fn main() {
             true,
         )
         .expect("daemon");
+        daemon.set_monitor_addr(monitor.local_addr());
         let report = daemon.download(ObjectId(1)).expect("download");
         assert_eq!(report.content_hash, expected, "content verified");
         println!(
@@ -72,6 +94,12 @@ fn main() {
         "usage records collected by the control plane: {}",
         usage.len()
     );
+    println!(
+        "monitor: {} scrape rounds, active alerts: {:?}",
+        monitor.scrapes(),
+        monitor.active_alerts()
+    );
+    monitor.shutdown();
     control.shutdown();
     edge.shutdown();
 }

@@ -23,13 +23,30 @@ trap 'rm -rf "$tmp"' EXIT
 cmp "$tmp/run1.txt" "$tmp/run2.txt"
 cmp "$tmp/trace1.json" "$tmp/trace2.json"
 
-echo "== chaos determinism (same seed => byte-identical campaign + trace)"
+echo "== chaos determinism (same seed => byte-identical campaign + trace + alerts)"
 cargo build -q --release -p netsession-bench --bin chaos
 chaos_bin="$PWD/target/release/chaos"
-(cd "$tmp" && "$chaos_bin" --scale 2000 --downloads 3000 >chaos1.txt 2>/dev/null && mv results/chaos.trace.json chaos_trace1.json)
-(cd "$tmp" && "$chaos_bin" --scale 2000 --downloads 3000 >chaos2.txt 2>/dev/null && mv results/chaos.trace.json chaos_trace2.json)
+(cd "$tmp" && "$chaos_bin" --scale 2000 --downloads 3000 >chaos1.txt 2>/dev/null \
+    && mv results/chaos.trace.json chaos_trace1.json \
+    && mv results/alerts.txt alerts1.txt && mv results/alerts.json alerts1.json)
+(cd "$tmp" && "$chaos_bin" --scale 2000 --downloads 3000 >chaos2.txt 2>/dev/null \
+    && mv results/chaos.trace.json chaos_trace2.json \
+    && mv results/alerts.txt alerts2.txt && mv results/alerts.json alerts2.json)
 cmp "$tmp/chaos1.txt" "$tmp/chaos2.txt"
 cmp "$tmp/chaos_trace1.json" "$tmp/chaos_trace2.json"
+cmp "$tmp/alerts1.txt" "$tmp/alerts2.txt"
+cmp "$tmp/alerts1.json" "$tmp/alerts2.json"
+
+echo "== alert coverage (every hybrid.fault.* counter ruled or allowlisted)"
+counters="$(grep -rhoE 'hybrid\.fault\.[a-z_]+' crates/hybrid/src --include='*.rs' --exclude=alerts.rs | sort -u)"
+missing=""
+for c in $counters; do
+    grep -qF "\"$c\"" crates/hybrid/src/alerts.rs || missing="$missing $c"
+done
+if [ -n "$missing" ]; then
+    echo "hybrid.fault.* counters with no alert rule or ALLOWLIST entry in crates/hybrid/src/alerts.rs:$missing" >&2
+    exit 1
+fi
 
 echo "== committed trace exports stay under 1 MiB"
 oversize="$(find results -name '*.trace.json' -size +1M 2>/dev/null || true)"
