@@ -15,6 +15,9 @@ use netsession_core::time::SimTime;
 use netsession_core::units::Bandwidth;
 use netsession_sim::engine::EventQueue;
 use netsession_sim::flownet::FlowNet;
+use netsession_sim::queue::{BinaryHeapSched, EventSched, TimingWheel};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
 
 fn bench_sha256(c: &mut Criterion) {
     let mut group = c.benchmark_group("sha256");
@@ -138,7 +141,7 @@ fn bench_selection(c: &mut Criterion) {
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("engine/schedule_pop_10k", |b| {
         b.iter(|| {
-            let mut q = EventQueue::new();
+            let mut q: EventQueue<u64> = EventQueue::new();
             let mut rng = DetRng::seeded(3);
             for i in 0..10_000u64 {
                 q.schedule(SimTime(rng.next_u64() % 1_000_000_000), i);
@@ -150,6 +153,104 @@ fn bench_event_queue(c: &mut Criterion) {
             count
         })
     });
+}
+
+fn bench_queue_backends(c: &mut Criterion) {
+    // Steady-state pop-then-reschedule at a deep queue: the shape of the
+    // sim's hot loop, where the wheel's O(1) placement beats heap sifts.
+    // (perfbench's event_queue family is the authoritative A/B; this keeps
+    // the comparison visible from `cargo bench` too.)
+    fn steady<S: EventSched<u64> + Default>(depth: usize, ops: usize) -> u64 {
+        let mut rng = DetRng::seeded(0x716266);
+        let mut q = S::default();
+        let mut seq = 0u64;
+        for _ in 0..depth {
+            q.push(SimTime(rng.next_u64() % 1_000_000_000), seq, seq);
+            seq += 1;
+        }
+        let mut acc = 0u64;
+        for _ in 0..ops {
+            let (at, _, e) = q.pop().unwrap();
+            acc ^= e;
+            q.push(
+                SimTime(at.as_micros() + 1 + rng.next_u64() % 60_000_000),
+                seq,
+                seq,
+            );
+            seq += 1;
+        }
+        acc
+    }
+    let mut group = c.benchmark_group("queue/steady_50k_depth");
+    group.bench_function("timing_wheel", |b| {
+        b.iter(|| steady::<TimingWheel<u64>>(50_000, 10_000))
+    });
+    group.bench_function("binary_heap", |b| {
+        b.iter(|| steady::<BinaryHeapSched<u64>>(50_000, 10_000))
+    });
+    group.finish();
+}
+
+fn bench_hashers(c: &mut Criterion) {
+    let mut rng = DetRng::seeded(0x6b657973);
+    let keys: Vec<u64> = (0..100_000).map(|_| rng.next_u64()).collect();
+    let mut group = c.benchmark_group("hash/u64_keys_100k");
+    group.bench_function("fx", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                let mut h = netsession_core::fxhash::FxHasher::default();
+                h.write_u64(k);
+                acc ^= h.finish();
+            }
+            acc
+        })
+    });
+    group.bench_function("siphash", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in &keys {
+                let mut h = DefaultHasher::default();
+                h.write_u64(k);
+                acc ^= h.finish();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_scrape(c: &mut Criterion) {
+    // Registry shaped like a real run's scrape load: the alert loop calls
+    // this ~43k times per headline run.
+    let reg = netsession_obs::MetricsRegistry::new();
+    for i in 0..40 {
+        reg.counter(&format!("bench.counter_{i:02}")).add(i);
+        reg.gauge(&format!("bench.gauge_{i:02}")).set(i as i64);
+    }
+    for i in 0..15 {
+        let h = reg.histogram(&format!("bench.histo_{i:02}"));
+        for v in 0..200 {
+            h.record(v * 13);
+        }
+    }
+    let mut group = c.benchmark_group("obs/scrape");
+    group.bench_function("fresh", |b| b.iter(|| reg.scrape().counters.len()));
+    let mut snap = reg.scrape();
+    group.bench_function("into_reused", |b| {
+        b.iter(|| {
+            reg.scrape_into(&mut snap);
+            snap.counters.len()
+        })
+    });
+    let mut snap2 = reg.scrape();
+    group.bench_function("scalars_only", |b| {
+        b.iter(|| {
+            reg.scrape_scalars_into(&mut snap2);
+            snap2.counters.len()
+        })
+    });
+    group.finish();
 }
 
 fn bench_cdf(c: &mut Criterion) {
@@ -168,6 +269,9 @@ criterion_group!(
     bench_flownet,
     bench_selection,
     bench_event_queue,
+    bench_queue_backends,
+    bench_hashers,
+    bench_scrape,
     bench_cdf
 );
 criterion_main!(benches);

@@ -1,0 +1,837 @@
+//! `perfbench` — the hot-path performance campaign harness behind
+//! `results/bench/BENCH_6.json` (see `docs/PERFORMANCE.md`).
+//!
+//! Four micro/meso families plus a headline macro run:
+//!
+//! * `event_queue` — timing wheel vs. the binary-heap oracle, both as a
+//!   micro drain and as a full same-config sim A/B whose outputs are
+//!   asserted bit-identical before either timing is reported.
+//! * `hashing` — the in-tree FxHasher vs. std's SipHash-1-3, raw hashing
+//!   and a map insert/lookup workload.
+//! * `alloc_churn` — allocations per operation on paths the campaign
+//!   de-churned (flownet scratch reuse, snapshot-reusing scrapes, the
+//!   geo-db borrowed-record fast path), counted by a global allocator.
+//! * `obs` — instrumentation cost: the same sim with tracing at every
+//!   download, the default 1-in-1024 sampling, and effectively off, plus
+//!   scrape-variant timings.
+//!
+//! Modes:
+//!
+//! ```text
+//! perfbench                          full campaign, writes results/bench/BENCH_6.json
+//! perfbench --smoke [--out PATH]     seconds-scale run (CI), writes PATH or stdout
+//! perfbench --check COMMITTED.json   smoke run + schema lint + coarse regression
+//!                                    gate against the committed snapshot
+//! perfbench --baseline-ms N          record an externally measured seed-commit
+//!                                    headline wall time for the speedup field
+//! ```
+//!
+//! Wall-clock numbers are machine-dependent and land in a JSON that is
+//! *not* byte-stable — which is why they live under `results/bench/` and
+//! not next to the deterministic experiment outputs. The `--check` gate
+//! is deliberately generous (factor-of-five) so CI only fails on real
+//! regressions, not scheduler noise.
+
+use netsession_bench::runner::{config_for, ExperimentArgs};
+use netsession_core::fxhash::{FxBuildHasher, FxHasher};
+use netsession_core::hash::Sha256;
+use netsession_core::rng::DetRng;
+use netsession_core::time::SimTime;
+use netsession_core::units::Bandwidth;
+use netsession_hybrid::{HybridSim, Scenario, ScenarioConfig, SimOutput};
+use netsession_logs::geodb::{EdgeScapeDb, GeoInfo, GeoInfoRef};
+use netsession_obs::json::{parse, push_str_literal, JsonValue};
+use netsession_obs::MetricsRegistry;
+use netsession_sim::flownet::FlowNet;
+use netsession_sim::queue::{BinaryHeapSched, EventSched, TimingWheel};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::hash_map::{DefaultHasher, RandomState};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every heap operation in the process ticks these, so
+// steady-state `allocs/op` deltas are exact, not sampled.
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation count and bytes requested during `f`.
+fn alloc_delta<T>(f: impl FnOnce() -> T) -> (u64, u64, T) {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let out = f();
+    (
+        ALLOCS.load(Ordering::Relaxed) - a0,
+        ALLOC_BYTES.load(Ordering::Relaxed) - b0,
+        out,
+    )
+}
+
+/// Peak resident set (VmHWM) in KiB, when /proc is available.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn best_of_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// event_queue family
+
+/// Bulk schedule + drain of `n` uniformly random timestamps in a 30-day
+/// window: ns/event for one backend.
+fn queue_bulk_ns<S: EventSched<u64> + Default>(n: usize) -> f64 {
+    let mut rng = DetRng::seeded(0x716265);
+    let month_us = 30 * 24 * 3600 * 1_000_000u64;
+    let times: Vec<u64> = (0..n).map(|_| rng.next_u64() % month_us).collect();
+    let t = Instant::now();
+    let mut q = S::default();
+    for (i, &at) in times.iter().enumerate() {
+        q.push(SimTime(at), i as u64, i as u64);
+    }
+    let mut acc = 0u64;
+    while let Some((_, _, e)) = q.pop() {
+        acc ^= e;
+    }
+    black_box(acc);
+    t.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// Steady-state pop-then-reschedule at a deep queue — the shape of the sim's
+/// hot loop (queue depth ~780 k on the headline run): ns/op.
+fn queue_steady_ns<S: EventSched<u64> + Default>(depth: usize, ops: usize) -> f64 {
+    let mut rng = DetRng::seeded(0x716266);
+    let mut q = S::default();
+    let mut seq = 0u64;
+    for _ in 0..depth {
+        q.push(SimTime(rng.next_u64() % 1_000_000_000), seq, seq);
+        seq += 1;
+    }
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (at, _, e) = q.pop().unwrap();
+        acc ^= e;
+        // Re-schedule a follow-up a short, varied delay ahead, like the
+        // transfer-progress and session events do.
+        q.push(
+            SimTime(at.as_micros() + 1 + rng.next_u64() % 60_000_000),
+            seq,
+            seq,
+        );
+        seq += 1;
+    }
+    black_box(acc);
+    t.elapsed().as_nanos() as f64 / ops as f64
+}
+
+/// Digest of everything a run is judged by: the per-download ledger plus
+/// the deterministic metrics snapshot. Two backends must agree on this
+/// byte-for-byte before their timings are comparable.
+fn output_digest(out: &SimOutput, registry: &MetricsRegistry) -> String {
+    let mut h = Sha256::new();
+    for d in &out.dataset.downloads {
+        h.update(format!("{d:?}").as_bytes());
+    }
+    h.update(registry.snapshot_json().as_bytes());
+    format!("{:016x}", h.finalize().prefix_u64())
+}
+
+struct MacroAb {
+    wheel_ms: f64,
+    heap_ms: f64,
+    events: u64,
+    digest: String,
+}
+
+/// Interleaved wheel/heap A/B of the same scenario config. Panics if the
+/// two backends' outputs differ in any judged byte.
+fn macro_ab(cfg: &ScenarioConfig, reps: usize) -> MacroAb {
+    let mut wheel_ms = f64::INFINITY;
+    let mut heap_ms = f64::INFINITY;
+    let mut events = 0u64;
+    let mut digest = String::new();
+    for _ in 0..reps {
+        let reg_w = MetricsRegistry::new();
+        let t = Instant::now();
+        let out_w = HybridSim::new(Scenario::build(cfg.clone()))
+            .with_metrics(&reg_w)
+            .run();
+        wheel_ms = wheel_ms.min(t.elapsed().as_secs_f64() * 1e3);
+
+        let reg_h = MetricsRegistry::new();
+        let t = Instant::now();
+        let out_h = HybridSim::new(Scenario::build(cfg.clone()))
+            .with_metrics(&reg_h)
+            .run_with_oracle_queue();
+        heap_ms = heap_ms.min(t.elapsed().as_secs_f64() * 1e3);
+
+        let dw = output_digest(&out_w, &reg_w);
+        let dh = output_digest(&out_h, &reg_h);
+        assert_eq!(dw, dh, "wheel and heap backends diverged — oracle violated");
+        events = reg_w.scrape().counter("sim.events_processed");
+        digest = dw;
+    }
+    MacroAb {
+        wheel_ms,
+        heap_ms,
+        events,
+        digest,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hashing family
+
+fn hash_u64_ns<H: Hasher + Default>(keys: &[u64]) -> f64 {
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for &k in keys {
+        let mut h = H::default();
+        h.write_u64(k);
+        acc ^= h.finish();
+    }
+    black_box(acc);
+    t.elapsed().as_nanos() as f64 / keys.len() as f64
+}
+
+fn map_workload_ns<S: BuildHasher>(build: S, inserts: usize, lookups: usize) -> f64 {
+    let mut rng = DetRng::seeded(0x686173);
+    let keys: Vec<u128> = (0..inserts).map(|_| rng.next_u64() as u128).collect();
+    let t = Instant::now();
+    let mut m: HashMap<u128, u64, S> = HashMap::with_hasher(build);
+    for (i, &k) in keys.iter().enumerate() {
+        m.insert(k, i as u64);
+    }
+    let mut acc = 0u64;
+    for i in 0..lookups {
+        acc ^= m.get(&keys[i % keys.len()]).copied().unwrap_or(0);
+    }
+    black_box(acc);
+    t.elapsed().as_nanos() as f64 / (inserts + lookups) as f64
+}
+
+// ---------------------------------------------------------------------------
+// alloc_churn family
+
+/// Flownet recompute at a fixed swarm shape: (ns/op, allocs/op) in steady
+/// state — the pooled scratch should make this allocation-free.
+fn flownet_churn(flows: usize, iters: usize) -> (f64, f64) {
+    let mut rng = DetRng::seeded(1);
+    let mut net = FlowNet::new();
+    let nodes: Vec<_> = (0..flows / 4 + 2)
+        .map(|_| {
+            net.add_node(
+                Bandwidth::from_mbps(rng.range_f64(0.5, 10.0)),
+                Bandwidth::from_mbps(rng.range_f64(5.0, 100.0)),
+            )
+        })
+        .collect();
+    for _ in 0..flows {
+        let s = nodes[rng.index(nodes.len())];
+        let mut d = nodes[rng.index(nodes.len())];
+        while d == s {
+            d = nodes[rng.index(nodes.len())];
+        }
+        net.add_flow(s, d, None);
+    }
+    for _ in 0..3 {
+        net.recompute(); // warm the scratch pools
+    }
+    let t = Instant::now();
+    let (allocs, _, _) = alloc_delta(|| {
+        for _ in 0..iters {
+            net.recompute();
+        }
+    });
+    (
+        t.elapsed().as_nanos() as f64 / iters as f64,
+        allocs as f64 / iters as f64,
+    )
+}
+
+/// Geo-db login-storm shape: the same sites re-observed constantly.
+/// Returns ((record ns/op, record allocs/op), (insert ns/op, insert allocs/op)).
+fn geodb_churn(iters: usize) -> ((f64, f64), (f64, f64)) {
+    const CODES: [&str; 4] = ["US", "DE", "BR", "JP"];
+    const CITIES: [&str; 4] = ["cambridge", "berlin", "recife", "osaka"];
+    let info = |i: usize| GeoInfoRef {
+        country_code: CODES[i % 4],
+        city: CITIES[i % 4],
+        lat: 42.0 + (i % 7) as f64,
+        lon: -71.0 + (i % 11) as f64,
+        tz_offset: -5,
+        asn: netsession_core::id::AsNumber(7922 + (i % 4) as u32),
+        country_idx: (i % 4) as u16,
+        region_idx: (i % 4) as u8,
+    };
+    let mut db = EdgeScapeDb::new();
+    for i in 0..256 {
+        db.record(i as u32, &info(i)); // populate: all IPs known
+    }
+    let t = Instant::now();
+    let (rec_allocs, _, _) = alloc_delta(|| {
+        for i in 0..iters {
+            db.record((i % 256) as u32, &info(i % 256));
+        }
+    });
+    let rec = (
+        t.elapsed().as_nanos() as f64 / iters as f64,
+        rec_allocs as f64 / iters as f64,
+    );
+
+    let t = Instant::now();
+    let (ins_allocs, _, _) = alloc_delta(|| {
+        for i in 0..iters {
+            let r = info(i % 256);
+            db.insert(
+                (i % 256) as u32,
+                GeoInfo {
+                    country_code: r.country_code.to_string(),
+                    city: r.city.to_string(),
+                    lat: r.lat,
+                    lon: r.lon,
+                    tz_offset: r.tz_offset,
+                    asn: r.asn,
+                    country_idx: r.country_idx,
+                    region_idx: r.region_idx,
+                },
+            );
+        }
+    });
+    let ins = (
+        t.elapsed().as_nanos() as f64 / iters as f64,
+        ins_allocs as f64 / iters as f64,
+    );
+    (rec, ins)
+}
+
+/// Scrape variants against a registry populated by a real run:
+/// fresh `scrape()` per call vs. snapshot-reusing `scrape_into` vs. the
+/// alert loop's scalars-only path. Returns [(ns/op, allocs/op); 3].
+fn scrape_churn(registry: &MetricsRegistry, iters: usize) -> [(f64, f64); 3] {
+    let mut out = [(0.0, 0.0); 3];
+
+    let t = Instant::now();
+    let (a, _, _) = alloc_delta(|| {
+        for _ in 0..iters {
+            black_box(registry.scrape().counters.len());
+        }
+    });
+    out[0] = (
+        t.elapsed().as_nanos() as f64 / iters as f64,
+        a as f64 / iters as f64,
+    );
+
+    let mut snap = registry.scrape();
+    let t = Instant::now();
+    let (a, _, _) = alloc_delta(|| {
+        for _ in 0..iters {
+            registry.scrape_into(&mut snap);
+        }
+    });
+    out[1] = (
+        t.elapsed().as_nanos() as f64 / iters as f64,
+        a as f64 / iters as f64,
+    );
+
+    let t = Instant::now();
+    let (a, _, _) = alloc_delta(|| {
+        for _ in 0..iters {
+            registry.scrape_scalars_into(&mut snap);
+        }
+    });
+    out[2] = (
+        t.elapsed().as_nanos() as f64 / iters as f64,
+        a as f64 / iters as f64,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// obs family
+
+/// Wall time of the same sim with tracing at every download, the default
+/// sampling, and effectively off. Metrics counters stay on in all three —
+/// they are load-bearing for the alert engine and cannot be disabled.
+fn obs_ab(base: &ScenarioConfig, reps: usize) -> [f64; 3] {
+    let run_at = |sample_every: u64| {
+        let mut cfg = base.clone();
+        cfg.obs.trace_sample_every = sample_every;
+        best_of_ms(reps, || {
+            black_box(HybridSim::run_config(cfg.clone()).stats.completed);
+        })
+    };
+    [run_at(1), run_at(1024), run_at(u64::MAX / 4)]
+}
+
+// ---------------------------------------------------------------------------
+// JSON assembly (hand-rolled, like every artifact writer in this repo)
+
+struct Json {
+    buf: String,
+}
+
+impl Json {
+    fn new() -> Self {
+        Json {
+            buf: String::from("{\n"),
+        }
+    }
+    fn key(&mut self, indent: usize, key: &str) {
+        let len = self.buf.len();
+        if !self.buf.ends_with("{\n") && !self.buf.ends_with("[\n") && len > 2 {
+            let trimmed = self.buf.trim_end_matches('\n');
+            if !trimmed.ends_with('{') && !trimmed.ends_with('[') && !trimmed.ends_with(',') {
+                self.buf.truncate(trimmed.len());
+                self.buf.push_str(",\n");
+            }
+        }
+        self.buf.push_str(&"  ".repeat(indent));
+        push_str_literal(&mut self.buf, key);
+        self.buf.push_str(": ");
+    }
+    fn num(&mut self, indent: usize, key: &str, v: f64) {
+        self.key(indent, key);
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            self.buf.push_str(&format!("{}\n", v as i64));
+        } else {
+            self.buf.push_str(&format!("{v:.3}\n"));
+        }
+    }
+    fn str(&mut self, indent: usize, key: &str, v: &str) {
+        self.key(indent, key);
+        push_str_literal(&mut self.buf, v);
+        self.buf.push('\n');
+    }
+    fn open(&mut self, indent: usize, key: &str) {
+        self.key(indent, key);
+        self.buf.push_str("{\n");
+    }
+    fn close(&mut self, indent: usize) {
+        self.buf.push_str(&"  ".repeat(indent));
+        self.buf.push_str("}\n");
+    }
+    fn finish(mut self) -> String {
+        self.buf.push_str("}\n");
+        self.buf
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+struct Campaign {
+    smoke: bool,
+    baseline_ms: Option<f64>,
+    current_ms: Option<f64>,
+    baseline_commit: String,
+}
+
+fn run_campaign(c: &Campaign) -> String {
+    let scale = |n: usize| if c.smoke { n / 10 } else { n };
+
+    eprintln!("# event_queue family");
+    let bulk_n = scale(200_000).max(5_000);
+    let wheel_bulk = (0..3).fold(f64::INFINITY, |m, _| {
+        m.min(queue_bulk_ns::<TimingWheel<u64>>(bulk_n))
+    });
+    let heap_bulk = (0..3).fold(f64::INFINITY, |m, _| {
+        m.min(queue_bulk_ns::<BinaryHeapSched<u64>>(bulk_n))
+    });
+    let depth = scale(500_000).max(20_000);
+    let ops = scale(500_000).max(20_000);
+    let wheel_steady = (0..3).fold(f64::INFINITY, |m, _| {
+        m.min(queue_steady_ns::<TimingWheel<u64>>(depth, ops))
+    });
+    let heap_steady = (0..3).fold(f64::INFINITY, |m, _| {
+        m.min(queue_steady_ns::<BinaryHeapSched<u64>>(depth, ops))
+    });
+
+    let macro_args = if c.smoke {
+        ExperimentArgs {
+            peers: 2_000,
+            downloads: 3_000,
+            ..ExperimentArgs::default()
+        }
+    } else {
+        ExperimentArgs::default()
+    };
+    let ab = macro_ab(&config_for(&macro_args), if c.smoke { 1 } else { 2 });
+    eprintln!(
+        "#   wheel {:.0} ms vs heap {:.0} ms (digest {})",
+        ab.wheel_ms, ab.heap_ms, ab.digest
+    );
+
+    eprintln!("# hashing family");
+    let mut rng = DetRng::seeded(0x6b657973);
+    let keys: Vec<u64> = (0..scale(1_000_000).max(50_000))
+        .map(|_| rng.next_u64())
+        .collect();
+    let fx_ns = (0..3).fold(f64::INFINITY, |m, _| m.min(hash_u64_ns::<FxHasher>(&keys)));
+    let sip_ns = (0..3).fold(f64::INFINITY, |m, _| {
+        m.min(hash_u64_ns::<DefaultHasher>(&keys))
+    });
+    let map_n = scale(100_000).max(10_000);
+    let fx_map = (0..3).fold(f64::INFINITY, |m, _| {
+        m.min(map_workload_ns(FxBuildHasher::default(), map_n, map_n * 4))
+    });
+    let sip_map = (0..3).fold(f64::INFINITY, |m, _| {
+        m.min(map_workload_ns(RandomState::new(), map_n, map_n * 4))
+    });
+
+    eprintln!("# alloc_churn family");
+    let (fn_ns, fn_allocs) = flownet_churn(1_000, if c.smoke { 20 } else { 100 });
+    let ((rec_ns, rec_allocs), (ins_ns, ins_allocs)) = geodb_churn(scale(200_000).max(20_000));
+    // A registry shaped like a real run's: reuse the macro A/B's registry.
+    let reg = MetricsRegistry::new();
+    let _ = HybridSim::new(Scenario::build(config_for(&ExperimentArgs {
+        peers: 2_000,
+        downloads: 3_000,
+        ..ExperimentArgs::default()
+    })))
+    .with_metrics(&reg)
+    .run();
+    let scrapes = scrape_churn(&reg, scale(20_000).max(2_000));
+
+    eprintln!("# obs family");
+    let obs_args = if c.smoke {
+        ExperimentArgs {
+            peers: 2_000,
+            downloads: 3_000,
+            ..ExperimentArgs::default()
+        }
+    } else {
+        ExperimentArgs {
+            peers: 12_000,
+            downloads: 15_000,
+            ..ExperimentArgs::default()
+        }
+    };
+    let [obs_all, obs_default, obs_off] =
+        obs_ab(&config_for(&obs_args), if c.smoke { 1 } else { 2 });
+
+    eprintln!("# headline macro");
+    // The full-mode headline numbers are the macro A/B's wheel runs at the
+    // default scale; smoke reuses its smaller macro run.
+    let headline_ms = ab.wheel_ms;
+    let events_per_sec = ab.events as f64 / (headline_ms / 1e3);
+    let rss_kb = peak_rss_kb().unwrap_or(0);
+
+    let mut j = Json::new();
+    j.str(1, "schema", "netsession-perfbench/1");
+    j.num(1, "issue", 6.0);
+    j.str(1, "mode", if c.smoke { "smoke" } else { "full" });
+    j.open(1, "hardware");
+    j.str(2, "os", std::env::consts::OS);
+    j.str(2, "arch", std::env::consts::ARCH);
+    j.num(
+        2,
+        "cpus",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0) as f64,
+    );
+    j.str(
+        2,
+        "note",
+        "shared container; ±20% run-to-run noise observed — compare ratios, not absolute times",
+    );
+    j.close(1);
+    j.str(
+        1,
+        "methodology",
+        "best-of-N wall clock (N=3 micro, N=2 macro), interleaved A/B for backend \
+         comparisons, outputs asserted bit-identical before timings are reported; \
+         allocs counted by a global allocator; peak RSS from /proc VmHWM",
+    );
+    j.open(1, "families");
+
+    j.open(2, "event_queue");
+    j.num(3, "bulk_events", bulk_n as f64);
+    j.num(3, "wheel_bulk_ns_per_event", wheel_bulk);
+    j.num(3, "heap_bulk_ns_per_event", heap_bulk);
+    j.num(3, "steady_depth", depth as f64);
+    j.num(3, "wheel_steady_ns_per_op", wheel_steady);
+    j.num(3, "heap_steady_ns_per_op", heap_steady);
+    j.num(3, "macro_wheel_ms", ab.wheel_ms);
+    j.num(3, "macro_heap_ms", ab.heap_ms);
+    j.num(3, "macro_speedup", ab.heap_ms / ab.wheel_ms);
+    j.str(3, "macro_output_digest", &ab.digest);
+    j.close(2);
+
+    j.open(2, "hashing");
+    j.num(3, "keys", keys.len() as f64);
+    j.num(3, "fx_hash_u64_ns", fx_ns);
+    j.num(3, "sip_hash_u64_ns", sip_ns);
+    j.num(3, "hash_speedup", sip_ns / fx_ns);
+    j.num(3, "fx_map_ns_per_op", fx_map);
+    j.num(3, "sip_map_ns_per_op", sip_map);
+    j.num(3, "map_speedup", sip_map / fx_map);
+    j.close(2);
+
+    j.open(2, "alloc_churn");
+    j.num(3, "flownet_recompute_ns", fn_ns);
+    j.num(3, "flownet_recompute_allocs_per_op", fn_allocs);
+    j.num(3, "geodb_record_ns", rec_ns);
+    j.num(3, "geodb_record_allocs_per_op", rec_allocs);
+    j.num(3, "geodb_insert_ns", ins_ns);
+    j.num(3, "geodb_insert_allocs_per_op", ins_allocs);
+    j.num(3, "scrape_fresh_ns", scrapes[0].0);
+    j.num(3, "scrape_fresh_allocs_per_op", scrapes[0].1);
+    j.num(3, "scrape_into_ns", scrapes[1].0);
+    j.num(3, "scrape_into_allocs_per_op", scrapes[1].1);
+    j.num(3, "scrape_scalars_ns", scrapes[2].0);
+    j.num(3, "scrape_scalars_allocs_per_op", scrapes[2].1);
+    j.close(2);
+
+    j.open(2, "obs");
+    j.num(3, "peers", obs_args.peers as f64);
+    j.num(3, "trace_every_download_ms", obs_all);
+    j.num(3, "trace_default_sampling_ms", obs_default);
+    j.num(3, "trace_off_ms", obs_off);
+    j.num(3, "tracing_overhead_pct", (obs_all / obs_off - 1.0) * 100.0);
+    j.close(2);
+
+    j.close(1); // families
+
+    j.open(1, "headline");
+    j.num(2, "peers", macro_args.peers as f64);
+    j.num(2, "downloads", macro_args.downloads as f64);
+    j.num(2, "wall_ms", headline_ms);
+    j.num(2, "events_processed", ab.events as f64);
+    j.num(2, "events_per_sec", events_per_sec);
+    j.num(2, "peak_rss_kb", rss_kb as f64);
+    if let Some(base) = c.baseline_ms {
+        // Like-for-like: the externally measured wall of the *current full
+        // binary* (sim + sidecars + analytics tail, same as the baseline
+        // binary), not this harness's sim-only macro time.
+        let current = c.current_ms.unwrap_or(headline_ms);
+        j.open(2, "baseline");
+        j.str(3, "commit", &c.baseline_commit);
+        j.num(3, "wall_ms", base);
+        j.num(3, "current_binary_wall_ms", current);
+        j.str(
+            3,
+            "method",
+            "seed-commit headline binary rebuilt in a worktree, interleaved best-of-3 \
+             against the current headline binary on the same machine/session",
+        );
+        j.close(2);
+        j.num(2, "speedup_vs_baseline", base / current);
+    }
+    j.close(1);
+
+    j.open(1, "smoke_reference");
+    j.str(
+        2,
+        "note",
+        "gate inputs for scripts/check.sh --check: generous factor-of-five tolerance",
+    );
+    j.num(2, "macro_wall_ms", ab.wheel_ms);
+    j.close(1);
+
+    j.finish()
+}
+
+// ---------------------------------------------------------------------------
+// --check: schema lint + coarse regression gate
+
+fn get_num(v: &JsonValue, path: &[&str]) -> Option<f64> {
+    let mut cur = v;
+    for k in path {
+        cur = cur.get(k)?;
+    }
+    cur.as_f64()
+}
+
+fn check(committed_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(committed_path)
+        .map_err(|e| format!("cannot read {committed_path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{committed_path}: {e}"))?;
+
+    // Schema lint: the keys every consumer of BENCH_*.json relies on.
+    match doc.get("schema") {
+        Some(JsonValue::Str(s)) if s == "netsession-perfbench/1" => {}
+        other => return Err(format!("schema field missing or wrong: {other:?}")),
+    }
+    for fam in ["event_queue", "hashing", "alloc_churn", "obs"] {
+        if doc.get("families").and_then(|f| f.get(fam)).is_none() {
+            return Err(format!("families.{fam} missing"));
+        }
+    }
+    for path in [
+        &["families", "event_queue", "macro_speedup"][..],
+        &["families", "hashing", "hash_speedup"],
+        &["families", "alloc_churn", "flownet_recompute_allocs_per_op"],
+        &["families", "obs", "tracing_overhead_pct"],
+        &["headline", "wall_ms"],
+        &["headline", "events_per_sec"],
+        &["smoke_reference", "macro_wall_ms"],
+    ] {
+        if get_num(&doc, path).is_none() {
+            return Err(format!("required number {} missing", path.join(".")));
+        }
+    }
+    let committed_smoke = get_num(&doc, &["smoke_reference", "macro_wall_ms"]).unwrap();
+    eprintln!("# schema lint OK ({committed_path})");
+
+    // Correctness gate: wheel and heap must still be bit-identical, and the
+    // smoke-scale run must not have regressed past the generous tolerance.
+    let args = ExperimentArgs {
+        peers: 2_000,
+        downloads: 3_000,
+        ..ExperimentArgs::default()
+    };
+    let ab = macro_ab(&config_for(&args), 1);
+    eprintln!(
+        "# smoke A/B: wheel {:.0} ms, heap {:.0} ms, outputs identical",
+        ab.wheel_ms, ab.heap_ms
+    );
+
+    // The committed reference may come from full mode (default scale) —
+    // scale it down is not possible portably, so gate only when the
+    // committed number is itself smoke-scale comparable; otherwise gate on
+    // the wheel-vs-heap ratio alone.
+    let tolerance = 5.0;
+    if ab.wheel_ms > ab.heap_ms * 2.0 {
+        return Err(format!(
+            "timing wheel regressed: {:.0} ms vs heap {:.0} ms (>2x slower)",
+            ab.wheel_ms, ab.heap_ms
+        ));
+    }
+    let committed_mode = matches!(doc.get("mode"), Some(JsonValue::Str(s)) if s == "smoke");
+    if committed_mode && ab.wheel_ms > committed_smoke * tolerance {
+        return Err(format!(
+            "smoke macro regressed: {:.0} ms vs committed {:.0} ms (tolerance {tolerance}x)",
+            ab.wheel_ms, committed_smoke
+        ));
+    }
+    eprintln!("# regression gate OK (tolerance {tolerance}x)");
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut smoke = false;
+    let mut check_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut baseline_ms: Option<f64> = None;
+    let mut current_ms: Option<f64> = None;
+    let mut baseline_commit = String::from("seed");
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--check" => {
+                check_path = Some(argv.get(i + 1).expect("--check <BENCH.json>").clone());
+                i += 2;
+            }
+            "--out" => {
+                out_path = Some(argv.get(i + 1).expect("--out <path>").clone());
+                i += 2;
+            }
+            "--baseline-ms" => {
+                baseline_ms = Some(
+                    argv.get(i + 1)
+                        .expect("--baseline-ms <ms>")
+                        .parse()
+                        .expect("--baseline-ms <ms>"),
+                );
+                i += 2;
+            }
+            "--current-ms" => {
+                current_ms = Some(
+                    argv.get(i + 1)
+                        .expect("--current-ms <ms>")
+                        .parse()
+                        .expect("--current-ms <ms>"),
+                );
+                i += 2;
+            }
+            "--baseline-commit" => {
+                baseline_commit = argv.get(i + 1).expect("--baseline-commit <sha>").clone();
+                i += 2;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    if let Some(path) = check_path {
+        match check(&path) {
+            Ok(()) => println!("perfbench check: PASS"),
+            Err(e) => {
+                eprintln!("perfbench check: FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let json = run_campaign(&Campaign {
+        smoke,
+        baseline_ms,
+        current_ms,
+        baseline_commit,
+    });
+    match out_path {
+        Some(p) => {
+            if let Some(dir) = std::path::Path::new(&p).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            std::fs::write(&p, &json).expect("write bench json");
+            eprintln!("# wrote {p}");
+        }
+        None if smoke => print!("{json}"),
+        None => {
+            std::fs::create_dir_all("results/bench").expect("create results/bench");
+            std::fs::write("results/bench/BENCH_6.json", &json).expect("write bench json");
+            eprintln!("# wrote results/bench/BENCH_6.json");
+        }
+    }
+}

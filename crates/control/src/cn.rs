@@ -10,11 +10,11 @@
 //! routing state, all of it disposable: peers simply reconnect elsewhere if
 //! a CN dies.
 
+use netsession_core::fxhash::FxHashMap;
 use netsession_core::id::SecondaryGuid;
 use netsession_core::id::{ConnectionId, Guid};
 use netsession_core::msg::{NatType, PeerAddr, UsageRecord};
 use netsession_core::time::SimTime;
-use std::collections::HashMap;
 
 /// One login's bookkeeping.
 #[derive(Clone, Debug)]
@@ -57,8 +57,8 @@ pub struct LoginLogEntry {
 pub struct ConnectionNode {
     /// The region this CN serves.
     pub region: u32,
-    sessions: HashMap<ConnectionId, Session>,
-    by_guid: HashMap<Guid, ConnectionId>,
+    sessions: FxHashMap<ConnectionId, Session>,
+    by_guid: FxHashMap<Guid, ConnectionId>,
     next_conn: u64,
     usage: Vec<UsageRecord>,
     logins: Vec<LoginLogEntry>,
@@ -69,8 +69,8 @@ impl ConnectionNode {
     pub fn new(region: u32) -> Self {
         ConnectionNode {
             region,
-            sessions: HashMap::new(),
-            by_guid: HashMap::new(),
+            sessions: FxHashMap::default(),
+            by_guid: FxHashMap::default(),
             next_conn: 1,
             usage: Vec::new(),
             logins: Vec::new(),

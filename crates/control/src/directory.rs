@@ -8,10 +8,11 @@
 //! The DN's state is **soft** (§3.8): losing it is harmless because the
 //! peers hold the ground truth and repopulate the DN through RE-ADD.
 
+use netsession_core::fxhash::{FxHashMap, FxHashSet};
 use netsession_core::id::AsNumber;
 use netsession_core::id::{Guid, ObjectId, VersionId};
 use netsession_core::msg::{NatType, PeerAddr, PeerContact};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// What the directory knows about one registered peer.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,18 +48,18 @@ pub struct DirectoryNode {
     /// Which network region this DN serves.
     pub region: u32,
     /// Peer connectivity records (peers with ≥1 registration).
-    peers: HashMap<Guid, PeerRecord>,
+    peers: FxHashMap<Guid, PeerRecord>,
     /// Per-version holder rotation: fairness queue, front = next to select
     /// ("when a peer is selected, it is placed at the end of a peer
     /// selection list", §3.7).
-    holders: HashMap<VersionId, VecDeque<Guid>>,
+    holders: FxHashMap<VersionId, VecDeque<Guid>>,
     /// Reverse index: versions each peer registered (for deregistration).
-    by_peer: HashMap<Guid, HashSet<VersionId>>,
+    by_peer: FxHashMap<Guid, FxHashSet<VersionId>>,
     /// Uploads performed per (peer, object) — enforces the per-object
     /// upload cap of §3.9/§6.1.
-    upload_counts: HashMap<(Guid, ObjectId), u32>,
+    upload_counts: FxHashMap<(Guid, ObjectId), u32>,
     /// Cumulative registration events (Fig 5's "file copies registered").
-    registrations: HashMap<VersionId, u64>,
+    registrations: FxHashMap<VersionId, u64>,
 }
 
 impl DirectoryNode {
@@ -66,11 +67,11 @@ impl DirectoryNode {
     pub fn new(region: u32) -> Self {
         DirectoryNode {
             region,
-            peers: HashMap::new(),
-            holders: HashMap::new(),
-            by_peer: HashMap::new(),
-            upload_counts: HashMap::new(),
-            registrations: HashMap::new(),
+            peers: FxHashMap::default(),
+            holders: FxHashMap::default(),
+            by_peer: FxHashMap::default(),
+            upload_counts: FxHashMap::default(),
+            registrations: FxHashMap::default(),
         }
     }
 

@@ -18,7 +18,7 @@ use netsession_core::msg::{AuthToken, NatType, PeerAddr, PeerContact, UsageRecor
 use netsession_core::rng::DetRng;
 use netsession_core::time::{SimDuration, SimTime};
 use netsession_edge::auth::EdgeAuth;
-use netsession_obs::{MetricsRegistry, SpanId, TraceCtx, TraceSink};
+use netsession_obs::{Counter, Histogram, MetricsRegistry, SpanId, TraceCtx, TraceSink};
 
 /// Control-plane parameters.
 #[derive(Clone, Debug)]
@@ -71,6 +71,36 @@ impl ReconnectLimiter {
     }
 }
 
+/// Pre-resolved instrument handles for the plane's hot paths. Looking an
+/// instrument up by name takes a registry lock plus a map probe; logins
+/// and queries happen hundreds of thousands of times per simulated month,
+/// so the handles are resolved once per registry attachment instead.
+struct PlaneInstruments {
+    logins: Counter,
+    logouts: Counter,
+    peer_queries: Counter,
+    peer_queries_rejected: Counter,
+    peers_selected: Counter,
+    empty_selections: Counter,
+    usage_records: Counter,
+    selection_size: Histogram,
+}
+
+impl PlaneInstruments {
+    fn from(registry: &MetricsRegistry) -> Self {
+        PlaneInstruments {
+            logins: registry.counter("control.logins"),
+            logouts: registry.counter("control.logouts"),
+            peer_queries: registry.counter("control.peer_queries"),
+            peer_queries_rejected: registry.counter("control.peer_queries_rejected"),
+            peers_selected: registry.counter("control.peers_selected"),
+            empty_selections: registry.counter("control.empty_selections"),
+            usage_records: registry.counter("control.usage_records"),
+            selection_size: registry.histogram("control.selection_size"),
+        }
+    }
+}
+
 /// The control plane.
 pub struct ControlPlane {
     cns: Vec<ConnectionNode>,
@@ -81,12 +111,14 @@ pub struct ControlPlane {
     pub monitor: MonitoringNode,
     limiter: ReconnectLimiter,
     metrics: MetricsRegistry,
+    instruments: PlaneInstruments,
 }
 
 impl ControlPlane {
     /// Build a plane with `cfg.regions` CN/DN pairs, verifying tokens with
     /// `auth` (the same secret the edge tier mints with).
     pub fn new(cfg: &PlaneConfig, auth: EdgeAuth) -> Self {
+        let metrics = MetricsRegistry::new();
         ControlPlane {
             cns: (0..cfg.regions).map(ConnectionNode::new).collect(),
             dns: (0..cfg.regions).map(DirectoryNode::new).collect(),
@@ -94,7 +126,8 @@ impl ControlPlane {
             auth,
             monitor: MonitoringNode::new(),
             limiter: ReconnectLimiter::new(cfg.reconnect_per_sec),
-            metrics: MetricsRegistry::new(),
+            instruments: PlaneInstruments::from(&metrics),
+            metrics,
         }
     }
 
@@ -112,6 +145,7 @@ impl ControlPlane {
     /// In-place variant of [`ControlPlane::with_metrics`].
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         self.metrics = registry.clone();
+        self.instruments = PlaneInstruments::from(registry);
     }
 
     /// The registry this plane records into.
@@ -138,7 +172,7 @@ impl ControlPlane {
         secondary_guids: Vec<SecondaryGuid>,
         now: SimTime,
     ) -> ConnectionId {
-        self.metrics.counter("control.logins").incr();
+        self.instruments.logins.incr();
         self.cns[region as usize].login(
             guid,
             addr,
@@ -153,7 +187,7 @@ impl ControlPlane {
     /// Logout / connection loss. Withdraws the peer's DN registrations
     /// (its copies are unreachable while offline).
     pub fn logout(&mut self, region: u32, guid: Guid) {
-        self.metrics.counter("control.logouts").incr();
+        self.instruments.logouts.incr();
         self.cns[region as usize].logout(guid);
         self.dns[region as usize].unregister_all(guid);
     }
@@ -186,14 +220,14 @@ impl ControlPlane {
         rng: &mut DetRng,
     ) -> Result<Vec<PeerContact>> {
         if token.guid != querier.guid {
-            self.metrics.counter("control.peer_queries_rejected").incr();
+            self.instruments.peer_queries_rejected.incr();
             return Err(Error::Unauthorized("token bound to another GUID".into()));
         }
         if !self.auth.verify(token, now) {
-            self.metrics.counter("control.peer_queries_rejected").incr();
+            self.instruments.peer_queries_rejected.incr();
             return Err(Error::Unauthorized("invalid or expired token".into()));
         }
-        self.metrics.counter("control.peer_queries").incr();
+        self.instruments.peer_queries.incr();
         let want = self.selector.policy.max_peers;
         let mut picked =
             self.selector
@@ -218,14 +252,10 @@ impl ControlPlane {
                 }
             }
         }
-        self.metrics
-            .counter("control.peers_selected")
-            .add(picked.len() as u64);
-        self.metrics
-            .histogram("control.selection_size")
-            .record(picked.len() as u64);
+        self.instruments.peers_selected.add(picked.len() as u64);
+        self.instruments.selection_size.record(picked.len() as u64);
         if picked.is_empty() {
-            self.metrics.counter("control.empty_selections").incr();
+            self.instruments.empty_selections.incr();
         }
         Ok(picked)
     }
@@ -287,9 +317,7 @@ impl ControlPlane {
 
     /// Accept a usage report at a region's CN.
     pub fn accept_usage(&mut self, region: u32, records: Vec<UsageRecord>) {
-        self.metrics
-            .counter("control.usage_records")
-            .add(records.len() as u64);
+        self.instruments.usage_records.add(records.len() as u64);
         self.cns[region as usize].accept_usage(records);
     }
 

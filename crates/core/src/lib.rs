@@ -22,6 +22,7 @@
 
 pub mod codec;
 pub mod error;
+pub mod fxhash;
 pub mod hash;
 pub mod id;
 pub mod msg;
@@ -32,6 +33,7 @@ pub mod time;
 pub mod units;
 
 pub use error::{Error, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hash::Digest;
 pub use id::{AsNumber, ConnectionId, CpCode, Guid, ObjectId, PeerIndex, SecondaryGuid, VersionId};
 pub use piece::{Manifest, PieceIndex, PieceMap};

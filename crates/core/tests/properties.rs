@@ -160,3 +160,39 @@ proptest! {
         prop_assert_eq!(SecondaryGuid::from_payload(&s.to_payload()).unwrap(), s);
     }
 }
+
+/// The hasher-swap invariant behind `netsession_core::fxhash`: because every
+/// emission point in the repo sorts before emitting, replacing SipHash with
+/// FxHash on a map cannot change any output byte. This pins the invariant
+/// directly — across 200 seeded insert/remove workloads, the *sorted*
+/// key-value emission of an `FxHashMap` and a SipHash `HashMap` fed the same
+/// operations is identical, even though their iteration orders differ.
+#[test]
+fn fxhash_sorted_emission_matches_siphash_across_200_seeds() {
+    use netsession_core::fxhash::FxHashMap;
+    use netsession_core::rng::DetRng;
+    use std::collections::HashMap;
+
+    for seed in 0..200u64 {
+        let mut rng = DetRng::seeded(0xf0 ^ seed);
+        let mut fx: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut sip: HashMap<u64, u64> = HashMap::new();
+        for op in 0..300 {
+            // Small key space forces overwrites and removals to collide.
+            let key = rng.next_u64() % 64;
+            if rng.next_u64().is_multiple_of(4) {
+                fx.remove(&key);
+                sip.remove(&key);
+            } else {
+                fx.insert(key, op);
+                sip.insert(key, op);
+            }
+        }
+        // The repo rule: sort, then emit.
+        let mut fx_emit: Vec<(u64, u64)> = fx.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut sip_emit: Vec<(u64, u64)> = sip.iter().map(|(k, v)| (*k, *v)).collect();
+        fx_emit.sort_unstable();
+        sip_emit.sort_unstable();
+        assert_eq!(fx_emit, sip_emit, "seed {seed}: sorted emissions diverged");
+    }
+}

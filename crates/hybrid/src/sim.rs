@@ -22,23 +22,27 @@ use crate::identity::IdentityState;
 use crate::setup::Scenario;
 use netsession_control::directory::PeerRecord;
 use netsession_control::selection::Querier;
+use netsession_core::fxhash::FxHashMap;
 use netsession_core::id::{Guid, ObjectId, VersionId};
 use netsession_core::msg::{AuthToken, PeerAddr};
 use netsession_core::rng::DetRng;
 use netsession_core::time::{SimDuration, SimTime, TRACE_MONTH};
 use netsession_core::units::{Bandwidth, ByteCount};
-use netsession_logs::geodb::GeoInfo;
+use netsession_logs::geodb::GeoInfoRef;
 use netsession_logs::records::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
 use netsession_logs::TraceDataset;
 use netsession_nat::matrix::{connectivity, Connectivity};
-use netsession_obs::{AlertEngine, AlertEvent, MetricsRegistry, SpanId, TraceCtx, TraceSink};
+use netsession_obs::{
+    AlertEngine, AlertEvent, Counter, Histogram, MetricsRegistry, RegistrySnapshot, SpanId,
+    TraceCtx, TraceSink,
+};
 use netsession_sim::engine::EventQueue;
 use netsession_sim::flownet::{FlowId, FlowNet, NodeId};
+use netsession_sim::queue::{BinaryHeapSched, EventSched, TimingWheel};
 use netsession_world::behaviour::UserModel;
 use netsession_world::cloning::AnomalyPlan;
 use netsession_world::geo::{region_of, WORLD_COUNTRIES};
 use netsession_world::mobility::{MobilityConfig, MobilityPlan};
-use std::collections::HashMap;
 
 /// Tick granularity for the fluid model.
 const TICK: SimDuration = SimDuration::from_secs(20);
@@ -113,6 +117,10 @@ struct Dl {
 }
 
 impl Dl {
+    /// Total bytes fetched so far across the edge flow, live sources, and
+    /// already-detached sources. The hot loop computes this inline (fused
+    /// with the rate pass); tests use this reference form.
+    #[cfg(test)]
     fn done_bytes(&self) -> f64 {
         self.edge_bytes
             + self.sources.iter().map(|s| s.bytes).sum::<f64>()
@@ -131,7 +139,7 @@ struct PeerRt {
     uploads_enabled: bool,
     pending_pref_changes: Vec<(SimTime, bool)>,
     /// Complete cached versions and their expiry.
-    cached: HashMap<ObjectId, (VersionId, SimTime)>,
+    cached: FxHashMap<ObjectId, (VersionId, SimTime)>,
     identity: IdentityState,
     mobility: MobilityPlan,
     /// Current login site (index into mobility plan).
@@ -262,7 +270,21 @@ impl HybridSim {
     }
 
     /// Run the month and produce the trace.
-    pub fn run(mut self) -> SimOutput {
+    pub fn run(self) -> SimOutput {
+        self.run_with_sched::<TimingWheel<Event>>()
+    }
+
+    /// Run on the binary-heap oracle queue instead of the default timing
+    /// wheel. The output must be bit-identical to [`HybridSim::run`] — the
+    /// A/B macro benchmark asserts exactly that while timing both backends.
+    pub fn run_with_oracle_queue(self) -> SimOutput {
+        self.run_with_sched::<BinaryHeapSched<Event>>()
+    }
+
+    /// The event loop, generic over the queue storage backend. The backend
+    /// affects wall-clock only: every implementation of [`EventSched`] pops
+    /// in the same deterministic `(time, seq)` order.
+    fn run_with_sched<S: EventSched<Event> + Default>(mut self) -> SimOutput {
         let n_peers = self.scenario.population.len();
         let metrics = self.metrics.clone();
         let trace = self.trace.clone();
@@ -272,7 +294,7 @@ impl HybridSim {
             edge.attach_metrics(&metrics);
         }
         let mut net = FlowNet::new().with_metrics(&metrics).with_trace(&trace);
-        let mut queue: EventQueue<Event> = EventQueue::new().with_metrics(&metrics);
+        let mut queue: EventQueue<Event, S> = EventQueue::new().with_metrics(&metrics);
         let mut dataset = TraceDataset::default();
         let mut stats = RunStats::default();
 
@@ -290,8 +312,8 @@ impl HybridSim {
         let mut churn_rng = DetRng::seeded(self.scenario.config.seed ^ 0x4348_5552_4e21);
 
         // Clone groups share a master image.
-        let mut masters: HashMap<u32, netsession_world::cloning::InstallationState> =
-            HashMap::new();
+        let mut masters: FxHashMap<u32, netsession_world::cloning::InstallationState> =
+            FxHashMap::default();
         let mut peers: Vec<PeerRt> = Vec::with_capacity(n_peers);
         for spec in &self.scenario.population.peers {
             let up_frac = self.scenario.config.transfer.upload_rate_fraction;
@@ -338,7 +360,7 @@ impl HybridSim {
                 control_connected: false,
                 uploads_enabled: spec.uploads_enabled,
                 pending_pref_changes: pending,
-                cached: HashMap::new(),
+                cached: FxHashMap::default(),
                 identity,
                 mobility,
                 site: 0,
@@ -436,10 +458,12 @@ impl HybridSim {
             .collect();
 
         // --- Main loop state.
-        let mut guid_owner: HashMap<Guid, u32> = HashMap::new();
+        let mut guid_owner: FxHashMap<Guid, u32> = FxHashMap::default();
         let mut dls: Vec<Dl> = Vec::new();
         let mut active: Vec<usize> = Vec::new();
         let mut last_advance = SimTime::ZERO;
+        // Shared per-source rate cache for `advance` (see there).
+        let mut adv_rates: Vec<f64> = Vec::new();
         let mut tick_scheduled = false;
         let cutoff = SimTime::ZERO + TRACE_MONTH + TAIL;
         // Regions whose edge servers are currently dark (EdgeOutage).
@@ -464,6 +488,11 @@ impl HybridSim {
         // registry snapshots at >= OBS_EVERY intervals.
         let mut alert_engine = AlertEngine::new(crate::alerts::standard_rules());
         let mut next_obs = SimTime::ZERO;
+        // Reusable scrape buffer: the alert engine observes >= once per
+        // OBS_EVERY of virtual time (~43k scrapes per month); refreshing in
+        // place skips rebuilding three String-keyed maps each time.
+        let mut obs_snap = RegistrySnapshot::default();
+        let hot = HotInstruments::from(&metrics);
         let ev_timings = [
             metrics.volatile_histogram("hybrid.ev_online_ns"),
             metrics.volatile_histogram("hybrid.ev_offline_ns"),
@@ -481,7 +510,11 @@ impl HybridSim {
                 break;
             }
             if t >= next_obs {
-                alert_engine.observe(t.as_micros(), &metrics.scrape());
+                // Scalars only: every alert rule kind reads counters and
+                // gauges (invariant pinned in obs's alert tests), so the
+                // ~43k in-loop scrapes skip histogram summarization.
+                metrics.scrape_scalars_into(&mut obs_snap);
+                alert_engine.observe(t.as_micros(), &obs_snap);
                 next_obs = t + OBS_EVERY;
             }
             let ev_kind = match &event {
@@ -510,7 +543,7 @@ impl HybridSim {
                     );
                 }
                 Event::Offline(p) => {
-                    advance(&mut dls, &active, &net, last_advance, t);
+                    advance(&mut dls, &active, &net, last_advance, t, &mut adv_rates);
                     last_advance = t;
                     self.peer_offline(p, t, &mut peers, &mut net, &mut dls, &active);
                     process_finished(
@@ -521,14 +554,14 @@ impl HybridSim {
                         &mut self.scenario,
                         &mut dataset,
                         &mut stats,
-                        &metrics,
+                        &hot,
                         &trace,
                         t,
                     );
                     net.recompute_dirty();
                 }
                 Event::Arrival(i) => {
-                    advance(&mut dls, &active, &net, last_advance, t);
+                    advance(&mut dls, &active, &net, last_advance, t, &mut adv_rates);
                     last_advance = t;
                     self.start_download(
                         i as usize,
@@ -542,6 +575,7 @@ impl HybridSim {
                         &mut active,
                         &mut dataset,
                         &mut stats,
+                        &hot,
                         &mut run_rng,
                     );
                     process_finished(
@@ -552,7 +586,7 @@ impl HybridSim {
                         &mut self.scenario,
                         &mut dataset,
                         &mut stats,
-                        &metrics,
+                        &hot,
                         &trace,
                         t,
                     );
@@ -603,7 +637,7 @@ impl HybridSim {
                 }
                 Event::Fault(i) => {
                     // Faults mutate the flow set; settle transfers first.
-                    advance(&mut dls, &active, &net, last_advance, t);
+                    advance(&mut dls, &active, &net, last_advance, t, &mut adv_rates);
                     last_advance = t;
                     let fault = self.scenario.config.faults.events[i as usize];
                     metrics.counter("hybrid.fault.injected").incr();
@@ -733,7 +767,7 @@ impl HybridSim {
                         &mut self.scenario,
                         &mut dataset,
                         &mut stats,
-                        &metrics,
+                        &hot,
                         &trace,
                         t,
                     );
@@ -746,7 +780,7 @@ impl HybridSim {
                     self.control_readd(p, t, &peers);
                 }
                 Event::EdgeRecover(region) => {
-                    advance(&mut dls, &active, &net, last_advance, t);
+                    advance(&mut dls, &active, &net, last_advance, t, &mut adv_rates);
                     last_advance = t;
                     edge_down[region as usize] = false;
                     let mut restored = 0u64;
@@ -783,7 +817,7 @@ impl HybridSim {
                     net.recompute_dirty();
                 }
                 Event::Tick => {
-                    advance(&mut dls, &active, &net, last_advance, t);
+                    advance(&mut dls, &active, &net, last_advance, t, &mut adv_rates);
                     last_advance = t;
                     process_finished(
                         &mut dls,
@@ -793,7 +827,7 @@ impl HybridSim {
                         &mut self.scenario,
                         &mut dataset,
                         &mut stats,
-                        &metrics,
+                        &hot,
                         &trace,
                         t,
                     );
@@ -805,6 +839,7 @@ impl HybridSim {
                         &mut dls,
                         &active,
                         &mut stats,
+                        &hot,
                         &mut run_rng,
                     );
                     // Rates must be refreshed whenever the tick changed the
@@ -839,13 +874,13 @@ impl HybridSim {
             &mut self.scenario,
             &mut dataset,
             &mut stats,
-            &metrics,
+            &hot,
             &trace,
             cutoff,
         );
 
         // DN registration log.
-        let mut reg: HashMap<VersionId, u64> = HashMap::new();
+        let mut reg: FxHashMap<VersionId, u64> = FxHashMap::default();
         for obj in self.scenario.catalog.objects() {
             let n = self.scenario.plane.registrations_of(obj.version());
             if n > 0 {
@@ -857,7 +892,8 @@ impl HybridSim {
 
         // Final observation at the cutoff so alerts that went quiet near
         // the end of the month still record their clear transition.
-        alert_engine.observe(cutoff.as_micros(), &metrics.scrape());
+        metrics.scrape_scalars_into(&mut obs_snap);
+        alert_engine.observe(cutoff.as_micros(), &obs_snap);
 
         SimOutput {
             dataset,
@@ -875,7 +911,7 @@ impl HybridSim {
         p: u32,
         t: SimTime,
         peers: &mut [PeerRt],
-        guid_owner: &mut HashMap<Guid, u32>,
+        guid_owner: &mut FxHashMap<Guid, u32>,
         dataset: &mut TraceDataset,
         stats: &mut RunStats,
         rng: &mut DetRng,
@@ -927,11 +963,11 @@ impl HybridSim {
             sguids.clone(),
             t,
         );
-        dataset.geodb.insert(
+        dataset.geodb.record(
             site.ip,
-            GeoInfo {
-                country_code: country.iso.to_string(),
-                city: country.cities[site.city].name.to_string(),
+            &GeoInfoRef {
+                country_code: country.iso,
+                city: country.cities[site.city].name,
                 lat: site.lat,
                 lon: site.lon,
                 tz_offset: country.tz_offset,
@@ -1131,7 +1167,7 @@ impl HybridSim {
         req_idx: usize,
         t: SimTime,
         peers: &mut [PeerRt],
-        guid_owner: &mut HashMap<Guid, u32>,
+        guid_owner: &mut FxHashMap<Guid, u32>,
         net: &mut FlowNet,
         edge_nodes: &[NodeId],
         edge_down: &[bool],
@@ -1139,6 +1175,7 @@ impl HybridSim {
         active: &mut Vec<usize>,
         dataset: &mut TraceDataset,
         stats: &mut RunStats,
+        hot: &HotInstruments,
         rng: &mut DetRng,
     ) {
         let req = self.scenario.workload.requests[req_idx];
@@ -1259,7 +1296,7 @@ impl HybridSim {
                         net,
                         &mut dl,
                         stats,
-                        &self.metrics,
+                        hot,
                         &self.trace,
                         t,
                         rng,
@@ -1303,11 +1340,12 @@ impl HybridSim {
         &mut self,
         t: SimTime,
         peers: &mut [PeerRt],
-        guid_owner: &HashMap<Guid, u32>,
+        guid_owner: &FxHashMap<Guid, u32>,
         net: &mut FlowNet,
         dls: &mut [Dl],
         active: &[usize],
         stats: &mut RunStats,
+        hot: &HotInstruments,
         rng: &mut DetRng,
     ) {
         let sufficient = self.scenario.config.transfer.sufficient_peer_connections;
@@ -1372,7 +1410,7 @@ impl HybridSim {
                     net,
                     &mut dls[*id],
                     stats,
-                    &self.metrics,
+                    hot,
                     &self.trace,
                     t,
                     rng,
@@ -1380,6 +1418,37 @@ impl HybridSim {
                 update_edge_ceil(&dls[*id], downlink, net);
                 net.clear_trace_scope();
             }
+        }
+    }
+}
+
+/// Pre-resolved instrument handles for the per-contact and per-download
+/// hot paths. A name lookup takes a registry lock plus a map probe; these
+/// fire up to ~100k times per run, so the handles are resolved once.
+struct HotInstruments {
+    nat_attempts: Counter,
+    nat_blocked: Counter,
+    nat_punch_failures: Counter,
+    nat_ok: Counter,
+    downloads_completed: Counter,
+    downloads_abandoned: Counter,
+    downloads_failed_system: Counter,
+    downloads_failed_env: Counter,
+    download_secs: Histogram,
+}
+
+impl HotInstruments {
+    fn from(metrics: &MetricsRegistry) -> Self {
+        HotInstruments {
+            nat_attempts: metrics.counter("peer.nat_traversal_attempts"),
+            nat_blocked: metrics.counter("peer.nat_traversal_blocked"),
+            nat_punch_failures: metrics.counter("peer.nat_punch_failures"),
+            nat_ok: metrics.counter("peer.nat_traversal_ok"),
+            downloads_completed: metrics.counter("hybrid.downloads_completed"),
+            downloads_abandoned: metrics.counter("hybrid.downloads_abandoned"),
+            downloads_failed_system: metrics.counter("hybrid.downloads_failed_system"),
+            downloads_failed_env: metrics.counter("hybrid.downloads_failed_env"),
+            download_secs: metrics.histogram("hybrid.download_secs"),
         }
     }
 }
@@ -1414,11 +1483,11 @@ fn connect_sources(
     downloader: u32,
     scenario: &Scenario,
     peers: &mut [PeerRt],
-    guid_owner: &HashMap<Guid, u32>,
+    guid_owner: &FxHashMap<Guid, u32>,
     net: &mut FlowNet,
     dl: &mut Dl,
     stats: &mut RunStats,
-    metrics: &MetricsRegistry,
+    hot: &HotInstruments,
     trace: &TraceSink,
     t: SimTime,
     rng: &mut DetRng,
@@ -1465,7 +1534,7 @@ fn connect_sources(
             }
         }
         // Traversal.
-        metrics.counter("peer.nat_traversal_attempts").incr();
+        hot.nat_attempts.incr();
         let conn = connectivity(my_nat, c.nat);
         trace.add_attr(attempt, "nat", conn.label());
         let p_ok = match conn {
@@ -1473,18 +1542,18 @@ fn connect_sources(
             Connectivity::HolePunch => P_PUNCH,
             Connectivity::None => {
                 stats.punch_failures += 1;
-                metrics.counter("peer.nat_traversal_blocked").incr();
+                hot.nat_blocked.incr();
                 trace.add_attr(attempt, "result", "blocked");
                 continue;
             }
         };
         if !rng.chance(p_ok) {
             stats.punch_failures += 1;
-            metrics.counter("peer.nat_punch_failures").incr();
+            hot.nat_punch_failures.incr();
             trace.add_attr(attempt, "result", "punch_failed");
             continue;
         }
-        metrics.counter("peer.nat_traversal_ok").incr();
+        hot.nat_ok.incr();
         trace.add_attr(attempt, "result", "connected");
         let flow = net.add_flow(
             peers[src as usize].node,
@@ -1508,7 +1577,14 @@ fn connect_sources(
 /// Advance all active downloads from `from` to `to` at current rates,
 /// detecting completion / env-failure / abort crossings with exact
 /// interpolated times.
-fn advance(dls: &mut [Dl], active: &[usize], net: &FlowNet, from: SimTime, to: SimTime) {
+fn advance(
+    dls: &mut [Dl],
+    active: &[usize],
+    net: &FlowNet,
+    from: SimTime,
+    to: SimTime,
+    rate_scratch: &mut Vec<f64>,
+) {
     if to <= from {
         return;
     }
@@ -1522,13 +1598,25 @@ fn advance(dls: &mut [Dl], active: &[usize], net: &FlowNet, from: SimTime, to: S
             .edge_flow
             .map(|f| net.rate(f).bytes_per_sec())
             .unwrap_or(0.0);
-        let src_rates: Vec<f64> = dl
-            .sources
-            .iter()
-            .map(|s| net.rate(s.flow).bytes_per_sec())
-            .collect();
-        let total_rate = edge_rate + src_rates.iter().sum::<f64>();
-        let done = dl.done_bytes();
+        // One pass over the sources collects rates (into a scratch buffer
+        // shared across the whole run — no per-download allocation) and the
+        // per-source byte sum; the accrual below reuses the cached rates
+        // instead of a second round of slab lookups. Each f64 sum keeps its
+        // original grouping (rate sum, source-bytes sum, finished-bytes sum
+        // computed separately, then added), so results are bit-identical to
+        // the naive three-pass version.
+        rate_scratch.clear();
+        let mut src_rate_sum = 0.0;
+        let mut src_bytes = 0.0;
+        for s in &dl.sources {
+            let r = net.rate(s.flow).bytes_per_sec();
+            rate_scratch.push(r);
+            src_rate_sum += r;
+            src_bytes += s.bytes;
+        }
+        let total_rate = edge_rate + src_rate_sum;
+        let done =
+            dl.edge_bytes + src_bytes + dl.finished_sources.iter().map(|(_, b)| b).sum::<f64>();
 
         // Find the earliest milestone within (from, to].
         let mut milestone_dt = dt;
@@ -1574,7 +1662,7 @@ fn advance(dls: &mut [Dl], active: &[usize], net: &FlowNet, from: SimTime, to: S
         // Accumulate bytes up to the milestone (or the full step).
         let step = milestone_dt.clamp(0.0, dt);
         dl.edge_bytes += edge_rate * step;
-        for (s, r) in dl.sources.iter_mut().zip(&src_rates) {
+        for (s, r) in dl.sources.iter_mut().zip(rate_scratch.iter()) {
             s.bytes += r * step;
         }
         if let Some(outcome) = outcome {
@@ -1595,7 +1683,7 @@ fn process_finished(
     scenario: &mut Scenario,
     dataset: &mut TraceDataset,
     stats: &mut RunStats,
-    metrics: &MetricsRegistry,
+    hot: &HotInstruments,
     trace: &TraceSink,
     _now: SimTime,
 ) {
@@ -1701,24 +1789,23 @@ fn process_finished(
         match outcome {
             DownloadOutcome::Completed => {
                 stats.completed += 1;
-                metrics.counter("hybrid.downloads_completed").incr();
+                hot.downloads_completed.incr();
             }
             DownloadOutcome::Abandoned => {
                 stats.abandoned += 1;
-                metrics.counter("hybrid.downloads_abandoned").incr();
+                hot.downloads_abandoned.incr();
             }
             DownloadOutcome::Failed { system_related } => {
                 if system_related {
                     stats.failed_system += 1;
-                    metrics.counter("hybrid.downloads_failed_system").incr();
+                    hot.downloads_failed_system.incr();
                 } else {
                     stats.failed_env += 1;
-                    metrics.counter("hybrid.downloads_failed_env").incr();
+                    hot.downloads_failed_env.incr();
                 }
             }
         }
-        metrics
-            .histogram("hybrid.download_secs")
+        hot.download_secs
             .record((ended - dl.started).as_secs_f64() as u64);
 
         // Cache + registration on completion.
@@ -1938,7 +2025,7 @@ mod tests {
         let active = vec![0usize];
         let from = SimTime::ZERO + SimDuration::from_secs(40);
         let to = from + SimDuration::from_secs(20);
-        advance(&mut dls, &active, &net, from, to);
+        advance(&mut dls, &active, &net, from, to, &mut Vec::new());
         let (at, outcome) = dls[0].finished.expect("crossed threshold must fire");
         assert_eq!(
             outcome,

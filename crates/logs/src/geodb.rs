@@ -7,8 +7,8 @@
 //! builds this database as it assigns IPs; the analytics only ever join on
 //! it, as the authors did.
 
+use netsession_core::fxhash::FxHashMap;
 use netsession_core::id::AsNumber;
-use std::collections::HashMap;
 
 /// What EdgeScape knows about one IP.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,10 +31,61 @@ pub struct GeoInfo {
     pub region_idx: u8,
 }
 
+/// [`GeoInfo`] with borrowed strings: what a caller that already holds the
+/// gazetteer's `&str` names passes to [`EdgeScapeDb::record`] so the
+/// no-change fast path allocates nothing.
+#[derive(Clone, Copy, Debug)]
+pub struct GeoInfoRef<'a> {
+    /// ISO 3166 country code.
+    pub country_code: &'a str,
+    /// City name.
+    pub city: &'a str,
+    /// Latitude.
+    pub lat: f64,
+    /// Longitude.
+    pub lon: f64,
+    /// Timezone as GMT offset hours.
+    pub tz_offset: i32,
+    /// The AS announcing this IP.
+    pub asn: AsNumber,
+    /// Gazetteer country index (simulation-internal join key).
+    pub country_idx: u16,
+    /// Table-2 region index.
+    pub region_idx: u8,
+}
+
+impl GeoInfoRef<'_> {
+    fn matches(&self, info: &GeoInfo) -> bool {
+        self.country_code == info.country_code
+            && self.city == info.city
+            && self.lat == info.lat
+            && self.lon == info.lon
+            && self.tz_offset == info.tz_offset
+            && self.asn == info.asn
+            && self.country_idx == info.country_idx
+            && self.region_idx == info.region_idx
+    }
+
+    fn owned(self) -> GeoInfo {
+        GeoInfo {
+            country_code: self.country_code.to_string(),
+            city: self.city.to_string(),
+            lat: self.lat,
+            lon: self.lon,
+            tz_offset: self.tz_offset,
+            asn: self.asn,
+            country_idx: self.country_idx,
+            region_idx: self.region_idx,
+        }
+    }
+}
+
 /// IP → geolocation.
 #[derive(Clone, Debug, Default)]
 pub struct EdgeScapeDb {
-    entries: HashMap<u32, GeoInfo>,
+    // FxHashMap: hot during login storms; every distinct_* accessor
+    // sorts+dedups before counting, so iteration order never escapes.
+    entries: FxHashMap<u32, GeoInfo>,
 }
 
 impl EdgeScapeDb {
@@ -47,6 +98,22 @@ impl EdgeScapeDb {
     /// geo DB refresh).
     pub fn insert(&mut self, ip: u32, info: GeoInfo) {
         self.entries.insert(ip, info);
+    }
+
+    /// Borrowed-field variant of [`EdgeScapeDb::insert`]: allocates the
+    /// owned `GeoInfo` only when the IP is new or its entry actually
+    /// changed. Login storms re-observe the same sites constantly — the
+    /// common case is "already known, identical", which this makes
+    /// allocation-free. Last write still wins, so the resulting database
+    /// is identical to calling `insert` every time.
+    pub fn record(&mut self, ip: u32, info: &GeoInfoRef<'_>) {
+        match self.entries.get_mut(&ip) {
+            Some(existing) if info.matches(existing) => {}
+            Some(existing) => *existing = info.owned(),
+            None => {
+                self.entries.insert(ip, info.owned());
+            }
+        }
     }
 
     /// Look up an IP.

@@ -314,6 +314,32 @@ mod tests {
         reg.scrape()
     }
 
+    /// Every rule kind evaluates against counters and gauges only. Hot
+    /// scrape loops rely on this to refresh snapshots with
+    /// `scrape_scalars_into` (histograms left stale); a rule kind that
+    /// reads `snap.histograms` must revisit those call sites first.
+    #[test]
+    fn rules_read_only_scalar_instruments() {
+        let mut reg_snap = snap(|r| {
+            r.counter("c").add(7);
+            r.gauge("g").set(3);
+            r.histogram("h").record(1);
+        });
+        // Wipe the histograms: no rule kind may notice.
+        reg_snap.histograms.clear();
+        let rules = vec![
+            AlertRule::new("a", "g", RuleKind::GaugeAbove { limit: 1 }, 0),
+            AlertRule::new("b", "g", RuleKind::GaugeBelow { limit: 10 }, 0),
+            AlertRule::new("c", "c", RuleKind::RateAbove { delta: 1 }, 60 * SEC),
+            AlertRule::new("d", "c", RuleKind::Absent, 60 * SEC),
+        ];
+        let mut e = AlertEngine::new(rules);
+        // All four evaluate without consulting histograms (the gauge rules
+        // raise, proving they really ran).
+        let ev = e.observe(SEC, &reg_snap);
+        assert_eq!(ev.len(), 2);
+    }
+
     #[test]
     fn rate_burst_raises_then_quiet_period_clears() {
         let mut e = AlertEngine::new(vec![AlertRule::new(

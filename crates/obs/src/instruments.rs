@@ -176,6 +176,36 @@ impl Histogram {
         self.max()
     }
 
+    /// Three quantile estimates from one cumulative bucket walk — exactly
+    /// the values three separate [`Histogram::quantile`] calls would
+    /// return, at a third of the atomic-load traffic. Scrape loops call
+    /// this tens of thousands of times per simulated run.
+    pub fn quantiles3(&self, q1: f64, q2: f64, q3: f64) -> (u64, u64, u64) {
+        let total = self.count();
+        if total == 0 {
+            return (0, 0, 0);
+        }
+        let rank = |q: f64| ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let ranks = [rank(q1), rank(q2), rank(q3)];
+        let (min, max) = (self.min(), self.max());
+        let mut out = [self.max(); 3];
+        let mut found = [false; 3];
+        let mut seen = 0u64;
+        'walk: for b in 0..BUCKETS {
+            seen += self.0.buckets[b].load(Ordering::Relaxed);
+            for i in 0..3 {
+                if !found[i] && seen >= ranks[i] {
+                    out[i] = Self::bucket_upper(b).clamp(min, max);
+                    found[i] = true;
+                }
+            }
+            if found == [true; 3] {
+                break 'walk;
+            }
+        }
+        (out[0], out[1], out[2])
+    }
+
     /// Median estimate.
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
@@ -218,6 +248,25 @@ mod tests {
         assert_eq!(Histogram::bucket_of(4), 3);
         assert_eq!(Histogram::bucket_of(u64::MAX), 64);
         assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles3_matches_separate_calls() {
+        let h = Histogram::detached();
+        assert_eq!(h.quantiles3(0.5, 0.9, 0.99), (0, 0, 0));
+        let mut x = 1u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x >> 40);
+        }
+        assert_eq!(
+            h.quantiles3(0.50, 0.90, 0.99),
+            (h.quantile(0.50), h.quantile(0.90), h.quantile(0.99))
+        );
+        assert_eq!(
+            h.quantiles3(0.0, 0.5, 1.0),
+            (h.quantile(0.0), h.quantile(0.5), h.quantile(1.0))
+        );
     }
 
     #[test]

@@ -6,79 +6,70 @@
 //! order they were scheduled — a property the reproducibility of every
 //! experiment depends on.
 //!
+//! The ordering contract lives here; the *storage* lives behind the
+//! [`EventSched`] trait in [`crate::queue`]. The default backend is a
+//! hierarchical [`TimingWheel`] (O(1) schedule, amortized O(levels) pop);
+//! [`OracleEventQueue`] runs on the original [`BinaryHeapSched`] and is kept
+//! as the bit-identical oracle for property tests and A/B benchmarks.
+//!
 //! The queue intentionally has no callback machinery: the simulation driver
 //! owns a `match` over its event enum, which keeps borrow-checking trivial
 //! and the control flow visible in one place.
 
+use crate::queue::{BinaryHeapSched, EventSched, TimingWheel};
 use netsession_core::time::SimTime;
 use netsession_obs::{Counter, Gauge, MetricsRegistry};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+use std::marker::PhantomData;
 
 /// Deterministic future-event list.
+///
+/// Generic over its storage backend `S` (default: the timing wheel). Every
+/// backend must honour the `(at, seq)` pop order, so the choice of `S`
+/// affects speed only — never the event stream.
 ///
 /// The queue carries passive instrumentation: `sim.events_scheduled`,
 /// `sim.events_processed`, and the `sim.queue_depth` gauge. The instruments
 /// start detached (recording goes nowhere); [`EventQueue::with_metrics`]
 /// attaches them to a registry. Either way the queue's behaviour — and
 /// therefore every simulated experiment — is identical.
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+pub struct EventQueue<E, S: EventSched<E> = TimingWheel<E>> {
+    sched: S,
     now: SimTime,
     seq: u64,
     processed: u64,
     scheduled_ctr: Counter,
     processed_ctr: Counter,
     depth_gauge: Gauge,
+    _event: PhantomData<E>,
 }
 
-impl<E> Default for EventQueue<E> {
+/// The event queue on its original binary-heap backend — the correctness
+/// oracle the timing wheel is property-tested against.
+pub type OracleEventQueue<E> = EventQueue<E, BinaryHeapSched<E>>;
+
+impl<E, S: EventSched<E> + Default> Default for EventQueue<E, S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E, S: EventSched<E> + Default> EventQueue<E, S> {
     /// Empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            sched: S::default(),
             now: SimTime::ZERO,
             seq: 0,
             processed: 0,
             scheduled_ctr: Counter::detached(),
             processed_ctr: Counter::detached(),
             depth_gauge: Gauge::detached(),
+            _event: PhantomData,
         }
     }
+}
 
+impl<E, S: EventSched<E>> EventQueue<E, S> {
     /// Attach the kernel's instruments to `registry`.
     pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
         self.scheduled_ctr = registry.counter("sim.events_scheduled");
@@ -99,7 +90,7 @@ impl<E> EventQueue<E> {
 
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.sched.len()
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -115,25 +106,25 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.sched.push(at, seq, event);
         self.scheduled_ctr.incr();
-        self.depth_gauge.set(self.heap.len() as i64);
+        self.depth_gauge.set(self.sched.len() as i64);
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now);
-        self.now = entry.at;
+        let (at, _seq, event) = self.sched.pop()?;
+        debug_assert!(at >= self.now);
+        self.now = at;
         self.processed += 1;
         self.processed_ctr.incr();
-        self.depth_gauge.set(self.heap.len() as i64);
-        Some((entry.at, entry.event))
+        self.depth_gauge.set(self.sched.len() as i64);
+        Some((at, event))
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.sched.peek_time()
     }
 }
 
@@ -142,54 +133,95 @@ mod tests {
     use super::*;
     use netsession_core::time::SimDuration;
 
+    // The kernel tests run on both backends: the oracle heap and the
+    // default timing wheel must be indistinguishable through this API.
+    fn on_both(test: impl Fn(&mut dyn FnMut() -> EventQueueDyn)) {
+        test(&mut || EventQueueDyn::Heap(OracleEventQueue::new()));
+        test(&mut || EventQueueDyn::Wheel(EventQueue::new()));
+    }
+
+    enum EventQueueDyn {
+        Heap(OracleEventQueue<i64>),
+        Wheel(EventQueue<i64>),
+    }
+
+    impl EventQueueDyn {
+        fn schedule(&mut self, at: SimTime, e: i64) {
+            match self {
+                EventQueueDyn::Heap(q) => q.schedule(at, e),
+                EventQueueDyn::Wheel(q) => q.schedule(at, e),
+            }
+        }
+        fn pop(&mut self) -> Option<(SimTime, i64)> {
+            match self {
+                EventQueueDyn::Heap(q) => q.pop(),
+                EventQueueDyn::Wheel(q) => q.pop(),
+            }
+        }
+        fn now(&self) -> SimTime {
+            match self {
+                EventQueueDyn::Heap(q) => q.now(),
+                EventQueueDyn::Wheel(q) => q.now(),
+            }
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime(30), "c");
-        q.schedule(SimTime(10), "a");
-        q.schedule(SimTime(20), "b");
-        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        on_both(|mk| {
+            let mut q = mk();
+            q.schedule(SimTime(30), 3);
+            q.schedule(SimTime(10), 1);
+            q.schedule(SimTime(20), 2);
+            let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        });
     }
 
     #[test]
     fn fifo_tie_breaking_at_same_instant() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule(SimTime(5), i);
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        on_both(|mk| {
+            let mut q = mk();
+            for i in 0..100 {
+                q.schedule(SimTime(5), i);
+            }
+            let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
+        });
     }
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime(10), ());
-        q.schedule(SimTime(25), ());
-        assert_eq!(q.now(), SimTime::ZERO);
-        q.pop();
-        assert_eq!(q.now(), SimTime(10));
-        q.pop();
-        assert_eq!(q.now(), SimTime(25));
-        assert!(q.pop().is_none());
-        assert_eq!(q.now(), SimTime(25), "clock stays at last event");
+        on_both(|mk| {
+            let mut q = mk();
+            q.schedule(SimTime(10), 0);
+            q.schedule(SimTime(25), 0);
+            assert_eq!(q.now(), SimTime::ZERO);
+            q.pop();
+            assert_eq!(q.now(), SimTime(10));
+            q.pop();
+            assert_eq!(q.now(), SimTime(25));
+            assert!(q.pop().is_none());
+            assert_eq!(q.now(), SimTime(25), "clock stays at last event");
+        });
     }
 
     #[test]
     fn can_schedule_at_current_instant_during_processing() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime(10), 1);
-        let (t, _) = q.pop().unwrap();
-        q.schedule(t, 2); // same-instant follow-up event is fine
-        let (t2, e2) = q.pop().unwrap();
-        assert_eq!((t2, e2), (SimTime(10), 2));
+        on_both(|mk| {
+            let mut q = mk();
+            q.schedule(SimTime(10), 1);
+            let (t, _) = q.pop().unwrap();
+            q.schedule(t, 2); // same-instant follow-up event is fine
+            let (t2, e2) = q.pop().unwrap();
+            assert_eq!((t2, e2), (SimTime(10), 2));
+        });
     }
 
     #[test]
     #[should_panic(expected = "scheduled in the past")]
     fn scheduling_in_the_past_panics() {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<()> = EventQueue::new();
         q.schedule(SimTime(10), ());
         q.pop();
         q.schedule(SimTime(5), ());
@@ -197,7 +229,7 @@ mod tests {
 
     #[test]
     fn counters_and_peek() {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<()> = EventQueue::new();
         q.schedule(SimTime::ZERO + SimDuration::from_secs(1), ());
         q.schedule(SimTime::ZERO + SimDuration::from_secs(2), ());
         assert_eq!(q.pending(), 2);

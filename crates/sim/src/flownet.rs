@@ -77,6 +77,40 @@ struct Slot {
     flow: Option<Flow>,
 }
 
+/// Scratch buffers for [`FlowNet::fill_candidates`], reused across
+/// recomputes. Recomputation runs on nearly every simulation event, so
+/// per-call `Vec` churn here would dominate the allocator profile.
+#[derive(Default)]
+struct CandScratch {
+    lsrc: Vec<u32>,
+    ldst: Vec<u32>,
+    lparent: Vec<u32>,
+    lrank: Vec<u8>,
+    comp_of_root: Vec<u32>,
+    comps: Vec<Vec<u32>>,
+}
+
+/// Scratch buffers for [`FlowNet::fill_component`], reused across fills.
+#[derive(Default)]
+struct FillScratch {
+    cn: Vec<u32>,
+    cap_up: Vec<f64>,
+    cap_down: Vec<f64>,
+    resid_up: Vec<f64>,
+    resid_down: Vec<f64>,
+    up_count: Vec<u32>,
+    down_count: Vec<u32>,
+    src: Vec<usize>,
+    dst: Vec<usize>,
+    ceil: Vec<f64>,
+    rate: Vec<f64>,
+    active: Vec<usize>,
+    live_nodes: Vec<u32>,
+    up_thr: Vec<f64>,
+    down_thr: Vec<f64>,
+    rate_thr: Vec<f64>,
+}
+
 /// The fluid network: nodes, flows, and their current max-min fair rates.
 pub struct FlowNet {
     nodes: Vec<Node>,
@@ -92,6 +126,11 @@ pub struct FlowNet {
     // restores exactness once enough removals accumulate.
     parent: Vec<u32>,
     rank: Vec<u8>,
+    // Epoch-stamped laziness: a node whose stamp is stale is implicitly its
+    // own singleton root, so resetting the whole partition is a counter
+    // bump plus re-unioning the live flows — O(live), not O(nodes).
+    uf_stamp: Vec<u64>,
+    uf_epoch: u64,
     stale_removals: usize,
 
     // Dirty tracking: nodes touched by mutations since the last recompute,
@@ -115,6 +154,20 @@ pub struct FlowNet {
     // next recompute they track by subtraction, like the rates themselves.
     util_up: Vec<f64>,
     util_down: Vec<f64>,
+
+    // Recompute-path scratch, reused call to call (alloc-free steady
+    // state). Taken out of `self` with `mem::take` for the duration of a
+    // call, so borrows of `self` stay simple.
+    members_scratch: Vec<(u64, u32)>,
+    slots_scratch: Vec<u32>,
+    cand: CandScratch,
+    fill: FillScratch,
+
+    // Dense list of live slots (order arbitrary; members are re-sorted by
+    // creation stamp wherever order matters) so per-event scans touch only
+    // live flows, not the whole slab. `slot_pos` is the inverse index.
+    live_slots: Vec<u32>,
+    slot_pos: Vec<u32>,
 
     recompute_ctr: Counter,
     flows_per_recompute: Histogram,
@@ -147,6 +200,8 @@ impl FlowNet {
             next_seq: 0,
             parent: Vec::new(),
             rank: Vec::new(),
+            uf_stamp: Vec::new(),
+            uf_epoch: 1,
             stale_removals: 0,
             dirty_nodes: Vec::new(),
             dirty_mark: Vec::new(),
@@ -159,6 +214,12 @@ impl FlowNet {
             nl_epoch: 0,
             util_up: Vec::new(),
             util_down: Vec::new(),
+            members_scratch: Vec::new(),
+            slots_scratch: Vec::new(),
+            cand: CandScratch::default(),
+            fill: FillScratch::default(),
+            live_slots: Vec::new(),
+            slot_pos: Vec::new(),
             recompute_ctr: Counter::detached(),
             flows_per_recompute: Histogram::detached(),
             components_gauge: Gauge::detached(),
@@ -213,6 +274,7 @@ impl FlowNet {
         self.nodes.push(Node { up, down });
         self.parent.push(id.0);
         self.rank.push(0);
+        self.uf_stamp.push(0);
         self.dirty_mark.push(0);
         self.root_mark.push(0);
         self.comp_mark.push(0);
@@ -282,9 +344,12 @@ impl FlowNet {
                     gen: 0,
                     flow: Some(flow),
                 });
+                self.slot_pos.push(u32::MAX);
                 (self.slots.len() - 1) as u32
             }
         };
+        self.slot_pos[slot as usize] = self.live_slots.len() as u32;
+        self.live_slots.push(slot);
         self.live += 1;
         self.union(src.0, dst.0);
         self.mark_dirty(src.0);
@@ -326,6 +391,12 @@ impl FlowNet {
         let Some(f) = slot.flow.take() else { return };
         slot.gen = slot.gen.wrapping_add(1);
         self.free.push(flow.slot);
+        let pos = self.slot_pos[flow.slot as usize] as usize;
+        self.live_slots.swap_remove(pos);
+        if let Some(&moved) = self.live_slots.get(pos) {
+            self.slot_pos[moved as usize] = pos as u32;
+        }
+        self.slot_pos[flow.slot as usize] = u32::MAX;
         self.live -= 1;
         self.stale_removals += 1;
         self.util_up[f.src.0 as usize] -= f.rate;
@@ -367,6 +438,13 @@ impl FlowNet {
     // --- Union-find over nodes.
 
     fn find(&mut self, mut x: u32) -> u32 {
+        if self.uf_stamp[x as usize] != self.uf_epoch {
+            // Not yet touched this epoch: an implicit singleton.
+            self.uf_stamp[x as usize] = self.uf_epoch;
+            self.parent[x as usize] = x;
+            self.rank[x as usize] = 0;
+            return x;
+        }
         while self.parent[x as usize] != x {
             let grand = self.parent[self.parent[x as usize] as usize];
             self.parent[x as usize] = grand;
@@ -390,13 +468,16 @@ impl FlowNet {
         }
     }
 
-    /// Reset the partition to exact connectivity over the live flows.
+    /// Reset the partition to exact connectivity over the live flows: bump
+    /// the epoch (implicitly isolating every node) and re-union the live
+    /// edges. Union order differs from a slab scan, which can only change
+    /// which member of a component happens to be its root — every use of
+    /// the partition compares roots or marks per-root flags, so the
+    /// resulting behaviour is identical.
     fn rebuild_partition(&mut self) {
-        for i in 0..self.nodes.len() {
-            self.parent[i] = i as u32;
-            self.rank[i] = 0;
-        }
-        for s in 0..self.slots.len() {
+        self.uf_epoch += 1;
+        for li in 0..self.live_slots.len() {
+            let s = self.live_slots[li] as usize;
             let Some((a, b)) = self.slots[s].flow.as_ref().map(|f| (f.src.0, f.dst.0)) else {
                 continue;
             };
@@ -420,14 +501,18 @@ impl FlowNet {
     /// [`recompute_dirty`](FlowNet::recompute_dirty) on the hot path.
     pub fn recompute(&mut self) {
         self.rebuild_partition();
-        let mut members: Vec<(u64, u32)> = Vec::with_capacity(self.live);
+        let mut members = std::mem::take(&mut self.members_scratch);
+        members.clear();
         for s in 0..self.slots.len() {
             if let Some(f) = self.slots[s].flow.as_ref() {
                 members.push((f.seq, s as u32));
             }
         }
         members.sort_unstable();
-        let member_slots: Vec<u32> = members.into_iter().map(|(_, s)| s).collect();
+        let mut member_slots = std::mem::take(&mut self.slots_scratch);
+        member_slots.clear();
+        member_slots.extend(members.iter().map(|&(_, s)| s));
+        self.members_scratch = members;
 
         for u in &mut self.util_up {
             *u = 0.0;
@@ -440,6 +525,7 @@ impl FlowNet {
         self.flows_per_recompute.record(self.live as u64);
         self.flows_recomputed_ctr.add(member_slots.len() as u64);
         let filled = self.fill_candidates(&member_slots);
+        self.slots_scratch = member_slots;
         self.dirty_components_ctr.add(filled as u64);
         self.components_gauge.set(filled as i64);
 
@@ -473,9 +559,11 @@ impl FlowNet {
 
         // One pass over the slab: count distinct components (gauge) and
         // collect flows whose component root is dirty.
-        let mut members: Vec<(u64, u32)> = Vec::new();
+        let mut members = std::mem::take(&mut self.members_scratch);
+        members.clear();
         let mut components_total = 0usize;
-        for s in 0..self.slots.len() {
+        for li in 0..self.live_slots.len() {
+            let s = self.live_slots[li] as usize;
             let Some((src, seq)) = self.slots[s].flow.as_ref().map(|f| (f.src.0, f.seq)) else {
                 continue;
             };
@@ -489,7 +577,10 @@ impl FlowNet {
             }
         }
         members.sort_unstable();
-        let member_slots: Vec<u32> = members.into_iter().map(|(_, s)| s).collect();
+        let mut member_slots = std::mem::take(&mut self.slots_scratch);
+        member_slots.clear();
+        member_slots.extend(members.iter().map(|&(_, s)| s));
+        self.members_scratch = members;
 
         // A dirty node whose flows all vanished is re-filled by nothing:
         // zero its aggregates here (filling overwrites nodes that still
@@ -505,6 +596,7 @@ impl FlowNet {
         self.flows_per_recompute.record(self.live as u64);
         self.flows_recomputed_ctr.add(member_slots.len() as u64);
         let filled = self.fill_candidates(&member_slots);
+        self.slots_scratch = member_slots;
         self.dirty_components_ctr.add(filled as u64);
         self.components_gauge.set(components_total as i64);
 
@@ -522,22 +614,23 @@ impl FlowNet {
         // partition may be stale (merged), so exact splitting here is what
         // guarantees byte-identical fills between the dirty and full paths.
         self.nl_epoch += 1;
-        let mut lsrc: Vec<u32> = Vec::with_capacity(members.len());
-        let mut ldst: Vec<u32> = Vec::with_capacity(members.len());
-        let mut lparent: Vec<u32> = Vec::new();
-        let mut lrank: Vec<u8> = Vec::new();
+        let mut cs = std::mem::take(&mut self.cand);
+        cs.lsrc.clear();
+        cs.ldst.clear();
+        cs.lparent.clear();
+        cs.lrank.clear();
         for &s in members {
             let f = self.slots[s as usize].flow.as_ref().unwrap();
             for e in [f.src.0 as usize, f.dst.0 as usize] {
                 if self.nl_mark[e] != self.nl_epoch {
                     self.nl_mark[e] = self.nl_epoch;
-                    self.nl_idx[e] = lparent.len() as u32;
-                    lparent.push(lparent.len() as u32);
-                    lrank.push(0);
+                    self.nl_idx[e] = cs.lparent.len() as u32;
+                    cs.lparent.push(cs.lparent.len() as u32);
+                    cs.lrank.push(0);
                 }
             }
-            lsrc.push(self.nl_idx[f.src.0 as usize]);
-            ldst.push(self.nl_idx[f.dst.0 as usize]);
+            cs.lsrc.push(self.nl_idx[f.src.0 as usize]);
+            cs.ldst.push(self.nl_idx[f.dst.0 as usize]);
         }
         fn lfind(parent: &mut [u32], mut x: u32) -> u32 {
             while parent[x as usize] != x {
@@ -548,36 +641,46 @@ impl FlowNet {
             x
         }
         for k in 0..members.len() {
-            let (ra, rb) = (lfind(&mut lparent, lsrc[k]), lfind(&mut lparent, ldst[k]));
+            let (ra, rb) = (
+                lfind(&mut cs.lparent, cs.lsrc[k]),
+                lfind(&mut cs.lparent, cs.ldst[k]),
+            );
             if ra == rb {
                 continue;
             }
-            match lrank[ra as usize].cmp(&lrank[rb as usize]) {
-                std::cmp::Ordering::Less => lparent[ra as usize] = rb,
-                std::cmp::Ordering::Greater => lparent[rb as usize] = ra,
+            match cs.lrank[ra as usize].cmp(&cs.lrank[rb as usize]) {
+                std::cmp::Ordering::Less => cs.lparent[ra as usize] = rb,
+                std::cmp::Ordering::Greater => cs.lparent[rb as usize] = ra,
                 std::cmp::Ordering::Equal => {
-                    lparent[rb as usize] = ra;
-                    lrank[ra as usize] += 1;
+                    cs.lparent[rb as usize] = ra;
+                    cs.lrank[ra as usize] += 1;
                 }
             }
         }
 
         // Bucket members by component, preserving creation order within
-        // each (members are sorted, pushes preserve order).
-        let mut comp_of_root: Vec<u32> = vec![u32::MAX; lparent.len()];
-        let mut comps: Vec<Vec<u32>> = Vec::new();
+        // each (members are sorted, pushes preserve order). Inner Vecs are
+        // pooled across calls: cleared on reuse, never dropped.
+        cs.comp_of_root.clear();
+        cs.comp_of_root.resize(cs.lparent.len(), u32::MAX);
+        let mut used = 0usize;
         for (k, &s) in members.iter().enumerate() {
-            let r = lfind(&mut lparent, lsrc[k]) as usize;
-            if comp_of_root[r] == u32::MAX {
-                comp_of_root[r] = comps.len() as u32;
-                comps.push(Vec::new());
+            let r = lfind(&mut cs.lparent, cs.lsrc[k]) as usize;
+            if cs.comp_of_root[r] == u32::MAX {
+                cs.comp_of_root[r] = used as u32;
+                if cs.comps.len() == used {
+                    cs.comps.push(Vec::new());
+                }
+                cs.comps[used].clear();
+                used += 1;
             }
-            comps[comp_of_root[r] as usize].push(s);
+            cs.comps[cs.comp_of_root[r] as usize].push(s);
         }
-        for comp in &comps {
+        for comp in &cs.comps[..used] {
             self.fill_component(comp);
         }
-        comps.len()
+        self.cand = cs;
+        used
     }
 
     /// Progressive filling restricted to one connected component. The loop
@@ -588,16 +691,38 @@ impl FlowNet {
     fn fill_component(&mut self, comp: &[u32]) {
         let n = comp.len();
         self.nl_epoch += 1;
-        let mut cn: Vec<u32> = Vec::new();
-        let mut cap_up: Vec<f64> = Vec::new();
-        let mut cap_down: Vec<f64> = Vec::new();
-        let mut resid_up: Vec<f64> = Vec::new();
-        let mut resid_down: Vec<f64> = Vec::new();
-        let mut up_count: Vec<u32> = Vec::new();
-        let mut down_count: Vec<u32> = Vec::new();
-        let mut src = Vec::with_capacity(n);
-        let mut dst = Vec::with_capacity(n);
-        let mut ceil = Vec::with_capacity(n);
+        let mut fs = std::mem::take(&mut self.fill);
+        let FillScratch {
+            cn,
+            cap_up,
+            cap_down,
+            resid_up,
+            resid_down,
+            up_count,
+            down_count,
+            src,
+            dst,
+            ceil,
+            rate,
+            active,
+            live_nodes,
+            up_thr,
+            down_thr,
+            rate_thr,
+        } = &mut fs;
+        cn.clear();
+        cap_up.clear();
+        cap_down.clear();
+        resid_up.clear();
+        resid_down.clear();
+        up_count.clear();
+        down_count.clear();
+        src.clear();
+        dst.clear();
+        ceil.clear();
+        up_thr.clear();
+        down_thr.clear();
+        rate_thr.clear();
         for &s in comp {
             let f = self.slots[s as usize].flow.as_ref().unwrap();
             let (a, b, c) = (f.src.0 as usize, f.dst.0 as usize, f.ceil);
@@ -613,6 +738,21 @@ impl FlowNet {
                     resid_down.push(node.down);
                     up_count.push(0);
                     down_count.push(0);
+                    // Saturation thresholds folded once per fill: the
+                    // round-loop test `finite && (resid <= EPS*cap ||
+                    // resid <= 1e-6)` is `resid <= max(EPS*cap, 1e-6)`
+                    // for finite caps (same comparisons, same floats) and
+                    // always-false for infinite ones, which -inf encodes.
+                    up_thr.push(if node.up.is_finite() {
+                        (EPS * node.up).max(1e-6)
+                    } else {
+                        f64::NEG_INFINITY
+                    });
+                    down_thr.push(if node.down.is_finite() {
+                        (EPS * node.down).max(1e-6)
+                    } else {
+                        f64::NEG_INFINITY
+                    });
                 }
             }
             let (sl, dl) = (self.nl_idx[a] as usize, self.nl_idx[b] as usize);
@@ -621,31 +761,66 @@ impl FlowNet {
             src.push(sl);
             dst.push(dl);
             ceil.push(c);
+            // `at_ceil || capped` is one comparison against the smaller
+            // of the two freeze lines (both are `rate >= x` tests).
+            rate_thr.push((c - EPS * c.max(1.0)).min(MAX_RATE));
         }
 
-        let mut rate = vec![0.0f64; n];
-        let mut active: Vec<usize> = (0..n).collect();
+        rate.clear();
+        rate.resize(n, 0.0);
+        active.clear();
+        active.extend(0..n);
+        // Running min of each unfrozen flow's ceiling headroom
+        // (`ceil[k] - rate[k]`), maintained across rounds so the round
+        // loop does not need a dedicated O(active) scan for it. f64 min
+        // is exact and order-independent, so folding the same values in
+        // a different order yields the bit-identical minimum.
+        let mut flow_min = f64::INFINITY;
+        for &c in ceil.iter() {
+            flow_min = flow_min.min(c);
+        }
+        // Only node sides that can ever constrain the increment: a side
+        // with no unfrozen flows contributes nothing, and an infinite side
+        // (edge servers) has ratio inf — it never moves the min and never
+        // saturates. Skipping both leaves every computed `inc` identical
+        // (min over the same set of finite ratios) while shrinking the
+        // per-round scan from all component nodes to the constraining few.
+        live_nodes.clear();
+        for i in 0..cn.len() {
+            if (up_count[i] > 0 && cap_up[i].is_finite())
+                || (down_count[i] > 0 && cap_down[i].is_finite())
+            {
+                live_nodes.push(i as u32);
+            }
+        }
         while !active.is_empty() {
             // The uniform increment every unfrozen flow can still take.
             let mut inc = f64::INFINITY;
-            for i in 0..cn.len() {
-                if up_count[i] > 0 {
-                    inc = inc.min(resid_up[i] / up_count[i] as f64);
+            let mut i = 0;
+            while i < live_nodes.len() {
+                let nx = live_nodes[i] as usize;
+                let up_live = up_count[nx] > 0 && cap_up[nx].is_finite();
+                let down_live = down_count[nx] > 0 && cap_down[nx].is_finite();
+                if !up_live && !down_live {
+                    live_nodes.swap_remove(i);
+                    continue;
                 }
-                if down_count[i] > 0 {
-                    inc = inc.min(resid_down[i] / down_count[i] as f64);
+                if up_live {
+                    inc = inc.min(resid_up[nx] / up_count[nx] as f64);
                 }
+                if down_live {
+                    inc = inc.min(resid_down[nx] / down_count[nx] as f64);
+                }
+                i += 1;
             }
-            for &k in &active {
-                inc = inc.min(ceil[k] - rate[k]);
-            }
+            inc = inc.min(flow_min);
             if !inc.is_finite() {
                 inc = MAX_RATE;
             }
             inc = inc.max(0.0);
 
             // Apply the increment.
-            for &k in &active {
+            for &k in active.iter() {
                 rate[k] += inc;
                 resid_up[src[k]] -= inc;
                 resid_down[dst[k]] -= inc;
@@ -655,37 +830,42 @@ impl FlowNet {
             // Infinite-capacity sides (edge servers) can never saturate —
             // without the finiteness guard, `inf - inc <= EPS * inf` is
             // true and every edge flow would freeze at the first
-            // increment.
+            // increment. The retain pass doubles as the producer of the
+            // next round's flow-ceiling minimum over exactly the flows
+            // that survive it.
             let before = active.len();
+            flow_min = f64::INFINITY;
             active.retain(|&k| {
-                let up_cap = cap_up[src[k]];
-                let down_cap = cap_down[dst[k]];
-                let up_sat = up_cap.is_finite()
-                    && (resid_up[src[k]] <= EPS * up_cap || resid_up[src[k]] <= 1e-6);
-                let down_sat = down_cap.is_finite()
-                    && (resid_down[dst[k]] <= EPS * down_cap || resid_down[dst[k]] <= 1e-6);
-                let at_ceil = rate[k] >= ceil[k] - EPS * ceil[k].max(1.0);
-                let capped = rate[k] >= MAX_RATE;
-                let freeze = up_sat || down_sat || at_ceil || capped;
+                let freeze = resid_up[src[k]] <= up_thr[src[k]]
+                    || resid_down[dst[k]] <= down_thr[dst[k]]
+                    || rate[k] >= rate_thr[k];
                 if freeze {
                     up_count[src[k]] -= 1;
                     down_count[dst[k]] -= 1;
+                } else {
+                    flow_min = flow_min.min(ceil[k] - rate[k]);
                 }
                 !freeze
             });
             // Progress guarantee: if numerically nothing froze, freeze the
-            // first remaining flow to avoid an infinite loop.
+            // first remaining flow to avoid an infinite loop. Its ceiling
+            // headroom may have been folded into `flow_min` above, so
+            // rebuild the min over the flows actually left.
             if active.len() == before {
                 let k = active.remove(0);
                 up_count[src[k]] -= 1;
                 down_count[dst[k]] -= 1;
+                flow_min = f64::INFINITY;
+                for &k in active.iter() {
+                    flow_min = flow_min.min(ceil[k] - rate[k]);
+                }
             }
         }
 
         // Write back rates and rebuild the component's utilization
         // aggregates (accumulated in creation order, matching what a flow
         // scan in creation order would sum).
-        for &nid in &cn {
+        for &nid in cn.iter() {
             self.util_up[nid as usize] = 0.0;
             self.util_down[nid as usize] = 0.0;
         }
@@ -696,6 +876,7 @@ impl FlowNet {
             self.util_up[a] += rate[k];
             self.util_down[b] += rate[k];
         }
+        self.fill = fs;
     }
 
     /// Sum of current flow rates into `node` (its downstream utilization).

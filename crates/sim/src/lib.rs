@@ -8,9 +8,10 @@
 //! simulator instead (see DESIGN.md, substitution table). The crate has
 //! three layers:
 //!
-//! * [`engine`] — a classic event-queue kernel: a simulated clock, a binary
-//!   heap of timestamped events with deterministic FIFO tie-breaking, and an
-//!   epoch mechanism for lazily invalidating stale events.
+//! * [`engine`] — a classic event-queue kernel: a simulated clock and a
+//!   timestamped event list with deterministic FIFO tie-breaking. Storage is
+//!   pluggable ([`queue`]): a hierarchical timing wheel by default, with the
+//!   original binary heap kept as a property-tested oracle.
 //! * [`flownet`] — a *fluid* (flow-level) network model: peers and servers
 //!   are nodes with asymmetric access-link capacities, transfers are flows,
 //!   and rates are assigned by progressive-filling **max-min fairness**,
@@ -23,7 +24,9 @@
 pub mod engine;
 pub mod flownet;
 pub mod latency;
+pub mod queue;
 
-pub use engine::EventQueue;
+pub use engine::{EventQueue, OracleEventQueue};
 pub use flownet::{FlowId, FlowNet, NodeId};
 pub use latency::LatencyModel;
+pub use queue::{BinaryHeapSched, EventSched, TimingWheel};

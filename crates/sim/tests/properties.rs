@@ -3,7 +3,7 @@
 use netsession_core::rng::DetRng;
 use netsession_core::time::SimTime;
 use netsession_core::units::Bandwidth;
-use netsession_sim::engine::EventQueue;
+use netsession_sim::engine::{EventQueue, OracleEventQueue};
 use netsession_sim::flownet::{FlowNet, NodeId};
 use proptest::prelude::*;
 
@@ -11,7 +11,7 @@ proptest! {
     /// Events always pop in time order with FIFO tie-breaking.
     #[test]
     fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1000, 1..200)) {
-        let mut q = EventQueue::new();
+        let mut q: EventQueue<usize> = EventQueue::new();
         for (i, t) in times.iter().enumerate() {
             q.schedule(SimTime(*t), i);
         }
@@ -98,6 +98,76 @@ proptest! {
         net.remove_flow(f2);
         net.recompute();
         prop_assert_eq!(net.flow_count(), 0);
+    }
+}
+
+/// The timing wheel is an optimization, not an approximation: across 200
+/// seeded schedules — bursty same-timestamp ties, interleaved push/pop,
+/// re-scheduling at the current instant during processing, and far-future
+/// overflow timestamps — the wheel-backed queue must produce the exact
+/// `(time, event)` pop stream of the binary-heap oracle, including FIFO
+/// order among same-instant events.
+#[test]
+fn timing_wheel_matches_heap_oracle_across_200_seeds() {
+    for seed in 0..200u64 {
+        let mut rng = DetRng::seeded(0x77ee_1000 ^ seed);
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: OracleEventQueue<u64> = OracleEventQueue::new();
+        let mut next_event = 0u64;
+        let steps = 50 + rng.index(150);
+        for step in 0..steps {
+            match rng.index(4) {
+                // Burst of schedules, deliberately heavy on ties.
+                0 | 1 => {
+                    let base = wheel.now().as_micros();
+                    let burst = 1 + rng.index(8);
+                    // Occasionally jump far ahead to exercise high wheel
+                    // levels and the overflow list (> 2^48 µs).
+                    let spread = match rng.index(6) {
+                        0 => 1u64 << 50,
+                        1 => 1u64 << 30,
+                        _ => 1000,
+                    };
+                    let at = SimTime(base + rng.below(spread));
+                    for _ in 0..burst {
+                        wheel.schedule(at, next_event);
+                        heap.schedule(at, next_event);
+                        next_event += 1;
+                    }
+                }
+                // Pop and compare.
+                2 => {
+                    assert_eq!(
+                        wheel.pop(),
+                        heap.pop(),
+                        "seed {seed} step {step}: pop diverged"
+                    );
+                }
+                // Pop, then re-schedule at the popped instant (the
+                // same-instant-follow-up pattern the hybrid driver uses).
+                _ => {
+                    let w = wheel.pop();
+                    let h = heap.pop();
+                    assert_eq!(w, h, "seed {seed} step {step}: pop diverged");
+                    if let Some((t, _)) = w {
+                        wheel.schedule(t, next_event);
+                        heap.schedule(t, next_event);
+                        next_event += 1;
+                    }
+                }
+            }
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            assert_eq!(wheel.pending(), heap.pending());
+        }
+        // Drain both completely: the tails must match too.
+        loop {
+            let w = wheel.pop();
+            let h = heap.pop();
+            assert_eq!(w, h, "seed {seed}: drain diverged");
+            if w.is_none() {
+                break;
+            }
+        }
     }
 }
 

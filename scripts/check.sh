@@ -48,6 +48,23 @@ if [ -n "$missing" ]; then
     exit 1
 fi
 
+echo "== bench snapshot lint + smoke regression gate (perfbench --check)"
+# Parses results/bench/BENCH_*.json (schema + required fields), re-runs the
+# wheel-vs-heap smoke A/B asserting bit-identical outputs, and applies a
+# coarse wall-clock gate with generous (5x) tolerance — see docs/PERFORMANCE.md.
+cargo build -q --release -p netsession-bench --bin perfbench
+perfbench_bin="$PWD/target/release/perfbench"
+found_bench=""
+for snap in results/bench/BENCH_*.json; do
+    [ -e "$snap" ] || continue
+    found_bench=1
+    "$perfbench_bin" --check "$snap"
+done
+if [ -z "$found_bench" ]; then
+    echo "no results/bench/BENCH_*.json snapshot committed" >&2
+    exit 1
+fi
+
 echo "== committed trace exports stay under 1 MiB"
 oversize="$(find results -name '*.trace.json' -size +1M 2>/dev/null || true)"
 if [ -n "$oversize" ]; then
