@@ -17,6 +17,7 @@
 //! | [`astraffic`] | Fig 9a–c, Fig 10, Fig 11, §6.1 intra-AS and direct-link shares |
 //! | [`mobility`] | §6.2 AS-count mix, distance mix, connection rate |
 //! | [`guidgraph`] | Fig 12 secondary-GUID chain patterns |
+//! | [`streamview`] | §5.1 headline as a streaming sink (million-peer runs) |
 
 pub mod astraffic;
 pub mod efficiency;
@@ -29,5 +30,6 @@ pub mod settings;
 pub mod sizes;
 pub mod speeds;
 pub mod stats;
+pub mod streamview;
 
 pub use stats::Cdf;

@@ -1,0 +1,261 @@
+//! Summary-from-stream: the §5.1 headline computed as a [`RecordSink`].
+//!
+//! [`overview::headline`](crate::overview::headline) needs the whole
+//! [`TraceDataset`] in RAM; at the paper's scale (4.6B log entries) that is
+//! exactly what the streaming sinks in `netsession-logs` exist to avoid.
+//! [`StreamHeadline`] maintains the same aggregates record-by-record in
+//! O(distinct GUIDs + distinct objects) memory, and [`merge`]s across
+//! shards, so the sharded million-peer runner can report Table-1/§5.1
+//! numbers without ever materializing its logs.
+//!
+//! Replaying an in-RAM dataset through the sink ([`replay`]) reproduces the
+//! batch numbers *bit-identically* — floating-point sums are accumulated in
+//! the same record order the batch path iterates — which is how the tests
+//! pin stream-vs-batch equivalence.
+//!
+//! [`merge`]: StreamHeadline::merge
+
+use crate::overview::Headline;
+use netsession_core::fxhash::{FxHashMap, FxHashSet};
+use netsession_logs::records::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
+use netsession_logs::sink::RecordSink;
+use netsession_logs::TraceDataset;
+
+/// Incremental §5.1 headline state.
+///
+/// Mirrors the batch pass in [`crate::overview::headline`] field for field;
+/// anything added there must be added here (the equivalence test fails
+/// loudly if the two drift).
+#[derive(Clone, Debug, Default)]
+pub struct StreamHeadline {
+    /// Last-login upload setting per GUID: (micros, enabled).
+    last_setting: FxHashMap<u128, (u64, bool)>,
+    p2p_files: FxHashSet<u64>,
+    all_files: FxHashSet<u64>,
+    p2p_bytes: u64,
+    total_bytes: u64,
+    /// Running sum/count of per-download peer efficiency over completed
+    /// p2p-enabled downloads (mean in emission order, like the batch path).
+    efficiency_sum: f64,
+    efficiency_n: u64,
+    peer_bytes_in_p2p: u64,
+    total_bytes_in_p2p: u64,
+}
+
+impl StreamHeadline {
+    /// Fresh, empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold another shard's state into this one. Counters add, distinct
+    /// sets union, and per-GUID last-login settings resolve to the later
+    /// timestamp (ties keep `self`, matching the batch path's `>=` update
+    /// rule under shard-index merge order).
+    pub fn merge(&mut self, other: &StreamHeadline) {
+        for (guid, &(at, enabled)) in &other.last_setting {
+            let e = self.last_setting.entry(*guid).or_insert((at, enabled));
+            if at > e.0 {
+                *e = (at, enabled);
+            }
+        }
+        self.p2p_files.extend(other.p2p_files.iter().copied());
+        self.all_files.extend(other.all_files.iter().copied());
+        self.p2p_bytes += other.p2p_bytes;
+        self.total_bytes += other.total_bytes;
+        self.efficiency_sum += other.efficiency_sum;
+        self.efficiency_n += other.efficiency_n;
+        self.peer_bytes_in_p2p += other.peer_bytes_in_p2p;
+        self.total_bytes_in_p2p += other.total_bytes_in_p2p;
+    }
+
+    /// The headline aggregates seen so far.
+    pub fn headline(&self) -> Headline {
+        let enabled_fraction = if self.last_setting.is_empty() {
+            0.0
+        } else {
+            self.last_setting.values().filter(|(_, e)| *e).count() as f64
+                / self.last_setting.len() as f64
+        };
+        Headline {
+            enabled_fraction,
+            p2p_file_fraction: if self.all_files.is_empty() {
+                0.0
+            } else {
+                self.p2p_files.len() as f64 / self.all_files.len() as f64
+            },
+            p2p_byte_share: if self.total_bytes == 0 {
+                0.0
+            } else {
+                self.p2p_bytes as f64 / self.total_bytes as f64
+            },
+            mean_peer_efficiency: if self.efficiency_n == 0 {
+                0.0
+            } else {
+                self.efficiency_sum / self.efficiency_n as f64
+            },
+            offload_fraction: if self.total_bytes_in_p2p == 0 {
+                0.0
+            } else {
+                self.peer_bytes_in_p2p as f64 / self.total_bytes_in_p2p as f64
+            },
+        }
+    }
+}
+
+impl RecordSink for StreamHeadline {
+    fn on_download(&mut self, r: &DownloadRecord) {
+        self.all_files.insert(r.object.0);
+        let bytes = r.total_bytes().bytes();
+        self.total_bytes += bytes;
+        if r.p2p_enabled {
+            self.p2p_files.insert(r.object.0);
+            self.p2p_bytes += bytes;
+            if r.outcome == DownloadOutcome::Completed {
+                self.efficiency_sum += r.peer_efficiency();
+                self.efficiency_n += 1;
+                self.peer_bytes_in_p2p += r.bytes_peers.bytes();
+                self.total_bytes_in_p2p += bytes;
+            }
+        }
+    }
+
+    fn on_login(&mut self, r: &LoginRecord) {
+        let e = self
+            .last_setting
+            .entry(r.guid.0)
+            .or_insert((0, r.uploads_enabled));
+        if r.at.as_micros() >= e.0 {
+            *e = (r.at.as_micros(), r.uploads_enabled);
+        }
+    }
+
+    fn on_transfer(&mut self, _r: &TransferRecord) {}
+}
+
+/// Feed an in-RAM dataset through any sink in emission order (logins,
+/// downloads, transfers, registrations — the order the dataset stores and
+/// the batch analytics iterate).
+pub fn replay(ds: &TraceDataset, sink: &mut impl RecordSink) {
+    for l in &ds.logins {
+        sink.on_login(l);
+    }
+    for d in &ds.downloads {
+        sink.on_download(d);
+    }
+    for t in &ds.transfers {
+        sink.on_transfer(t);
+    }
+    for &(version, cumulative) in &ds.registrations {
+        sink.on_registration(version, cumulative);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overview;
+    use netsession_core::id::{AsNumber, CpCode, Guid, ObjectId};
+    use netsession_core::rng::DetRng;
+    use netsession_core::time::SimTime;
+    use netsession_core::units::ByteCount;
+
+    fn synthetic_dataset(seed: u64, n: usize) -> TraceDataset {
+        let mut rng = DetRng::seeded(seed);
+        let mut ds = TraceDataset::default();
+        for i in 0..n {
+            let guid = rng.below(40) as u128;
+            ds.logins.push(LoginRecord {
+                at: SimTime(rng.below(1_000_000)),
+                guid: Guid(guid),
+                ip: rng.below(1 << 20) as u32,
+                asn: AsNumber(rng.below(500) as u32),
+                country: rng.below(50) as u16,
+                lat: 0.0,
+                lon: 0.0,
+                uploads_enabled: rng.chance(0.3),
+                software_version: 1,
+                secondary_guids: Vec::new(),
+            });
+            let infra = rng.below(1 << 20);
+            let peers = if rng.chance(0.6) {
+                rng.below(1 << 21)
+            } else {
+                0
+            };
+            ds.downloads.push(DownloadRecord {
+                guid: Guid(guid),
+                object: ObjectId(rng.below(25)),
+                cp: CpCode(1),
+                size: ByteCount(infra + peers),
+                p2p_enabled: rng.chance(0.5),
+                started: SimTime(i as u64),
+                ended: SimTime(i as u64 + 10),
+                bytes_infra: ByteCount(infra),
+                bytes_peers: ByteCount(peers),
+                outcome: if rng.chance(0.8) {
+                    DownloadOutcome::Completed
+                } else {
+                    DownloadOutcome::Abandoned
+                },
+                initial_peers: rng.below(5) as u32,
+                asn: AsNumber(1),
+                country: 0,
+                region: 0,
+            });
+        }
+        ds
+    }
+
+    /// The streamed headline must equal the batch one bit-for-bit when fed
+    /// the same records in the same order.
+    #[test]
+    fn stream_matches_batch_bitwise() {
+        for seed in 0..8u64 {
+            let ds = synthetic_dataset(seed, 600);
+            let batch = overview::headline(&ds);
+            let mut sink = StreamHeadline::new();
+            replay(&ds, &mut sink);
+            let streamed = sink.headline();
+            assert_eq!(batch.enabled_fraction, streamed.enabled_fraction);
+            assert_eq!(batch.p2p_file_fraction, streamed.p2p_file_fraction);
+            assert_eq!(batch.p2p_byte_share, streamed.p2p_byte_share);
+            assert_eq!(batch.mean_peer_efficiency, streamed.mean_peer_efficiency);
+            assert_eq!(batch.offload_fraction, streamed.offload_fraction);
+        }
+    }
+
+    /// Sharded: splitting the record stream by GUID, summarizing each part
+    /// independently, and merging must agree with the single-sink pass on
+    /// every count-derived field (float sums may legitimately reassociate).
+    #[test]
+    fn sharded_merge_matches_single_sink() {
+        let ds = synthetic_dataset(99, 600);
+        let mut whole = StreamHeadline::new();
+        replay(&ds, &mut whole);
+
+        let mut shards = vec![
+            StreamHeadline::new(),
+            StreamHeadline::new(),
+            StreamHeadline::new(),
+        ];
+        for l in &ds.logins {
+            shards[(l.guid.0 % 3) as usize].on_login(l);
+        }
+        for d in &ds.downloads {
+            shards[(d.guid.0 % 3) as usize].on_download(d);
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s);
+        }
+
+        let a = whole.headline();
+        let b = merged.headline();
+        assert_eq!(a.enabled_fraction, b.enabled_fraction);
+        assert_eq!(a.p2p_file_fraction, b.p2p_file_fraction);
+        assert_eq!(a.p2p_byte_share, b.p2p_byte_share);
+        assert_eq!(a.offload_fraction, b.offload_fraction);
+        assert!((a.mean_peer_efficiency - b.mean_peer_efficiency).abs() < 1e-12);
+    }
+}

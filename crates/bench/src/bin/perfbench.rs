@@ -1,7 +1,7 @@
 //! `perfbench` — the hot-path performance campaign harness behind
-//! `results/bench/BENCH_6.json` (see `docs/PERFORMANCE.md`).
+//! `results/bench/BENCH_7.json` (see `docs/PERFORMANCE.md`).
 //!
-//! Four micro/meso families plus a headline macro run:
+//! Five micro/meso families plus a headline macro run:
 //!
 //! * `event_queue` — timing wheel vs. the binary-heap oracle, both as a
 //!   micro drain and as a full same-config sim A/B whose outputs are
@@ -14,11 +14,15 @@
 //! * `obs` — instrumentation cost: the same sim with tracing at every
 //!   download, the default 1-in-1024 sampling, and effectively off, plus
 //!   scrape-variant timings.
+//! * `scale` — the sharded million-peer runner (`run_scaled`): sequential
+//!   oracle vs. parallel at the same shard count, outputs asserted
+//!   identical before either timing is reported, plus peak RSS for the
+//!   fits-in-laptop-RAM claim. Full mode runs 1M peers × 31 days.
 //!
 //! Modes:
 //!
 //! ```text
-//! perfbench                          full campaign, writes results/bench/BENCH_6.json
+//! perfbench                          full campaign, writes results/bench/BENCH_7.json
 //! perfbench --smoke [--out PATH]     seconds-scale run (CI), writes PATH or stdout
 //! perfbench --check COMMITTED.json   smoke run + schema lint + coarse regression
 //!                                    gate against the committed snapshot
@@ -38,7 +42,7 @@ use netsession_core::hash::Sha256;
 use netsession_core::rng::DetRng;
 use netsession_core::time::SimTime;
 use netsession_core::units::Bandwidth;
-use netsession_hybrid::{HybridSim, Scenario, ScenarioConfig, SimOutput};
+use netsession_hybrid::{run_scaled, HybridSim, ScaledConfig, Scenario, ScenarioConfig, SimOutput};
 use netsession_logs::geodb::{EdgeScapeDb, GeoInfo, GeoInfoRef};
 use netsession_obs::json::{parse, push_str_literal, JsonValue};
 use netsession_obs::MetricsRegistry;
@@ -553,6 +557,36 @@ fn run_campaign(c: &Campaign) -> String {
     let [obs_all, obs_default, obs_off] =
         obs_ab(&config_for(&obs_args), if c.smoke { 1 } else { 2 });
 
+    eprintln!("# scale family");
+    let scale_cfg = if c.smoke {
+        ScaledConfig::smoke()
+    } else {
+        ScaledConfig {
+            peers: 1_000_000,
+            objects: 20_000,
+            days: 31,
+            shards: 4,
+            ..ScaledConfig::default()
+        }
+    };
+    let t = Instant::now();
+    let scaled_seq = run_scaled(&scale_cfg, false, None);
+    let scale_seq_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let scaled_par = run_scaled(&scale_cfg, true, None);
+    let scale_par_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        scaled_seq, scaled_par,
+        "sharded parallel run diverged from the sequential oracle"
+    );
+    // VmHWM is a process-wide high-water mark; earlier families are far
+    // smaller than the scaled run, so this is effectively its footprint.
+    let scale_rss_kb = peak_rss_kb().unwrap_or(0);
+    eprintln!(
+        "#   {} peers x {} days: oracle {:.0} ms vs {}-shard parallel {:.0} ms, outputs identical, peak RSS {} KiB",
+        scale_cfg.peers, scale_cfg.days, scale_seq_ms, scale_cfg.shards, scale_par_ms, scale_rss_kb
+    );
+
     eprintln!("# headline macro");
     // The full-mode headline numbers are the macro A/B's wheel runs at the
     // default scale; smoke reuses its smaller macro run.
@@ -562,7 +596,7 @@ fn run_campaign(c: &Campaign) -> String {
 
     let mut j = Json::new();
     j.str(1, "schema", "netsession-perfbench/1");
-    j.num(1, "issue", 6.0);
+    j.num(1, "issue", 7.0);
     j.str(1, "mode", if c.smoke { "smoke" } else { "full" });
     j.open(1, "hardware");
     j.str(2, "os", std::env::consts::OS);
@@ -635,6 +669,28 @@ fn run_campaign(c: &Campaign) -> String {
     j.num(3, "tracing_overhead_pct", (obs_all / obs_off - 1.0) * 100.0);
     j.close(2);
 
+    j.open(2, "scale");
+    j.num(3, "peers", scale_cfg.peers as f64);
+    j.num(3, "objects", scale_cfg.objects as f64);
+    j.num(3, "days", scale_cfg.days as f64);
+    j.num(3, "shards", scale_cfg.shards as f64);
+    j.num(3, "windows", scaled_par.windows as f64);
+    j.num(3, "events", scaled_par.events as f64);
+    j.num(3, "cross_messages", scaled_par.cross_messages as f64);
+    j.num(3, "downloads", scaled_par.summary.downloads as f64);
+    j.num(3, "seq_wall_ms", scale_seq_ms);
+    j.num(3, "par_wall_ms", scale_par_ms);
+    j.num(3, "parallel_speedup", scale_seq_ms / scale_par_ms);
+    j.num(
+        3,
+        "events_per_sec",
+        scaled_par.events as f64 / (scale_par_ms / 1e3),
+    );
+    j.num(3, "peak_rss_kb", scale_rss_kb as f64);
+    // 1.0 = the seq/par assert_eq above passed (it aborts otherwise).
+    j.num(3, "outputs_identical", 1.0);
+    j.close(2);
+
     j.close(1); // families
 
     j.open(1, "headline");
@@ -700,6 +756,32 @@ fn check(committed_path: &str) -> Result<(), String> {
     for fam in ["event_queue", "hashing", "alloc_churn", "obs"] {
         if doc.get("families").and_then(|f| f.get(fam)).is_none() {
             return Err(format!("families.{fam} missing"));
+        }
+    }
+    // The `scale` family (sharded runner) joined in issue 7; older committed
+    // snapshots predate it and stay lintable, but any snapshot that carries
+    // it — and every snapshot from issue 7 on — must have the full shape.
+    let issue = get_num(&doc, &["issue"]).unwrap_or(0.0);
+    let has_scale = doc.get("families").and_then(|f| f.get("scale")).is_some();
+    if issue >= 7.0 && !has_scale {
+        return Err("families.scale missing (required from issue 7 on)".into());
+    }
+    if has_scale {
+        for path in [
+            &["families", "scale", "peers"][..],
+            &["families", "scale", "days"],
+            &["families", "scale", "shards"],
+            &["families", "scale", "seq_wall_ms"],
+            &["families", "scale", "par_wall_ms"],
+            &["families", "scale", "peak_rss_kb"],
+            &["families", "scale", "outputs_identical"],
+        ] {
+            if get_num(&doc, path).is_none() {
+                return Err(format!("required number {} missing", path.join(".")));
+            }
+        }
+        if get_num(&doc, &["families", "scale", "outputs_identical"]) != Some(1.0) {
+            return Err("families.scale.outputs_identical must be 1".into());
         }
     }
     for path in [
@@ -830,8 +912,8 @@ fn main() {
         None if smoke => print!("{json}"),
         None => {
             std::fs::create_dir_all("results/bench").expect("create results/bench");
-            std::fs::write("results/bench/BENCH_6.json", &json).expect("write bench json");
-            eprintln!("# wrote results/bench/BENCH_6.json");
+            std::fs::write("results/bench/BENCH_7.json", &json).expect("write bench json");
+            eprintln!("# wrote results/bench/BENCH_7.json");
         }
     }
 }

@@ -1,0 +1,97 @@
+//! `scale` — the million-peer sharded-runner bench and determinism gate.
+//!
+//! Runs [`netsession_hybrid::run_scaled`] at a configurable population and
+//! prints the deterministic merged report on **stdout** (byte-identical
+//! run-to-run and parallel-vs-sequential — `scripts/check.sh` diffs the
+//! two). Wall-clock and peak-RSS timings go to **stderr**, keeping stdout
+//! replayable.
+//!
+//! ```text
+//! scale                        1M peers, 31 days, 4 shards, parallel
+//! scale --smoke                20k peers, 7 days, 2 shards (CI gate scale)
+//! scale --sequential           run the sequential oracle instead
+//! scale --peers N --days N --objects N --shards K --window-secs S --seed S
+//! ```
+
+use netsession_core::time::SimDuration;
+use netsession_hybrid::{run_scaled, ScaledConfig};
+use netsession_obs::MetricsRegistry;
+use std::time::Instant;
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut cfg = ScaledConfig {
+        peers: 1_000_000,
+        objects: 20_000,
+        days: 31,
+        shards: 4,
+        ..ScaledConfig::default()
+    };
+    let mut parallel = true;
+    let mut i = 1;
+    let next = |argv: &[String], i: &mut usize, flag: &str| -> u64 {
+        let v = argv
+            .get(*i + 1)
+            .unwrap_or_else(|| panic!("{flag} <n>"))
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} <n>"));
+        *i += 2;
+        v
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => {
+                cfg = ScaledConfig {
+                    seed: cfg.seed,
+                    ..ScaledConfig::smoke()
+                };
+                i += 1;
+            }
+            "--parallel" => {
+                parallel = true;
+                i += 1;
+            }
+            "--sequential" => {
+                parallel = false;
+                i += 1;
+            }
+            "--peers" => cfg.peers = next(&argv, &mut i, "--peers"),
+            "--objects" => cfg.objects = next(&argv, &mut i, "--objects"),
+            "--days" => cfg.days = next(&argv, &mut i, "--days"),
+            "--shards" => cfg.shards = next(&argv, &mut i, "--shards") as usize,
+            "--window-secs" => {
+                cfg.window = SimDuration::from_secs(next(&argv, &mut i, "--window-secs"))
+            }
+            "--seed" => cfg.seed = next(&argv, &mut i, "--seed"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    eprintln!(
+        "# scale: {} peers, {} days, {} shards, {}",
+        cfg.peers,
+        cfg.days,
+        cfg.shards,
+        if parallel { "parallel" } else { "sequential" }
+    );
+    let registry = MetricsRegistry::new();
+    let t = Instant::now();
+    let out = run_scaled(&cfg, parallel, Some(&registry));
+    let wall = t.elapsed().as_secs_f64();
+    print!("{}", out.report());
+    eprintln!(
+        "# wall {:.1} s, {:.0} events/s, peak RSS {} KiB",
+        wall,
+        out.events as f64 / wall,
+        peak_rss_kb().unwrap_or(0)
+    );
+}

@@ -17,8 +17,12 @@ pub struct IdentityState {
     kind: AnomalyKind,
     snapshot: Option<InstallationState>,
     /// Login ordinal at which the anomaly strikes (rollback or restore).
-    trigger_login: u32,
-    logins: u32,
+    /// u64: ordinals are compared against doubled trigger points
+    /// (`trigger_login * 2` below), and at million-peer × multi-month
+    /// scale a u32 login tally is within an order of magnitude of
+    /// wrapping — counters on scaled paths are 64-bit by policy.
+    trigger_login: u64,
+    logins: u64,
 }
 
 impl IdentityState {
@@ -35,7 +39,7 @@ impl IdentityState {
 
     /// An installation with a scheduled anomaly. `trigger_login` is the
     /// login ordinal (≥1) at which the rollback/restore happens.
-    pub fn with_anomaly(kind: AnomalyKind, trigger_login: u32) -> Self {
+    pub fn with_anomaly(kind: AnomalyKind, trigger_login: u64) -> Self {
         IdentityState {
             chain: InstallationState::new(),
             kind,
@@ -71,6 +75,10 @@ impl IdentityState {
     /// first).
     pub fn on_login(&mut self, rng: &mut DetRng) -> Vec<SecondaryGuid> {
         self.logins += 1;
+        debug_assert!(
+            self.trigger_login <= u64::MAX / 2,
+            "trigger ordinal would overflow its doubled comparison"
+        );
         match self.kind {
             AnomalyKind::None => {}
             AnomalyKind::RollbackOnce => {
@@ -115,7 +123,7 @@ impl IdentityState {
     }
 
     /// Number of logins so far.
-    pub fn login_count(&self) -> u32 {
+    pub fn login_count(&self) -> u64 {
         self.logins
     }
 }
@@ -160,6 +168,21 @@ mod tests {
         for rep in &reps[3..] {
             assert_eq!(rep[1], image_head);
         }
+    }
+
+    /// Regression for the counter-width audit: ordinals past u32::MAX must
+    /// neither wrap (the old `u32` fields overflowed in the doubled
+    /// `trigger_login * 2` comparison) nor spuriously fire the anomaly.
+    #[test]
+    fn huge_trigger_ordinals_do_not_overflow_or_fire() {
+        let mut rng = DetRng::seeded(5);
+        let trigger = u32::MAX as u64 + 5;
+        let mut id = IdentityState::with_anomaly(AnomalyKind::BackupRestore, trigger);
+        let reps = reports(&mut id, 8, &mut rng);
+        for w in reps.windows(2) {
+            assert_eq!(w[1][1], w[0][0], "chain must stay linear pre-trigger");
+        }
+        assert_eq!(id.login_count(), 8);
     }
 
     #[test]

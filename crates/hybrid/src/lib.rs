@@ -27,9 +27,11 @@
 pub mod alerts;
 pub mod config;
 pub mod identity;
+pub mod scaled;
 pub mod setup;
 pub mod sim;
 
 pub use config::{FaultEvent, FaultKind, FaultSchedule, ScenarioConfig};
+pub use scaled::{run_scaled, RegionReport, ScaledConfig, ScaledOutput};
 pub use setup::Scenario;
 pub use sim::{HybridSim, RunStats, SimOutput};

@@ -1,0 +1,1053 @@
+//! Million-peer scaled simulation on the sharded runner.
+//!
+//! The full-fidelity [`crate::sim::HybridSim`] models every flow through
+//! the max-min fair fluid network; that is the right tool at 30 k peers and
+//! the wrong one at the paper's 25.9 M GUIDs. This module is the scale
+//! path: a purpose-built month simulation that holds **struct-of-arrays**
+//! peer state (8 bytes of mutable state per peer), derives every static
+//! peer attribute procedurally (hash of the peer index — nothing
+//! materialized), replaces the fluid solver with a closed-form regional
+//! rate model, and **streams** every record into per-region
+//! [`RecordSink`]s (running summaries + SHA-256 stream digests) instead of
+//! accumulating `Vec`s. RAM is O(peers) with a ~10-byte constant, not
+//! O(records).
+//!
+//! ## Sharding and determinism
+//!
+//! State is region-scoped: the nine Table-2 regions are assigned
+//! contiguously to K shards (`shard = region * K / 9`), each peer belongs
+//! to exactly one region, and a shard only ever touches its own regions'
+//! state. The one cross-region interaction — a download sourcing bytes
+//! from a remote-region uploader — becomes a cross-shard message delivered
+//! at the next window barrier, which models the slow cross-continent
+//! discovery path and satisfies the runner's lookahead contract for free.
+//! All randomness is **content-keyed** (`DetRng::seeded(mix(seed, entity,
+//! purpose))`), so no decision depends on global draw order. Together
+//! these meet the [`netsession_sim::shard`] proof obligations, and the
+//! parallel run is bit-identical to the sequential oracle — enforced by
+//! `tests/scaled_determinism.rs` across 50+ seeded scenarios (faulty and
+//! fault-free) and by the 2-shard gate in `scripts/check.sh`.
+
+use crate::config::{FaultKind, FaultSchedule};
+use netsession_core::id::{AsNumber, CpCode, Guid, ObjectId};
+use netsession_core::rng::DetRng;
+use netsession_core::time::{SimDuration, SimTime};
+use netsession_core::units::ByteCount;
+use netsession_logs::dataset::DatasetSummary;
+use netsession_logs::sink::{DigestSink, DigestTriple, RecordSink, StreamingSummary};
+use netsession_logs::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
+use netsession_obs::MetricsRegistry;
+use netsession_sim::shard::{Outbox, ShardRunner, ShardWorker};
+use netsession_world::geo::Region;
+use std::sync::Arc;
+
+const DAY_US: u64 = 86_400_000_000;
+
+/// Peer-population share per region, §4.2-calibrated ("most of the peers
+/// are located in North America (27%) and Europe (35%)"), in
+/// [`Region::ALL`] order, summing to 100.
+const REGION_WEIGHTS: [u64; 9] = [15, 12, 12, 5, 8, 8, 35, 2, 3];
+
+/// Region timezone offsets (hours from GMT) for the diurnal curve.
+const REGION_TZ: [i32; 9] = [-5, -8, -4, 5, 8, 7, 1, 2, 10];
+
+/// Regional median downstream access speed, Mbps (Fig 3 has strong
+/// regional skew; these are coarse 2012-era medians).
+const REGION_DOWN_MBPS: [f64; 9] = [10.0, 12.0, 4.0, 1.5, 6.0, 5.0, 9.0, 1.0, 8.0];
+
+/// Hour-of-local-day activity weights (diurnal curve, §4.2 Fig 2 shape).
+const DIURNAL: [f64; 24] = [
+    0.45, 0.35, 0.30, 0.28, 0.30, 0.35, 0.45, 0.60, 0.75, 0.85, 0.90, 0.95, 1.00, 1.00, 0.95, 0.95,
+    0.95, 1.00, 1.00, 1.00, 0.95, 0.85, 0.70, 0.55,
+];
+
+// Purpose tags for content-keyed RNG streams. Distinct constants keep the
+// streams independent; the mixer multiplies by odd constants so (entity,
+// purpose) pairs never collide by accident.
+const P_LOGIN: u64 = 0x01;
+const P_SESSION: u64 = 0x02;
+const P_DOWNLOAD: u64 = 0x03;
+const P_UPLOADERS: u64 = 0x04;
+const P_CHURN: u64 = 0x05;
+const P_STATIC: u64 = 0x06;
+
+#[inline]
+fn key_rng(seed: u64, a: u64, b: u64, purpose: u64) -> DetRng {
+    DetRng::seeded(
+        seed ^ a
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f))
+            .wrapping_add(purpose.wrapping_mul(0x1656_67b1_9e37_79f9)),
+    )
+}
+
+#[inline]
+fn hash64(seed: u64, x: u64, purpose: u64) -> u64 {
+    // One splitmix64 round over the mixed key: cheap enough to call per
+    // static attribute instead of materializing per-peer structs.
+    let mut z = seed
+        .wrapping_add(x.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(purpose.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Configuration for one scaled run.
+#[derive(Clone, Debug)]
+pub struct ScaledConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Installed population (the paper's 25.9 M GUIDs; bench target 1 M+).
+    pub peers: u64,
+    /// Catalog size.
+    pub objects: u64,
+    /// Simulated days (the trace month is 31).
+    pub days: u64,
+    /// Shard count, 1..=9 (regions are the finest partition key).
+    pub shards: usize,
+    /// Conservative window length (also the cross-region message latency
+    /// floor).
+    pub window: SimDuration,
+    /// Probability an installed peer logs in on a given day (§4.2).
+    pub daily_login_prob: f64,
+    /// Mean downloads initiated per login session.
+    pub downloads_per_login: f64,
+    /// Probability a peer-sourced byte share comes from a remote region.
+    pub cross_region_prob: f64,
+    /// Deterministic fault schedule (shares [`crate::config::FaultSchedule`]
+    /// with the full-fidelity sim).
+    pub faults: FaultSchedule,
+}
+
+impl Default for ScaledConfig {
+    fn default() -> Self {
+        ScaledConfig {
+            seed: 20121001,
+            peers: 100_000,
+            objects: 20_000,
+            days: 31,
+            shards: 4,
+            window: SimDuration::from_secs(600),
+            daily_login_prob: 0.4,
+            downloads_per_login: 0.35,
+            cross_region_prob: 0.15,
+            faults: FaultSchedule::default(),
+        }
+    }
+}
+
+impl ScaledConfig {
+    /// Seconds-scale configuration for gates and tests.
+    pub fn smoke() -> Self {
+        ScaledConfig {
+            peers: 20_000,
+            objects: 2_000,
+            days: 7,
+            shards: 2,
+            ..ScaledConfig::default()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.peers > 0 && self.peers <= u32::MAX as u64);
+        assert!(self.objects > 0 && self.days > 0);
+        assert!(
+            (1..=Region::ALL.len()).contains(&self.shards),
+            "shards must be 1..=9 (region is the partition key)"
+        );
+        assert!((0.0..=1.0).contains(&self.daily_login_prob));
+        assert!((0.0..=1.0).contains(&self.cross_region_prob));
+    }
+}
+
+/// Immutable world geometry shared by all shards: region → peer-index
+/// blocks and region → shard assignment.
+struct ScaledWorld {
+    cfg: ScaledConfig,
+    /// `region_starts[r]..region_starts[r+1]` is region r's peer block.
+    region_starts: [u32; 10],
+}
+
+impl ScaledWorld {
+    fn new(cfg: ScaledConfig) -> Self {
+        cfg.validate();
+        let total: u64 = REGION_WEIGHTS.iter().sum();
+        let mut region_starts = [0u32; 10];
+        let mut cum = 0u64;
+        for (r, w) in REGION_WEIGHTS.iter().enumerate() {
+            cum += w;
+            region_starts[r + 1] = (cfg.peers * cum / total) as u32;
+        }
+        ScaledWorld { cfg, region_starts }
+    }
+
+    fn shard_of_region(&self, r: usize) -> usize {
+        r * self.cfg.shards / Region::ALL.len()
+    }
+
+    fn regions_of_shard(&self, shard: usize) -> std::ops::Range<usize> {
+        let mine: Vec<usize> = (0..Region::ALL.len())
+            .filter(|&r| self.shard_of_region(r) == shard)
+            .collect();
+        match (mine.first(), mine.last()) {
+            (Some(&a), Some(&b)) => a..b + 1,
+            _ => 0..0,
+        }
+    }
+
+    fn region_of_peer(&self, peer: u32) -> usize {
+        self.region_starts[1..]
+            .iter()
+            .position(|&end| peer < end)
+            .expect("peer in range")
+    }
+
+    fn region_peers(&self, r: usize) -> std::ops::Range<u32> {
+        self.region_starts[r]..self.region_starts[r + 1]
+    }
+
+    // -- procedural static attributes ------------------------------------
+
+    fn guid(&self, peer: u32) -> Guid {
+        let lo = hash64(self.cfg.seed, peer as u64, P_STATIC);
+        let hi = hash64(self.cfg.seed, peer as u64, P_STATIC + 16);
+        Guid(((hi as u128) << 64) | lo as u128)
+    }
+
+    fn ip(&self, peer: u32, day: u64) -> u32 {
+        // Stable home address with light mobility: a second address shows
+        // up on ~1 day in 4 (laptops roam, §6.3).
+        let home = 0x0a00_0000u32.wrapping_add(peer.wrapping_mul(7)) | 1;
+        if hash64(self.cfg.seed, (peer as u64) << 9 | day, P_STATIC + 1).is_multiple_of(4) {
+            home.wrapping_add(0x4000_0000)
+        } else {
+            home
+        }
+    }
+
+    fn asn(&self, peer: u32) -> AsNumber {
+        let r = self.region_of_peer(peer) as u64;
+        AsNumber((1000 + r * 500 + hash64(self.cfg.seed, peer as u64, P_STATIC + 2) % 60) as u32)
+    }
+
+    fn country(&self, peer: u32) -> u16 {
+        let r = self.region_of_peer(peer) as u64;
+        (r * 24 + hash64(self.cfg.seed, peer as u64, P_STATIC + 3) % 12) as u16
+    }
+
+    fn lat_lon(&self, peer: u32) -> (f64, f64) {
+        let h = hash64(self.cfg.seed, peer as u64, P_STATIC + 4);
+        let lat = ((h % 1600) as f64) / 10.0 - 80.0;
+        let lon = (((h >> 16) % 3600) as f64) / 10.0 - 180.0;
+        (lat, lon)
+    }
+
+    fn uploads_enabled(&self, peer: u32) -> bool {
+        hash64(self.cfg.seed, peer as u64, P_STATIC + 5) % 100 < 85
+    }
+
+    fn down_mbps(&self, peer: u32) -> f64 {
+        let base = REGION_DOWN_MBPS[self.region_of_peer(peer)];
+        let h = hash64(self.cfg.seed, peer as u64, P_STATIC + 6);
+        // Log-uniform spread of 0.25x..4x around the regional median.
+        base * (0.25f64) * 2f64.powf(((h % 4097) as f64) / 4096.0 * 4.0)
+    }
+
+    fn object_size(&self, object: u64) -> u64 {
+        // Log-uniform 1 MiB..1 GiB, heavier on small objects.
+        (1u64 << 20) << (hash64(self.cfg.seed, object, P_STATIC + 7) % 11).min(10)
+    }
+}
+
+/// Download metadata computed at start, carried to the finish event.
+#[derive(Clone, Copy, Debug)]
+struct DlMeta {
+    object: u64,
+    size: u64,
+    bytes_infra: u64,
+    bytes_peers: u64,
+    started_us: u64,
+    /// 0 = completed, 1 = failed (other), 2 = failed (system), 3 = abandoned
+    outcome: u8,
+    initial_peers: u32,
+    day: u32,
+    k: u32,
+}
+
+enum ScaledEvent {
+    DayStart {
+        day: u64,
+    },
+    Login {
+        peer: u32,
+        day: u32,
+    },
+    StartDownload {
+        peer: u32,
+        day: u32,
+        k: u32,
+    },
+    FinishDownload {
+        peer: u32,
+        meta: DlMeta,
+    },
+    Fault {
+        idx: u32,
+    },
+    /// Cross-shard: a remote-region peer uploaded `bytes` of `object` to
+    /// the (carried) downloader. Emitted as a [`TransferRecord`] in the
+    /// uploader's region stream at barrier delivery.
+    RemoteUpload {
+        region: u8,
+        from_peer: u32,
+        to_guid: u128,
+        to_as: u32,
+        to_country: u16,
+        bytes: u64,
+        object: u64,
+    },
+}
+
+/// Mutable per-region state: fault windows, streaming sinks, tallies.
+/// All counters are u64 — at a simulated month × million-peer scale the
+/// byte tallies alone pass 2^40.
+struct RegionLocal {
+    digest: DigestSink,
+    summary: StreamingSummary,
+    control_down_until: u64,
+    dir_degraded_until: u64,
+    edge_down_until: u64,
+    logins: u64,
+    downloads: u64,
+    completed: u64,
+    abandoned: u64,
+    failed: u64,
+    skipped_offline: u64,
+    bytes_infra: u64,
+    bytes_peers: u64,
+    transfers: u64,
+    remote_uploads_in: u64,
+    alerts: Vec<String>,
+}
+
+impl RegionLocal {
+    fn new() -> Self {
+        RegionLocal {
+            digest: DigestSink::new(),
+            summary: StreamingSummary::new(),
+            control_down_until: 0,
+            dir_degraded_until: 0,
+            edge_down_until: 0,
+            logins: 0,
+            downloads: 0,
+            completed: 0,
+            abandoned: 0,
+            failed: 0,
+            skipped_offline: 0,
+            bytes_infra: 0,
+            bytes_peers: 0,
+            transfers: 0,
+            remote_uploads_in: 0,
+            alerts: Vec::new(),
+        }
+    }
+}
+
+/// One shard: a contiguous block of regions and their peers.
+struct ScaledShard {
+    world: Arc<ScaledWorld>,
+    regions: std::ops::Range<usize>,
+    peer_lo: u32,
+    peer_hi: u32,
+    /// SoA mutable peer state: session end time in µs (0 = offline).
+    /// This is the *entire* per-peer mutable footprint — 8 bytes.
+    online_until: Vec<u64>,
+    locals: Vec<RegionLocal>,
+}
+
+impl ScaledShard {
+    fn new(world: Arc<ScaledWorld>, shard: usize) -> Self {
+        let regions = world.regions_of_shard(shard);
+        let peer_lo = world.region_starts[regions.start];
+        let peer_hi = world.region_starts[regions.end];
+        ScaledShard {
+            regions: regions.clone(),
+            peer_lo,
+            peer_hi,
+            online_until: vec![0u64; (peer_hi - peer_lo) as usize],
+            locals: regions.map(|_| RegionLocal::new()).collect(),
+            world,
+        }
+    }
+
+    #[inline]
+    fn online(&self, peer: u32) -> u64 {
+        self.online_until[(peer - self.peer_lo) as usize]
+    }
+
+    #[inline]
+    fn set_online(&mut self, peer: u32, until: u64) {
+        self.online_until[(peer - self.peer_lo) as usize] = until;
+    }
+
+    #[inline]
+    fn local_mut(&mut self, region: usize) -> &mut RegionLocal {
+        &mut self.locals[region - self.regions.start]
+    }
+
+    fn day_start(&mut self, at: SimTime, day: u64, out: &mut Outbox<ScaledEvent>) {
+        let cfg = &self.world.cfg;
+        let p = cfg.daily_login_prob;
+        for peer in self.peer_lo..self.peer_hi {
+            let mut rng = key_rng(cfg.seed, peer as u64, day, P_LOGIN);
+            if rng.chance(p) {
+                let t = at + SimDuration(rng.below(DAY_US));
+                out.schedule(
+                    t,
+                    ScaledEvent::Login {
+                        peer,
+                        day: day as u32,
+                    },
+                );
+            }
+        }
+        if day + 1 < cfg.days {
+            out.schedule(
+                SimTime((day + 1) * DAY_US),
+                ScaledEvent::DayStart { day: day + 1 },
+            );
+        }
+    }
+
+    fn login(&mut self, at: SimTime, peer: u32, day: u32, out: &mut Outbox<ScaledEvent>) {
+        let world = Arc::clone(&self.world);
+        let cfg = &world.cfg;
+        let mut rng = key_rng(cfg.seed, peer as u64, day as u64, P_SESSION);
+        // Sessions: 30 min .. ~12.5 h (background-mode clients stay up).
+        let session_us = 1_800_000_000 + rng.below(43_200_000_000);
+        self.set_online(peer, at.as_micros() + session_us);
+
+        let (lat, lon) = world.lat_lon(peer);
+        let rec = LoginRecord {
+            at,
+            guid: world.guid(peer),
+            ip: world.ip(peer, day as u64),
+            asn: world.asn(peer),
+            country: world.country(peer),
+            lat,
+            lon,
+            uploads_enabled: world.uploads_enabled(peer),
+            software_version: (hash64(cfg.seed, peer as u64, P_STATIC + 8) % 12) as u32,
+            secondary_guids: Vec::new(),
+        };
+        let region = world.region_of_peer(peer);
+        let local = self.local_mut(region);
+        local.digest.on_login(&rec);
+        local.summary.on_login(&rec);
+        local.logins += 1;
+
+        // Downloads this session: geometric-ish knockdown around the mean.
+        let mut p = cfg.downloads_per_login;
+        let mut k = 0u32;
+        while k < 8 && rng.chance(p.min(1.0)) {
+            let t = at + SimDuration(rng.below(session_us));
+            out.schedule(t, ScaledEvent::StartDownload { peer, day, k });
+            k += 1;
+            p *= 0.55;
+        }
+    }
+
+    fn start_download(
+        &mut self,
+        at: SimTime,
+        peer: u32,
+        day: u32,
+        k: u32,
+        out: &mut Outbox<ScaledEvent>,
+    ) {
+        let world = Arc::clone(&self.world);
+        let cfg = &world.cfg;
+        let region = world.region_of_peer(peer);
+        let now_us = at.as_micros();
+        if self.online(peer) < now_us {
+            // Session truncated (churn burst) before this request fired.
+            self.local_mut(region).skipped_offline += 1;
+            return;
+        }
+        let mut rng = key_rng(
+            cfg.seed,
+            peer as u64,
+            ((day as u64) << 4) | k as u64,
+            P_DOWNLOAD,
+        );
+        // Zipf-flavoured catalog draw: log-uniform rank.
+        let rank = ((cfg.objects as f64).powf(rng.f64()) as u64).min(cfg.objects - 1);
+        let object = rank;
+        let size = world.object_size(object);
+
+        let hour = at.hour_of_day_local(REGION_TZ[region]) as usize;
+        let avail = DIURNAL[hour];
+        let pop = 1.0 / (1.0 + 4.0 * rank as f64 / cfg.objects as f64);
+        let mut eta = 0.85 * pop * avail;
+
+        let local = &self.locals[region - self.regions.start];
+        let control_down = now_us < local.control_down_until;
+        let dir_degraded = now_us < local.dir_degraded_until;
+        let edge_down = now_us < local.edge_down_until;
+        if control_down {
+            eta = 0.0; // no source queries: edge-only degradation (§3.8)
+        } else if dir_degraded {
+            eta *= 0.3; // DN re-populating via paced RE-ADDs
+        }
+        eta = eta.min(0.95);
+
+        let initial_peers = (eta * 40.0) as u32;
+        let down_bps = world.down_mbps(peer) * 125_000.0;
+        let mut outcome = 0u8;
+        let (bytes_peers, bytes_infra);
+        let mut rate = down_bps * (0.55 + 0.45 * avail);
+        if edge_down {
+            if eta <= 0.0 {
+                // Control and edge both dark: nothing can serve this.
+                outcome = 2;
+                bytes_peers = 0;
+                bytes_infra = 0;
+            } else {
+                bytes_peers = size; // peer-only, slower
+                bytes_infra = 0;
+                rate *= 0.6;
+            }
+        } else {
+            bytes_peers = (size as f64 * eta) as u64;
+            bytes_infra = size - bytes_peers;
+        }
+        if outcome == 0 && rng.chance(0.003) {
+            outcome = if rng.chance(0.3) { 2 } else { 1 };
+        }
+        let nominal_us = ((size as f64 / rate) * 1e6) as u64 + rng.below(30_000_000) + 1;
+        let dur_us = match outcome {
+            1 | 2 => nominal_us / 3,
+            _ => nominal_us,
+        };
+        let meta = DlMeta {
+            object,
+            size,
+            bytes_infra,
+            bytes_peers,
+            started_us: now_us,
+            outcome,
+            initial_peers,
+            day,
+            k,
+        };
+        out.schedule(
+            SimTime(now_us + dur_us),
+            ScaledEvent::FinishDownload { peer, meta },
+        );
+    }
+
+    fn finish_download(
+        &mut self,
+        at: SimTime,
+        peer: u32,
+        meta: DlMeta,
+        out: &mut Outbox<ScaledEvent>,
+    ) {
+        let world = Arc::clone(&self.world);
+        let cfg = &world.cfg;
+        let region = world.region_of_peer(peer);
+        let finish_us = at.as_micros();
+        let mut ended = finish_us;
+        let mut outcome = meta.outcome;
+        let mut bytes_infra = meta.bytes_infra;
+        let mut bytes_peers = meta.bytes_peers;
+        // The session may have ended — naturally or via a churn burst —
+        // before the transfer finished: truncate to what was fetched.
+        let online_until = self.online(peer);
+        if online_until < finish_us && outcome == 0 {
+            outcome = 3;
+            ended = online_until.max(meta.started_us + 1);
+            let frac =
+                (ended - meta.started_us) as f64 / (finish_us - meta.started_us).max(1) as f64;
+            bytes_infra = (bytes_infra as f64 * frac) as u64;
+            bytes_peers = (bytes_peers as f64 * frac) as u64;
+        } else if outcome == 1 || outcome == 2 {
+            bytes_infra /= 3;
+            bytes_peers /= 3;
+        }
+        let rec = DownloadRecord {
+            guid: world.guid(peer),
+            object: ObjectId(meta.object),
+            cp: CpCode((meta.object % 40) as u32),
+            size: ByteCount(meta.size),
+            p2p_enabled: true,
+            started: SimTime(meta.started_us),
+            ended: SimTime(ended),
+            bytes_infra: ByteCount(bytes_infra),
+            bytes_peers: ByteCount(bytes_peers),
+            outcome: match outcome {
+                0 => DownloadOutcome::Completed,
+                1 => DownloadOutcome::Failed {
+                    system_related: false,
+                },
+                2 => DownloadOutcome::Failed {
+                    system_related: true,
+                },
+                _ => DownloadOutcome::Abandoned,
+            },
+            initial_peers: meta.initial_peers,
+            asn: world.asn(peer),
+            country: world.country(peer),
+            region: region as u8,
+        };
+        {
+            let local = self.local_mut(region);
+            local.digest.on_download(&rec);
+            local.summary.on_download(&rec);
+            local.downloads += 1;
+            match outcome {
+                0 => local.completed += 1,
+                1 | 2 => local.failed += 1,
+                _ => local.abandoned += 1,
+            }
+            local.bytes_infra += bytes_infra;
+            local.bytes_peers += bytes_peers;
+        }
+
+        // Attribute peer bytes to uploaders (§6.1 transfer tuples). Local
+        // uploads are emitted here; remote-region ones travel to the
+        // uploader's shard and are emitted there at barrier delivery.
+        if bytes_peers == 0 {
+            return;
+        }
+        let mut rng = key_rng(
+            cfg.seed,
+            peer as u64,
+            ((meta.day as u64) << 4) | meta.k as u64,
+            P_UPLOADERS,
+        );
+        let n_up = 1 + rng.index(3) as u64;
+        let share = bytes_peers / n_up;
+        let to_guid = world.guid(peer);
+        let to_as = world.asn(peer);
+        let to_country = world.country(peer);
+        for i in 0..n_up {
+            let bytes = if i == n_up - 1 {
+                bytes_peers - share * (n_up - 1)
+            } else {
+                share
+            };
+            if bytes == 0 {
+                continue;
+            }
+            let src_region = if rng.chance(cfg.cross_region_prob) {
+                rng.index(Region::ALL.len())
+            } else {
+                region
+            };
+            let peers = world.region_peers(src_region);
+            let from_peer = peers.start + rng.below((peers.end - peers.start) as u64) as u32;
+            if src_region == region {
+                let t = TransferRecord {
+                    from_guid: world.guid(from_peer),
+                    to_guid,
+                    from_as: world.asn(from_peer),
+                    to_as,
+                    from_country: world.country(from_peer),
+                    to_country,
+                    bytes: ByteCount(bytes),
+                    object: ObjectId(meta.object),
+                };
+                let local = self.local_mut(region);
+                local.digest.on_transfer(&t);
+                local.summary.on_transfer(&t);
+                local.transfers += 1;
+            } else {
+                out.send(
+                    self.world.shard_of_region(src_region),
+                    out.window_end(),
+                    ScaledEvent::RemoteUpload {
+                        region: src_region as u8,
+                        from_peer,
+                        to_guid: to_guid.0,
+                        to_as: to_as.0,
+                        to_country,
+                        bytes,
+                        object: meta.object,
+                    },
+                );
+            }
+        }
+    }
+
+    fn fault(&mut self, at: SimTime, idx: u32) {
+        let world = Arc::clone(&self.world);
+        let cfg = &world.cfg;
+        let ev = cfg.faults.events[idx as usize];
+        let now_us = at.as_micros();
+        match ev.kind {
+            FaultKind::CnCrash { region } => {
+                let r = region as usize;
+                if self.regions.contains(&r) {
+                    let local = self.local_mut(r);
+                    local.control_down_until = now_us + 600_000_000;
+                    local.alerts.push(format!(
+                        "h{:03} {}: cn_crash",
+                        ev.at_hours,
+                        Region::ALL[r].label()
+                    ));
+                }
+            }
+            FaultKind::DnWipe { region } => {
+                let r = region as usize;
+                if self.regions.contains(&r) {
+                    let local = self.local_mut(r);
+                    local.dir_degraded_until = now_us + 1_800_000_000;
+                    local.alerts.push(format!(
+                        "h{:03} {}: dn_wipe",
+                        ev.at_hours,
+                        Region::ALL[r].label()
+                    ));
+                }
+            }
+            FaultKind::EdgeOutage { region, secs } => {
+                let r = region as usize;
+                if self.regions.contains(&r) {
+                    let local = self.local_mut(r);
+                    local.edge_down_until = now_us + secs * 1_000_000;
+                    local.alerts.push(format!(
+                        "h{:03} {}: edge_outage {}s",
+                        ev.at_hours,
+                        Region::ALL[r].label(),
+                        secs
+                    ));
+                }
+            }
+            FaultKind::ChurnBurst { fraction } => {
+                let mut dropped = 0u64;
+                for peer in self.peer_lo..self.peer_hi {
+                    if self.online(peer) > now_us {
+                        let mut rng = key_rng(cfg.seed, peer as u64, now_us, P_CHURN);
+                        if rng.chance(fraction) {
+                            self.set_online(peer, now_us);
+                            dropped += 1;
+                        }
+                    }
+                }
+                for r in self.regions.clone() {
+                    let local = self.local_mut(r);
+                    local.alerts.push(format!(
+                        "h{:03} {}: churn_burst dropped={dropped}",
+                        ev.at_hours,
+                        Region::ALL[r].label()
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl ShardWorker for ScaledShard {
+    type Event = ScaledEvent;
+
+    fn handle(&mut self, at: SimTime, event: ScaledEvent, out: &mut Outbox<ScaledEvent>) {
+        match event {
+            ScaledEvent::DayStart { day } => self.day_start(at, day, out),
+            ScaledEvent::Login { peer, day } => self.login(at, peer, day, out),
+            ScaledEvent::StartDownload { peer, day, k } => {
+                self.start_download(at, peer, day, k, out)
+            }
+            ScaledEvent::FinishDownload { peer, meta } => self.finish_download(at, peer, meta, out),
+            ScaledEvent::Fault { idx } => self.fault(at, idx),
+            ScaledEvent::RemoteUpload {
+                region,
+                from_peer,
+                to_guid,
+                to_as,
+                to_country,
+                bytes,
+                object,
+            } => {
+                let world = Arc::clone(&self.world);
+                let t = TransferRecord {
+                    from_guid: world.guid(from_peer),
+                    to_guid: Guid(to_guid),
+                    from_as: world.asn(from_peer),
+                    to_as: AsNumber(to_as),
+                    from_country: world.country(from_peer),
+                    to_country,
+                    bytes: ByteCount(bytes),
+                    object: ObjectId(object),
+                };
+                let local = self.local_mut(region as usize);
+                local.digest.on_transfer(&t);
+                local.summary.on_transfer(&t);
+                local.transfers += 1;
+                local.remote_uploads_in += 1;
+            }
+        }
+    }
+}
+
+/// Per-region results: tallies, alert log, and record-stream digests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionReport {
+    /// Table-2 label.
+    pub region: &'static str,
+    /// Login records emitted.
+    pub logins: u64,
+    /// Download records emitted.
+    pub downloads: u64,
+    /// Completed downloads.
+    pub completed: u64,
+    /// Abandoned (incl. churn-truncated) downloads.
+    pub abandoned: u64,
+    /// Failed downloads.
+    pub failed: u64,
+    /// Requests skipped because the session had already been cut.
+    pub skipped_offline: u64,
+    /// Edge bytes served.
+    pub bytes_infra: u64,
+    /// Peer bytes served.
+    pub bytes_peers: u64,
+    /// Transfer records emitted (local + remote-in).
+    pub transfers: u64,
+    /// Cross-shard uploads credited to this region.
+    pub remote_uploads_in: u64,
+    /// Deterministic fault alert log.
+    pub alerts: Vec<String>,
+    /// SHA-256 stream digests of this region's records.
+    pub digest: DigestTriple,
+}
+
+/// The merged result of a scaled run — everything downstream analysis and
+/// the determinism gates judge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaledOutput {
+    /// Table-1 summary, streamed (never materialized).
+    pub summary: DatasetSummary,
+    /// Global peer efficiency (§5.1).
+    pub peer_efficiency: f64,
+    /// Per-region reports in Table-2 order.
+    pub regions: Vec<RegionReport>,
+    /// Shards used.
+    pub shards: usize,
+    /// Total events processed.
+    pub events: u64,
+    /// Window barriers crossed.
+    pub windows: u64,
+    /// Cross-shard messages exchanged.
+    pub cross_messages: u64,
+}
+
+impl ScaledOutput {
+    /// Deterministic multi-line report — the byte string the 2-shard gate
+    /// diffs against the sequential oracle. No wall-clock, no RSS: those
+    /// are volatile and belong on stderr / bench sidecars.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "scaled run: {} logins, {} downloads ({} completed), peer_efficiency {:.4}",
+            self.summary.log_entries - self.summary.downloads - self.transfers_total(),
+            self.summary.downloads,
+            self.completed_total(),
+            self.peer_efficiency,
+        );
+        let _ = writeln!(
+            s,
+            "summary: guids={} urls={} ips={} locations={} ases={} countries={}",
+            self.summary.guids,
+            self.summary.urls,
+            self.summary.ips,
+            self.summary.locations,
+            self.summary.ases,
+            self.summary.countries
+        );
+        for r in &self.regions {
+            let _ = writeln!(
+                s,
+                "{:>14}: logins={} dl={} ok={} ab={} fail={} peers_B={} infra_B={} tx={} remote_in={}",
+                r.region,
+                r.logins,
+                r.downloads,
+                r.completed,
+                r.abandoned,
+                r.failed,
+                r.bytes_peers,
+                r.bytes_infra,
+                r.transfers,
+                r.remote_uploads_in
+            );
+            let _ = writeln!(s, "{:>14}  {}", "", r.digest.fingerprint());
+            for a in &r.alerts {
+                let _ = writeln!(s, "{:>14}  alert {a}", "");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "runner: shards={} events={} windows={} cross={}",
+            self.shards, self.events, self.windows, self.cross_messages
+        );
+        s
+    }
+
+    fn completed_total(&self) -> u64 {
+        self.regions.iter().map(|r| r.completed).sum()
+    }
+
+    fn transfers_total(&self) -> u64 {
+        self.regions.iter().map(|r| r.transfers).sum()
+    }
+}
+
+/// Run the scaled simulation. `parallel` picks the threaded window runner;
+/// `false` is the sequential oracle the gates compare against. Results are
+/// bit-identical either way. Per-shard runner counters are published into
+/// `registry` when given.
+pub fn run_scaled(
+    cfg: &ScaledConfig,
+    parallel: bool,
+    registry: Option<&MetricsRegistry>,
+) -> ScaledOutput {
+    let world = Arc::new(ScaledWorld::new(cfg.clone()));
+    let shards: Vec<ScaledShard> = (0..cfg.shards)
+        .map(|k| ScaledShard::new(Arc::clone(&world), k))
+        .collect();
+    let mut runner = ShardRunner::new(shards, cfg.window);
+    for k in 0..cfg.shards {
+        runner.seed(k, SimTime::ZERO, ScaledEvent::DayStart { day: 0 });
+    }
+    for (idx, f) in cfg.faults.events.iter().enumerate() {
+        let at = SimTime(f.at_hours * 3_600_000_000);
+        let ev = |_k: usize| ScaledEvent::Fault { idx: idx as u32 };
+        match f.kind {
+            FaultKind::CnCrash { region }
+            | FaultKind::DnWipe { region }
+            | FaultKind::EdgeOutage { region, .. } => {
+                let k = world.shard_of_region(region as usize);
+                runner.seed(k, at, ev(k));
+            }
+            FaultKind::ChurnBurst { .. } => {
+                for k in 0..cfg.shards {
+                    runner.seed(k, at, ev(k));
+                }
+            }
+        }
+    }
+
+    if parallel {
+        runner.run_parallel();
+    } else {
+        runner.run_sequential();
+    }
+
+    if let Some(reg) = registry {
+        runner.publish_stats(reg);
+    }
+    let events = runner.stats().iter().map(|s| s.events).sum();
+    let cross_messages = runner.stats().iter().map(|s| s.cross_sent).sum();
+    let windows = runner.windows_run();
+
+    let mut summary = StreamingSummary::new();
+    let mut regions = Vec::new();
+    for shard in runner.into_workers() {
+        let base = shard.regions.start;
+        for (i, local) in shard.locals.into_iter().enumerate() {
+            summary.merge(&local.summary);
+            regions.push(RegionReport {
+                region: Region::ALL[base + i].label(),
+                logins: local.logins,
+                downloads: local.downloads,
+                completed: local.completed,
+                abandoned: local.abandoned,
+                failed: local.failed,
+                skipped_offline: local.skipped_offline,
+                bytes_infra: local.bytes_infra,
+                bytes_peers: local.bytes_peers,
+                transfers: local.transfers,
+                remote_uploads_in: local.remote_uploads_in,
+                alerts: local.alerts,
+                digest: local.digest.finalize(),
+            });
+        }
+    }
+    regions.sort_by_key(|r| Region::ALL.iter().position(|x| x.label() == r.region));
+    ScaledOutput {
+        peer_efficiency: summary.peer_efficiency(),
+        summary: summary.summary(),
+        regions,
+        shards: cfg.shards,
+        events,
+        windows,
+        cross_messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScaledConfig {
+        ScaledConfig {
+            peers: 3_000,
+            objects: 400,
+            days: 3,
+            shards: 3,
+            ..ScaledConfig::default()
+        }
+    }
+
+    #[test]
+    fn scaled_run_produces_work_in_every_region() {
+        let out = run_scaled(&tiny(), false, None);
+        assert_eq!(out.regions.len(), 9);
+        assert!(out.summary.downloads > 0);
+        assert!(out.regions.iter().all(|r| r.logins > 0));
+        assert!(out.peer_efficiency > 0.0 && out.peer_efficiency < 1.0);
+        assert!(out.cross_messages > 0, "cross-region uploads must flow");
+    }
+
+    #[test]
+    fn report_is_replayable() {
+        let a = run_scaled(&tiny(), false, None).report();
+        let b = run_scaled(&tiny(), false, None).report();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_at_tiny_scale() {
+        let a = run_scaled(&tiny(), false, None);
+        let b = run_scaled(&tiny(), true, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn region_blocks_partition_the_population() {
+        let w = ScaledWorld::new(tiny());
+        assert_eq!(w.region_starts[0], 0);
+        assert_eq!(w.region_starts[9] as u64, w.cfg.peers);
+        for r in 0..9 {
+            for p in w.region_peers(r).step_by(97) {
+                assert_eq!(w.region_of_peer(p), r);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_is_contiguous_and_total() {
+        for shards in 1..=9usize {
+            let w = ScaledWorld::new(ScaledConfig { shards, ..tiny() });
+            let mut covered = 0;
+            for k in 0..shards {
+                let r = w.regions_of_shard(k);
+                assert!(!r.is_empty(), "{shards} shards: shard {k} empty");
+                assert_eq!(r.start, covered, "contiguity");
+                covered = r.end;
+            }
+            assert_eq!(covered, 9);
+        }
+    }
+}

@@ -128,26 +128,77 @@ impl Dl {
     }
 }
 
-struct PeerRt {
-    node: NodeId,
-    online: bool,
+/// Runtime peer state, struct-of-arrays: one parallel vector per field,
+/// indexed by peer id. The hot loops (churn sweeps, source-availability
+/// probes in `connect_sources`, offline upload teardown) each touch one or
+/// two fields across many peers; packing those fields contiguously keeps
+/// them cache-dense instead of striding over ~200-byte rows, and the
+/// disjoint field borrows fall out of the borrow checker for free.
+struct PeerTable {
+    node: Vec<NodeId>,
+    online: Vec<bool>,
     /// Control connection up. Tracks `online` except between a CN crash
     /// and the paced readmission: the machine is on (data plane works,
     /// cached copies still serve uploads) but it cannot query for peers
     /// or register content, so new downloads degrade to edge-only (§3.8).
-    control_connected: bool,
-    uploads_enabled: bool,
-    pending_pref_changes: Vec<(SimTime, bool)>,
+    control_connected: Vec<bool>,
+    uploads_enabled: Vec<bool>,
+    pending_pref_changes: Vec<Vec<(SimTime, bool)>>,
     /// Complete cached versions and their expiry.
-    cached: FxHashMap<ObjectId, (VersionId, SimTime)>,
-    identity: IdentityState,
-    mobility: MobilityPlan,
+    cached: Vec<FxHashMap<ObjectId, (VersionId, SimTime)>>,
+    identity: Vec<IdentityState>,
+    mobility: Vec<MobilityPlan>,
     /// Current login site (index into mobility plan).
-    site: usize,
-    active_uploads: u32,
-    active_download: Option<usize>,
-    logged_region: u32,
-    first_login_done: bool,
+    site: Vec<usize>,
+    active_uploads: Vec<u32>,
+    active_download: Vec<Option<usize>>,
+    logged_region: Vec<u32>,
+}
+
+impl PeerTable {
+    fn with_capacity(n: usize) -> Self {
+        PeerTable {
+            node: Vec::with_capacity(n),
+            online: Vec::with_capacity(n),
+            control_connected: Vec::with_capacity(n),
+            uploads_enabled: Vec::with_capacity(n),
+            pending_pref_changes: Vec::with_capacity(n),
+            cached: Vec::with_capacity(n),
+            identity: Vec::with_capacity(n),
+            mobility: Vec::with_capacity(n),
+            site: Vec::with_capacity(n),
+            active_uploads: Vec::with_capacity(n),
+            active_download: Vec::with_capacity(n),
+            logged_region: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append one peer row (offline, nothing cached, no activity).
+    fn push(
+        &mut self,
+        node: NodeId,
+        uploads_enabled: bool,
+        pending_pref_changes: Vec<(SimTime, bool)>,
+        identity: IdentityState,
+        mobility: MobilityPlan,
+    ) {
+        self.node.push(node);
+        self.online.push(false);
+        self.control_connected.push(false);
+        self.uploads_enabled.push(uploads_enabled);
+        self.pending_pref_changes.push(pending_pref_changes);
+        self.cached.push(FxHashMap::default());
+        self.identity.push(identity);
+        self.mobility.push(mobility);
+        self.site.push(0);
+        self.active_uploads.push(0);
+        self.active_download.push(None);
+        self.logged_region.push(0);
+    }
+
+    fn len(&self) -> usize {
+        self.node.len()
+    }
 }
 
 /// Aggregate run statistics (sanity numbers next to the dataset).
@@ -314,7 +365,7 @@ impl HybridSim {
         // Clone groups share a master image.
         let mut masters: FxHashMap<u32, netsession_world::cloning::InstallationState> =
             FxHashMap::default();
-        let mut peers: Vec<PeerRt> = Vec::with_capacity(n_peers);
+        let mut peers = PeerTable::with_capacity(n_peers);
         for spec in &self.scenario.population.peers {
             let up_frac = self.scenario.config.transfer.upload_rate_fraction;
             let node = net.add_node(
@@ -331,7 +382,7 @@ impl HybridSim {
                 }
                 None => match anomaly_plan.sample(&mut id_rng) {
                     netsession_world::cloning::AnomalyKind::None => IdentityState::normal(),
-                    kind => IdentityState::with_anomaly(kind, 2 + id_rng.index(6) as u32),
+                    kind => IdentityState::with_anomaly(kind, 2 + id_rng.index(6) as u64),
                 },
             };
             let mobility = MobilityPlan::generate(
@@ -354,21 +405,7 @@ impl HybridSim {
                 ));
             }
             pending.sort_by_key(|(t, _)| *t);
-            peers.push(PeerRt {
-                node,
-                online: false,
-                control_connected: false,
-                uploads_enabled: spec.uploads_enabled,
-                pending_pref_changes: pending,
-                cached: FxHashMap::default(),
-                identity,
-                mobility,
-                site: 0,
-                active_uploads: 0,
-                active_download: None,
-                logged_region: 0,
-                first_login_done: false,
-            });
+            peers.push(node, spec.uploads_enabled, pending, identity, mobility);
         }
 
         // --- Pre-seed: history before the trace month left copies of
@@ -404,9 +441,7 @@ impl HybridSim {
                             + SimDuration::from_hours(
                                 self.scenario.config.transfer.cache_ttl_hours as u64,
                             );
-                        peers[p as usize]
-                            .cached
-                            .insert(obj.id, (obj.version(), expiry));
+                        peers.cached[p as usize].insert(obj.id, (obj.version(), expiry));
                     }
                 }
             }
@@ -619,10 +654,10 @@ impl HybridSim {
                             let Some(&p) = guid_owner.get(&guid) else {
                                 continue;
                             };
-                            if !peers[p as usize].online {
+                            if !peers.online[p as usize] {
                                 continue;
                             }
-                            peers[p as usize].control_connected = false;
+                            peers.control_connected[p as usize] = false;
                             queue.schedule(at, Event::Readmit(p));
                             dropped += 1;
                             last = last.max(at);
@@ -656,10 +691,10 @@ impl HybridSim {
                                 let Some(&p) = guid_owner.get(&guid) else {
                                     continue;
                                 };
-                                if !peers[p as usize].online {
+                                if !peers.online[p as usize] {
                                     continue;
                                 }
-                                peers[p as usize].control_connected = false;
+                                peers.control_connected[p as usize] = false;
                                 queue.schedule(at, Event::Readmit(p));
                                 dropped += 1;
                                 last = last.max(at);
@@ -683,8 +718,7 @@ impl HybridSim {
                                 let Some(&p) = guid_owner.get(&guid) else {
                                     continue;
                                 };
-                                let rt = &peers[p as usize];
-                                if !rt.online || !rt.uploads_enabled {
+                                if !peers.online[p as usize] || !peers.uploads_enabled[p as usize] {
                                     continue;
                                 }
                                 let at = self.scenario.plane.pace_recovery(t);
@@ -743,8 +777,8 @@ impl HybridSim {
                             );
                             let mut gone = 0u64;
                             for p in 0..peers.len() as u32 {
-                                if !peers[p as usize].online
-                                    || peers[p as usize].active_download.is_some()
+                                if !peers.online[p as usize]
+                                    || peers.active_download[p as usize].is_some()
                                 {
                                     continue;
                                 }
@@ -797,7 +831,7 @@ impl HybridSim {
                             net.set_trace_scope(dl.ctx, t.as_micros());
                             dl.edge_flow = Some(net.add_flow(
                                 edge_nodes[region as usize],
-                                peers[dl.peer as usize].node,
+                                peers.node[dl.peer as usize],
                                 None,
                             ));
                             net.clear_trace_scope();
@@ -910,46 +944,42 @@ impl HybridSim {
         &mut self,
         p: u32,
         t: SimTime,
-        peers: &mut [PeerRt],
+        peers: &mut PeerTable,
         guid_owner: &mut FxHashMap<Guid, u32>,
         dataset: &mut TraceDataset,
         stats: &mut RunStats,
         rng: &mut DetRng,
     ) {
         let spec = &self.scenario.population.peers[p as usize];
-        let rt = &mut peers[p as usize];
-        if rt.online {
+        let i = p as usize;
+        if peers.online[i] {
             return;
         }
         // Apply due preference changes.
-        while let Some((when, setting)) = rt.pending_pref_changes.first().copied() {
+        while let Some((when, setting)) = peers.pending_pref_changes[i].first().copied() {
             if when <= t {
-                rt.uploads_enabled = setting;
-                rt.pending_pref_changes.remove(0);
+                peers.uploads_enabled[i] = setting;
+                peers.pending_pref_changes[i].remove(0);
             } else {
                 break;
             }
         }
         // Pick the login site.
         let site_idx = {
-            let site = rt.mobility.sample_site(rng);
-            rt.mobility
-                .sites
-                .iter()
-                .position(|s| s == site)
-                .unwrap_or(0)
+            let mobility = &peers.mobility[i];
+            let site = mobility.sample_site(rng);
+            mobility.sites.iter().position(|s| s == site).unwrap_or(0)
         };
-        rt.site = site_idx;
-        let site = &rt.mobility.sites[site_idx];
+        peers.site[i] = site_idx;
+        let site = &peers.mobility[i].sites[site_idx];
         let country = &WORLD_COUNTRIES[site.country];
         let region = region_of(country, &country.cities[site.city]).index() as u32;
-        rt.logged_region = region;
-        rt.online = true;
-        rt.control_connected = true;
-        rt.first_login_done = true;
+        peers.logged_region[i] = region;
+        peers.online[i] = true;
+        peers.control_connected[i] = true;
         guid_owner.insert(spec.guid, p);
 
-        let sguids = rt.identity.on_login(rng);
+        let sguids = peers.identity[i].on_login(rng);
         self.scenario.plane.login(
             region,
             spec.guid,
@@ -958,7 +988,7 @@ impl HybridSim {
                 port: 8443,
             },
             spec.nat,
-            rt.uploads_enabled,
+            peers.uploads_enabled[i],
             40_100,
             sguids.clone(),
             t,
@@ -984,14 +1014,14 @@ impl HybridSim {
             country: site.country as u16,
             lat: site.lat,
             lon: site.lon,
-            uploads_enabled: rt.uploads_enabled,
+            uploads_enabled: peers.uploads_enabled[i],
             software_version: 40_100,
             secondary_guids: sguids,
         });
         stats.logins += 1;
 
         // Register shareable cache contents.
-        if rt.uploads_enabled {
+        if peers.uploads_enabled[i] {
             let record = PeerRecord {
                 guid: spec.guid,
                 addr: PeerAddr {
@@ -1003,8 +1033,7 @@ impl HybridSim {
                 zone: region as u8,
                 nat: spec.nat,
             };
-            let versions: Vec<VersionId> = rt
-                .cached
+            let versions: Vec<VersionId> = peers.cached[i]
                 .iter()
                 .filter(|(_, (_, exp))| *exp > t)
                 .map(|(_, (v, _))| *v)
@@ -1021,19 +1050,19 @@ impl HybridSim {
         &mut self,
         p: u32,
         t: SimTime,
-        peers: &mut [PeerRt],
+        peers: &mut PeerTable,
         net: &mut FlowNet,
         dls: &mut [Dl],
         active: &[usize],
     ) {
         // A peer with an active download stays connected until it ends
         // (the user is waiting for it).
-        if peers[p as usize].active_download.is_some() || !peers[p as usize].online {
+        if peers.active_download[p as usize].is_some() || !peers.online[p as usize] {
             return;
         }
         let spec = &self.scenario.population.peers[p as usize];
         // Drop upload flows sourced here.
-        if peers[p as usize].active_uploads > 0 {
+        if peers.active_uploads[p as usize] > 0 {
             for id in active {
                 let dl = &mut dls[*id];
                 let mut k = 0;
@@ -1047,8 +1076,8 @@ impl HybridSim {
                         self.trace.add_attr(s.span, "end_reason", "source_offline");
                         self.trace.end_span(s.span, t.as_micros());
                         dl.finished_sources.push((s.peer, s.bytes));
-                        peers[p as usize].active_uploads =
-                            peers[p as usize].active_uploads.saturating_sub(1);
+                        peers.active_uploads[p as usize] =
+                            peers.active_uploads[p as usize].saturating_sub(1);
                         changed = true;
                     } else {
                         k += 1;
@@ -1061,10 +1090,10 @@ impl HybridSim {
                 }
             }
         }
-        let region = peers[p as usize].logged_region;
+        let region = peers.logged_region[p as usize];
         self.scenario.plane.logout(region, spec.guid);
-        peers[p as usize].online = false;
-        peers[p as usize].control_connected = false;
+        peers.online[p as usize] = false;
+        peers.control_connected[p as usize] = false;
     }
 
     /// Paced readmission after a CN crash (§3.8): the peer opens a fresh
@@ -1072,15 +1101,15 @@ impl HybridSim {
     /// content, repopulating the directories. Skipped if the peer logged
     /// out while waiting (its next login reconnects anyway) or already
     /// holds a fresh session.
-    fn control_readmit(&mut self, p: u32, t: SimTime, peers: &mut [PeerRt]) {
-        let rt = &mut peers[p as usize];
-        if !rt.online || rt.control_connected {
+    fn control_readmit(&mut self, p: u32, t: SimTime, peers: &mut PeerTable) {
+        let i = p as usize;
+        if !peers.online[i] || peers.control_connected[i] {
             return;
         }
-        rt.control_connected = true;
-        let spec = &self.scenario.population.peers[p as usize];
-        let site = &rt.mobility.sites[rt.site];
-        let region = rt.logged_region;
+        peers.control_connected[i] = true;
+        let spec = &self.scenario.population.peers[i];
+        let site = &peers.mobility[i].sites[peers.site[i]];
+        let region = peers.logged_region[i];
         let addr = PeerAddr {
             ip: site.ip,
             port: 8443,
@@ -1090,13 +1119,13 @@ impl HybridSim {
             spec.guid,
             addr,
             spec.nat,
-            rt.uploads_enabled,
+            peers.uploads_enabled[i],
             40_100,
             vec![],
             t,
         );
         self.metrics.counter("hybrid.fault.readmissions").incr();
-        if rt.uploads_enabled {
+        if peers.uploads_enabled[i] {
             let record = PeerRecord {
                 guid: spec.guid,
                 addr,
@@ -1105,8 +1134,7 @@ impl HybridSim {
                 zone: region as u8,
                 nat: spec.nat,
             };
-            let versions: Vec<VersionId> = rt
-                .cached
+            let versions: Vec<VersionId> = peers.cached[i]
                 .values()
                 .filter(|(_, exp)| *exp > t)
                 .map(|(v, _)| *v)
@@ -1125,13 +1153,12 @@ impl HybridSim {
     /// Paced RE-ADD response after a DN soft-state wipe (§3.8): the peer's
     /// control connection survived, so it answers the directory's RE-ADD
     /// request with its cached versions.
-    fn control_readd(&mut self, p: u32, t: SimTime, peers: &[PeerRt]) {
-        let rt = &peers[p as usize];
-        if !rt.online || !rt.control_connected || !rt.uploads_enabled {
+    fn control_readd(&mut self, p: u32, t: SimTime, peers: &PeerTable) {
+        let i = p as usize;
+        if !peers.online[i] || !peers.control_connected[i] || !peers.uploads_enabled[i] {
             return;
         }
-        let versions: Vec<VersionId> = rt
-            .cached
+        let versions: Vec<VersionId> = peers.cached[i]
             .values()
             .filter(|(_, exp)| *exp > t)
             .map(|(v, _)| *v)
@@ -1139,8 +1166,8 @@ impl HybridSim {
         if versions.is_empty() {
             return;
         }
-        let spec = &self.scenario.population.peers[p as usize];
-        let site = &rt.mobility.sites[rt.site];
+        let spec = &self.scenario.population.peers[i];
+        let site = &peers.mobility[i].sites[peers.site[i]];
         let record = PeerRecord {
             guid: spec.guid,
             addr: PeerAddr {
@@ -1149,12 +1176,12 @@ impl HybridSim {
             },
             asn: site.asn,
             area: site.country as u16,
-            zone: rt.logged_region as u8,
+            zone: peers.logged_region[i] as u8,
             nat: spec.nat,
         };
         self.scenario
             .plane
-            .handle_readd(rt.logged_region, record, &versions);
+            .handle_readd(peers.logged_region[i], record, &versions);
         self.metrics.counter("hybrid.fault.readds").incr();
         self.metrics
             .counter("hybrid.fault.readd_versions")
@@ -1166,7 +1193,7 @@ impl HybridSim {
         &mut self,
         req_idx: usize,
         t: SimTime,
-        peers: &mut [PeerRt],
+        peers: &mut PeerTable,
         guid_owner: &mut FxHashMap<Guid, u32>,
         net: &mut FlowNet,
         edge_nodes: &[NodeId],
@@ -1181,17 +1208,16 @@ impl HybridSim {
         let req = self.scenario.workload.requests[req_idx];
         let p = req.peer.0;
         // One concurrent download per peer: drop overlapping requests.
-        if peers[p as usize].active_download.is_some() {
+        if peers.active_download[p as usize].is_some() {
             return;
         }
-        if !peers[p as usize].online {
+        if !peers.online[p as usize] {
             // The user turned the machine on to download.
             self.login(p, t, peers, guid_owner, dataset, stats, rng);
         }
         let spec = &self.scenario.population.peers[p as usize];
-        let rt = &peers[p as usize];
-        let region = rt.logged_region;
-        let control_up = rt.control_connected;
+        let region = peers.logged_region[p as usize];
+        let control_up = peers.control_connected[p as usize];
 
         // Root span for this download's causal story. Unsampled requests
         // get the null context; everything recorded through it no-ops.
@@ -1267,7 +1293,7 @@ impl HybridSim {
         // Peer selection and connection establishment.
         if p2p {
             if control_up {
-                let site = &rt.mobility.sites[rt.site];
+                let site = &peers.mobility[p as usize].sites[peers.site[p as usize]];
                 let querier = Querier {
                     guid: spec.guid,
                     asn: site.asn,
@@ -1324,13 +1350,13 @@ impl HybridSim {
 
         if self.scenario.config.edge_backstop && !edge_down[region as usize] {
             dl.edge_flow =
-                Some(net.add_flow(edge_nodes[region as usize], peers[p as usize].node, None));
+                Some(net.add_flow(edge_nodes[region as usize], peers.node[p as usize], None));
             dl.edge_span = self.trace.span(ctx, "edge_backstop", "edge", t.as_micros());
             update_edge_ceil(&dl, spec.down, net);
         }
         net.clear_trace_scope();
 
-        peers[p as usize].active_download = Some(id);
+        peers.active_download[p as usize] = Some(id);
         dls.push(dl);
         active.push(id);
     }
@@ -1339,7 +1365,7 @@ impl HybridSim {
     fn requery(
         &mut self,
         t: SimTime,
-        peers: &mut [PeerRt],
+        peers: &mut PeerTable,
         guid_owner: &FxHashMap<Guid, u32>,
         net: &mut FlowNet,
         dls: &mut [Dl],
@@ -1368,12 +1394,12 @@ impl HybridSim {
             // A control-disconnected peer (CN crash, readmission pending)
             // cannot re-query; it keeps whatever sources it has plus the
             // edge backstop until its Readmit fires.
-            if !needs || !peers[peer_idx as usize].control_connected {
+            if !needs || !peers.control_connected[peer_idx as usize] {
                 continue;
             }
             let spec = &self.scenario.population.peers[peer_idx as usize];
-            let site_idx = peers[peer_idx as usize].site;
-            let site = &peers[peer_idx as usize].mobility.sites[site_idx];
+            let site_idx = peers.site[peer_idx as usize];
+            let site = &peers.mobility[peer_idx as usize].sites[site_idx];
             let querier = Querier {
                 guid: spec.guid,
                 asn: site.asn,
@@ -1482,7 +1508,7 @@ fn connect_sources(
     my_nat: netsession_core::msg::NatType,
     downloader: u32,
     scenario: &Scenario,
-    peers: &mut [PeerRt],
+    peers: &mut PeerTable,
     guid_owner: &FxHashMap<Guid, u32>,
     net: &mut FlowNet,
     dl: &mut Dl,
@@ -1517,16 +1543,15 @@ fn connect_sources(
             trace.add_attr(attempt, "result", "duplicate");
             continue;
         }
-        let src_rt = &peers[src as usize];
-        if !src_rt.online
-            || !src_rt.uploads_enabled
-            || src_rt.active_uploads as usize >= max_uploads
+        if !peers.online[src as usize]
+            || !peers.uploads_enabled[src as usize]
+            || peers.active_uploads[src as usize] as usize >= max_uploads
         {
             trace.add_attr(attempt, "result", "unavailable");
             continue;
         }
         // Source must still cache the exact version.
-        match src_rt.cached.get(&dl.object) {
+        match peers.cached[src as usize].get(&dl.object) {
             Some((v, _)) if *v == dl.version => {}
             _ => {
                 trace.add_attr(attempt, "result", "stale_version");
@@ -1556,11 +1581,11 @@ fn connect_sources(
         hot.nat_ok.incr();
         trace.add_attr(attempt, "result", "connected");
         let flow = net.add_flow(
-            peers[src as usize].node,
-            peers[downloader as usize].node,
+            peers.node[src as usize],
+            peers.node[downloader as usize],
             None,
         );
-        peers[src as usize].active_uploads += 1;
+        peers.active_uploads[src as usize] += 1;
         let span = trace.span(dl.ctx, "peer_transfer", "peer", t.as_micros());
         if span.is_some() {
             trace.add_attr(span, "src_guid", format!("{:016x}", c.guid.0 as u64));
@@ -1678,7 +1703,7 @@ fn advance(
 fn process_finished(
     dls: &mut [Dl],
     active: &mut Vec<usize>,
-    peers: &mut [PeerRt],
+    peers: &mut PeerTable,
     net: &mut FlowNet,
     scenario: &mut Scenario,
     dataset: &mut TraceDataset,
@@ -1712,8 +1737,8 @@ fn process_finished(
             .drain(..)
             .map(|s| {
                 net.remove_flow(s.flow);
-                peers[s.peer as usize].active_uploads =
-                    peers[s.peer as usize].active_uploads.saturating_sub(1);
+                peers.active_uploads[s.peer as usize] =
+                    peers.active_uploads[s.peer as usize].saturating_sub(1);
                 trace.add_attr(s.span, "bytes", s.bytes as u64);
                 trace.end_span(s.span, ended.as_micros());
                 (s.peer, s.bytes)
@@ -1744,7 +1769,7 @@ fn process_finished(
                 bytes: ByteCount(*bytes as u64),
                 object: dl.object,
             });
-            let src_region = peers[*src as usize].logged_region;
+            let src_region = peers.logged_region[*src as usize];
             scenario
                 .plane
                 .count_upload(src_region, src_spec.guid, dl.object, dl.cap);
@@ -1811,18 +1836,13 @@ fn process_finished(
         // Cache + registration on completion.
         if outcome == DownloadOutcome::Completed {
             let ttl = SimDuration::from_hours(scenario.config.transfer.cache_ttl_hours as u64);
-            peers[dl.peer as usize]
-                .cached
-                .insert(dl.object, (dl.version, ended + ttl));
+            let i = dl.peer as usize;
+            peers.cached[i].insert(dl.object, (dl.version, ended + ttl));
             // A control-disconnected peer cannot reach the DN to register;
             // its paced readmission re-registers the whole cache (this
             // object included) when it fires.
-            if peers[dl.peer as usize].uploads_enabled
-                && dl.p2p
-                && peers[dl.peer as usize].control_connected
-            {
-                let rt = &peers[dl.peer as usize];
-                let site = &rt.mobility.sites[rt.site];
+            if peers.uploads_enabled[i] && dl.p2p && peers.control_connected[i] {
+                let site = &peers.mobility[i].sites[peers.site[i]];
                 let record = PeerRecord {
                     guid: spec.guid,
                     addr: PeerAddr {
@@ -1831,12 +1851,12 @@ fn process_finished(
                     },
                     asn: site.asn,
                     area: site.country as u16,
-                    zone: rt.logged_region as u8,
+                    zone: peers.logged_region[i] as u8,
                     nat: spec.nat,
                 };
                 scenario
                     .plane
-                    .register_content(rt.logged_region, record, dl.version);
+                    .register_content(peers.logged_region[i], record, dl.version);
             }
         }
 
@@ -1866,7 +1886,7 @@ fn process_finished(
             .accept_usage(dl.region, vec![record_to_usage(&record)]);
         dataset.downloads.push(record);
 
-        peers[dl.peer as usize].active_download = None;
+        peers.active_download[dl.peer as usize] = None;
     }
 }
 

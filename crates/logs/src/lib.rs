@@ -15,7 +15,9 @@ pub mod anonymize;
 pub mod dataset;
 pub mod geodb;
 pub mod records;
+pub mod sink;
 
 pub use dataset::TraceDataset;
 pub use geodb::{EdgeScapeDb, GeoInfo};
 pub use records::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
+pub use sink::{DigestSink, DigestTriple, RecordSink, StreamingSummary, Tee};

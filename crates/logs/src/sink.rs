@@ -1,0 +1,347 @@
+//! Streaming record sinks.
+//!
+//! At paper scale (25.9M GUIDs, 4.6B log entries) a month of records does
+//! not fit in RAM as `Vec`s. A [`RecordSink`] receives each record the
+//! moment the CN would have written it, so a run can keep *running
+//! summaries* ([`StreamingSummary`]) and *running digests*
+//! ([`DigestSink`]) instead of accumulating the log. The in-RAM
+//! [`TraceDataset`] is itself a sink, so small-scale runs and the analytics
+//! pipeline keep working unchanged — and the property tests can prove the
+//! streamed summary equals the in-RAM [`DatasetSummary`] computed after the
+//! fact.
+
+use crate::dataset::{DatasetSummary, TraceDataset};
+use crate::records::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
+use netsession_core::fxhash::FxHashSet;
+use netsession_core::hash::{Digest, Sha256};
+use netsession_core::id::VersionId;
+
+/// Receives log records as they are emitted, in emission order.
+///
+/// Implementations must be order-sensitive only in ways the simulation
+/// already guarantees deterministic (the CN writes records in virtual-time
+/// order per shard); they must not assume they see *all* record kinds.
+pub trait RecordSink {
+    /// A CN download record was written.
+    fn on_download(&mut self, r: &DownloadRecord);
+    /// A CN login record was written.
+    fn on_login(&mut self, r: &LoginRecord);
+    /// A p2p transfer completed.
+    fn on_transfer(&mut self, r: &TransferRecord);
+    /// The DN registration log advanced to `cumulative` for `version`.
+    fn on_registration(&mut self, version: VersionId, cumulative: u64) {
+        let _ = (version, cumulative);
+    }
+}
+
+/// The in-RAM dataset is the trivial sink: it accumulates everything.
+impl RecordSink for TraceDataset {
+    fn on_download(&mut self, r: &DownloadRecord) {
+        self.downloads.push(r.clone());
+    }
+
+    fn on_login(&mut self, r: &LoginRecord) {
+        self.logins.push(r.clone());
+    }
+
+    fn on_transfer(&mut self, r: &TransferRecord) {
+        self.transfers.push(r.clone());
+    }
+
+    fn on_registration(&mut self, version: VersionId, cumulative: u64) {
+        self.registrations.push((version, cumulative));
+    }
+}
+
+/// A Table-1 summary maintained incrementally — O(distinct entities) RAM,
+/// not O(records). Shards each keep one and [`StreamingSummary::merge`]
+/// them at the end; the result is identical to computing
+/// [`TraceDataset::summary`] over the full record set.
+#[derive(Clone, Debug, Default)]
+pub struct StreamingSummary {
+    downloads: u64,
+    logins: u64,
+    transfers: u64,
+    completed: u64,
+    bytes_infra: u64,
+    bytes_peers: u64,
+    guids: FxHashSet<u128>,
+    urls: FxHashSet<u64>,
+    ips: FxHashSet<u32>,
+    locations: FxHashSet<(u64, u64)>,
+    ases: FxHashSet<u32>,
+    countries: FxHashSet<u16>,
+}
+
+impl StreamingSummary {
+    /// Fresh, empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold another shard's summary into this one. Counters add; distinct
+    /// sets union — exactly what "distinct across the whole trace" means.
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        self.downloads += other.downloads;
+        self.logins += other.logins;
+        self.transfers += other.transfers;
+        self.completed += other.completed;
+        self.bytes_infra += other.bytes_infra;
+        self.bytes_peers += other.bytes_peers;
+        self.guids.extend(other.guids.iter().copied());
+        self.urls.extend(other.urls.iter().copied());
+        self.ips.extend(other.ips.iter().copied());
+        self.locations.extend(other.locations.iter().copied());
+        self.ases.extend(other.ases.iter().copied());
+        self.countries.extend(other.countries.iter().copied());
+    }
+
+    /// Completed downloads seen so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total bytes served from the edge so far.
+    pub fn bytes_infra(&self) -> u64 {
+        self.bytes_infra
+    }
+
+    /// Total bytes served by peers so far.
+    pub fn bytes_peers(&self) -> u64 {
+        self.bytes_peers
+    }
+
+    /// Logins seen so far.
+    pub fn logins(&self) -> u64 {
+        self.logins
+    }
+
+    /// Fraction of bytes that came from peers (the paper's global peer
+    /// efficiency, §5.1).
+    pub fn peer_efficiency(&self) -> f64 {
+        let total = self.bytes_infra + self.bytes_peers;
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes_peers as f64 / total as f64
+        }
+    }
+
+    /// The Table-1 summary. Geo distinctions (`ips`, `locations`, `ases`,
+    /// `countries`) are derived from login records, which carry the same
+    /// EdgeScape fields the geo DB stores — equal to the DB-side counts
+    /// whenever the DB was populated from those logins (which is how the
+    /// simulation builds it).
+    pub fn summary(&self) -> DatasetSummary {
+        DatasetSummary {
+            log_entries: self.downloads + self.logins + self.transfers,
+            guids: self.guids.len() as u64,
+            urls: self.urls.len() as u64,
+            ips: self.ips.len() as u64,
+            downloads: self.downloads,
+            locations: self.locations.len() as u64,
+            ases: self.ases.len() as u64,
+            countries: self.countries.len() as u64,
+        }
+    }
+}
+
+impl RecordSink for StreamingSummary {
+    fn on_download(&mut self, r: &DownloadRecord) {
+        self.downloads += 1;
+        if r.outcome == DownloadOutcome::Completed {
+            self.completed += 1;
+        }
+        self.bytes_infra += r.bytes_infra.bytes();
+        self.bytes_peers += r.bytes_peers.bytes();
+        self.guids.insert(r.guid.0);
+        self.urls.insert(r.object.0);
+    }
+
+    fn on_login(&mut self, r: &LoginRecord) {
+        self.logins += 1;
+        self.guids.insert(r.guid.0);
+        self.ips.insert(r.ip);
+        self.locations.insert((r.lat.to_bits(), r.lon.to_bits()));
+        self.ases.insert(r.asn.0);
+        self.countries.insert(r.country);
+    }
+
+    fn on_transfer(&mut self, _r: &TransferRecord) {
+        self.transfers += 1;
+    }
+}
+
+/// Canonical byte encoding of a download record (fixed-width little-endian
+/// fields, emission order). Two runs produce the same digest iff they
+/// emitted bit-identical records in the same order — the byte-identity
+/// obligation the sharded runner is property-tested against.
+pub fn encode_download(r: &DownloadRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&r.guid.0.to_le_bytes());
+    out.extend_from_slice(&r.object.0.to_le_bytes());
+    out.extend_from_slice(&r.cp.0.to_le_bytes());
+    out.extend_from_slice(&r.size.bytes().to_le_bytes());
+    out.push(r.p2p_enabled as u8);
+    out.extend_from_slice(&r.started.as_micros().to_le_bytes());
+    out.extend_from_slice(&r.ended.as_micros().to_le_bytes());
+    out.extend_from_slice(&r.bytes_infra.bytes().to_le_bytes());
+    out.extend_from_slice(&r.bytes_peers.bytes().to_le_bytes());
+    out.push(match r.outcome {
+        DownloadOutcome::Completed => 0,
+        DownloadOutcome::Failed {
+            system_related: false,
+        } => 1,
+        DownloadOutcome::Failed {
+            system_related: true,
+        } => 2,
+        DownloadOutcome::Abandoned => 3,
+    });
+    out.extend_from_slice(&r.initial_peers.to_le_bytes());
+    out.extend_from_slice(&r.asn.0.to_le_bytes());
+    out.extend_from_slice(&r.country.to_le_bytes());
+    out.push(r.region);
+}
+
+/// Canonical byte encoding of a login record.
+pub fn encode_login(r: &LoginRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&r.at.as_micros().to_le_bytes());
+    out.extend_from_slice(&r.guid.0.to_le_bytes());
+    out.extend_from_slice(&r.ip.to_le_bytes());
+    out.extend_from_slice(&r.asn.0.to_le_bytes());
+    out.extend_from_slice(&r.country.to_le_bytes());
+    out.extend_from_slice(&r.lat.to_bits().to_le_bytes());
+    out.extend_from_slice(&r.lon.to_bits().to_le_bytes());
+    out.push(r.uploads_enabled as u8);
+    out.extend_from_slice(&r.software_version.to_le_bytes());
+    out.push(r.secondary_guids.len() as u8);
+    for sg in &r.secondary_guids {
+        for w in sg.0 {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+}
+
+/// Canonical byte encoding of a transfer record.
+pub fn encode_transfer(r: &TransferRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&r.from_guid.0.to_le_bytes());
+    out.extend_from_slice(&r.to_guid.0.to_le_bytes());
+    out.extend_from_slice(&r.from_as.0.to_le_bytes());
+    out.extend_from_slice(&r.to_as.0.to_le_bytes());
+    out.extend_from_slice(&r.from_country.to_le_bytes());
+    out.extend_from_slice(&r.to_country.to_le_bytes());
+    out.extend_from_slice(&r.bytes.bytes().to_le_bytes());
+    out.extend_from_slice(&r.object.0.to_le_bytes());
+}
+
+/// Running SHA-256 over each record stream — byte-identity of two runs
+/// without storing either. The sharded runner keeps one per shard and
+/// compares the merged digests against the sequential oracle's.
+#[derive(Clone, Default)]
+pub struct DigestSink {
+    downloads: Sha256,
+    logins: Sha256,
+    transfers: Sha256,
+    scratch: Vec<u8>,
+    n_downloads: u64,
+    n_logins: u64,
+    n_transfers: u64,
+}
+
+impl DigestSink {
+    /// Fresh sink with empty-stream digests.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish: `(download, login, transfer)` stream digests plus counts.
+    pub fn finalize(self) -> DigestTriple {
+        DigestTriple {
+            downloads: self.downloads.finalize(),
+            logins: self.logins.finalize(),
+            transfers: self.transfers.finalize(),
+            n_downloads: self.n_downloads,
+            n_logins: self.n_logins,
+            n_transfers: self.n_transfers,
+        }
+    }
+}
+
+impl RecordSink for DigestSink {
+    fn on_download(&mut self, r: &DownloadRecord) {
+        self.scratch.clear();
+        encode_download(r, &mut self.scratch);
+        self.downloads.update(&self.scratch);
+        self.n_downloads += 1;
+    }
+
+    fn on_login(&mut self, r: &LoginRecord) {
+        self.scratch.clear();
+        encode_login(r, &mut self.scratch);
+        self.logins.update(&self.scratch);
+        self.n_logins += 1;
+    }
+
+    fn on_transfer(&mut self, r: &TransferRecord) {
+        self.scratch.clear();
+        encode_transfer(r, &mut self.scratch);
+        self.transfers.update(&self.scratch);
+        self.n_transfers += 1;
+    }
+}
+
+/// Finalized per-stream digests and record counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DigestTriple {
+    /// Digest of the download-record stream.
+    pub downloads: Digest,
+    /// Digest of the login-record stream.
+    pub logins: Digest,
+    /// Digest of the transfer-record stream.
+    pub transfers: Digest,
+    /// Download records hashed.
+    pub n_downloads: u64,
+    /// Login records hashed.
+    pub n_logins: u64,
+    /// Transfer records hashed.
+    pub n_transfers: u64,
+}
+
+impl DigestTriple {
+    /// Compact fingerprint for log lines and byte-diff gates.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "dl={}x{} lg={}x{} tx={}x{}",
+            &self.downloads.to_hex()[..16],
+            self.n_downloads,
+            &self.logins.to_hex()[..16],
+            self.n_logins,
+            &self.transfers.to_hex()[..16],
+            self.n_transfers,
+        )
+    }
+}
+
+/// Feed every record to both sinks — e.g. a summary and a digest at once.
+pub struct Tee<'a, A: RecordSink, B: RecordSink>(pub &'a mut A, pub &'a mut B);
+
+impl<A: RecordSink, B: RecordSink> RecordSink for Tee<'_, A, B> {
+    fn on_download(&mut self, r: &DownloadRecord) {
+        self.0.on_download(r);
+        self.1.on_download(r);
+    }
+
+    fn on_login(&mut self, r: &LoginRecord) {
+        self.0.on_login(r);
+        self.1.on_login(r);
+    }
+
+    fn on_transfer(&mut self, r: &TransferRecord) {
+        self.0.on_transfer(r);
+        self.1.on_transfer(r);
+    }
+
+    fn on_registration(&mut self, version: VersionId, cumulative: u64) {
+        self.0.on_registration(version, cumulative);
+        self.1.on_registration(version, cumulative);
+    }
+}

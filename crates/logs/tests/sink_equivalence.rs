@@ -1,0 +1,208 @@
+//! The streaming sinks are an optimization, not an approximation: feeding a
+//! randomized record stream through [`StreamingSummary`] must yield exactly
+//! the [`DatasetSummary`] computed from the accumulated in-RAM
+//! [`TraceDataset`], and [`DigestSink`] must be order-sensitive and
+//! stream-separating.
+
+use netsession_core::id::{AsNumber, CpCode, Guid, ObjectId};
+use netsession_core::rng::DetRng;
+use netsession_core::time::SimTime;
+use netsession_core::units::ByteCount;
+use netsession_logs::geodb::GeoInfo;
+use netsession_logs::sink::Tee;
+use netsession_logs::{
+    DigestSink, DownloadOutcome, DownloadRecord, LoginRecord, RecordSink, StreamingSummary,
+    TraceDataset, TransferRecord,
+};
+
+fn random_download(rng: &mut DetRng) -> DownloadRecord {
+    let infra = rng.below(1 << 30);
+    let peers = rng.below(1 << 30);
+    DownloadRecord {
+        guid: Guid(rng.below(200) as u128),
+        object: ObjectId(rng.below(50)),
+        cp: CpCode(rng.below(8) as u32),
+        size: ByteCount(infra + peers),
+        p2p_enabled: rng.chance(0.8),
+        started: SimTime(rng.below(1 << 40)),
+        ended: SimTime(rng.below(1 << 40) + (1 << 40)),
+        bytes_infra: ByteCount(infra),
+        bytes_peers: ByteCount(peers),
+        outcome: match rng.index(4) {
+            0 | 1 => DownloadOutcome::Completed,
+            2 => DownloadOutcome::Failed {
+                system_related: rng.chance(0.5),
+            },
+            _ => DownloadOutcome::Abandoned,
+        },
+        initial_peers: rng.below(40) as u32,
+        asn: AsNumber(rng.below(30) as u32),
+        country: rng.below(20) as u16,
+        region: rng.below(9) as u8,
+    }
+}
+
+fn random_login(rng: &mut DetRng) -> LoginRecord {
+    // Geo facts are a function of the IP, as in EdgeScape: the same address
+    // always resolves to the same location/AS/country. (The geo DB is
+    // last-write-wins per IP, so an inconsistent generator would diverge
+    // from the streamed counts by construction, not by bug.)
+    let ip = rng.below(500) as u32;
+    LoginRecord {
+        at: SimTime(rng.below(1 << 40)),
+        guid: Guid(rng.below(200) as u128),
+        ip,
+        asn: AsNumber(ip % 30),
+        country: (ip % 20) as u16,
+        lat: ((ip % 180) as f64) - 90.0,
+        lon: ((ip / 7 % 360) as f64) - 180.0,
+        uploads_enabled: rng.chance(0.9),
+        software_version: rng.below(12) as u32,
+        secondary_guids: Vec::new(),
+    }
+}
+
+fn random_transfer(rng: &mut DetRng) -> TransferRecord {
+    TransferRecord {
+        from_guid: Guid(rng.below(200) as u128),
+        to_guid: Guid(rng.below(200) as u128),
+        from_as: AsNumber(rng.below(30) as u32),
+        to_as: AsNumber(rng.below(30) as u32),
+        from_country: rng.below(20) as u16,
+        to_country: rng.below(20) as u16,
+        bytes: ByteCount(rng.below(1 << 28)),
+        object: ObjectId(rng.below(50)),
+    }
+}
+
+/// Geo info derived from a login the same way the simulation populates the
+/// EdgeScape DB — one insert per login, keyed by IP.
+fn geo_of(l: &LoginRecord) -> GeoInfo {
+    GeoInfo {
+        country_code: format!("C{:02}", l.country),
+        city: format!("city-{}", l.ip % 37),
+        lat: l.lat,
+        lon: l.lon,
+        tz_offset: 0,
+        asn: l.asn,
+        country_idx: l.country,
+        region_idx: 0,
+    }
+}
+
+/// Streamed summary == after-the-fact `TraceDataset::summary()`, across 50
+/// seeded record streams, including shard-style split/merge of the
+/// streaming side.
+#[test]
+fn streaming_summary_matches_dataset_summary_across_50_seeds() {
+    for seed in 0..50u64 {
+        let mut rng = DetRng::seeded(0x51f7_0000 ^ seed);
+        let mut ds = TraceDataset::default();
+        let mut whole = StreamingSummary::new();
+        // Also split the same stream across 3 "shards" and merge, proving
+        // merge() is the right combiner for distinct counts.
+        let mut shards = [
+            StreamingSummary::new(),
+            StreamingSummary::new(),
+            StreamingSummary::new(),
+        ];
+        let n = 200 + rng.index(400);
+        for i in 0..n {
+            let shard = &mut shards[i % 3];
+            match rng.index(3) {
+                0 => {
+                    let r = random_download(&mut rng);
+                    ds.on_download(&r);
+                    whole.on_download(&r);
+                    shard.on_download(&r);
+                }
+                1 => {
+                    let r = random_login(&mut rng);
+                    // The simulation records geo data at every login; mirror
+                    // that so the DB-side distinct counts are comparable.
+                    ds.geodb.insert(r.ip, geo_of(&r));
+                    ds.on_login(&r);
+                    whole.on_login(&r);
+                    shard.on_login(&r);
+                }
+                _ => {
+                    let r = random_transfer(&mut rng);
+                    ds.on_transfer(&r);
+                    whole.on_transfer(&r);
+                    shard.on_transfer(&r);
+                }
+            }
+        }
+        let oracle = ds.summary();
+        assert_eq!(whole.summary(), oracle, "seed {seed}: streamed != in-RAM");
+        let mut merged = StreamingSummary::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.summary(), oracle, "seed {seed}: merged != in-RAM");
+    }
+}
+
+/// Same records, same order → same digests; any reorder, mutation, or
+/// cross-stream swap changes them.
+#[test]
+fn digest_sink_separates_streams_and_orders() {
+    let mut rng = DetRng::seeded(0x00d1_6e57);
+    let a = random_download(&mut rng);
+    let mut b = random_download(&mut rng);
+    b.bytes_peers = ByteCount(b.bytes_peers.bytes() + 1);
+    let l = random_login(&mut rng);
+
+    let run = |records: &[&DownloadRecord], logins: &[&LoginRecord]| {
+        let mut s = DigestSink::new();
+        for r in records {
+            s.on_download(r);
+        }
+        for r in logins {
+            s.on_login(r);
+        }
+        s.finalize()
+    };
+
+    let base = run(&[&a, &b], &[&l]);
+    assert_eq!(base, run(&[&a, &b], &[&l]), "replay must be identical");
+    assert_ne!(
+        base.downloads,
+        run(&[&b, &a], &[&l]).downloads,
+        "order must matter"
+    );
+    let mut b2 = b.clone();
+    b2.bytes_infra = ByteCount(b2.bytes_infra.bytes() ^ 1);
+    assert_ne!(
+        base.downloads,
+        run(&[&a, &b2], &[&l]).downloads,
+        "field mutation must show"
+    );
+    assert_ne!(
+        base.downloads, base.logins,
+        "streams must digest independently"
+    );
+    assert_eq!(base.n_downloads, 2);
+    assert_eq!(base.n_logins, 1);
+}
+
+/// `Tee` delivers every record to both sinks.
+#[test]
+fn tee_feeds_both_sinks() {
+    let mut rng = DetRng::seeded(0x7ee);
+    let mut sum = StreamingSummary::new();
+    let mut dig = DigestSink::new();
+    {
+        let mut tee = Tee(&mut sum, &mut dig);
+        for _ in 0..10 {
+            tee.on_download(&random_download(&mut rng));
+            tee.on_login(&random_login(&mut rng));
+            tee.on_transfer(&random_transfer(&mut rng));
+        }
+    }
+    let s = sum.summary();
+    assert_eq!(s.downloads, 10);
+    assert_eq!(s.log_entries, 30);
+    let t = dig.finalize();
+    assert_eq!((t.n_downloads, t.n_logins, t.n_transfers), (10, 10, 10));
+}

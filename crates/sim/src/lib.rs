@@ -25,8 +25,10 @@ pub mod engine;
 pub mod flownet;
 pub mod latency;
 pub mod queue;
+pub mod shard;
 
 pub use engine::{EventQueue, OracleEventQueue};
 pub use flownet::{FlowId, FlowNet, NodeId};
 pub use latency::LatencyModel;
 pub use queue::{BinaryHeapSched, EventSched, TimingWheel};
+pub use shard::{Outbox, ShardRunner, ShardStats, ShardWorker};

@@ -34,7 +34,7 @@
 
 use netsession_core::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Storage backend for the event kernel.
 ///
@@ -137,12 +137,20 @@ struct WheelEntry<E> {
 
 /// Hierarchical timing wheel: the default event-queue backend.
 pub struct TimingWheel<E> {
-    /// `LEVELS × SLOTS` buckets, row-major by level.
-    slots: Vec<Vec<WheelEntry<E>>>,
+    /// `LEVELS × SLOTS` buckets, row-major by level. Deques, not vecs:
+    /// level-0 slots drain FIFO from the front while same-instant bursts
+    /// keep appending at the back, and `Vec::remove(0)` there is O(n) per
+    /// pop — O(n²) across a dense tie burst (e.g. a churn-wave's login
+    /// herd all landing on one microsecond).
+    slots: Vec<VecDeque<WheelEntry<E>>>,
     /// Per-level bitmask of non-empty slots.
     occupied: [u64; LEVELS],
     /// Entries beyond the top-level horizon, in insertion order.
     overflow: Vec<WheelEntry<E>>,
+    /// Earliest timestamp in `overflow` (`u64::MAX` when empty), maintained
+    /// on push and promotion so `peek_time` and `promote_overflow` never
+    /// rescan the whole list.
+    overflow_min: u64,
     /// Wheel position: ≤ every pending timestamp, and within the same
     /// 2^48 µs window as every in-wheel entry.
     cursor: u64,
@@ -152,9 +160,10 @@ pub struct TimingWheel<E> {
 impl<E> Default for TimingWheel<E> {
     fn default() -> Self {
         TimingWheel {
-            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            slots: (0..LEVELS * SLOTS).map(|_| VecDeque::new()).collect(),
             occupied: [0; LEVELS],
             overflow: Vec::new(),
+            overflow_min: u64::MAX,
             cursor: 0,
             len: 0,
         }
@@ -179,11 +188,14 @@ impl<E> TimingWheel<E> {
     fn place(&mut self, e: WheelEntry<E>) {
         debug_assert!(e.at >= self.cursor);
         match self.level_of(e.at) {
-            None => self.overflow.push(e),
+            None => {
+                self.overflow_min = self.overflow_min.min(e.at);
+                self.overflow.push(e);
+            }
             Some(level) => {
                 let slot = ((e.at >> (BITS as usize * level)) & MASK) as usize;
                 self.occupied[level] |= 1 << slot;
-                self.slots[level * SLOTS + slot].push(e);
+                self.slots[level * SLOTS + slot].push_back(e);
             }
         }
     }
@@ -191,12 +203,20 @@ impl<E> TimingWheel<E> {
     /// Jump the cursor to the earliest overflow entry's window and re-place
     /// everything that now fits the wheel. Only called when the wheel is
     /// empty, and the cursor's window never passes an overflow window, so
-    /// this cannot step backwards over pending work.
+    /// this cannot step backwards over pending work. Uses the cached
+    /// minimum — the old full `min()` scan here, plus the one `peek_time`
+    /// did per call once the wheel drained, was O(overflow) each time.
     fn promote_overflow(&mut self) {
-        let min_at = self.overflow.iter().map(|e| e.at).min().unwrap();
+        let min_at = self.overflow_min;
+        debug_assert_eq!(
+            Some(min_at),
+            self.overflow.iter().map(|e| e.at).min(),
+            "cached overflow minimum out of sync"
+        );
         debug_assert!(min_at & !(HORIZON - 1) >= self.cursor & !(HORIZON - 1));
         self.cursor = min_at & !(HORIZON - 1);
         let pending = std::mem::take(&mut self.overflow);
+        self.overflow_min = u64::MAX;
         for e in pending {
             self.place(e);
         }
@@ -227,7 +247,9 @@ impl<E> EventSched<E> for TimingWheel<E> {
             let idx = level * SLOTS + slot;
             if level == 0 {
                 // A level-0 slot holds exactly one timestamp; drain FIFO.
-                let e = self.slots[idx].remove(0);
+                // `pop_front` is O(1) — the old `Vec::remove(0)` shifted the
+                // whole tail, making a dense same-instant burst quadratic.
+                let e = self.slots[idx].pop_front().expect("occupied bit set");
                 if self.slots[idx].is_empty() {
                     self.occupied[0] &= !(1u64 << slot);
                 }
@@ -268,7 +290,11 @@ impl<E> EventSched<E> for TimingWheel<E> {
                 .unwrap();
             return Some(SimTime(min));
         }
-        self.overflow.iter().map(|e| e.at).min().map(SimTime)
+        if self.overflow.is_empty() {
+            None
+        } else {
+            Some(SimTime(self.overflow_min))
+        }
     }
 
     fn len(&self) -> usize {

@@ -1,0 +1,484 @@
+//! Deterministic sharded event-loop runner.
+//!
+//! Conservative parallel discrete-event simulation in the classic
+//! Chandy–Misra style, specialized to the structure our workload actually
+//! has: state is partitioned into shards (FlowNet union-find components, or
+//! the Table-2 region key as the coarse fallback), each shard owns a private
+//! [`EventQueue`], and virtual time advances in fixed *windows* of length
+//! `W`. Within a window a shard processes only its own events; anything it
+//! wants another shard to see is a **cross-shard message** with delivery
+//! time at least one window away (lookahead ≥ `W`), exchanged at the
+//! window barrier. That lookahead is what makes the parallel execution
+//! conservative: when a shard processes window `[t, t+W)` it has already
+//! received every message that could possibly land there.
+//!
+//! ## Determinism proof obligations
+//!
+//! The runner guarantees the *parallel* execution is bit-identical to the
+//! *sequential oracle* (same program, shards stepped one at a time in index
+//! order) provided the program upholds:
+//!
+//! 1. **Isolation** — a shard touches only its own state while handling an
+//!    event. All sharing goes through [`Outbox::send`].
+//! 2. **Lookahead** — cross-shard deliveries happen at or after the end of
+//!    the window in which they were sent (enforced here by panic).
+//! 3. **Self-determinism** — handling an event depends only on shard state,
+//!    the event, and the virtual clock (no wall clock, no global RNG whose
+//!    draw order spans shards — content-keyed RNG is the pattern).
+//!
+//! Under those, each shard's event stream is a pure function of the initial
+//! state and its sorted inbox, and the barrier exchange sorts inboxes by
+//! `(deliver_at, source shard, source order)` — a total order independent
+//! of thread scheduling. The property tests in `tests/shard_determinism.rs`
+//! replay randomized programs both ways and assert equality; the hybrid
+//! crate's scaled runner layers record-stream digests on top.
+
+use crate::engine::EventQueue;
+use netsession_core::time::{SimDuration, SimTime};
+use netsession_obs::MetricsRegistry;
+use std::sync::mpsc;
+
+/// One shard's logic: a state machine fed timestamped events.
+///
+/// `Send` because in parallel mode each worker is moved to its own thread
+/// for the duration of the run.
+pub trait ShardWorker: Send {
+    /// The event type (local and cross-shard alike).
+    type Event: Send;
+
+    /// Handle one event. Schedule follow-ups (local or cross-shard) through
+    /// `out`.
+    fn handle(&mut self, at: SimTime, event: Self::Event, out: &mut Outbox<Self::Event>);
+}
+
+/// Where a handler's follow-up events go.
+///
+/// Local events land in the shard's own queue (any time ≥ `now`);
+/// cross-shard sends are buffered to the window barrier and must respect
+/// the lookahead contract.
+pub struct Outbox<E> {
+    shard: usize,
+    n_shards: usize,
+    now: SimTime,
+    window_end: SimTime,
+    local: Vec<(SimTime, E)>,
+    cross: Vec<(usize, SimTime, E)>,
+}
+
+impl<E> Outbox<E> {
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Total number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The current event's timestamp.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// End of the current window — the earliest admissible cross-shard
+    /// delivery time.
+    pub fn window_end(&self) -> SimTime {
+        self.window_end
+    }
+
+    /// Schedule a local follow-up on this shard.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "local event scheduled into the past");
+        self.local.push((at, event));
+    }
+
+    /// Send `event` to shard `dst`, delivered at `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the end of the current window: that would
+    /// break the conservative lookahead and, with it, determinism. Senders
+    /// should use `self.window_end().max(intended_time)` or model an
+    /// explicit ≥ W propagation delay.
+    pub fn send(&mut self, dst: usize, at: SimTime, event: E) {
+        assert!(dst < self.n_shards, "cross-shard send to unknown shard");
+        assert!(
+            at >= self.window_end,
+            "cross-shard send below lookahead: {at:?} < window end {:?}",
+            self.window_end
+        );
+        if dst == self.shard {
+            // A self-send still honours the barrier timing so shard count
+            // never changes semantics.
+            self.local.push((at, event));
+        } else {
+            self.cross.push((dst, at, event));
+        }
+    }
+}
+
+/// Per-shard progress counters, published under
+/// `shard.<k>.{events,windows,cross_sent,cross_recv}` when a registry is
+/// attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Events handled by this shard.
+    pub events: u64,
+    /// Windows in which this shard had work.
+    pub windows: u64,
+    /// Cross-shard messages sent.
+    pub cross_sent: u64,
+    /// Cross-shard messages received.
+    pub cross_recv: u64,
+}
+
+/// The sharded runner: owns the shards' queues and workers between windows
+/// and coordinates the barrier exchange.
+pub struct ShardRunner<W: ShardWorker> {
+    workers: Vec<W>,
+    queues: Vec<EventQueue<W::Event>>,
+    window: SimDuration,
+    stats: Vec<ShardStats>,
+    /// Mail routed but not yet delivered: per destination shard, sorted at
+    /// delivery by `(at, src, src_order)`.
+    mailboxes: Vec<Vec<Mail<W::Event>>>,
+    windows_run: u64,
+}
+
+struct Mail<E> {
+    at: SimTime,
+    src: usize,
+    /// Order within the sending shard's window — the tie-breaker that makes
+    /// same-instant cross deliveries deterministic.
+    src_order: u64,
+    event: E,
+}
+
+/// What one shard reports back at a window barrier.
+struct WindowResult<E> {
+    shard: usize,
+    cross: Vec<(usize, SimTime, E)>,
+    events: u64,
+    next: Option<SimTime>,
+}
+
+impl<W: ShardWorker> ShardRunner<W> {
+    /// Build a runner over `workers`, one shard each, with conservative
+    /// window length `window` (must be nonzero).
+    pub fn new(workers: Vec<W>, window: SimDuration) -> Self {
+        assert!(window.as_micros() > 0, "window must be positive");
+        let n = workers.len();
+        assert!(n > 0, "at least one shard");
+        ShardRunner {
+            workers,
+            queues: (0..n).map(|_| EventQueue::new()).collect(),
+            window,
+            stats: vec![ShardStats::default(); n],
+            mailboxes: (0..n).map(|_| Vec::new()).collect(),
+            windows_run: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Seed shard `k` with an initial event.
+    pub fn seed(&mut self, shard: usize, at: SimTime, event: W::Event) {
+        self.queues[shard].schedule(at, event);
+    }
+
+    /// Borrow a worker (e.g. to extract results after the run).
+    pub fn worker(&self, shard: usize) -> &W {
+        &self.workers[shard]
+    }
+
+    /// Consume the runner, returning the workers for result extraction.
+    pub fn into_workers(self) -> Vec<W> {
+        self.workers
+    }
+
+    /// Per-shard stats so far.
+    pub fn stats(&self) -> &[ShardStats] {
+        &self.stats
+    }
+
+    /// Barrier count so far.
+    pub fn windows_run(&self) -> u64 {
+        self.windows_run
+    }
+
+    /// Publish the per-shard counters into `registry`.
+    pub fn publish_stats(&self, registry: &MetricsRegistry) {
+        for (k, s) in self.stats.iter().enumerate() {
+            registry.counter(&format!("shard.{k}.events")).add(s.events);
+            registry
+                .counter(&format!("shard.{k}.windows"))
+                .add(s.windows);
+            registry
+                .counter(&format!("shard.{k}.cross_sent"))
+                .add(s.cross_sent);
+            registry
+                .counter(&format!("shard.{k}.cross_recv"))
+                .add(s.cross_recv);
+        }
+        registry
+            .counter("shard.windows_total")
+            .add(self.windows_run);
+    }
+
+    /// Earliest pending timestamp across queues and undelivered mail.
+    fn next_time(&self) -> Option<SimTime> {
+        let q = self.queues.iter().filter_map(|q| q.peek_time()).min();
+        let m = self
+            .mailboxes
+            .iter()
+            .flat_map(|mb| mb.iter().map(|m| m.at))
+            .min();
+        match (q, m) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Deliver each shard's due mail into its queue, in the canonical
+    /// order. Mail beyond `window_end` stays buffered — delivering it now
+    /// would be wrong only in ordering against mail not yet routed, so the
+    /// conservative choice is to hold it.
+    fn deliver_mail(&mut self, window_end: SimTime) {
+        for (k, mb) in self.mailboxes.iter_mut().enumerate() {
+            if mb.is_empty() {
+                continue;
+            }
+            let mut due: Vec<Mail<W::Event>> = Vec::new();
+            let mut held: Vec<Mail<W::Event>> = Vec::new();
+            for m in mb.drain(..) {
+                if m.at < window_end {
+                    due.push(m);
+                } else {
+                    held.push(m);
+                }
+            }
+            *mb = held;
+            if due.is_empty() {
+                continue;
+            }
+            due.sort_by_key(|m| (m.at, m.src, m.src_order));
+            self.stats[k].cross_recv += due.len() as u64;
+            for m in due {
+                self.queues[k].schedule(m.at, m.event);
+            }
+        }
+    }
+
+    /// Route one shard's outgoing cross mail into the mailboxes.
+    fn route(&mut self, src: usize, cross: Vec<(usize, SimTime, W::Event)>) {
+        self.stats[src].cross_sent += cross.len() as u64;
+        for (order, (dst, at, event)) in cross.into_iter().enumerate() {
+            self.mailboxes[dst].push(Mail {
+                at,
+                src,
+                src_order: order as u64,
+                event,
+            });
+        }
+    }
+
+    /// Process one shard for the window ending at `window_end`.
+    /// Pure per-shard work — this is the part that parallelizes.
+    fn run_window_on(
+        worker: &mut W,
+        queue: &mut EventQueue<W::Event>,
+        shard: usize,
+        n_shards: usize,
+        window_end: SimTime,
+    ) -> WindowResult<W::Event> {
+        let mut out = Outbox {
+            shard,
+            n_shards,
+            now: SimTime::ZERO,
+            window_end,
+            local: Vec::new(),
+            cross: Vec::new(),
+        };
+        let mut events = 0u64;
+        while queue.peek_time().is_some_and(|t| t < window_end) {
+            let (at, ev) = queue.pop().expect("peeked");
+            out.now = at;
+            worker.handle(at, ev, &mut out);
+            for (t, e) in out.local.drain(..) {
+                queue.schedule(t, e);
+            }
+            events += 1;
+        }
+        WindowResult {
+            shard,
+            cross: std::mem::take(&mut out.cross),
+            events,
+            next: queue.peek_time(),
+        }
+    }
+
+    /// Run to quiescence, stepping shards **sequentially** in index order —
+    /// the oracle execution the parallel mode is property-tested against.
+    pub fn run_sequential(&mut self) {
+        self.run_inner(false)
+    }
+
+    /// Run to quiescence with one thread per shard inside each window.
+    /// Bit-identical to [`ShardRunner::run_sequential`] when the program
+    /// upholds the module-level obligations.
+    pub fn run_parallel(&mut self) {
+        self.run_inner(true)
+    }
+
+    fn run_inner(&mut self, parallel: bool) {
+        while let Some(next) = self.next_time() {
+            // Align windows to a fixed global grid so the barrier schedule —
+            // and with it every lookahead check — is independent of which
+            // shard happens to act first.
+            let w = self.window.as_micros();
+            let window_start = SimTime(next.as_micros() / w * w);
+            let window_end = window_start + self.window;
+            self.deliver_mail(window_end);
+            self.windows_run += 1;
+
+            let n = self.workers.len();
+            let results: Vec<WindowResult<W::Event>> = if parallel && n > 1 {
+                let (tx, rx) = mpsc::channel();
+                std::thread::scope(|s| {
+                    for (k, (worker, queue)) in self
+                        .workers
+                        .iter_mut()
+                        .zip(self.queues.iter_mut())
+                        .enumerate()
+                    {
+                        // Idle shards skip the spawn entirely.
+                        if queue.peek_time().is_none_or(|t| t >= window_end) {
+                            continue;
+                        }
+                        let tx = tx.clone();
+                        s.spawn(move || {
+                            let r = Self::run_window_on(worker, queue, k, n, window_end);
+                            tx.send(r).expect("barrier receiver alive");
+                        });
+                    }
+                    drop(tx);
+                    let mut rs: Vec<WindowResult<W::Event>> = rx.iter().collect();
+                    // Arrival order is scheduler-dependent; the canonical
+                    // order is by shard index.
+                    rs.sort_by_key(|r| r.shard);
+                    rs
+                })
+            } else {
+                let mut rs = Vec::new();
+                for k in 0..n {
+                    if self.queues[k].peek_time().is_none_or(|t| t >= window_end) {
+                        continue;
+                    }
+                    let r = Self::run_window_on(
+                        &mut self.workers[k],
+                        &mut self.queues[k],
+                        k,
+                        n,
+                        window_end,
+                    );
+                    rs.push(r);
+                }
+                rs
+            };
+
+            for r in results {
+                self.stats[r.shard].events += r.events;
+                self.stats[r.shard].windows += 1;
+                let _ = r.next;
+                self.route(r.shard, r.cross);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A worker that counts token hops and forwards tokens round-robin.
+    struct TokenWorker {
+        hops: u64,
+        log: Vec<(u64, u32)>,
+    }
+
+    impl ShardWorker for TokenWorker {
+        type Event = u32;
+
+        fn handle(&mut self, at: SimTime, token: u32, out: &mut Outbox<u32>) {
+            self.hops += 1;
+            self.log.push((at.as_micros(), token));
+            if token > 0 {
+                let dst = (out.shard() + 1) % out.n_shards();
+                let deliver = out.window_end().max(at + SimDuration::from_secs(1));
+                out.send(dst, deliver, token - 1);
+            }
+        }
+    }
+
+    fn token_run(parallel: bool) -> Vec<Vec<(u64, u32)>> {
+        let workers = (0..4)
+            .map(|_| TokenWorker {
+                hops: 0,
+                log: Vec::new(),
+            })
+            .collect();
+        let mut r = ShardRunner::new(workers, SimDuration::from_secs(10));
+        r.seed(0, SimTime(0), 12);
+        r.seed(2, SimTime(5_000_000), 7);
+        if parallel {
+            r.run_parallel();
+        } else {
+            r.run_sequential();
+        }
+        r.into_workers().into_iter().map(|w| w.log).collect()
+    }
+
+    #[test]
+    fn token_ring_parallel_matches_sequential() {
+        assert_eq!(token_run(false), token_run(true));
+    }
+
+    #[test]
+    fn lookahead_violation_panics() {
+        let r = std::panic::catch_unwind(|| {
+            struct Bad;
+            impl ShardWorker for Bad {
+                type Event = ();
+                fn handle(&mut self, at: SimTime, _e: (), out: &mut Outbox<()>) {
+                    out.send(1, at, ()); // below window end
+                }
+            }
+            let mut r = ShardRunner::new(vec![Bad, Bad], SimDuration::from_secs(10));
+            r.seed(0, SimTime(0), ());
+            r.run_sequential();
+        });
+        assert!(r.is_err(), "sub-lookahead send must panic");
+    }
+
+    #[test]
+    fn stats_track_events_and_mail() {
+        let workers = (0..2)
+            .map(|_| TokenWorker {
+                hops: 0,
+                log: Vec::new(),
+            })
+            .collect();
+        let mut r = ShardRunner::new(workers, SimDuration::from_secs(10));
+        r.seed(0, SimTime(0), 3);
+        r.run_sequential();
+        let total_events: u64 = r.stats().iter().map(|s| s.events).sum();
+        assert_eq!(total_events, 4, "3 hops + final zero token");
+        let sent: u64 = r.stats().iter().map(|s| s.cross_sent).sum();
+        let recv: u64 = r.stats().iter().map(|s| s.cross_recv).sum();
+        assert_eq!(sent, 3);
+        assert_eq!(sent, recv);
+    }
+}

@@ -171,6 +171,61 @@ fn timing_wheel_matches_heap_oracle_across_200_seeds() {
     }
 }
 
+/// Dense same-instant bursts — the schedule shape the churn-burst login
+/// waves produce — must drain FIFO and bit-identical to the heap oracle.
+/// This is the regression test for the old `Vec::remove(0)` level-0 drain
+/// (O(n²) across a tie burst) and the cached overflow minimum: pushes while
+/// half-drained, overflow ties past the 2^48 µs horizon, and repeated
+/// peeks against a drained wheel all hit the fixed paths.
+#[test]
+fn timing_wheel_dense_tie_bursts_match_heap_oracle() {
+    for seed in 0..50u64 {
+        let mut rng = DetRng::seeded(0xde25_e000 ^ seed);
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: OracleEventQueue<u64> = OracleEventQueue::new();
+        let mut next_event = 0u64;
+        for wave in 0..4u64 {
+            // One massive tie burst per wave, optionally past the horizon so
+            // the whole burst lands in (and promotes out of) overflow.
+            let base = wheel.now().as_micros();
+            let at = SimTime(match rng.index(3) {
+                0 => base + (1u64 << 49) + rng.below(4),
+                _ => base + rng.below(3),
+            });
+            let burst = 500 + rng.index(1500);
+            for _ in 0..burst {
+                wheel.schedule(at, next_event);
+                heap.schedule(at, next_event);
+                next_event += 1;
+            }
+            // Drain roughly half, interleaving same-instant re-schedules so
+            // the slot refills from the back while popping from the front.
+            for _ in 0..burst / 2 {
+                assert_eq!(wheel.peek_time(), heap.peek_time());
+                let w = wheel.pop();
+                let h = heap.pop();
+                assert_eq!(w, h, "seed {seed} wave {wave}: pop diverged");
+                if let Some((t, _)) = w {
+                    if rng.chance(0.2) {
+                        wheel.schedule(t, next_event);
+                        heap.schedule(t, next_event);
+                        next_event += 1;
+                    }
+                }
+            }
+        }
+        loop {
+            let w = wheel.pop();
+            let h = heap.pop();
+            assert_eq!(w, h, "seed {seed}: drain diverged");
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+}
+
 /// `recompute_dirty()` is an optimization, not an approximation: across
 /// 200 seeded mutation sequences (flow add/remove, ceiling changes, node
 /// capacity changes) the incremental path must produce *bit-identical*

@@ -48,6 +48,19 @@ if [ -n "$missing" ]; then
     exit 1
 fi
 
+echo "== shard determinism (2-shard parallel == sequential oracle, smoke scale)"
+# The sharded million-peer runner must be an optimization, not an
+# approximation: stdout (merged report, per-region SHA-256 stream digests,
+# alerts, tallies) is compared byte-for-byte between the threaded run and
+# the one-thread oracle, and across repeat runs.
+cargo build -q --release -p netsession-bench --bin scale
+scale_bin="$PWD/target/release/scale"
+"$scale_bin" --smoke --sequential >"$tmp/scale_seq.txt" 2>/dev/null
+"$scale_bin" --smoke --parallel >"$tmp/scale_par1.txt" 2>/dev/null
+"$scale_bin" --smoke --parallel >"$tmp/scale_par2.txt" 2>/dev/null
+cmp "$tmp/scale_seq.txt" "$tmp/scale_par1.txt"
+cmp "$tmp/scale_par1.txt" "$tmp/scale_par2.txt"
+
 echo "== bench snapshot lint + smoke regression gate (perfbench --check)"
 # Parses results/bench/BENCH_*.json (schema + required fields), re-runs the
 # wheel-vs-heap smoke A/B asserting bit-identical outputs, and applies a
