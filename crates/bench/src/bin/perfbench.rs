@@ -1,7 +1,7 @@
 //! `perfbench` — the hot-path performance campaign harness behind
-//! `results/bench/BENCH_7.json` (see `docs/PERFORMANCE.md`).
+//! `results/bench/BENCH_8.json` (see `docs/PERFORMANCE.md`).
 //!
-//! Five micro/meso families plus a headline macro run:
+//! Six micro/meso families plus a headline macro run:
 //!
 //! * `event_queue` — timing wheel vs. the binary-heap oracle, both as a
 //!   micro drain and as a full same-config sim A/B whose outputs are
@@ -17,12 +17,19 @@
 //! * `scale` — the sharded million-peer runner (`run_scaled`): sequential
 //!   oracle vs. parallel at the same shard count, outputs asserted
 //!   identical before either timing is reported, plus peak RSS for the
-//!   fits-in-laptop-RAM claim. Full mode runs 1M peers × 31 days.
+//!   fits-in-laptop-RAM claim. Full mode runs 1M peers × 31 days. Records
+//!   the machine's core count and the shard→region assignment so the
+//!   speedup number carries its own context.
+//! * `shard_profile` — the shard profiler's deterministic load-imbalance
+//!   summary of the same scaled runs: per-window critical path in events,
+//!   the implied speedup ceiling, the predicted ceiling after splitting
+//!   the busiest shard, and max-over-mean skew. The sequential and
+//!   parallel profiles are asserted equal before being reported.
 //!
 //! Modes:
 //!
 //! ```text
-//! perfbench                          full campaign, writes results/bench/BENCH_7.json
+//! perfbench                          full campaign, writes results/bench/BENCH_8.json
 //! perfbench --smoke [--out PATH]     seconds-scale run (CI), writes PATH or stdout
 //! perfbench --check COMMITTED.json   smoke run + schema lint + coarse regression
 //!                                    gate against the committed snapshot
@@ -42,9 +49,12 @@ use netsession_core::hash::Sha256;
 use netsession_core::rng::DetRng;
 use netsession_core::time::SimTime;
 use netsession_core::units::Bandwidth;
-use netsession_hybrid::{run_scaled, HybridSim, ScaledConfig, Scenario, ScenarioConfig, SimOutput};
+use netsession_hybrid::{
+    run_scaled_profiled, HybridSim, ScaledConfig, Scenario, ScenarioConfig, SimOutput,
+};
 use netsession_logs::geodb::{EdgeScapeDb, GeoInfo, GeoInfoRef};
 use netsession_obs::json::{parse, push_str_literal, JsonValue};
+use netsession_obs::profile::ShardProfiler;
 use netsession_obs::MetricsRegistry;
 use netsession_sim::flownet::FlowNet;
 use netsession_sim::queue::{BinaryHeapSched, EventSched, TimingWheel};
@@ -570,15 +580,25 @@ fn run_campaign(c: &Campaign) -> String {
         }
     };
     let t = Instant::now();
-    let scaled_seq = run_scaled(&scale_cfg, false, None);
+    let (scaled_seq, prof_seq) =
+        run_scaled_profiled(&scale_cfg, false, None, Some(ShardProfiler::new()));
     let scale_seq_ms = t.elapsed().as_secs_f64() * 1e3;
     let t = Instant::now();
-    let scaled_par = run_scaled(&scale_cfg, true, None);
+    let (scaled_par, prof_par) =
+        run_scaled_profiled(&scale_cfg, true, None, Some(ShardProfiler::new()));
     let scale_par_ms = t.elapsed().as_secs_f64() * 1e3;
     assert_eq!(
         scaled_seq, scaled_par,
         "sharded parallel run diverged from the sequential oracle"
     );
+    let prof_seq = prof_seq.expect("profiler attached");
+    let prof_par = prof_par.expect("profiler attached");
+    assert_eq!(
+        prof_seq.exec(),
+        prof_par.exec(),
+        "deterministic profile channel diverged across execution modes"
+    );
+    let imb = prof_seq.exec().stats();
     // VmHWM is a process-wide high-water mark; earlier families are far
     // smaller than the scaled run, so this is effectively its footprint.
     let scale_rss_kb = peak_rss_kb().unwrap_or(0);
@@ -596,7 +616,7 @@ fn run_campaign(c: &Campaign) -> String {
 
     let mut j = Json::new();
     j.str(1, "schema", "netsession-perfbench/1");
-    j.num(1, "issue", 7.0);
+    j.num(1, "issue", 8.0);
     j.str(1, "mode", if c.smoke { "smoke" } else { "full" });
     j.open(1, "hardware");
     j.str(2, "os", std::env::consts::OS);
@@ -689,6 +709,35 @@ fn run_campaign(c: &Campaign) -> String {
     j.num(3, "peak_rss_kb", scale_rss_kb as f64);
     // 1.0 = the seq/par assert_eq above passed (it aborts otherwise).
     j.num(3, "outputs_identical", 1.0);
+    // Context for parallel_speedup: how many cores the measurement had,
+    // and which regions each shard owned. A speedup of 0.79 on 1 CPU and
+    // on 16 CPUs mean very different things.
+    j.num(
+        3,
+        "cpus",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0) as f64,
+    );
+    let shard_regions: Vec<String> = scaled_par
+        .shard_labels
+        .iter()
+        .enumerate()
+        .map(|(k, l)| format!("{k}={l}"))
+        .collect();
+    j.str(3, "shard_regions", &shard_regions.join(";"));
+    j.close(2);
+
+    j.open(2, "shard_profile");
+    j.num(3, "shards", imb.shards as f64);
+    j.num(3, "windows", imb.windows as f64);
+    j.num(3, "events", imb.events as f64);
+    j.num(3, "critical_path_events", imb.crit_events as f64);
+    j.num(3, "speedup_ceiling", imb.speedup_ceiling());
+    j.num(3, "split_busiest_ceiling", imb.split_busiest_ceiling());
+    j.num(3, "skew", imb.skew());
+    // 1.0 = the seq/par profile assert_eq above passed.
+    j.num(3, "det_stream_identical", 1.0);
     j.close(2);
 
     j.close(1); // families
@@ -782,6 +831,52 @@ fn check(committed_path: &str) -> Result<(), String> {
         }
         if get_num(&doc, &["families", "scale", "outputs_identical"]) != Some(1.0) {
             return Err("families.scale.outputs_identical must be 1".into());
+        }
+    }
+    // The `shard_profile` family and the scale-family context fields
+    // (`cpus`, `shard_regions`) joined in issue 8; older snapshots stay
+    // lintable without them.
+    let has_profile = doc
+        .get("families")
+        .and_then(|f| f.get("shard_profile"))
+        .is_some();
+    if issue >= 8.0 && !has_profile {
+        return Err("families.shard_profile missing (required from issue 8 on)".into());
+    }
+    if has_profile {
+        for path in [
+            &["families", "shard_profile", "shards"][..],
+            &["families", "shard_profile", "windows"],
+            &["families", "shard_profile", "events"],
+            &["families", "shard_profile", "critical_path_events"],
+            &["families", "shard_profile", "speedup_ceiling"],
+            &["families", "shard_profile", "split_busiest_ceiling"],
+            &["families", "shard_profile", "skew"],
+            &["families", "shard_profile", "det_stream_identical"],
+        ] {
+            if get_num(&doc, path).is_none() {
+                return Err(format!("required number {} missing", path.join(".")));
+            }
+        }
+        if get_num(&doc, &["families", "shard_profile", "det_stream_identical"]) != Some(1.0) {
+            return Err("families.shard_profile.det_stream_identical must be 1".into());
+        }
+    }
+    if issue >= 8.0 {
+        if get_num(&doc, &["families", "scale", "cpus"]).is_none() {
+            return Err("families.scale.cpus missing (required from issue 8 on)".into());
+        }
+        match doc
+            .get("families")
+            .and_then(|f| f.get("scale"))
+            .and_then(|s| s.get("shard_regions"))
+        {
+            Some(JsonValue::Str(_)) => {}
+            other => {
+                return Err(format!(
+                    "families.scale.shard_regions missing or not a string: {other:?}"
+                ))
+            }
         }
     }
     for path in [
@@ -912,8 +1007,8 @@ fn main() {
         None if smoke => print!("{json}"),
         None => {
             std::fs::create_dir_all("results/bench").expect("create results/bench");
-            std::fs::write("results/bench/BENCH_7.json", &json).expect("write bench json");
-            eprintln!("# wrote results/bench/BENCH_7.json");
+            std::fs::write("results/bench/BENCH_8.json", &json).expect("write bench json");
+            eprintln!("# wrote results/bench/BENCH_8.json");
         }
     }
 }

@@ -1,20 +1,35 @@
 //! `scale` — the million-peer sharded-runner bench and determinism gate.
 //!
 //! Runs [`netsession_hybrid::run_scaled`] at a configurable population and
-//! prints the deterministic merged report on **stdout** (byte-identical
+//! prints the deterministic merged report — now followed by the shard
+//! profiler's load-imbalance report — on **stdout** (byte-identical
 //! run-to-run and parallel-vs-sequential — `scripts/check.sh` diffs the
 //! two). Wall-clock and peak-RSS timings go to **stderr**, keeping stdout
-//! replayable.
+//! replayable, and three sidecars land in `results/`:
+//!
+//! - `scale.metrics.json` — registry snapshot (incl. the idempotent
+//!   `shard.*` counters), PR 1 convention;
+//! - `scale.profile.json` — `netsession-shard-profile/1`: the
+//!   deterministic imbalance profile plus a clearly separated volatile
+//!   timing section (busy / barrier-wait / merge wall time);
+//! - `scale.shardtrace.json` — Perfetto/Chrome timeline, one track per
+//!   shard, slices named busy/wait/merge.
 //!
 //! ```text
 //! scale                        1M peers, 31 days, 4 shards, parallel
 //! scale --smoke                20k peers, 7 days, 2 shards (CI gate scale)
 //! scale --sequential           run the sequential oracle instead
 //! scale --peers N --days N --objects N --shards K --window-secs S --seed S
+//! scale --profile-det-out F    also write ONLY the deterministic profile
+//!                              JSON to F (the check.sh byte-diff target)
+//! scale --lint-profile F       validate a scale.profile.json and exit
 //! ```
 
 use netsession_core::time::SimDuration;
-use netsession_hybrid::{run_scaled, ScaledConfig};
+use netsession_hybrid::{run_scaled_profiled, ScaledConfig};
+use netsession_logs::ProfileDigest;
+use netsession_obs::json;
+use netsession_obs::profile::{ImbalanceStats, ShardProfiler};
 use netsession_obs::MetricsRegistry;
 use std::time::Instant;
 
@@ -27,6 +42,78 @@ fn peak_rss_kb() -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Validate a `scale.profile.json` sidecar: schema tag, a complete
+/// deterministic section, and a volatile section that stays in its lane.
+fn lint_profile(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match v.get("schema").and_then(|s| s.as_str()) {
+        Some("netsession-shard-profile/1") => {}
+        other => return Err(format!("{path}: bad schema tag {other:?}")),
+    }
+    let det = v
+        .get("deterministic")
+        .ok_or_else(|| format!("{path}: missing deterministic section"))?;
+    // Structural checks on the deterministic section, mirroring
+    // `ImbalanceStats::parse_json`.
+    for key in [
+        "shards",
+        "windows",
+        "events",
+        "critical_path_events",
+        "speedup_ceiling",
+        "split_busiest_ceiling",
+        "skew",
+    ] {
+        if det.get(key).and_then(|x| x.as_f64()).is_none() {
+            return Err(format!("{path}: deterministic.{key} missing"));
+        }
+    }
+    let shards = det.get("shards").and_then(|x| x.as_u64()).unwrap_or(0) as usize;
+    match det.get("per_shard").and_then(|x| x.as_arr()) {
+        Some(arr) if arr.len() == shards => {
+            for (k, sh) in arr.iter().enumerate() {
+                for key in ["shard", "regions", "peers", "events", "share_pct"] {
+                    if sh.get(key).is_none() {
+                        return Err(format!("{path}: per_shard[{k}].{key} missing"));
+                    }
+                }
+            }
+        }
+        _ => return Err(format!("{path}: per_shard missing or wrong length")),
+    }
+    let vol = v
+        .get("volatile")
+        .ok_or_else(|| format!("{path}: missing volatile section"))?;
+    for key in [
+        "mode",
+        "cpus",
+        "wall_critical_path_ms",
+        "wall_speedup_ceiling",
+    ] {
+        if vol.get(key).is_none() {
+            return Err(format!("{path}: volatile.{key} missing"));
+        }
+    }
+    // The separation rule, checked from the artifact side: nothing
+    // wall-clock may appear inside the deterministic object.
+    for leaked in [
+        "busy_ms",
+        "wait_ms",
+        "merge_ms",
+        "wall_s",
+        "wall_critical_path_ms",
+        "wall_speedup_ceiling",
+    ] {
+        if det.get(leaked).is_some() {
+            return Err(format!(
+                "{path}: volatile field {leaked} leaked into deterministic section"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let mut cfg = ScaledConfig {
@@ -37,6 +124,7 @@ fn main() {
         ..ScaledConfig::default()
     };
     let mut parallel = true;
+    let mut det_out: Option<String> = None;
     let mut i = 1;
     let next = |argv: &[String], i: &mut usize, flag: &str| -> u64 {
         let v = argv
@@ -44,6 +132,14 @@ fn main() {
             .unwrap_or_else(|| panic!("{flag} <n>"))
             .parse()
             .unwrap_or_else(|_| panic!("{flag} <n>"));
+        *i += 2;
+        v
+    };
+    let next_str = |argv: &[String], i: &mut usize, flag: &str| -> String {
+        let v = argv
+            .get(*i + 1)
+            .unwrap_or_else(|| panic!("{flag} <path>"))
+            .clone();
         *i += 2;
         v
     };
@@ -72,6 +168,20 @@ fn main() {
                 cfg.window = SimDuration::from_secs(next(&argv, &mut i, "--window-secs"))
             }
             "--seed" => cfg.seed = next(&argv, &mut i, "--seed"),
+            "--profile-det-out" => det_out = Some(next_str(&argv, &mut i, "--profile-det-out")),
+            "--lint-profile" => {
+                let path = next_str(&argv, &mut i, "--lint-profile");
+                match lint_profile(&path) {
+                    Ok(()) => {
+                        println!("profile lint OK: {path}");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("profile lint FAILED: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -84,10 +194,95 @@ fn main() {
         if parallel { "parallel" } else { "sequential" }
     );
     let registry = MetricsRegistry::new();
+    let profiler = ShardProfiler::new().with_sink(Box::new(ProfileDigest::new()));
     let t = Instant::now();
-    let out = run_scaled(&cfg, parallel, Some(&registry));
+    let (out, profiler) = run_scaled_profiled(&cfg, parallel, Some(&registry), Some(profiler));
     let wall = t.elapsed().as_secs_f64();
+    let profiler = profiler.expect("profiler rides the whole run");
+    let stats = profiler.exec().stats();
+    let stream = profiler.stream_fingerprint().expect("digest sink attached");
+
+    // Deterministic stdout: merged report, then the shard profile. Both
+    // halves are byte-identical sequential-vs-parallel and run-to-run.
     print!("{}", out.report());
+    print!(
+        "{}",
+        stats.render_report(&out.shard_labels, &out.shard_peers)
+    );
+    println!("  stream {stream}");
+
+    let det_json = stats.to_json(&out.shard_labels, &out.shard_peers, Some(&stream));
+    if let Some(path) = det_out {
+        if let Err(e) = std::fs::write(&path, format!("{{\n  \"deterministic\": {det_json}\n}}\n"))
+        {
+            eprintln!("# profile det-out skipped: {e}");
+        }
+    }
+
+    // Sidecars (stderr-announced, stdout untouched).
+    netsession_bench::runner::write_metrics_sidecar("scale", &registry);
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let timings = profiler.timings();
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut vol = String::new();
+        {
+            use std::fmt::Write;
+            let _ = writeln!(vol, "{{");
+            let _ = writeln!(
+                vol,
+                "    \"mode\": \"{}\",",
+                if parallel { "parallel" } else { "sequential" }
+            );
+            let _ = writeln!(
+                vol,
+                "    \"cpus\": {},",
+                std::thread::available_parallelism().map_or(0, |n| n.get())
+            );
+            let _ = writeln!(vol, "    \"wall_s\": {wall:.3},");
+            let busy: Vec<String> = (0..timings.n_shards())
+                .map(|k| format!("{:.1}", ms(timings.busy_total_ns(k))))
+                .collect();
+            let waitv: Vec<String> = (0..timings.n_shards())
+                .map(|k| format!("{:.1}", ms(timings.wait_total_ns(k))))
+                .collect();
+            let _ = writeln!(vol, "    \"busy_ms\": [{}],", busy.join(", "));
+            let _ = writeln!(vol, "    \"wait_ms\": [{}],", waitv.join(", "));
+            let _ = writeln!(
+                vol,
+                "    \"merge_ms\": {:.1},",
+                ms(timings.merge_total_ns())
+            );
+            let _ = writeln!(
+                vol,
+                "    \"wall_critical_path_ms\": {:.1},",
+                ms(timings.wall_critical_path_ns())
+            );
+            let _ = writeln!(
+                vol,
+                "    \"wall_speedup_ceiling\": {:.3}",
+                timings.wall_speedup_ceiling()
+            );
+            let _ = write!(vol, "  }}");
+        }
+        let profile = format!(
+            "{{\n  \"schema\": \"netsession-shard-profile/1\",\n  \"deterministic\": {det_json},\n  \"volatile\": {vol}\n}}\n"
+        );
+        match std::fs::write(dir.join("scale.profile.json"), profile) {
+            Ok(()) => eprintln!("# profile sidecar: results/scale.profile.json"),
+            Err(e) => eprintln!("# profile sidecar skipped: {e}"),
+        }
+        match std::fs::write(
+            dir.join("scale.shardtrace.json"),
+            profiler.timings().export_chrome_json(512),
+        ) {
+            Ok(()) => eprintln!("# shardtrace sidecar: results/scale.shardtrace.json"),
+            Err(e) => eprintln!("# shardtrace sidecar skipped: {e}"),
+        }
+    }
+    // Self-check the artifact we just wrote (cheap, catches drift early).
+    let _ = ImbalanceStats::parse_json(&det_json).expect("deterministic profile round-trips");
+
     eprintln!(
         "# wall {:.1} s, {:.0} events/s, peak RSS {} KiB",
         wall,

@@ -32,6 +32,6 @@ pub mod setup;
 pub mod sim;
 
 pub use config::{FaultEvent, FaultKind, FaultSchedule, ScenarioConfig};
-pub use scaled::{run_scaled, RegionReport, ScaledConfig, ScaledOutput};
+pub use scaled::{run_scaled, run_scaled_profiled, RegionReport, ScaledConfig, ScaledOutput};
 pub use setup::Scenario;
 pub use sim::{HybridSim, RunStats, SimOutput};

@@ -36,6 +36,7 @@ use netsession_core::units::ByteCount;
 use netsession_logs::dataset::DatasetSummary;
 use netsession_logs::sink::{DigestSink, DigestTriple, RecordSink, StreamingSummary};
 use netsession_logs::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
+use netsession_obs::profile::ShardProfiler;
 use netsession_obs::MetricsRegistry;
 use netsession_sim::shard::{Outbox, ShardRunner, ShardWorker};
 use netsession_world::geo::Region;
@@ -833,6 +834,11 @@ pub struct ScaledOutput {
     pub regions: Vec<RegionReport>,
     /// Shards used.
     pub shards: usize,
+    /// Region block each shard owns, as a "+"-joined label per shard
+    /// (e.g. `"Europe"`, `"US East+US West"`). Deterministic geometry.
+    pub shard_labels: Vec<String>,
+    /// Resident peer population per shard (same geometry).
+    pub shard_peers: Vec<u64>,
     /// Total events processed.
     pub events: u64,
     /// Window barriers crossed.
@@ -912,6 +918,21 @@ pub fn run_scaled(
     parallel: bool,
     registry: Option<&MetricsRegistry>,
 ) -> ScaledOutput {
+    run_scaled_profiled(cfg, parallel, registry, None).0
+}
+
+/// [`run_scaled`] with an optional shard profiler riding along: the
+/// profiler's deterministic channel sees every window barrier (and is
+/// itself byte-identical between the sequential oracle and the threaded
+/// run — property-tested in `tests/scaled_determinism.rs`), its volatile
+/// channel collects the wall-clock timeline. Returned alongside the
+/// output for the caller to render.
+pub fn run_scaled_profiled(
+    cfg: &ScaledConfig,
+    parallel: bool,
+    registry: Option<&MetricsRegistry>,
+    profiler: Option<ShardProfiler>,
+) -> (ScaledOutput, Option<ShardProfiler>) {
     let world = Arc::new(ScaledWorld::new(cfg.clone()));
     let shards: Vec<ScaledShard> = (0..cfg.shards)
         .map(|k| ScaledShard::new(Arc::clone(&world), k))
@@ -938,12 +959,17 @@ pub fn run_scaled(
         }
     }
 
+    if let Some(p) = profiler {
+        runner.attach_profiler(p);
+    }
+
     if parallel {
         runner.run_parallel();
     } else {
         runner.run_sequential();
     }
 
+    let profiler = runner.take_profiler();
     if let Some(reg) = registry {
         runner.publish_stats(reg);
     }
@@ -975,15 +1001,33 @@ pub fn run_scaled(
         }
     }
     regions.sort_by_key(|r| Region::ALL.iter().position(|x| x.label() == r.region));
-    ScaledOutput {
+    let shard_labels = (0..cfg.shards)
+        .map(|k| {
+            world
+                .regions_of_shard(k)
+                .map(|r| Region::ALL[r].label())
+                .collect::<Vec<_>>()
+                .join("+")
+        })
+        .collect();
+    let shard_peers = (0..cfg.shards)
+        .map(|k| {
+            let r = world.regions_of_shard(k);
+            (world.region_starts[r.end] - world.region_starts[r.start]) as u64
+        })
+        .collect();
+    let out = ScaledOutput {
         peer_efficiency: summary.peer_efficiency(),
         summary: summary.summary(),
         regions,
         shards: cfg.shards,
+        shard_labels,
+        shard_peers,
         events,
         windows,
         cross_messages,
-    }
+    };
+    (out, profiler)
 }
 
 #[cfg(test)]

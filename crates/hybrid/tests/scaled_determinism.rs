@@ -8,7 +8,12 @@
 
 use netsession_core::rng::DetRng;
 use netsession_core::time::SimDuration;
-use netsession_hybrid::{run_scaled, FaultEvent, FaultKind, FaultSchedule, ScaledConfig};
+use netsession_hybrid::{
+    run_scaled, run_scaled_profiled, FaultEvent, FaultKind, FaultSchedule, ScaledConfig,
+};
+use netsession_logs::ProfileDigest;
+use netsession_obs::profile::ShardProfiler;
+use netsession_obs::MetricsRegistry;
 
 /// A randomized fault schedule touching every kind over the run's days.
 fn random_faults(rng: &mut DetRng, days: u64) -> FaultSchedule {
@@ -85,6 +90,83 @@ fn parallel_run_is_byte_identical_to_sequential_oracle_across_52_seeds() {
         assert!(oracle.summary.downloads > 0, "seed {seed}: degenerate run");
     }
     assert!(faulty >= 20, "fault coverage too thin: {faulty}/52");
+}
+
+/// The shard profiler's **deterministic** channel (per-window events,
+/// barrier queue depth, mail matrix) must be byte-identical between the
+/// sequential oracle and the threaded run — the SHA-256 stream
+/// fingerprint compares the exact canonical bytes, and `ExecProfile`
+/// equality compares the aggregates. Exercised at 2 and 4 shards under
+/// 10+ seeded fault scenarios (every even seed carries a random
+/// `FaultSchedule`; see [`scenario`]).
+#[test]
+fn profiler_deterministic_channel_is_byte_identical_across_modes() {
+    let mut faulty = 0;
+    for seed in (0..20u64).step_by(2) {
+        for shards in [2usize, 4] {
+            let mut cfg = scenario(seed);
+            cfg.shards = shards;
+            assert!(!cfg.faults.events.is_empty(), "even seeds carry faults");
+            faulty += 1;
+            let profiled = |parallel: bool| {
+                let p = ShardProfiler::new().with_sink(Box::new(ProfileDigest::new()));
+                let (out, p) = run_scaled_profiled(&cfg, parallel, None, Some(p));
+                let p = p.expect("profiler returned");
+                let fp = p.stream_fingerprint().expect("digest sink fingerprint");
+                (out, p.exec().clone(), fp)
+            };
+            let (out_seq, exec_seq, fp_seq) = profiled(false);
+            let (out_par, exec_par, fp_par) = profiled(true);
+            assert_eq!(out_seq, out_par, "seed {seed} x{shards}: output diverged");
+            assert_eq!(
+                exec_seq, exec_par,
+                "seed {seed} x{shards}: deterministic profile diverged"
+            );
+            assert_eq!(
+                fp_seq, fp_par,
+                "seed {seed} x{shards}: profile stream bytes diverged"
+            );
+            // The profile is consistent with the run it watched.
+            let stats = exec_seq.stats();
+            assert_eq!(stats.events, out_seq.events, "profiler event total");
+            assert_eq!(stats.windows, out_seq.windows, "profiler barrier count");
+            assert_eq!(stats.shards, shards);
+            assert!(stats.crit_events >= stats.events / shards as u64);
+            assert!(stats.crit_events <= stats.events);
+        }
+    }
+    assert!(faulty >= 10, "fault scenario coverage too thin: {faulty}");
+}
+
+/// `RegistrySnapshot::merge` over the shard-labeled runner counters:
+/// folding two runs' registries reads like one registry that saw both
+/// (counters add), which is how multi-run dashboards aggregate.
+#[test]
+fn registry_snapshot_merge_over_shard_labeled_metrics() {
+    let cfg = scenario(4);
+    let reg_a = MetricsRegistry::new();
+    let reg_b = MetricsRegistry::new();
+    let a = run_scaled(&cfg, false, Some(&reg_a));
+    let b = run_scaled(&cfg, true, Some(&reg_b));
+    assert_eq!(a, b);
+    let one = reg_a.scrape();
+    let mut merged = reg_a.scrape();
+    merged.merge(&reg_b.scrape());
+    for k in 0..cfg.shards {
+        for stat in ["events", "windows", "cross_sent", "cross_recv"] {
+            let name = format!("shard.{k}.{stat}");
+            assert_eq!(
+                merged.counter(&name),
+                2 * one.counter(&name),
+                "{name} must add under merge"
+            );
+        }
+    }
+    assert_eq!(
+        merged.counter("shard.windows_total"),
+        2 * one.counter("shard.windows_total")
+    );
+    assert_eq!(one.counter("shard.windows_total"), a.windows);
 }
 
 /// Faults must actually bite — otherwise the faulty half of the property

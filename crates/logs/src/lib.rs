@@ -20,4 +20,4 @@ pub mod sink;
 pub use dataset::TraceDataset;
 pub use geodb::{EdgeScapeDb, GeoInfo};
 pub use records::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
-pub use sink::{DigestSink, DigestTriple, RecordSink, StreamingSummary, Tee};
+pub use sink::{DigestSink, DigestTriple, ProfileDigest, RecordSink, StreamingSummary, Tee};

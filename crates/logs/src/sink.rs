@@ -15,6 +15,7 @@ use crate::records::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecor
 use netsession_core::fxhash::FxHashSet;
 use netsession_core::hash::{Digest, Sha256};
 use netsession_core::id::VersionId;
+use netsession_obs::profile::{encode_window, ProfileSink, WindowRecord};
 
 /// Receives log records as they are emitted, in emission order.
 ///
@@ -318,6 +319,52 @@ impl DigestTriple {
             &self.transfers.to_hex()[..16],
             self.n_transfers,
         )
+    }
+}
+
+/// Running SHA-256 over the shard profiler's deterministic telemetry
+/// stream (`netsession_obs::profile`), hashing each window record's
+/// canonical [`encode_window`] bytes — the profiler's sibling of
+/// [`DigestSink`]. Lives here rather than in `netsession-obs` because the
+/// obs crate is dependency-free and has no SHA-256.
+#[derive(Clone, Default)]
+pub struct ProfileDigest {
+    hash: Sha256,
+    scratch: Vec<u8>,
+    records: u64,
+}
+
+impl ProfileDigest {
+    /// Fresh sink with the empty-stream digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records hashed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Finish: digest of the whole deterministic stream.
+    pub fn finalize(self) -> Digest {
+        self.hash.finalize()
+    }
+}
+
+impl ProfileSink for ProfileDigest {
+    fn on_window(&mut self, r: &WindowRecord<'_>) {
+        self.scratch.clear();
+        encode_window(r, &mut self.scratch);
+        self.hash.update(&self.scratch);
+        self.records += 1;
+    }
+
+    /// `<hex16>x<records>` — same shape as [`DigestTriple::fingerprint`]'s
+    /// per-stream fields, usable on deterministic stdout and in byte-diff
+    /// gates.
+    fn fingerprint(&self) -> Option<String> {
+        let digest = self.hash.clone().finalize();
+        Some(format!("{}x{}", &digest.to_hex()[..16], self.records))
     }
 }
 

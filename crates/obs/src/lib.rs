@@ -90,6 +90,7 @@ mod events;
 pub mod expo;
 mod instruments;
 pub mod json;
+pub mod profile;
 mod registry;
 mod trace;
 
@@ -97,5 +98,9 @@ pub use alert::{AlertEngine, AlertEvent, AlertRule, RuleKind};
 pub use events::{Event, EventRing, DEFAULT_EVENT_CAPACITY};
 pub use expo::{parse_prometheus, render_prometheus};
 pub use instruments::{Counter, Gauge, Histogram};
+pub use profile::{
+    ExecProfile, ImbalanceStats, ProfileSink, ShardExec, ShardProfiler, ShardTimings, WindowRecord,
+    WindowTiming,
+};
 pub use registry::{HistogramSnapshot, MetricsRegistry, RegistrySnapshot, EVENTS_DROPPED_COUNTER};
 pub use trace::{AttrValue, Span, SpanId, TraceCtx, TraceId, TraceSink};

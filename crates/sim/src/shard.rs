@@ -35,8 +35,10 @@
 
 use crate::engine::EventQueue;
 use netsession_core::time::{SimDuration, SimTime};
+use netsession_obs::profile::{ShardProfiler, WindowTiming};
 use netsession_obs::MetricsRegistry;
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// One shard's logic: a state machine fed timestamped events.
 ///
@@ -143,6 +145,13 @@ pub struct ShardRunner<W: ShardWorker> {
     /// delivery by `(at, src, src_order)`.
     mailboxes: Vec<Vec<Mail<W::Event>>>,
     windows_run: u64,
+    /// Counters already pushed into a registry by `publish_stats`, so a
+    /// second publish adds only the delta (idempotent at quiescence).
+    published: Vec<ShardStats>,
+    published_windows: u64,
+    /// Optional per-window profiler (deterministic execution channel +
+    /// volatile wall-clock channel). `None` costs nothing on the hot path.
+    profiler: Option<ShardProfiler>,
 }
 
 struct Mail<E> {
@@ -160,6 +169,9 @@ struct WindowResult<E> {
     cross: Vec<(usize, SimTime, E)>,
     events: u64,
     next: Option<SimTime>,
+    /// Volatile: ns offsets from the run's start, 0 when not profiling.
+    busy_start_ns: u64,
+    busy_ns: u64,
 }
 
 impl<W: ShardWorker> ShardRunner<W> {
@@ -176,7 +188,23 @@ impl<W: ShardWorker> ShardRunner<W> {
             stats: vec![ShardStats::default(); n],
             mailboxes: (0..n).map(|_| Vec::new()).collect(),
             windows_run: 0,
+            published: vec![ShardStats::default(); n],
+            published_windows: 0,
+            profiler: None,
         }
+    }
+
+    /// Attach a per-window profiler. Both channels start recording at the
+    /// next window; attach before running for full coverage.
+    pub fn attach_profiler(&mut self, mut profiler: ShardProfiler) {
+        profiler.begin_run(self.workers.len());
+        self.profiler = Some(profiler);
+    }
+
+    /// Detach and return the profiler (to read its profile, fingerprint,
+    /// and timings after a run).
+    pub fn take_profiler(&mut self) -> Option<ShardProfiler> {
+        self.profiler.take()
     }
 
     /// Number of shards.
@@ -210,22 +238,32 @@ impl<W: ShardWorker> ShardRunner<W> {
     }
 
     /// Publish the per-shard counters into `registry`.
-    pub fn publish_stats(&self, registry: &MetricsRegistry) {
-        for (k, s) in self.stats.iter().enumerate() {
-            registry.counter(&format!("shard.{k}.events")).add(s.events);
+    ///
+    /// Idempotent via delta tracking: each call adds only what accrued
+    /// since the last publish into the same counters, so a mid-run
+    /// progress scrape followed by a final publish reads the same totals
+    /// as a single publish at the end (rather than double-counting every
+    /// `shard.*` metric).
+    pub fn publish_stats(&mut self, registry: &MetricsRegistry) {
+        for (k, (s, done)) in self.stats.iter().zip(self.published.iter_mut()).enumerate() {
+            registry
+                .counter(&format!("shard.{k}.events"))
+                .add(s.events - done.events);
             registry
                 .counter(&format!("shard.{k}.windows"))
-                .add(s.windows);
+                .add(s.windows - done.windows);
             registry
                 .counter(&format!("shard.{k}.cross_sent"))
-                .add(s.cross_sent);
+                .add(s.cross_sent - done.cross_sent);
             registry
                 .counter(&format!("shard.{k}.cross_recv"))
-                .add(s.cross_recv);
+                .add(s.cross_recv - done.cross_recv);
+            *done = *s;
         }
         registry
             .counter("shard.windows_total")
-            .add(self.windows_run);
+            .add(self.windows_run - self.published_windows);
+        self.published_windows = self.windows_run;
     }
 
     /// Earliest pending timestamp across queues and undelivered mail.
@@ -246,7 +284,9 @@ impl<W: ShardWorker> ShardRunner<W> {
     /// order. Mail beyond `window_end` stays buffered — delivering it now
     /// would be wrong only in ordering against mail not yet routed, so the
     /// conservative choice is to hold it.
-    fn deliver_mail(&mut self, window_end: SimTime) {
+    /// `recv`, when profiling, receives the per-shard count of messages
+    /// delivered at this barrier.
+    fn deliver_mail(&mut self, window_end: SimTime, mut recv: Option<&mut [u64]>) {
         for (k, mb) in self.mailboxes.iter_mut().enumerate() {
             if mb.is_empty() {
                 continue;
@@ -266,16 +306,29 @@ impl<W: ShardWorker> ShardRunner<W> {
             }
             due.sort_by_key(|m| (m.at, m.src, m.src_order));
             self.stats[k].cross_recv += due.len() as u64;
+            if let Some(recv) = recv.as_deref_mut() {
+                recv[k] += due.len() as u64;
+            }
             for m in due {
                 self.queues[k].schedule(m.at, m.event);
             }
         }
     }
 
-    /// Route one shard's outgoing cross mail into the mailboxes.
-    fn route(&mut self, src: usize, cross: Vec<(usize, SimTime, W::Event)>) {
+    /// Route one shard's outgoing cross mail into the mailboxes. `sent`,
+    /// when profiling, receives the source shard's per-destination counts
+    /// (a row of the window's mail matrix).
+    fn route(
+        &mut self,
+        src: usize,
+        cross: Vec<(usize, SimTime, W::Event)>,
+        mut sent: Option<&mut [u64]>,
+    ) {
         self.stats[src].cross_sent += cross.len() as u64;
         for (order, (dst, at, event)) in cross.into_iter().enumerate() {
+            if let Some(sent) = sent.as_deref_mut() {
+                sent[dst] += 1;
+            }
             self.mailboxes[dst].push(Mail {
                 at,
                 src,
@@ -293,7 +346,12 @@ impl<W: ShardWorker> ShardRunner<W> {
         shard: usize,
         n_shards: usize,
         window_end: SimTime,
+        clock: Option<Instant>,
     ) -> WindowResult<W::Event> {
+        // `clock` is the run-start instant, present only when a profiler
+        // is attached: the wall measurements feed the volatile channel and
+        // nothing else, so the unprofiled hot path pays no clock reads.
+        let busy_start_ns = clock.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
         let mut out = Outbox {
             shard,
             n_shards,
@@ -312,11 +370,16 @@ impl<W: ShardWorker> ShardRunner<W> {
             }
             events += 1;
         }
+        let busy_ns = clock.map_or(0, |t0| {
+            (t0.elapsed().as_nanos() as u64).saturating_sub(busy_start_ns)
+        });
         WindowResult {
             shard,
             cross: std::mem::take(&mut out.cross),
             events,
             next: queue.peek_time(),
+            busy_start_ns,
+            busy_ns,
         }
     }
 
@@ -334,6 +397,24 @@ impl<W: ShardWorker> ShardRunner<W> {
     }
 
     fn run_inner(&mut self, parallel: bool) {
+        let n = self.workers.len();
+        let profiling = self.profiler.is_some();
+        // Run-start reference for the volatile channel; absent when not
+        // profiling so the hot path reads no clocks.
+        let clock = profiling.then(Instant::now);
+        // Per-window profiling scratch, reused across windows. The
+        // deterministic vectors cover *every* shard each barrier (idle
+        // shards record zeros) so the record stream's shape is a pure
+        // function of the program, not of which shards happened to run.
+        let scratch = if profiling { n } else { 0 };
+        let mut events_w = vec![0u64; scratch];
+        let mut depth_w = vec![0u64; scratch];
+        let mut recv_w = vec![0u64; scratch];
+        let mut sent_w = vec![0u64; scratch * scratch];
+        let mut busy_start_w = vec![0u64; scratch];
+        let mut busy_w = vec![0u64; scratch];
+        let mut wait_w = vec![0u64; scratch];
+
         while let Some(next) = self.next_time() {
             // Align windows to a fixed global grid so the barrier schedule —
             // and with it every lookahead check — is independent of which
@@ -341,10 +422,20 @@ impl<W: ShardWorker> ShardRunner<W> {
             let w = self.window.as_micros();
             let window_start = SimTime(next.as_micros() / w * w);
             let window_end = window_start + self.window;
-            self.deliver_mail(window_end);
+            if profiling {
+                events_w.fill(0);
+                recv_w.fill(0);
+                sent_w.fill(0);
+                busy_start_w.fill(0);
+                busy_w.fill(0);
+                wait_w.fill(0);
+            }
+            let elapsed = |c: Option<Instant>| c.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+            let t_window = elapsed(clock);
+            self.deliver_mail(window_end, profiling.then_some(recv_w.as_mut_slice()));
+            let mut merge_ns = elapsed(clock).saturating_sub(t_window);
             self.windows_run += 1;
 
-            let n = self.workers.len();
             let results: Vec<WindowResult<W::Event>> = if parallel && n > 1 {
                 let (tx, rx) = mpsc::channel();
                 std::thread::scope(|s| {
@@ -360,7 +451,7 @@ impl<W: ShardWorker> ShardRunner<W> {
                         }
                         let tx = tx.clone();
                         s.spawn(move || {
-                            let r = Self::run_window_on(worker, queue, k, n, window_end);
+                            let r = Self::run_window_on(worker, queue, k, n, window_end, clock);
                             tx.send(r).expect("barrier receiver alive");
                         });
                     }
@@ -383,17 +474,58 @@ impl<W: ShardWorker> ShardRunner<W> {
                         k,
                         n,
                         window_end,
+                        clock,
                     );
                     rs.push(r);
                 }
                 rs
             };
 
+            // Barrier close: in parallel mode a shard's wait is the gap
+            // between its own finish and the last finisher (sequential
+            // shards never wait).
+            let barrier_ns = elapsed(clock);
+            let route0 = barrier_ns;
             for r in results {
-                self.stats[r.shard].events += r.events;
-                self.stats[r.shard].windows += 1;
+                let k = r.shard;
+                self.stats[k].events += r.events;
+                self.stats[k].windows += 1;
                 let _ = r.next;
-                self.route(r.shard, r.cross);
+                if profiling {
+                    events_w[k] = r.events;
+                    busy_start_w[k] = r.busy_start_ns;
+                    busy_w[k] = r.busy_ns;
+                    if parallel && n > 1 {
+                        wait_w[k] = barrier_ns.saturating_sub(r.busy_start_ns + r.busy_ns);
+                    }
+                }
+                self.route(
+                    k,
+                    r.cross,
+                    profiling.then(|| &mut sent_w[k * n..(k + 1) * n]),
+                );
+            }
+            merge_ns += elapsed(clock).saturating_sub(route0);
+
+            if profiling {
+                for (k, d) in depth_w.iter_mut().enumerate() {
+                    *d = self.queues[k].pending() as u64;
+                }
+                let p = self.profiler.as_mut().expect("profiling");
+                p.record_window(
+                    window_start.as_micros(),
+                    &events_w,
+                    &depth_w,
+                    &recv_w,
+                    &sent_w,
+                );
+                p.record_window_timing(WindowTiming {
+                    start_ns: t_window,
+                    busy_start_ns: busy_start_w.clone(),
+                    busy_ns: busy_w.clone(),
+                    wait_ns: wait_w.clone(),
+                    merge_ns,
+                });
             }
         }
     }
@@ -461,6 +593,85 @@ mod tests {
             r.run_sequential();
         });
         assert!(r.is_err(), "sub-lookahead send must panic");
+    }
+
+    #[test]
+    fn publish_stats_twice_does_not_double_count() {
+        let workers = (0..2)
+            .map(|_| TokenWorker {
+                hops: 0,
+                log: Vec::new(),
+            })
+            .collect();
+        let mut r = ShardRunner::new(workers, SimDuration::from_secs(10));
+        r.seed(0, SimTime(0), 5);
+        r.run_sequential();
+        let reg = MetricsRegistry::new();
+        // A progress scrape followed by a final publish must read the same
+        // totals as a single publish — the delta on the second call is 0.
+        r.publish_stats(&reg);
+        let once = reg.counter("shard.0.events").get();
+        r.publish_stats(&reg);
+        assert_eq!(reg.counter("shard.0.events").get(), once);
+        assert_eq!(once, r.stats()[0].events);
+        assert_eq!(reg.counter("shard.windows_total").get(), r.windows_run());
+        // New work after a publish shows up exactly once.
+        r.seed(0, SimTime(1_000_000_000), 3);
+        r.run_sequential();
+        r.publish_stats(&reg);
+        r.publish_stats(&reg);
+        assert_eq!(reg.counter("shard.0.events").get(), r.stats()[0].events);
+        assert_eq!(reg.counter("shard.windows_total").get(), r.windows_run());
+    }
+
+    /// The deterministic profiler channel is identical between the
+    /// sequential oracle and the threaded run, and agrees with the
+    /// runner's own lifetime stats; timings stay on the volatile side.
+    #[test]
+    fn profiler_execution_channel_matches_across_modes() {
+        let profiled = |parallel: bool| {
+            let workers = (0..4)
+                .map(|_| TokenWorker {
+                    hops: 0,
+                    log: Vec::new(),
+                })
+                .collect();
+            let mut r = ShardRunner::new(workers, SimDuration::from_secs(10));
+            r.seed(0, SimTime(0), 12);
+            r.seed(2, SimTime(5_000_000), 7);
+            r.attach_profiler(ShardProfiler::new());
+            if parallel {
+                r.run_parallel();
+            } else {
+                r.run_sequential();
+            }
+            let p = r.take_profiler().expect("attached");
+            let stats: Vec<_> = r.stats().to_vec();
+            (p, stats)
+        };
+        let (seq, seq_stats) = profiled(false);
+        let (par, _) = profiled(true);
+        assert_eq!(seq.exec(), par.exec(), "deterministic channel diverged");
+        let s = seq.exec().stats();
+        assert_eq!(s.shards, 4);
+        assert_eq!(
+            s.events,
+            seq_stats.iter().map(|st| st.events).sum::<u64>(),
+            "profiler events must equal runner stats"
+        );
+        assert_eq!(
+            s.per_shard.iter().map(|sh| sh.mail_sent).sum::<u64>(),
+            seq_stats.iter().map(|st| st.cross_sent).sum::<u64>()
+        );
+        assert_eq!(
+            s.per_shard.iter().map(|sh| sh.mail_recv).sum::<u64>(),
+            seq_stats.iter().map(|st| st.cross_recv).sum::<u64>()
+        );
+        assert!(s.crit_events >= s.events / 4 && s.crit_events <= s.events);
+        // Volatile channel: one timing per barrier, never part of the
+        // deterministic comparison above.
+        assert_eq!(seq.timings().windows().len(), s.windows as usize);
+        assert_eq!(par.timings().windows().len(), s.windows as usize);
     }
 
     #[test]

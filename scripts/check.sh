@@ -51,15 +51,30 @@ fi
 echo "== shard determinism (2-shard parallel == sequential oracle, smoke scale)"
 # The sharded million-peer runner must be an optimization, not an
 # approximation: stdout (merged report, per-region SHA-256 stream digests,
-# alerts, tallies) is compared byte-for-byte between the threaded run and
-# the one-thread oracle, and across repeat runs.
+# alerts, tallies, and the shard profiler's load-imbalance report) is
+# compared byte-for-byte between the threaded run and the one-thread
+# oracle, and across repeat runs. Runs in $tmp so the smoke-scale sidecars
+# never clobber the committed full-scale results/scale.* artifacts.
 cargo build -q --release -p netsession-bench --bin scale
 scale_bin="$PWD/target/release/scale"
-"$scale_bin" --smoke --sequential >"$tmp/scale_seq.txt" 2>/dev/null
-"$scale_bin" --smoke --parallel >"$tmp/scale_par1.txt" 2>/dev/null
-"$scale_bin" --smoke --parallel >"$tmp/scale_par2.txt" 2>/dev/null
+(cd "$tmp" && "$scale_bin" --smoke --sequential --profile-det-out det_seq.json >scale_seq.txt 2>/dev/null)
+(cd "$tmp" && "$scale_bin" --smoke --parallel --profile-det-out det_par1.json >scale_par1.txt 2>/dev/null)
+(cd "$tmp" && "$scale_bin" --smoke --parallel --profile-det-out det_par2.json >scale_par2.txt 2>/dev/null)
 cmp "$tmp/scale_seq.txt" "$tmp/scale_par1.txt"
 cmp "$tmp/scale_par1.txt" "$tmp/scale_par2.txt"
+
+echo "== shard-profile determinism (deterministic telemetry stream byte-diffed)"
+# The profiler's deterministic channel — per-window per-shard events,
+# barrier queue depth, mail matrix, and the SHA-256 stream fingerprint —
+# must be byte-identical across execution modes and repeat runs. Volatile
+# wall-clock timings are excluded by construction (they live only in the
+# sidecar's "volatile" section, which --profile-det-out omits).
+cmp "$tmp/det_seq.json" "$tmp/det_par1.json"
+cmp "$tmp/det_par1.json" "$tmp/det_par2.json"
+"$scale_bin" --lint-profile "$tmp/results/scale.profile.json"
+if [ -e results/scale.profile.json ]; then
+    "$scale_bin" --lint-profile results/scale.profile.json
+fi
 
 echo "== bench snapshot lint + smoke regression gate (perfbench --check)"
 # Parses results/bench/BENCH_*.json (schema + required fields), re-runs the
