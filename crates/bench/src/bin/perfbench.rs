@@ -1,5 +1,5 @@
 //! `perfbench` — the hot-path performance campaign harness behind
-//! `results/bench/BENCH_8.json` (see `docs/PERFORMANCE.md`).
+//! `results/bench/BENCH_9.json` (see `docs/PERFORMANCE.md`).
 //!
 //! Six micro/meso families plus a headline macro run:
 //!
@@ -29,7 +29,7 @@
 //! Modes:
 //!
 //! ```text
-//! perfbench                          full campaign, writes results/bench/BENCH_8.json
+//! perfbench                          full campaign, writes results/bench/BENCH_9.json
 //! perfbench --smoke [--out PATH]     seconds-scale run (CI), writes PATH or stdout
 //! perfbench --check COMMITTED.json   smoke run + schema lint + coarse regression
 //!                                    gate against the committed snapshot
@@ -575,7 +575,7 @@ fn run_campaign(c: &Campaign) -> String {
             peers: 1_000_000,
             objects: 20_000,
             days: 31,
-            shards: 4,
+            shards: 16,
             ..ScaledConfig::default()
         }
     };
@@ -616,7 +616,7 @@ fn run_campaign(c: &Campaign) -> String {
 
     let mut j = Json::new();
     j.str(1, "schema", "netsession-perfbench/1");
-    j.num(1, "issue", 8.0);
+    j.num(1, "issue", 9.0);
     j.str(1, "mode", if c.smoke { "smoke" } else { "full" });
     j.open(1, "hardware");
     j.str(2, "os", std::env::consts::OS);
@@ -1007,8 +1007,8 @@ fn main() {
         None if smoke => print!("{json}"),
         None => {
             std::fs::create_dir_all("results/bench").expect("create results/bench");
-            std::fs::write("results/bench/BENCH_8.json", &json).expect("write bench json");
-            eprintln!("# wrote results/bench/BENCH_8.json");
+            std::fs::write("results/bench/BENCH_9.json", &json).expect("write bench json");
+            eprintln!("# wrote results/bench/BENCH_9.json");
         }
     }
 }

@@ -16,7 +16,7 @@
 //!   shard, slices named busy/wait/merge.
 //!
 //! ```text
-//! scale                        1M peers, 31 days, 4 shards, parallel
+//! scale                        1M peers, 31 days, 16 sub-shards, parallel
 //! scale --smoke                20k peers, 7 days, 2 shards (CI gate scale)
 //! scale --sequential           run the sequential oracle instead
 //! scale --peers N --days N --objects N --shards K --window-secs S --seed S
@@ -24,11 +24,17 @@
 //!                              JSON to F (the check.sh byte-diff target)
 //! scale --lint-profile F       validate a scale.profile.json and exit
 //! ```
+//!
+//! Flag order never matters: explicit value flags override the `--smoke`
+//! preset wherever they appear, and the effective config is validated at
+//! parse time (`ScaledConfig::validate`) with an actionable error instead
+//! of a deep panic. Shards are contiguous sub-region blocks, so `K` may
+//! exceed the nine regions (up to `MAX_SHARDS`, and never above the
+//! population).
 
 use netsession_core::time::SimDuration;
 use netsession_hybrid::{run_scaled_profiled, ScaledConfig};
 use netsession_logs::ProfileDigest;
-use netsession_obs::json;
 use netsession_obs::profile::{ImbalanceStats, ShardProfiler};
 use netsession_obs::MetricsRegistry;
 use std::time::Instant;
@@ -42,89 +48,20 @@ fn peak_rss_kb() -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
-/// Validate a `scale.profile.json` sidecar: schema tag, a complete
-/// deterministic section, and a volatile section that stays in its lane.
-fn lint_profile(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let v = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    match v.get("schema").and_then(|s| s.as_str()) {
-        Some("netsession-shard-profile/1") => {}
-        other => return Err(format!("{path}: bad schema tag {other:?}")),
-    }
-    let det = v
-        .get("deterministic")
-        .ok_or_else(|| format!("{path}: missing deterministic section"))?;
-    // Structural checks on the deterministic section, mirroring
-    // `ImbalanceStats::parse_json`.
-    for key in [
-        "shards",
-        "windows",
-        "events",
-        "critical_path_events",
-        "speedup_ceiling",
-        "split_busiest_ceiling",
-        "skew",
-    ] {
-        if det.get(key).and_then(|x| x.as_f64()).is_none() {
-            return Err(format!("{path}: deterministic.{key} missing"));
-        }
-    }
-    let shards = det.get("shards").and_then(|x| x.as_u64()).unwrap_or(0) as usize;
-    match det.get("per_shard").and_then(|x| x.as_arr()) {
-        Some(arr) if arr.len() == shards => {
-            for (k, sh) in arr.iter().enumerate() {
-                for key in ["shard", "regions", "peers", "events", "share_pct"] {
-                    if sh.get(key).is_none() {
-                        return Err(format!("{path}: per_shard[{k}].{key} missing"));
-                    }
-                }
-            }
-        }
-        _ => return Err(format!("{path}: per_shard missing or wrong length")),
-    }
-    let vol = v
-        .get("volatile")
-        .ok_or_else(|| format!("{path}: missing volatile section"))?;
-    for key in [
-        "mode",
-        "cpus",
-        "wall_critical_path_ms",
-        "wall_speedup_ceiling",
-    ] {
-        if vol.get(key).is_none() {
-            return Err(format!("{path}: volatile.{key} missing"));
-        }
-    }
-    // The separation rule, checked from the artifact side: nothing
-    // wall-clock may appear inside the deterministic object.
-    for leaked in [
-        "busy_ms",
-        "wait_ms",
-        "merge_ms",
-        "wall_s",
-        "wall_critical_path_ms",
-        "wall_speedup_ceiling",
-    ] {
-        if det.get(leaked).is_some() {
-            return Err(format!(
-                "{path}: volatile field {leaked} leaked into deterministic section"
-            ));
-        }
-    }
-    Ok(())
-}
-
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
-    let mut cfg = ScaledConfig {
-        peers: 1_000_000,
-        objects: 20_000,
-        days: 31,
-        shards: 4,
-        ..ScaledConfig::default()
-    };
+    // Overrides are collected first and applied after the base config is
+    // chosen, so `--shards 16 --smoke` and `--smoke --shards 16` mean the
+    // same thing (explicit flags always beat the smoke preset).
+    let mut smoke = false;
     let mut parallel = true;
     let mut det_out: Option<String> = None;
+    let mut peers: Option<u64> = None;
+    let mut objects: Option<u64> = None;
+    let mut days: Option<u64> = None;
+    let mut shards: Option<usize> = None;
+    let mut window_secs: Option<u64> = None;
+    let mut seed: Option<u64> = None;
     let mut i = 1;
     let next = |argv: &[String], i: &mut usize, flag: &str| -> u64 {
         let v = argv
@@ -146,10 +83,7 @@ fn main() {
     while i < argv.len() {
         match argv[i].as_str() {
             "--smoke" => {
-                cfg = ScaledConfig {
-                    seed: cfg.seed,
-                    ..ScaledConfig::smoke()
-                };
+                smoke = true;
                 i += 1;
             }
             "--parallel" => {
@@ -160,18 +94,16 @@ fn main() {
                 parallel = false;
                 i += 1;
             }
-            "--peers" => cfg.peers = next(&argv, &mut i, "--peers"),
-            "--objects" => cfg.objects = next(&argv, &mut i, "--objects"),
-            "--days" => cfg.days = next(&argv, &mut i, "--days"),
-            "--shards" => cfg.shards = next(&argv, &mut i, "--shards") as usize,
-            "--window-secs" => {
-                cfg.window = SimDuration::from_secs(next(&argv, &mut i, "--window-secs"))
-            }
-            "--seed" => cfg.seed = next(&argv, &mut i, "--seed"),
+            "--peers" => peers = Some(next(&argv, &mut i, "--peers")),
+            "--objects" => objects = Some(next(&argv, &mut i, "--objects")),
+            "--days" => days = Some(next(&argv, &mut i, "--days")),
+            "--shards" => shards = Some(next(&argv, &mut i, "--shards") as usize),
+            "--window-secs" => window_secs = Some(next(&argv, &mut i, "--window-secs")),
+            "--seed" => seed = Some(next(&argv, &mut i, "--seed")),
             "--profile-det-out" => det_out = Some(next_str(&argv, &mut i, "--profile-det-out")),
             "--lint-profile" => {
                 let path = next_str(&argv, &mut i, "--lint-profile");
-                match lint_profile(&path) {
+                match netsession_bench::profile_lint::lint_profile(&path) {
                     Ok(()) => {
                         println!("profile lint OK: {path}");
                         return;
@@ -184,6 +116,42 @@ fn main() {
             }
             other => panic!("unknown flag {other}"),
         }
+    }
+
+    let mut cfg = if smoke {
+        ScaledConfig::smoke()
+    } else {
+        ScaledConfig {
+            peers: 1_000_000,
+            objects: 20_000,
+            days: 31,
+            shards: 16,
+            ..ScaledConfig::default()
+        }
+    };
+    if let Some(v) = peers {
+        cfg.peers = v;
+    }
+    if let Some(v) = objects {
+        cfg.objects = v;
+    }
+    if let Some(v) = days {
+        cfg.days = v;
+    }
+    if let Some(v) = shards {
+        cfg.shards = v;
+    }
+    if let Some(v) = window_secs {
+        cfg.window = SimDuration::from_secs(v);
+    }
+    if let Some(v) = seed {
+        cfg.seed = v;
+    }
+    // Validate the *effective* config here, where the error can name the
+    // flag to fix — not as a panic deep inside the world constructor.
+    if let Err(e) = cfg.validate() {
+        eprintln!("scale: invalid configuration: {e}");
+        std::process::exit(2);
     }
 
     eprintln!(
@@ -272,9 +240,12 @@ fn main() {
             Ok(()) => eprintln!("# profile sidecar: results/scale.profile.json"),
             Err(e) => eprintln!("# profile sidecar skipped: {e}"),
         }
+        // Per-shard bucket budget shrinks as shards grow so the export
+        // stays under the 1 MiB trace budget at any (K, population).
+        let buckets = (2048 / cfg.shards.max(1)).clamp(64, 512);
         match std::fs::write(
             dir.join("scale.shardtrace.json"),
-            profiler.timings().export_chrome_json(512),
+            profiler.timings().export_chrome_json(buckets),
         ) {
             Ok(()) => eprintln!("# shardtrace sidecar: results/scale.shardtrace.json"),
             Err(e) => eprintln!("# shardtrace sidecar skipped: {e}"),

@@ -9,6 +9,7 @@
 //! reports.
 
 pub mod explain;
+pub mod profile_lint;
 pub mod runner;
 
 pub use runner::{parse_args, run_default, ExperimentArgs};

@@ -32,6 +32,8 @@ pub mod setup;
 pub mod sim;
 
 pub use config::{FaultEvent, FaultKind, FaultSchedule, ScenarioConfig};
-pub use scaled::{run_scaled, run_scaled_profiled, RegionReport, ScaledConfig, ScaledOutput};
+pub use scaled::{
+    run_scaled, run_scaled_profiled, RegionReport, ScaledConfig, ScaledOutput, MAX_SHARDS,
+};
 pub use setup::Scenario;
 pub use sim::{HybridSim, RunStats, SimOutput};

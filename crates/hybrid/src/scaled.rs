@@ -12,21 +12,45 @@
 //! accumulating `Vec`s. RAM is O(peers) with a ~10-byte constant, not
 //! O(records).
 //!
-//! ## Sharding and determinism
+//! ## Sub-region sharding and determinism
 //!
-//! State is region-scoped: the nine Table-2 regions are assigned
-//! contiguously to K shards (`shard = region * K / 9`), each peer belongs
-//! to exactly one region, and a shard only ever touches its own regions'
-//! state. The one cross-region interaction — a download sourcing bytes
-//! from a remote-region uploader — becomes a cross-shard message delivered
-//! at the next window barrier, which models the slow cross-continent
-//! discovery path and satisfies the runner's lookahead contract for free.
-//! All randomness is **content-keyed** (`DetRng::seeded(mix(seed, entity,
-//! purpose))`), so no decision depends on global draw order. Together
-//! these meet the [`netsession_sim::shard`] proof obligations, and the
-//! parallel run is bit-identical to the sequential oracle — enforced by
-//! `tests/scaled_determinism.rs` across 50+ seeded scenarios (faulty and
-//! fault-free) and by the 2-shard gate in `scripts/check.sh`.
+//! The shard key is a **contiguous sub-region block** of the peer index
+//! space. Peers are laid out by region (the nine Table-2 regions occupy
+//! contiguous index blocks in [`Region::ALL`] order), and a
+//! [`BlockPartition`] cuts `0..peers` into K equal-population blocks —
+//! so `--shards K` works for any `K ≤ min(peers, MAX_SHARDS)`, well past
+//! the former K ≤ 9 region cap. A block may span several regions or a
+//! *sub-range* of one; a shard holds one `RegionLocal` per region its
+//! block overlaps and only ever touches its own peers' state. Equal
+//! population is the right load proxy here: the committed
+//! `results/scale.profile.json` mail matrix shows per-peer event rates
+//! near-uniform across regions and no dominant cross-region pair, so
+//! keeping the `Region::ALL`-order contiguity (rather than reordering
+//! regions) co-locates the hottest same-region traffic by construction.
+//!
+//! The one cross-shard interaction — a download sourcing bytes from an
+//! uploader owned by another shard — becomes a cross-shard message
+//! delivered at the next window barrier, which models the slow
+//! cross-continent discovery path and satisfies the runner's lookahead
+//! contract for free. All randomness is **content-keyed**
+//! (`DetRng::seeded(mix(seed, entity, purpose))`), so no decision depends
+//! on global draw order. Together these meet the [`netsession_sim::shard`]
+//! proof obligations, and the parallel run is bit-identical to the
+//! sequential oracle — enforced by `tests/scaled_determinism.rs` across
+//! 50+ seeded scenarios (faulty and fault-free, shard counts 1..=32) and
+//! by the 2-shard and 16-sub-shard gates in `scripts/check.sh`.
+//!
+//! ## Lazy per-day event seeding
+//!
+//! Login events are not enqueued a day ahead: `DayStart` makes one pass
+//! over the shard's peers and drops each would-be login into one of 24
+//! reusable **hour buckets** (4 bytes per pending login), and an
+//! `HourSeed` event at each hour boundary re-derives the exact login time
+//! from the same content-keyed RNG and schedules the real `Login` then.
+//! In-flight queue events are thereby O(active peers) — roughly one hour
+//! of logins plus open sessions' downloads — instead of O(day's events),
+//! which is what lets the paper's full 25.9 M-GUID population × 31 days
+//! fit in a few GiB.
 
 use crate::config::{FaultKind, FaultSchedule};
 use netsession_core::id::{AsNumber, CpCode, Guid, ObjectId};
@@ -38,11 +62,17 @@ use netsession_logs::sink::{DigestSink, DigestTriple, RecordSink, StreamingSumma
 use netsession_logs::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
 use netsession_obs::profile::ShardProfiler;
 use netsession_obs::MetricsRegistry;
-use netsession_sim::shard::{Outbox, ShardRunner, ShardWorker};
+use netsession_sim::shard::{BlockPartition, Outbox, ShardRunner, ShardWorker};
 use netsession_world::geo::Region;
 use std::sync::Arc;
 
 const DAY_US: u64 = 86_400_000_000;
+const HOUR_US: u64 = 3_600_000_000;
+
+/// Hard ceiling on sub-region shard count. Far above any plausible core
+/// count; mostly a guard against typo'd `--shards` values allocating
+/// thousands of queues.
+pub const MAX_SHARDS: usize = 512;
 
 /// Peer-population share per region, §4.2-calibrated ("most of the peers
 /// are located in North America (27%) and Europe (35%)"), in
@@ -105,7 +135,9 @@ pub struct ScaledConfig {
     pub objects: u64,
     /// Simulated days (the trace month is 31).
     pub days: u64,
-    /// Shard count, 1..=9 (regions are the finest partition key).
+    /// Shard count, `1..=MAX_SHARDS` and at most `peers`: shards are
+    /// contiguous equal-population sub-region blocks of the peer index
+    /// space, so any count with non-empty blocks is valid.
     pub shards: usize,
     /// Conservative window length (also the cross-region message latency
     /// floor).
@@ -150,29 +182,73 @@ impl ScaledConfig {
         }
     }
 
-    fn validate(&self) {
-        assert!(self.peers > 0 && self.peers <= u32::MAX as u64);
-        assert!(self.objects > 0 && self.days > 0);
-        assert!(
-            (1..=Region::ALL.len()).contains(&self.shards),
-            "shards must be 1..=9 (region is the partition key)"
-        );
-        assert!((0.0..=1.0).contains(&self.daily_login_prob));
-        assert!((0.0..=1.0).contains(&self.cross_region_prob));
+    /// Check every config constraint, returning an actionable message for
+    /// the first violation. [`run_scaled`] panics on an invalid config, so
+    /// CLI front-ends should call this at parse time and print the error
+    /// instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.peers == 0 || self.peers > u32::MAX as u64 {
+            return Err(format!(
+                "peers must be 1..={} (got {})",
+                u32::MAX,
+                self.peers
+            ));
+        }
+        if self.objects == 0 {
+            return Err("objects must be > 0".into());
+        }
+        if self.days == 0 {
+            return Err("days must be > 0".into());
+        }
+        if !(1..=MAX_SHARDS).contains(&self.shards) {
+            return Err(format!(
+                "shards must be 1..={MAX_SHARDS} (got {}): shards are contiguous \
+                 sub-region blocks, so counts past the 9 regions are fine, but \
+                 {MAX_SHARDS} queues is the supported ceiling",
+                self.shards
+            ));
+        }
+        if self.shards as u64 > self.peers {
+            return Err(format!(
+                "shards ({}) must not exceed peers ({}): every sub-region block \
+                 needs at least one peer — lower --shards or raise --peers",
+                self.shards, self.peers
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.daily_login_prob) {
+            return Err(format!(
+                "daily_login_prob must be in [0, 1] (got {})",
+                self.daily_login_prob
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.cross_region_prob) {
+            return Err(format!(
+                "cross_region_prob must be in [0, 1] (got {})",
+                self.cross_region_prob
+            ));
+        }
+        Ok(())
     }
 }
 
 /// Immutable world geometry shared by all shards: region → peer-index
-/// blocks and region → shard assignment.
+/// blocks and the sub-region shard partition of the same index space.
 struct ScaledWorld {
     cfg: ScaledConfig,
     /// `region_starts[r]..region_starts[r+1]` is region r's peer block.
     region_starts: [u32; 10],
+    /// `shard_starts[k]..shard_starts[k+1]` is shard k's peer block:
+    /// equal-population [`BlockPartition`] cuts over the same contiguous,
+    /// region-ordered index space. A shard block may span several regions
+    /// or a sub-range of one.
+    shard_starts: Vec<u32>,
 }
 
 impl ScaledWorld {
     fn new(cfg: ScaledConfig) -> Self {
-        cfg.validate();
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ScaledConfig: {e}");
+        }
         let total: u64 = REGION_WEIGHTS.iter().sum();
         let mut region_starts = [0u32; 10];
         let mut cum = 0u64;
@@ -180,21 +256,44 @@ impl ScaledWorld {
             cum += w;
             region_starts[r + 1] = (cfg.peers * cum / total) as u32;
         }
-        ScaledWorld { cfg, region_starts }
-    }
-
-    fn shard_of_region(&self, r: usize) -> usize {
-        r * self.cfg.shards / Region::ALL.len()
-    }
-
-    fn regions_of_shard(&self, shard: usize) -> std::ops::Range<usize> {
-        let mine: Vec<usize> = (0..Region::ALL.len())
-            .filter(|&r| self.shard_of_region(r) == shard)
-            .collect();
-        match (mine.first(), mine.last()) {
-            (Some(&a), Some(&b)) => a..b + 1,
-            _ => 0..0,
+        let part = BlockPartition::equal(cfg.peers, cfg.shards);
+        let shard_starts = part.bounds().iter().map(|&s| s as u32).collect();
+        ScaledWorld {
+            cfg,
+            region_starts,
+            shard_starts,
         }
+    }
+
+    fn shard_of_peer(&self, peer: u32) -> usize {
+        debug_assert!((peer as u64) < self.cfg.peers);
+        self.shard_starts.partition_point(|&s| s <= peer) - 1
+    }
+
+    fn shard_peers(&self, shard: usize) -> std::ops::Range<u32> {
+        self.shard_starts[shard]..self.shard_starts[shard + 1]
+    }
+
+    /// Regions shard `k`'s peer block overlaps (possibly partially at
+    /// either end). Blocks are never empty, so neither is this range; it
+    /// may include interior regions that are empty at tiny populations.
+    fn regions_of_shard(&self, shard: usize) -> std::ops::Range<usize> {
+        let peers = self.shard_peers(shard);
+        let lo = self.region_of_peer(peers.start);
+        let hi = self.region_of_peer(peers.end - 1);
+        lo..hi + 1
+    }
+
+    /// Shards overlapping region `r`'s peer block; empty for a region
+    /// that holds no peers (tiny populations).
+    fn shards_of_region(&self, r: usize) -> std::ops::Range<usize> {
+        let peers = self.region_peers(r);
+        if peers.is_empty() {
+            return 0..0;
+        }
+        let lo = self.shard_of_peer(peers.start);
+        let hi = self.shard_of_peer(peers.end - 1);
+        lo..hi + 1
     }
 
     fn region_of_peer(&self, peer: u32) -> usize {
@@ -206,6 +305,27 @@ impl ScaledWorld {
 
     fn region_peers(&self, r: usize) -> std::ops::Range<u32> {
         self.region_starts[r]..self.region_starts[r + 1]
+    }
+
+    /// Shard label: overlapped regions joined with `+`; a partially held
+    /// region is tagged with this shard's part index, e.g. `Europe[2/3]`.
+    fn shard_label(&self, shard: usize) -> String {
+        self.regions_of_shard(shard)
+            .map(|r| {
+                let parts = self.shards_of_region(r);
+                if parts.len() <= 1 {
+                    Region::ALL[r].label().to_string()
+                } else {
+                    format!(
+                        "{}[{}/{}]",
+                        Region::ALL[r].label(),
+                        shard - parts.start + 1,
+                        parts.len()
+                    )
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("+")
     }
 
     // -- procedural static attributes ------------------------------------
@@ -279,6 +399,12 @@ struct DlMeta {
 enum ScaledEvent {
     DayStart {
         day: u64,
+    },
+    /// Lazy seeding: drain this hour's login bucket, re-deriving each
+    /// peer's exact login time from its content-keyed RNG.
+    HourSeed {
+        day: u64,
+        hour: u8,
     },
     Login {
         peer: u32,
@@ -355,9 +481,12 @@ impl RegionLocal {
     }
 }
 
-/// One shard: a contiguous block of regions and their peers.
+/// One shard: a contiguous sub-region block of the peer index space, with
+/// a `RegionLocal` per region the block overlaps.
 struct ScaledShard {
     world: Arc<ScaledWorld>,
+    shard: usize,
+    /// Regions this shard's block overlaps (ends possibly partial).
     regions: std::ops::Range<usize>,
     peer_lo: u32,
     peer_hi: u32,
@@ -365,19 +494,25 @@ struct ScaledShard {
     /// This is the *entire* per-peer mutable footprint — 8 bytes.
     online_until: Vec<u64>,
     locals: Vec<RegionLocal>,
+    /// Reusable hour buckets for the *current* day's pending logins:
+    /// filled by `DayStart` in one pass, drained in order by `HourSeed`.
+    /// 4 bytes per pending login instead of a ~64-byte queued event.
+    login_buckets: Vec<Vec<u32>>,
 }
 
 impl ScaledShard {
     fn new(world: Arc<ScaledWorld>, shard: usize) -> Self {
+        let peers = world.shard_peers(shard);
+        let (peer_lo, peer_hi) = (peers.start, peers.end);
         let regions = world.regions_of_shard(shard);
-        let peer_lo = world.region_starts[regions.start];
-        let peer_hi = world.region_starts[regions.end];
         ScaledShard {
+            shard,
             regions: regions.clone(),
             peer_lo,
             peer_hi,
             online_until: vec![0u64; (peer_hi - peer_lo) as usize],
             locals: regions.map(|_| RegionLocal::new()).collect(),
+            login_buckets: (0..24).map(|_| Vec::new()).collect(),
             world,
         }
     }
@@ -400,15 +535,24 @@ impl ScaledShard {
     fn day_start(&mut self, at: SimTime, day: u64, out: &mut Outbox<ScaledEvent>) {
         let cfg = &self.world.cfg;
         let p = cfg.daily_login_prob;
+        debug_assert!(
+            self.login_buckets.iter().all(|b| b.is_empty()),
+            "previous day's buckets fully drained"
+        );
         for peer in self.peer_lo..self.peer_hi {
             let mut rng = key_rng(cfg.seed, peer as u64, day, P_LOGIN);
             if rng.chance(p) {
-                let t = at + SimDuration(rng.below(DAY_US));
+                let hour = (rng.below(DAY_US) / HOUR_US) as usize;
+                self.login_buckets[hour].push(peer);
+            }
+        }
+        for (hour, bucket) in self.login_buckets.iter().enumerate() {
+            if !bucket.is_empty() {
                 out.schedule(
-                    t,
-                    ScaledEvent::Login {
-                        peer,
-                        day: day as u32,
+                    at + SimDuration(hour as u64 * HOUR_US),
+                    ScaledEvent::HourSeed {
+                        day,
+                        hour: hour as u8,
                     },
                 );
             }
@@ -419,6 +563,33 @@ impl ScaledShard {
                 ScaledEvent::DayStart { day: day + 1 },
             );
         }
+    }
+
+    fn hour_seed(&mut self, day: u64, hour: u8, out: &mut Outbox<ScaledEvent>) {
+        let cfg = &self.world.cfg;
+        let (seed, p) = (cfg.seed, cfg.daily_login_prob);
+        // Take the bucket out (keeping its capacity for the next day) and
+        // replay each peer's login draw: the same content-keyed stream the
+        // bucketing pass consumed, so the derived time is bit-identical to
+        // what eager seeding would have scheduled.
+        let mut bucket = std::mem::take(&mut self.login_buckets[hour as usize]);
+        for &peer in &bucket {
+            let mut rng = key_rng(seed, peer as u64, day, P_LOGIN);
+            let logs_in = rng.chance(p);
+            debug_assert!(logs_in, "bucketed peer must re-draw its login");
+            let _ = logs_in;
+            let t = SimTime(day * DAY_US + rng.below(DAY_US));
+            debug_assert_eq!((t.as_micros() % DAY_US) / HOUR_US, hour as u64);
+            out.schedule(
+                t,
+                ScaledEvent::Login {
+                    peer,
+                    day: day as u32,
+                },
+            );
+        }
+        bucket.clear();
+        self.login_buckets[hour as usize] = bucket;
     }
 
     fn login(&mut self, at: SimTime, peer: u32, day: u32, out: &mut Outbox<ScaledEvent>) {
@@ -616,9 +787,12 @@ impl ScaledShard {
             local.bytes_peers += bytes_peers;
         }
 
-        // Attribute peer bytes to uploaders (§6.1 transfer tuples). Local
-        // uploads are emitted here; remote-region ones travel to the
-        // uploader's shard and are emitted there at barrier delivery.
+        // Attribute peer bytes to uploaders (§6.1 transfer tuples). The
+        // transfer record belongs to the *uploader's* region stream, so
+        // the routing key is which shard owns the uploader's peer index:
+        // our own block emits here, anything else (remote region, or the
+        // same region's other sub-shards) travels as cross-shard mail and
+        // is emitted at barrier delivery.
         if bytes_peers == 0 {
             return;
         }
@@ -649,7 +823,7 @@ impl ScaledShard {
             };
             let peers = world.region_peers(src_region);
             let from_peer = peers.start + rng.below((peers.end - peers.start) as u64) as u32;
-            if src_region == region {
+            if (self.peer_lo..self.peer_hi).contains(&from_peer) {
                 let t = TransferRecord {
                     from_guid: world.guid(from_peer),
                     to_guid,
@@ -660,13 +834,13 @@ impl ScaledShard {
                     bytes: ByteCount(bytes),
                     object: ObjectId(meta.object),
                 };
-                let local = self.local_mut(region);
+                let local = self.local_mut(src_region);
                 local.digest.on_transfer(&t);
                 local.summary.on_transfer(&t);
                 local.transfers += 1;
             } else {
                 out.send(
-                    self.world.shard_of_region(src_region),
+                    world.shard_of_peer(from_peer),
                     out.window_end(),
                     ScaledEvent::RemoteUpload {
                         region: src_region as u8,
@@ -682,6 +856,15 @@ impl ScaledShard {
         }
     }
 
+    /// Is this shard region `r`'s *home* — the shard owning its first
+    /// peer? A region fault's state applies in every overlapping
+    /// sub-shard, but only the home shard logs the alert, so the merged
+    /// report carries one line per fault regardless of the shard count.
+    fn is_region_home(&self, r: usize) -> bool {
+        let peers = self.world.region_peers(r);
+        !peers.is_empty() && self.world.shard_of_peer(peers.start) == self.shard
+    }
+
     fn fault(&mut self, at: SimTime, idx: u32) {
         let world = Arc::clone(&self.world);
         let cfg = &world.cfg;
@@ -691,55 +874,69 @@ impl ScaledShard {
             FaultKind::CnCrash { region } => {
                 let r = region as usize;
                 if self.regions.contains(&r) {
+                    let home = self.is_region_home(r);
                     let local = self.local_mut(r);
                     local.control_down_until = now_us + 600_000_000;
-                    local.alerts.push(format!(
-                        "h{:03} {}: cn_crash",
-                        ev.at_hours,
-                        Region::ALL[r].label()
-                    ));
+                    if home {
+                        local.alerts.push(format!(
+                            "h{:03} {}: cn_crash",
+                            ev.at_hours,
+                            Region::ALL[r].label()
+                        ));
+                    }
                 }
             }
             FaultKind::DnWipe { region } => {
                 let r = region as usize;
                 if self.regions.contains(&r) {
+                    let home = self.is_region_home(r);
                     let local = self.local_mut(r);
                     local.dir_degraded_until = now_us + 1_800_000_000;
-                    local.alerts.push(format!(
-                        "h{:03} {}: dn_wipe",
-                        ev.at_hours,
-                        Region::ALL[r].label()
-                    ));
+                    if home {
+                        local.alerts.push(format!(
+                            "h{:03} {}: dn_wipe",
+                            ev.at_hours,
+                            Region::ALL[r].label()
+                        ));
+                    }
                 }
             }
             FaultKind::EdgeOutage { region, secs } => {
                 let r = region as usize;
                 if self.regions.contains(&r) {
+                    let home = self.is_region_home(r);
                     let local = self.local_mut(r);
                     local.edge_down_until = now_us + secs * 1_000_000;
-                    local.alerts.push(format!(
-                        "h{:03} {}: edge_outage {}s",
-                        ev.at_hours,
-                        Region::ALL[r].label(),
-                        secs
-                    ));
+                    if home {
+                        local.alerts.push(format!(
+                            "h{:03} {}: edge_outage {}s",
+                            ev.at_hours,
+                            Region::ALL[r].label(),
+                            secs
+                        ));
+                    }
                 }
             }
             FaultKind::ChurnBurst { fraction } => {
-                let mut dropped = 0u64;
+                // Count drops per *region* so the alert stays meaningful
+                // when a shard block spans several regions; a region split
+                // across sub-shards gets one line per part (merged in
+                // shard order), each with that part's count.
+                let mut dropped = vec![0u64; self.regions.len()];
                 for peer in self.peer_lo..self.peer_hi {
                     if self.online(peer) > now_us {
                         let mut rng = key_rng(cfg.seed, peer as u64, now_us, P_CHURN);
                         if rng.chance(fraction) {
                             self.set_online(peer, now_us);
-                            dropped += 1;
+                            dropped[world.region_of_peer(peer) - self.regions.start] += 1;
                         }
                     }
                 }
                 for r in self.regions.clone() {
+                    let n = dropped[r - self.regions.start];
                     let local = self.local_mut(r);
                     local.alerts.push(format!(
-                        "h{:03} {}: churn_burst dropped={dropped}",
+                        "h{:03} {}: churn_burst dropped={n}",
                         ev.at_hours,
                         Region::ALL[r].label()
                     ));
@@ -755,6 +952,7 @@ impl ShardWorker for ScaledShard {
     fn handle(&mut self, at: SimTime, event: ScaledEvent, out: &mut Outbox<ScaledEvent>) {
         match event {
             ScaledEvent::DayStart { day } => self.day_start(at, day, out),
+            ScaledEvent::HourSeed { day, hour } => self.hour_seed(day, hour, out),
             ScaledEvent::Login { peer, day } => self.login(at, peer, day, out),
             ScaledEvent::StartDownload { peer, day, k } => {
                 self.start_download(at, peer, day, k, out)
@@ -818,8 +1016,41 @@ pub struct RegionReport {
     pub remote_uploads_in: u64,
     /// Deterministic fault alert log.
     pub alerts: Vec<String>,
-    /// SHA-256 stream digests of this region's records.
+    /// SHA-256 stream digests of this region's records. When the region
+    /// is split across sub-shards this is the deterministic combination
+    /// of the parts' digests (hash of the concatenated part digests, in
+    /// shard order) — any byte divergence in any part still changes it.
     pub digest: DigestTriple,
+}
+
+/// Deterministically combine per-sub-shard digest triples into one
+/// region-level triple: each channel hashes the concatenation of the
+/// parts' 32-byte digests (in shard order), counts sum. A single part
+/// passes through unchanged, so whole-region shards keep the familiar
+/// fingerprint of their raw stream.
+fn combine_digests(mut parts: Vec<DigestTriple>) -> DigestTriple {
+    use netsession_core::hash::Sha256;
+    match parts.len() {
+        0 => DigestSink::new().finalize(),
+        1 => parts.pop().expect("one part"),
+        _ => {
+            let chain = |pick: fn(&DigestTriple) -> &[u8; 32]| {
+                let mut h = Sha256::new();
+                for p in &parts {
+                    h.update(pick(p));
+                }
+                h.finalize()
+            };
+            DigestTriple {
+                downloads: chain(|p| &p.downloads.0),
+                logins: chain(|p| &p.logins.0),
+                transfers: chain(|p| &p.transfers.0),
+                n_downloads: parts.iter().map(|p| p.n_downloads).sum(),
+                n_logins: parts.iter().map(|p| p.n_logins).sum(),
+                n_transfers: parts.iter().map(|p| p.n_transfers).sum(),
+            }
+        }
+    }
 }
 
 /// The merged result of a scaled run — everything downstream analysis and
@@ -943,17 +1174,20 @@ pub fn run_scaled_profiled(
     }
     for (idx, f) in cfg.faults.events.iter().enumerate() {
         let at = SimTime(f.at_hours * 3_600_000_000);
-        let ev = |_k: usize| ScaledEvent::Fault { idx: idx as u32 };
+        let ev = || ScaledEvent::Fault { idx: idx as u32 };
         match f.kind {
             FaultKind::CnCrash { region }
             | FaultKind::DnWipe { region }
             | FaultKind::EdgeOutage { region, .. } => {
-                let k = world.shard_of_region(region as usize);
-                runner.seed(k, at, ev(k));
+                // A region fault must reach every sub-shard holding a
+                // slice of the region's peer block.
+                for k in world.shards_of_region(region as usize) {
+                    runner.seed(k, at, ev());
+                }
             }
             FaultKind::ChurnBurst { .. } => {
                 for k in 0..cfg.shards {
-                    runner.seed(k, at, ev(k));
+                    runner.seed(k, at, ev());
                 }
             }
         }
@@ -977,43 +1211,61 @@ pub fn run_scaled_profiled(
     let cross_messages = runner.stats().iter().map(|s| s.cross_sent).sum();
     let windows = runner.windows_run();
 
+    // Merge sub-shard parts into the nine Table-2 regions, folding in
+    // shard-index order so the merged alerts and combined digests are a
+    // pure function of the program (not of thread scheduling). Regions
+    // with no overlapping shard contribution (possible only when a tiny
+    // population leaves a region peerless) come out empty, keeping the
+    // report's nine-row shape at every scale.
     let mut summary = StreamingSummary::new();
-    let mut regions = Vec::new();
+    let mut regions: Vec<RegionReport> = (0..Region::ALL.len())
+        .map(|r| RegionReport {
+            region: Region::ALL[r].label(),
+            logins: 0,
+            downloads: 0,
+            completed: 0,
+            abandoned: 0,
+            failed: 0,
+            skipped_offline: 0,
+            bytes_infra: 0,
+            bytes_peers: 0,
+            transfers: 0,
+            remote_uploads_in: 0,
+            alerts: Vec::new(),
+            digest: DigestSink::new().finalize(),
+        })
+        .collect();
+    let mut digest_parts: Vec<Vec<DigestTriple>> =
+        (0..Region::ALL.len()).map(|_| Vec::new()).collect();
     for shard in runner.into_workers() {
         let base = shard.regions.start;
         for (i, local) in shard.locals.into_iter().enumerate() {
             summary.merge(&local.summary);
-            regions.push(RegionReport {
-                region: Region::ALL[base + i].label(),
-                logins: local.logins,
-                downloads: local.downloads,
-                completed: local.completed,
-                abandoned: local.abandoned,
-                failed: local.failed,
-                skipped_offline: local.skipped_offline,
-                bytes_infra: local.bytes_infra,
-                bytes_peers: local.bytes_peers,
-                transfers: local.transfers,
-                remote_uploads_in: local.remote_uploads_in,
-                alerts: local.alerts,
-                digest: local.digest.finalize(),
-            });
+            let rep = &mut regions[base + i];
+            rep.logins += local.logins;
+            rep.downloads += local.downloads;
+            rep.completed += local.completed;
+            rep.abandoned += local.abandoned;
+            rep.failed += local.failed;
+            rep.skipped_offline += local.skipped_offline;
+            rep.bytes_infra += local.bytes_infra;
+            rep.bytes_peers += local.bytes_peers;
+            rep.transfers += local.transfers;
+            rep.remote_uploads_in += local.remote_uploads_in;
+            rep.alerts.extend(local.alerts);
+            digest_parts[base + i].push(local.digest.finalize());
         }
     }
-    regions.sort_by_key(|r| Region::ALL.iter().position(|x| x.label() == r.region));
-    let shard_labels = (0..cfg.shards)
-        .map(|k| {
-            world
-                .regions_of_shard(k)
-                .map(|r| Region::ALL[r].label())
-                .collect::<Vec<_>>()
-                .join("+")
-        })
-        .collect();
+    for (rep, parts) in regions.iter_mut().zip(digest_parts) {
+        if !parts.is_empty() {
+            rep.digest = combine_digests(parts);
+        }
+    }
+    let shard_labels = (0..cfg.shards).map(|k| world.shard_label(k)).collect();
     let shard_peers = (0..cfg.shards)
         .map(|k| {
-            let r = world.regions_of_shard(k);
-            (world.region_starts[r.end] - world.region_starts[r.start]) as u64
+            let p = world.shard_peers(k);
+            (p.end - p.start) as u64
         })
         .collect();
     let out = ScaledOutput {
@@ -1069,6 +1321,65 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_sequential_past_the_region_count() {
+        let cfg = ScaledConfig {
+            shards: 16,
+            ..tiny()
+        };
+        let a = run_scaled(&cfg, false, None);
+        let b = run_scaled(&cfg, true, None);
+        assert_eq!(a, b);
+        assert_eq!(a.shards, 16);
+        assert_eq!(a.regions.len(), 9, "nine-region shape survives K > 9");
+    }
+
+    #[test]
+    fn tallies_do_not_depend_on_the_shard_count() {
+        // Sharding is pure geometry: per-region record *contents* are
+        // content-keyed, so every tally (and the streamed summary) must be
+        // invariant across K. Only stream ordering (digests), cross-shard
+        // counters, and alert grouping may vary.
+        let runs: Vec<_> = [1usize, 3, 16]
+            .iter()
+            .map(|&shards| run_scaled(&ScaledConfig { shards, ..tiny() }, true, None))
+            .collect();
+        for b in &runs[1..] {
+            let a = &runs[0];
+            assert_eq!(a.summary, b.summary, "summary varies with K");
+            for (ra, rb) in a.regions.iter().zip(&b.regions) {
+                assert_eq!(ra.logins, rb.logins, "{}", ra.region);
+                assert_eq!(ra.downloads, rb.downloads, "{}", ra.region);
+                assert_eq!(ra.completed, rb.completed, "{}", ra.region);
+                assert_eq!(ra.abandoned, rb.abandoned, "{}", ra.region);
+                assert_eq!(ra.failed, rb.failed, "{}", ra.region);
+                assert_eq!(ra.skipped_offline, rb.skipped_offline, "{}", ra.region);
+                assert_eq!(ra.bytes_infra, rb.bytes_infra, "{}", ra.region);
+                assert_eq!(ra.bytes_peers, rb.bytes_peers, "{}", ra.region);
+                assert_eq!(ra.transfers, rb.transfers, "{}", ra.region);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_shard_counts() {
+        let too_many = ScaledConfig {
+            shards: MAX_SHARDS + 1,
+            ..tiny()
+        };
+        assert!(too_many.validate().unwrap_err().contains("shards must be"));
+        let more_shards_than_peers = ScaledConfig {
+            peers: 10,
+            shards: 11,
+            ..tiny()
+        };
+        assert!(more_shards_than_peers
+            .validate()
+            .unwrap_err()
+            .contains("must not exceed peers"));
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
     fn region_blocks_partition_the_population() {
         let w = ScaledWorld::new(tiny());
         assert_eq!(w.region_starts[0], 0);
@@ -1082,16 +1393,50 @@ mod tests {
 
     #[test]
     fn shard_map_is_contiguous_and_total() {
-        for shards in 1..=9usize {
+        for shards in [1usize, 2, 4, 5, 9, 12, 16, 32, 100] {
             let w = ScaledWorld::new(ScaledConfig { shards, ..tiny() });
-            let mut covered = 0;
+            let mut covered = 0u32;
             for k in 0..shards {
+                let p = w.shard_peers(k);
+                assert!(!p.is_empty(), "{shards} shards: shard {k} empty");
+                assert_eq!(p.start, covered, "contiguity");
+                covered = p.end;
                 let r = w.regions_of_shard(k);
-                assert!(!r.is_empty(), "{shards} shards: shard {k} empty");
-                assert_eq!(r.start, covered, "contiguity");
-                covered = r.end;
+                assert_eq!(w.region_of_peer(p.start), r.start, "overlap start");
+                assert_eq!(w.region_of_peer(p.end - 1), r.end - 1, "overlap end");
+                for peer in p.clone().step_by(61) {
+                    assert_eq!(w.shard_of_peer(peer), k, "shard_of_peer inverts");
+                    assert!(r.contains(&w.region_of_peer(peer)));
+                }
             }
-            assert_eq!(covered, 9);
+            assert_eq!(covered as u64, w.cfg.peers);
+            // shards_of_region is the inverse overlap map, and its union
+            // covers every shard of a non-empty region.
+            for r0 in 0..9 {
+                for k in w.shards_of_region(r0) {
+                    assert!(w.regions_of_shard(k).contains(&r0), "inverse overlap");
+                }
+            }
         }
+    }
+
+    #[test]
+    fn sub_region_labels_tag_split_regions() {
+        // 3000 peers, 16 shards: every shard block is smaller than most
+        // regions, so split tags must appear and count their parts.
+        let w = ScaledWorld::new(ScaledConfig {
+            shards: 16,
+            ..tiny()
+        });
+        let labels: Vec<String> = (0..16).map(|k| w.shard_label(k)).collect();
+        assert!(
+            labels.iter().any(|l| l.contains('[') && l.contains('/')),
+            "split regions must be tagged: {labels:?}"
+        );
+        // Europe (35% of peers) spans several blocks; its parts must be
+        // numbered 1..n in shard order.
+        let europe: Vec<&String> = labels.iter().filter(|l| l.contains("Europe[")).collect();
+        assert!(europe.len() >= 2, "Europe must split at K=16: {labels:?}");
+        assert!(europe[0].contains("Europe[1/"));
     }
 }

@@ -9,7 +9,7 @@
 use netsession_core::rng::DetRng;
 use netsession_core::time::SimDuration;
 use netsession_hybrid::{
-    run_scaled, run_scaled_profiled, FaultEvent, FaultKind, FaultSchedule, ScaledConfig,
+    run_scaled, run_scaled_profiled, FaultEvent, FaultKind, FaultSchedule, ScaledConfig, MAX_SHARDS,
 };
 use netsession_logs::ProfileDigest;
 use netsession_obs::profile::ShardProfiler;
@@ -50,12 +50,16 @@ fn scenario(seed: u64) -> ScaledConfig {
     } else {
         FaultSchedule::default()
     };
+    // Shard counts span the whole sub-region regime: singleton, a few
+    // whole-region-ish cuts, and counts past the 9 regions (blocks then
+    // split regions into sub-ranges).
+    const SHARD_CHOICES: [usize; 10] = [1, 2, 3, 4, 5, 6, 9, 12, 16, 32];
     ScaledConfig {
         seed: seed.wrapping_mul(0x9e37_79b9) + 7,
         peers: 1_500 + rng.below(2_500),
         objects: 200 + rng.below(400),
         days,
-        shards: 2 + rng.index(5),
+        shards: SHARD_CHOICES[rng.index(SHARD_CHOICES.len())],
         window: SimDuration::from_secs(300 + rng.below(900)),
         faults,
         ..ScaledConfig::default()
@@ -96,14 +100,15 @@ fn parallel_run_is_byte_identical_to_sequential_oracle_across_52_seeds() {
 /// barrier queue depth, mail matrix) must be byte-identical between the
 /// sequential oracle and the threaded run — the SHA-256 stream
 /// fingerprint compares the exact canonical bytes, and `ExecProfile`
-/// equality compares the aggregates. Exercised at 2 and 4 shards under
-/// 10+ seeded fault scenarios (every even seed carries a random
+/// equality compares the aggregates. Exercised at 2, 4, and 16 shards —
+/// the last past the region count, so sub-region blocks are covered —
+/// under 10+ seeded fault scenarios (every even seed carries a random
 /// `FaultSchedule`; see [`scenario`]).
 #[test]
 fn profiler_deterministic_channel_is_byte_identical_across_modes() {
     let mut faulty = 0;
     for seed in (0..20u64).step_by(2) {
-        for shards in [2usize, 4] {
+        for shards in [2usize, 4, 16] {
             let mut cfg = scenario(seed);
             cfg.shards = shards;
             assert!(!cfg.faults.events.is_empty(), "even seeds carry faults");
@@ -207,9 +212,16 @@ fn faults_change_outputs_and_leave_alerts() {
     let hurt = run_scaled(&faulty, true, None);
     assert_ne!(clean, hurt, "faults must perturb the run");
     let europe = hurt.regions.iter().find(|r| r.region == "Europe").unwrap();
+    // Region faults alert exactly once (the region's home sub-shard logs
+    // them); a churn burst alerts once per sub-shard part of the region,
+    // each line carrying that part's dropped count.
+    let count = |needle: &str| europe.alerts.iter().filter(|a| a.contains(needle)).count();
+    assert_eq!(count("cn_crash"), 1, "alerts: {:?}", europe.alerts);
+    assert_eq!(count("edge_outage"), 1, "alerts: {:?}", europe.alerts);
+    assert!(count("churn_burst") >= 1, "alerts: {:?}", europe.alerts);
     assert_eq!(
         europe.alerts.len(),
-        3,
+        2 + count("churn_burst"),
         "all three faults hit Europe: {:?}",
         europe.alerts
     );
@@ -231,4 +243,78 @@ fn faults_change_outputs_and_leave_alerts() {
         skips(&hurt),
         skips(&clean)
     );
+}
+
+/// Shard-count edge cases for the sub-region partition: the degenerate
+/// singleton, K above the region count, and the supported maximum — each
+/// byte-identical parallel-vs-sequential and keeping the nine-region
+/// report shape.
+#[test]
+fn shard_count_edges_stay_byte_identical() {
+    let base = ScaledConfig {
+        peers: 2_000,
+        objects: 250,
+        days: 2,
+        ..ScaledConfig::default()
+    };
+    for shards in [1usize, 12, MAX_SHARDS] {
+        let cfg = ScaledConfig {
+            shards,
+            ..base.clone()
+        };
+        cfg.validate().expect("edge config valid");
+        let oracle = run_scaled(&cfg, false, None);
+        let threaded = run_scaled(&cfg, true, None);
+        assert_eq!(oracle, threaded, "K={shards}: parallel diverged");
+        assert_eq!(oracle.regions.len(), 9, "K={shards}");
+        assert_eq!(oracle.shard_peers.iter().sum::<u64>(), cfg.peers);
+        assert!(oracle.shard_peers.iter().all(|&p| p > 0), "K={shards}");
+    }
+}
+
+/// K = 16 — past the nine regions, so every shard is a genuine
+/// sub-region block — must hold byte-identity across seeded fault
+/// scenarios of every kind.
+#[test]
+fn sixteen_sub_shards_byte_identical_across_fault_scenarios() {
+    let mut faulty = 0;
+    for seed in 0..10u64 {
+        let mut cfg = scenario(seed);
+        cfg.shards = 16;
+        if !cfg.faults.events.is_empty() {
+            faulty += 1;
+        }
+        let oracle = run_scaled(&cfg, false, None);
+        let threaded = run_scaled(&cfg, true, None);
+        assert_eq!(
+            oracle,
+            threaded,
+            "seed {seed} (16 sub-shards, {} faults): parallel diverged",
+            cfg.faults.events.len()
+        );
+        assert_eq!(oracle.report(), threaded.report(), "seed {seed}: report");
+    }
+    assert!(faulty >= 4, "fault coverage too thin: {faulty}/10");
+}
+
+/// A population smaller than the shard count cannot form non-empty
+/// blocks: `validate` must reject it with an actionable message, before
+/// any runner machinery is built.
+#[test]
+fn population_below_shard_count_is_rejected() {
+    let cfg = ScaledConfig {
+        peers: 7,
+        shards: 8,
+        ..ScaledConfig::default()
+    };
+    let err = cfg.validate().expect_err("7 peers over 8 shards");
+    assert!(
+        err.contains("must not exceed peers"),
+        "actionable message, got: {err}"
+    );
+    let over = ScaledConfig {
+        shards: MAX_SHARDS + 1,
+        ..ScaledConfig::default()
+    };
+    assert!(over.validate().is_err(), "ceiling enforced");
 }

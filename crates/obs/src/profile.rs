@@ -280,6 +280,25 @@ impl ImbalanceStats {
         }
     }
 
+    /// Index of the shard with the most events (lowest index wins ties —
+    /// deterministic).
+    pub fn busiest(&self) -> usize {
+        self.per_shard
+            .iter()
+            .enumerate()
+            .max_by_key(|(k, s)| (s.events, std::cmp::Reverse(*k)))
+            .map_or(0, |(k, _)| k)
+    }
+
+    /// Index of the shard with the fewest events (lowest index wins ties).
+    pub fn lightest(&self) -> usize {
+        self.per_shard
+            .iter()
+            .enumerate()
+            .min_by_key(|(k, s)| (s.events, *k))
+            .map_or(0, |(k, _)| k)
+    }
+
     /// Deterministic multi-line report. `labels[k]` names shard `k`
     /// (e.g. its region block), `peers[k]` its resident population; both
     /// must have one entry per shard. Safe to print on byte-diffed
@@ -300,6 +319,20 @@ impl ImbalanceStats {
             self.speedup_ceiling(),
             self.split_busiest_ceiling(),
         );
+        // One-line balance summary: the per-shard table below grows with
+        // K (sub-region sharding goes well past 9), so name the extremes
+        // up front.
+        if self.shards > 1 {
+            let (b, l) = (self.busiest(), self.lightest());
+            let _ = writeln!(
+                s,
+                "  balance: busiest=shard {b} [{}] {:.1}% lightest=shard {l} [{}] {:.1}%",
+                labels[b],
+                self.event_share(b) * 100.0,
+                labels[l],
+                self.event_share(l) * 100.0,
+            );
+        }
         for (k, sh) in self.per_shard.iter().enumerate() {
             let occ = if self.windows == 0 {
                 0.0

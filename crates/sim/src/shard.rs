@@ -40,6 +40,65 @@ use netsession_obs::MetricsRegistry;
 use std::sync::mpsc;
 use std::time::Instant;
 
+/// Deterministic contiguous partition of the index space `0..total` into
+/// `k` equal-population blocks: `starts[i] = total * i / k`.
+///
+/// This is the generalized shard key for programs whose state lives on a
+/// contiguous index space (the scaled hybrid runner's peer indices): any
+/// block count up to `total` works, blocks never interleave, and because
+/// the cut points are a pure function of `(total, k)` the partition is
+/// identical in the sequential oracle and the parallel run. Callers that
+/// need semantic boundaries (e.g. region blocks) lay their index space out
+/// contiguously first and let the cuts fall where they may — a block may
+/// then span a *sub-range* of a semantic unit, which is exactly the
+/// sub-region sharding scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockPartition {
+    starts: Vec<u64>,
+}
+
+impl BlockPartition {
+    /// Equal-population cuts of `0..total` into `k` blocks. Every block is
+    /// non-empty.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or `k > total` (an empty block would make the
+    /// block → owner map ambiguous).
+    pub fn equal(total: u64, k: usize) -> Self {
+        assert!(k > 0, "at least one block");
+        assert!(
+            k as u64 <= total,
+            "more blocks ({k}) than items ({total}): every block must be non-empty"
+        );
+        let starts = (0..=k as u64)
+            .map(|i| ((total as u128 * i as u128) / k as u128) as u64)
+            .collect();
+        BlockPartition { starts }
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Half-open index range of block `i`.
+    pub fn block(&self, i: usize) -> std::ops::Range<u64> {
+        self.starts[i]..self.starts[i + 1]
+    }
+
+    /// Owning block of index `x` (`x < total`), by binary search.
+    pub fn of(&self, x: u64) -> usize {
+        debug_assert!(x < *self.starts.last().expect("non-empty"));
+        self.starts.partition_point(|&s| s <= x) - 1
+    }
+
+    /// The cut points, `blocks() + 1` of them: `starts[i]..starts[i+1]`
+    /// is block `i`.
+    pub fn bounds(&self) -> &[u64] {
+        &self.starts
+    }
+}
+
 /// One shard's logic: a state machine fed timestamped events.
 ///
 /// `Send` because in parallel mode each worker is moved to its own thread
@@ -152,6 +211,14 @@ pub struct ShardRunner<W: ShardWorker> {
     /// Optional per-window profiler (deterministic execution channel +
     /// volatile wall-clock channel). `None` costs nothing on the hot path.
     profiler: Option<ShardProfiler>,
+}
+
+/// A worker panic caught at the window barrier: the original payload plus
+/// the shard it came from, so the re-raise is deterministic and keeps the
+/// first panic's message intact.
+struct ShardPanic {
+    shard: usize,
+    payload: Box<dyn std::any::Any + Send + 'static>,
 }
 
 struct Mail<E> {
@@ -392,6 +459,12 @@ impl<W: ShardWorker> ShardRunner<W> {
     /// Run to quiescence with one thread per shard inside each window.
     /// Bit-identical to [`ShardRunner::run_sequential`] when the program
     /// upholds the module-level obligations.
+    ///
+    /// A panicking worker is re-raised here with its **original payload**
+    /// (the barrier catches it, joins the remaining shards, then resumes
+    /// the unwind) — not swallowed behind channel-teardown noise. When
+    /// several shards panic in one window, the lowest shard index wins,
+    /// matching what the sequential oracle would surface first.
     pub fn run_parallel(&mut self) {
         self.run_inner(true)
     }
@@ -451,12 +524,35 @@ impl<W: ShardWorker> ShardRunner<W> {
                         }
                         let tx = tx.clone();
                         s.spawn(move || {
-                            let r = Self::run_window_on(worker, queue, k, n, window_end, clock);
+                            // Catch a panicking worker so its payload rides
+                            // the barrier channel instead of being replaced
+                            // by scope-join "a scoped thread panicked"
+                            // noise; the barrier re-raises it below.
+                            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                Self::run_window_on(worker, queue, k, n, window_end, clock)
+                            }))
+                            .map_err(|payload| ShardPanic { shard: k, payload });
                             tx.send(r).expect("barrier receiver alive");
                         });
                     }
                     drop(tx);
-                    let mut rs: Vec<WindowResult<W::Event>> = rx.iter().collect();
+                    let mut rs: Vec<WindowResult<W::Event>> = Vec::new();
+                    let mut panics: Vec<ShardPanic> = Vec::new();
+                    for r in rx.iter() {
+                        match r {
+                            Ok(r) => rs.push(r),
+                            Err(p) => panics.push(p),
+                        }
+                    }
+                    if !panics.is_empty() {
+                        // Every shard has finished (the channel closed), so
+                        // re-raising is safe. With several panicked shards
+                        // the surfaced one is chosen deterministically: the
+                        // lowest shard index — the one the sequential
+                        // oracle would have hit first.
+                        panics.sort_by_key(|p| p.shard);
+                        std::panic::resume_unwind(panics.remove(0).payload);
+                    }
                     // Arrival order is scheduler-dependent; the canonical
                     // order is by shard index.
                     rs.sort_by_key(|r| r.shard);
@@ -593,6 +689,70 @@ mod tests {
             r.run_sequential();
         });
         assert!(r.is_err(), "sub-lookahead send must panic");
+    }
+
+    /// The first worker panic must surface with its original message —
+    /// not the generic "a scoped thread panicked" / send-failure noise —
+    /// and deterministically (lowest panicking shard wins).
+    #[test]
+    fn worker_panic_message_propagates_through_barrier() {
+        struct Exploder;
+        impl ShardWorker for Exploder {
+            type Event = u32;
+            fn handle(&mut self, _at: SimTime, token: u32, out: &mut Outbox<u32>) {
+                if out.shard() >= 1 {
+                    panic!("shard {} exploded on token {token}", out.shard());
+                }
+            }
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut r = ShardRunner::new(
+                vec![Exploder, Exploder, Exploder],
+                SimDuration::from_secs(10),
+            );
+            // All three shards are busy in the same window; shards 1 and 2
+            // both panic, shard 0 completes normally.
+            r.seed(0, SimTime(0), 10);
+            r.seed(1, SimTime(0), 21);
+            r.seed(2, SimTime(0), 32);
+            r.run_parallel();
+        }))
+        .expect_err("a panicking worker must fail the run");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert_eq!(
+            msg, "shard 1 exploded on token 21",
+            "original (lowest-shard) panic payload must survive the barrier"
+        );
+    }
+
+    #[test]
+    fn block_partition_covers_contiguously_and_inverts() {
+        for (total, k) in [(9u64, 1usize), (9, 9), (100, 7), (25_900_000, 32), (5, 5)] {
+            let p = BlockPartition::equal(total, k);
+            assert_eq!(p.blocks(), k);
+            assert_eq!(p.bounds().len(), k + 1);
+            let mut covered = 0u64;
+            for i in 0..k {
+                let b = p.block(i);
+                assert_eq!(b.start, covered, "blocks must tile without gaps");
+                assert!(!b.is_empty(), "block {i}/{k} of {total} empty");
+                covered = b.end;
+                // Membership inverts at both edges of every block.
+                assert_eq!(p.of(b.start), i);
+                assert_eq!(p.of(b.end - 1), i);
+            }
+            assert_eq!(covered, total);
+        }
+    }
+
+    #[test]
+    fn block_partition_rejects_more_blocks_than_items() {
+        let r = std::panic::catch_unwind(|| BlockPartition::equal(3, 4));
+        assert!(r.is_err(), "4 blocks over 3 items must panic");
     }
 
     #[test]

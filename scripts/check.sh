@@ -76,6 +76,15 @@ if [ -e results/scale.profile.json ]; then
     "$scale_bin" --lint-profile results/scale.profile.json
 fi
 
+echo "== sub-region shard determinism (16 sub-shards > 9 regions, smoke scale)"
+# Shard keys are contiguous sub-region blocks, so K may exceed the nine
+# regions. Gate the interesting side of that boundary: at K=16 every
+# populous region is split across shards, and the parallel run must still
+# be byte-identical to the sequential oracle.
+(cd "$tmp" && "$scale_bin" --smoke --shards 16 --sequential >scale16_seq.txt 2>/dev/null)
+(cd "$tmp" && "$scale_bin" --smoke --shards 16 --parallel >scale16_par.txt 2>/dev/null)
+cmp "$tmp/scale16_seq.txt" "$tmp/scale16_par.txt"
+
 echo "== bench snapshot lint + smoke regression gate (perfbench --check)"
 # Parses results/bench/BENCH_*.json (schema + required fields), re-runs the
 # wheel-vs-heap smoke A/B asserting bit-identical outputs, and applies a
