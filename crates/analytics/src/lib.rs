@@ -18,6 +18,7 @@
 //! | [`mobility`] | §6.2 AS-count mix, distance mix, connection rate |
 //! | [`guidgraph`] | Fig 12 secondary-GUID chain patterns |
 //! | [`streamview`] | §5.1 headline as a streaming sink (million-peer runs) |
+//! | [`timeseries`] | diurnal folds, peaks/troughs, anomaly ranking over windowed telemetry |
 
 pub mod astraffic;
 pub mod efficiency;
@@ -31,5 +32,6 @@ pub mod sizes;
 pub mod speeds;
 pub mod stats;
 pub mod streamview;
+pub mod timeseries;
 
 pub use stats::Cdf;

@@ -1,0 +1,167 @@
+//! Windowed time-series analysis for the scaled runner's telemetry
+//! (Fig. 2/Fig. 5-style diurnal and anomaly questions, asked of the
+//! `netsession-timeseries/1` sidecar instead of raw logs).
+//!
+//! Deliberately representation-free: every function takes a plain
+//! `&[i64]` of per-window values, so the crate needs no dependency on the
+//! obs-layer series types — the `tsreport` tool extracts rows from the
+//! sidecar and folds them here. All outputs are pure functions of the
+//! input slice, so reports built on them stay byte-deterministic.
+
+/// Mean value per within-day slot: fold a windowed series by
+/// `window % windows_per_day`. Slot means are over however many (possibly
+/// partial) days cover each slot, so a 7.5-day run still yields a full
+/// profile. Returns an empty vec when either input is degenerate.
+pub fn diurnal_profile(values: &[i64], windows_per_day: usize) -> Vec<f64> {
+    if values.is_empty() || windows_per_day == 0 {
+        return Vec::new();
+    }
+    let mut sum = vec![0f64; windows_per_day];
+    let mut n = vec![0u64; windows_per_day];
+    for (w, &v) in values.iter().enumerate() {
+        sum[w % windows_per_day] += v as f64;
+        n[w % windows_per_day] += 1;
+    }
+    sum.iter()
+        .zip(&n)
+        .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect()
+}
+
+/// A series extremum: where and what.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extremum {
+    /// Window index.
+    pub window: usize,
+    /// Value at that window.
+    pub value: i64,
+}
+
+/// Peak and trough of a series (first occurrence wins ties, so the result
+/// is deterministic). `None` on an empty series.
+pub fn peak_trough(values: &[i64]) -> Option<(Extremum, Extremum)> {
+    let mut peak = Extremum {
+        window: 0,
+        value: *values.first()?,
+    };
+    let mut trough = peak;
+    for (w, &v) in values.iter().enumerate().skip(1) {
+        if v > peak.value {
+            peak = Extremum {
+                window: w,
+                value: v,
+            };
+        }
+        if v < trough.value {
+            trough = Extremum {
+                window: w,
+                value: v,
+            };
+        }
+    }
+    Some((peak, trough))
+}
+
+/// Per-window z-scores against the series' own mean and population
+/// standard deviation. A flat series (σ = 0) scores all zeros rather
+/// than dividing by zero.
+pub fn zscores(values: &[i64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let sd = var.sqrt();
+    values
+        .iter()
+        .map(|&v| {
+            if sd == 0.0 {
+                0.0
+            } else {
+                (v as f64 - mean) / sd
+            }
+        })
+        .collect()
+}
+
+/// One anomalous window: index, raw value, z-score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Anomaly {
+    /// Window index.
+    pub window: usize,
+    /// Raw value at that window.
+    pub value: i64,
+    /// Z-score against the series mean.
+    pub z: f64,
+}
+
+/// The `n` most anomalous windows by |z|, most anomalous first; equal
+/// magnitudes order by window index, keeping the ranking deterministic.
+pub fn top_anomalies(values: &[i64], n: usize) -> Vec<Anomaly> {
+    let z = zscores(values);
+    let mut ranked: Vec<Anomaly> = z
+        .iter()
+        .enumerate()
+        .map(|(w, &z)| Anomaly {
+            window: w,
+            value: values[w],
+            z,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.z.abs()
+            .partial_cmp(&a.z.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.window.cmp(&b.window))
+    });
+    ranked.truncate(n);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_folds_by_slot_across_partial_days() {
+        // Two full days plus one extra window: slot 0 has three samples.
+        let values = [10, 0, 20, 0, 30];
+        let prof = diurnal_profile(&values, 2);
+        assert_eq!(prof, vec![20.0, 0.0]);
+        assert!(diurnal_profile(&[], 2).is_empty());
+        assert!(diurnal_profile(&values, 0).is_empty());
+    }
+
+    #[test]
+    fn peak_and_trough_take_the_first_of_equals() {
+        let (peak, trough) = peak_trough(&[3, 9, 1, 9, 1]).unwrap();
+        assert_eq!((peak.window, peak.value), (1, 9));
+        assert_eq!((trough.window, trough.value), (2, 1));
+        assert!(peak_trough(&[]).is_none());
+    }
+
+    #[test]
+    fn zscores_are_zero_mean_and_flat_safe() {
+        let z = zscores(&[1, 2, 3]);
+        assert!(z.iter().sum::<f64>().abs() < 1e-12);
+        assert!(z[2] > 0.0 && z[0] < 0.0);
+        assert_eq!(zscores(&[5, 5, 5]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn anomalies_rank_by_magnitude_then_window() {
+        let top = top_anomalies(&[0, 0, 100, 0, -100, 0], 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].window, 2, "positive spike first (same |z|)");
+        assert_eq!(top[1].window, 4);
+        assert!(top[0].z > 0.0 && top[1].z < 0.0);
+    }
+}

@@ -1,7 +1,7 @@
 //! `perfbench` — the hot-path performance campaign harness behind
-//! `results/bench/BENCH_9.json` (see `docs/PERFORMANCE.md`).
+//! `results/bench/BENCH_10.json` (see `docs/PERFORMANCE.md`).
 //!
-//! Six micro/meso families plus a headline macro run:
+//! Seven micro/meso families plus a headline macro run:
 //!
 //! * `event_queue` — timing wheel vs. the binary-heap oracle, both as a
 //!   micro drain and as a full same-config sim A/B whose outputs are
@@ -25,14 +25,22 @@
 //!   the implied speedup ceiling, the predicted ceiling after splitting
 //!   the busiest shard, and max-over-mean skew. The sequential and
 //!   parallel profiles are asserted equal before being reported.
+//! * `timeseries` — the windowed-telemetry sampling cost: the parallel
+//!   scaled run with per-shard time-series accumulation on (the default)
+//!   vs. off, reports asserted byte-identical before the overhead is
+//!   reported, plus the merged catalog size and how many alert-rule
+//!   transitions the `AlertEngine` raises replaying it.
 //!
 //! Modes:
 //!
 //! ```text
-//! perfbench                          full campaign, writes results/bench/BENCH_9.json
+//! perfbench                          full campaign, writes results/bench/BENCH_10.json
 //! perfbench --smoke [--out PATH]     seconds-scale run (CI), writes PATH or stdout
 //! perfbench --check COMMITTED.json   smoke run + schema lint + coarse regression
 //!                                    gate against the committed snapshot
+//! perfbench --trend [--require N]    cross-PR trajectory table from every
+//!                                    results/bench/BENCH_*.json; fails if the
+//!                                    snapshot for issue N is missing or stale
 //! perfbench --baseline-ms N          record an externally measured seed-commit
 //!                                    headline wall time for the speedup field
 //! ```
@@ -49,8 +57,9 @@ use netsession_core::hash::Sha256;
 use netsession_core::rng::DetRng;
 use netsession_core::time::SimTime;
 use netsession_core::units::Bandwidth;
+use netsession_hybrid::alerts::replay_standard_alerts;
 use netsession_hybrid::{
-    run_scaled_profiled, HybridSim, ScaledConfig, Scenario, ScenarioConfig, SimOutput,
+    run_scaled, run_scaled_profiled, HybridSim, ScaledConfig, Scenario, ScenarioConfig, SimOutput,
 };
 use netsession_logs::geodb::{EdgeScapeDb, GeoInfo, GeoInfoRef};
 use netsession_obs::json::{parse, push_str_literal, JsonValue};
@@ -607,6 +616,50 @@ fn run_campaign(c: &Campaign) -> String {
         scale_cfg.peers, scale_cfg.days, scale_seq_ms, scale_cfg.shards, scale_par_ms, scale_rss_kb
     );
 
+    eprintln!("# timeseries family");
+    // Dedicated profiler-free A/B — the scale family's runs carry a
+    // ShardProfiler, which would inflate the sampling-on side. The report
+    // must not change: telemetry is a sidecar, never an input to the
+    // simulation.
+    let ts = scaled_par
+        .timeseries
+        .as_ref()
+        .expect("default config samples timeseries");
+    let off_cfg = ScaledConfig {
+        timeseries: false,
+        ..scale_cfg.clone()
+    };
+    let t = Instant::now();
+    let scaled_on = run_scaled(&scale_cfg, true, None);
+    let ts_on_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let scaled_off = run_scaled(&off_cfg, true, None);
+    let ts_off_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        scaled_on.report(),
+        scaled_off.report(),
+        "turning telemetry sampling off changed the deterministic report"
+    );
+    assert!(scaled_off.timeseries.is_none());
+    assert_eq!(
+        scaled_on, scaled_par,
+        "re-running the same config diverged — determinism violated"
+    );
+    let ts_overhead_pct = (ts_on_ms / ts_off_ms - 1.0) * 100.0;
+    let ts_raised = replay_standard_alerts(ts)
+        .iter()
+        .filter(|d| d.event.raised)
+        .count();
+    eprintln!(
+        "#   sampling on {:.0} ms vs off {:.0} ms ({:+.1}%), {} windows x {} metrics, {} raised",
+        ts_on_ms,
+        ts_off_ms,
+        ts_overhead_pct,
+        ts.windows,
+        ts.metrics.len(),
+        ts_raised
+    );
+
     eprintln!("# headline macro");
     // The full-mode headline numbers are the macro A/B's wheel runs at the
     // default scale; smoke reuses its smaller macro run.
@@ -616,7 +669,7 @@ fn run_campaign(c: &Campaign) -> String {
 
     let mut j = Json::new();
     j.str(1, "schema", "netsession-perfbench/1");
-    j.num(1, "issue", 9.0);
+    j.num(1, "issue", 10.0);
     j.str(1, "mode", if c.smoke { "smoke" } else { "full" });
     j.open(1, "hardware");
     j.str(2, "os", std::env::consts::OS);
@@ -738,6 +791,18 @@ fn run_campaign(c: &Campaign) -> String {
     j.num(3, "skew", imb.skew());
     // 1.0 = the seq/par profile assert_eq above passed.
     j.num(3, "det_stream_identical", 1.0);
+    j.close(2);
+
+    j.open(2, "timeseries");
+    j.num(3, "windows", ts.windows as f64);
+    j.num(3, "metrics", ts.metrics.len() as f64);
+    j.num(3, "regions", ts.groups.len() as f64);
+    j.num(3, "on_wall_ms", ts_on_ms);
+    j.num(3, "off_wall_ms", ts_off_ms);
+    j.num(3, "overhead_pct", ts_overhead_pct);
+    j.num(3, "detections_raised", ts_raised as f64);
+    // 1.0 = the sampling-on/off report assert_eq above passed.
+    j.num(3, "report_identical", 1.0);
     j.close(2);
 
     j.close(1); // families
@@ -879,6 +944,32 @@ fn check(committed_path: &str) -> Result<(), String> {
             }
         }
     }
+    // The `timeseries` family (windowed telemetry sampling cost) joined in
+    // issue 10; older snapshots stay lintable without it.
+    let has_ts = doc
+        .get("families")
+        .and_then(|f| f.get("timeseries"))
+        .is_some();
+    if issue >= 10.0 && !has_ts {
+        return Err("families.timeseries missing (required from issue 10 on)".into());
+    }
+    if has_ts {
+        for path in [
+            &["families", "timeseries", "windows"][..],
+            &["families", "timeseries", "metrics"],
+            &["families", "timeseries", "on_wall_ms"],
+            &["families", "timeseries", "off_wall_ms"],
+            &["families", "timeseries", "overhead_pct"],
+            &["families", "timeseries", "report_identical"],
+        ] {
+            if get_num(&doc, path).is_none() {
+                return Err(format!("required number {} missing", path.join(".")));
+            }
+        }
+        if get_num(&doc, &["families", "timeseries", "report_identical"]) != Some(1.0) {
+            return Err("families.timeseries.report_identical must be 1".into());
+        }
+    }
     for path in [
         &["families", "event_queue", "macro_speedup"][..],
         &["families", "hashing", "hash_speedup"],
@@ -933,6 +1024,8 @@ fn check(committed_path: &str) -> Result<(), String> {
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let mut smoke = false;
+    let mut trend = false;
+    let mut require_issue: Option<u64> = None;
     let mut check_path: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut baseline_ms: Option<f64> = None;
@@ -947,6 +1040,19 @@ fn main() {
             }
             "--check" => {
                 check_path = Some(argv.get(i + 1).expect("--check <BENCH.json>").clone());
+                i += 2;
+            }
+            "--trend" => {
+                trend = true;
+                i += 1;
+            }
+            "--require" => {
+                require_issue = Some(
+                    argv.get(i + 1)
+                        .expect("--require <issue>")
+                        .parse()
+                        .expect("--require <issue>"),
+                );
                 i += 2;
             }
             "--out" => {
@@ -979,6 +1085,23 @@ fn main() {
         }
     }
 
+    if trend {
+        let dir = "results/bench";
+        let out = match require_issue {
+            Some(n) => netsession_bench::trend::check(dir, n),
+            None => netsession_bench::trend::collect(dir)
+                .map(|rows| netsession_bench::trend::render(&rows)),
+        };
+        match out {
+            Ok(table) => print!("{table}"),
+            Err(e) => {
+                eprintln!("perfbench trend: FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if let Some(path) = check_path {
         match check(&path) {
             Ok(()) => println!("perfbench check: PASS"),
@@ -1007,8 +1130,8 @@ fn main() {
         None if smoke => print!("{json}"),
         None => {
             std::fs::create_dir_all("results/bench").expect("create results/bench");
-            std::fs::write("results/bench/BENCH_9.json", &json).expect("write bench json");
-            eprintln!("# wrote results/bench/BENCH_9.json");
+            std::fs::write("results/bench/BENCH_10.json", &json).expect("write bench json");
+            eprintln!("# wrote results/bench/BENCH_10.json");
         }
     }
 }

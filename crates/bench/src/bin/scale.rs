@@ -13,16 +13,26 @@
 //!   deterministic imbalance profile plus a clearly separated volatile
 //!   timing section (busy / barrier-wait / merge wall time);
 //! - `scale.shardtrace.json` — Perfetto/Chrome timeline, one track per
-//!   shard, slices named busy/wait/merge.
+//!   shard, slices named busy/wait/merge — plus virtual-time counter
+//!   tracks for the merged time series;
+//! - `scale.timeseries.json` — `netsession-timeseries/1`: the merged
+//!   per-(metric, region) sim-hour series, the structured injected-fault
+//!   log, and the `AlertEngine` detections replayed over the series.
 //!
 //! ```text
 //! scale                        1M peers, 31 days, 16 sub-shards, parallel
 //! scale --smoke                20k peers, 7 days, 2 shards (CI gate scale)
 //! scale --sequential           run the sequential oracle instead
+//! scale --chaos                inject FaultSchedule::scaled_campaign(days)
+//! scale --no-timeseries        disable series sampling (stdout reverts to
+//!                              the pre-telemetry byte format)
 //! scale --peers N --days N --objects N --shards K --window-secs S --seed S
 //! scale --profile-det-out F    also write ONLY the deterministic profile
 //!                              JSON to F (the check.sh byte-diff target)
+//! scale --timeseries-out F     also write the timeseries sidecar to F
+//!                              (the check.sh byte-diff target)
 //! scale --lint-profile F       validate a scale.profile.json and exit
+//! scale --lint-timeseries F    validate a scale.timeseries.json and exit
 //! ```
 //!
 //! Flag order never matters: explicit value flags override the `--smoke`
@@ -33,9 +43,12 @@
 //! population).
 
 use netsession_core::time::SimDuration;
-use netsession_hybrid::{run_scaled_profiled, ScaledConfig};
-use netsession_logs::ProfileDigest;
+use netsession_hybrid::alerts::{detected_classes, replay_standard_alerts, SeriesDetection};
+use netsession_hybrid::{run_scaled_profiled, FaultSchedule, ScaledAlert, ScaledConfig};
+use netsession_logs::{ProfileDigest, SeriesDigest};
+use netsession_obs::json::push_str_literal;
 use netsession_obs::profile::{ImbalanceStats, ShardProfiler};
+use netsession_obs::MergedSeries;
 use netsession_obs::MetricsRegistry;
 use std::time::Instant;
 
@@ -48,6 +61,66 @@ fn peak_rss_kb() -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+/// The `netsession-timeseries/1` sidecar: schema tag, recomputable series
+/// digest, the merged series, the structured injected-fault log (region
+/// indices resolved to the series' group labels), and the replayed
+/// detections. Deterministic bytes — the check.sh gate diffs the
+/// sequential and parallel runs' files directly.
+fn timeseries_sidecar_json(
+    ts: &MergedSeries,
+    alerts: &[ScaledAlert],
+    detections: &[SeriesDetection],
+) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"netsession-timeseries/1\",");
+    let _ = writeln!(s, "  \"digest\": \"{}\",", SeriesDigest::fingerprint(ts));
+    let _ = write!(s, "  \"series\": {},\n  \"alerts\": [", ts.to_json());
+    for (i, a) in alerts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\"class\": ");
+        push_str_literal(&mut s, a.class);
+        let _ = write!(
+            s,
+            ", \"at_hours\": {}, \"window\": {}, \"region\": ",
+            a.at_hours, a.window
+        );
+        push_str_literal(&mut s, &ts.groups[a.region as usize]);
+        let _ = write!(s, ", \"detail\": {}}}", a.detail);
+    }
+    if !alerts.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"detections\": [");
+    for (i, d) in detections.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\"region\": ");
+        match &d.region {
+            Some(r) => push_str_literal(&mut s, r),
+            None => s.push_str("null"),
+        }
+        s.push_str(", \"rule\": ");
+        push_str_literal(&mut s, &d.event.rule);
+        let _ = write!(
+            s,
+            ", \"raised\": {}, \"at_us\": {}, \"message\": ",
+            d.event.raised, d.event.at_us
+        );
+        push_str_literal(&mut s, &d.event.message);
+        s.push('}');
+    }
+    if !detections.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     // Overrides are collected first and applied after the base config is
@@ -55,7 +128,10 @@ fn main() {
     // same thing (explicit flags always beat the smoke preset).
     let mut smoke = false;
     let mut parallel = true;
+    let mut chaos = false;
+    let mut timeseries = true;
     let mut det_out: Option<String> = None;
+    let mut ts_out: Option<String> = None;
     let mut peers: Option<u64> = None;
     let mut objects: Option<u64> = None;
     let mut days: Option<u64> = None;
@@ -100,7 +176,29 @@ fn main() {
             "--shards" => shards = Some(next(&argv, &mut i, "--shards") as usize),
             "--window-secs" => window_secs = Some(next(&argv, &mut i, "--window-secs")),
             "--seed" => seed = Some(next(&argv, &mut i, "--seed")),
+            "--chaos" => {
+                chaos = true;
+                i += 1;
+            }
+            "--no-timeseries" => {
+                timeseries = false;
+                i += 1;
+            }
             "--profile-det-out" => det_out = Some(next_str(&argv, &mut i, "--profile-det-out")),
+            "--timeseries-out" => ts_out = Some(next_str(&argv, &mut i, "--timeseries-out")),
+            "--lint-timeseries" => {
+                let path = next_str(&argv, &mut i, "--lint-timeseries");
+                match netsession_bench::ts_lint::lint_timeseries(&path) {
+                    Ok(()) => {
+                        println!("timeseries lint OK: {path}");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("timeseries lint FAILED: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             "--lint-profile" => {
                 let path = next_str(&argv, &mut i, "--lint-profile");
                 match netsession_bench::profile_lint::lint_profile(&path) {
@@ -147,6 +245,10 @@ fn main() {
     if let Some(v) = seed {
         cfg.seed = v;
     }
+    cfg.timeseries = timeseries;
+    if chaos {
+        cfg.faults = FaultSchedule::scaled_campaign(cfg.days);
+    }
     // Validate the *effective* config here, where the error can name the
     // flag to fix — not as a panic deep inside the world constructor.
     if let Err(e) = cfg.validate() {
@@ -170,20 +272,63 @@ fn main() {
     let stats = profiler.exec().stats();
     let stream = profiler.stream_fingerprint().expect("digest sink attached");
 
-    // Deterministic stdout: merged report, then the shard profile. Both
-    // halves are byte-identical sequential-vs-parallel and run-to-run.
+    // Deterministic stdout: merged report, then the shard profile, then
+    // the time-series fingerprint and detections (sampling on only — with
+    // `--no-timeseries` these lines vanish and stdout is byte-identical
+    // to the pre-telemetry format). Every half is byte-identical
+    // sequential-vs-parallel and run-to-run.
     print!("{}", out.report());
     print!(
         "{}",
         stats.render_report(&out.shard_labels, &out.shard_peers)
     );
     println!("  stream {stream}");
+    let detections = out.timeseries.as_ref().map(replay_standard_alerts);
+    if let (Some(ts), Some(dets)) = (&out.timeseries, &detections) {
+        println!(
+            "timeseries: windows={} metrics={} digest={}",
+            ts.windows,
+            ts.metrics.len(),
+            SeriesDigest::fingerprint(ts)
+        );
+        let raised = dets.iter().filter(|d| d.event.raised).count();
+        let classes = detected_classes(dets);
+        println!(
+            "detections: {} transitions, {} raised, classes [{}]",
+            dets.len(),
+            raised,
+            classes.join(", ")
+        );
+    }
 
     let det_json = stats.to_json(&out.shard_labels, &out.shard_peers, Some(&stream));
     if let Some(path) = det_out {
         if let Err(e) = std::fs::write(&path, format!("{{\n  \"deterministic\": {det_json}\n}}\n"))
         {
             eprintln!("# profile det-out skipped: {e}");
+        }
+    }
+    let ts_sidecar = match (&out.timeseries, &detections) {
+        (Some(ts), Some(dets)) => {
+            let alerts: Vec<ScaledAlert> = out
+                .regions
+                .iter()
+                .flat_map(|r| r.alerts.iter().copied())
+                .collect();
+            let sidecar = timeseries_sidecar_json(ts, &alerts, dets);
+            // Self-check the artifact before it lands anywhere: the same
+            // lint check.sh runs on the committed copy.
+            if let Err(e) = netsession_bench::ts_lint::lint_timeseries_text(&sidecar) {
+                eprintln!("scale: fresh timeseries sidecar fails its own lint: {e}");
+                std::process::exit(1);
+            }
+            Some(sidecar)
+        }
+        _ => None,
+    };
+    if let (Some(path), Some(sidecar)) = (&ts_out, &ts_sidecar) {
+        if let Err(e) = std::fs::write(path, sidecar) {
+            eprintln!("# timeseries-out skipped: {e}");
         }
     }
 
@@ -243,12 +388,27 @@ fn main() {
         // Per-shard bucket budget shrinks as shards grow so the export
         // stays under the 1 MiB trace budget at any (K, population).
         let buckets = (2048 / cfg.shards.max(1)).clamp(64, 512);
-        match std::fs::write(
-            dir.join("scale.shardtrace.json"),
-            profiler.timings().export_chrome_json(buckets),
-        ) {
+        let mut trace = profiler.timings().export_chrome_json(buckets);
+        if let Some(ts) = &out.timeseries {
+            // Counter tracks ride the same trace on their own pid (the
+            // slice pids are 0..shards for workers plus one for the
+            // barrier) with their own coalescing budget, sized so the
+            // whole file stays within the 1 MiB lint at month scale.
+            let ts_buckets = (1536 / ts.metrics.len().max(1)).clamp(32, 128);
+            let counters = ts.chrome_counter_events(cfg.shards + 1, ts_buckets);
+            if let Some(pos) = trace.rfind("\n]}") {
+                trace.insert_str(pos, &counters);
+            }
+        }
+        match std::fs::write(dir.join("scale.shardtrace.json"), trace) {
             Ok(()) => eprintln!("# shardtrace sidecar: results/scale.shardtrace.json"),
             Err(e) => eprintln!("# shardtrace sidecar skipped: {e}"),
+        }
+        if let Some(sidecar) = &ts_sidecar {
+            match std::fs::write(dir.join("scale.timeseries.json"), sidecar) {
+                Ok(()) => eprintln!("# timeseries sidecar: results/scale.timeseries.json"),
+                Err(e) => eprintln!("# timeseries sidecar skipped: {e}"),
+            }
         }
     }
     // Self-check the artifact we just wrote (cheap, catches drift early).

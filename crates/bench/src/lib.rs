@@ -11,5 +11,7 @@
 pub mod explain;
 pub mod profile_lint;
 pub mod runner;
+pub mod trend;
+pub mod ts_lint;
 
 pub use runner::{parse_args, run_default, ExperimentArgs};

@@ -1,0 +1,201 @@
+//! Cross-PR performance trajectory: fold every committed
+//! `results/bench/BENCH_<issue>.json` snapshot into one table so a perf
+//! regression shows up as a *trend break*, not a single-run blip. Used by
+//! `perfbench --trend` and linted in `scripts/check.sh` (a missing or
+//! stale snapshot for the current issue fails the gate).
+//!
+//! Families appear as they were introduced: the event-queue macro speedup
+//! exists from the first snapshot, the scaled-runner family from issue 7,
+//! the shard-profile family from issue 8, the time-series family from
+//! issue 10 — absent cells print `-` rather than failing, because old
+//! snapshots are immutable history.
+
+use netsession_obs::json::{self, JsonValue};
+
+/// One `BENCH_<issue>.json` snapshot, reduced to the headline trajectory
+/// cells. `None` = the family did not exist yet in that snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrendRow {
+    /// Issue (PR) number the snapshot was recorded for.
+    pub issue: u64,
+    /// `event_queue.macro_speedup` — wheel vs heap macro run.
+    pub macro_speedup: Option<f64>,
+    /// `scale.par_wall_ms` — the sharded runner's parallel wall time.
+    pub scale_wall_ms: Option<f64>,
+    /// `scale.peak_rss_kb`.
+    pub scale_rss_kb: Option<f64>,
+    /// `scale.parallel_speedup` (sequential wall / parallel wall).
+    pub scale_speedup: Option<f64>,
+    /// `shard_profile.skew` — max-over-mean per-shard event share.
+    pub skew: Option<f64>,
+    /// `shard_profile.speedup_ceiling` — critical-path bound.
+    pub ceiling: Option<f64>,
+    /// `timeseries.overhead_pct` — sampling cost vs sampling off.
+    pub ts_overhead_pct: Option<f64>,
+}
+
+fn family_num(doc: &JsonValue, family: &str, key: &str) -> Option<f64> {
+    doc.get("families")?.get(family)?.get(key)?.as_f64()
+}
+
+/// Parse one snapshot's text into its trend row.
+pub fn parse_snapshot(text: &str) -> Result<TrendRow, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(|s| s.as_str()) {
+        Some("netsession-perfbench/1") => {}
+        other => return Err(format!("bad schema tag {other:?}")),
+    }
+    let issue = doc
+        .get("issue")
+        .and_then(|i| i.as_u64())
+        .ok_or("missing issue number")?;
+    Ok(TrendRow {
+        issue,
+        macro_speedup: family_num(&doc, "event_queue", "macro_speedup"),
+        scale_wall_ms: family_num(&doc, "scale", "par_wall_ms"),
+        scale_rss_kb: family_num(&doc, "scale", "peak_rss_kb"),
+        scale_speedup: family_num(&doc, "scale", "parallel_speedup"),
+        skew: family_num(&doc, "shard_profile", "skew"),
+        ceiling: family_num(&doc, "shard_profile", "speedup_ceiling"),
+        ts_overhead_pct: family_num(&doc, "timeseries", "overhead_pct"),
+    })
+}
+
+/// Read every `BENCH_*.json` under `dir`, sorted by issue number.
+pub fn collect(dir: &str) -> Result<Vec<TrendRow>, String> {
+    let mut rows = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let path = entry.path();
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{name}: {e}"))?;
+        let row = parse_snapshot(&text).map_err(|e| format!("{name}: {e}"))?;
+        // The filename is part of the contract: BENCH_<issue>.json.
+        let from_name: Option<u64> = name
+            .trim_start_matches("BENCH_")
+            .trim_end_matches(".json")
+            .parse()
+            .ok();
+        if from_name != Some(row.issue) {
+            return Err(format!(
+                "{name}: filename does not match issue {} inside",
+                row.issue
+            ));
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(format!("no BENCH_*.json snapshots under {dir}"));
+    }
+    rows.sort_by_key(|r| r.issue);
+    Ok(rows)
+}
+
+fn cell(v: Option<f64>, width: usize, decimals: usize) -> String {
+    match v {
+        Some(x) => format!("{x:>width$.decimals$}"),
+        None => format!("{:>width$}", "-"),
+    }
+}
+
+/// Render the trajectory table (deterministic given the snapshot set —
+/// the cells are whatever the snapshots recorded).
+pub fn render(rows: &[TrendRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:>5} {:>9} {:>13} {:>12} {:>9} {:>6} {:>8} {:>8}",
+        "issue",
+        "queue_spd",
+        "scale_wall_ms",
+        "scale_rss_kb",
+        "scale_spd",
+        "skew",
+        "ceiling",
+        "ts_ov_%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>5} {} {} {} {} {} {} {}",
+            r.issue,
+            cell(r.macro_speedup, 9, 3),
+            cell(r.scale_wall_ms, 13, 0),
+            cell(r.scale_rss_kb, 12, 0),
+            cell(r.scale_speedup, 9, 3),
+            cell(r.skew, 6, 2),
+            cell(r.ceiling, 8, 3),
+            cell(r.ts_overhead_pct, 8, 2),
+        );
+    }
+    s
+}
+
+/// Gate mode: collect, render (returned for printing), and require a
+/// snapshot for `require_issue` — with the families that issue must carry.
+pub fn check(dir: &str, require_issue: u64) -> Result<String, String> {
+    let rows = collect(dir)?;
+    let table = render(&rows);
+    let Some(cur) = rows.iter().find(|r| r.issue == require_issue) else {
+        return Err(format!(
+            "no BENCH_{require_issue}.json snapshot: record one with `perfbench` before shipping"
+        ));
+    };
+    // The current snapshot must not have dropped families older snapshots
+    // carry: that is how staleness shows up after a schema change.
+    if require_issue >= 7 && (cur.scale_wall_ms.is_none() || cur.scale_speedup.is_none()) {
+        return Err(format!("BENCH_{require_issue}.json: scale family missing"));
+    }
+    if require_issue >= 8 && cur.skew.is_none() {
+        return Err(format!(
+            "BENCH_{require_issue}.json: shard_profile family missing"
+        ));
+    }
+    if require_issue >= 10 && cur.ts_overhead_pct.is_none() {
+        return Err(format!(
+            "BENCH_{require_issue}.json: timeseries family missing"
+        ));
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_snapshot_and_tolerates_missing_families() {
+        let row = parse_snapshot(
+            "{\"schema\": \"netsession-perfbench/1\", \"issue\": 6, \
+             \"families\": {\"event_queue\": {\"macro_speedup\": 1.25}}}",
+        )
+        .unwrap();
+        assert_eq!(row.issue, 6);
+        assert_eq!(row.macro_speedup, Some(1.25));
+        assert_eq!(row.scale_wall_ms, None);
+        assert!(render(&[row]).contains("1.250"));
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        assert!(parse_snapshot("{\"schema\": \"x/1\", \"issue\": 6}").is_err());
+    }
+
+    #[test]
+    fn trend_over_the_committed_snapshots_includes_every_issue() {
+        // Runs against the repo's real results/bench directory.
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/bench");
+        let rows = collect(dir).expect("committed snapshots parse");
+        assert!(rows.len() >= 4, "expected the PR 6..=9+ snapshots");
+        assert!(rows.windows(2).all(|w| w[0].issue < w[1].issue));
+        let table = render(&rows);
+        for r in &rows {
+            assert!(table.contains(&format!("\n{:>5} ", r.issue)), "{table}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Schema lint for `scale.timeseries.json` sidecars
+//! (`netsession-timeseries/1`), shared by `scale --lint-timeseries` and
+//! the corrupted-sidecar tests — the time-series sibling of
+//! [`crate::profile_lint`].
+//!
+//! Beyond structure, the lint re-derives the series fingerprint from the
+//! decoded values and compares it to the sidecar's `digest` field, so a
+//! hand-edited or stale committed artifact fails the gate even when its
+//! shape is plausible. It also replays the fault-class join: every fault
+//! class that appears in the injected-alert log must have raised its
+//! paired detection rule ([`netsession_hybrid::alerts::FAULT_CLASS_RULES`])
+//! somewhere in the detections log — the artifact-side restatement of the
+//! PR acceptance criterion.
+
+use netsession_hybrid::alerts::FAULT_CLASS_RULES;
+use netsession_logs::SeriesDigest;
+use netsession_obs::{json, MergedSeries};
+
+/// Validate a `scale.timeseries.json` sidecar.
+pub fn lint_timeseries(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    lint_timeseries_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// [`lint_timeseries`] over already-read JSON text (path-free messages).
+pub fn lint_timeseries_text(text: &str) -> Result<(), String> {
+    let v = json::parse(text).map_err(|e| e.to_string())?;
+    match v.get("schema").and_then(|s| s.as_str()) {
+        Some("netsession-timeseries/1") => {}
+        other => return Err(format!("bad schema tag {other:?}")),
+    }
+    let series_val = v
+        .get("series")
+        .ok_or_else(|| "missing series section".to_string())?;
+    let series = MergedSeries::from_value(series_val)?;
+    if series.windows == 0 {
+        return Err("series has zero windows: an empty run is corrupt".into());
+    }
+    if series.groups.is_empty() {
+        return Err("series has no groups".into());
+    }
+    if series.metrics.is_empty() {
+        return Err("series has no metrics".into());
+    }
+    // Alert rules join on the `hybrid.fault.*` names; a catalog that lost
+    // them would make the detections log vacuous.
+    for (_, _, metric) in FAULT_CLASS_RULES {
+        if series.metric(metric).is_none() {
+            return Err(format!("series catalog is missing {metric}"));
+        }
+    }
+    // Staleness check: the digest is recomputed from the decoded values,
+    // not read back, so a sidecar regenerated from different code or
+    // edited by hand fails here.
+    match v.get("digest").and_then(|d| d.as_str()) {
+        Some(d) if d == SeriesDigest::fingerprint(&series) => {}
+        Some(d) => {
+            return Err(format!(
+                "digest {d} does not match the decoded series: stale or corrupted sidecar"
+            ))
+        }
+        None => return Err("missing digest".into()),
+    }
+    let alerts = v
+        .get("alerts")
+        .and_then(|a| a.as_arr())
+        .ok_or_else(|| "alerts missing or not an array".to_string())?;
+    let mut injected_classes: Vec<&str> = Vec::new();
+    for (i, a) in alerts.iter().enumerate() {
+        for key in ["class", "at_hours", "window", "region", "detail"] {
+            if a.get(key).is_none() {
+                return Err(format!("alerts[{i}].{key} missing"));
+            }
+        }
+        let class = a
+            .get("class")
+            .and_then(|c| c.as_str())
+            .ok_or_else(|| format!("alerts[{i}].class not a string"))?;
+        if !FAULT_CLASS_RULES.iter().any(|(c, _, _)| *c == class) {
+            return Err(format!("alerts[{i}]: unknown fault class {class}"));
+        }
+        if !injected_classes.contains(&class) {
+            injected_classes.push(class);
+        }
+    }
+    let detections = v
+        .get("detections")
+        .and_then(|d| d.as_arr())
+        .ok_or_else(|| "detections missing or not an array".to_string())?;
+    for (i, d) in detections.iter().enumerate() {
+        for key in ["rule", "raised", "at_us", "message"] {
+            if d.get(key).is_none() {
+                return Err(format!("detections[{i}].{key} missing"));
+            }
+        }
+    }
+    // The fault-class join: every injected class must have raised its
+    // paired rule. (A fault-free sidecar passes vacuously — the standard
+    // rules are structurally incapable of false positives on it, and the
+    // next check enforces that side.)
+    for class in injected_classes {
+        let (_, rule, _) = FAULT_CLASS_RULES
+            .iter()
+            .find(|(c, _, _)| *c == class)
+            .expect("class validated above");
+        let raised = detections.iter().any(|d| {
+            d.get("rule").and_then(|r| r.as_str()) == Some(rule)
+                && d.get("raised").and_then(|r| r.as_bool()) == Some(true)
+        });
+        if !raised {
+            return Err(format!(
+                "fault class {class} was injected but rule {rule} never raised"
+            ));
+        }
+    }
+    if alerts.is_empty() && !detections.is_empty() {
+        return Err(format!(
+            "{} detections on a fault-free run: false positives",
+            detections.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_wrong_schema_and_missing_sections() {
+        assert!(lint_timeseries_text("{}").is_err());
+        assert!(
+            lint_timeseries_text("{\"schema\": \"netsession-timeseries/1\"}")
+                .unwrap_err()
+                .contains("series"),
+        );
+        assert!(lint_timeseries_text("{\"schema\": \"other/9\"}")
+            .unwrap_err()
+            .contains("schema"));
+    }
+}

@@ -24,7 +24,7 @@
 //!
 //! [`FaultKind`]: crate::config::FaultKind
 
-use netsession_obs::{AlertRule, RuleKind};
+use netsession_obs::{AlertEvent, AlertRule, MergedSeries, RuleKind};
 
 /// Observation window for every rate rule: one trailing hour of virtual
 /// (or wall) time. Detection latency is bounded by the driver's
@@ -79,6 +79,61 @@ pub fn standard_rules() -> Vec<AlertRule> {
                 RULE_WINDOW_US,
             )
         })
+        .collect()
+}
+
+/// One alert transition from replaying the standard rules over a merged
+/// time series: the scaled runner's post-hoc equivalent of the hybrid
+/// driver's in-loop observation. `region` is `None` for the fleet-wide
+/// pass (all regions summed) and the region label otherwise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeriesDetection {
+    /// Region the engine was scoped to, `None` = fleet-wide.
+    pub region: Option<String>,
+    /// The raise/clear transition, timestamped in virtual micros (the
+    /// close of the window whose observation transitioned the rule).
+    pub event: AlertEvent,
+}
+
+/// Replay [`standard_rules`] over a merged time series in virtual time:
+/// one fleet-wide engine over the region-summed series, then one engine
+/// per region. Counter windows are re-accumulated into the monotone
+/// cumulative values the [`netsession_obs::AlertEngine`] expects, so its
+/// reset/rate semantics match the live scrape path exactly. Output is
+/// deterministic: fleet-wide first, then regions in series order, each
+/// engine's log in time order.
+pub fn replay_standard_alerts(series: &MergedSeries) -> Vec<SeriesDetection> {
+    let mut out = Vec::new();
+    for event in series.replay(standard_rules(), None) {
+        out.push(SeriesDetection {
+            region: None,
+            event,
+        });
+    }
+    for (g, label) in series.groups.iter().enumerate() {
+        for event in series.replay(standard_rules(), Some(g)) {
+            out.push(SeriesDetection {
+                region: Some(label.clone()),
+                event,
+            });
+        }
+    }
+    out
+}
+
+/// Which fault classes a detection log raised, joined through
+/// [`FAULT_CLASS_RULES`]: returns the class labels (in rule-table order)
+/// whose class rule raised at least once anywhere. The scaled acceptance
+/// gate asserts this covers all four classes.
+pub fn detected_classes(detections: &[SeriesDetection]) -> Vec<&'static str> {
+    FAULT_CLASS_RULES
+        .iter()
+        .filter(|(_, rule, _)| {
+            detections
+                .iter()
+                .any(|d| d.event.raised && d.event.rule == *rule)
+        })
+        .map(|(class, _, _)| *class)
         .collect()
 }
 

@@ -71,6 +71,46 @@ impl FaultSchedule {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// The scaled runner's standard chaos campaign: all four fault
+    /// classes spread over a `days`-long run — one [`FaultKind::CnCrash`],
+    /// [`FaultKind::DnWipe`], and two-hour [`FaultKind::EdgeOutage`] per
+    /// region (nine regions each, in dense region order), plus a heavy
+    /// and a light fleet-wide [`FaultKind::ChurnBurst`]. Injection times
+    /// divide the horizon into 40 even slots, so the same campaign shape
+    /// scales from a smoke run to the paper-scale month. Deterministic:
+    /// a pure function of `days`.
+    pub fn scaled_campaign(days: u64) -> FaultSchedule {
+        let horizon = days * 24;
+        let h = |slot: u64| (horizon * (slot + 1) / 40).max(1);
+        let mut events = Vec::new();
+        for region in 0..9u32 {
+            events.push(FaultEvent {
+                at_hours: h(region as u64),
+                kind: FaultKind::CnCrash { region },
+            });
+            events.push(FaultEvent {
+                at_hours: h(9 + region as u64),
+                kind: FaultKind::DnWipe { region },
+            });
+            events.push(FaultEvent {
+                at_hours: h(18 + region as u64),
+                kind: FaultKind::EdgeOutage {
+                    region,
+                    secs: 7_200,
+                },
+            });
+        }
+        events.push(FaultEvent {
+            at_hours: h(28),
+            kind: FaultKind::ChurnBurst { fraction: 0.3 },
+        });
+        events.push(FaultEvent {
+            at_hours: h(33),
+            kind: FaultKind::ChurnBurst { fraction: 0.15 },
+        });
+        FaultSchedule { events }
+    }
 }
 
 /// Observability knobs. These configure what gets *recorded* — event

@@ -33,7 +33,8 @@ pub mod sim;
 
 pub use config::{FaultEvent, FaultKind, FaultSchedule, ScenarioConfig};
 pub use scaled::{
-    run_scaled, run_scaled_profiled, RegionReport, ScaledConfig, ScaledOutput, MAX_SHARDS,
+    run_scaled, run_scaled_profiled, RegionReport, ScaledAlert, ScaledConfig, ScaledOutput,
+    MAX_SHARDS, TS_INTERVAL_US, TS_METRICS,
 };
 pub use setup::Scenario;
 pub use sim::{HybridSim, RunStats, SimOutput};

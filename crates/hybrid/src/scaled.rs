@@ -61,6 +61,7 @@ use netsession_logs::dataset::DatasetSummary;
 use netsession_logs::sink::{DigestSink, DigestTriple, RecordSink, StreamingSummary};
 use netsession_logs::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
 use netsession_obs::profile::ShardProfiler;
+use netsession_obs::timeseries::{merge_shards, MergedSeries, SeriesSpec, ShardSeries};
 use netsession_obs::MetricsRegistry;
 use netsession_sim::shard::{BlockPartition, Outbox, ShardRunner, ShardWorker};
 use netsession_world::geo::Region;
@@ -95,6 +96,67 @@ const DIURNAL: [f64; 24] = [
 // Purpose tags for content-keyed RNG streams. Distinct constants keep the
 // streams independent; the mixer multiplies by odd constants so (entity,
 // purpose) pairs never collide by accident.
+/// Time-series window length: one simulated hour, the paper's diurnal
+/// resolution (Fig. 2) and the alert rules' trailing window.
+pub const TS_INTERVAL_US: u64 = HOUR_US;
+
+// Metric indices into [`TS_METRICS`], used by the recording hot path.
+const TS_LOGINS: usize = 0;
+const TS_DL_STARTED: usize = 1;
+const TS_DL_COMPLETED: usize = 2;
+const TS_DL_FAILED: usize = 3;
+const TS_DL_ABANDONED: usize = 4;
+const TS_BYTES_PEERS: usize = 5;
+const TS_BYTES_INFRA: usize = 6;
+const TS_TRANSFERS: usize = 7;
+const TS_MAIL: usize = 8;
+const TS_ACTIVE: usize = 9;
+const TS_DEGRADED: usize = 10;
+const TS_CN_CRASHES: usize = 11;
+const TS_DN_WIPES: usize = 12;
+const TS_EDGE_OUTAGES: usize = 13;
+const TS_CHURN_BURSTS: usize = 14;
+const TS_CHURN_OFFLINE: usize = 15;
+const TS_EDGE_ONLY: usize = 16;
+const TS_INJECTED: usize = 17;
+
+// Bits of the `scaled.degraded` flags gauge (per region, OR across the
+// sub-shards holding slices of the region — every part sees the same
+// fault event, so the OR is exact).
+const DEG_CONTROL: i64 = 1;
+const DEG_DIRECTORY: i64 = 2;
+const DEG_EDGE: i64 = 4;
+
+/// The scaled runner's time-series catalog, in sidecar order. Workload
+/// metrics carry the `scaled.` prefix; fault metrics reuse the
+/// `hybrid.fault.*` names the PR 5 alert rules watch, so
+/// [`crate::alerts::standard_rules`] runs over the merged series
+/// unchanged (and `check.sh`'s alert-coverage grep keeps them honest).
+///
+/// Everything recorded at content time is K-invariant; only
+/// `scaled.cross_shard_mail` (counted at barrier delivery, a pure
+/// shard-topology artifact) is flagged otherwise.
+pub const TS_METRICS: &[SeriesSpec] = &[
+    SeriesSpec::counter("scaled.logins"),
+    SeriesSpec::counter("scaled.downloads_started"),
+    SeriesSpec::counter("scaled.downloads_completed"),
+    SeriesSpec::counter("scaled.downloads_failed"),
+    SeriesSpec::counter("scaled.downloads_abandoned"),
+    SeriesSpec::counter("scaled.bytes_peers"),
+    SeriesSpec::counter("scaled.bytes_infra"),
+    SeriesSpec::counter("scaled.transfers"),
+    SeriesSpec::counter_k_variant("scaled.cross_shard_mail"),
+    SeriesSpec::level("scaled.active_peers"),
+    SeriesSpec::flags("scaled.degraded"),
+    SeriesSpec::counter("hybrid.fault.cn_crashes"),
+    SeriesSpec::counter("hybrid.fault.dn_wipes"),
+    SeriesSpec::counter("hybrid.fault.edge_outages"),
+    SeriesSpec::counter("hybrid.fault.churn_bursts"),
+    SeriesSpec::counter("hybrid.fault.churn_offline"),
+    SeriesSpec::counter("hybrid.fault.edge_only_downloads"),
+    SeriesSpec::counter("hybrid.fault.injected"),
+];
+
 const P_LOGIN: u64 = 0x01;
 const P_SESSION: u64 = 0x02;
 const P_DOWNLOAD: u64 = 0x03;
@@ -151,6 +213,11 @@ pub struct ScaledConfig {
     /// Deterministic fault schedule (shares [`crate::config::FaultSchedule`]
     /// with the full-fidelity sim).
     pub faults: FaultSchedule,
+    /// Record the per-(metric, region) sim-hour time series ([`TS_METRICS`])
+    /// and attach the merged result to [`ScaledOutput::timeseries`]. Off
+    /// reproduces the pre-telemetry run byte-for-byte (sampling is pure
+    /// observation — the report is identical either way).
+    pub timeseries: bool,
 }
 
 impl Default for ScaledConfig {
@@ -166,6 +233,7 @@ impl Default for ScaledConfig {
             downloads_per_login: 0.35,
             cross_region_prob: 0.15,
             faults: FaultSchedule::default(),
+            timeseries: true,
         }
     }
 }
@@ -424,7 +492,11 @@ enum ScaledEvent {
     },
     /// Cross-shard: a remote-region peer uploaded `bytes` of `object` to
     /// the (carried) downloader. Emitted as a [`TransferRecord`] in the
-    /// uploader's region stream at barrier delivery.
+    /// uploader's region stream at barrier delivery. `at_us` carries the
+    /// *origin* (download-finish) time so the receiving shard can record
+    /// the transfer into its content-time window — crediting it at
+    /// delivery time would make the per-window series depend on where the
+    /// window barrier happens to fall, i.e. on `--shards`.
     RemoteUpload {
         region: u8,
         from_peer: u32,
@@ -433,7 +505,47 @@ enum ScaledEvent {
         to_country: u16,
         bytes: u64,
         object: u64,
+        at_us: u64,
     },
+}
+
+/// One injected fault, as a structured record: class, region, the
+/// sim-hour window it lands in, and a class-specific detail (outage
+/// seconds, peers dropped). [`ScaledAlert::render`] reproduces the exact
+/// legacy report lines, so committed artifacts are unaffected by the
+/// move away from free-form strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScaledAlert {
+    /// Fault class tag: `cn_crash`, `dn_wipe`, `edge_outage`, `churn_burst`.
+    pub class: &'static str,
+    /// Schedule hour of the injection ([`FaultEvent::at_hours`]).
+    pub at_hours: u64,
+    /// Time-series window index ([`TS_INTERVAL_US`] grid) of the injection.
+    pub window: u32,
+    /// Region index into [`Region::ALL`].
+    pub region: u8,
+    /// `edge_outage`: outage seconds; `churn_burst`: sessions dropped in
+    /// this region (this shard part); otherwise 0.
+    pub detail: u64,
+}
+
+impl ScaledAlert {
+    /// The report line for this alert — byte-identical to the strings the
+    /// pre-structured implementation pushed.
+    pub fn render(&self) -> String {
+        let region = Region::ALL[self.region as usize].label();
+        match self.class {
+            "edge_outage" => format!(
+                "h{:03} {}: edge_outage {}s",
+                self.at_hours, region, self.detail
+            ),
+            "churn_burst" => format!(
+                "h{:03} {}: churn_burst dropped={}",
+                self.at_hours, region, self.detail
+            ),
+            class => format!("h{:03} {}: {}", self.at_hours, region, class),
+        }
+    }
 }
 
 /// Mutable per-region state: fault windows, streaming sinks, tallies.
@@ -455,7 +567,7 @@ struct RegionLocal {
     bytes_peers: u64,
     transfers: u64,
     remote_uploads_in: u64,
-    alerts: Vec<String>,
+    alerts: Vec<ScaledAlert>,
 }
 
 impl RegionLocal {
@@ -498,6 +610,11 @@ struct ScaledShard {
     /// filled by `DayStart` in one pass, drained in order by `HourSeed`.
     /// 4 bytes per pending login instead of a ~64-byte queued event.
     login_buckets: Vec<Vec<u32>>,
+    /// Per-(metric, region) sim-hour series ([`TS_METRICS`] × the nine
+    /// global regions). Every sample is keyed by content time, so the
+    /// merged result is invariant in the shard count; `None` when
+    /// [`ScaledConfig::timeseries`] is off.
+    series: Option<ShardSeries>,
 }
 
 impl ScaledShard {
@@ -513,7 +630,32 @@ impl ScaledShard {
             online_until: vec![0u64; (peer_hi - peer_lo) as usize],
             locals: regions.map(|_| RegionLocal::new()).collect(),
             login_buckets: (0..24).map(|_| Vec::new()).collect(),
+            series: world
+                .cfg
+                .timeseries
+                .then(|| ShardSeries::new(TS_METRICS, Region::ALL.len(), TS_INTERVAL_US)),
             world,
+        }
+    }
+
+    #[inline]
+    fn ts_add(&mut self, metric: usize, region: usize, t_us: u64, delta: i64) {
+        if let Some(s) = &mut self.series {
+            s.add(metric, region, t_us, delta);
+        }
+    }
+
+    #[inline]
+    fn ts_level(&mut self, region: usize, t_us: u64, delta: i64) {
+        if let Some(s) = &mut self.series {
+            s.level_shift(TS_ACTIVE, region, t_us, delta);
+        }
+    }
+
+    #[inline]
+    fn ts_flags(&mut self, region: usize, from_us: u64, until_us: u64, bits: i64) {
+        if let Some(s) = &mut self.series {
+            s.flag_span(TS_DEGRADED, region, from_us, until_us, bits);
         }
     }
 
@@ -598,7 +740,21 @@ impl ScaledShard {
         let mut rng = key_rng(cfg.seed, peer as u64, day as u64, P_SESSION);
         // Sessions: 30 min .. ~12.5 h (background-mode clients stay up).
         let session_us = 1_800_000_000 + rng.below(43_200_000_000);
-        self.set_online(peer, at.as_micros() + session_us);
+        let now_us = at.as_micros();
+        let prev_until = self.online(peer);
+        let until = now_us + session_us;
+        self.set_online(peer, until);
+        let region = world.region_of_peer(peer);
+        self.ts_add(TS_LOGINS, region, now_us, 1);
+        if prev_until >= now_us {
+            // Re-login while still online: the peer stays one active
+            // session, its end just moves — cancel the scheduled −1 and
+            // re-post it at the new end.
+            self.ts_level(region, prev_until, 1);
+        } else {
+            self.ts_level(region, now_us, 1);
+        }
+        self.ts_level(region, until, -1);
 
         let (lat, lon) = world.lat_lon(peer);
         let rec = LoginRecord {
@@ -613,7 +769,6 @@ impl ScaledShard {
             software_version: (hash64(cfg.seed, peer as u64, P_STATIC + 8) % 12) as u32,
             secondary_guids: Vec::new(),
         };
-        let region = world.region_of_peer(peer);
         let local = self.local_mut(region);
         local.digest.on_login(&rec);
         local.summary.on_login(&rec);
@@ -667,6 +822,12 @@ impl ScaledShard {
         let control_down = now_us < local.control_down_until;
         let dir_degraded = now_us < local.dir_degraded_until;
         let edge_down = now_us < local.edge_down_until;
+        self.ts_add(TS_DL_STARTED, region, now_us, 1);
+        if control_down {
+            // Control crash symptom: this request proceeds without peer
+            // sources at all (eta = 0 below) — the §3.8 edge-only mode.
+            self.ts_add(TS_EDGE_ONLY, region, now_us, 1);
+        }
         if control_down {
             eta = 0.0; // no source queries: edge-only degradation (§3.8)
         } else if dir_degraded {
@@ -786,6 +947,13 @@ impl ScaledShard {
             local.bytes_infra += bytes_infra;
             local.bytes_peers += bytes_peers;
         }
+        match outcome {
+            0 => self.ts_add(TS_DL_COMPLETED, region, ended, 1),
+            1 | 2 => self.ts_add(TS_DL_FAILED, region, ended, 1),
+            _ => self.ts_add(TS_DL_ABANDONED, region, ended, 1),
+        }
+        self.ts_add(TS_BYTES_PEERS, region, ended, bytes_peers as i64);
+        self.ts_add(TS_BYTES_INFRA, region, ended, bytes_infra as i64);
 
         // Attribute peer bytes to uploaders (§6.1 transfer tuples). The
         // transfer record belongs to the *uploader's* region stream, so
@@ -838,6 +1006,7 @@ impl ScaledShard {
                 local.digest.on_transfer(&t);
                 local.summary.on_transfer(&t);
                 local.transfers += 1;
+                self.ts_add(TS_TRANSFERS, src_region, ended, 1);
             } else {
                 out.send(
                     world.shard_of_peer(from_peer),
@@ -850,6 +1019,7 @@ impl ScaledShard {
                         to_country,
                         bytes,
                         object: meta.object,
+                        at_us: ended,
                     },
                 );
             }
@@ -870,19 +1040,27 @@ impl ScaledShard {
         let cfg = &world.cfg;
         let ev = cfg.faults.events[idx as usize];
         let now_us = at.as_micros();
+        let window = (now_us / TS_INTERVAL_US) as u32;
         match ev.kind {
             FaultKind::CnCrash { region } => {
                 let r = region as usize;
                 if self.regions.contains(&r) {
                     let home = self.is_region_home(r);
-                    let local = self.local_mut(r);
-                    local.control_down_until = now_us + 600_000_000;
+                    let until = now_us + 600_000_000;
+                    self.local_mut(r).control_down_until = until;
+                    // Every overlapping part marks the same span, so the
+                    // OR-merged flag is identical at every shard count.
+                    self.ts_flags(r, now_us, until, DEG_CONTROL);
                     if home {
-                        local.alerts.push(format!(
-                            "h{:03} {}: cn_crash",
-                            ev.at_hours,
-                            Region::ALL[r].label()
-                        ));
+                        self.ts_add(TS_CN_CRASHES, r, now_us, 1);
+                        self.ts_add(TS_INJECTED, r, now_us, 1);
+                        self.local_mut(r).alerts.push(ScaledAlert {
+                            class: "cn_crash",
+                            at_hours: ev.at_hours,
+                            window,
+                            region: r as u8,
+                            detail: 0,
+                        });
                     }
                 }
             }
@@ -890,14 +1068,19 @@ impl ScaledShard {
                 let r = region as usize;
                 if self.regions.contains(&r) {
                     let home = self.is_region_home(r);
-                    let local = self.local_mut(r);
-                    local.dir_degraded_until = now_us + 1_800_000_000;
+                    let until = now_us + 1_800_000_000;
+                    self.local_mut(r).dir_degraded_until = until;
+                    self.ts_flags(r, now_us, until, DEG_DIRECTORY);
                     if home {
-                        local.alerts.push(format!(
-                            "h{:03} {}: dn_wipe",
-                            ev.at_hours,
-                            Region::ALL[r].label()
-                        ));
+                        self.ts_add(TS_DN_WIPES, r, now_us, 1);
+                        self.ts_add(TS_INJECTED, r, now_us, 1);
+                        self.local_mut(r).alerts.push(ScaledAlert {
+                            class: "dn_wipe",
+                            at_hours: ev.at_hours,
+                            window,
+                            region: r as u8,
+                            detail: 0,
+                        });
                     }
                 }
             }
@@ -905,15 +1088,19 @@ impl ScaledShard {
                 let r = region as usize;
                 if self.regions.contains(&r) {
                     let home = self.is_region_home(r);
-                    let local = self.local_mut(r);
-                    local.edge_down_until = now_us + secs * 1_000_000;
+                    let until = now_us + secs * 1_000_000;
+                    self.local_mut(r).edge_down_until = until;
+                    self.ts_flags(r, now_us, until, DEG_EDGE);
                     if home {
-                        local.alerts.push(format!(
-                            "h{:03} {}: edge_outage {}s",
-                            ev.at_hours,
-                            Region::ALL[r].label(),
-                            secs
-                        ));
+                        self.ts_add(TS_EDGE_OUTAGES, r, now_us, 1);
+                        self.ts_add(TS_INJECTED, r, now_us, 1);
+                        self.local_mut(r).alerts.push(ScaledAlert {
+                            class: "edge_outage",
+                            at_hours: ev.at_hours,
+                            window,
+                            region: r as u8,
+                            detail: secs,
+                        });
                     }
                 }
             }
@@ -924,22 +1111,36 @@ impl ScaledShard {
                 // shard order), each with that part's count.
                 let mut dropped = vec![0u64; self.regions.len()];
                 for peer in self.peer_lo..self.peer_hi {
-                    if self.online(peer) > now_us {
+                    let until = self.online(peer);
+                    if until > now_us {
                         let mut rng = key_rng(cfg.seed, peer as u64, now_us, P_CHURN);
                         if rng.chance(fraction) {
                             self.set_online(peer, now_us);
-                            dropped[world.region_of_peer(peer) - self.regions.start] += 1;
+                            let r = world.region_of_peer(peer);
+                            // The session's end moves from `until` to now:
+                            // cancel the scheduled −1 and re-post it here.
+                            self.ts_level(r, until, 1);
+                            self.ts_level(r, now_us, -1);
+                            dropped[r - self.regions.start] += 1;
                         }
                     }
                 }
                 for r in self.regions.clone() {
                     let n = dropped[r - self.regions.start];
-                    let local = self.local_mut(r);
-                    local.alerts.push(format!(
-                        "h{:03} {}: churn_burst dropped={n}",
-                        ev.at_hours,
-                        Region::ALL[r].label()
-                    ));
+                    self.ts_add(TS_CHURN_OFFLINE, r, now_us, n as i64);
+                    if self.is_region_home(r) {
+                        // Class/injection counters once per region
+                        // regardless of how many parts slice it.
+                        self.ts_add(TS_CHURN_BURSTS, r, now_us, 1);
+                        self.ts_add(TS_INJECTED, r, now_us, 1);
+                    }
+                    self.local_mut(r).alerts.push(ScaledAlert {
+                        class: "churn_burst",
+                        at_hours: ev.at_hours,
+                        window,
+                        region: r as u8,
+                        detail: n,
+                    });
                 }
             }
         }
@@ -967,6 +1168,7 @@ impl ShardWorker for ScaledShard {
                 to_country,
                 bytes,
                 object,
+                at_us,
             } => {
                 let world = Arc::clone(&self.world);
                 let t = TransferRecord {
@@ -984,6 +1186,12 @@ impl ShardWorker for ScaledShard {
                 local.summary.on_transfer(&t);
                 local.transfers += 1;
                 local.remote_uploads_in += 1;
+                // The transfer counts in its *origin* window (carried in
+                // the mail) so the series matches the single-shard run;
+                // only the mail tally itself is barrier-timed and is
+                // declared K-variant in the catalog.
+                self.ts_add(TS_TRANSFERS, region as usize, at_us, 1);
+                self.ts_add(TS_MAIL, region as usize, at.as_micros(), 1);
             }
         }
     }
@@ -1014,8 +1222,9 @@ pub struct RegionReport {
     pub transfers: u64,
     /// Cross-shard uploads credited to this region.
     pub remote_uploads_in: u64,
-    /// Deterministic fault alert log.
-    pub alerts: Vec<String>,
+    /// Deterministic fault alert log, as structured records (rendered
+    /// into the legacy report lines by [`ScaledAlert::render`]).
+    pub alerts: Vec<ScaledAlert>,
     /// SHA-256 stream digests of this region's records. When the region
     /// is split across sub-shards this is the deterministic combination
     /// of the parts' digests (hash of the concatenated part digests, in
@@ -1076,6 +1285,11 @@ pub struct ScaledOutput {
     pub windows: u64,
     /// Cross-shard messages exchanged.
     pub cross_messages: u64,
+    /// Merged per-(metric, region) sim-hour series ([`TS_METRICS`]),
+    /// present when [`ScaledConfig::timeseries`] was on. Byte-identical
+    /// sequential vs parallel, and — bar the one declared K-variant
+    /// metric — invariant in `--shards`.
+    pub timeseries: Option<MergedSeries>,
 }
 
 impl ScaledOutput {
@@ -1120,7 +1334,7 @@ impl ScaledOutput {
             );
             let _ = writeln!(s, "{:>14}  {}", "", r.digest.fingerprint());
             for a in &r.alerts {
-                let _ = writeln!(s, "{:>14}  alert {a}", "");
+                let _ = writeln!(s, "{:>14}  alert {}", "", a.render());
             }
         }
         let _ = writeln!(
@@ -1237,7 +1451,11 @@ pub fn run_scaled_profiled(
         .collect();
     let mut digest_parts: Vec<Vec<DigestTriple>> =
         (0..Region::ALL.len()).map(|_| Vec::new()).collect();
-    for shard in runner.into_workers() {
+    let mut ts_parts: Vec<ShardSeries> = Vec::new();
+    for mut shard in runner.into_workers() {
+        if let Some(s) = shard.series.take() {
+            ts_parts.push(s);
+        }
         let base = shard.regions.start;
         for (i, local) in shard.locals.into_iter().enumerate() {
             summary.merge(&local.summary);
@@ -1261,6 +1479,12 @@ pub fn run_scaled_profiled(
             rep.digest = combine_digests(parts);
         }
     }
+    // Canonical shard-order merge: parts were collected in worker-index
+    // order above, so the merged series is a pure function of the config.
+    let timeseries = (!ts_parts.is_empty()).then(|| {
+        let labels: Vec<String> = Region::ALL.iter().map(|r| r.label().to_string()).collect();
+        merge_shards(&ts_parts, &labels)
+    });
     let shard_labels = (0..cfg.shards).map(|k| world.shard_label(k)).collect();
     let shard_peers = (0..cfg.shards)
         .map(|k| {
@@ -1278,6 +1502,7 @@ pub fn run_scaled_profiled(
         events,
         windows,
         cross_messages,
+        timeseries,
     };
     (out, profiler)
 }

@@ -215,7 +215,7 @@ fn faults_change_outputs_and_leave_alerts() {
     // Region faults alert exactly once (the region's home sub-shard logs
     // them); a churn burst alerts once per sub-shard part of the region,
     // each line carrying that part's dropped count.
-    let count = |needle: &str| europe.alerts.iter().filter(|a| a.contains(needle)).count();
+    let count = |needle: &str| europe.alerts.iter().filter(|a| a.class == needle).count();
     assert_eq!(count("cn_crash"), 1, "alerts: {:?}", europe.alerts);
     assert_eq!(count("edge_outage"), 1, "alerts: {:?}", europe.alerts);
     assert!(count("churn_burst") >= 1, "alerts: {:?}", europe.alerts);

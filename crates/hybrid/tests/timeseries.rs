@@ -1,0 +1,301 @@
+//! The windowed telemetry layer is judged by three properties, each a
+//! hard determinism claim:
+//!
+//! 1. **K-invariance** — every `k_invariant` metric's per-region series is
+//!    a pure function of the scenario, not of how the population is cut
+//!    into shards (K ∈ {1, 9, 16, `MAX_SHARDS`}).
+//! 2. **Mode-identity** — the merged series' canonical bytes and JSON are
+//!    byte-identical between the sequential oracle and the threaded run,
+//!    across ≥10 seeded fault scenarios.
+//! 3. **Detection** — replaying the `AlertEngine` over the merged series
+//!    in virtual time detects every injected fault class; the alert log
+//!    and the rule raises agree.
+//!
+//! Plus the aggregation seams the sidecar consumers rely on:
+//! `RegistrySnapshot::merge` feeding the engine, and counter resets
+//! absorbed as growth-from-zero.
+
+use netsession_core::rng::DetRng;
+use netsession_core::time::SimDuration;
+use netsession_hybrid::alerts::{
+    detected_classes, replay_standard_alerts, standard_rules, FAULT_CLASS_RULES,
+};
+use netsession_hybrid::{
+    run_scaled, FaultEvent, FaultKind, FaultSchedule, ScaledConfig, MAX_SHARDS,
+};
+use netsession_obs::{AlertEngine, RegistrySnapshot};
+
+/// A compact scenario that injects all four fault classes in different
+/// regions, early enough that their windows close inside the run.
+fn faulty_cfg(seed: u64, shards: usize) -> ScaledConfig {
+    ScaledConfig {
+        seed,
+        peers: 2_000,
+        objects: 250,
+        days: 2,
+        shards,
+        window: SimDuration::from_secs(600),
+        faults: FaultSchedule {
+            events: vec![
+                FaultEvent {
+                    at_hours: 5,
+                    kind: FaultKind::CnCrash { region: 0 },
+                },
+                FaultEvent {
+                    at_hours: 12,
+                    kind: FaultKind::DnWipe { region: 6 },
+                },
+                FaultEvent {
+                    at_hours: 20,
+                    kind: FaultKind::EdgeOutage {
+                        region: 3,
+                        secs: 7_200,
+                    },
+                },
+                FaultEvent {
+                    at_hours: 30,
+                    kind: FaultKind::ChurnBurst { fraction: 0.4 },
+                },
+            ],
+        },
+        ..ScaledConfig::default()
+    }
+}
+
+/// Property 1: per-region series of every `k_invariant` metric — and the
+/// merge horizon itself — are unchanged by the shard count. The one
+/// deliberately K-variant metric (`scaled.cross_shard_mail`) must be the
+/// only difference: zero at K=1, non-zero once regions talk across
+/// shards.
+#[test]
+fn per_region_series_are_invariant_in_shard_count() {
+    let baseline = run_scaled(&faulty_cfg(11, 1), false, None)
+        .timeseries
+        .expect("sampling on by default");
+    assert!(baseline.windows > 0);
+    let mail_at_one: i64 = baseline
+        .metric("scaled.cross_shard_mail")
+        .unwrap()
+        .global()
+        .iter()
+        .sum();
+    assert_eq!(mail_at_one, 0, "a single shard has no one to mail");
+    for shards in [9usize, 16, MAX_SHARDS] {
+        let got = run_scaled(&faulty_cfg(11, shards), false, None)
+            .timeseries
+            .expect("sampling on by default");
+        assert_eq!(got.windows, baseline.windows, "K={shards}: horizon");
+        assert_eq!(got.groups, baseline.groups, "K={shards}: region labels");
+        for (b, g) in baseline.metrics.iter().zip(&got.metrics) {
+            assert_eq!(b.name, g.name, "K={shards}: catalog order");
+            if b.k_invariant {
+                assert_eq!(
+                    b, g,
+                    "K={shards}: {} must not depend on the partition",
+                    b.name
+                );
+            } else {
+                assert!(
+                    g.global().iter().sum::<i64>() > 0,
+                    "K={shards}: {} should see cross-shard traffic",
+                    g.name
+                );
+            }
+        }
+    }
+}
+
+/// Property 2: canonical bytes and sidecar JSON of the merged series are
+/// byte-identical between execution modes, across 10 seeded scenarios
+/// that all carry faults (kind and placement randomized per seed).
+#[test]
+fn merged_series_bytes_identical_seq_vs_par_across_fault_scenarios() {
+    for seed in 0..10u64 {
+        let mut rng = DetRng::seeded(0x7153_0000 ^ seed);
+        let days = 2 + rng.below(2);
+        let events = (0..1 + rng.index(4))
+            .map(|_| {
+                let region = rng.below(9) as u32;
+                let kind = match rng.index(4) {
+                    0 => FaultKind::CnCrash { region },
+                    1 => FaultKind::DnWipe { region },
+                    2 => FaultKind::EdgeOutage {
+                        region,
+                        secs: 600 + rng.below(7_200),
+                    },
+                    _ => FaultKind::ChurnBurst {
+                        fraction: 0.1 + rng.f64() * 0.6,
+                    },
+                };
+                FaultEvent {
+                    at_hours: rng.below(days * 24),
+                    kind,
+                }
+            })
+            .collect();
+        let cfg = ScaledConfig {
+            seed: seed.wrapping_mul(0x9e37_79b9) + 3,
+            peers: 1_500 + rng.below(1_500),
+            objects: 200 + rng.below(200),
+            days,
+            shards: [2, 3, 5, 9, 16][rng.index(5)],
+            faults: FaultSchedule { events },
+            ..ScaledConfig::default()
+        };
+        let seq = run_scaled(&cfg, false, None).timeseries.unwrap();
+        let par = run_scaled(&cfg, true, None).timeseries.unwrap();
+        assert_eq!(
+            seq.encode(),
+            par.encode(),
+            "seed {seed}: canonical bytes diverged"
+        );
+        assert_eq!(seq.to_json(), par.to_json(), "seed {seed}: sidecar JSON");
+    }
+}
+
+/// Property 3: at smoke scale under the full `scaled_campaign`, replaying
+/// the standard rules over the merged series detects all four fault
+/// classes, and every detection joins back to an injected fault (no
+/// class is raised that was never injected).
+#[test]
+fn alert_replay_detects_all_four_fault_classes_at_smoke_scale() {
+    let cfg = ScaledConfig {
+        faults: FaultSchedule::scaled_campaign(7),
+        ..ScaledConfig::smoke()
+    };
+    let out = run_scaled(&cfg, true, None);
+    let series = out.timeseries.as_ref().expect("sampling on");
+    let detections = replay_standard_alerts(series);
+    let classes = detected_classes(&detections);
+    assert_eq!(
+        classes,
+        vec!["cn_crash", "dn_wipe", "edge_outage", "churn_burst"],
+        "every injected class must be detected"
+    );
+    // Alert-log join: each injected class appears in the structured alert
+    // log, and each class rule that raised has at least one injection.
+    for (class, rule, _metric) in FAULT_CLASS_RULES {
+        let injected = out
+            .regions
+            .iter()
+            .flat_map(|r| &r.alerts)
+            .filter(|a| a.class == class)
+            .count();
+        let raised = detections
+            .iter()
+            .filter(|d| d.event.rule == rule && d.event.raised)
+            .count();
+        assert!(injected > 0, "{class}: campaign must inject it");
+        assert!(raised > 0, "{rule}: replay must raise it");
+    }
+    // Rendered alert strings keep the legacy `h### region: class` shape.
+    let rendered = out
+        .regions
+        .iter()
+        .flat_map(|r| &r.alerts)
+        .map(|a| a.render())
+        .collect::<Vec<_>>();
+    assert!(
+        rendered.iter().any(|s| s.contains(": cn_crash")),
+        "{rendered:?}"
+    );
+    assert!(rendered.iter().any(|s| s.contains("churn_burst dropped=")));
+}
+
+/// A fault-free run must replay clean: zero raised transitions, zero
+/// detected classes — the false-positive guard the sidecar lint encodes.
+#[test]
+fn fault_free_replay_raises_nothing() {
+    let cfg = ScaledConfig {
+        peers: 2_000,
+        objects: 250,
+        days: 2,
+        shards: 3,
+        ..ScaledConfig::default()
+    };
+    let out = run_scaled(&cfg, true, None);
+    let detections = replay_standard_alerts(out.timeseries.as_ref().unwrap());
+    assert!(
+        detections.iter().all(|d| !d.event.raised),
+        "clean run raised: {:?}",
+        detections
+            .iter()
+            .filter(|d| d.event.raised)
+            .map(|d| d.event.rule.clone())
+            .collect::<Vec<_>>()
+    );
+    assert!(detected_classes(&detections).is_empty());
+    assert!(out.regions.iter().all(|r| r.alerts.is_empty()));
+}
+
+/// Turning sampling off is free-standing: the simulation, report text,
+/// and structured alert log are byte-identical; only the sidecar
+/// disappears.
+#[test]
+fn sampling_off_changes_nothing_but_the_sidecar() {
+    let on_cfg = faulty_cfg(23, 5);
+    let off_cfg = ScaledConfig {
+        timeseries: false,
+        ..on_cfg.clone()
+    };
+    let on = run_scaled(&on_cfg, true, None);
+    let off = run_scaled(&off_cfg, true, None);
+    assert!(on.timeseries.is_some());
+    assert!(off.timeseries.is_none());
+    assert_eq!(on.report(), off.report(), "report must not change");
+    for (a, b) in on.regions.iter().zip(&off.regions) {
+        assert_eq!(a, b, "per-region outputs must not change");
+    }
+}
+
+/// `RegistrySnapshot::merge` feeding the `AlertEngine`, across a counter
+/// reset: per-shard snapshots merge additively, the merged stream drives
+/// the standard rules, and a raw counter dropping (a restart) is absorbed
+/// as growth from zero — it raises like a genuine increase and never
+/// panics or goes negative.
+#[test]
+fn merged_snapshots_drive_the_engine_across_counter_resets() {
+    const HOUR: u64 = 3_600_000_000;
+    let snap = |v: u64| {
+        let mut s = RegistrySnapshot::default();
+        s.counters.insert("hybrid.fault.cn_crashes".into(), v);
+        s
+    };
+    // Two "shards" each saw 2 crashes: the fleet aggregate is 4.
+    let mut fleet = snap(2);
+    fleet.merge(&snap(2));
+    assert_eq!(fleet.counter("hybrid.fault.cn_crashes"), 4);
+
+    let mut engine = AlertEngine::new(standard_rules());
+    // First observation is baseline — no raise.
+    assert!(engine.observe(0, &fleet).is_empty());
+    // Steady fleet for two windows: still quiet.
+    assert!(engine.observe(HOUR, &fleet).is_empty());
+    assert!(engine.observe(2 * HOUR, &fleet).is_empty());
+    // One more crash on one shard: the merged value moves 4 -> 5.
+    let mut bumped = snap(3);
+    bumped.merge(&snap(2));
+    let events = engine.observe(3 * HOUR, &bumped);
+    assert!(
+        events.iter().any(|e| e.rule == "control-crash" && e.raised),
+        "merged increase must raise: {events:?}"
+    );
+    // A restart: raw drops 5 -> 1. Reset-as-growth-from-zero means this
+    // reads as +1, which the delta:1 rule treats as another crash.
+    let after_reset = engine.observe(5 * HOUR, &snap(1));
+    assert!(
+        after_reset
+            .iter()
+            .all(|e| e.rule != "control-crash" || e.raised),
+        "reset must not clear-and-corrupt: {after_reset:?}"
+    );
+    // Quiet after the reset window passes: the rule clears.
+    let cleared = engine.observe(8 * HOUR, &snap(1));
+    assert!(
+        cleared
+            .iter()
+            .any(|e| e.rule == "control-crash" && !e.raised),
+        "quiet window must clear: {cleared:?}"
+    );
+    assert!(engine.active().is_empty());
+}

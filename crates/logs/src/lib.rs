@@ -20,4 +20,6 @@ pub mod sink;
 pub use dataset::TraceDataset;
 pub use geodb::{EdgeScapeDb, GeoInfo};
 pub use records::{DownloadOutcome, DownloadRecord, LoginRecord, TransferRecord};
-pub use sink::{DigestSink, DigestTriple, ProfileDigest, RecordSink, StreamingSummary, Tee};
+pub use sink::{
+    DigestSink, DigestTriple, ProfileDigest, RecordSink, SeriesDigest, StreamingSummary, Tee,
+};

@@ -368,6 +368,28 @@ impl ProfileSink for ProfileDigest {
     }
 }
 
+/// SHA-256 fingerprint of a merged time series' canonical little-endian
+/// encoding ([`netsession_obs::MergedSeries::encode`]) — the series
+/// sibling of [`ProfileDigest`], and placed here for the same reason:
+/// `netsession-obs` is dependency-free and has no SHA-256. Two series are
+/// byte-identical iff their digests match, so determinism gates can
+/// compare one fingerprint line instead of whole sidecar files.
+pub struct SeriesDigest;
+
+impl SeriesDigest {
+    /// Full digest of the canonical encoding.
+    pub fn digest(series: &netsession_obs::MergedSeries) -> Digest {
+        let mut h = Sha256::new();
+        h.update(&series.encode());
+        h.finalize()
+    }
+
+    /// `<hex16>` prefix for deterministic stdout and byte-diff gates.
+    pub fn fingerprint(series: &netsession_obs::MergedSeries) -> String {
+        Self::digest(series).to_hex()[..16].to_string()
+    }
+}
+
 /// Feed every record to both sinks — e.g. a summary and a digest at once.
 pub struct Tee<'a, A: RecordSink, B: RecordSink>(pub &'a mut A, pub &'a mut B);
 

@@ -398,6 +398,53 @@ mod tests {
     }
 
     #[test]
+    fn merged_fleet_snapshots_absorb_a_shard_restart() {
+        // Fleet views are built with RegistrySnapshot::merge over per-shard
+        // scrapes, windowed at the observation cadence. When one shard
+        // restarts between windows the *merged* counter can drop; the
+        // engine must fold that into growth-from-zero (Prometheus
+        // `increase()`): the loss never counts negative, and only the
+        // post-restart increments can contribute to a burst.
+        let mut e = AlertEngine::new(vec![AlertRule::new(
+            "burst",
+            "dl",
+            RuleKind::RateAbove { delta: 100 },
+            60 * SEC,
+        )]);
+        // Window 1: shard A has 500, shard B has 40.
+        let mut w1 = snap(|r| {
+            r.counter("dl").add(500);
+        });
+        w1.merge(&snap(|r| {
+            r.counter("dl").add(40);
+        }));
+        assert_eq!(w1.counter("dl"), 540);
+        assert!(e.observe(60 * SEC, &w1).is_empty(), "baseline never fires");
+        // Window 2: shard A restarted (3 since boot), B grew to 44. The
+        // merged counter *drops* 540 → 47; only the 47 counts as growth.
+        let mut w2 = snap(|r| {
+            r.counter("dl").add(3);
+        });
+        w2.merge(&snap(|r| {
+            r.counter("dl").add(44);
+        }));
+        assert!(
+            e.observe(120 * SEC, &w2).is_empty(),
+            "a restart must not fire the rate rule"
+        );
+        // Window 3: genuine burst on top of the restart: merged reaches
+        // 170, so adjusted growth in the trailing window passes 100.
+        let mut w3 = snap(|r| {
+            r.counter("dl").add(80);
+        });
+        w3.merge(&snap(|r| {
+            r.counter("dl").add(90);
+        }));
+        let ev = e.observe(180 * SEC, &w3);
+        assert!(ev.len() == 1 && ev[0].raised, "{ev:?}");
+    }
+
+    #[test]
     fn gauge_threshold_with_for_window() {
         let mut e = AlertEngine::new(vec![AlertRule::new(
             "deep-queue",

@@ -92,6 +92,7 @@ mod instruments;
 pub mod json;
 pub mod profile;
 mod registry;
+pub mod timeseries;
 mod trace;
 
 pub use alert::{AlertEngine, AlertEvent, AlertRule, RuleKind};
@@ -103,4 +104,7 @@ pub use profile::{
     WindowTiming,
 };
 pub use registry::{HistogramSnapshot, MetricsRegistry, RegistrySnapshot, EVENTS_DROPPED_COUNTER};
+pub use timeseries::{
+    merge_shards, MergedMetric, MergedSeries, SeriesKind, SeriesSpec, ShardSeries,
+};
 pub use trace::{AttrValue, Span, SpanId, TraceCtx, TraceId, TraceSink};

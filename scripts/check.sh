@@ -85,6 +85,22 @@ echo "== sub-region shard determinism (16 sub-shards > 9 regions, smoke scale)"
 (cd "$tmp" && "$scale_bin" --smoke --shards 16 --parallel >scale16_par.txt 2>/dev/null)
 cmp "$tmp/scale16_seq.txt" "$tmp/scale16_par.txt"
 
+echo "== timeseries determinism (chaos smoke: seq vs par sidecar byte-diff + lint)"
+# The merged windowed-telemetry sidecar is a deterministic artifact: under
+# the full fault campaign at smoke scale, the sequential oracle and the
+# threaded run must print byte-identical stdout and write byte-identical
+# sidecars; the fresh sidecar must pass its own lint (schema, digest,
+# injected=>detected join), and the committed full-scale sidecar must
+# still lint — a stale or hand-edited snapshot fails on its digest.
+(cd "$tmp" && "$scale_bin" --smoke --chaos --sequential --timeseries-out ts_seq.json >ts_seq.txt 2>/dev/null)
+(cd "$tmp" && "$scale_bin" --smoke --chaos --parallel --timeseries-out ts_par.json >ts_par.txt 2>/dev/null)
+cmp "$tmp/ts_seq.txt" "$tmp/ts_par.txt"
+cmp "$tmp/ts_seq.json" "$tmp/ts_par.json"
+"$scale_bin" --lint-timeseries "$tmp/ts_seq.json"
+if [ -e results/scale.timeseries.json ]; then
+    "$scale_bin" --lint-timeseries results/scale.timeseries.json
+fi
+
 echo "== bench snapshot lint + smoke regression gate (perfbench --check)"
 # Parses results/bench/BENCH_*.json (schema + required fields), re-runs the
 # wheel-vs-heap smoke A/B asserting bit-identical outputs, and applies a
@@ -101,6 +117,11 @@ if [ -z "$found_bench" ]; then
     echo "no results/bench/BENCH_*.json snapshot committed" >&2
     exit 1
 fi
+
+echo "== perf trajectory (perfbench --trend: every snapshot parses, BENCH_10 present)"
+# Cross-PR table from every committed BENCH_*.json; fails when this PR's
+# snapshot is missing or lacks the families its issue is required to carry.
+"$perfbench_bin" --trend --require 10
 
 echo "== committed trace exports stay under 1 MiB"
 oversize="$(find results -name '*.trace.json' -size +1M 2>/dev/null || true)"
